@@ -1,0 +1,67 @@
+//! Throughput of the ε-kernel (E9): inserts vs grid size, merges, width
+//! queries.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ms_core::{unit_dir, Mergeable, Summary};
+use ms_kernels::{EpsKernel, Frame};
+use ms_workloads::CloudKind;
+
+fn bench_inserts(c: &mut Criterion) {
+    let n = 50_000;
+    let points = CloudKind::Disk.generate(n, 1);
+    let frame = Frame::from_points(&points);
+    let mut group = c.benchmark_group("kernel_insert");
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(n as u64));
+    for eps in [0.1, 0.01, 0.001] {
+        group.bench_with_input(
+            BenchmarkId::new("insert", format!("eps={eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let mut k = EpsKernel::new(eps, frame);
+                    k.extend_from(points.iter().copied());
+                    black_box(k.size())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_merge_and_width(c: &mut Criterion) {
+    let points = CloudKind::Gaussian.generate(100_000, 2);
+    let frame = Frame::from_points(&points);
+    let mk = |slice: &[ms_core::Point2]| {
+        let mut k = EpsKernel::new(0.01, frame);
+        k.extend_from(slice.iter().copied());
+        k
+    };
+    let a = mk(&points[..50_000]);
+    let b2 = mk(&points[50_000..]);
+    let mut group = c.benchmark_group("kernel_merge_width");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("merge_two_way", |b| {
+        b.iter_batched(
+            || (a.clone(), b2.clone()),
+            |(x, y)| black_box(x.merge(y).unwrap()),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("width_query", |b| {
+        b.iter(|| black_box(a.width(black_box(unit_dir(0.7)))));
+    });
+    group.bench_function("diameter", |b| {
+        b.iter(|| black_box(a.diameter()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_merge_and_width);
+criterion_main!(benches);

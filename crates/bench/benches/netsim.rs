@@ -1,0 +1,65 @@
+//! Cost of in-network aggregation (E10's mechanics): serialization per
+//! message plus merge work, per topology.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ms_core::ItemSummary;
+use ms_frequency::MgSummary;
+use ms_netsim::{aggregate, message_bytes, Topology};
+use ms_workloads::StreamKind;
+
+fn leaves(sites: usize) -> Vec<MgSummary<u64>> {
+    let items = StreamKind::Zipf {
+        s: 1.2,
+        universe: 1 << 20,
+    }
+    .generate(sites * 4_000, 11);
+    items
+        .chunks(4_000)
+        .map(|c| {
+            let mut s = MgSummary::new(128);
+            s.extend_from(c.iter().copied());
+            s
+        })
+        .collect()
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_aggregate");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    for sites in [16usize, 64] {
+        let pool = leaves(sites);
+        for topology in [Topology::Star, Topology::Chain, Topology::BalancedTree] {
+            group.bench_with_input(
+                BenchmarkId::new(topology.label(), sites),
+                &sites,
+                |b, _| {
+                    b.iter_batched(
+                        || pool.clone(),
+                        |l| black_box(aggregate(l, topology).unwrap().1),
+                        BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_message_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_encoding");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(3));
+    let summary = leaves(1).pop().expect("one leaf");
+    group.bench_function("mg_k128_json_bytes", |b| {
+        b.iter(|| black_box(message_bytes(&summary)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregate, bench_message_encoding);
+criterion_main!(benches);

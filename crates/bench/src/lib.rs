@@ -1,0 +1,6 @@
+//! Shared harness for the experiment binary and the criterion benches:
+//! markdown table rendering and machine-readable result records.
+
+pub mod report;
+
+pub use report::{ExperimentRecord, Table};

@@ -1,0 +1,164 @@
+//! Experiment reporting: aligned markdown tables on stdout and JSON records
+//! on disk (`results/<experiment>.json`), so `EXPERIMENTS.md` can quote
+//! exact numbers and reruns can be diffed.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id (`t1`, `e1`, … `x2`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells already formatted).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "\n### {} — {}\n\n",
+            self.id.to_uppercase(),
+            self.title
+        ));
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and persist under `results/`.
+    pub fn emit(&self) {
+        let mut stdout = std::io::stdout().lock();
+        stdout
+            .write_all(self.to_markdown().as_bytes())
+            .expect("stdout");
+        if let Err(e) = self.persist("results") {
+            eprintln!("warning: could not persist {}: {e}", self.id);
+        }
+    }
+
+    /// Write the JSON record.
+    pub fn persist(&self, dir: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).expect("serializable");
+        fs::write(path, json)
+    }
+}
+
+/// A single scalar finding, persisted alongside tables.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment id.
+    pub id: String,
+    /// What was measured.
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+    /// The bound / expectation it is compared against, if any.
+    pub bound: Option<f64>,
+    /// Whether the shape check passed.
+    pub pass: bool,
+}
+
+/// Format a float with sensible width for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = Table::new("t0", "demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| name      | value |"), "{md}");
+        assert!(md.contains("| long-name | 2     |"), "{md}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("t0", "demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.01234), "0.01234");
+        assert_eq!(fmt(7.46159), "7.46");
+        assert_eq!(fmt(12345.6), "12346");
+    }
+
+    #[test]
+    fn persist_writes_json() {
+        let dir = std::env::temp_dir().join("ms-bench-test");
+        let mut t = Table::new("t9", "demo", &["x"]);
+        t.row(vec!["1".into()]);
+        t.persist(dir.to_str().unwrap()).unwrap();
+        let content = std::fs::read_to_string(dir.join("t9.json")).unwrap();
+        assert!(content.contains("\"id\": \"t9\""));
+    }
+}

@@ -1,0 +1,149 @@
+//! Typed errors for merge operations.
+//!
+//! Merging is only defined between summaries built with the same parameters
+//! (same ε / number of counters / buffer size / reference frame). Rather than
+//! silently producing a summary with an undefined guarantee, every merge in
+//! the workspace validates its inputs and returns a [`MergeError`].
+
+use std::fmt;
+
+/// Result alias used by fallible merge operations throughout the workspace.
+pub type Result<T, E = MergeError> = std::result::Result<T, E>;
+
+/// Why two summaries could not be merged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// The two summaries were built with different capacity parameters
+    /// (number of counters, buffer size, sketch width/depth, ...).
+    CapacityMismatch {
+        /// Human-readable name of the mismatched parameter.
+        parameter: &'static str,
+        /// Value held by the left summary.
+        left: usize,
+        /// Value held by the right summary.
+        right: usize,
+    },
+    /// The two summaries were built with different error parameters ε.
+    EpsilonMismatch {
+        /// ε of the left summary.
+        left: f64,
+        /// ε of the right summary.
+        right: f64,
+    },
+    /// The two randomized summaries use different hash seeds and are
+    /// therefore not in the same linear family (Count-Min, Count-Sketch).
+    SeedMismatch {
+        /// Seed of the left summary.
+        left: u64,
+        /// Seed of the right summary.
+        right: u64,
+    },
+    /// Restricted mergeability precondition violated (ε-kernels: the two
+    /// summaries must share a reference frame).
+    FrameMismatch,
+    /// Any other structural incompatibility.
+    Incompatible(&'static str),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::CapacityMismatch {
+                parameter,
+                left,
+                right,
+            } => write!(
+                f,
+                "cannot merge: {parameter} differs between summaries ({left} vs {right})"
+            ),
+            MergeError::EpsilonMismatch { left, right } => {
+                write!(f, "cannot merge: epsilon differs ({left} vs {right})")
+            }
+            MergeError::SeedMismatch { left, right } => write!(
+                f,
+                "cannot merge: hash seeds differ ({left:#x} vs {right:#x}); \
+                 linear sketches must share their hash family"
+            ),
+            MergeError::FrameMismatch => write!(
+                f,
+                "cannot merge: ε-kernels were built in different reference frames \
+                 (restricted mergeability requires a common frame)"
+            ),
+            MergeError::Incompatible(why) => write!(f, "cannot merge: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Check that two capacity parameters match, returning a typed error if not.
+pub fn ensure_same_capacity(parameter: &'static str, left: usize, right: usize) -> Result<()> {
+    if left == right {
+        Ok(())
+    } else {
+        Err(MergeError::CapacityMismatch {
+            parameter,
+            left,
+            right,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_capacity_mismatch() {
+        let e = MergeError::CapacityMismatch {
+            parameter: "counters",
+            left: 8,
+            right: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("counters"), "{s}");
+        assert!(s.contains('8') && s.contains("16"), "{s}");
+    }
+
+    #[test]
+    fn display_epsilon_mismatch() {
+        let e = MergeError::EpsilonMismatch {
+            left: 0.1,
+            right: 0.01,
+        };
+        assert!(e.to_string().contains("0.1"));
+    }
+
+    #[test]
+    fn display_seed_mismatch_is_hex() {
+        let e = MergeError::SeedMismatch {
+            left: 255,
+            right: 0,
+        };
+        assert!(e.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn ensure_same_capacity_accepts_equal() {
+        assert!(ensure_same_capacity("k", 5, 5).is_ok());
+    }
+
+    #[test]
+    fn ensure_same_capacity_rejects_unequal() {
+        let err = ensure_same_capacity("k", 5, 6).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::CapacityMismatch {
+                parameter: "k",
+                left: 5,
+                right: 6
+            }
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(MergeError::FrameMismatch);
+        assert!(e.to_string().contains("reference frame"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal 2D geometry shared by the ε-approximation and ε-kernel crates.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point2 {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Construct a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Dot product with a direction vector.
+    #[inline]
+    pub fn dot(&self, dir: (f64, f64)) -> f64 {
+        self.x * dir.0 + self.y * dir.1
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point2) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// Axis-aligned rectangle `[x_lo, x_hi] × [y_lo, y_hi]` (closed on all
+/// sides), the canonical range space of VC dimension 4 used in §5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x_lo: f64,
+    /// Right edge.
+    pub x_hi: f64,
+    /// Bottom edge.
+    pub y_lo: f64,
+    /// Top edge.
+    pub y_hi: f64,
+}
+
+impl Rect {
+    /// Construct from corner coordinates; normalizes a flipped rectangle.
+    pub fn new(x_lo: f64, x_hi: f64, y_lo: f64, y_hi: f64) -> Self {
+        Rect {
+            x_lo: x_lo.min(x_hi),
+            x_hi: x_lo.max(x_hi),
+            y_lo: y_lo.min(y_hi),
+            y_hi: y_lo.max(y_hi),
+        }
+    }
+
+    /// Closed-interval containment test.
+    #[inline]
+    pub fn contains(&self, p: &Point2) -> bool {
+        p.x >= self.x_lo && p.x <= self.x_hi && p.y >= self.y_lo && p.y <= self.y_hi
+    }
+
+    /// The bounding box of a point set, or `None` for an empty set.
+    pub fn bounding(points: &[Point2]) -> Option<Rect> {
+        let first = points.first()?;
+        let mut r = Rect {
+            x_lo: first.x,
+            x_hi: first.x,
+            y_lo: first.y,
+            y_hi: first.y,
+        };
+        for p in &points[1..] {
+            r.x_lo = r.x_lo.min(p.x);
+            r.x_hi = r.x_hi.max(p.x);
+            r.y_lo = r.y_lo.min(p.y);
+            r.y_hi = r.y_hi.max(p.y);
+        }
+        Some(r)
+    }
+
+    /// Width × height.
+    pub fn area(&self) -> f64 {
+        (self.x_hi - self.x_lo) * (self.y_hi - self.y_lo)
+    }
+}
+
+/// A unit direction vector at angle `theta` (radians).
+#[inline]
+pub fn unit_dir(theta: f64) -> (f64, f64) {
+    (theta.cos(), theta.sin())
+}
+
+/// Exact directional width of a point set along `dir`:
+/// `max_p ⟨p, dir⟩ − min_p ⟨p, dir⟩`. Returns 0 for fewer than 2 points.
+pub fn directional_width(points: &[Point2], dir: (f64, f64)) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for p in points {
+        let d = p.dot(dir);
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    hi - lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_normalizes_flipped_corners() {
+        let r = Rect::new(5.0, 1.0, 4.0, 2.0);
+        assert_eq!(r.x_lo, 1.0);
+        assert_eq!(r.x_hi, 5.0);
+        assert_eq!(r.y_lo, 2.0);
+        assert_eq!(r.y_hi, 4.0);
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let r = Rect::new(0.0, 1.0, 0.0, 1.0);
+        assert!(r.contains(&Point2::new(0.0, 0.0)));
+        assert!(r.contains(&Point2::new(1.0, 1.0)));
+        assert!(r.contains(&Point2::new(0.5, 0.5)));
+        assert!(!r.contains(&Point2::new(1.0001, 0.5)));
+        assert!(!r.contains(&Point2::new(0.5, -0.0001)));
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pts = vec![
+            Point2::new(1.0, 2.0),
+            Point2::new(-3.0, 5.0),
+            Point2::new(4.0, -1.0),
+        ];
+        let r = Rect::bounding(&pts).unwrap();
+        assert_eq!(r, Rect::new(-3.0, 4.0, -1.0, 5.0));
+        assert!(Rect::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn area() {
+        assert_eq!(Rect::new(0.0, 2.0, 0.0, 3.0).area(), 6.0);
+        assert_eq!(Rect::new(1.0, 1.0, 0.0, 3.0).area(), 0.0);
+    }
+
+    #[test]
+    fn width_of_unit_square_along_axes_and_diagonal() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 1.0),
+        ];
+        assert!((directional_width(&pts, unit_dir(0.0)) - 1.0).abs() < 1e-12);
+        assert!(
+            (directional_width(&pts, unit_dir(std::f64::consts::FRAC_PI_4))
+                - std::f64::consts::SQRT_2)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn width_degenerate_sets() {
+        assert_eq!(directional_width(&[], unit_dir(0.3)), 0.0);
+        assert_eq!(
+            directional_width(&[Point2::new(2.0, 2.0)], unit_dir(0.3)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn distance_and_dot() {
+        let p = Point2::new(3.0, 4.0);
+        assert_eq!(p.distance(&Point2::new(0.0, 0.0)), 5.0);
+        assert_eq!(p.dot((1.0, 0.0)), 3.0);
+        assert_eq!(p.dot((0.0, 1.0)), 4.0);
+    }
+}

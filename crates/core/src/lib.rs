@@ -1,0 +1,41 @@
+//! Framework types for *mergeable summaries*.
+//!
+//! This crate provides the shared vocabulary used by every summary in the
+//! workspace, following the model of Agarwal, Cormode, Huang, Phillips, Wei
+//! and Yi, *Mergeable summaries*, PODS 2012:
+//!
+//! * a summarization scheme `S(D, ε)` is **mergeable** if there is an
+//!   algorithm taking `S(D₁, ε)` and `S(D₂, ε)` to `S(D₁ ⊎ D₂, ε)` — the same
+//!   error parameter and the same size bound, no matter how many merges are
+//!   performed or in what order;
+//! * the [`Mergeable`] trait captures that contract, and [`tree`] provides
+//!   drivers that exercise it over arbitrary merge-tree shapes (the paper's
+//!   guarantees must hold for *all* of them, not just left-deep chains);
+//! * [`oracle`] computes exact ground truth (frequencies, ranks) so tests and
+//!   experiments can measure the error actually committed;
+//! * [`metrics`] summarizes those errors;
+//! * [`rng`] is a tiny deterministic RNG (splitmix64 / xoshiro256**) so every
+//!   randomized merge in the workspace is reproducible from an explicit seed;
+//! * [`hash`] is a fast non-cryptographic hasher for counter maps.
+//!
+//! Summaries in this workspace are **value types**: merging consumes both
+//! inputs and returns the merged summary (or a typed [`MergeError`] when the
+//! inputs are incompatible — e.g. built with different ε).
+
+pub mod error;
+pub mod geom;
+pub mod hash;
+pub mod metrics;
+pub mod oracle;
+pub mod rng;
+pub mod summary;
+pub mod tree;
+
+pub use error::{MergeError, Result};
+pub use geom::{directional_width, unit_dir, Point2, Rect};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use metrics::ErrorStats;
+pub use oracle::{FrequencyOracle, RankOracle};
+pub use rng::Rng64;
+pub use summary::{ItemSummary, Mergeable, Summary};
+pub use tree::{merge_all, MergeTree};

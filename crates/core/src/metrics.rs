@@ -1,0 +1,144 @@
+//! Error-measurement helpers shared by tests and the experiment harness.
+
+use serde::Serialize;
+
+/// Summary statistics over a set of observed errors.
+///
+/// Experiments collect one error value per query (or per trial) and report
+/// the distribution; the paper's bounds are compared against `max` (for
+/// deterministic guarantees) or high percentiles (for with-high-probability
+/// guarantees).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ErrorStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl ErrorStats {
+    /// Compute statistics from raw observations. Returns an all-zero record
+    /// for an empty input.
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return ErrorStats {
+                count: 0,
+                mean: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors must not be NaN"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        ErrorStats {
+            count,
+            mean,
+            max: *sorted.last().expect("non-empty"),
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+        }
+    }
+
+    /// Convenience: compute stats over integer errors.
+    pub fn from_u64(values: &[u64]) -> Self {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Self::from_values(&floats)
+    }
+}
+
+/// Nearest-rank percentile on a pre-sorted slice.
+fn percentile(sorted: &[f64], phi: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    let idx = ((phi * n as f64).ceil() as usize).clamp(1, n) - 1;
+    sorted[idx]
+}
+
+/// Relative error `|estimate − exact| / scale`, with a zero scale treated as
+/// "exact must also be zero" (returns 0 if both are 0, +∞ otherwise).
+pub fn relative_error(estimate: f64, exact: f64, scale: f64) -> f64 {
+    let abs = (estimate - exact).abs();
+    if scale == 0.0 {
+        if abs == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        abs / scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_gives_zeros() {
+        let s = ErrorStats::from_values(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = ErrorStats::from_values(&[3.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p99, 3.0);
+    }
+
+    #[test]
+    fn known_distribution() {
+        let values: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = ErrorStats::from_values(&values);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = ErrorStats::from_values(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+    }
+
+    #[test]
+    fn from_u64_matches_floats() {
+        let a = ErrorStats::from_u64(&[1, 2, 3]);
+        let b = ErrorStats::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(11.0, 10.0, 100.0), 0.01);
+        assert_eq!(relative_error(0.0, 0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_observations_are_rejected() {
+        let _ = ErrorStats::from_values(&[1.0, f64::NAN]);
+    }
+}

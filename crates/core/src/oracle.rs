@@ -1,0 +1,274 @@
+//! Exact ground-truth oracles.
+//!
+//! Every experiment and property test measures a summary's answers against
+//! the exact answer on the full dataset. [`FrequencyOracle`] is an exact
+//! counter table; [`RankOracle`] holds the sorted dataset and answers rank
+//! and quantile queries exactly, with the lower/upper rank convention needed
+//! to score estimates on multisets with duplicates.
+
+use std::hash::Hash;
+
+use crate::hash::FxHashMap;
+
+/// Exact multiset counter: the ground truth for heavy-hitter experiments.
+#[derive(Debug, Clone, Default)]
+pub struct FrequencyOracle<I> {
+    counts: FxHashMap<I, u64>,
+    n: u64,
+}
+
+impl<I: Eq + Hash + Clone> FrequencyOracle<I> {
+    /// Empty oracle.
+    pub fn new() -> Self {
+        FrequencyOracle {
+            counts: FxHashMap::default(),
+            n: 0,
+        }
+    }
+
+    /// Build from a stream.
+    pub fn from_stream<T: IntoIterator<Item = I>>(items: T) -> Self {
+        let mut o = Self::new();
+        for item in items {
+            o.insert(item);
+        }
+        o
+    }
+
+    /// Count one occurrence.
+    pub fn insert(&mut self, item: I) {
+        self.insert_weighted(item, 1);
+    }
+
+    /// Count `weight` occurrences.
+    pub fn insert_weighted(&mut self, item: I, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        *self.counts.entry(item).or_insert(0) += weight;
+        self.n += weight;
+    }
+
+    /// Exact multiplicity of `item` (0 if absent).
+    pub fn count(&self, item: &I) -> u64 {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Total multiset cardinality `n`.
+    pub fn total(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of distinct items.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Items with exact frequency `> εn` — the set a heavy-hitter summary
+    /// with parameter ε must report (possibly among false positives).
+    pub fn heavy_hitters(&self, epsilon: f64) -> Vec<(I, u64)> {
+        let threshold = (epsilon * self.n as f64).floor() as u64;
+        let mut out: Vec<(I, u64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c > threshold)
+            .map(|(i, &c)| (i.clone(), c))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+
+    /// The `k` most frequent items, ties broken arbitrarily but
+    /// deterministically by count only.
+    pub fn top_k(&self, k: usize) -> Vec<(I, u64)> {
+        let mut all: Vec<(I, u64)> = self.counts.iter().map(|(i, &c)| (i.clone(), c)).collect();
+        all.sort_by_key(|e| std::cmp::Reverse(e.1));
+        all.truncate(k);
+        all
+    }
+
+    /// Second frequency moment `F₂ = Σ count(i)²` — ground truth for AMS.
+    pub fn f2(&self) -> u128 {
+        self.counts
+            .values()
+            .map(|&c| (c as u128) * (c as u128))
+            .sum()
+    }
+
+    /// Iterate over `(item, exact count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&I, u64)> {
+        self.counts.iter().map(|(i, &c)| (i, c))
+    }
+
+    /// Merge exact oracles (exact counting is trivially mergeable — the
+    /// baseline against which summary sizes are judged).
+    pub fn merge(mut self, other: Self) -> Self {
+        for (item, c) in other.counts {
+            *self.counts.entry(item).or_insert(0) += c;
+        }
+        self.n += other.n;
+        self
+    }
+}
+
+/// Exact rank/quantile oracle over a totally ordered dataset.
+#[derive(Debug, Clone, Default)]
+pub struct RankOracle<T> {
+    sorted: Vec<T>,
+}
+
+impl<T: Ord + Clone> RankOracle<T> {
+    /// Build from any iterator (sorts a private copy).
+    pub fn from_stream<S: IntoIterator<Item = T>>(items: S) -> Self {
+        let mut sorted: Vec<T> = items.into_iter().collect();
+        sorted.sort_unstable();
+        RankOracle { sorted }
+    }
+
+    /// Dataset size `n`.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no data.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Lower rank: number of elements strictly less than `x`.
+    pub fn rank_lower(&self, x: &T) -> usize {
+        self.sorted.partition_point(|v| v < x)
+    }
+
+    /// Upper rank: number of elements less than or equal to `x`.
+    pub fn rank_upper(&self, x: &T) -> usize {
+        self.sorted.partition_point(|v| v <= x)
+    }
+
+    /// The smallest absolute difference between `estimate` and any exact
+    /// rank consistent with `x` (the standard scoring rule on multisets:
+    /// an estimate inside `[rank_lower, rank_upper]` has error 0).
+    pub fn rank_error(&self, x: &T, estimate: u64) -> u64 {
+        let lo = self.rank_lower(x) as u64;
+        let hi = self.rank_upper(x) as u64;
+        if estimate < lo {
+            lo - estimate
+        } else {
+            estimate.saturating_sub(hi)
+        }
+    }
+
+    /// Exact φ-quantile: the element of rank `⌈φ·n⌉` (clamped), φ ∈ [0,1].
+    pub fn quantile(&self, phi: f64) -> Option<&T> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let idx = ((phi * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(&self.sorted[idx])
+    }
+
+    /// The sorted data (for constructing query sets).
+    pub fn sorted(&self) -> &[T] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_counts_and_total() {
+        let o = FrequencyOracle::from_stream(vec![1, 2, 2, 3, 3, 3]);
+        assert_eq!(o.count(&1), 1);
+        assert_eq!(o.count(&2), 2);
+        assert_eq!(o.count(&3), 3);
+        assert_eq!(o.count(&9), 0);
+        assert_eq!(o.total(), 6);
+        assert_eq!(o.distinct(), 3);
+    }
+
+    #[test]
+    fn weighted_insert_zero_is_noop() {
+        let mut o = FrequencyOracle::new();
+        o.insert_weighted(5, 0);
+        assert_eq!(o.total(), 0);
+        assert_eq!(o.distinct(), 0);
+    }
+
+    #[test]
+    fn heavy_hitters_threshold_is_strict() {
+        // n = 10, eps = 0.2 → threshold 2, report counts > 2 only.
+        let o = FrequencyOracle::from_stream(vec![1, 1, 1, 2, 2, 3, 3, 3, 3, 4]);
+        let hh = o.heavy_hitters(0.2);
+        assert_eq!(hh, vec![(3, 4), (1, 3)]);
+    }
+
+    #[test]
+    fn top_k_orders_by_count() {
+        let o = FrequencyOracle::from_stream(vec![1, 2, 2, 3, 3, 3]);
+        let top = o.top_k(2);
+        assert_eq!(top, vec![(3, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn f2_moment() {
+        let o = FrequencyOracle::from_stream(vec![1, 1, 2]);
+        assert_eq!(o.f2(), 4 + 1);
+    }
+
+    #[test]
+    fn oracle_merge_adds_counts() {
+        let a = FrequencyOracle::from_stream(vec![1, 1, 2]);
+        let b = FrequencyOracle::from_stream(vec![2, 3]);
+        let m = a.merge(b);
+        assert_eq!(m.count(&1), 2);
+        assert_eq!(m.count(&2), 2);
+        assert_eq!(m.count(&3), 1);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn rank_lower_upper_on_duplicates() {
+        let o = RankOracle::from_stream(vec![10, 20, 20, 20, 30]);
+        assert_eq!(o.rank_lower(&20), 1);
+        assert_eq!(o.rank_upper(&20), 4);
+        assert_eq!(o.rank_lower(&5), 0);
+        assert_eq!(o.rank_upper(&35), 5);
+    }
+
+    #[test]
+    fn rank_error_zero_inside_band() {
+        let o = RankOracle::from_stream(vec![10, 20, 20, 20, 30]);
+        for est in 1..=4u64 {
+            assert_eq!(o.rank_error(&20, est), 0);
+        }
+        assert_eq!(o.rank_error(&20, 0), 1);
+        assert_eq!(o.rank_error(&20, 6), 2);
+    }
+
+    #[test]
+    fn quantiles_match_definition() {
+        let o = RankOracle::from_stream((1..=100).collect::<Vec<u32>>());
+        assert_eq!(o.quantile(0.0), Some(&1)); // ceil(0) clamped to rank 1
+        assert_eq!(o.quantile(0.5), Some(&50));
+        assert_eq!(o.quantile(1.0), Some(&100));
+        assert_eq!(o.quantile(0.505), Some(&51));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let o: RankOracle<u32> = RankOracle::from_stream(Vec::new());
+        assert_eq!(o.quantile(0.5), None);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        let o = RankOracle::from_stream(vec![7]);
+        assert_eq!(o.quantile(0.0), Some(&7));
+        assert_eq!(o.quantile(0.37), Some(&7));
+        assert_eq!(o.quantile(1.0), Some(&7));
+    }
+}

@@ -1,0 +1,248 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every randomized component in the workspace (randomized same-weight
+//! quantile merges, halving colorings, workload generators) draws from this
+//! generator so that experiments are reproducible bit-for-bit from an
+//! explicit seed. The generator is xoshiro256** seeded through splitmix64 —
+//! the standard, well-tested construction — implemented locally so the core
+//! crate stays dependency-free (the `rand` crate is used only by the
+//! workload crate, behind explicit seeds).
+
+/// splitmix64 step: used for seeding and as a cheap stateless mixer.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** generator with explicit seeding.
+///
+/// Summaries that need randomness own one of these, created from a caller
+/// seed; merging two summaries mixes both generators' states so a merged
+/// summary remains deterministic given the two input seeds.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Create a generator from a 64-bit seed (expanded via splitmix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method (unbiased).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    #[inline]
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Fair coin flip.
+    #[inline]
+    pub fn coin(&mut self) -> bool {
+        // Top bit of the raw output.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial that succeeds with probability `p` (clamped to [0,1]).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Derive an independent child generator (for splitting randomness
+    /// across sites or merge nodes).
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::new(self.next_u64())
+    }
+
+    /// Mix another generator's state into this one. Used when merging two
+    /// randomized summaries: the merged summary's future coin flips depend
+    /// deterministically on both inputs.
+    pub fn absorb(&mut self, other: &Rng64) {
+        let mut sm = other.s[0] ^ other.s[1] ^ other.s[2] ^ other.s[3];
+        for lane in &mut self.s {
+            *lane ^= splitmix64(&mut sm);
+        }
+        // Never allow the all-zero state (a xoshiro fixed point).
+        if self.s == [0, 0, 0, 0] {
+            *self = Rng64::new(0x5eed_5eed_5eed_5eed);
+        }
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below_usize(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng64::new(3);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_one_is_always_zero() {
+        let mut r = Rng64::new(4);
+        for _ in 0..50 {
+            assert_eq!(r.below(1), 0);
+        }
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut r = Rng64::new(5);
+        let heads = (0..10_000).filter(|_| r.coin()).count();
+        assert!((4600..5400).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::new(6);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = Rng64::new(7);
+        let mean: f64 = (0..10_000).map(|_| r.f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = Rng64::new(8);
+        let mut child = parent.fork();
+        // The child must not replay the parent's stream.
+        let p: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+
+    #[test]
+    fn absorb_is_deterministic_and_changes_stream() {
+        let mut a1 = Rng64::new(9);
+        let mut a2 = Rng64::new(9);
+        let b = Rng64::new(10);
+        a1.absorb(&b);
+        a2.absorb(&b);
+        assert_eq!(a1.next_u64(), a2.next_u64());
+
+        let mut plain = Rng64::new(9);
+        let mut absorbed = Rng64::new(9);
+        absorbed.absorb(&b);
+        assert_ne!(plain.next_u64(), absorbed.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng64::new(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = Rng64::new(12);
+        assert!(!(0..100).any(|_| r.bernoulli(0.0)));
+        assert!((0..100).all(|_| r.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng64::new(13);
+        let mut bins = [0u32; 10];
+        for _ in 0..100_000 {
+            bins[r.below(10) as usize] += 1;
+        }
+        for &b in &bins {
+            assert!((9_000..11_000).contains(&b), "bins = {bins:?}");
+        }
+    }
+}

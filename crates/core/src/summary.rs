@@ -1,0 +1,136 @@
+//! The mergeability contract.
+//!
+//! A summarization scheme `S(·, ε)` is *mergeable* (PODS'12, Definition 1)
+//! if there is an algorithm producing `S(D₁ ⊎ D₂, ε)` from `S(D₁, ε)` and
+//! `S(D₂, ε)` — keeping both the error parameter and the size bound — such
+//! that the guarantee survives *arbitrary* sequences of merges. These traits
+//! encode that contract; the drivers in [`crate::tree`] exercise it over
+//! every tree shape.
+
+use crate::error::Result;
+
+/// Common observable state of any summary.
+pub trait Summary {
+    /// Total weight `n = |D|` of the summarized multiset. Every summary in
+    /// the paper tracks this exactly (it is a single counter and merging
+    /// adds it), and several algorithms need it (isomorphism, hybrid
+    /// quantiles).
+    fn total_weight(&self) -> u64;
+
+    /// Number of stored entries — the space proxy used in the paper's size
+    /// bounds (counters, stored points, sketch cells).
+    fn size(&self) -> usize;
+
+    /// True if the summary has absorbed no data.
+    fn is_empty(&self) -> bool {
+        self.total_weight() == 0
+    }
+}
+
+/// A summary that can be built by streaming items one at a time.
+///
+/// Weighted updates are first-class: the heavy-hitter analysis of the paper
+/// carries through with integer weights, and merging internally reduces to
+/// weighted re-insertion in several places.
+pub trait ItemSummary<I>: Summary {
+    /// Insert one occurrence of `item`.
+    fn update(&mut self, item: I) {
+        self.update_weighted(item, 1);
+    }
+
+    /// Insert `weight` occurrences of `item`. A zero weight is a no-op.
+    fn update_weighted(&mut self, item: I, weight: u64);
+
+    /// Insert every item of an iterator.
+    fn extend_from<T: IntoIterator<Item = I>>(&mut self, items: T) {
+        for item in items {
+            self.update(item);
+        }
+    }
+}
+
+/// The merge operation itself.
+///
+/// Merging consumes both inputs: summaries are value types, and a merge that
+/// could partially mutate a summary and then fail would leave an undefined
+/// guarantee behind. Incompatible inputs (different ε, capacity, hash family
+/// or reference frame) produce a typed [`crate::MergeError`].
+pub trait Mergeable: Sized {
+    /// Merge two summaries of disjoint (or arbitrary) datasets into a
+    /// summary of their multiset union.
+    fn merge(self, other: Self) -> Result<Self>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal exact summary used to exercise the trait contracts.
+    #[derive(Debug, Clone, Default, PartialEq)]
+    struct ExactSum {
+        n: u64,
+        total: u64,
+    }
+
+    impl Summary for ExactSum {
+        fn total_weight(&self) -> u64 {
+            self.n
+        }
+        fn size(&self) -> usize {
+            2
+        }
+    }
+
+    impl ItemSummary<u64> for ExactSum {
+        fn update_weighted(&mut self, item: u64, weight: u64) {
+            self.n += weight;
+            self.total += item * weight;
+        }
+    }
+
+    impl Mergeable for ExactSum {
+        fn merge(self, other: Self) -> Result<Self> {
+            Ok(ExactSum {
+                n: self.n + other.n,
+                total: self.total + other.total,
+            })
+        }
+    }
+
+    #[test]
+    fn default_update_is_weight_one() {
+        let mut s = ExactSum::default();
+        s.update(10);
+        assert_eq!(s.total_weight(), 1);
+        assert_eq!(s.total, 10);
+    }
+
+    #[test]
+    fn extend_from_iterator() {
+        let mut s = ExactSum::default();
+        s.extend_from(1..=4u64);
+        assert_eq!(s.total_weight(), 4);
+        assert_eq!(s.total, 10);
+    }
+
+    #[test]
+    fn is_empty_tracks_weight() {
+        let mut s = ExactSum::default();
+        assert!(s.is_empty());
+        s.update_weighted(3, 0);
+        assert!(s.is_empty(), "zero-weight update must be a no-op");
+        s.update(3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_weights() {
+        let mut a = ExactSum::default();
+        let mut b = ExactSum::default();
+        a.extend_from([1, 2, 3]);
+        b.extend_from([4, 5]);
+        let m = a.merge(b).unwrap();
+        assert_eq!(m.total_weight(), 5);
+        assert_eq!(m.total, 15);
+    }
+}

@@ -1,0 +1,276 @@
+//! Merge-tree drivers.
+//!
+//! The defining property of a mergeable summary is that its guarantee holds
+//! under **every** merge order — a left-deep chain (streaming aggregation),
+//! a balanced binary tree (map-reduce combiners), a random pairing (gossip /
+//! work-stealing aggregation) or a shallow two-level star (scatter-gather).
+//! The experiments therefore never test a single order: they sweep the
+//! shapes below and assert the bound for each.
+
+use crate::error::Result;
+use crate::rng::Rng64;
+use crate::summary::Mergeable;
+
+/// Shape of the merge tree applied to a sequence of leaf summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeTree {
+    /// Left-deep chain: `((s₁ ⊕ s₂) ⊕ s₃) ⊕ …` — the worst case for
+    /// summaries whose error grows with merge count.
+    Chain,
+    /// Balanced binary tree: pair adjacent summaries level by level —
+    /// `log₂(sites)` merge depth.
+    Balanced,
+    /// Random binary tree: repeatedly merge two uniformly chosen summaries,
+    /// seeded for reproducibility.
+    Random {
+        /// Seed for the pairing order.
+        seed: u64,
+    },
+    /// Two-level star: split leaves into `fan` contiguous groups, chain
+    /// within each group, then chain the group results (models a
+    /// rack-then-cluster aggregation topology). `fan = 1` degenerates to
+    /// [`MergeTree::Chain`].
+    TwoLevel {
+        /// Number of first-level groups.
+        fan: usize,
+    },
+}
+
+impl MergeTree {
+    /// The four canonical shapes used throughout the experiments.
+    pub fn canonical() -> [MergeTree; 4] {
+        [
+            MergeTree::Chain,
+            MergeTree::Balanced,
+            MergeTree::Random { seed: 0xDEC0DE },
+            MergeTree::TwoLevel { fan: 8 },
+        ]
+    }
+
+    /// Short human-readable label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MergeTree::Chain => "chain",
+            MergeTree::Balanced => "balanced",
+            MergeTree::Random { .. } => "random",
+            MergeTree::TwoLevel { .. } => "two-level",
+        }
+    }
+}
+
+/// Merge a non-empty vector of summaries according to `shape`.
+///
+/// Returns the final summary, or the first [`crate::MergeError`] encountered
+/// (inputs are consumed either way — a failed merge sequence has no
+/// meaningful partial result).
+///
+/// # Panics
+///
+/// Panics if `leaves` is empty: an empty merge has no identity element in
+/// general (summaries carry parameters), so the caller must supply at least
+/// one summary.
+pub fn merge_all<S: Mergeable>(leaves: Vec<S>, shape: MergeTree) -> Result<S> {
+    assert!(
+        !leaves.is_empty(),
+        "merge_all requires at least one summary"
+    );
+    match shape {
+        MergeTree::Chain => merge_chain(leaves),
+        MergeTree::Balanced => merge_balanced(leaves),
+        MergeTree::Random { seed } => merge_random(leaves, seed),
+        MergeTree::TwoLevel { fan } => merge_two_level(leaves, fan),
+    }
+}
+
+fn merge_chain<S: Mergeable>(leaves: Vec<S>) -> Result<S> {
+    let mut iter = leaves.into_iter();
+    let mut acc = iter.next().expect("checked non-empty");
+    for next in iter {
+        acc = acc.merge(next)?;
+    }
+    Ok(acc)
+}
+
+fn merge_balanced<S: Mergeable>(mut level: Vec<S>) -> Result<S> {
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut iter = level.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(a.merge(b)?),
+                None => next.push(a), // odd leftover rides up a level
+            }
+        }
+        level = next;
+    }
+    Ok(level.pop().expect("checked non-empty"))
+}
+
+fn merge_random<S: Mergeable>(mut pool: Vec<S>, seed: u64) -> Result<S> {
+    let mut rng = Rng64::new(seed);
+    while pool.len() > 1 {
+        let i = rng.below_usize(pool.len());
+        let a = pool.swap_remove(i);
+        let j = rng.below_usize(pool.len());
+        let b = pool.swap_remove(j);
+        pool.push(a.merge(b)?);
+    }
+    Ok(pool.pop().expect("checked non-empty"))
+}
+
+fn merge_two_level<S: Mergeable>(leaves: Vec<S>, fan: usize) -> Result<S> {
+    let fan = fan.max(1);
+    let group_size = leaves.len().div_ceil(fan).max(1);
+    let mut groups: Vec<Vec<S>> = Vec::with_capacity(fan);
+    let mut current = Vec::with_capacity(group_size);
+    for s in leaves {
+        current.push(s);
+        if current.len() == group_size {
+            groups.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    let firsts: Result<Vec<S>> = groups.into_iter().map(merge_chain).collect();
+    merge_chain(firsts?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::MergeError;
+
+    /// Summary that records the exact merge expression, so tests can verify
+    /// the tree structure actually built, and counts leaves.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Trace {
+        expr: String,
+        leaves: usize,
+        depth: usize,
+    }
+
+    impl Trace {
+        fn leaf(name: &str) -> Self {
+            Trace {
+                expr: name.to_string(),
+                leaves: 1,
+                depth: 0,
+            }
+        }
+    }
+
+    impl Mergeable for Trace {
+        fn merge(self, other: Self) -> Result<Self> {
+            Ok(Trace {
+                expr: format!("({} {})", self.expr, other.expr),
+                leaves: self.leaves + other.leaves,
+                depth: 1 + self.depth.max(other.depth),
+            })
+        }
+    }
+
+    fn leaves(n: usize) -> Vec<Trace> {
+        (0..n).map(|i| Trace::leaf(&format!("s{i}"))).collect()
+    }
+
+    #[test]
+    fn single_leaf_is_identity_for_every_shape() {
+        for shape in MergeTree::canonical() {
+            let out = merge_all(leaves(1), shape).unwrap();
+            assert_eq!(out.expr, "s0");
+        }
+    }
+
+    #[test]
+    fn chain_builds_left_deep_tree() {
+        let out = merge_all(leaves(4), MergeTree::Chain).unwrap();
+        assert_eq!(out.expr, "(((s0 s1) s2) s3)");
+        assert_eq!(out.depth, 3);
+    }
+
+    #[test]
+    fn balanced_builds_logarithmic_depth() {
+        let out = merge_all(leaves(8), MergeTree::Balanced).unwrap();
+        assert_eq!(out.expr, "(((s0 s1) (s2 s3)) ((s4 s5) (s6 s7)))");
+        assert_eq!(out.depth, 3);
+    }
+
+    #[test]
+    fn balanced_handles_odd_counts() {
+        let out = merge_all(leaves(5), MergeTree::Balanced).unwrap();
+        assert_eq!(out.leaves, 5);
+        // 5 leaves: depth must be ceil(log2(5)) = 3.
+        assert_eq!(out.depth, 3);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_complete() {
+        let a = merge_all(leaves(16), MergeTree::Random { seed: 1 }).unwrap();
+        let b = merge_all(leaves(16), MergeTree::Random { seed: 1 }).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.leaves, 16);
+
+        let c = merge_all(leaves(16), MergeTree::Random { seed: 2 }).unwrap();
+        assert_eq!(c.leaves, 16);
+        // With 16 leaves two seeds virtually never build the same tree.
+        assert_ne!(a.expr, c.expr);
+    }
+
+    #[test]
+    fn two_level_groups_then_chains() {
+        let out = merge_all(leaves(6), MergeTree::TwoLevel { fan: 3 }).unwrap();
+        assert_eq!(out.expr, "(((s0 s1) (s2 s3)) (s4 s5))");
+        assert_eq!(out.leaves, 6);
+    }
+
+    #[test]
+    fn two_level_fan_one_equals_chain() {
+        let a = merge_all(leaves(5), MergeTree::TwoLevel { fan: 1 }).unwrap();
+        let b = merge_all(leaves(5), MergeTree::Chain).unwrap();
+        assert_eq!(a.expr, b.expr);
+    }
+
+    #[test]
+    fn two_level_fan_larger_than_leaves() {
+        let out = merge_all(leaves(3), MergeTree::TwoLevel { fan: 10 }).unwrap();
+        assert_eq!(out.leaves, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one summary")]
+    fn empty_input_panics() {
+        let _ = merge_all(Vec::<Trace>::new(), MergeTree::Chain);
+    }
+
+    /// A summary whose merge fails on a marked element.
+    #[derive(Debug)]
+    struct Poison(bool);
+
+    impl Mergeable for Poison {
+        fn merge(self, other: Self) -> Result<Self> {
+            if self.0 || other.0 {
+                Err(MergeError::Incompatible("poisoned"))
+            } else {
+                Ok(Poison(false))
+            }
+        }
+    }
+
+    #[test]
+    fn errors_propagate_from_any_level() {
+        for shape in MergeTree::canonical() {
+            let pool = vec![Poison(false), Poison(false), Poison(true), Poison(false)];
+            let err = merge_all(pool, shape).unwrap_err();
+            assert_eq!(err, MergeError::Incompatible("poisoned"));
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(MergeTree::Chain.label(), "chain");
+        assert_eq!(MergeTree::Balanced.label(), "balanced");
+        assert_eq!(MergeTree::Random { seed: 9 }.label(), "random");
+        assert_eq!(MergeTree::TwoLevel { fan: 2 }.label(), "two-level");
+    }
+}

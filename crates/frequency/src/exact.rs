@@ -1,0 +1,139 @@
+//! Exact counting — the trivially mergeable baseline.
+//!
+//! Keeps one counter per distinct item, so its size is unbounded: the point
+//! of the paper's `O(1/ε)` summaries is to avoid exactly this. Experiments
+//! use it to report the size a naive mergeable aggregation would need.
+
+use std::hash::Hash;
+
+use ms_core::{FxHashMap, ItemSummary, Mergeable, Result, Summary};
+
+/// Exact per-item counts. Implements the same traits as the bounded
+/// summaries so it can ride through the same merge trees.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[serde(bound(
+    serialize = "I: serde::Serialize",
+    deserialize = "I: serde::Deserialize<'de> + Eq + std::hash::Hash"
+))]
+pub struct ExactCounts<I> {
+    counts: FxHashMap<I, u64>,
+    n: u64,
+}
+
+impl<I: Eq + Hash + Clone> ExactCounts<I> {
+    /// Empty baseline.
+    pub fn new() -> Self {
+        ExactCounts {
+            counts: FxHashMap::default(),
+            n: 0,
+        }
+    }
+
+    /// Exact frequency of `item`.
+    pub fn estimate(&self, item: &I) -> u64 {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Items with frequency `> εn`, most frequent first.
+    pub fn heavy_hitters(&self, epsilon: f64) -> Vec<(I, u64)> {
+        let threshold = (epsilon * self.n as f64).floor() as u64;
+        let mut out: Vec<(I, u64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c > threshold)
+            .map(|(i, &c)| (i.clone(), c))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+}
+
+impl<I: Eq + Hash + Clone> Summary for ExactCounts<I> {
+    fn total_weight(&self) -> u64 {
+        self.n
+    }
+
+    fn size(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl<I: Eq + Hash + Clone> ItemSummary<I> for ExactCounts<I> {
+    fn update_weighted(&mut self, item: I, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        *self.counts.entry(item).or_insert(0) += weight;
+        self.n = self
+            .n
+            .checked_add(weight)
+            .expect("total weight overflows u64");
+    }
+}
+
+impl<I: Eq + Hash + Clone> Mergeable for ExactCounts<I> {
+    fn merge(mut self, other: Self) -> Result<Self> {
+        for (item, c) in other.counts {
+            *self.counts.entry(item).or_insert(0) += c;
+        }
+        self.n += other.n;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::{merge_all, MergeTree};
+
+    #[test]
+    fn counts_exactly() {
+        let mut e = ExactCounts::new();
+        e.extend_from([1u64, 1, 2, 3, 3, 3]);
+        assert_eq!(e.estimate(&1), 2);
+        assert_eq!(e.estimate(&3), 3);
+        assert_eq!(e.estimate(&9), 0);
+        assert_eq!(e.total_weight(), 6);
+        assert_eq!(e.size(), 3);
+    }
+
+    #[test]
+    fn merge_is_exact_under_any_tree() {
+        let items: Vec<u64> = (0..1000).map(|i| i * i % 101).collect();
+        for shape in MergeTree::canonical() {
+            let leaves: Vec<ExactCounts<u64>> = items
+                .chunks(100)
+                .map(|chunk| {
+                    let mut e = ExactCounts::new();
+                    e.extend_from(chunk.iter().copied());
+                    e
+                })
+                .collect();
+            let merged = merge_all(leaves, shape).unwrap();
+            let reference = {
+                let mut e = ExactCounts::new();
+                e.extend_from(items.iter().copied());
+                e
+            };
+            assert_eq!(merged.total_weight(), reference.total_weight());
+            for item in 0..101u64 {
+                assert_eq!(merged.estimate(&item), reference.estimate(&item));
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_sorted_descending() {
+        let mut e = ExactCounts::new();
+        e.extend_from([1u64, 1, 1, 2, 2, 3]);
+        let hh = e.heavy_hitters(0.25);
+        assert_eq!(hh, vec![(1, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn size_grows_with_distinct_items() {
+        let mut e = ExactCounts::new();
+        e.extend_from(0..10_000u64);
+        assert_eq!(e.size(), 10_000);
+    }
+}

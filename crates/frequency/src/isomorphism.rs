@@ -1,0 +1,216 @@
+//! The MG ⇄ SpaceSaving isomorphism (§3, Lemma 1 of the paper).
+//!
+//! After processing the same stream of total weight `n`:
+//!
+//! * the Misra-Gries summary with `k` counters stores weight `n̂`, and
+//! * the SpaceSaving summary with `k+1` counters stores total weight
+//!   exactly `n`,
+//!
+//! and the two are **isomorphic**: every SpaceSaving counter equals the
+//! corresponding MG counter plus `δ = (n − n̂)/(k+1)`, with one extra
+//! SpaceSaving counter holding exactly `δ` (the last-evicted slot). The
+//! quantity `δ` is an integer on pure streams because each MG decrement
+//! round discards exactly `k+1` units of weight.
+//!
+//! This module provides the conversion both ways and a checker used by the
+//! E2 experiment. Conversions compare counter **values** (as multisets):
+//! with tied counters the two algorithms may monitor different items, but
+//! the value structure — and therefore every error bound — is identical.
+
+use std::hash::Hash;
+
+use ms_core::Summary;
+
+use crate::mg::MgSummary;
+use crate::space_saving::SpaceSavingSummary;
+
+/// The per-counter offset `δ = (n − n̂)/(k+1)` relating an MG summary with
+/// `k` counters to the SpaceSaving summary with `k+1` counters over the same
+/// stream. Returns `None` when `n − n̂` is not divisible by `k+1` (which
+/// cannot happen on a pure stream, but can after merges).
+pub fn mg_offset<I: Eq + Hash + Clone>(mg: &MgSummary<I>) -> Option<u64> {
+    let deficit = mg.error_numerator();
+    let k1 = mg.capacity() as u64 + 1;
+    deficit.is_multiple_of(k1).then(|| deficit / k1)
+}
+
+/// Descending multiset of counter values of an MG summary, shifted by `δ`
+/// and padded with the phantom `δ` counter — the value profile the
+/// isomorphic SpaceSaving summary must exhibit.
+pub fn ss_profile_from_mg<I: Eq + Hash + Clone>(mg: &MgSummary<I>) -> Option<Vec<u64>> {
+    let delta = mg_offset(mg)?;
+    let mut values: Vec<u64> = mg.iter().map(|(_, c)| c + delta).collect();
+    if delta > 0 {
+        // δ > 0 means decrements happened, which requires more than k
+        // distinct items: the SS summary is saturated with k+1 counters,
+        // the extra one(s) sitting at exactly δ. (With δ = 0 nothing was
+        // ever discarded, so SS holds exactly the MG counters — even when
+        // MG is at capacity.)
+        while values.len() < mg.capacity() + 1 {
+            values.push(delta);
+        }
+    }
+    values.sort_unstable_by(|a, b| b.cmp(a));
+    Some(values)
+}
+
+/// Descending multiset of counter values of a SpaceSaving summary.
+pub fn ss_profile<I: Eq + Hash + Clone>(ss: &SpaceSavingSummary<I>) -> Vec<u64> {
+    let mut values: Vec<u64> = ss.iter().map(|(_, c)| c).collect();
+    values.sort_unstable_by(|a, b| b.cmp(a));
+    values
+}
+
+/// Verify Lemma 1 on a concrete pair of summaries built from the same
+/// stream: MG with `k` counters vs SpaceSaving with `k+1` counters.
+///
+/// Returns `Ok(δ)` when the value profiles correspond, or a description of
+/// the first discrepancy.
+pub fn check_isomorphism<I: Eq + Hash + Clone>(
+    mg: &MgSummary<I>,
+    ss: &SpaceSavingSummary<I>,
+) -> Result<u64, String> {
+    if ss.capacity() != mg.capacity() + 1 {
+        return Err(format!(
+            "capacity mismatch: SS has {} counters, expected {}",
+            ss.capacity(),
+            mg.capacity() + 1
+        ));
+    }
+    if ss.total_weight() != mg.total_weight() {
+        return Err(format!(
+            "weight mismatch: SS saw {}, MG saw {}",
+            ss.total_weight(),
+            mg.total_weight()
+        ));
+    }
+    let delta = mg_offset(mg).ok_or_else(|| {
+        format!(
+            "MG deficit {} not divisible by k+1 = {}",
+            mg.error_numerator(),
+            mg.capacity() + 1
+        )
+    })?;
+    let expected = ss_profile_from_mg(mg).expect("offset already validated");
+    let actual = ss_profile(ss);
+    if expected == actual {
+        Ok(delta)
+    } else {
+        Err(format!(
+            "profiles differ: expected {expected:?}, got {actual:?} (δ = {delta})"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::ItemSummary;
+    use ms_workloads::StreamKind;
+
+    fn build_pair(items: &[u64], k_mg: usize) -> (MgSummary<u64>, SpaceSavingSummary<u64>) {
+        let mut mg = MgSummary::new(k_mg);
+        let mut ss = SpaceSavingSummary::new(k_mg + 1);
+        for &item in items {
+            mg.update(item);
+            ss.update(item);
+        }
+        (mg, ss)
+    }
+
+    #[test]
+    fn identity_on_unsaturated_stream() {
+        let items = vec![1u64, 2, 2, 3];
+        let (mg, ss) = build_pair(&items, 8);
+        let delta = check_isomorphism(&mg, &ss).unwrap();
+        assert_eq!(delta, 0);
+    }
+
+    #[test]
+    fn lemma_holds_on_uniform_stream() {
+        let items = StreamKind::Uniform { universe: 200 }.generate(10_000, 1);
+        for k in [4usize, 9, 16, 33] {
+            let (mg, ss) = build_pair(&items, k);
+            let delta = check_isomorphism(&mg, &ss).unwrap_or_else(|e| panic!("k = {k}: {e}"));
+            // δ must equal MG's exact error term.
+            assert_eq!(delta, mg.error_numerator() / (k as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn lemma_holds_on_zipf_stream() {
+        let items = StreamKind::Zipf {
+            s: 1.3,
+            universe: 1000,
+        }
+        .generate(20_000, 2);
+        for k in [5usize, 10, 50] {
+            let (mg, ss) = build_pair(&items, k);
+            check_isomorphism(&mg, &ss).unwrap_or_else(|e| panic!("k = {k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn lemma_holds_on_all_distinct_stream() {
+        let items = StreamKind::AllDistinct.generate(5000, 0);
+        let (mg, ss) = build_pair(&items, 7);
+        let delta = check_isomorphism(&mg, &ss).unwrap();
+        assert!(delta > 0, "distinct stream must force evictions");
+    }
+
+    #[test]
+    fn capacity_mismatch_is_reported() {
+        let items = vec![1u64, 2, 3];
+        let mut mg = MgSummary::new(4);
+        let mut ss = SpaceSavingSummary::new(4); // should be 5
+        for &i in &items {
+            mg.update(i);
+            ss.update(i);
+        }
+        let err = check_isomorphism(&mg, &ss).unwrap_err();
+        assert!(err.contains("capacity"), "{err}");
+    }
+
+    #[test]
+    fn weight_mismatch_is_reported() {
+        let mut mg = MgSummary::new(4);
+        let mut ss = SpaceSavingSummary::new(5);
+        mg.update(1u64);
+        mg.update(2);
+        ss.update(1u64);
+        let err = check_isomorphism(&mg, &ss).unwrap_err();
+        assert!(err.contains("weight"), "{err}");
+    }
+
+    #[test]
+    fn into_mg_agrees_with_native_mg_profile() {
+        // SS(k+1).into_mg() produces an MG(k)-equivalent whose counter
+        // values match the natively built MG(k) on the same stream.
+        let items = StreamKind::Zipf {
+            s: 1.1,
+            universe: 300,
+        }
+        .generate(8000, 5);
+        let (mg, ss) = build_pair(&items, 9);
+        let converted = ss.into_mg();
+        let mut native: Vec<u64> = mg.iter().map(|(_, c)| c).collect();
+        let mut conv: Vec<u64> = converted.iter().map(|(_, c)| c).collect();
+        native.sort_unstable();
+        conv.sort_unstable();
+        assert_eq!(native, conv);
+        assert_eq!(converted.total_weight(), mg.total_weight());
+    }
+
+    #[test]
+    fn offset_is_integer_on_streams() {
+        let items = StreamKind::HotSet {
+            hot: 10,
+            hot_fraction: 0.6,
+            universe: 10_000,
+        }
+        .generate(15_000, 8);
+        let mut mg = MgSummary::new(12);
+        mg.extend_from(items);
+        assert!(mg_offset(&mg).is_some());
+    }
+}

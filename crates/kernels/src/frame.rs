@@ -1,0 +1,104 @@
+//! The shared reference frame of the restricted mergeability model.
+//!
+//! The ε-kernel guarantee needs the point set to be *fat* (its width
+//! similar in every direction) after normalization. In the restricted
+//! model every site normalizes with the **same** affine frame, agreed
+//! up-front — from domain knowledge or a cheap first pass. Sites that
+//! normalize differently cannot merge, which the summaries enforce with a
+//! typed error.
+
+use ms_core::{Point2, Rect};
+
+/// An axis-aligned affine normalization `p ↦ ((p.x−x₀)/sx, (p.y−y₀)/sy)`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Frame {
+    /// Origin x.
+    pub x0: f64,
+    /// Origin y.
+    pub y0: f64,
+    /// Scale along x (must be positive).
+    pub sx: f64,
+    /// Scale along y (must be positive).
+    pub sy: f64,
+}
+
+impl Frame {
+    /// The identity frame (no normalization).
+    pub fn identity() -> Self {
+        Frame {
+            x0: 0.0,
+            y0: 0.0,
+            sx: 1.0,
+            sy: 1.0,
+        }
+    }
+
+    /// Frame normalizing the bounding box of `points` to the unit square —
+    /// the cheap "first scan" frame of the restricted model. Returns the
+    /// identity frame for degenerate inputs (empty, or zero extent on an
+    /// axis).
+    pub fn from_points(points: &[Point2]) -> Self {
+        let Some(b) = Rect::bounding(points) else {
+            return Self::identity();
+        };
+        let sx = b.x_hi - b.x_lo;
+        let sy = b.y_hi - b.y_lo;
+        if sx <= 0.0 || sy <= 0.0 {
+            return Self::identity();
+        }
+        Frame {
+            x0: b.x_lo,
+            y0: b.y_lo,
+            sx,
+            sy,
+        }
+    }
+
+    /// Normalize a point into frame coordinates.
+    #[inline]
+    pub fn normalize(&self, p: &Point2) -> Point2 {
+        Point2::new((p.x - self.x0) / self.sx, (p.y - self.y0) / self.sy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_a_noop() {
+        let f = Frame::identity();
+        let p = Point2::new(3.5, -2.0);
+        assert_eq!(f.normalize(&p), p);
+    }
+
+    #[test]
+    fn from_points_maps_bounding_box_to_unit_square() {
+        let pts = vec![
+            Point2::new(10.0, -5.0),
+            Point2::new(20.0, 5.0),
+            Point2::new(15.0, 0.0),
+        ];
+        let f = Frame::from_points(&pts);
+        assert_eq!(f.normalize(&pts[0]), Point2::new(0.0, 0.0));
+        assert_eq!(f.normalize(&pts[1]), Point2::new(1.0, 1.0));
+        assert_eq!(f.normalize(&pts[2]), Point2::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_identity() {
+        assert_eq!(Frame::from_points(&[]), Frame::identity());
+        // Zero vertical extent.
+        let flat = vec![Point2::new(0.0, 1.0), Point2::new(5.0, 1.0)];
+        assert_eq!(Frame::from_points(&flat), Frame::identity());
+    }
+
+    #[test]
+    fn frames_compare_by_value() {
+        let a = Frame::from_points(&[Point2::new(0.0, 0.0), Point2::new(1.0, 2.0)]);
+        let b = Frame::from_points(&[Point2::new(0.0, 0.0), Point2::new(1.0, 2.0)]);
+        let c = Frame::from_points(&[Point2::new(0.0, 0.0), Point2::new(2.0, 2.0)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

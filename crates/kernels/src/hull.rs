@@ -1,0 +1,139 @@
+//! Convex hull of kernel points — the standard post-processing step for
+//! extent queries (an ε-kernel's hull approximates the hull of the whole
+//! input within ε in every direction).
+
+use ms_core::Point2;
+
+/// Convex hull by Andrew's monotone chain, counter-clockwise, without
+//  collinear points. Returns fewer than 3 points for degenerate inputs.
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("no NaN coordinates")
+            .then(a.y.partial_cmp(&b.y).expect("no NaN coordinates"))
+    });
+    pts.dedup();
+    if pts.len() < 3 {
+        return pts;
+    }
+
+    let cross = |o: &Point2, a: &Point2, b: &Point2| -> f64 {
+        (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+    };
+
+    let mut lower: Vec<Point2> = Vec::with_capacity(pts.len());
+    for p in &pts {
+        while lower.len() >= 2 && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(*p);
+    }
+    let mut upper: Vec<Point2> = Vec::with_capacity(pts.len());
+    for p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(*p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    lower
+}
+
+/// Area of a convex polygon given in order (shoelace formula); 0 for fewer
+/// than 3 vertices.
+pub fn polygon_area(hull: &[Point2]) -> f64 {
+    if hull.len() < 3 {
+        return 0.0;
+    }
+    let mut twice_area = 0.0;
+    for i in 0..hull.len() {
+        let a = &hull[i];
+        let b = &hull[(i + 1) % hull.len()];
+        twice_area += a.x * b.y - b.x * a.y;
+    }
+    twice_area.abs() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.5, 0.5),
+            Point2::new(0.25, 0.75),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!((polygon_area(&hull) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hull_drops_collinear_points() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(1.0, 1.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point2::new(1.0, 2.0)]).len(), 1);
+        let two = convex_hull(&[Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]);
+        assert_eq!(two.len(), 2);
+        assert_eq!(polygon_area(&two), 0.0);
+        // All-collinear set reduces to its two extremes.
+        let line: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64, 0.0)).collect();
+        assert_eq!(convex_hull(&line).len(), 2);
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        ];
+        assert_eq!(convex_hull(&pts).len(), 3);
+    }
+
+    #[test]
+    fn hull_of_random_cloud_contains_extremes() {
+        use ms_core::Rng64;
+        let mut rng = Rng64::new(5);
+        let pts: Vec<Point2> = (0..500)
+            .map(|_| Point2::new(rng.f64() * 4.0 - 2.0, rng.f64() * 4.0 - 2.0))
+            .collect();
+        let hull = convex_hull(&pts);
+        // Every input's x must be within the hull's x-extent.
+        let hx_min = hull.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+        let hx_max = hull.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+        for p in &pts {
+            assert!(p.x >= hx_min && p.x <= hx_max);
+        }
+        // Hull is convex: all cross products around the boundary share a sign.
+        for i in 0..hull.len() {
+            let o = &hull[i];
+            let a = &hull[(i + 1) % hull.len()];
+            let b = &hull[(i + 2) % hull.len()];
+            let cr = (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+            assert!(cr > 0.0, "non-convex turn at {i}");
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! The ε-kernel summary.
+//!
+//! In the shared [`Frame`], the summary keeps one extreme *original* point
+//! per grid direction. The grid has `t = Θ(1/√ε)` directions: for a fat
+//! (frame-normalized) set, the support function is smooth enough that the
+//! extreme point of the nearest grid direction is within `ε·width` of the
+//! true extreme in any query direction — the classic Agarwal-Har-Peled
+//! argument, validated empirically by experiment E8.
+//!
+//! Merging keeps, per direction, whichever input's stored point is more
+//! extreme; this is exactly the kernel of the union, so the merge commits
+//! **zero additional error** no matter the merge tree — but only because
+//! both inputs share the frame and grid (the restricted model; violations
+//! return typed errors).
+
+use ms_core::{directional_width, unit_dir, MergeError, Mergeable, Point2, Result, Summary};
+
+use crate::frame::Frame;
+
+/// Restricted-mergeable ε-kernel for directional width in the plane.
+///
+/// ```
+/// use ms_core::{Mergeable, Point2};
+/// use ms_kernels::{EpsKernel, Frame};
+///
+/// // The restricted model: both sites share one reference frame.
+/// let frame = Frame::identity();
+/// let mut a = EpsKernel::new(0.1, frame);
+/// let mut b = EpsKernel::new(0.1, frame);
+/// a.insert(Point2::new(0.0, 0.0));
+/// a.insert(Point2::new(1.0, 0.0));
+/// b.insert(Point2::new(0.5, 1.0));
+///
+/// let merged = a.merge(b).unwrap();
+/// let width_x = merged.width((1.0, 0.0));
+/// assert!((width_x - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EpsKernel {
+    epsilon: f64,
+    frame: Frame,
+    /// Unit directions of the grid (normalized space), length `t`.
+    directions: Vec<(f64, f64)>,
+    /// Per direction: the best dot product seen (normalized space) and the
+    /// original-space point achieving it.
+    extremes: Vec<Option<(f64, Point2)>>,
+    n: u64,
+}
+
+impl EpsKernel {
+    /// Create a kernel summary for error target `ε`, normalizing with
+    /// `frame`. The direction grid has `t = max(8, ⌈2π/√(ε/2)⌉)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn new(epsilon: f64, frame: Frame) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        let t = ((std::f64::consts::TAU / (epsilon / 2.0).sqrt()).ceil() as usize).max(8);
+        let directions = (0..t)
+            .map(|i| unit_dir(std::f64::consts::TAU * i as f64 / t as f64))
+            .collect::<Vec<_>>();
+        EpsKernel {
+            epsilon,
+            frame,
+            extremes: vec![None; t],
+            directions,
+            n: 0,
+        }
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The shared frame.
+    pub fn frame(&self) -> Frame {
+        self.frame
+    }
+
+    /// Number of grid directions `t`.
+    pub fn grid_size(&self) -> usize {
+        self.directions.len()
+    }
+
+    /// Insert a point.
+    pub fn insert(&mut self, p: Point2) {
+        self.n += 1;
+        let q = self.frame.normalize(&p);
+        for (slot, dir) in self.extremes.iter_mut().zip(self.directions.iter()) {
+            let d = q.dot(*dir);
+            match slot {
+                Some((best, _)) if *best >= d => {}
+                _ => *slot = Some((d, p)),
+            }
+        }
+    }
+
+    /// Insert many points.
+    pub fn extend_from<T: IntoIterator<Item = Point2>>(&mut self, points: T) {
+        for p in points {
+            self.insert(p);
+        }
+    }
+
+    /// The kernel: stored extreme points (original space), deduplicated.
+    pub fn points(&self) -> Vec<Point2> {
+        let mut out: Vec<Point2> = Vec::with_capacity(self.extremes.len());
+        for slot in self.extremes.iter().flatten() {
+            let p = slot.1;
+            if !out.iter().any(|q| q == &p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Directional width of the kernel along `dir` (original space) — a
+    /// `(1 − ε)`-approximation, from below, of the input's width.
+    pub fn width(&self, dir: (f64, f64)) -> f64 {
+        directional_width(&self.points(), dir)
+    }
+
+    /// Axis-aligned bounding box of the kernel points — within ε·extent
+    /// of the input's bounding box on each side. `None` if empty.
+    pub fn bounding_box(&self) -> Option<ms_core::Rect> {
+        ms_core::Rect::bounding(&self.points())
+    }
+
+    /// Convex hull of the kernel points (counter-clockwise) — an
+    /// ε-approximation of the input's convex hull for extent purposes.
+    pub fn hull(&self) -> Vec<Point2> {
+        crate::hull::convex_hull(&self.points())
+    }
+
+    /// Area of the kernel's convex hull — a lower bound on the input
+    /// hull's area, within the width guarantee in every direction.
+    pub fn hull_area(&self) -> f64 {
+        crate::hull::polygon_area(&self.hull())
+    }
+
+    /// Approximate diameter: the largest pairwise distance among kernel
+    /// points (`O(t²)`, with t = O(1/√ε) points).
+    pub fn diameter(&self) -> f64 {
+        let pts = self.points();
+        let mut best = 0.0f64;
+        for (i, p) in pts.iter().enumerate() {
+            for q in &pts[i + 1..] {
+                best = best.max(p.distance(q));
+            }
+        }
+        best
+    }
+}
+
+impl Summary for EpsKernel {
+    fn total_weight(&self) -> u64 {
+        self.n
+    }
+
+    fn size(&self) -> usize {
+        self.extremes.iter().flatten().count()
+    }
+}
+
+impl Mergeable for EpsKernel {
+    fn merge(mut self, other: Self) -> Result<Self> {
+        if self.frame != other.frame {
+            return Err(MergeError::FrameMismatch);
+        }
+        if self.directions.len() != other.directions.len()
+            || (self.epsilon - other.epsilon).abs() > f64::EPSILON
+        {
+            return Err(MergeError::EpsilonMismatch {
+                left: self.epsilon,
+                right: other.epsilon,
+            });
+        }
+        for (mine, theirs) in self.extremes.iter_mut().zip(other.extremes) {
+            match (&mine, theirs) {
+                (_, None) => {}
+                (None, theirs @ Some(_)) => *mine = theirs,
+                (Some((a, _)), Some((b, p))) => {
+                    if b > *a {
+                        *mine = Some((b, p));
+                    }
+                }
+            }
+        }
+        self.n += other.n;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::{merge_all, MergeTree};
+    use ms_workloads::CloudKind;
+
+    /// Max relative width error over a dense direction sweep.
+    fn max_width_error(kernel: &EpsKernel, points: &[Point2], probes: usize) -> f64 {
+        (0..probes)
+            .map(|i| {
+                let dir = unit_dir(std::f64::consts::TAU * i as f64 / probes as f64);
+                let truth = directional_width(points, dir);
+                let approx = kernel.width(dir);
+                assert!(
+                    approx <= truth + 1e-9,
+                    "kernel width exceeds true width: {approx} > {truth}"
+                );
+                if truth == 0.0 {
+                    0.0
+                } else {
+                    (truth - approx) / truth
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn build(points: &[Point2], eps: f64) -> EpsKernel {
+        let mut k = EpsKernel::new(eps, Frame::from_points(points));
+        k.extend_from(points.iter().copied());
+        k
+    }
+
+    #[test]
+    fn kernel_size_is_bounded_by_grid() {
+        let pts = CloudKind::Disk.generate(10_000, 1);
+        let k = build(&pts, 0.05);
+        assert!(k.size() <= k.grid_size());
+        assert!(k.points().len() <= k.grid_size());
+    }
+
+    #[test]
+    fn width_error_within_epsilon_on_clouds() {
+        let eps = 0.05;
+        for cloud in CloudKind::canonical() {
+            let pts = cloud.generate(20_000, 2);
+            let k = build(&pts, eps);
+            let err = max_width_error(&k, &pts, 720);
+            assert!(err <= eps, "{}: width error {err}", cloud.label());
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_under_any_tree() {
+        let eps = 0.05;
+        let pts = CloudKind::Ring.generate(8_192, 3);
+        let frame = Frame::from_points(&pts);
+        let whole = {
+            let mut k = EpsKernel::new(eps, frame);
+            k.extend_from(pts.iter().copied());
+            k
+        };
+        for shape in MergeTree::canonical() {
+            let leaves: Vec<EpsKernel> = pts
+                .chunks(512)
+                .map(|c| {
+                    let mut k = EpsKernel::new(eps, frame);
+                    k.extend_from(c.iter().copied());
+                    k
+                })
+                .collect();
+            let merged = merge_all(leaves, shape).unwrap();
+            // Per-direction max of maxes: identical to the single-pass
+            // kernel, bit for bit.
+            for i in 0..720 {
+                let dir = unit_dir(std::f64::consts::TAU * i as f64 / 720.0);
+                assert_eq!(merged.width(dir), whole.width(dir), "{}", shape.label());
+            }
+            assert_eq!(merged.total_weight(), pts.len() as u64);
+        }
+    }
+
+    #[test]
+    fn frame_mismatch_is_rejected() {
+        let a = EpsKernel::new(0.1, Frame::identity());
+        let b = EpsKernel::new(
+            0.1,
+            Frame {
+                x0: 1.0,
+                y0: 0.0,
+                sx: 1.0,
+                sy: 1.0,
+            },
+        );
+        assert!(matches!(a.merge(b), Err(MergeError::FrameMismatch)));
+    }
+
+    #[test]
+    fn epsilon_mismatch_is_rejected() {
+        let a = EpsKernel::new(0.1, Frame::identity());
+        let b = EpsKernel::new(0.2, Frame::identity());
+        assert!(matches!(
+            a.merge(b),
+            Err(MergeError::EpsilonMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_frame_handles_anisotropy_identity_frame_does_not() {
+        // The restricted model's point: a thin ellipse is handled when the
+        // frame normalizes it, and degrades under the identity frame.
+        let eps = 0.05;
+        let pts = CloudKind::Ellipse { aspect: 50.0 }.generate(20_000, 4);
+        let with_frame = build(&pts, eps);
+        let err_framed = max_width_error(&with_frame, &pts, 720);
+        assert!(err_framed <= eps, "framed error {err_framed}");
+
+        let mut bare = EpsKernel::new(eps, Frame::identity());
+        bare.extend_from(pts.iter().copied());
+        let err_bare = max_width_error(&bare, &pts, 720);
+        assert!(
+            err_bare > err_framed,
+            "identity frame {err_bare} should be worse than shared frame {err_framed}"
+        );
+    }
+
+    #[test]
+    fn diameter_approximation() {
+        let pts = CloudKind::Ring.generate(10_000, 5);
+        let k = build(&pts, 0.02);
+        // True diameter of the unit circle cloud ≈ 2.
+        let d = k.diameter();
+        assert!((1.9..=2.0001).contains(&d), "diameter {d}");
+    }
+
+    #[test]
+    fn bounding_box_matches_input_within_epsilon() {
+        let pts = CloudKind::Disk.generate(20_000, 9);
+        let k = build(&pts, 0.02);
+        let kb = k.bounding_box().unwrap();
+        let fb = ms_core::Rect::bounding(&pts).unwrap();
+        for (a, b) in [
+            (kb.x_lo, fb.x_lo),
+            (kb.x_hi, fb.x_hi),
+            (kb.y_lo, fb.y_lo),
+            (kb.y_hi, fb.y_hi),
+        ] {
+            assert!((a - b).abs() <= 0.02 * 2.0, "side {a} vs {b}");
+        }
+        assert!(EpsKernel::new(0.1, Frame::identity()).bounding_box().is_none());
+    }
+
+    #[test]
+    fn hull_area_approximates_input_hull_area() {
+        // Disk cloud: hull area → π for the unit disk; the kernel's hull
+        // must come within a few percent at eps = 0.01.
+        let pts = CloudKind::Disk.generate(50_000, 7);
+        let k = build(&pts, 0.01);
+        let area = k.hull_area();
+        assert!(
+            (2.95..=std::f64::consts::PI + 1e-6).contains(&area),
+            "hull area {area}"
+        );
+        // Hull is a subset of the input's hull, so never larger.
+        let full_area = crate::hull::polygon_area(&crate::hull::convex_hull(&pts));
+        assert!(area <= full_area + 1e-9);
+    }
+
+    #[test]
+    fn empty_kernel() {
+        let k = EpsKernel::new(0.1, Frame::identity());
+        assert_eq!(k.size(), 0);
+        assert_eq!(k.width((1.0, 0.0)), 0.0);
+        assert_eq!(k.diameter(), 0.0);
+        assert!(k.is_empty());
+    }
+
+    #[test]
+    fn degenerate_point_sets() {
+        // All points identical: every width is 0, diameter 0.
+        let mut k = EpsKernel::new(0.1, Frame::identity());
+        for _ in 0..100 {
+            k.insert(Point2::new(3.0, 4.0));
+        }
+        assert_eq!(k.width((1.0, 0.0)), 0.0);
+        assert_eq!(k.diameter(), 0.0);
+        assert_eq!(k.points().len(), 1);
+
+        // Collinear points: width 0 along the perpendicular only.
+        let mut k = EpsKernel::new(0.05, Frame::identity());
+        for i in 0..100 {
+            k.insert(Point2::new(i as f64, 0.0));
+        }
+        assert_eq!(k.width((0.0, 1.0)), 0.0);
+        assert!((k.width((1.0, 0.0)) - 99.0).abs() < 1e-9);
+        assert!((k.diameter() - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_empty_kernels_is_fine() {
+        let frame = Frame::identity();
+        let mut a = EpsKernel::new(0.1, frame);
+        a.insert(Point2::new(1.0, 2.0));
+        let b = EpsKernel::new(0.1, frame);
+        let m = a.merge(b).unwrap();
+        assert_eq!(m.total_weight(), 1);
+        assert_eq!(m.points().len(), 1);
+        let e1 = EpsKernel::new(0.1, frame);
+        let e2 = EpsKernel::new(0.1, frame);
+        assert!(e1.merge(e2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn grid_scales_with_inverse_sqrt_epsilon() {
+        let coarse = EpsKernel::new(0.1, Frame::identity()).grid_size();
+        let fine = EpsKernel::new(0.001, Frame::identity()).grid_size();
+        let ratio = fine as f64 / coarse as f64;
+        // 1/√ε grows by 10× for a 100× smaller ε.
+        assert!((8.0..13.0).contains(&ratio), "ratio {ratio}");
+    }
+}

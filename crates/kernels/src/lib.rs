@@ -1,0 +1,36 @@
+//! Restricted-mergeable ε-kernels for directional width (PODS'12, §6).
+//!
+//! An **ε-kernel** of a point set `P` is a subset `Q ⊆ P` such that for
+//! every direction `u`
+//!
+//! ```text
+//! width(Q, u)  ≥  (1 − ε) · width(P, u) ,
+//! ```
+//!
+//! where `width(S, u) = max_{p∈S}⟨p,u⟩ − min_{p∈S}⟨p,u⟩`. Kernels are the
+//! universal summary for extent problems (diameter, minimum enclosing
+//! annulus/box, …).
+//!
+//! The paper shows ε-kernels are **not** mergeable in general — the
+//! normalization that makes a point set *fat* depends on the data, and two
+//! summaries normalized differently cannot be reconciled — but they *are*
+//! mergeable in a **restricted model**: fix a common reference frame (an
+//! affine normalization known up-front, e.g. from the data domain or a
+//! first scan) and a common direction grid. Then a kernel is simply the
+//! per-direction extreme point, and merging takes the more extreme point
+//! per direction — associative, commutative, idempotent, with no error
+//! accumulation at all beyond the one-shot grid discretization.
+//!
+//! * [`Frame`] — the shared affine normalization (the restricted model's
+//!   up-front agreement); merging summaries with different frames returns
+//!   [`ms_core::MergeError::FrameMismatch`].
+//! * [`EpsKernel`] — the kernel summary: `O(1/√ε)` grid directions, one
+//!   stored extreme point each.
+
+pub mod frame;
+pub mod hull;
+pub mod kernel;
+
+pub use frame::Frame;
+pub use hull::{convex_hull, polygon_area};
+pub use kernel::EpsKernel;

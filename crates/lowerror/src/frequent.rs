@@ -1,0 +1,319 @@
+//! Merging *Frequent* summaries: the Agarwal-style baseline (the extension
+//! paper's Algorithm 1) and the closed-form low-error merge (its
+//! Algorithm 2), plus a literal replay of the Frequent algorithm used to
+//! verify the closed form (Theorem 4.2 of that paper).
+//!
+//! Conventions: `k` is the k-majority parameter; a Frequent summary holds
+//! at most `k−1` counters; the combined summary is conceptually padded with
+//! zero counters at the front to exactly `2k−2` positions, indexed 1-based
+//! as in the pseudo-code.
+
+use std::hash::Hash;
+
+use crate::sorted::{MergeOutcome, SortedSummary};
+
+/// 1-based access into the front-padded combined summary: positions
+/// `1..=pad` are zero counters, positions `pad+1..=2k−2` are real entries.
+struct Padded<'a, I> {
+    entries: &'a [(I, u64)],
+    pad: usize,
+}
+
+impl<'a, I> Padded<'a, I> {
+    fn new(entries: &'a [(I, u64)], len: usize) -> Self {
+        assert!(entries.len() <= len, "summary larger than padded length");
+        Padded {
+            entries,
+            pad: len - entries.len(),
+        }
+    }
+
+    /// Count at 1-based padded position (0 in the pad region).
+    fn count(&self, pos: usize) -> u64 {
+        if pos <= self.pad {
+            0
+        } else {
+            self.entries[pos - self.pad - 1].1
+        }
+    }
+
+    /// Item at 1-based padded position (None in the pad region).
+    fn item(&self, pos: usize) -> Option<&'a I> {
+        (pos > self.pad).then(|| &self.entries[pos - self.pad - 1].0)
+    }
+}
+
+/// Algorithm 1 (baseline): combine, and if more than `k−1` counters remain,
+/// subtract the count at padded position `k−1` from the top `k−1` counters
+/// and return them. Total error: `(k−1)·C_{k−1}`.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or either input exceeds `k−1` counters.
+pub fn merge_frequent_baseline<I: Eq + Hash + Clone + Ord>(
+    a: &SortedSummary<I>,
+    b: &SortedSummary<I>,
+    k: usize,
+) -> MergeOutcome<I> {
+    assert!(k >= 2, "k-majority parameter must be at least 2");
+    assert!(a.nz() < k && b.nz() < k, "input exceeds k-1 counters");
+    let combined = a.combine(b);
+    if combined.nz() < k {
+        return MergeOutcome {
+            summary: combined,
+            total_error: 0,
+        };
+    }
+    let len = 2 * k - 2;
+    let padded = Padded::new(combined.entries(), len);
+    let threshold = padded.count(k - 1);
+    let mut out = Vec::with_capacity(k - 1);
+    for pos in k..=len {
+        let item = padded.item(pos).expect("top half is never padding");
+        let count = padded.count(pos);
+        out.push((item.clone(), count.saturating_sub(threshold)));
+    }
+    MergeOutcome {
+        summary: SortedSummary::new(out),
+        total_error: (k as u64 - 1) * threshold,
+    }
+}
+
+/// Algorithm 2 (low-error): the closed-form determining equations
+/// reproducing a run of Frequent over the combined summary.
+///
+/// Output counter `i` (1-based, `i = 1..k−1`):
+///
+/// ```text
+/// e_1 = C_k.e          f_1 = C_k.f − C_{k−1}.f
+/// e_i = C_{k−1+i}.e    f_i = C_{k−1+i}.f − C_{k−1}.f + C_{i−1}.f
+/// ```
+///
+/// Total error: `Σ_j (C_{k−1+j}.f − f_j)`, which is at most the baseline's
+/// `(k−1)·C_{k−1}.f` (the paper's Lemma 4.3).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or either input exceeds `k−1` counters.
+pub fn merge_frequent_low_error<I: Eq + Hash + Clone + Ord>(
+    a: &SortedSummary<I>,
+    b: &SortedSummary<I>,
+    k: usize,
+) -> MergeOutcome<I> {
+    assert!(k >= 2, "k-majority parameter must be at least 2");
+    assert!(a.nz() < k && b.nz() < k, "input exceeds k-1 counters");
+    let combined = a.combine(b);
+    if combined.nz() < k {
+        return MergeOutcome {
+            summary: combined,
+            total_error: 0,
+        };
+    }
+    let len = 2 * k - 2;
+    let padded = Padded::new(combined.entries(), len);
+    let pivot = padded.count(k - 1);
+    let mut out = Vec::with_capacity(k - 1);
+    let mut total_error = 0u64;
+    for i in 1..=(k - 1) {
+        let pos = k - 1 + i;
+        let item = padded
+            .item(pos)
+            .expect("positions k..2k-2 are real when nz >= k");
+        let raw = padded.count(pos);
+        // f_i = C_{k−1+i} − C_{k−1} + C_{i−1}; C_0 is the (empty) pad.
+        let f = raw - pivot + padded.count(i - 1);
+        total_error += raw - f;
+        if f > 0 {
+            out.push((item.clone(), f));
+        }
+    }
+    MergeOutcome {
+        summary: SortedSummary::new(out),
+        total_error,
+    }
+}
+
+/// Reference implementation: literally run the (weighted) Frequent
+/// algorithm with `k−1` counters over the combined summary's entries in
+/// ascending order, as in the constructive proof of Theorem 4.2.
+///
+/// Used by tests and experiments to confirm the closed form is exact; the
+/// closed form is the one to use in production (no sorting or counter
+/// bookkeeping during the merge).
+pub fn replay_frequent<I: Eq + Hash + Clone + Ord>(
+    a: &SortedSummary<I>,
+    b: &SortedSummary<I>,
+    k: usize,
+) -> SortedSummary<I> {
+    assert!(k >= 2, "k-majority parameter must be at least 2");
+    let combined = a.combine(b);
+    let capacity = k - 1;
+    // Counters kept ascending; each incoming entry is an aggregated update
+    // of `count` occurrences of a not-currently-monitored item.
+    let mut counters: Vec<(I, u64)> = Vec::with_capacity(capacity + 1);
+    for (item, count) in combined.entries().iter().cloned() {
+        if counters.len() < capacity {
+            counters.push((item, count));
+            counters.sort_by(|x, y| x.1.cmp(&y.1).then_with(|| x.0.cmp(&y.0)));
+            continue;
+        }
+        // Full: decrement every counter by the minimum, freeing (at least)
+        // the first; the newcomer keeps the remainder of its weight.
+        let d = counters[0].1;
+        debug_assert!(count >= d, "ascending order guarantees count >= min");
+        for c in &mut counters {
+            c.1 -= d;
+        }
+        counters.retain(|&(_, c)| c > 0);
+        if count - d > 0 {
+            counters.push((item, count - d));
+        }
+        counters.sort_by(|x, y| x.1.cmp(&y.1).then_with(|| x.0.cmp(&y.0)));
+    }
+    SortedSummary::new(counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §5.1 example of the extension paper, k = 5.
+    ///
+    /// Note: the paper's input table lists item 10 with frequency 45, but
+    /// its combined-summary table and all downstream arithmetic use 40; we
+    /// use 40 so every printed number matches.
+    fn paper_inputs() -> (SortedSummary<u64>, SortedSummary<u64>) {
+        let a = SortedSummary::new(vec![(2, 4), (3, 11), (4, 22), (5, 33)]);
+        let b = SortedSummary::new(vec![(7, 10), (8, 20), (9, 30), (10, 40)]);
+        (a, b)
+    }
+
+    #[test]
+    fn golden_baseline_section_5_1_1() {
+        let (a, b) = paper_inputs();
+        let out = merge_frequent_baseline(&a, &b, 5);
+        assert_eq!(out.summary.entries(), &[(4, 2), (9, 10), (5, 13), (10, 20)]);
+        assert_eq!(out.total_error, 80);
+    }
+
+    #[test]
+    fn golden_low_error_section_5_1_2() {
+        let (a, b) = paper_inputs();
+        let out = merge_frequent_low_error(&a, &b, 5);
+        assert_eq!(out.summary.entries(), &[(4, 2), (9, 14), (5, 23), (10, 31)]);
+        assert_eq!(out.total_error, 55);
+    }
+
+    #[test]
+    fn golden_replay_matches_low_error() {
+        let (a, b) = paper_inputs();
+        let replayed = replay_frequent(&a, &b, 5);
+        let closed = merge_frequent_low_error(&a, &b, 5).summary;
+        assert_eq!(replayed, closed);
+    }
+
+    #[test]
+    fn no_prune_when_combined_fits() {
+        let a = SortedSummary::new(vec![(1u64, 5u64), (2, 8)]);
+        let b = SortedSummary::new(vec![(2u64, 3u64), (3, 1)]);
+        for f in [merge_frequent_baseline, merge_frequent_low_error] {
+            let out = f(&a, &b, 5);
+            assert_eq!(out.total_error, 0);
+            assert_eq!(out.summary.count(&2), 11);
+            assert_eq!(out.summary.nz(), 3);
+        }
+    }
+
+    #[test]
+    fn low_error_never_exceeds_baseline_error() {
+        // Lemma 4.3, exercised over random summaries.
+        use ms_core::Rng64;
+        let mut rng = Rng64::new(0xFEED);
+        for trial in 0..200 {
+            let k = 3 + (trial % 12);
+            let mk = |rng: &mut Rng64, base: u64| {
+                let cnt = 1 + rng.below_usize(k - 1);
+                SortedSummary::new(
+                    (0..cnt)
+                        .map(|i| (base + i as u64, 1 + rng.below(1000)))
+                        .collect(),
+                )
+            };
+            let overlap = rng.coin();
+            let a = mk(&mut rng, 0);
+            let b = mk(&mut rng, if overlap { 0 } else { 1000 });
+            let base = merge_frequent_baseline(&a, &b, k);
+            let low = merge_frequent_low_error(&a, &b, k);
+            assert!(
+                low.total_error <= base.total_error,
+                "trial {trial}: low {} > baseline {}",
+                low.total_error,
+                base.total_error
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_equals_replay_on_random_inputs() {
+        use ms_core::Rng64;
+        let mut rng = Rng64::new(0xC0FFEE);
+        for trial in 0..300 {
+            let k = 2 + (trial % 14);
+            let mk = |rng: &mut Rng64, base: u64| {
+                let cnt = rng.below_usize(k); // 0..=k-1 counters
+                SortedSummary::new(
+                    (0..cnt)
+                        .map(|i| (base + i as u64, 1 + rng.below(500)))
+                        .collect(),
+                )
+            };
+            let a = mk(&mut rng, 0);
+            let b = mk(&mut rng, 100);
+            let closed = merge_frequent_low_error(&a, &b, k).summary;
+            let replayed = replay_frequent(&a, &b, k);
+            assert_eq!(closed, replayed, "trial {trial}, k {k}");
+        }
+    }
+
+    #[test]
+    fn merged_counts_underestimate_combined() {
+        // Every output count is ≤ the item's combined count (Frequent
+        // underestimates), and the k-majority candidates survive.
+        let (a, b) = paper_inputs();
+        let combined = a.combine(&b);
+        let out = merge_frequent_low_error(&a, &b, 5);
+        for (item, count) in out.summary.entries() {
+            assert!(*count <= combined.count(item));
+        }
+    }
+
+    #[test]
+    fn empty_inputs_merge_to_empty() {
+        let a = SortedSummary::<u64>::new(vec![]);
+        let b = SortedSummary::<u64>::new(vec![]);
+        let out = merge_frequent_low_error(&a, &b, 4);
+        assert_eq!(out.summary.nz(), 0);
+        assert_eq!(out.total_error, 0);
+    }
+
+    #[test]
+    fn smallest_valid_k_majority() {
+        // k = 2: each Frequent summary holds one counter (majority vote).
+        let a = SortedSummary::new(vec![(1u64, 10u64)]);
+        let b = SortedSummary::new(vec![(2u64, 6u64)]);
+        let low = merge_frequent_low_error(&a, &b, 2);
+        let base = merge_frequent_baseline(&a, &b, 2);
+        // Combined {6, 10}; both prune at the 2nd largest (6): {1: 4}.
+        assert_eq!(low.summary.entries(), &[(1, 4)]);
+        assert_eq!(base.summary.entries(), &[(1, 4)]);
+        assert_eq!(low.summary, replay_frequent(&a, &b, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds k-1")]
+    fn oversized_input_rejected() {
+        let a = SortedSummary::new(vec![(1u64, 1u64), (2, 2), (3, 3)]);
+        let b = SortedSummary::new(vec![]);
+        let _ = merge_frequent_low_error(&a, &b, 3);
+    }
+}

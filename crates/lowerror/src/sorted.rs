@@ -1,0 +1,168 @@
+//! Counter arrays sorted ascending by frequency — the representation the
+//! extension paper's algorithms are stated in.
+
+use std::hash::Hash;
+
+use ms_core::FxHashMap;
+use ms_frequency::MgSummary;
+
+/// A summary as an ascending-sorted array of `(item, count)` counters.
+///
+/// Items are distinct; counts are positive. Construction sorts; merging
+/// algorithms index 1-based positions exactly as in the paper's
+/// pseudo-code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedSummary<I> {
+    entries: Vec<(I, u64)>,
+}
+
+impl<I: Eq + Hash + Clone + Ord> SortedSummary<I> {
+    /// Build from counters; drops zero counts, sorts ascending by count
+    /// (ties by item, for determinism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two entries share an item.
+    pub fn new(mut entries: Vec<(I, u64)>) -> Self {
+        entries.retain(|&(_, c)| c > 0);
+        entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        for w in entries.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate item in summary");
+        }
+        SortedSummary { entries }
+    }
+
+    /// View of the sorted entries.
+    pub fn entries(&self) -> &[(I, u64)] {
+        &self.entries
+    }
+
+    /// Number of (nonzero) counters — `S.nz` in the paper.
+    pub fn nz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sum of counts.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Count of a specific item (0 if absent).
+    pub fn count(&self, item: &I) -> u64 {
+        self.entries
+            .iter()
+            .find(|(i, _)| i == item)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// Minimum count (0 if empty).
+    pub fn min_count(&self) -> u64 {
+        self.entries.first().map_or(0, |&(_, c)| c)
+    }
+
+    /// Subtract `m` from every counter, dropping non-positive ones — the
+    /// "subtract the minimum" pre-processing step of the SpaceSaving merge.
+    pub fn subtract(&self, m: u64) -> SortedSummary<I> {
+        SortedSummary {
+            entries: self
+                .entries
+                .iter()
+                .filter(|&&(_, c)| c > m)
+                .map(|(i, c)| (i.clone(), c - m))
+                .collect(),
+        }
+    }
+
+    /// Counter-wise combination of two summaries (the error-free COMBINE
+    /// step shared by every algorithm).
+    pub fn combine(&self, other: &SortedSummary<I>) -> SortedSummary<I> {
+        let mut map: FxHashMap<I, u64> = FxHashMap::default();
+        for (i, c) in self.entries.iter().chain(other.entries.iter()) {
+            *map.entry(i.clone()).or_insert(0) += c;
+        }
+        SortedSummary::new(map.into_iter().collect())
+    }
+
+    /// Import from the workspace's Misra-Gries summary (which plays the
+    /// role of *Frequent* here; with the k-majority parameter `k` it holds
+    /// at most `k−1` counters).
+    pub fn from_mg(mg: &MgSummary<I>) -> SortedSummary<I> {
+        SortedSummary::new(mg.iter().map(|(i, c)| (i.clone(), c)).collect())
+    }
+}
+
+/// Result of a 2-way merge, with the total-error accounting used by the
+/// extension paper's comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeOutcome<I> {
+    /// The merged summary.
+    pub summary: SortedSummary<I>,
+    /// Total error committed by the merge step itself, defined as in the
+    /// paper: the sum over output counters of the frequency lost (Frequent)
+    /// or gained (SpaceSaving) relative to the combined summary, neglecting
+    /// the minima subtraction common to all algorithms.
+    pub total_error: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_ascending_and_drops_zeros() {
+        let s = SortedSummary::new(vec![(3u64, 5u64), (1, 2), (2, 0), (4, 9)]);
+        assert_eq!(s.entries(), &[(1, 2), (3, 5), (4, 9)]);
+        assert_eq!(s.nz(), 3);
+        assert_eq!(s.total(), 16);
+        assert_eq!(s.min_count(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_item_for_determinism() {
+        let s = SortedSummary::new(vec![(9u64, 4u64), (2, 4), (5, 4)]);
+        assert_eq!(s.entries(), &[(2, 4), (5, 4), (9, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_items_rejected() {
+        let _ = SortedSummary::new(vec![(1u64, 2u64), (1, 3)]);
+    }
+
+    #[test]
+    fn combine_adds_matching_items() {
+        let a = SortedSummary::new(vec![(1u64, 3u64), (2, 5)]);
+        let b = SortedSummary::new(vec![(2u64, 2u64), (3, 1)]);
+        let c = a.combine(&b);
+        assert_eq!(c.count(&1), 3);
+        assert_eq!(c.count(&2), 7);
+        assert_eq!(c.count(&3), 1);
+        assert_eq!(c.total(), 11);
+    }
+
+    #[test]
+    fn subtract_drops_exhausted_counters() {
+        let s = SortedSummary::new(vec![(1u64, 2u64), (2, 5), (3, 7)]);
+        let t = s.subtract(2);
+        assert_eq!(t.entries(), &[(2, 3), (3, 5)]);
+        // Subtracting 0 is identity.
+        assert_eq!(s.subtract(0), s);
+    }
+
+    #[test]
+    fn from_mg_roundtrip() {
+        use ms_core::ItemSummary;
+        let mut mg = ms_frequency::MgSummary::new(4);
+        mg.update_weighted(7u64, 3);
+        mg.update_weighted(8, 9);
+        let s = SortedSummary::from_mg(&mg);
+        assert_eq!(s.entries(), &[(7, 3), (8, 9)]);
+    }
+
+    #[test]
+    fn count_of_absent_item_is_zero() {
+        let s = SortedSummary::new(vec![(1u64, 2u64)]);
+        assert_eq!(s.count(&99), 0);
+        assert_eq!(SortedSummary::<u64>::new(vec![]).min_count(), 0);
+    }
+}

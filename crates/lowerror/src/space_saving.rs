@@ -1,0 +1,295 @@
+//! Merging *SpaceSaving* summaries: the Agarwal-style baseline and the
+//! closed-form low-error merge (the extension paper's Algorithm 3), plus a
+//! literal replay of SpaceSaving used to verify the closed form
+//! (Theorem 4.5 of that paper).
+//!
+//! Conventions: `k` is the k-majority parameter; a SpaceSaving summary
+//! holds at most `k` counters. Both algorithms share the pre-processing
+//! step of Definition 4.1: a *saturated* input (exactly `k` counters) has
+//! its minimum count subtracted from every counter, which preserves
+//! k-majority candidacy and leaves at most `k−1` counters per input.
+
+use std::hash::Hash;
+
+use crate::sorted::{MergeOutcome, SortedSummary};
+
+/// Subtract each input's minimum when saturated (Definition 4.1), then
+/// combine. Returns the combined summary and the two subtracted minima.
+fn preprocess<I: Eq + Hash + Clone + Ord>(
+    a: &SortedSummary<I>,
+    b: &SortedSummary<I>,
+    k: usize,
+) -> (SortedSummary<I>, u64, u64) {
+    assert!(
+        k >= 3,
+        "k-majority parameter must be at least 3 for SpaceSaving merges"
+    );
+    assert!(a.nz() <= k && b.nz() <= k, "input exceeds k counters");
+    let mu_a = if a.nz() == k { a.min_count() } else { 0 };
+    let mu_b = if b.nz() == k { b.min_count() } else { 0 };
+    let a2 = a.subtract(mu_a);
+    let b2 = b.subtract(mu_b);
+    (a2.combine(&b2), mu_a, mu_b)
+}
+
+/// Baseline (Algorithm 1 applied after the minima subtraction): prune the
+/// combined counters at padded position `k−1` and return the top `k−1`.
+/// Total error (neglecting the shared minima subtraction):
+/// `(k−1)·C_{k−1}`.
+pub fn merge_space_saving_baseline<I: Eq + Hash + Clone + Ord>(
+    a: &SortedSummary<I>,
+    b: &SortedSummary<I>,
+    k: usize,
+) -> MergeOutcome<I> {
+    let (combined, _, _) = preprocess(a, b, k);
+    if combined.nz() < k {
+        return MergeOutcome {
+            summary: combined,
+            total_error: 0,
+        };
+    }
+    let len = 2 * k - 2;
+    let entries = combined.entries();
+    let pad = len - entries.len();
+    let count = |pos: usize| -> u64 {
+        if pos <= pad {
+            0
+        } else {
+            entries[pos - pad - 1].1
+        }
+    };
+    let threshold = count(k - 1);
+    let mut out = Vec::with_capacity(k - 1);
+    for pos in k..=len {
+        let (item, c) = &entries[pos - pad - 1];
+        out.push((item.clone(), c.saturating_sub(threshold)));
+    }
+    MergeOutcome {
+        summary: SortedSummary::new(out),
+        total_error: (k as u64 - 1) * threshold,
+    }
+}
+
+/// Algorithm 3 (low-error): closed-form determining equations reproducing
+/// a run of SpaceSaving with `k` counters over the combined summary.
+///
+/// With the combined summary padded to `2k−2` positions (1-based):
+///
+/// ```text
+/// i = 1, 2:     e_i = C_{k−2+i}.e    f_i = C_{k−2+i}.f
+/// i = 3..k:     e_i = C_{k−2+i}.e    f_i = C_{k−2+i}.f + C_{i−2}.f
+/// ```
+///
+/// Total error (neglecting the shared minima subtraction):
+/// `Σ_j (f_j − C_{k−2+j}.f) = Σ_{j=1..k−2} C_j.f`, strictly below the
+/// baseline's `(k−1)·C_{k−1}.f` (the paper's Lemma 4.6).
+pub fn merge_space_saving_low_error<I: Eq + Hash + Clone + Ord>(
+    a: &SortedSummary<I>,
+    b: &SortedSummary<I>,
+    k: usize,
+) -> MergeOutcome<I> {
+    let (combined, _, _) = preprocess(a, b, k);
+    if combined.nz() <= k {
+        return MergeOutcome {
+            summary: combined,
+            total_error: 0,
+        };
+    }
+    let len = 2 * k - 2;
+    let entries = combined.entries();
+    let pad = len - entries.len();
+    let count = |pos: usize| -> u64 {
+        if pos <= pad {
+            0
+        } else {
+            entries[pos - pad - 1].1
+        }
+    };
+    let item = |pos: usize| -> &I { &entries[pos - pad - 1].0 };
+
+    let mut out = Vec::with_capacity(k);
+    let mut total_error = 0u64;
+    for i in 1..=k {
+        let pos = k - 2 + i;
+        let raw = count(pos);
+        let f = if i <= 2 { raw } else { raw + count(i - 2) };
+        total_error += f - raw;
+        if f > 0 {
+            out.push((item(pos).clone(), f));
+        }
+    }
+    MergeOutcome {
+        summary: SortedSummary::new(out),
+        total_error,
+    }
+}
+
+/// Reference implementation: literally run SpaceSaving with `k` counters
+/// over the combined summary's entries in ascending order, as in the
+/// constructive proof of Theorem 4.5. (The minima subtraction is applied
+/// first, exactly as in the closed-form path.)
+pub fn replay_space_saving<I: Eq + Hash + Clone + Ord>(
+    a: &SortedSummary<I>,
+    b: &SortedSummary<I>,
+    k: usize,
+) -> SortedSummary<I> {
+    let (combined, _, _) = preprocess(a, b, k);
+    // Counters kept ascending; each incoming entry is an aggregated update
+    // of `count` occurrences of a not-currently-monitored item.
+    let mut counters: Vec<(I, u64)> = Vec::with_capacity(k + 1);
+    for (item, count) in combined.entries().iter().cloned() {
+        if counters.len() < k {
+            counters.push((item, count));
+        } else {
+            // Replace the minimum counter and add its value.
+            let min = counters[0].1;
+            counters[0] = (item, min + count);
+        }
+        counters.sort_by(|x, y| x.1.cmp(&y.1).then_with(|| x.0.cmp(&y.0)));
+    }
+    SortedSummary::new(counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §5.2 example of the extension paper, k = 5.
+    fn paper_inputs() -> (SortedSummary<u64>, SortedSummary<u64>) {
+        let a = SortedSummary::new(vec![(1, 5), (2, 7), (3, 12), (4, 14), (5, 18)]);
+        let b = SortedSummary::new(vec![(6, 4), (7, 16), (8, 17), (9, 19), (10, 23)]);
+        (a, b)
+    }
+
+    #[test]
+    fn golden_preprocess_subtracts_minima() {
+        let (a, b) = paper_inputs();
+        let (combined, mu_a, mu_b) = preprocess(&a, &b, 5);
+        assert_eq!((mu_a, mu_b), (5, 4));
+        // Combined (ascending): (2:2)(3:7)(4:9)(7:12)(5:13)(8:13)(9:15)(10:19).
+        assert_eq!(combined.count(&2), 2);
+        assert_eq!(combined.count(&7), 12);
+        assert_eq!(combined.count(&5), 13);
+        assert_eq!(combined.count(&10), 19);
+        assert_eq!(combined.count(&1), 0);
+        assert_eq!(combined.count(&6), 0);
+        assert_eq!(combined.nz(), 8);
+    }
+
+    #[test]
+    fn golden_baseline_section_5_2_1() {
+        let (a, b) = paper_inputs();
+        let out = merge_space_saving_baseline(&a, &b, 5);
+        assert_eq!(out.summary.entries(), &[(5, 1), (8, 1), (9, 3), (10, 7)]);
+        assert_eq!(out.total_error, 48);
+    }
+
+    #[test]
+    fn golden_low_error_section_5_2_2() {
+        let (a, b) = paper_inputs();
+        let out = merge_space_saving_low_error(&a, &b, 5);
+        assert_eq!(
+            out.summary.entries(),
+            &[(7, 12), (5, 13), (8, 15), (9, 22), (10, 28)]
+        );
+        assert_eq!(out.total_error, 18);
+    }
+
+    #[test]
+    fn golden_replay_matches_low_error() {
+        let (a, b) = paper_inputs();
+        let replayed = replay_space_saving(&a, &b, 5);
+        let closed = merge_space_saving_low_error(&a, &b, 5).summary;
+        assert_eq!(replayed, closed);
+    }
+
+    #[test]
+    fn no_error_when_combined_fits() {
+        let a = SortedSummary::new(vec![(1u64, 5u64), (2, 8)]);
+        let b = SortedSummary::new(vec![(2u64, 3u64), (3, 1)]);
+        let out = merge_space_saving_low_error(&a, &b, 5);
+        assert_eq!(out.total_error, 0);
+        assert_eq!(out.summary.count(&2), 11);
+    }
+
+    #[test]
+    fn unsaturated_inputs_skip_minima_subtraction() {
+        // 4 counters with k = 5 → no subtraction even though counts are low.
+        let a = SortedSummary::new(vec![(1u64, 1u64), (2, 2), (3, 3), (4, 4)]);
+        let b = SortedSummary::new(vec![(5u64, 1u64)]);
+        let (combined, mu_a, mu_b) = preprocess(&a, &b, 5);
+        assert_eq!((mu_a, mu_b), (0, 0));
+        assert_eq!(combined.total(), 11);
+    }
+
+    #[test]
+    fn low_error_below_baseline_on_random_inputs() {
+        // Lemma 4.6, exercised over random summaries.
+        use ms_core::Rng64;
+        let mut rng = Rng64::new(0xABBA);
+        for trial in 0..200 {
+            let k = 3 + (trial % 12);
+            let mk = |rng: &mut Rng64, base: u64| {
+                let cnt = 1 + rng.below_usize(k);
+                SortedSummary::new(
+                    (0..cnt)
+                        .map(|i| (base + i as u64, 1 + rng.below(1000)))
+                        .collect(),
+                )
+            };
+            let a = mk(&mut rng, 0);
+            let base_b = if rng.coin() { 0 } else { 1000 };
+            let b = mk(&mut rng, base_b);
+            let base = merge_space_saving_baseline(&a, &b, k);
+            let low = merge_space_saving_low_error(&a, &b, k);
+            assert!(
+                low.total_error <= base.total_error,
+                "trial {trial}: low {} > baseline {}",
+                low.total_error,
+                base.total_error
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_equals_replay_on_random_inputs() {
+        use ms_core::Rng64;
+        let mut rng = Rng64::new(0xD1CE);
+        for trial in 0..300 {
+            let k = 3 + (trial % 14);
+            let mk = |rng: &mut Rng64, base: u64| {
+                let cnt = rng.below_usize(k + 1); // 0..=k counters
+                SortedSummary::new(
+                    (0..cnt)
+                        .map(|i| (base + i as u64, 1 + rng.below(500)))
+                        .collect(),
+                )
+            };
+            let a = mk(&mut rng, 0);
+            let b = mk(&mut rng, 100);
+            let closed = merge_space_saving_low_error(&a, &b, k).summary;
+            let replayed = replay_space_saving(&a, &b, k);
+            assert_eq!(closed, replayed, "trial {trial}, k {k}");
+        }
+    }
+
+    #[test]
+    fn merged_counts_overestimate_combined() {
+        // SpaceSaving overestimates: every output count ≥ the item's count
+        // in the combined (post-subtraction) summary.
+        let (a, b) = paper_inputs();
+        let (combined, _, _) = preprocess(&a, &b, 5);
+        let out = merge_space_saving_low_error(&a, &b, 5);
+        for (item, count) in out.summary.entries() {
+            assert!(*count >= combined.count(item));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds k counters")]
+    fn oversized_input_rejected() {
+        let a = SortedSummary::new(vec![(1u64, 1u64), (2, 2), (3, 3), (4, 4)]);
+        let b = SortedSummary::new(vec![]);
+        let _ = merge_space_saving_low_error(&a, &b, 3);
+    }
+}

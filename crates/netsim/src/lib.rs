@@ -1,0 +1,22 @@
+//! Aggregation-network simulator.
+//!
+//! The paper's motivation is *in-network aggregation*: summaries are
+//! computed at the edge and **shipped** up a routing topology, merging at
+//! every interior node. What mergeability buys is that the message size is
+//! bounded by the summary size — `O(poly(1/ε))` — at *every* hop, instead
+//! of growing with the data below.
+//!
+//! This crate simulates that: it runs any [`ms_core::Mergeable`] +
+//! [`serde::Serialize`] summary up a [`Topology`] and accounts every
+//! message (count, bytes, per-link maximum, depth). Wire size is measured
+//! as the summary's JSON encoding — a simulation substitution for a real
+//! wire format (documented in `DESIGN.md`): JSON inflates all summaries by
+//! a similar constant factor, so *relative* comparisons (summary vs
+//! summary, summary vs raw shipping) are preserved, which is what
+//! experiment E10 reports.
+
+pub mod run;
+pub mod topology;
+
+pub use run::{aggregate, message_bytes, raw_shipping_bytes, NetStats};
+pub use topology::Topology;

@@ -1,0 +1,173 @@
+//! Running a merge schedule with byte accounting.
+
+use ms_core::{Mergeable, Result};
+use serde::Serialize;
+
+use crate::topology::Topology;
+
+/// What the network observed while aggregating.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct NetStats {
+    /// Messages shipped (one per merge step).
+    pub messages: usize,
+    /// Total bytes over all links.
+    pub total_bytes: usize,
+    /// Largest single message.
+    pub max_message_bytes: usize,
+    /// Deepest hop level used.
+    pub depth: usize,
+}
+
+/// Aggregate `leaves` up `topology`, accounting each shipped summary's
+/// encoded size. Returns the final summary (at the topology's sink) and
+/// the traffic statistics.
+///
+/// # Panics
+///
+/// Panics if `leaves` is empty.
+pub fn aggregate<S: Mergeable + Serialize>(
+    leaves: Vec<S>,
+    topology: Topology,
+) -> Result<(S, NetStats)> {
+    assert!(
+        !leaves.is_empty(),
+        "aggregate requires at least one summary"
+    );
+    let sites = leaves.len();
+    let mut slots: Vec<Option<S>> = leaves.into_iter().map(Some).collect();
+    let mut stats = NetStats {
+        messages: 0,
+        total_bytes: 0,
+        max_message_bytes: 0,
+        depth: 0,
+    };
+    for step in topology.schedule(sites) {
+        let shipped = slots[step.src].take().expect("schedule uses live slots");
+        let bytes = message_bytes(&shipped);
+        stats.messages += 1;
+        stats.total_bytes += bytes;
+        stats.max_message_bytes = stats.max_message_bytes.max(bytes);
+        stats.depth = stats.depth.max(step.level);
+        let receiver = slots[step.dst].take().expect("schedule uses live slots");
+        slots[step.dst] = Some(receiver.merge(shipped)?);
+    }
+    let sink = topology.sink(sites);
+    Ok((
+        slots[sink].take().expect("sink holds the final aggregate"),
+        stats,
+    ))
+}
+
+/// Encoded size of one message (JSON; see the crate docs for why this is a
+/// valid *relative* proxy).
+pub fn message_bytes<S: Serialize>(summary: &S) -> usize {
+    serde_json::to_vec(summary)
+        .expect("summaries serialize infallibly")
+        .len()
+}
+
+/// Bytes the naive scheme ships: every site forwards its *raw data*
+/// upward, so each element crosses every hop between its site and the
+/// sink. For a topology of depth `d_i` per site this is `Σ items_i · hops_i
+/// · bytes_per_item`; this helper computes the star-topology lower bound
+/// (one hop each), which already dominates every summary-based scheme.
+pub fn raw_shipping_bytes(items_per_site: &[usize], bytes_per_item: usize) -> usize {
+    items_per_site.iter().sum::<usize>() * bytes_per_item
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::{ItemSummary, Summary};
+    use ms_frequency::MgSummary;
+    use ms_workloads::{Partitioner, StreamKind};
+
+    fn leaves(sites: usize, k: usize) -> (Vec<MgSummary<u64>>, Vec<u64>) {
+        let items = StreamKind::Zipf {
+            s: 1.2,
+            universe: 10_000,
+        }
+        .generate(sites * 2_000, 5);
+        let parts = Partitioner::RoundRobin.split(&items, sites);
+        let summaries = parts
+            .iter()
+            .map(|p| {
+                let mut s = MgSummary::new(k);
+                s.extend_from(p.iter().copied());
+                s
+            })
+            .collect();
+        (summaries, items)
+    }
+
+    #[test]
+    fn aggregation_result_matches_direct_merge() {
+        let (summaries, _) = leaves(16, 64);
+        for t in Topology::canonical() {
+            let (merged, stats) = aggregate(summaries.clone(), t).unwrap();
+            assert_eq!(merged.total_weight(), 32_000, "{}", t.label());
+            assert_eq!(stats.messages, 15, "{}", t.label());
+            assert!(stats.total_bytes > 0);
+            assert!(stats.max_message_bytes <= stats.total_bytes);
+        }
+    }
+
+    #[test]
+    fn message_sizes_stay_bounded_at_every_hop() {
+        // The point of mergeability: the biggest message on any link is
+        // O(summary size), not O(data below the link).
+        let (summaries, _) = leaves(64, 64);
+        let single_size = message_bytes(&summaries[0]);
+        let (_, stats) = aggregate(summaries, Topology::Chain).unwrap();
+        // A merged MG summary with k counters is never more than a small
+        // constant factor larger than a leaf summary.
+        assert!(
+            stats.max_message_bytes < 4 * single_size,
+            "max message {} vs leaf {}",
+            stats.max_message_bytes,
+            single_size
+        );
+    }
+
+    #[test]
+    fn summaries_beat_raw_shipping() {
+        let sites = 64;
+        let (summaries, items) = leaves(sites, 64);
+        let (_, stats) = aggregate(summaries, Topology::BalancedTree).unwrap();
+        let raw = raw_shipping_bytes(&vec![items.len() / sites; sites], 8);
+        assert!(
+            stats.total_bytes < raw,
+            "summary traffic {} should beat raw {}",
+            stats.total_bytes,
+            raw
+        );
+    }
+
+    #[test]
+    fn depth_accounting() {
+        let (summaries, _) = leaves(16, 32);
+        let (_, star) = aggregate(summaries.clone(), Topology::Star).unwrap();
+        let (_, chain) = aggregate(summaries.clone(), Topology::Chain).unwrap();
+        let (_, tree) = aggregate(summaries, Topology::BalancedTree).unwrap();
+        assert_eq!(star.depth, 1);
+        assert_eq!(chain.depth, 15);
+        assert_eq!(tree.depth, 4);
+    }
+
+    #[test]
+    fn single_leaf_ships_nothing() {
+        let (summaries, _) = leaves(1, 8);
+        let (merged, stats) = aggregate(summaries, Topology::Star).unwrap();
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.total_bytes, 0);
+        assert_eq!(merged.total_weight(), 2_000);
+    }
+
+    #[test]
+    fn incompatible_summaries_error_through_the_network() {
+        let mut bad = vec![MgSummary::<u64>::new(8), MgSummary::<u64>::new(9)];
+        bad[0].update(1);
+        bad[1].update(2);
+        assert!(aggregate(bad, Topology::Star).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Aggregation topologies, expressed as merge schedules.
+//!
+//! A topology over `sites` leaves is compiled into an ordered list of
+//! [`MergeStep`]s over a working set of partial aggregates. Step
+//! `{ src, dst }` ships the aggregate at slot `src` to the node holding
+//! slot `dst` (one message) and merges it in; the last surviving slot is
+//! the final answer at the sink.
+
+/// One shipped-and-merged message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeStep {
+    /// Slot whose aggregate is shipped (consumed).
+    pub src: usize,
+    /// Slot that receives and merges.
+    pub dst: usize,
+    /// Hop depth of this step (root = highest); used for depth accounting.
+    pub level: usize,
+}
+
+/// Shape of the aggregation network.
+///
+/// ```
+/// use ms_netsim::Topology;
+///
+/// // 8 sites up a balanced tree: 7 messages, 3 hop levels.
+/// let steps = Topology::BalancedTree.schedule(8);
+/// assert_eq!(steps.len(), 7);
+/// assert_eq!(steps.iter().map(|s| s.level).max(), Some(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every site ships directly to one sink that merges sequentially —
+    /// scatter/gather.
+    Star,
+    /// Sites form a line; each node merges its predecessor's aggregate and
+    /// ships on — maximal depth, the worst case for error-accumulating
+    /// schemes.
+    Chain,
+    /// Balanced binary routing tree — `⌈log₂ sites⌉` hops.
+    BalancedTree,
+    /// `fan` racks aggregate internally (chain), then rack heads ship to
+    /// the sink.
+    TwoLevel {
+        /// Number of first-level groups.
+        fan: usize,
+    },
+}
+
+impl Topology {
+    /// Compile the merge schedule for `sites` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0`.
+    pub fn schedule(&self, sites: usize) -> Vec<MergeStep> {
+        assert!(sites > 0, "a topology needs at least one site");
+        match *self {
+            Topology::Star => (1..sites)
+                .map(|src| MergeStep {
+                    src,
+                    dst: 0,
+                    level: 1,
+                })
+                .collect(),
+            Topology::Chain => (1..sites)
+                .map(|i| MergeStep {
+                    src: i - 1,
+                    dst: i,
+                    level: i,
+                })
+                .collect(),
+            Topology::BalancedTree => {
+                let mut steps = Vec::with_capacity(sites.saturating_sub(1));
+                let mut live: Vec<usize> = (0..sites).collect();
+                let mut level = 1;
+                while live.len() > 1 {
+                    let mut next = Vec::with_capacity(live.len().div_ceil(2));
+                    let mut iter = live.chunks(2);
+                    for pair in &mut iter {
+                        match pair {
+                            [a, b] => {
+                                steps.push(MergeStep {
+                                    src: *b,
+                                    dst: *a,
+                                    level,
+                                });
+                                next.push(*a);
+                            }
+                            [a] => next.push(*a),
+                            _ => unreachable!("chunks(2)"),
+                        }
+                    }
+                    live = next;
+                    level += 1;
+                }
+                steps
+            }
+            Topology::TwoLevel { fan } => {
+                let fan = fan.max(1);
+                let group = sites.div_ceil(fan).max(1);
+                let mut steps = Vec::with_capacity(sites.saturating_sub(1));
+                let mut heads = Vec::new();
+                let mut start = 0;
+                while start < sites {
+                    let end = (start + group).min(sites);
+                    for i in (start + 1)..end {
+                        steps.push(MergeStep {
+                            src: i - 1,
+                            dst: i,
+                            level: i - start,
+                        });
+                    }
+                    heads.push(end - 1);
+                    start = end;
+                }
+                for head in heads.iter().skip(1) {
+                    steps.push(MergeStep {
+                        src: *head,
+                        dst: heads[0],
+                        level: group + 1,
+                    });
+                }
+                steps
+            }
+        }
+    }
+
+    /// Slot index holding the final aggregate after the schedule runs.
+    pub fn sink(&self, sites: usize) -> usize {
+        match *self {
+            Topology::Star => 0,
+            Topology::Chain => sites - 1,
+            Topology::BalancedTree => 0,
+            Topology::TwoLevel { fan } => {
+                let fan = fan.max(1);
+                let group = sites.div_ceil(fan).max(1);
+                group.min(sites) - 1
+            }
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Topology::Star => "star",
+            Topology::Chain => "chain",
+            Topology::BalancedTree => "balanced-tree",
+            Topology::TwoLevel { .. } => "two-level",
+        }
+    }
+
+    /// The topologies swept by experiment E10.
+    pub fn canonical() -> [Topology; 4] {
+        [
+            Topology::Star,
+            Topology::Chain,
+            Topology::BalancedTree,
+            Topology::TwoLevel { fan: 8 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every schedule must merge `sites` slots into exactly one: n−1 steps,
+    /// each consuming a live slot, ending at the declared sink.
+    fn check_schedule(t: Topology, sites: usize) {
+        let steps = t.schedule(sites);
+        assert_eq!(steps.len(), sites - 1, "{}", t.label());
+        let mut alive = vec![true; sites];
+        for step in &steps {
+            assert!(alive[step.src], "{}: src {} reused", t.label(), step.src);
+            assert!(alive[step.dst], "{}: dst {} dead", t.label(), step.dst);
+            assert_ne!(step.src, step.dst);
+            alive[step.src] = false;
+        }
+        let survivors: Vec<usize> = (0..sites).filter(|&i| alive[i]).collect();
+        assert_eq!(survivors, vec![t.sink(sites)], "{}", t.label());
+    }
+
+    #[test]
+    fn schedules_are_complete_and_consistent() {
+        for t in Topology::canonical() {
+            for sites in [1usize, 2, 3, 7, 8, 16, 33, 64] {
+                if sites >= 1 {
+                    check_schedule(t, sites.max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_is_depth_one() {
+        let steps = Topology::Star.schedule(16);
+        assert!(steps.iter().all(|s| s.level == 1));
+        assert!(steps.iter().all(|s| s.dst == 0));
+    }
+
+    #[test]
+    fn chain_depth_grows_linearly() {
+        let steps = Topology::Chain.schedule(16);
+        assert_eq!(steps.last().unwrap().level, 15);
+    }
+
+    #[test]
+    fn balanced_tree_depth_is_logarithmic() {
+        let steps = Topology::BalancedTree.schedule(64);
+        let max_level = steps.iter().map(|s| s.level).max().unwrap();
+        assert_eq!(max_level, 6);
+    }
+
+    #[test]
+    fn single_site_needs_no_messages() {
+        for t in Topology::canonical() {
+            assert!(t.schedule(1).is_empty());
+            assert_eq!(t.sink(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_panics() {
+        let _ = Topology::Star.schedule(0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the aggregation-network schedules.
+
+use proptest::prelude::*;
+
+use ms_netsim::Topology;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every topology compiles, for any site count, into a schedule that
+    /// consumes n−1 live slots and leaves exactly the declared sink.
+    #[test]
+    fn schedules_always_reduce_to_the_sink(sites in 1usize..300, fan in 1usize..24) {
+        let topologies = [
+            Topology::Star,
+            Topology::Chain,
+            Topology::BalancedTree,
+            Topology::TwoLevel { fan },
+        ];
+        for t in topologies {
+            let steps = t.schedule(sites);
+            prop_assert_eq!(steps.len(), sites - 1, "{}", t.label());
+            let mut alive = vec![true; sites];
+            for step in &steps {
+                prop_assert!(alive[step.src]);
+                prop_assert!(alive[step.dst]);
+                prop_assert_ne!(step.src, step.dst);
+                prop_assert!(step.level >= 1);
+                alive[step.src] = false;
+            }
+            let survivors: Vec<usize> = (0..sites).filter(|&i| alive[i]).collect();
+            prop_assert_eq!(survivors, vec![t.sink(sites)], "{}", t.label());
+        }
+    }
+
+    /// Aggregation over any topology preserves the exact total weight and
+    /// ships exactly n−1 messages.
+    #[test]
+    fn aggregation_conserves_weight(sites in 1usize..40, fan in 1usize..8) {
+        use ms_core::{ItemSummary, Summary};
+        use ms_frequency::MgSummary;
+
+        let leaves: Vec<MgSummary<u64>> = (0..sites)
+            .map(|s| {
+                let mut m = MgSummary::new(8);
+                for i in 0..10u64 {
+                    m.update(s as u64 * 100 + i);
+                }
+                m
+            })
+            .collect();
+        for t in [
+            Topology::Star,
+            Topology::Chain,
+            Topology::BalancedTree,
+            Topology::TwoLevel { fan },
+        ] {
+            let (merged, stats) = ms_netsim::aggregate(leaves.clone(), t).unwrap();
+            prop_assert_eq!(merged.total_weight(), sites as u64 * 10);
+            prop_assert_eq!(stats.messages, sites - 1);
+            prop_assert!(stats.max_message_bytes <= stats.total_bytes.max(1));
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The Greenwald-Khanna summary — the classic *streaming* quantile summary,
+//! used as the non-mergeable baseline (experiment E6).
+//!
+//! GK maintains tuples `(v, g, Δ)` where `g` is the gap in minimum rank to
+//! the previous tuple and `Δ` bounds the rank uncertainty of the tuple
+//! itself; the invariant `g + Δ ≤ 2εn` guarantees every rank query within
+//! `εn`. It is the most space-efficient deterministic streaming summary
+//! known, but it is **not known to be mergeable**: the standard combine
+//! (interleave tuple lists, inflating each Δ by the uncertainty of the
+//! other summary) makes the absolute error *add* across merges, so a chain
+//! of `t` merges degrades to `Θ(t·εn)` — exactly the failure mode the
+//! paper's randomized summary avoids. [`GkSummary::merge`] implements that
+//! standard combine so the degradation can be measured.
+
+use ms_core::{MergeError, Mergeable, Result, Summary};
+
+use crate::RankSummary;
+
+/// One GK tuple.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Tuple<T> {
+    value: T,
+    /// Rank gap to the previous tuple: `r_min(i) = Σ_{j ≤ i} g_j`.
+    g: u64,
+    /// Rank uncertainty: `r_max(i) = r_min(i) + Δ_i`.
+    delta: u64,
+}
+
+/// Greenwald-Khanna ε-approximate quantile summary.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GkSummary<T> {
+    epsilon: f64,
+    tuples: Vec<Tuple<T>>,
+    n: u64,
+    since_compress: usize,
+}
+
+impl<T: Ord + Clone> GkSummary<T> {
+    /// Create a summary with rank-error target `ε·n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        GkSummary {
+            epsilon,
+            tuples: Vec::new(),
+            n: 0,
+            since_compress: 0,
+        }
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Current invariant threshold `2εn`.
+    fn threshold(&self) -> u64 {
+        (2.0 * self.epsilon * self.n as f64).floor() as u64
+    }
+
+    /// Remove tuples whose rank information a successor can absorb without
+    /// violating `g_i + g_{i+1} + Δ_{i+1} ≤ 2εn`.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let threshold = self.threshold();
+        let mut kept: Vec<Tuple<T>> = Vec::with_capacity(self.tuples.len());
+        // Never drop the first or last tuple (they pin min/max).
+        let mut iter = self.tuples.drain(..);
+        let mut current = iter.next().expect("len >= 3");
+        let mut last_index_is_final = false;
+        for next in iter {
+            // `current` may be merged into `next` if the combined band fits
+            // and `current` is not the very first kept tuple.
+            let can_merge = !kept.is_empty() && current.g + next.g + next.delta <= threshold;
+            if can_merge {
+                let merged = Tuple {
+                    value: next.value,
+                    g: current.g + next.g,
+                    delta: next.delta,
+                };
+                current = merged;
+            } else {
+                kept.push(current);
+                current = next;
+            }
+            last_index_is_final = false;
+        }
+        let _ = last_index_is_final;
+        kept.push(current);
+        self.tuples = kept;
+    }
+}
+
+impl<T: Ord + Clone> RankSummary<T> for GkSummary<T> {
+    fn insert(&mut self, value: T) {
+        self.n += 1;
+        let threshold = self.threshold();
+        // Find the first tuple with a value >= the newcomer.
+        let pos = self.tuples.partition_point(|t| t.value < value);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            0 // new minimum or maximum is known exactly
+        } else {
+            threshold.saturating_sub(1)
+        };
+        self.tuples.insert(pos, Tuple { value, g: 1, delta });
+        self.since_compress += 1;
+        let period = ((1.0 / (2.0 * self.epsilon)).floor() as usize).max(1);
+        if self.since_compress >= period {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn rank(&self, x: &T) -> u64 {
+        // For x between tuples i and i+1, the true rank lies in
+        // [r_min(i), r_max(i+1) − 1]; answer the midpoint.
+        let mut r_min_prev = 0u64; // r_min of the last tuple with value < x
+        let mut iter = self.tuples.iter();
+        let mut bracket_hi: Option<u64> = None;
+        for t in &mut iter {
+            if t.value < *x {
+                r_min_prev += t.g;
+            } else {
+                bracket_hi = Some(r_min_prev + t.g + t.delta - 1);
+                break;
+            }
+        }
+        match bracket_hi {
+            Some(hi) => (r_min_prev + hi.max(r_min_prev)) / 2,
+            // x exceeds every stored value: all n elements are below it.
+            None => {
+                if self.tuples.is_empty() {
+                    0
+                } else {
+                    self.n
+                }
+            }
+        }
+    }
+
+    fn quantile(&self, phi: f64) -> Option<T> {
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        let target = ((phi * self.n as f64).ceil() as u64).clamp(1, self.n);
+        let bound = target + self.threshold() / 2;
+        let mut r_min = 0u64;
+        let mut prev: Option<&Tuple<T>> = None;
+        for t in &self.tuples {
+            r_min += t.g;
+            if r_min + t.delta > bound {
+                return Some(prev.map_or_else(|| t.value.clone(), |p| p.value.clone()));
+            }
+            prev = Some(t);
+        }
+        self.tuples.last().map(|t| t.value.clone())
+    }
+}
+
+impl<T: Ord + Clone> Summary for GkSummary<T> {
+    fn total_weight(&self) -> u64 {
+        self.n
+    }
+
+    fn size(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+impl<T: Ord + Clone> Mergeable for GkSummary<T> {
+    /// The standard GK combine: interleave the tuple lists by value; a
+    /// tuple inherits its own Δ plus the uncertainty of the other summary
+    /// at its position (the `g + Δ − 1` of the other side's next tuple).
+    /// Correct, but the *absolute* error adds: merged error ≤
+    /// `ε·n₁ + ε·n₂ + …` grows with every merge — this is the measured
+    /// baseline, not a fully mergeable summary.
+    fn merge(mut self, mut other: Self) -> Result<Self> {
+        if (self.epsilon - other.epsilon).abs() > f64::EPSILON {
+            return Err(MergeError::EpsilonMismatch {
+                left: self.epsilon,
+                right: other.epsilon,
+            });
+        }
+        let a = std::mem::take(&mut self.tuples);
+        let b = std::mem::take(&mut other.tuples);
+        let mut merged: Vec<Tuple<T>> = Vec::with_capacity(a.len() + b.len());
+        let mut ia = a.into_iter().peekable();
+        let mut ib = b.into_iter().peekable();
+        loop {
+            let take_a = match (ia.peek(), ib.peek()) {
+                (Some(x), Some(y)) => x.value <= y.value,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_a {
+                let mut t = ia.next().expect("peeked");
+                if let Some(nb) = ib.peek() {
+                    t.delta += nb.g + nb.delta - 1;
+                }
+                merged.push(t);
+            } else {
+                let mut t = ib.next().expect("peeked");
+                if let Some(na) = ia.peek() {
+                    t.delta += na.g + na.delta - 1;
+                }
+                merged.push(t);
+            }
+        }
+        self.tuples = merged;
+        self.n += other.n;
+        self.compress();
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::RankOracle;
+    use ms_workloads::ValueDist;
+
+    fn build(values: &[u64], eps: f64) -> GkSummary<u64> {
+        let mut gk = GkSummary::new(eps);
+        for &v in values {
+            gk.insert(v);
+        }
+        gk
+    }
+
+    fn max_rank_error(gk: &GkSummary<u64>, oracle: &RankOracle<u64>) -> f64 {
+        let n = oracle.len() as f64;
+        (0..=100)
+            .filter_map(|i| oracle.quantile(i as f64 / 100.0).copied())
+            .map(|x| oracle.rank_error(&x, gk.rank(&x)) as f64 / n)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn tiny_stream_is_exact() {
+        let gk = build(&[3, 1, 2], 0.1);
+        assert_eq!(gk.count(), 3);
+        assert_eq!(gk.quantile(0.0), Some(1));
+        assert_eq!(gk.quantile(1.0), Some(3));
+    }
+
+    #[test]
+    fn empty_summary() {
+        let gk = GkSummary::<u64>::new(0.1);
+        assert_eq!(gk.quantile(0.5), None);
+        assert_eq!(gk.rank(&5), 0);
+    }
+
+    #[test]
+    fn rank_error_within_epsilon_on_streams() {
+        let eps = 0.02;
+        for dist in ValueDist::canonical() {
+            let values = dist.generate(50_000, 41);
+            let oracle = RankOracle::from_stream(values.clone());
+            let gk = build(&values, eps);
+            let err = max_rank_error(&gk, &oracle);
+            assert!(
+                err <= eps + 1e-9,
+                "{}: max rank error {err} > {eps}",
+                dist.label()
+            );
+        }
+    }
+
+    #[test]
+    fn space_is_far_below_n() {
+        let values = ValueDist::Uniform.generate(100_000, 43);
+        let gk = build(&values, 0.01);
+        assert!(
+            gk.size() < 2_000,
+            "GK with eps=0.01 stored {} tuples",
+            gk.size()
+        );
+    }
+
+    #[test]
+    fn single_merge_stays_within_twice_epsilon() {
+        let eps = 0.02;
+        let values = ValueDist::Uniform.generate(40_000, 47);
+        let (l, r) = values.split_at(20_000);
+        let merged = build(l, eps).merge(build(r, eps)).unwrap();
+        let oracle = RankOracle::from_stream(values.clone());
+        let err = max_rank_error(&merged, &oracle);
+        assert!(err <= 2.0 * eps + 1e-9, "one merge error {err}");
+    }
+
+    #[test]
+    fn chained_merges_blow_up_size() {
+        // The point of the baseline: the folk GK combine keeps the error
+        // near εn by inflating tuple bands, so compress can no longer
+        // shrink the summary — chained merges pay in *space* (a fully
+        // mergeable summary keeps both fixed).
+        let eps = 0.02;
+        let values = ValueDist::Uniform.generate(64_000, 53);
+        let oracle = RankOracle::from_stream(values.clone());
+        let mut acc = build(&values[..4_000], eps);
+        for chunk in values[4_000..].chunks(4_000) {
+            acc = acc.merge(build(chunk, eps)).unwrap();
+        }
+        let single = build(&values, eps);
+        assert!(
+            acc.size() > 2 * single.size(),
+            "chained size {} should exceed single-stream size {}",
+            acc.size(),
+            single.size()
+        );
+        // Error stays within the folk bound (≈ Σ εnᵢ = εn, plus compress
+        // slack) — the degradation is in space, not accuracy.
+        let chained_err = max_rank_error(&acc, &oracle);
+        assert!(chained_err <= 2.0 * eps, "chained error {chained_err}");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_epsilon() {
+        let a = GkSummary::<u64>::new(0.1);
+        let b = GkSummary::<u64>::new(0.2);
+        assert!(matches!(
+            a.merge(b),
+            Err(MergeError::EpsilonMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn quantiles_of_sorted_stream() {
+        let values: Vec<u64> = (0..10_000).collect();
+        let gk = build(&values, 0.01);
+        for phi in [0.1, 0.5, 0.9] {
+            let est = gk.quantile(phi).unwrap() as f64;
+            let expected = phi * 10_000.0;
+            assert!((est - expected).abs() <= 200.0, "phi {phi}: estimate {est}");
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The fully-mergeable hybrid quantile summary (§4.3).
+//!
+//! Without advance knowledge of `n`, a plain buffer hierarchy would grow a
+//! level per doubling of the data, so its size would depend on `n`. The
+//! paper's fix: keep only `L = O(log(1/ε))` levels and replace the
+//! discarded bottom of the hierarchy with **random sampling** — each
+//! level-0 point becomes a uniform representative of a *block* of `w` raw
+//! values, where the base weight `w` doubles whenever the hierarchy would
+//! overflow. Sampling error is `O(w)` per point, which stays proportional
+//! to `εn/ polylog` because `w` tracks `n / (m·2^L)`; merge coins stay
+//! unbiased; total size is `O((1/ε)·log^{1.5}(1/ε))` — independent of `n`.
+//!
+//! Implementation notes (simulation substitutions, see `DESIGN.md`):
+//!
+//! * the paper's careful partial-block bookkeeping is implemented as a
+//!   probability-proportional merge of partial blocks (when two partial
+//!   blocks of `a` and `b` raw values combine, the surviving candidate is
+//!   drawn with probabilities `a/(a+b)`, `b/(a+b)`); the residual bias is
+//!   `O(w)` per merge node and is absorbed by the same slack that absorbs
+//!   the merge coins — the experiments confirm the `εn` shape holds;
+//! * doubling the base weight relabels the hierarchy downward (old level
+//!   `i+1` is new level `i`), and the orphaned old level-0 buffer is fed
+//!   back through the block sampler at its own weight.
+
+use ms_core::error::ensure_same_capacity;
+use ms_core::{MergeError, Mergeable, Result, Rng64, Summary};
+
+use crate::buffer::SortedBuffer;
+use crate::hierarchy::BufferHierarchy;
+use crate::known_n::weighted_quantile;
+use crate::RankSummary;
+
+/// Internal failure probability target used to size buffers.
+const DELTA: f64 = 0.01;
+
+/// Fully mergeable quantile summary of size independent of `n`.
+///
+/// ```
+/// use ms_core::Mergeable;
+/// use ms_quantiles::{HybridQuantile, RankSummary};
+///
+/// let mut a = HybridQuantile::new(0.05, 1);
+/// let mut b = HybridQuantile::new(0.05, 2);
+/// for v in 0..500u64 {
+///     a.insert(v);
+///     b.insert(500 + v);
+/// }
+/// let merged = a.merge(b).unwrap();
+/// assert_eq!(merged.count(), 1000);
+/// let median = merged.quantile(0.5).unwrap();
+/// assert!((450..=550).contains(&median));
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct HybridQuantile<T> {
+    epsilon: f64,
+    m: usize,
+    max_levels: usize,
+    /// Base weight: every level-0 point represents `w` raw values.
+    w: u64,
+    /// Raw values accumulated toward the current block (`0 ≤ count < w`).
+    block_count: u64,
+    /// Uniform candidate for the current partial block.
+    block_candidate: Option<T>,
+    /// Completed weight-`w` representatives, flushed to level 0 at `m`.
+    base: Vec<T>,
+    hierarchy: BufferHierarchy<T>,
+    n: u64,
+    rng: Rng64,
+}
+
+impl<T: Ord + Clone> HybridQuantile<T> {
+    /// Create a summary with rank-error target `ε·n` (w.h.p.), seeded for
+    /// reproducible sampling and merge coins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        // Constant 4 (vs 2 for the known-n summary): the hybrid additionally
+        // absorbs block-sampling error and deep merge trees double its base
+        // weight repeatedly, so it needs the extra slack to hold εn at p100.
+        let m = {
+            let m = (4.0 / epsilon) * (2.0 / DELTA).ln().sqrt();
+            (m.ceil() as usize).max(8)
+        };
+        let max_levels = ((1.0 / epsilon).log2().ceil() as usize).max(1) + 2;
+        HybridQuantile {
+            epsilon,
+            m,
+            max_levels,
+            w: 1,
+            block_count: 0,
+            block_candidate: None,
+            base: Vec::new(),
+            hierarchy: BufferHierarchy::new(),
+            n: 0,
+            rng: Rng64::new(seed),
+        }
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Buffer size `m`.
+    pub fn buffer_capacity(&self) -> usize {
+        self.m
+    }
+
+    /// Current base weight `w` (power of two).
+    pub fn base_weight(&self) -> u64 {
+        self.w
+    }
+
+    /// Level cap `L`.
+    pub fn max_levels(&self) -> usize {
+        self.max_levels
+    }
+
+    /// Feed `count` raw-value equivalents represented by `candidate` into
+    /// the block sampler, emitting completed weight-`w` representatives.
+    fn absorb_block(&mut self, candidate: T, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.block_count += count;
+        match &self.block_candidate {
+            None => self.block_candidate = Some(candidate),
+            Some(_) => {
+                // Keep the newcomer with probability count / block_count —
+                // the probability-proportional partial-block merge.
+                if self.rng.below(self.block_count) < count {
+                    self.block_candidate = Some(candidate);
+                }
+            }
+        }
+        while self.block_count >= self.w {
+            let rep = self
+                .block_candidate
+                .clone()
+                .expect("non-zero block has a candidate");
+            self.block_count -= self.w;
+            if self.block_count == 0 {
+                self.block_candidate = None;
+            }
+            self.push_representative(rep);
+        }
+    }
+
+    /// Append a completed weight-`w` representative, flushing full base
+    /// buffers into the hierarchy and enforcing the level cap.
+    fn push_representative(&mut self, rep: T) {
+        self.base.push(rep);
+        if self.base.len() >= self.m {
+            let buffer = SortedBuffer::from_unsorted(std::mem::take(&mut self.base));
+            self.hierarchy.push_buffer(0, buffer, &mut self.rng);
+            self.enforce_level_cap();
+        }
+    }
+
+    /// Double the base weight once: relabel hierarchy levels downward
+    /// (old level `i+1` is new level `i`), and re-feed everything that was
+    /// stored at the old weight — the orphaned old level-0 buffer *and*
+    /// the pending base representatives — through the block sampler at
+    /// their true old weight. (Re-weighting them silently would inflate
+    /// the stored mass and bias every rank estimate upward.)
+    fn double_base_weight(&mut self) {
+        let old_w = self.w;
+        self.w *= 2;
+        let old_base = std::mem::take(&mut self.base);
+        let orphan = self.hierarchy.shift_down();
+        for rep in old_base {
+            self.absorb_block(rep, old_w);
+        }
+        if let Some(buffer) = orphan {
+            for point in buffer.into_points() {
+                self.absorb_block(point, old_w);
+            }
+        }
+    }
+
+    /// While the hierarchy exceeds `max_levels`, double the base weight.
+    fn enforce_level_cap(&mut self) {
+        while self.hierarchy.num_levels() > self.max_levels {
+            self.double_base_weight();
+        }
+    }
+
+    /// Bring the summary's base weight up to `target` (a power-of-two
+    /// multiple of the current weight) by repeated doubling.
+    fn coarsen_to(&mut self, target: u64) {
+        while self.w < target {
+            self.double_base_weight();
+        }
+    }
+
+    /// All stored points with their weights (the partial block contributes
+    /// its candidate at the block's accumulated count).
+    fn weighted_points(&self) -> Vec<(T, u64)> {
+        let mut out: Vec<(T, u64)> = self.base.iter().map(|v| (v.clone(), self.w)).collect();
+        self.hierarchy.collect_weighted(self.w, &mut out);
+        if let (Some(c), count) = (&self.block_candidate, self.block_count) {
+            if count > 0 {
+                out.push((c.clone(), count));
+            }
+        }
+        out
+    }
+}
+
+impl<T: Ord + Clone> RankSummary<T> for HybridQuantile<T> {
+    fn insert(&mut self, value: T) {
+        self.n += 1;
+        self.absorb_block(value, 1);
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn rank(&self, x: &T) -> u64 {
+        let mut rank = self.hierarchy.weighted_count_below(x, self.w);
+        rank += self.w * self.base.iter().filter(|v| *v < x).count() as u64;
+        if let Some(c) = &self.block_candidate {
+            if c < x {
+                rank += self.block_count;
+            }
+        }
+        rank
+    }
+
+    fn quantile(&self, phi: f64) -> Option<T> {
+        weighted_quantile(self.weighted_points(), phi)
+    }
+}
+
+impl<T: Ord + Clone> Summary for HybridQuantile<T> {
+    fn total_weight(&self) -> u64 {
+        self.n
+    }
+
+    fn size(&self) -> usize {
+        self.base.len()
+            + self.hierarchy.stored_points()
+            + usize::from(self.block_candidate.is_some())
+    }
+}
+
+impl<T: Ord + Clone> Mergeable for HybridQuantile<T> {
+    fn merge(mut self, mut other: Self) -> Result<Self> {
+        if (self.epsilon - other.epsilon).abs() > f64::EPSILON {
+            return Err(MergeError::EpsilonMismatch {
+                left: self.epsilon,
+                right: other.epsilon,
+            });
+        }
+        ensure_same_capacity("buffer size (m)", self.m, other.m)?;
+        self.rng.absorb(&other.rng);
+        // Align base weights by coarsening the finer summary.
+        let target = self.w.max(other.w);
+        self.coarsen_to(target);
+        other.coarsen_to(target);
+
+        self.n += other.n;
+        self.hierarchy.absorb(other.hierarchy, &mut self.rng);
+        self.enforce_level_cap();
+        for rep in std::mem::take(&mut other.base) {
+            self.push_representative(rep);
+        }
+        if let Some(candidate) = other.block_candidate.take() {
+            self.absorb_block(candidate, other.block_count);
+        }
+        self.enforce_level_cap();
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::{merge_all, MergeTree, RankOracle};
+    use ms_workloads::ValueDist;
+
+    fn build(values: &[u64], eps: f64, seed: u64) -> HybridQuantile<u64> {
+        let mut q = HybridQuantile::new(eps, seed);
+        for &v in values {
+            q.insert(v);
+        }
+        q
+    }
+
+    fn max_rank_error(q: &HybridQuantile<u64>, oracle: &RankOracle<u64>) -> f64 {
+        let n = oracle.len() as f64;
+        (0..=100)
+            .filter_map(|i| oracle.quantile(i as f64 / 100.0).copied())
+            .map(|x| oracle.rank_error(&x, q.rank(&x)) as f64 / n)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn exact_for_tiny_streams() {
+        let q = build(&[4, 2, 7], 0.1, 0);
+        assert_eq!(q.count(), 3);
+        assert_eq!(q.rank(&7), 2);
+        assert_eq!(q.quantile(0.5), Some(4));
+    }
+
+    #[test]
+    fn empty_summary() {
+        let q = HybridQuantile::<u64>::new(0.1, 0);
+        assert_eq!(q.quantile(0.3), None);
+        assert_eq!(q.rank(&1), 0);
+    }
+
+    #[test]
+    fn total_stored_weight_matches_n() {
+        // Weight accounting must be exact: blocks + base + hierarchy = n
+        // whenever no same-weight merge has dropped/added a point (we can't
+        // guarantee that in general, so allow the merge slack).
+        let values = ValueDist::Uniform.generate(10_000, 3);
+        let q = build(&values, 0.05, 1);
+        let total: u64 = q.weighted_points().iter().map(|&(_, w)| w).sum();
+        let slack = (q.base_weight() * (q.max_levels() as u64 + 2)).max(16);
+        assert!(
+            total.abs_diff(q.count()) <= slack,
+            "stored weight {total} vs n {} (slack {slack})",
+            q.count()
+        );
+    }
+
+    #[test]
+    fn size_is_independent_of_n() {
+        let eps = 0.05;
+        let sizes: Vec<usize> = [1 << 12, 1 << 15, 1 << 18, 1 << 20]
+            .iter()
+            .map(|&n| build(&ValueDist::Uniform.generate(n, 7), eps, 7).size())
+            .collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap().max(&1);
+        assert!(max < 3 * min, "sizes should plateau, got {sizes:?}");
+        // And the plateau is O((1/ε)·log^1.5(1/ε)), far below n.
+        assert!(max < 4096, "size {max} too large for eps {eps}");
+    }
+
+    #[test]
+    fn base_weight_doubles_as_data_grows() {
+        let eps = 0.1;
+        let q_small = build(&ValueDist::Uniform.generate(1 << 10, 2), eps, 2);
+        let q_large = build(&ValueDist::Uniform.generate(1 << 18, 2), eps, 2);
+        assert!(q_large.base_weight() > q_small.base_weight());
+        assert!(q_large.base_weight().is_power_of_two());
+    }
+
+    #[test]
+    fn rank_error_within_epsilon_on_streams() {
+        let eps = 0.05;
+        for dist in ValueDist::canonical() {
+            let values = dist.generate(100_000, 13);
+            let oracle = RankOracle::from_stream(values.clone());
+            let q = build(&values, eps, 99);
+            let err = max_rank_error(&q, &oracle);
+            assert!(err <= eps, "{}: max rank error {err} > {eps}", dist.label());
+        }
+    }
+
+    #[test]
+    fn rank_error_within_epsilon_under_merge_trees() {
+        let eps = 0.05;
+        let values = ValueDist::Uniform.generate(65_536, 17);
+        let oracle = RankOracle::from_stream(values.clone());
+        for shape in MergeTree::canonical() {
+            let leaves: Vec<HybridQuantile<u64>> = values
+                .chunks(4096)
+                .enumerate()
+                .map(|(i, chunk)| build(chunk, eps, 500 + i as u64))
+                .collect();
+            let merged = merge_all(leaves, shape).unwrap();
+            assert_eq!(merged.count(), values.len() as u64);
+            let err = max_rank_error(&merged, &oracle);
+            assert!(
+                err <= eps,
+                "{}: max rank error {err} > {eps}",
+                shape.label()
+            );
+        }
+    }
+
+    #[test]
+    fn merging_summaries_of_very_different_sizes() {
+        let eps = 0.05;
+        let big_values = ValueDist::Uniform.generate(1 << 17, 19);
+        let small_values = ValueDist::Uniform.generate(100, 23);
+        let big = build(&big_values, eps, 1);
+        let small = build(&small_values, eps, 2);
+        assert!(big.base_weight() > small.base_weight());
+        let merged = big.merge(small).unwrap();
+        let mut all = big_values;
+        all.extend(small_values);
+        let oracle = RankOracle::from_stream(all);
+        let err = max_rank_error(&merged, &oracle);
+        assert!(err <= eps, "max rank error {err}");
+    }
+
+    #[test]
+    fn merged_size_stays_bounded() {
+        let eps = 0.05;
+        let values = ValueDist::Uniform.generate(1 << 18, 29);
+        let leaves: Vec<HybridQuantile<u64>> = values
+            .chunks(1 << 12)
+            .enumerate()
+            .map(|(i, chunk)| build(chunk, eps, i as u64))
+            .collect();
+        let single = build(&values, eps, 0);
+        let merged = merge_all(leaves, MergeTree::Balanced).unwrap();
+        assert!(
+            merged.size() <= 2 * single.size().max(64),
+            "merged size {} vs single-stream size {}",
+            merged.size(),
+            single.size()
+        );
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_epsilon() {
+        let a = HybridQuantile::<u64>::new(0.1, 0);
+        let b = HybridQuantile::<u64>::new(0.2, 0);
+        assert!(matches!(
+            a.merge(b),
+            Err(MergeError::EpsilonMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extreme_epsilon_values() {
+        // Coarse summary (eps near 1): tiny, still answers.
+        let mut coarse = HybridQuantile::new(0.9, 1);
+        for v in 0..10_000u64 {
+            coarse.insert(v);
+        }
+        assert!(coarse.size() <= 64, "size {}", coarse.size());
+        assert!(coarse.quantile(0.5).is_some());
+        // Values at the u64 extremes survive intact.
+        let mut edge = HybridQuantile::new(0.2, 2);
+        edge.insert(0u64);
+        edge.insert(u64::MAX);
+        assert_eq!(edge.quantile(0.0), Some(0));
+        assert_eq!(edge.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let values = ValueDist::Normal.generate(50_000, 31);
+        let run = || {
+            let q = build(&values, 0.05, 77);
+            (0..=10)
+                .map(|i| q.quantile(i as f64 / 10.0).unwrap())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

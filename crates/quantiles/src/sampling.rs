@@ -1,0 +1,235 @@
+//! Bottom-k sampling — the mergeable random-sampling baseline.
+//!
+//! Tag every element with an independent uniform 64-bit key and keep the
+//! `k` smallest tags. The kept elements are a uniform without-replacement
+//! sample, and the scheme is *perfectly* mergeable: the bottom-k of a union
+//! is the bottom-k of the two bottom-k sets. Rank estimates scale the
+//! sample rank by `n/k`, so the rank error is `Θ(n/√k)` — matching the
+//! `Θ(1/ε²)` sample-size cost the paper contrasts its `Õ(1/ε)` summary
+//! against (experiment E6).
+
+use ms_core::error::ensure_same_capacity;
+use ms_core::{Mergeable, Result, Rng64, Summary};
+
+use crate::RankSummary;
+
+/// Mergeable uniform sample of fixed capacity.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BottomKSample<T> {
+    k: usize,
+    /// `(tag, value)` pairs, kept sorted ascending by tag; at most `k`.
+    entries: Vec<(u64, T)>,
+    n: u64,
+    rng: Rng64,
+}
+
+impl<T: Ord + Clone> BottomKSample<T> {
+    /// Create a sampler keeping `k ≥ 1` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "sample capacity must be positive");
+        BottomKSample {
+            k,
+            entries: Vec::with_capacity(k + 1),
+            n: 0,
+            rng: Rng64::new(seed),
+        }
+    }
+
+    /// Sample capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// The sampled values (unordered).
+    pub fn sample(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Insert a pre-tagged element, keeping the k smallest tags.
+    fn insert_tagged(&mut self, tag: u64, value: T) {
+        let pos = self.entries.partition_point(|&(t, _)| t < tag);
+        if pos >= self.k {
+            return;
+        }
+        self.entries.insert(pos, (tag, value));
+        self.entries.truncate(self.k);
+    }
+}
+
+impl<T: Ord + Clone> RankSummary<T> for BottomKSample<T> {
+    fn insert(&mut self, value: T) {
+        self.n += 1;
+        let tag = self.rng.next_u64();
+        self.insert_tagged(tag, value);
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn rank(&self, x: &T) -> u64 {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        let below = self.entries.iter().filter(|(_, v)| v < x).count() as u128;
+        // Scale the sample rank to the population.
+        (below * self.n as u128 / self.entries.len() as u128) as u64
+    }
+
+    fn quantile(&self, phi: f64) -> Option<T> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut values: Vec<&T> = self.entries.iter().map(|(_, v)| v).collect();
+        values.sort();
+        let phi = phi.clamp(0.0, 1.0);
+        let idx = ((phi * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
+        Some(values[idx].clone())
+    }
+}
+
+impl<T: Ord + Clone> Summary for BottomKSample<T> {
+    fn total_weight(&self) -> u64 {
+        self.n
+    }
+
+    fn size(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<T: Ord + Clone> Mergeable for BottomKSample<T> {
+    /// Bottom-k of the union of the two bottom-k sets — exactly the
+    /// bottom-k sample of the combined population.
+    fn merge(mut self, other: Self) -> Result<Self> {
+        ensure_same_capacity("sample capacity (k)", self.k, other.k)?;
+        self.n += other.n;
+        self.rng.absorb(&other.rng);
+        for (tag, value) in other.entries {
+            self.insert_tagged(tag, value);
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::{merge_all, MergeTree, RankOracle};
+    use ms_workloads::ValueDist;
+
+    fn build(values: &[u64], k: usize, seed: u64) -> BottomKSample<u64> {
+        let mut s = BottomKSample::new(k, seed);
+        for &v in values {
+            s.insert(v);
+        }
+        s
+    }
+
+    #[test]
+    fn below_capacity_keeps_everything() {
+        let s = build(&[5, 1, 9], 10, 0);
+        assert_eq!(s.size(), 3);
+        assert_eq!(s.count(), 3);
+        // Rank scaling with full retention is exact.
+        assert_eq!(s.rank(&9), 2);
+        assert_eq!(s.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let s = build(&(0..10_000u64).collect::<Vec<_>>(), 64, 1);
+        assert_eq!(s.size(), 64);
+        assert_eq!(s.count(), 10_000);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Median of the sampled values should sit near the population
+        // median.
+        let values = ValueDist::Uniform.generate(100_000, 3);
+        let oracle = RankOracle::from_stream(values.clone());
+        let s = build(&values, 1024, 4);
+        let est = s.quantile(0.5).unwrap();
+        let err = oracle.rank_error(&est, 50_000);
+        assert!(
+            (err as f64) < 0.1 * values.len() as f64,
+            "median rank error {err}"
+        );
+    }
+
+    #[test]
+    fn merge_equals_bottom_k_of_union() {
+        // Deterministic check: merge result must be the k smallest tags of
+        // the union of the two entry lists.
+        let a = build(&(0..500u64).collect::<Vec<_>>(), 32, 5);
+        let b = build(&(500..1000u64).collect::<Vec<_>>(), 32, 6);
+        let mut union: Vec<(u64, u64)> =
+            a.entries.iter().chain(b.entries.iter()).cloned().collect();
+        union.sort();
+        union.truncate(32);
+        let merged = a.clone().merge(b).unwrap();
+        assert_eq!(merged.entries, union);
+        assert_eq!(merged.count(), 1000);
+    }
+
+    #[test]
+    fn merge_trees_preserve_uniformity() {
+        let values = ValueDist::Uniform.generate(40_000, 7);
+        let oracle = RankOracle::from_stream(values.clone());
+        for shape in MergeTree::canonical() {
+            let leaves: Vec<BottomKSample<u64>> = values
+                .chunks(5_000)
+                .enumerate()
+                .map(|(i, c)| build(c, 512, 100 + i as u64))
+                .collect();
+            let merged = merge_all(leaves, shape).unwrap();
+            assert_eq!(merged.size(), 512);
+            let est = merged.quantile(0.5).unwrap();
+            let err = oracle.rank_error(&est, 20_000);
+            assert!(
+                (err as f64) < 0.12 * values.len() as f64,
+                "{}: median rank error {err}",
+                shape.label()
+            );
+        }
+    }
+
+    #[test]
+    fn larger_samples_give_smaller_error() {
+        let values = ValueDist::Uniform.generate(60_000, 9);
+        let oracle = RankOracle::from_stream(values.clone());
+        let avg_err = |k: usize| -> f64 {
+            (0..10)
+                .map(|seed| {
+                    let s = build(&values, k, seed);
+                    let est = s.quantile(0.5).unwrap();
+                    oracle.rank_error(&est, 30_000) as f64
+                })
+                .sum::<f64>()
+                / 10.0
+        };
+        assert!(avg_err(4096) < avg_err(64));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_capacity() {
+        let a = BottomKSample::<u64>::new(8, 0);
+        let b = BottomKSample::<u64>::new(16, 0);
+        assert!(matches!(
+            a.merge(b),
+            Err(ms_core::MergeError::CapacityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sampler() {
+        let s = BottomKSample::<u64>::new(4, 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.rank(&3), 0);
+    }
+}

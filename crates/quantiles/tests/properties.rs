@@ -1,0 +1,141 @@
+//! Property tests for the quantile summaries: structural invariants that
+//! must hold for every input, independent of the probabilistic error
+//! analysis.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use ms_core::{Mergeable, Rng64, Summary};
+use ms_quantiles::{
+    BottomKSample, GkSummary, HybridQuantile, KnownNQuantile, RankSummary, SortedBuffer,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The same-weight merge keeps exactly half the points (to parity),
+    /// sorted, and every kept point comes from the inputs.
+    #[test]
+    fn same_weight_merge_structure(
+        a in vec(0u64..1000, 0..64),
+        b in vec(0u64..1000, 0..64),
+        seed in any::<u64>(),
+    ) {
+        let total = a.len() + b.len();
+        let ba = SortedBuffer::from_unsorted(a.clone());
+        let bb = SortedBuffer::from_unsorted(b.clone());
+        let mut rng = Rng64::new(seed);
+        let merged = SortedBuffer::same_weight_merge(ba, bb, &mut rng);
+        prop_assert!(merged.len() == total / 2 || merged.len() == total.div_ceil(2));
+        prop_assert!(merged.points().windows(2).all(|w| w[0] <= w[1]));
+        let mut pool: Vec<u64> = a;
+        pool.extend(b);
+        for p in merged.points() {
+            let pos = pool.iter().position(|x| x == p);
+            prop_assert!(pos.is_some(), "merge invented point {p}");
+            pool.swap_remove(pos.unwrap());
+        }
+    }
+
+    /// Rank estimates are bounded by n for all four summaries, and
+    /// monotone in the query for the point-set summaries. (GK's midpoint
+    /// estimator is *not* monotone in general — its uncertainty band can
+    /// narrow across tuples — so it is only checked for the bound.)
+    #[test]
+    fn ranks_are_monotone_and_bounded(values in vec(0u64..10_000, 1..800)) {
+        let n = values.len() as u64;
+        let mut known = KnownNQuantile::new(0.1, n, 1);
+        let mut hybrid = HybridQuantile::new(0.1, 1);
+        let mut gk = GkSummary::new(0.1);
+        let mut sample = BottomKSample::new(64, 1);
+        for &v in &values {
+            known.insert(v);
+            hybrid.insert(v);
+            gk.insert(v);
+            sample.insert(v);
+        }
+        let probes = [0u64, 100, 1_000, 5_000, 9_999, 10_000];
+        let mut prev = [0u64; 3];
+        for x in probes {
+            let monotone = [known.rank(&x), hybrid.rank(&x), sample.rank(&x)];
+            for (i, &r) in monotone.iter().enumerate() {
+                prop_assert!(r <= n, "summary {i}: rank {r} > n {n}");
+                prop_assert!(r >= prev[i], "summary {i}: rank not monotone");
+            }
+            prev = monotone;
+            prop_assert!(gk.rank(&x) <= n);
+        }
+    }
+
+    /// Quantile answers are always actual inserted values and move
+    /// monotonically with φ.
+    #[test]
+    fn quantiles_are_data_values(values in vec(0u64..10_000, 1..500), seed in any::<u64>()) {
+        let mut hybrid = HybridQuantile::new(0.1, seed);
+        for &v in &values {
+            hybrid.insert(v);
+        }
+        let mut prev = None;
+        for phi in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let q = hybrid.quantile(phi).expect("non-empty");
+            prop_assert!(values.contains(&q), "quantile {q} not in the data");
+            if let Some(p) = prev {
+                prop_assert!(q >= p, "quantiles not monotone in phi");
+            }
+            prev = Some(q);
+        }
+    }
+
+    /// Merging preserves counts exactly, for every split of the stream and
+    /// both randomized summaries.
+    #[test]
+    fn merge_preserves_count(
+        values in vec(0u64..1000, 0..600),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let cut = (values.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        let mk_known = |slice: &[u64], seed| {
+            let mut q = KnownNQuantile::new(0.1, 1_000, seed);
+            for &v in slice {
+                q.insert(v);
+            }
+            q
+        };
+        let merged = mk_known(&values[..cut], 1).merge(mk_known(&values[cut..], 2)).unwrap();
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(merged.total_weight(), values.len() as u64);
+
+        let mk_hybrid = |slice: &[u64], seed| {
+            let mut q = HybridQuantile::new(0.1, seed);
+            for &v in slice {
+                q.insert(v);
+            }
+            q
+        };
+        let merged = mk_hybrid(&values[..cut], 3).merge(mk_hybrid(&values[cut..], 4)).unwrap();
+        prop_assert_eq!(merged.count(), values.len() as u64);
+    }
+
+    /// The hybrid summary's size respects its own cap for any stream.
+    #[test]
+    fn hybrid_size_cap(values in vec(any::<u64>(), 0..2_000), seed in any::<u64>()) {
+        let mut q = HybridQuantile::new(0.1, seed);
+        for &v in &values {
+            q.insert(v);
+        }
+        let cap = q.buffer_capacity() * (q.max_levels() + 1) + 1;
+        prop_assert!(q.size() <= cap, "size {} over cap {cap}", q.size());
+    }
+
+    /// GK never stores more tuples than inserted values and stays within a
+    /// polylog multiple of 1/ε on sorted adversarial input.
+    #[test]
+    fn gk_size_control(n in 1usize..3_000) {
+        let mut gk = GkSummary::new(0.05);
+        for v in 0..n as u64 {
+            gk.insert(v);
+        }
+        prop_assert!(gk.size() <= n);
+        prop_assert!(gk.size() <= 400, "gk stored {} tuples", gk.size());
+    }
+}

@@ -1,0 +1,255 @@
+//! The mergeable 1D ε-approximation — interval range counting on the line.
+//!
+//! One-dimensional intervals are the range space that connects §5 back to
+//! §4: an ε-approximation for intervals answers every rank query within
+//! `εn`, i.e. it *is* a quantile summary. Here the merge-reduce framework
+//! is instantiated directly on the line (sorted halving is the *optimal*
+//! low-discrepancy coloring in 1D: an interval cuts at most two pairs), so
+//! experiments can compare the generic framework against the specialized
+//! quantile summaries of `ms-quantiles`.
+
+use ms_core::error::ensure_same_capacity;
+use ms_core::{Mergeable, Result, Rng64, Summary};
+
+/// Mergeable ε-approximation for interval ranges over `f64` values.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EpsApprox1d {
+    m: usize,
+    base: Vec<f64>,
+    /// Level `i` holds at most one sorted buffer of values, each worth
+    /// `2^i` inputs.
+    levels: Vec<Option<Vec<f64>>>,
+    n: u64,
+    rng: Rng64,
+}
+
+impl EpsApprox1d {
+    /// Create a summary with buffers of `m ≥ 2` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2`.
+    pub fn new(m: usize, seed: u64) -> Self {
+        assert!(m >= 2, "buffer size must be at least 2");
+        EpsApprox1d {
+            m,
+            base: Vec::with_capacity(m),
+            levels: Vec::new(),
+            n: 0,
+            rng: Rng64::new(seed),
+        }
+    }
+
+    /// Buffer size `m`.
+    pub fn buffer_capacity(&self) -> usize {
+        self.m
+    }
+
+    /// Insert a value (must not be NaN).
+    pub fn insert(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN has no rank");
+        self.n += 1;
+        self.base.push(value);
+        if self.base.len() >= self.m {
+            let mut buffer = std::mem::replace(&mut self.base, Vec::with_capacity(self.m));
+            buffer.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            self.push_level(0, buffer);
+        }
+    }
+
+    /// Insert many values.
+    pub fn extend_from<T: IntoIterator<Item = f64>>(&mut self, values: T) {
+        for v in values {
+            self.insert(v);
+        }
+    }
+
+    /// Carry a sorted buffer into the level structure; collisions merge by
+    /// keeping alternate positions of the merged order (the optimal 1D
+    /// halving).
+    fn push_level(&mut self, mut level: usize, mut buffer: Vec<f64>) {
+        loop {
+            if buffer.is_empty() {
+                return;
+            }
+            if self.levels.len() <= level {
+                self.levels.resize_with(level + 1, || None);
+            }
+            match self.levels[level].take() {
+                None => {
+                    self.levels[level] = Some(buffer);
+                    return;
+                }
+                Some(existing) => {
+                    buffer = halve_sorted(existing, buffer, &mut self.rng);
+                    level += 1;
+                }
+            }
+        }
+    }
+
+    /// Estimated number of inputs in the closed interval `[lo, hi]`.
+    pub fn estimate_count(&self, lo: f64, hi: f64) -> u64 {
+        let in_range = |v: f64| v >= lo && v <= hi;
+        let mut count = self.base.iter().filter(|&&v| in_range(v)).count() as u64;
+        for (i, slot) in self.levels.iter().enumerate() {
+            if let Some(buf) = slot {
+                count += (1u64 << i) * buf.iter().filter(|&&v| in_range(v)).count() as u64;
+            }
+        }
+        count
+    }
+
+    /// Estimated rank of `x` (inputs strictly below).
+    pub fn rank(&self, x: f64) -> u64 {
+        let mut rank = self.base.iter().filter(|&&v| v < x).count() as u64;
+        for (i, slot) in self.levels.iter().enumerate() {
+            if let Some(buf) = slot {
+                rank += (1u64 << i) * buf.partition_point(|&v| v < x) as u64;
+            }
+        }
+        rank
+    }
+}
+
+/// Merge two sorted buffers and keep alternate positions (random parity).
+fn halve_sorted(a: Vec<f64>, b: Vec<f64>, rng: &mut Rng64) -> Vec<f64> {
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    merged.push(ia.next().expect("peeked"));
+                } else {
+                    merged.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => merged.push(ia.next().expect("peeked")),
+            (None, Some(_)) => merged.push(ib.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    let offset = usize::from(rng.coin());
+    merged.into_iter().skip(offset).step_by(2).collect()
+}
+
+impl Summary for EpsApprox1d {
+    fn total_weight(&self) -> u64 {
+        self.n
+    }
+
+    fn size(&self) -> usize {
+        self.base.len() + self.levels.iter().flatten().map(Vec::len).sum::<usize>()
+    }
+}
+
+impl Mergeable for EpsApprox1d {
+    fn merge(mut self, other: Self) -> Result<Self> {
+        ensure_same_capacity("buffer size (m)", self.m, other.m)?;
+        self.n += other.n;
+        self.rng.absorb(&other.rng);
+        for (level, slot) in other.levels.into_iter().enumerate() {
+            if let Some(buffer) = slot {
+                self.push_level(level, buffer);
+            }
+        }
+        for v in other.base {
+            self.insert(v);
+            self.n -= 1; // insert() counted it again; the weight moved, not grew
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::{merge_all, MergeTree};
+    use ms_workloads::ValueDist;
+
+    fn to_f64(values: &[u64]) -> Vec<f64> {
+        values.iter().map(|&v| v as f64).collect()
+    }
+
+    fn build(values: &[f64], m: usize, seed: u64) -> EpsApprox1d {
+        let mut a = EpsApprox1d::new(m, seed);
+        a.extend_from(values.iter().copied());
+        a
+    }
+
+    fn max_interval_error(a: &EpsApprox1d, sorted: &[f64]) -> f64 {
+        let n = sorted.len() as f64;
+        let mut worst: f64 = 0.0;
+        for i in (0..sorted.len()).step_by(sorted.len() / 50 + 1) {
+            for j in (i..sorted.len()).step_by(sorted.len() / 50 + 1) {
+                let (lo, hi) = (sorted[i], sorted[j]);
+                let exact = sorted.iter().filter(|&&v| v >= lo && v <= hi).count() as f64;
+                let est = a.estimate_count(lo, hi) as f64;
+                worst = worst.max((est - exact).abs() / n);
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn exact_while_in_base() {
+        let a = build(&[3.0, 1.0, 2.0], 8, 0);
+        assert_eq!(a.estimate_count(1.0, 2.0), 2);
+        assert_eq!(a.rank(2.5), 2);
+        assert_eq!(a.total_weight(), 3);
+    }
+
+    #[test]
+    fn interval_error_within_epsilon() {
+        let values = to_f64(&ValueDist::Uniform.generate(32_768, 21));
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let a = build(&values, 256, 3);
+        let err = max_interval_error(&a, &sorted);
+        assert!(err <= 0.02, "interval error {err}");
+    }
+
+    #[test]
+    fn error_survives_merge_trees() {
+        let values = to_f64(&ValueDist::Normal.generate(32_768, 23));
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for shape in MergeTree::canonical() {
+            let leaves: Vec<EpsApprox1d> = values
+                .chunks(2048)
+                .enumerate()
+                .map(|(i, c)| build(c, 256, 100 + i as u64))
+                .collect();
+            let merged = merge_all(leaves, shape).unwrap();
+            assert_eq!(merged.total_weight(), values.len() as u64);
+            let err = max_interval_error(&merged, &sorted);
+            assert!(err <= 0.02, "{}: interval error {err}", shape.label());
+        }
+    }
+
+    #[test]
+    fn size_is_logarithmic() {
+        let small = build(&to_f64(&ValueDist::Uniform.generate(4_096, 1)), 128, 1);
+        let large = build(&to_f64(&ValueDist::Uniform.generate(262_144, 1)), 128, 1);
+        assert!(large.size() < 12 * small.size().max(1));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_m() {
+        let a = EpsApprox1d::new(64, 0);
+        let b = EpsApprox1d::new(128, 0);
+        assert!(a.merge(b).is_err());
+    }
+
+    #[test]
+    fn merge_weight_accounting_with_partial_bases() {
+        let mut a = EpsApprox1d::new(16, 1);
+        a.extend_from((0..10).map(|i| i as f64));
+        let mut b = EpsApprox1d::new(16, 2);
+        b.extend_from((10..25).map(|i| i as f64));
+        let m = a.merge(b).unwrap();
+        assert_eq!(m.total_weight(), 25);
+        assert_eq!(m.estimate_count(0.0, 24.0), 25);
+    }
+}

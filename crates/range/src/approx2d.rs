@@ -1,0 +1,301 @@
+//! The mergeable 2D ε-approximation summary.
+
+use ms_core::error::ensure_same_capacity;
+use ms_core::{MergeError, Mergeable, Point2, Rect, Result, Rng64, Summary};
+
+use crate::halving::Halving;
+use crate::merge_reduce::PointHierarchy;
+
+/// Mergeable ε-approximation for axis-aligned rectangle ranges in the
+/// plane, built on the merge-reduce framework of §5.
+///
+/// ```
+/// use ms_core::{Point2, Rect};
+/// use ms_range::{EpsApprox2d, Halving};
+///
+/// let mut approx = EpsApprox2d::new(256, Halving::Hilbert, 7);
+/// for i in 0..1000 {
+///     approx.insert(Point2::new((i % 100) as f64, (i / 100) as f64));
+/// }
+/// let quadrant = Rect::new(0.0, 49.0, 0.0, 4.0);
+/// let estimate = approx.estimate_count(&quadrant);
+/// assert!((200..=300).contains(&estimate)); // exact answer is 250
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EpsApprox2d {
+    m: usize,
+    base: Vec<Point2>,
+    hierarchy: PointHierarchy,
+    n: u64,
+    rng: Rng64,
+}
+
+impl EpsApprox2d {
+    /// Create a summary with buffers of `m ≥ 2` points and the given
+    /// halving strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2`.
+    pub fn new(m: usize, halving: Halving, seed: u64) -> Self {
+        assert!(m >= 2, "buffer size must be at least 2");
+        EpsApprox2d {
+            m,
+            base: Vec::with_capacity(m),
+            hierarchy: PointHierarchy::new(halving),
+            n: 0,
+            rng: Rng64::new(seed),
+        }
+    }
+
+    /// Heuristic sizing for a target ε with the Hilbert halving: buffers of
+    /// `m = ⌈4/ε⌉` points keep the observed rectangle-count error under
+    /// `εn` on the experiment workloads (the paper's asymptotic sizes hide
+    /// constants; E7 sweeps `m` explicitly).
+    pub fn for_epsilon(epsilon: f64, seed: u64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        Self::new(
+            ((4.0 / epsilon).ceil() as usize).max(8),
+            Halving::Hilbert,
+            seed,
+        )
+    }
+
+    /// Buffer size `m`.
+    pub fn buffer_capacity(&self) -> usize {
+        self.m
+    }
+
+    /// The halving strategy.
+    pub fn halving(&self) -> Halving {
+        self.halving_ref()
+    }
+
+    fn halving_ref(&self) -> Halving {
+        self.hierarchy.halving()
+    }
+
+    /// Insert a point.
+    pub fn insert(&mut self, p: Point2) {
+        self.n += 1;
+        self.base.push(p);
+        if self.base.len() >= self.m {
+            let buffer = std::mem::replace(&mut self.base, Vec::with_capacity(self.m));
+            self.hierarchy.push_buffer(0, buffer, &mut self.rng);
+        }
+    }
+
+    /// Insert many points.
+    pub fn extend_from<T: IntoIterator<Item = Point2>>(&mut self, points: T) {
+        for p in points {
+            self.insert(p);
+        }
+    }
+
+    /// Estimated number of input points inside `r`.
+    pub fn estimate_count(&self, r: &Rect) -> u64 {
+        let base = self.base.iter().filter(|p| r.contains(p)).count() as u64;
+        base + self.hierarchy.weighted_count(|p| r.contains(p))
+    }
+
+    /// Estimated number of input points satisfying an arbitrary range
+    /// predicate (halfplanes, disks, …). The εn guarantee applies to range
+    /// families of bounded VC dimension whose shapes the halving respects;
+    /// experiment E7 measures rectangles and halfplanes.
+    pub fn estimate_count_where<F: Fn(&Point2) -> bool>(&self, range: F) -> u64 {
+        let base = self.base.iter().filter(|p| range(p)).count() as u64;
+        base + self.hierarchy.weighted_count(range)
+    }
+
+    /// Estimated fraction of input points inside `r`.
+    pub fn estimate_fraction(&self, r: &Rect) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.estimate_count(r) as f64 / self.n as f64
+        }
+    }
+
+    /// Every stored point with its weight (base points weigh 1).
+    pub fn weighted_points(&self) -> Vec<(Point2, u64)> {
+        let mut out: Vec<(Point2, u64)> = self.base.iter().map(|p| (*p, 1u64)).collect();
+        self.hierarchy.collect_weighted(&mut out);
+        out
+    }
+}
+
+impl Summary for EpsApprox2d {
+    fn total_weight(&self) -> u64 {
+        self.n
+    }
+
+    fn size(&self) -> usize {
+        self.base.len() + self.hierarchy.stored_points()
+    }
+}
+
+impl Mergeable for EpsApprox2d {
+    fn merge(mut self, other: Self) -> Result<Self> {
+        ensure_same_capacity("buffer size (m)", self.m, other.m)?;
+        if self.halving_ref() != other.halving_ref() {
+            return Err(MergeError::Incompatible(
+                "halving strategies differ between summaries",
+            ));
+        }
+        self.n += other.n;
+        self.rng.absorb(&other.rng);
+        self.hierarchy.absorb(other.hierarchy, &mut self.rng);
+        for p in other.base {
+            self.base.push(p);
+            if self.base.len() >= self.m {
+                let buffer = std::mem::replace(&mut self.base, Vec::with_capacity(self.m));
+                self.hierarchy.push_buffer(0, buffer, &mut self.rng);
+            }
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranges::{count_in, grid_queries};
+    use ms_core::{merge_all, MergeTree};
+    use ms_workloads::CloudKind;
+
+    fn build(points: &[Point2], m: usize, halving: Halving, seed: u64) -> EpsApprox2d {
+        let mut a = EpsApprox2d::new(m, halving, seed);
+        a.extend_from(points.iter().copied());
+        a
+    }
+
+    /// Max |estimate − exact| over a query grid, in units of n.
+    fn max_rel_error(a: &EpsApprox2d, points: &[Point2], side: usize) -> f64 {
+        let n = points.len() as f64;
+        grid_queries(points, side)
+            .iter()
+            .map(|r| (a.estimate_count(r) as f64 - count_in(points, r) as f64).abs() / n)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn exact_while_in_base() {
+        let pts = CloudKind::UniformSquare.generate(10, 1);
+        let a = build(&pts, 64, Halving::Hilbert, 1);
+        let r = Rect::new(0.0, 1.0, 0.0, 1.0);
+        assert_eq!(a.estimate_count(&r), 10);
+        assert_eq!(a.size(), 10);
+    }
+
+    #[test]
+    fn error_within_epsilon_on_clouds() {
+        let eps = 0.05;
+        for cloud in [
+            CloudKind::UniformSquare,
+            CloudKind::Gaussian,
+            CloudKind::TwoClusters,
+        ] {
+            let pts = cloud.generate(20_000, 3);
+            let a = build(&pts, 256, Halving::Hilbert, 9);
+            let err = max_rel_error(&a, &pts, 6);
+            assert!(err <= eps, "{}: error {err}", cloud.label());
+        }
+    }
+
+    #[test]
+    fn error_within_epsilon_under_merge_trees() {
+        let eps = 0.05;
+        let pts = CloudKind::UniformSquare.generate(16_384, 5);
+        for shape in MergeTree::canonical() {
+            let leaves: Vec<EpsApprox2d> = pts
+                .chunks(1024)
+                .enumerate()
+                .map(|(i, c)| build(c, 256, Halving::Hilbert, 50 + i as u64))
+                .collect();
+            let merged = merge_all(leaves, shape).unwrap();
+            assert_eq!(merged.total_weight(), pts.len() as u64);
+            let err = max_rel_error(&merged, &pts, 6);
+            assert!(err <= eps, "{}: error {err}", shape.label());
+        }
+    }
+
+    #[test]
+    fn size_grows_logarithmically_in_n() {
+        let small = build(
+            &CloudKind::UniformSquare.generate(4_096, 6),
+            128,
+            Halving::Hilbert,
+            1,
+        );
+        let large = build(
+            &CloudKind::UniformSquare.generate(262_144, 6),
+            128,
+            Halving::Hilbert,
+            1,
+        );
+        assert!(
+            large.size() < 12 * small.size().max(1),
+            "small {}, large {}",
+            small.size(),
+            large.size()
+        );
+    }
+
+    #[test]
+    fn hilbert_beats_random_halving_end_to_end() {
+        let pts = CloudKind::UniformSquare.generate(32_768, 7);
+        let avg = |halving: Halving| -> f64 {
+            (0..5)
+                .map(|seed| {
+                    let a = build(&pts, 128, halving, seed);
+                    max_rel_error(&a, &pts, 5)
+                })
+                .sum::<f64>()
+                / 5.0
+        };
+        let hilbert = avg(Halving::Hilbert);
+        let random = avg(Halving::Random);
+        assert!(
+            hilbert < random,
+            "hilbert {hilbert} should beat random {random}"
+        );
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_parameters() {
+        let a = EpsApprox2d::new(64, Halving::Hilbert, 1);
+        let b = EpsApprox2d::new(128, Halving::Hilbert, 1);
+        assert!(matches!(
+            a.merge(b),
+            Err(MergeError::CapacityMismatch { .. })
+        ));
+        let a = EpsApprox2d::new(64, Halving::Hilbert, 1);
+        let b = EpsApprox2d::new(64, Halving::Random, 1);
+        assert!(matches!(a.merge(b), Err(MergeError::Incompatible(_))));
+    }
+
+    #[test]
+    fn fraction_estimates() {
+        let pts = CloudKind::UniformSquare.generate(10_000, 8);
+        let a = build(&pts, 256, Halving::Hilbert, 2);
+        let half = Rect::new(0.0, 0.5, 0.0, 1.0);
+        let frac = a.estimate_fraction(&half);
+        assert!((frac - 0.5).abs() < 0.05, "fraction {frac}");
+        let empty = EpsApprox2d::new(16, Halving::Hilbert, 0);
+        assert_eq!(empty.estimate_fraction(&half), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = CloudKind::Gaussian.generate(50_000, 9);
+        let run = || {
+            let a = build(&pts, 128, Halving::Hilbert, 33);
+            let r = Rect::new(-1.0, 1.0, -1.0, 1.0);
+            a.estimate_count(&r)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,224 @@
+//! Halving strategies: reduce `2m` points to `m` while keeping every
+//! rectangle's count nearly proportional.
+
+use ms_core::{Point2, Rect, Rng64};
+
+/// How a buffer of points is halved during a reduce step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Halving {
+    /// Keep a uniformly random half — the control strategy; per-halving
+    /// discrepancy `Θ(√m)`.
+    Random,
+    /// Sort by `x` and keep alternate positions (random parity). Optimal
+    /// for ranges determined by an `x`-interval; used for the 1D
+    /// experiments and as a cheap general-purpose fallback.
+    SortedX,
+    /// Sort along a Hilbert space-filling curve, pair consecutive points
+    /// and keep one per pair (random choice). Paired points are spatial
+    /// neighbors, so any rectangle splits few pairs — low discrepancy for
+    /// axis-aligned ranges.
+    Hilbert,
+}
+
+impl Halving {
+    /// Reduce `points` (any even or odd length) to `⌈len/2⌉` or `⌊len/2⌋`
+    /// points (parity chosen by the RNG where applicable).
+    pub fn halve(&self, mut points: Vec<Point2>, rng: &mut Rng64) -> Vec<Point2> {
+        match self {
+            Halving::Random => {
+                rng.shuffle(&mut points);
+                points.truncate(points.len() / 2);
+                points
+            }
+            Halving::SortedX => {
+                points.sort_by(|a, b| {
+                    a.x.partial_cmp(&b.x)
+                        .expect("point coordinates must not be NaN")
+                        .then(
+                            a.y.partial_cmp(&b.y)
+                                .expect("point coordinates must not be NaN"),
+                        )
+                });
+                let offset = usize::from(rng.coin());
+                points.into_iter().skip(offset).step_by(2).collect()
+            }
+            Halving::Hilbert => {
+                let keys = hilbert_keys(&points);
+                let mut indexed: Vec<(u64, Point2)> = keys.into_iter().zip(points).collect();
+                indexed.sort_by_key(|&(k, _)| k);
+                // Keep one point of each consecutive pair, chosen by coin.
+                let mut out = Vec::with_capacity(indexed.len() / 2 + 1);
+                let mut iter = indexed.into_iter();
+                while let Some((_, a)) = iter.next() {
+                    match iter.next() {
+                        Some((_, b)) => out.push(if rng.coin() { a } else { b }),
+                        None => {
+                            // Odd leftover survives with probability 1/2 —
+                            // keeps the expected kept-weight unbiased.
+                            if rng.coin() {
+                                out.push(a);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Halving::Random => "random",
+            Halving::SortedX => "sorted-x",
+            Halving::Hilbert => "hilbert",
+        }
+    }
+}
+
+/// Order of the Hilbert curve used for pairing (coordinates quantized to
+/// 16 bits within the buffer's bounding box).
+const HILBERT_ORDER: u32 = 16;
+
+/// Hilbert index of every point, quantized within the set's bounding box.
+fn hilbert_keys(points: &[Point2]) -> Vec<u64> {
+    let Some(bounds) = Rect::bounding(points) else {
+        return Vec::new();
+    };
+    let side = (1u32 << HILBERT_ORDER) - 1;
+    let span_x = (bounds.x_hi - bounds.x_lo).max(f64::MIN_POSITIVE);
+    let span_y = (bounds.y_hi - bounds.y_lo).max(f64::MIN_POSITIVE);
+    points
+        .iter()
+        .map(|p| {
+            let qx = (((p.x - bounds.x_lo) / span_x) * side as f64) as u32;
+            let qy = (((p.y - bounds.y_lo) / span_y) * side as f64) as u32;
+            hilbert_d(qx.min(side), qy.min(side))
+        })
+        .collect()
+}
+
+/// Map quantized `(x, y)` to its distance along the order-16 Hilbert curve
+/// (the standard bit-twiddling walk).
+fn hilbert_d(mut x: u32, mut y: u32) -> u64 {
+    let n: u32 = 1 << HILBERT_ORDER;
+    let mut d: u64 = 0;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = u32::from(x & s > 0);
+        let ry = u32::from(y & s > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate the quadrant so the curve orientation is consistent.
+        if ry == 0 {
+            if rx == 1 {
+                x = (n - 1) - x;
+                y = (n - 1) - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_workloads::CloudKind;
+
+    #[test]
+    fn halving_keeps_half() {
+        let pts = CloudKind::UniformSquare.generate(256, 1);
+        let mut rng = Rng64::new(2);
+        for strategy in [Halving::Random, Halving::SortedX, Halving::Hilbert] {
+            let kept = strategy.halve(pts.clone(), &mut rng);
+            assert_eq!(kept.len(), 128, "{}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn odd_lengths_are_handled() {
+        let pts = CloudKind::UniformSquare.generate(257, 3);
+        let mut rng = Rng64::new(4);
+        for strategy in [Halving::Random, Halving::SortedX, Halving::Hilbert] {
+            let kept = strategy.halve(pts.clone(), &mut rng).len();
+            assert!(
+                kept == 128 || kept == 129,
+                "{}: kept {kept}",
+                strategy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn kept_points_are_a_subset() {
+        let pts = CloudKind::Gaussian.generate(128, 5);
+        let mut rng = Rng64::new(6);
+        for strategy in [Halving::Random, Halving::SortedX, Halving::Hilbert] {
+            for p in strategy.halve(pts.clone(), &mut rng) {
+                assert!(
+                    pts.iter().any(|q| q == &p),
+                    "{} invented a point",
+                    strategy.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_d_is_injective_on_small_grid() {
+        // All order-16 indices of a 16×16 sub-grid must be distinct.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                assert!(seen.insert(hilbert_d(x * 4096, y * 4096)), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_neighbors_are_close_in_space() {
+        // Walking one step along the curve moves one grid cell.
+        let n: u64 = 1 << HILBERT_ORDER;
+        let corner = hilbert_d(0, 0);
+        assert_eq!(corner, 0);
+        let last = hilbert_d(n as u32 - 1, 0);
+        assert_eq!(last, n * n - 1); // the curve ends at (n-1, 0)
+    }
+
+    #[test]
+    fn halving_discrepancy_ranking() {
+        // For one halving of uniform points, the max rectangle-count error
+        // of Hilbert/SortedX pairing is below random sampling's.
+        use crate::ranges::{discrepancy, grid_queries};
+        let pts = CloudKind::UniformSquare.generate(4096, 7);
+        let queries = grid_queries(&pts, 8);
+        let err = |strategy: Halving| -> f64 {
+            // Average over seeds to suppress luck.
+            (0..10)
+                .map(|seed| {
+                    let mut rng = Rng64::new(seed);
+                    let kept = strategy.halve(pts.clone(), &mut rng);
+                    discrepancy(&pts, &kept, 2, &queries)
+                })
+                .sum::<f64>()
+                / 10.0
+        };
+        let random = err(Halving::Random);
+        let hilbert = err(Halving::Hilbert);
+        assert!(
+            hilbert < random,
+            "hilbert {hilbert} should beat random {random}"
+        );
+    }
+
+    #[test]
+    fn halve_empty_and_single() {
+        let mut rng = Rng64::new(8);
+        for strategy in [Halving::Random, Halving::SortedX, Halving::Hilbert] {
+            assert!(strategy.halve(Vec::new(), &mut rng).is_empty());
+            let one = strategy.halve(vec![Point2::new(1.0, 2.0)], &mut rng);
+            assert!(one.len() <= 1);
+        }
+    }
+}

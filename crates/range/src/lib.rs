@@ -1,0 +1,42 @@
+//! Mergeable ε-approximations of range spaces (PODS'12, §5).
+//!
+//! An **ε-approximation** of a point set `P` for a range family `R` is a
+//! weighted subset `A ⊆ P` such that for every range `r ∈ R`
+//!
+//! ```text
+//! | weight(A ∩ r) − |P ∩ r| |  ≤  ε·|P| .
+//! ```
+//!
+//! It generalizes quantile summaries (1D intervals) to geometric ranges —
+//! here axis-aligned rectangles in the plane, the canonical VC-dimension-4
+//! family.
+//!
+//! The paper makes ε-approximations mergeable with the **merge-reduce**
+//! framework: keep at most one buffer of `m` points per level (points at
+//! level `i` weigh `2^i`); merging two same-level buffers concatenates the
+//! `2m` points and *reduces* back to `m` by a **low-discrepancy halving** —
+//! a coloring of the points into pairs such that keeping one point per pair
+//! misclassifies few points of any range. The hierarchy is a binary
+//! counter, so arbitrary merge trees reduce to the same level-wise
+//! operation and the error telescopes to `ε·n`.
+//!
+//! Substitution note (see `DESIGN.md`): the paper's optimal halvings come
+//! from iterated low-discrepancy colorings (Beck's theorem / ham-sandwich
+//! constructions). This crate implements three practical halvings behind
+//! one interface — [`Halving::Random`] (the control), [`Halving::SortedX`]
+//! (optimal for 1D-like ranges), and [`Halving::Hilbert`] (pair spatial
+//! neighbors along a Hilbert curve, drop one per pair) — which preserve the
+//! merge-reduce code path and the `εn` error *shape*; constants differ from
+//! the theory. Experiment E7 measures all three.
+
+pub mod approx1d;
+pub mod approx2d;
+pub mod halving;
+pub mod merge_reduce;
+pub mod ranges;
+
+pub use approx1d::EpsApprox1d;
+pub use approx2d::EpsApprox2d;
+pub use halving::Halving;
+pub use merge_reduce::PointHierarchy;
+pub use ranges::{discrepancy, grid_queries, random_halfplanes, random_queries, Halfplane};

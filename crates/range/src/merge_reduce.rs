@@ -1,0 +1,190 @@
+//! The merge-reduce hierarchy over point buffers — the geometric analogue
+//! of the quantile buffer hierarchy, with a pluggable halving.
+
+use ms_core::{Point2, Rng64};
+
+use crate::halving::Halving;
+
+/// Binary-counter hierarchy of point buffers: level `i` holds at most one
+/// buffer whose points each represent `2^i` input points.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PointHierarchy {
+    levels: Vec<Option<Vec<Point2>>>,
+    halving: Halving,
+}
+
+impl PointHierarchy {
+    /// Empty hierarchy with the given reduce strategy.
+    pub fn new(halving: Halving) -> Self {
+        PointHierarchy {
+            levels: Vec::new(),
+            halving,
+        }
+    }
+
+    /// The reduce strategy in use.
+    pub fn halving(&self) -> Halving {
+        self.halving
+    }
+
+    /// Index of the highest occupied level + 1 (0 if empty).
+    pub fn num_levels(&self) -> usize {
+        self.levels
+            .iter()
+            .rposition(|l| l.is_some())
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Total stored points.
+    pub fn stored_points(&self) -> usize {
+        self.levels.iter().flatten().map(Vec::len).sum()
+    }
+
+    /// Insert a buffer at `level`, merging-and-reducing upward on
+    /// collision: concatenate the two buffers (2m points) and halve back
+    /// to m, placing the result one level up.
+    pub fn push_buffer(&mut self, mut level: usize, mut buffer: Vec<Point2>, rng: &mut Rng64) {
+        loop {
+            if buffer.is_empty() {
+                return;
+            }
+            if self.levels.len() <= level {
+                self.levels.resize_with(level + 1, || None);
+            }
+            match self.levels[level].take() {
+                None => {
+                    self.levels[level] = Some(buffer);
+                    return;
+                }
+                Some(mut existing) => {
+                    existing.append(&mut buffer);
+                    buffer = self.halving.halve(existing, rng);
+                    level += 1;
+                }
+            }
+        }
+    }
+
+    /// Merge another hierarchy into this one, level-wise with carries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two hierarchies use different halvings (callers
+    /// validate first and return a typed error).
+    pub fn absorb(&mut self, other: PointHierarchy, rng: &mut Rng64) {
+        assert_eq!(self.halving, other.halving, "halving mismatch");
+        for (level, slot) in other.levels.into_iter().enumerate() {
+            if let Some(buffer) = slot {
+                self.push_buffer(level, buffer, rng);
+            }
+        }
+    }
+
+    /// Weighted count of stored points satisfying `pred`.
+    pub fn weighted_count<F: Fn(&Point2) -> bool>(&self, pred: F) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.as_ref()
+                    .map(|buf| (1u64 << i) * buf.iter().filter(|p| pred(p)).count() as u64)
+            })
+            .sum()
+    }
+
+    /// Total represented weight.
+    pub fn total_weight(&self) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|buf| (1u64 << i) * buf.len() as u64))
+            .sum()
+    }
+
+    /// Append every stored point with its weight to `out`.
+    pub fn collect_weighted(&self, out: &mut Vec<(Point2, u64)>) {
+        for (i, slot) in self.levels.iter().enumerate() {
+            if let Some(buf) = slot {
+                out.extend(buf.iter().map(|p| (*p, 1u64 << i)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(range: std::ops::Range<i32>) -> Vec<Point2> {
+        range.map(|i| Point2::new(i as f64, -i as f64)).collect()
+    }
+
+    #[test]
+    fn binary_counter_structure() {
+        let mut h = PointHierarchy::new(Halving::Hilbert);
+        let mut rng = Rng64::new(1);
+        for i in 0..8 {
+            h.push_buffer(0, pts(i * 4..(i + 1) * 4), &mut rng);
+        }
+        // 8 pushes → one buffer at level 3 of (about) 4 points.
+        assert_eq!(h.num_levels(), 4);
+        assert!(h.stored_points() <= 5);
+    }
+
+    #[test]
+    fn weight_is_approximately_conserved() {
+        let mut h = PointHierarchy::new(Halving::SortedX);
+        let mut rng = Rng64::new(2);
+        for i in 0..16 {
+            h.push_buffer(0, pts(i * 8..(i + 1) * 8), &mut rng);
+        }
+        let total = h.total_weight();
+        // 128 input points; halvings of even-size buffers conserve weight
+        // exactly; odd leftovers can drift by ±(level weight).
+        assert!(total.abs_diff(128) <= 16, "total weight {total}");
+    }
+
+    #[test]
+    fn weighted_count_tracks_predicates() {
+        let mut h = PointHierarchy::new(Halving::SortedX);
+        let mut rng = Rng64::new(3);
+        for i in 0..4 {
+            h.push_buffer(0, pts(i * 16..(i + 1) * 16), &mut rng);
+        }
+        // Half the 64 points have x < 32.
+        let est = h.weighted_count(|p| p.x < 32.0);
+        assert!(est.abs_diff(32) <= 8, "estimate {est}");
+    }
+
+    #[test]
+    fn absorb_carries_levels() {
+        let mut rng = Rng64::new(4);
+        let mut a = PointHierarchy::new(Halving::Random);
+        let mut b = PointHierarchy::new(Halving::Random);
+        a.push_buffer(0, pts(0..8), &mut rng);
+        b.push_buffer(0, pts(8..16), &mut rng);
+        a.absorb(b, &mut rng);
+        assert_eq!(a.num_levels(), 2);
+        assert_eq!(a.total_weight(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "halving mismatch")]
+    fn absorb_rejects_mixed_strategies() {
+        let mut rng = Rng64::new(5);
+        let mut a = PointHierarchy::new(Halving::Random);
+        let b = PointHierarchy::new(Halving::Hilbert);
+        a.absorb(b, &mut rng);
+    }
+
+    #[test]
+    fn collect_weighted_reports_level_weights() {
+        let mut h = PointHierarchy::new(Halving::SortedX);
+        let mut rng = Rng64::new(6);
+        h.push_buffer(1, pts(0..2), &mut rng);
+        let mut out = Vec::new();
+        h.collect_weighted(&mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|&(_, w)| w == 2));
+    }
+}

@@ -1,0 +1,203 @@
+//! Rectangle query workloads and the discrepancy measure used to score
+//! ε-approximations.
+
+use ms_core::{Point2, Rect, Rng64};
+
+/// A closed halfplane `a·x + b·y ≤ c` — the VC-dimension-3 range family of
+/// §5 (rectangles have VC dimension 4; halfplanes are the other canonical
+/// family the merge-reduce framework covers).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Halfplane {
+    /// Normal x component.
+    pub a: f64,
+    /// Normal y component.
+    pub b: f64,
+    /// Offset.
+    pub c: f64,
+}
+
+impl Halfplane {
+    /// Containment test.
+    #[inline]
+    pub fn contains(&self, p: &Point2) -> bool {
+        self.a * p.x + self.b * p.y <= self.c
+    }
+}
+
+/// `count` random halfplanes whose boundary crosses the data's bounding
+/// box (degenerate all-in / all-out queries are uninformative).
+pub fn random_halfplanes(points: &[Point2], count: usize, seed: u64) -> Vec<Halfplane> {
+    let Some(bbox) = Rect::bounding(points) else {
+        return Vec::new();
+    };
+    let mut rng = Rng64::new(seed);
+    (0..count)
+        .map(|_| {
+            let theta = rng.f64() * std::f64::consts::TAU;
+            let (a, b) = (theta.cos(), theta.sin());
+            // Pick the offset so the boundary passes through a random
+            // point of the bounding box.
+            let px = bbox.x_lo + rng.f64() * (bbox.x_hi - bbox.x_lo);
+            let py = bbox.y_lo + rng.f64() * (bbox.y_hi - bbox.y_lo);
+            Halfplane {
+                a,
+                b,
+                c: a * px + b * py,
+            }
+        })
+        .collect()
+}
+
+/// Count points satisfying an arbitrary range predicate.
+pub fn count_where<F: Fn(&Point2) -> bool>(set: &[Point2], range: F) -> u64 {
+    set.iter().filter(|p| range(p)).count() as u64
+}
+
+/// All axis-aligned rectangles spanned by a `(side+1)²` grid of cut points
+/// over the data's bounding box — `O(side⁴)` queries that systematically
+/// cover the range space at grid resolution.
+pub fn grid_queries(points: &[Point2], side: usize) -> Vec<Rect> {
+    let Some(b) = Rect::bounding(points) else {
+        return Vec::new();
+    };
+    let xs: Vec<f64> = (0..=side)
+        .map(|i| b.x_lo + (b.x_hi - b.x_lo) * i as f64 / side as f64)
+        .collect();
+    let ys: Vec<f64> = (0..=side)
+        .map(|i| b.y_lo + (b.y_hi - b.y_lo) * i as f64 / side as f64)
+        .collect();
+    let mut out = Vec::new();
+    for i in 0..=side {
+        for j in (i + 1)..=side {
+            for k in 0..=side {
+                for l in (k + 1)..=side {
+                    out.push(Rect::new(xs[i], xs[j], ys[k], ys[l]));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `count` random rectangles inside the data's bounding box.
+pub fn random_queries(points: &[Point2], count: usize, seed: u64) -> Vec<Rect> {
+    let Some(b) = Rect::bounding(points) else {
+        return Vec::new();
+    };
+    let mut rng = Rng64::new(seed);
+    (0..count)
+        .map(|_| {
+            let x1 = b.x_lo + rng.f64() * (b.x_hi - b.x_lo);
+            let x2 = b.x_lo + rng.f64() * (b.x_hi - b.x_lo);
+            let y1 = b.y_lo + rng.f64() * (b.y_hi - b.y_lo);
+            let y2 = b.y_lo + rng.f64() * (b.y_hi - b.y_lo);
+            Rect::new(x1, x2, y1, y2)
+        })
+        .collect()
+}
+
+/// Count points of `set` inside `r`.
+pub fn count_in(set: &[Point2], r: &Rect) -> u64 {
+    set.iter().filter(|p| r.contains(p)).count() as u64
+}
+
+/// Maximum over `queries` of `|weight·|A∩r| − |P∩r||`, i.e. the absolute
+/// range-count error of the weighted subset `approx` against the full set.
+pub fn discrepancy(full: &[Point2], approx: &[Point2], weight: u64, queries: &[Rect]) -> f64 {
+    queries
+        .iter()
+        .map(|r| {
+            let exact = count_in(full, r) as f64;
+            let est = (weight * count_in(approx, r)) as f64;
+            (est - exact).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_workloads::CloudKind;
+
+    #[test]
+    fn halfplane_contains() {
+        let h = Halfplane {
+            a: 1.0,
+            b: 0.0,
+            c: 0.5,
+        };
+        assert!(h.contains(&Point2::new(0.5, 99.0)));
+        assert!(h.contains(&Point2::new(-3.0, 0.0)));
+        assert!(!h.contains(&Point2::new(0.6, 0.0)));
+    }
+
+    #[test]
+    fn random_halfplanes_are_non_degenerate() {
+        let pts = CloudKind::UniformSquare.generate(2_000, 11);
+        let planes = random_halfplanes(&pts, 100, 7);
+        assert_eq!(planes.len(), 100);
+        // Most planes must split the data (not all-in or all-out).
+        let splitting = planes
+            .iter()
+            .filter(|h| {
+                let inside = count_where(&pts, |p| h.contains(p));
+                inside > 0 && inside < pts.len() as u64
+            })
+            .count();
+        assert!(splitting > 80, "only {splitting} of 100 planes split");
+    }
+
+    #[test]
+    fn count_where_matches_count_in() {
+        let pts = CloudKind::Disk.generate(500, 12);
+        let r = Rect::new(-0.5, 0.5, -0.5, 0.5);
+        assert_eq!(count_where(&pts, |p| r.contains(p)), count_in(&pts, &r));
+    }
+
+    #[test]
+    fn grid_queries_count() {
+        let pts = CloudKind::UniformSquare.generate(100, 1);
+        let q = grid_queries(&pts, 4);
+        // C(5,2)² = 100 rectangles.
+        assert_eq!(q.len(), 100);
+    }
+
+    #[test]
+    fn grid_queries_cover_the_bounding_box() {
+        let pts = CloudKind::UniformSquare.generate(500, 2);
+        let q = grid_queries(&pts, 2);
+        // The largest grid rectangle is the bounding box: contains all.
+        let all = q.iter().map(|r| count_in(&pts, r)).max().unwrap();
+        assert_eq!(all, 500);
+    }
+
+    #[test]
+    fn random_queries_are_inside_bounds() {
+        let pts = CloudKind::Disk.generate(200, 3);
+        let b = Rect::bounding(&pts).unwrap();
+        for r in random_queries(&pts, 50, 4) {
+            assert!(r.x_lo >= b.x_lo && r.x_hi <= b.x_hi);
+            assert!(r.y_lo >= b.y_lo && r.y_hi <= b.y_hi);
+        }
+    }
+
+    #[test]
+    fn discrepancy_of_identity_is_zero() {
+        let pts = CloudKind::UniformSquare.generate(300, 5);
+        let q = grid_queries(&pts, 4);
+        assert_eq!(discrepancy(&pts, &pts, 1, &q), 0.0);
+    }
+
+    #[test]
+    fn discrepancy_of_empty_approx_is_max_count() {
+        let pts = CloudKind::UniformSquare.generate(300, 6);
+        let q = grid_queries(&pts, 2);
+        assert_eq!(discrepancy(&pts, &[], 1, &q), 300.0);
+    }
+
+    #[test]
+    fn empty_point_set_yields_no_queries() {
+        assert!(grid_queries(&[], 4).is_empty());
+        assert!(random_queries(&[], 10, 0).is_empty());
+    }
+}

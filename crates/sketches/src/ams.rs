@@ -1,0 +1,231 @@
+//! The AMS "tug-of-war" sketch for the second frequency moment `F₂`
+//! (Alon, Matias, Szegedy).
+//!
+//! Each cell holds `Σ_x s(x)·f(x)` for a 4-wise independent sign hash `s`;
+//! `cell²` is an unbiased estimator of `F₂ = Σ_x f(x)²` with variance
+//! `≤ 2F₂²`. Averaging `width` cells brings the relative standard error to
+//! `√(2/width)`; taking the median over `depth` groups drives the failure
+//! probability down exponentially (the classic median-of-means estimator).
+//!
+//! Linear, hence trivially mergeable under identical shape and seeds.
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+use ms_core::error::ensure_same_capacity;
+use ms_core::{ItemSummary, MergeError, Mergeable, Result, Summary};
+
+use crate::hashing::{fingerprint, FourwiseHash};
+
+/// AMS F₂ sketch over items of type `I`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[serde(bound = "")]
+pub struct AmsF2Sketch<I> {
+    width: usize,
+    depth: usize,
+    seed: u64,
+    signs: Vec<FourwiseHash>,
+    cells: Vec<i64>,
+    n: u64,
+    _marker: PhantomData<fn(&I)>,
+}
+
+impl<I: Hash> AmsF2Sketch<I> {
+    /// Create a sketch with `depth` groups of `width` estimators each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "sketch dimensions must be positive");
+        let signs = (0..width * depth)
+            .map(|c| FourwiseHash::new(seed ^ (0xA11CE + c as u64).wrapping_mul(0x0F0F_0F0F)))
+            .collect();
+        AmsF2Sketch {
+            width,
+            depth,
+            seed,
+            signs,
+            cells: vec![0; width * depth],
+            n: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Estimators per group (`width`).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of groups (`depth`).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Seed identifying the hash family.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Median-of-means estimate of `F₂`.
+    pub fn estimate_f2(&self) -> f64 {
+        let mut group_means: Vec<f64> = (0..self.depth)
+            .map(|g| {
+                let cells = &self.cells[g * self.width..(g + 1) * self.width];
+                cells.iter().map(|&c| (c as f64) * (c as f64)).sum::<f64>() / self.width as f64
+            })
+            .collect();
+        group_means.sort_by(|a, b| a.partial_cmp(b).expect("squares are not NaN"));
+        let d = self.depth;
+        if d % 2 == 1 {
+            group_means[d / 2]
+        } else {
+            (group_means[d / 2 - 1] + group_means[d / 2]) / 2.0
+        }
+    }
+}
+
+impl<I: Hash> Summary for AmsF2Sketch<I> {
+    fn total_weight(&self) -> u64 {
+        self.n
+    }
+
+    fn size(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl<I: Hash> ItemSummary<I> for AmsF2Sketch<I> {
+    fn update_weighted(&mut self, item: I, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        let x = fingerprint(&item);
+        for (cell, sign) in self.cells.iter_mut().zip(self.signs.iter()) {
+            *cell += sign.sign(x) * weight as i64;
+        }
+        self.n += weight;
+    }
+}
+
+impl<I: Hash> Mergeable for AmsF2Sketch<I> {
+    /// Cell-wise addition. Requires identical shape and hash family.
+    fn merge(mut self, other: Self) -> Result<Self> {
+        ensure_same_capacity("width", self.width, other.width)?;
+        ensure_same_capacity("depth", self.depth, other.depth)?;
+        if self.seed != other.seed {
+            return Err(MergeError::SeedMismatch {
+                left: self.seed,
+                right: other.seed,
+            });
+        }
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            *a += b;
+        }
+        self.n += other.n;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::FrequencyOracle;
+    use ms_workloads::StreamKind;
+
+    #[test]
+    fn single_item_f2_is_exact() {
+        let mut ams = AmsF2Sketch::new(16, 3, 1);
+        ams.update_weighted(7u64, 100);
+        // Only one item: every cell is ±100, cell² = 10000 exactly.
+        assert_eq!(ams.estimate_f2(), 10_000.0);
+    }
+
+    #[test]
+    fn estimates_f2_within_tolerance() {
+        let items = StreamKind::Zipf {
+            s: 1.2,
+            universe: 2_000,
+        }
+        .generate(50_000, 2);
+        let oracle = FrequencyOracle::from_stream(items.clone());
+        let truth = oracle.f2() as f64;
+        let mut ams = AmsF2Sketch::new(128, 5, 3);
+        ams.extend_from(items);
+        let est = ams.estimate_f2();
+        let rel = (est - truth).abs() / truth;
+        // √(2/128) ≈ 0.125 standard error; allow 3σ.
+        assert!(rel < 0.4, "truth {truth}, estimate {est}, rel err {rel}");
+    }
+
+    #[test]
+    fn unbiased_over_seeds() {
+        let items = StreamKind::Uniform { universe: 100 }.generate(3_000, 4);
+        let oracle = FrequencyOracle::from_stream(items.clone());
+        let truth = oracle.f2() as f64;
+        let trials = 40;
+        let mean: f64 = (0..trials)
+            .map(|seed| {
+                let mut ams = AmsF2Sketch::new(16, 1, seed);
+                ams.extend_from(items.iter().copied());
+                ams.estimate_f2()
+            })
+            .sum::<f64>()
+            / trials as f64;
+        let rel = (mean - truth).abs() / truth;
+        assert!(rel < 0.2, "truth {truth}, mean {mean}");
+    }
+
+    #[test]
+    fn merge_is_exactly_linear() {
+        let items = StreamKind::Uniform { universe: 50 }.generate(4_000, 5);
+        let (left, right) = items.split_at(1_500);
+        let mut whole = AmsF2Sketch::new(32, 3, 9);
+        whole.extend_from(items.iter().copied());
+        let mut a = AmsF2Sketch::new(32, 3, 9);
+        a.extend_from(left.iter().copied());
+        let mut b = AmsF2Sketch::new(32, 3, 9);
+        b.extend_from(right.iter().copied());
+        let merged = a.merge(b).unwrap();
+        assert_eq!(merged.cells, whole.cells);
+        assert_eq!(merged.estimate_f2(), whole.estimate_f2());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_family() {
+        let a = AmsF2Sketch::<u64>::new(8, 3, 1);
+        let b = AmsF2Sketch::<u64>::new(8, 3, 2);
+        assert!(matches!(a.merge(b), Err(MergeError::SeedMismatch { .. })));
+    }
+
+    #[test]
+    fn wider_sketch_reduces_error() {
+        let items = StreamKind::Zipf {
+            s: 1.0,
+            universe: 500,
+        }
+        .generate(20_000, 6);
+        let oracle = FrequencyOracle::from_stream(items.clone());
+        let truth = oracle.f2() as f64;
+        let avg_rel_err = |width: usize| -> f64 {
+            (0..20)
+                .map(|seed| {
+                    let mut ams = AmsF2Sketch::new(width, 1, seed);
+                    ams.extend_from(items.iter().copied());
+                    (ams.estimate_f2() - truth).abs() / truth
+                })
+                .sum::<f64>()
+                / 20.0
+        };
+        let narrow = avg_rel_err(4);
+        let wide = avg_rel_err(64);
+        assert!(wide < narrow, "narrow {narrow} vs wide {wide}");
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let ams = AmsF2Sketch::<u64>::new(8, 3, 1);
+        assert_eq!(ams.estimate_f2(), 0.0);
+        assert!(ams.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan).
+//!
+//! A `d × w` table of non-negative counters with one pairwise-independent
+//! row hash each. Point queries return the minimum cell over the rows:
+//! always an **overestimate**, and within `εn` of the truth with
+//! probability `1 − δ` when `w = ⌈e/ε⌉` and `d = ⌈ln(1/δ)⌉`.
+//!
+//! Count-Min is a linear sketch: two sketches with the same shape *and the
+//! same hash seeds* merge by cell-wise addition, exactly — the mergeability
+//! baseline the paper's counter-based summaries are compared against
+//! (experiment E3).
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+use ms_core::error::ensure_same_capacity;
+use ms_core::{ItemSummary, MergeError, Mergeable, Result, Summary};
+
+use crate::hashing::{fingerprint, PairwiseHash};
+
+/// Count-Min sketch over items of type `I`.
+///
+/// ```
+/// use ms_core::{ItemSummary, Mergeable};
+/// use ms_sketches::CountMinSketch;
+///
+/// // Sketches merge only within one hash family (same seed).
+/// let mut a = CountMinSketch::for_epsilon_delta(0.01, 0.01, 42);
+/// let mut b = CountMinSketch::for_epsilon_delta(0.01, 0.01, 42);
+/// a.update_weighted("login", 10);
+/// b.update_weighted("login", 5);
+/// let merged = a.merge(b).unwrap();
+/// assert!(merged.estimate(&"login") >= 15); // never underestimates
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[serde(bound = "")]
+pub struct CountMinSketch<I> {
+    width: usize,
+    depth: usize,
+    seed: u64,
+    rows: Vec<PairwiseHash>,
+    table: Vec<u64>,
+    n: u64,
+    _marker: PhantomData<fn(&I)>,
+}
+
+impl<I: Hash> CountMinSketch<I> {
+    /// Create a `depth × width` sketch with hash functions derived from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "sketch dimensions must be positive");
+        let rows = (0..depth)
+            .map(|r| PairwiseHash::new(seed ^ (0x9E37 + r as u64).wrapping_mul(0xA5A5_A5A5)))
+            .collect();
+        CountMinSketch {
+            width,
+            depth,
+            seed,
+            rows,
+            table: vec![0; width * depth],
+            n: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Create a sketch guaranteeing `estimate − truth ≤ εn` with
+    /// probability `1 − δ` per query: `w = ⌈e/ε⌉`, `d = ⌈ln(1/δ)⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` or `delta` is not in `(0, 1)`.
+    pub fn for_epsilon_delta(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    /// Row width `w`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows `d`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Seed identifying the hash family.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Upper-bound frequency estimate: minimum cell over the rows.
+    pub fn estimate(&self, item: &I) -> u64 {
+        let x = fingerprint(item);
+        (0..self.depth)
+            .map(|r| self.table[r * self.width + self.rows[r].bucket(x, self.width)])
+            .min()
+            .expect("depth >= 1")
+    }
+}
+
+impl<I: Hash> Summary for CountMinSketch<I> {
+    fn total_weight(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of cells (the space proxy; each cell is one `u64`).
+    fn size(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl<I: Hash> ItemSummary<I> for CountMinSketch<I> {
+    fn update_weighted(&mut self, item: I, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        let x = fingerprint(&item);
+        for r in 0..self.depth {
+            let idx = r * self.width + self.rows[r].bucket(x, self.width);
+            self.table[idx] += weight;
+        }
+        self.n += weight;
+    }
+}
+
+impl<I: Hash> Mergeable for CountMinSketch<I> {
+    /// Cell-wise addition. Requires identical shape and hash family.
+    fn merge(mut self, other: Self) -> Result<Self> {
+        ensure_same_capacity("width", self.width, other.width)?;
+        ensure_same_capacity("depth", self.depth, other.depth)?;
+        if self.seed != other.seed {
+            return Err(MergeError::SeedMismatch {
+                left: self.seed,
+                right: other.seed,
+            });
+        }
+        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a += b;
+        }
+        self.n += other.n;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::{merge_all, FrequencyOracle, MergeTree};
+    use ms_workloads::StreamKind;
+
+    #[test]
+    fn never_underestimates() {
+        let items = StreamKind::Zipf {
+            s: 1.2,
+            universe: 1000,
+        }
+        .generate(20_000, 1);
+        let oracle = FrequencyOracle::from_stream(items.clone());
+        let mut cm = CountMinSketch::new(100, 4, 7);
+        cm.extend_from(items);
+        for (item, truth) in oracle.iter() {
+            assert!(cm.estimate(item) >= truth);
+        }
+    }
+
+    #[test]
+    fn error_within_epsilon_n_for_most_items() {
+        let eps = 0.01;
+        let items = StreamKind::Zipf {
+            s: 1.1,
+            universe: 5000,
+        }
+        .generate(100_000, 2);
+        let oracle = FrequencyOracle::from_stream(items.clone());
+        let mut cm = CountMinSketch::for_epsilon_delta(eps, 0.01, 3);
+        cm.extend_from(items);
+        let bound = (eps * cm.total_weight() as f64) as u64;
+        let violations = oracle
+            .iter()
+            .filter(|(item, truth)| cm.estimate(item) - truth > bound)
+            .count();
+        // Per-query failure probability δ = 1%; allow generous slack.
+        assert!(
+            violations as f64 <= 0.05 * oracle.distinct() as f64,
+            "{violations} of {} items out of bound",
+            oracle.distinct()
+        );
+    }
+
+    #[test]
+    fn merge_is_exactly_linear() {
+        let items = StreamKind::Uniform { universe: 500 }.generate(10_000, 4);
+        let (left, right) = items.split_at(6_000);
+        let mut whole = CountMinSketch::new(64, 4, 9);
+        whole.extend_from(items.iter().copied());
+        let mut a = CountMinSketch::new(64, 4, 9);
+        a.extend_from(left.iter().copied());
+        let mut b = CountMinSketch::new(64, 4, 9);
+        b.extend_from(right.iter().copied());
+        let merged = a.merge(b).unwrap();
+        assert_eq!(merged.table, whole.table);
+        assert_eq!(merged.total_weight(), whole.total_weight());
+    }
+
+    #[test]
+    fn merge_rejects_different_seeds() {
+        let a = CountMinSketch::<u64>::new(16, 2, 1);
+        let b = CountMinSketch::<u64>::new(16, 2, 2);
+        assert!(matches!(a.merge(b), Err(MergeError::SeedMismatch { .. })));
+    }
+
+    #[test]
+    fn merge_rejects_different_shapes() {
+        let a = CountMinSketch::<u64>::new(16, 2, 1);
+        let b = CountMinSketch::<u64>::new(32, 2, 1);
+        assert!(matches!(
+            a.merge(b),
+            Err(MergeError::CapacityMismatch { .. })
+        ));
+        let a = CountMinSketch::<u64>::new(16, 2, 1);
+        let b = CountMinSketch::<u64>::new(16, 3, 1);
+        assert!(matches!(
+            a.merge(b),
+            Err(MergeError::CapacityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn estimates_survive_merge_trees() {
+        let items = StreamKind::Zipf {
+            s: 1.4,
+            universe: 300,
+        }
+        .generate(30_000, 5);
+        let oracle = FrequencyOracle::from_stream(items.clone());
+        for shape in MergeTree::canonical() {
+            let leaves: Vec<CountMinSketch<u64>> = items
+                .chunks(3_000)
+                .map(|chunk| {
+                    let mut cm = CountMinSketch::new(128, 4, 11);
+                    cm.extend_from(chunk.iter().copied());
+                    cm
+                })
+                .collect();
+            let merged = merge_all(leaves, shape).unwrap();
+            // Linearity ⇒ identical estimates regardless of tree shape.
+            for (item, truth) in oracle.iter() {
+                let est = merged.estimate(item);
+                assert!(est >= truth);
+                assert!(est - truth <= merged.total_weight() / 32);
+            }
+        }
+    }
+
+    #[test]
+    fn for_epsilon_delta_dimensions() {
+        let cm = CountMinSketch::<u64>::for_epsilon_delta(0.01, 0.01, 0);
+        assert_eq!(cm.width(), 272); // ⌈e/0.01⌉
+        assert_eq!(cm.depth(), 5); // ⌈ln 100⌉
+    }
+
+    #[test]
+    fn weighted_updates_accumulate() {
+        let mut cm = CountMinSketch::new(32, 3, 1);
+        cm.update_weighted("x", 10);
+        cm.update_weighted("x", 5);
+        assert!(cm.estimate(&"x") >= 15);
+        assert_eq!(cm.total_weight(), 15);
+    }
+
+    #[test]
+    fn zero_weight_is_noop() {
+        let mut cm = CountMinSketch::new(32, 3, 1);
+        cm.update_weighted("x", 0);
+        assert!(cm.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn zero_width_rejected() {
+        let _ = CountMinSketch::<u64>::new(0, 2, 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! k-wise independent hash families over the Mersenne prime `p = 2⁶¹ − 1`.
+//!
+//! The sketch analyses require genuine limited independence: pairwise for
+//! Count-Min rows, 4-wise for Count-Sketch/AMS signs. Degree-`(k−1)`
+//! polynomials with random coefficients modulo a prime provide exactly
+//! k-wise independence, and `2⁶¹ − 1` admits a fast reduction (two adds).
+//!
+//! Generic items are first folded to a `u64` with the workspace's
+//! `FxHasher`; the algebraic family then provides independence over those
+//! 64-bit fingerprints.
+
+use std::hash::{Hash, Hasher};
+
+use ms_core::rng::splitmix64;
+use ms_core::FxHasher;
+
+/// The Mersenne prime `2⁶¹ − 1`.
+pub const MERSENNE_P: u64 = (1 << 61) - 1;
+
+/// Multiply two values modulo `2⁶¹ − 1` using 128-bit intermediates.
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    let prod = (a as u128) * (b as u128);
+    // Fast Mersenne reduction: p = 2^61 − 1 ⇒ 2^61 ≡ 1 (mod p).
+    let lo = (prod & MERSENNE_P as u128) as u64;
+    let hi = (prod >> 61) as u64;
+    let mut s = lo.wrapping_add(hi);
+    if s >= MERSENNE_P {
+        s -= MERSENNE_P;
+    }
+    s
+}
+
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    let mut s = a + b; // both < 2^61, no overflow in u64
+    if s >= MERSENNE_P {
+        s -= MERSENNE_P;
+    }
+    s
+}
+
+/// A degree-`(K−1)` polynomial hash — `K`-wise independent over `[0, p)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolyHash<const K: usize> {
+    coeffs: [u64; K],
+}
+
+// serde lacks blanket impls for const-generic arrays, so the coefficient
+// vector round-trips through a slice/Vec with an explicit length check.
+impl<const K: usize> serde::Serialize for PolyHash<K> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.coeffs.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, const K: usize> serde::Deserialize<'de> for PolyHash<K> {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v: Vec<u64> = Vec::deserialize(deserializer)?;
+        let coeffs: [u64; K] = v
+            .try_into()
+            .map_err(|_| serde::de::Error::custom("wrong polynomial degree"))?;
+        Ok(PolyHash { coeffs })
+    }
+}
+
+impl<const K: usize> PolyHash<K> {
+    /// Draw a random member of the family from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut coeffs = [0u64; K];
+        for c in coeffs.iter_mut() {
+            *c = splitmix64(&mut sm) % MERSENNE_P;
+        }
+        // The leading coefficient must be nonzero for full independence.
+        if coeffs[K - 1] == 0 {
+            coeffs[K - 1] = 1;
+        }
+        PolyHash { coeffs }
+    }
+
+    /// Evaluate the polynomial at `x` (Horner), returning a value in
+    /// `[0, p)`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_P;
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = add_mod(mul_mod(acc, x), c);
+        }
+        acc
+    }
+
+    /// Hash into `[0, buckets)`.
+    #[inline]
+    pub fn bucket(&self, x: u64, buckets: usize) -> usize {
+        (self.eval(x) % buckets as u64) as usize
+    }
+
+    /// Hash to a sign `{−1, +1}` (parity of the low bit).
+    #[inline]
+    pub fn sign(&self, x: u64) -> i64 {
+        if self.eval(x) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+/// Pairwise-independent family (degree-1 polynomials).
+pub type PairwiseHash = PolyHash<2>;
+
+/// 4-wise independent family (degree-3 polynomials), needed by the AMS and
+/// Count-Sketch variance analyses.
+pub type FourwiseHash = PolyHash<4>;
+
+/// Fold an arbitrary hashable item to the `u64` fingerprint fed into the
+/// algebraic families.
+#[inline]
+pub fn fingerprint<I: Hash>(item: &I) -> u64 {
+    let mut h = FxHasher::default();
+    item.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_mod_matches_u128_reference() {
+        let cases = [
+            (0u64, 0u64),
+            (1, MERSENNE_P - 1),
+            (MERSENNE_P - 1, MERSENNE_P - 1),
+            (123_456_789, 987_654_321),
+            (1 << 60, (1 << 60) + 5),
+        ];
+        for (a, b) in cases {
+            let expected = ((a as u128 * b as u128) % MERSENNE_P as u128) as u64;
+            assert_eq!(mul_mod(a, b), expected, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn eval_is_deterministic_and_seed_dependent() {
+        let h1 = PairwiseHash::new(1);
+        let h2 = PairwiseHash::new(1);
+        let h3 = PairwiseHash::new(2);
+        for x in [0u64, 1, 99, u64::MAX] {
+            assert_eq!(h1.eval(x), h2.eval(x));
+        }
+        assert!((0..100u64).any(|x| h1.eval(x) != h3.eval(x)));
+    }
+
+    #[test]
+    fn degree_one_polynomial_is_affine() {
+        // For PolyHash<2> with coeffs [a0, a1], eval(x) = a0 + a1·x mod p.
+        let h = PairwiseHash::new(42);
+        let a0 = h.eval(0);
+        let a1 = add_mod(h.eval(1), MERSENNE_P - a0);
+        for x in [2u64, 3, 1000] {
+            assert_eq!(h.eval(x), add_mod(mul_mod(a1, x), a0));
+        }
+    }
+
+    #[test]
+    fn buckets_are_roughly_uniform() {
+        let h = PairwiseHash::new(7);
+        let buckets = 16;
+        let mut counts = vec![0u32; buckets];
+        for x in 0..16_000u64 {
+            counts[h.bucket(x, buckets)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn signs_are_roughly_balanced() {
+        let h = FourwiseHash::new(11);
+        let sum: i64 = (0..10_000u64).map(|x| h.sign(x)).sum();
+        assert!(sum.abs() < 400, "sign bias {sum}");
+    }
+
+    #[test]
+    fn pairwise_collision_rate_is_near_uniform() {
+        // For a pairwise family, P[h(x) = h(y)] ≈ 1/buckets for x ≠ y.
+        let buckets = 64;
+        let trials = 2000;
+        let mut collisions = 0;
+        for seed in 0..trials {
+            let h = PairwiseHash::new(seed);
+            if h.bucket(12345, buckets) == h.bucket(67890, buckets) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!(
+            (rate - 1.0 / buckets as f64).abs() < 0.01,
+            "collision rate {rate}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_types_and_values() {
+        assert_eq!(fingerprint(&5u64), fingerprint(&5u64));
+        assert_ne!(fingerprint(&5u64), fingerprint(&6u64));
+        assert_ne!(fingerprint(&"a"), fingerprint(&"b"));
+    }
+
+    #[test]
+    fn fourwise_pairs_of_signs_are_independent() {
+        // E[s(x)·s(y)] ≈ 0 for x ≠ y over random family members.
+        let trials = 4000;
+        let mut sum = 0i64;
+        for seed in 0..trials {
+            let h = FourwiseHash::new(seed);
+            sum += h.sign(1) * h.sign(2);
+        }
+        assert!(
+            (sum as f64 / trials as f64).abs() < 0.05,
+            "sign correlation {sum}/{trials}"
+        );
+    }
+}

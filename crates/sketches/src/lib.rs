@@ -1,0 +1,35 @@
+//! Linear sketches — the trivially mergeable comparison class (§2 of the
+//! paper).
+//!
+//! A *linear* sketch is a linear map of the input frequency vector, so
+//! merging two sketches of the same family (same shape, same hash seeds) is
+//! literally adding their cell arrays: mergeability is free. The paper uses
+//! this class as the foil for its results — linear sketches are mergeable
+//! but pay for it with randomness (probabilistic guarantees only) and with
+//! sizes depending on `log(1/δ)` (and, for frequencies over a universe,
+//! often `log u`), whereas the paper's counter-based summaries are
+//! deterministic and `O(1/ε)`.
+//!
+//! Implemented here, each with explicit seeds and typed merge errors on
+//! family mismatch:
+//!
+//! * [`CountMinSketch`] — `d × w` table of non-negative counters; point
+//!   queries overestimate by at most `εn` with probability `1 − δ` for
+//!   `w = ⌈e/ε⌉`, `d = ⌈ln(1/δ)⌉`;
+//! * [`CountSketch`] — signed counters and median estimation; unbiased,
+//!   error scales with `√F₂/w` rather than `n/w`;
+//! * [`AmsF2Sketch`] — the Alon-Matias-Szegedy tug-of-war estimator of the
+//!   second frequency moment `F₂`, with 4-wise independent sign hashes.
+//!
+//! All hash functions are algebraic (polynomials over the Mersenne prime
+//! `2⁶¹ − 1`) so the independence guarantees backing the analyses actually
+//! hold — see [`hashing`].
+
+pub mod ams;
+pub mod count_min;
+pub mod count_sketch;
+pub mod hashing;
+
+pub use ams::AmsF2Sketch;
+pub use count_min::CountMinSketch;
+pub use count_sketch::CountSketch;

@@ -1,0 +1,27 @@
+//! Deterministic workload generators for the mergeable-summaries experiments.
+//!
+//! Everything here is seeded through [`ms_core::Rng64`], so a `(generator,
+//! seed)` pair reproduces the same dataset bit-for-bit on every run — the
+//! experiment harness records both.
+//!
+//! * [`zipf`] — Zipf(s) sampling over `{1..N}` by rejection-inversion
+//!   (Hörmann & Derflinger), the standard skewed-frequency workload;
+//! * [`streams`] — item streams for heavy-hitter summaries (uniform, Zipf,
+//!   hot-set, sequential, adversarial);
+//! * [`values`] — totally ordered value streams for quantile summaries
+//!   (uniform, normal, clustered, sorted/reversed/zigzag adversarial);
+//! * [`partition`] — splitting one stream across simulated sites
+//!   (round-robin, contiguous, by-key, skewed shares);
+//! * [`points`] — 2D point clouds for ε-approximations and ε-kernels.
+
+pub mod partition;
+pub mod points;
+pub mod streams;
+pub mod values;
+pub mod zipf;
+
+pub use partition::Partitioner;
+pub use points::CloudKind;
+pub use streams::StreamKind;
+pub use values::ValueDist;
+pub use zipf::Zipf;

@@ -1,0 +1,193 @@
+//! Splitting one logical dataset across simulated sites.
+//!
+//! Mergeability must hold for *any* partition of the data, so the
+//! experiments sweep several: round-robin (each site sees the same
+//! distribution), contiguous (sites see temporal segments — adversarial for
+//! sorted inputs), by-key (each site sees a disjoint item universe — the
+//! no-shared-counters worst case for the heavy-hitter merge), and skewed
+//! shares (site sizes differ by orders of magnitude, stressing unequal-size
+//! merges).
+
+use ms_core::Rng64;
+
+/// Strategy for distributing a stream across `sites` simulated nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Element `i` goes to site `i mod sites`.
+    RoundRobin,
+    /// The stream is cut into `sites` contiguous segments.
+    Contiguous,
+    /// Element `x` goes to site `hash(x) mod sites`: each site sees a
+    /// disjoint slice of the universe.
+    ByKey,
+    /// Site `j` receives a share proportional to `(j+1)^{-1}` of a random
+    /// assignment — heavily unequal site sizes.
+    Skewed {
+        /// Seed for the random assignment.
+        seed: u64,
+    },
+}
+
+impl Partitioner {
+    /// Split `items` into `sites` sub-streams (some may be empty for
+    /// [`Partitioner::Skewed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0`.
+    pub fn split<T: Clone + std::hash::Hash>(&self, items: &[T], sites: usize) -> Vec<Vec<T>> {
+        assert!(sites > 0, "cannot partition across zero sites");
+        let mut parts: Vec<Vec<T>> = (0..sites)
+            .map(|_| Vec::with_capacity(items.len() / sites + 1))
+            .collect();
+        match *self {
+            Partitioner::RoundRobin => {
+                for (i, item) in items.iter().enumerate() {
+                    parts[i % sites].push(item.clone());
+                }
+            }
+            Partitioner::Contiguous => {
+                let chunk = items.len().div_ceil(sites).max(1);
+                for (i, item) in items.iter().enumerate() {
+                    parts[(i / chunk).min(sites - 1)].push(item.clone());
+                }
+            }
+            Partitioner::ByKey => {
+                use std::hash::BuildHasher;
+                let build = ms_core::FxBuildHasher::default();
+                for item in items {
+                    parts[(build.hash_one(item) % sites as u64) as usize].push(item.clone());
+                }
+            }
+            Partitioner::Skewed { seed } => {
+                let mut rng = Rng64::new(seed);
+                // Harmonic weights: site j has weight 1/(j+1).
+                let weights: Vec<f64> = (0..sites).map(|j| 1.0 / (j + 1) as f64).collect();
+                let total: f64 = weights.iter().sum();
+                let cumulative: Vec<f64> = weights
+                    .iter()
+                    .scan(0.0, |acc, w| {
+                        *acc += w / total;
+                        Some(*acc)
+                    })
+                    .collect();
+                for item in items {
+                    let u = rng.f64();
+                    let site = cumulative.partition_point(|&c| c < u).min(sites - 1);
+                    parts[site].push(item.clone());
+                }
+            }
+        }
+        parts
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Partitioner::RoundRobin => "round-robin",
+            Partitioner::Contiguous => "contiguous",
+            Partitioner::ByKey => "by-key",
+            Partitioner::Skewed { .. } => "skewed",
+        }
+    }
+
+    /// The partitioners swept by the experiments.
+    pub fn canonical() -> [Partitioner; 4] {
+        [
+            Partitioner::RoundRobin,
+            Partitioner::Contiguous,
+            Partitioner::ByKey,
+            Partitioner::Skewed { seed: 0xBEEF },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flatten_sorted(parts: &[Vec<u64>]) -> Vec<u64> {
+        let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn every_partitioner_preserves_the_multiset() {
+        let items: Vec<u64> = (0..1000).map(|i| i % 37).collect();
+        let mut expected = items.clone();
+        expected.sort_unstable();
+        for p in Partitioner::canonical() {
+            let parts = p.split(&items, 7);
+            assert_eq!(parts.len(), 7, "{}", p.label());
+            assert_eq!(flatten_sorted(&parts), expected, "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let items: Vec<u64> = (0..100).collect();
+        let parts = Partitioner::RoundRobin.split(&items, 4);
+        for part in &parts {
+            assert_eq!(part.len(), 25);
+        }
+        assert_eq!(
+            parts[0],
+            vec![
+                0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64, 68, 72, 76, 80,
+                84, 88, 92, 96
+            ]
+        );
+    }
+
+    #[test]
+    fn contiguous_preserves_order_within_segments() {
+        let items: Vec<u64> = (0..10).collect();
+        let parts = Partitioner::Contiguous.split(&items, 3);
+        assert_eq!(parts[0], vec![0, 1, 2, 3]);
+        assert_eq!(parts[1], vec![4, 5, 6, 7]);
+        assert_eq!(parts[2], vec![8, 9]);
+    }
+
+    #[test]
+    fn by_key_sends_equal_items_to_one_site() {
+        let items: Vec<u64> = (0..1000).map(|i| i % 10).collect();
+        let parts = Partitioner::ByKey.split(&items, 4);
+        // Each of the 10 distinct keys must appear in exactly one part.
+        for key in 0..10u64 {
+            let sites_with_key = parts.iter().filter(|part| part.contains(&key)).count();
+            assert_eq!(sites_with_key, 1, "key {key}");
+        }
+    }
+
+    #[test]
+    fn skewed_gives_site_zero_the_largest_share() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let parts = Partitioner::Skewed { seed: 1 }.split(&items, 8);
+        assert!(parts[0].len() > parts[7].len() * 3);
+    }
+
+    #[test]
+    fn single_site_gets_everything() {
+        let items: Vec<u64> = (0..50).collect();
+        for p in Partitioner::canonical() {
+            let parts = p.split(&items, 1);
+            assert_eq!(parts.len(), 1);
+            assert_eq!(flatten_sorted(&parts), items);
+        }
+    }
+
+    #[test]
+    fn more_sites_than_items() {
+        let items: Vec<u64> = (0..3).collect();
+        let parts = Partitioner::Contiguous.split(&items, 10);
+        assert_eq!(parts.len(), 10);
+        assert_eq!(flatten_sorted(&parts), items);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sites")]
+    fn zero_sites_panics() {
+        let _ = Partitioner::RoundRobin.split(&[1u64], 0);
+    }
+}

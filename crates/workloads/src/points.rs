@@ -1,0 +1,173 @@
+//! 2D point clouds for the ε-approximation and ε-kernel experiments.
+
+use ms_core::{Point2, Rng64};
+
+/// A family of 2D point clouds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CloudKind {
+    /// Uniform in the unit square.
+    UniformSquare,
+    /// Uniform in the unit disk (rejection sampling).
+    Disk,
+    /// On the unit circle (worst case for kernels: every point is extreme
+    /// in some direction).
+    Ring,
+    /// Isotropic Gaussian, sd 1.
+    Gaussian,
+    /// Anisotropic ellipse boundary with the given aspect ratio — stresses
+    /// the fatness assumption behind restricted kernel mergeability.
+    Ellipse {
+        /// Ratio of major to minor axis.
+        aspect: f64,
+    },
+    /// Two well-separated Gaussian clusters — stresses merge-reduce when
+    /// sites see disjoint regions.
+    TwoClusters,
+}
+
+impl CloudKind {
+    /// Materialize `n` points deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = Rng64::new(seed);
+        let mut out = Vec::with_capacity(n);
+        match *self {
+            CloudKind::UniformSquare => {
+                for _ in 0..n {
+                    out.push(Point2::new(rng.f64(), rng.f64()));
+                }
+            }
+            CloudKind::Disk => {
+                while out.len() < n {
+                    let x = 2.0 * rng.f64() - 1.0;
+                    let y = 2.0 * rng.f64() - 1.0;
+                    if x * x + y * y <= 1.0 {
+                        out.push(Point2::new(x, y));
+                    }
+                }
+            }
+            CloudKind::Ring => {
+                for _ in 0..n {
+                    let theta = rng.f64() * std::f64::consts::TAU;
+                    out.push(Point2::new(theta.cos(), theta.sin()));
+                }
+            }
+            CloudKind::Gaussian => {
+                for _ in 0..n {
+                    let (x, y) = gaussian_pair(&mut rng);
+                    out.push(Point2::new(x, y));
+                }
+            }
+            CloudKind::Ellipse { aspect } => {
+                for _ in 0..n {
+                    let theta = rng.f64() * std::f64::consts::TAU;
+                    out.push(Point2::new(aspect * theta.cos(), theta.sin()));
+                }
+            }
+            CloudKind::TwoClusters => {
+                for _ in 0..n {
+                    let (x, y) = gaussian_pair(&mut rng);
+                    let center = if rng.coin() { 10.0 } else { -10.0 };
+                    out.push(Point2::new(center + 0.5 * x, 0.5 * y));
+                }
+            }
+        }
+        out
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match *self {
+            CloudKind::UniformSquare => "square".into(),
+            CloudKind::Disk => "disk".into(),
+            CloudKind::Ring => "ring".into(),
+            CloudKind::Gaussian => "gaussian".into(),
+            CloudKind::Ellipse { aspect } => format!("ellipse(a={aspect})"),
+            CloudKind::TwoClusters => "two-clusters".into(),
+        }
+    }
+
+    /// The clouds swept by the geometric experiments.
+    pub fn canonical() -> [CloudKind; 5] {
+        [
+            CloudKind::UniformSquare,
+            CloudKind::Disk,
+            CloudKind::Ring,
+            CloudKind::Gaussian,
+            CloudKind::Ellipse { aspect: 10.0 },
+        ]
+    }
+}
+
+/// Two independent standard normals (Box-Muller).
+fn gaussian_pair(rng: &mut Rng64) -> (f64, f64) {
+    let u1 = rng.f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.f64();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        for kind in CloudKind::canonical() {
+            assert_eq!(kind.generate(257, 1).len(), 257, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CloudKind::Disk.generate(100, 9);
+        let b = CloudKind::Disk.generate(100, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn square_points_in_unit_square() {
+        for p in CloudKind::UniformSquare.generate(1000, 2) {
+            assert!((0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn disk_points_inside_unit_disk() {
+        for p in CloudKind::Disk.generate(1000, 3) {
+            assert!(p.x * p.x + p.y * p.y <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ring_points_on_unit_circle() {
+        for p in CloudKind::Ring.generate(1000, 4) {
+            assert!(((p.x * p.x + p.y * p.y) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ellipse_is_anisotropic() {
+        let pts = CloudKind::Ellipse { aspect: 10.0 }.generate(2000, 5);
+        let w_x = ms_core::directional_width(&pts, (1.0, 0.0));
+        let w_y = ms_core::directional_width(&pts, (0.0, 1.0));
+        assert!(w_x > 5.0 * w_y, "x width {w_x}, y width {w_y}");
+    }
+
+    #[test]
+    fn two_clusters_are_separated() {
+        let pts = CloudKind::TwoClusters.generate(2000, 6);
+        let left = pts.iter().filter(|p| p.x < 0.0).count();
+        let right = pts.len() - left;
+        assert!(left > 500 && right > 500);
+        assert!(pts.iter().all(|p| p.x.abs() > 5.0));
+    }
+
+    #[test]
+    fn gaussian_is_centered() {
+        let pts = CloudKind::Gaussian.generate(20_000, 7);
+        let mx = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+        let my = pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64;
+        assert!(mx.abs() < 0.05 && my.abs() < 0.05, "mean ({mx},{my})");
+    }
+}

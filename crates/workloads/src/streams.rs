@@ -1,0 +1,228 @@
+//! Item streams for heavy-hitter experiments.
+//!
+//! Each [`StreamKind`] describes a distribution over `u64` items;
+//! [`StreamKind::generate`] materializes `n` items deterministically from a
+//! seed. The adversarial kinds target the worst cases of the analyses in
+//! §3 of the paper (Misra-Gries error is driven by the weight that decrement
+//! operations discard, which all-distinct tails maximize).
+
+use crate::zipf::Zipf;
+use ms_core::Rng64;
+
+/// A distribution over `u64` items.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamKind {
+    /// Uniform over `{0, …, universe−1}` — no heavy hitters at all (every
+    /// counter algorithm must degrade gracefully to "nothing to report").
+    Uniform {
+        /// Universe size.
+        universe: u64,
+    },
+    /// Zipf with exponent `s` over `{1, …, universe}` — the canonical skewed
+    /// workload; item `k` has frequency ∝ `k^{−s}`.
+    Zipf {
+        /// Skew exponent.
+        s: f64,
+        /// Universe size.
+        universe: u64,
+    },
+    /// A hot set of `hot` items receiving `hot_fraction` of the stream, the
+    /// remainder uniform over a large cold universe.
+    HotSet {
+        /// Number of hot items (ids `0..hot`).
+        hot: u64,
+        /// Fraction of the stream going to the hot set.
+        hot_fraction: f64,
+        /// Cold universe size (ids `hot..hot+universe`).
+        universe: u64,
+    },
+    /// Round-robin over `{0, …, universe−1}` — perfectly balanced, every
+    /// item is exactly at the frequency threshold boundary.
+    Sequential {
+        /// Universe size.
+        universe: u64,
+    },
+    /// Misra-Gries adversary: `k` items each repeated `n/(2k)` times up
+    /// front, then all-distinct filler. The filler triggers the maximum
+    /// number of decrements against the real heavy hitters.
+    MgAdversarial {
+        /// Number of planted heavy items.
+        k: u64,
+    },
+    /// Every position a fresh item — forces constant counter eviction.
+    AllDistinct,
+    /// A single repeated item — degenerate best case.
+    AllSame,
+}
+
+impl StreamKind {
+    /// Materialize `n` items deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Rng64::new(seed);
+        match *self {
+            StreamKind::Uniform { universe } => {
+                (0..n).map(|_| rng.below(universe.max(1))).collect()
+            }
+            StreamKind::Zipf { s, universe } => {
+                let zipf = Zipf::new(universe.max(1), s);
+                (0..n).map(|_| zipf.sample(&mut rng)).collect()
+            }
+            StreamKind::HotSet {
+                hot,
+                hot_fraction,
+                universe,
+            } => (0..n)
+                .map(|_| {
+                    if rng.bernoulli(hot_fraction) {
+                        rng.below(hot.max(1))
+                    } else {
+                        hot + rng.below(universe.max(1))
+                    }
+                })
+                .collect(),
+            StreamKind::Sequential { universe } => {
+                (0..n).map(|i| i as u64 % universe.max(1)).collect()
+            }
+            StreamKind::MgAdversarial { k } => {
+                let k = k.max(1);
+                let heavy_total = n / 2;
+                let per_item = (heavy_total as u64 / k).max(1);
+                let mut out = Vec::with_capacity(n);
+                'outer: for item in 0..k {
+                    for _ in 0..per_item {
+                        if out.len() == n {
+                            break 'outer;
+                        }
+                        out.push(item);
+                    }
+                }
+                // Distinct filler drawn far above the heavy ids.
+                let mut next_fresh = 1u64 << 32;
+                while out.len() < n {
+                    out.push(next_fresh);
+                    next_fresh += 1;
+                }
+                // Interleave heavies and filler so decrements interact with
+                // live counters rather than arriving after the fact.
+                rng.shuffle(&mut out);
+                out
+            }
+            StreamKind::AllDistinct => (0..n as u64).collect(),
+            StreamKind::AllSame => vec![7; n],
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match *self {
+            StreamKind::Uniform { universe } => format!("uniform(u={universe})"),
+            StreamKind::Zipf { s, universe } => format!("zipf(s={s},u={universe})"),
+            StreamKind::HotSet {
+                hot, hot_fraction, ..
+            } => format!("hotset(h={hot},f={hot_fraction})"),
+            StreamKind::Sequential { universe } => format!("seq(u={universe})"),
+            StreamKind::MgAdversarial { k } => format!("mg-adv(k={k})"),
+            StreamKind::AllDistinct => "all-distinct".into(),
+            StreamKind::AllSame => "all-same".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::FrequencyOracle;
+
+    #[test]
+    fn generates_requested_length() {
+        for kind in [
+            StreamKind::Uniform { universe: 100 },
+            StreamKind::Zipf {
+                s: 1.1,
+                universe: 100,
+            },
+            StreamKind::HotSet {
+                hot: 5,
+                hot_fraction: 0.8,
+                universe: 1000,
+            },
+            StreamKind::Sequential { universe: 10 },
+            StreamKind::MgAdversarial { k: 4 },
+            StreamKind::AllDistinct,
+            StreamKind::AllSame,
+        ] {
+            assert_eq!(kind.generate(1234, 7).len(), 1234, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let kind = StreamKind::Zipf {
+            s: 1.3,
+            universe: 50,
+        };
+        assert_eq!(kind.generate(500, 11), kind.generate(500, 11));
+        assert_ne!(kind.generate(500, 11), kind.generate(500, 12));
+    }
+
+    #[test]
+    fn uniform_covers_universe() {
+        let items = StreamKind::Uniform { universe: 10 }.generate(10_000, 3);
+        let oracle = FrequencyOracle::from_stream(items);
+        assert_eq!(oracle.distinct(), 10);
+    }
+
+    #[test]
+    fn sequential_is_balanced() {
+        let items = StreamKind::Sequential { universe: 10 }.generate(1000, 0);
+        let oracle = FrequencyOracle::from_stream(items);
+        for i in 0..10u64 {
+            assert_eq!(oracle.count(&i), 100);
+        }
+    }
+
+    #[test]
+    fn hotset_concentrates_mass() {
+        let items = StreamKind::HotSet {
+            hot: 3,
+            hot_fraction: 0.9,
+            universe: 100_000,
+        }
+        .generate(50_000, 5);
+        let oracle = FrequencyOracle::from_stream(items);
+        let hot_mass: u64 = (0..3u64).map(|i| oracle.count(&i)).sum();
+        let frac = hot_mass as f64 / oracle.total() as f64;
+        assert!((0.87..0.93).contains(&frac), "hot mass fraction {frac}");
+    }
+
+    #[test]
+    fn mg_adversarial_plants_heavies_and_distinct_tail() {
+        let items = StreamKind::MgAdversarial { k: 4 }.generate(8000, 9);
+        let oracle = FrequencyOracle::from_stream(items);
+        for item in 0..4u64 {
+            assert_eq!(oracle.count(&item), 1000, "planted item {item}");
+        }
+        // Tail is all distinct singletons.
+        let tail_distinct = oracle.distinct() - 4;
+        assert_eq!(tail_distinct as u64, 4000);
+    }
+
+    #[test]
+    fn all_same_and_all_distinct() {
+        let same = FrequencyOracle::from_stream(StreamKind::AllSame.generate(100, 0));
+        assert_eq!(same.distinct(), 1);
+        let distinct = FrequencyOracle::from_stream(StreamKind::AllDistinct.generate(100, 0));
+        assert_eq!(distinct.distinct(), 100);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(StreamKind::Zipf {
+            s: 1.5,
+            universe: 10
+        }
+        .label()
+        .contains("1.5"));
+        assert_eq!(StreamKind::AllSame.label(), "all-same");
+    }
+}

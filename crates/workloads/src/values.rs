@@ -1,0 +1,193 @@
+//! Totally ordered value streams for quantile experiments.
+//!
+//! Quantile summaries in this workspace are generic over `Ord`; experiments
+//! use `u64` values so rank arithmetic is exact. Continuous distributions
+//! are discretized onto a 2⁵³-grid, which changes no rank statistics (the
+//! map is monotone and collisions are measure-zero at experiment scale).
+
+use ms_core::Rng64;
+
+/// Scale for discretizing the unit interval onto `u64`.
+const UNIT_SCALE: f64 = (1u64 << 53) as f64;
+
+/// A distribution over ordered `u64` values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueDist {
+    /// Uniform on the discretized unit interval.
+    Uniform,
+    /// Gaussian (Box-Muller), mean 2³², sd 2²⁸, clamped to `u64`.
+    Normal,
+    /// Exponential with rate 1, discretized.
+    Exponential,
+    /// Already sorted ascending `0..n` — the classic worst case for naive
+    /// sampling-based summaries (maximal rank correlation with time).
+    Sorted,
+    /// Sorted descending.
+    ReverseSorted,
+    /// Zigzag: alternates low/high halves — adversarial for buffer-based
+    /// summaries because every buffer spans the full value range.
+    Zigzag,
+    /// Heavily duplicated: only `distinct` distinct values.
+    Clustered {
+        /// Number of distinct values.
+        distinct: u64,
+    },
+}
+
+impl ValueDist {
+    /// Materialize `n` values deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Rng64::new(seed);
+        match *self {
+            ValueDist::Uniform => (0..n).map(|_| (rng.f64() * UNIT_SCALE) as u64).collect(),
+            ValueDist::Normal => (0..n)
+                .map(|_| {
+                    let z = gaussian(&mut rng);
+                    let v = 4_294_967_296.0 + z * 268_435_456.0;
+                    v.max(0.0) as u64
+                })
+                .collect(),
+            ValueDist::Exponential => (0..n)
+                .map(|_| {
+                    let u = rng.f64().max(f64::MIN_POSITIVE);
+                    ((-u.ln()) * UNIT_SCALE) as u64
+                })
+                .collect(),
+            ValueDist::Sorted => (0..n as u64).collect(),
+            ValueDist::ReverseSorted => (0..n as u64).rev().collect(),
+            ValueDist::Zigzag => (0..n as u64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        i / 2
+                    } else {
+                        u64::MAX / 2 + i / 2
+                    }
+                })
+                .collect(),
+            ValueDist::Clustered { distinct } => {
+                (0..n).map(|_| rng.below(distinct.max(1))).collect()
+            }
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match *self {
+            ValueDist::Uniform => "uniform".into(),
+            ValueDist::Normal => "normal".into(),
+            ValueDist::Exponential => "exponential".into(),
+            ValueDist::Sorted => "sorted".into(),
+            ValueDist::ReverseSorted => "reverse-sorted".into(),
+            ValueDist::Zigzag => "zigzag".into(),
+            ValueDist::Clustered { distinct } => format!("clustered(d={distinct})"),
+        }
+    }
+
+    /// The distributions swept by the quantile experiments.
+    pub fn canonical() -> [ValueDist; 5] {
+        [
+            ValueDist::Uniform,
+            ValueDist::Normal,
+            ValueDist::Sorted,
+            ValueDist::Zigzag,
+            ValueDist::Clustered { distinct: 64 },
+        ]
+    }
+}
+
+/// One standard normal variate by Box-Muller.
+fn gaussian(rng: &mut Rng64) -> f64 {
+    let u1 = rng.f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::RankOracle;
+
+    #[test]
+    fn generates_requested_length_for_all_kinds() {
+        for dist in [
+            ValueDist::Uniform,
+            ValueDist::Normal,
+            ValueDist::Exponential,
+            ValueDist::Sorted,
+            ValueDist::ReverseSorted,
+            ValueDist::Zigzag,
+            ValueDist::Clustered { distinct: 5 },
+        ] {
+            assert_eq!(dist.generate(321, 1).len(), 321, "{}", dist.label());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            ValueDist::Normal.generate(100, 5),
+            ValueDist::Normal.generate(100, 5)
+        );
+        assert_ne!(
+            ValueDist::Uniform.generate(100, 5),
+            ValueDist::Uniform.generate(100, 6)
+        );
+    }
+
+    #[test]
+    fn sorted_is_sorted_and_reverse_is_reversed() {
+        let s = ValueDist::Sorted.generate(100, 0);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        let r = ValueDist::ReverseSorted.generate(100, 0);
+        assert!(r.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn uniform_median_is_central() {
+        let v = ValueDist::Uniform.generate(50_000, 2);
+        let oracle = RankOracle::from_stream(v);
+        let median = *oracle.quantile(0.5).unwrap() as f64 / UNIT_SCALE;
+        assert!((0.48..0.52).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn normal_is_symmetric_about_mean() {
+        let v = ValueDist::Normal.generate(50_000, 3);
+        let oracle = RankOracle::from_stream(v);
+        let med = *oracle.quantile(0.5).unwrap() as f64;
+        let mean = 4_294_967_296.0;
+        let sd = 268_435_456.0;
+        assert!((med - mean).abs() < 0.05 * sd, "median {med}");
+    }
+
+    #[test]
+    fn zigzag_alternates_halves() {
+        let v = ValueDist::Zigzag.generate(10, 0);
+        for (i, &x) in v.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(x < u64::MAX / 4);
+            } else {
+                assert!(x >= u64::MAX / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_has_bounded_support() {
+        let v = ValueDist::Clustered { distinct: 7 }.generate(10_000, 4);
+        let mut support: Vec<u64> = v.clone();
+        support.sort_unstable();
+        support.dedup();
+        assert!(support.len() <= 7);
+        assert!(support.iter().all(|&x| x < 7));
+    }
+
+    #[test]
+    fn exponential_is_right_skewed() {
+        let v = ValueDist::Exponential.generate(50_000, 5);
+        let oracle = RankOracle::from_stream(v.clone());
+        let med = *oracle.quantile(0.5).unwrap() as f64;
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        assert!(mean > med, "right skew: mean {mean} ≤ median {med}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Zipf(s) sampling over `{1, …, n}` by rejection-inversion.
+//!
+//! Implements the Hörmann & Derflinger (1996) rejection-inversion sampler
+//! (the algorithm behind Apache Commons' `RejectionInversionZipfSampler` and
+//! `rand_distr::Zipf`): O(1) expected time per sample, no CDF table, works
+//! for any exponent `s > 0` including `s = 1`, for arbitrarily large `n`.
+
+use ms_core::Rng64;
+
+/// Zipf distribution with exponent `s` over the universe `{1, …, n}`:
+/// `P(k) ∝ k^{−s}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    inv_s_threshold: f64,
+}
+
+impl Zipf {
+    /// Construct the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0` or `s` is not finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf universe must be non-empty");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        let inv_s_threshold = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Zipf {
+            n,
+            s,
+            h_x1,
+            h_n,
+            inv_s_threshold,
+        }
+    }
+
+    /// Universe size `n`.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draw one sample in `{1, …, n}`.
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        loop {
+            let u = self.h_n + rng.f64() * (self.h_x1 - self.h_n);
+            // u is uniform in (h_n, h_x1].
+            let x = h_integral_inverse(u, self.s);
+            let k = x.clamp(1.0, self.n as f64).round();
+            if k - x <= self.inv_s_threshold || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Exact probability mass of `k` (for tests), computed by normalizing
+    /// over the whole universe — O(n), test-only use.
+    pub fn exact_pmf(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n);
+        let z: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / z
+    }
+}
+
+/// `H(x) = ∫₁ˣ t^{−s} dt = (x^{1−s} − 1)/(1−s)` computed stably near `s = 1`
+/// (where it degenerates to `ln x`).
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// `h(x) = x^{−s}`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    let mut t = x * (1.0 - s);
+    if t < -1.0 {
+        // Numerical round-off: clamp to the domain boundary.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `log1p(x)/x`, stable for `x → 0`.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `expm1(x)/x`, stable for `x → 0`.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_pmf(zipf: &Zipf, seed: u64, samples: usize) -> Vec<f64> {
+        let mut rng = Rng64::new(seed);
+        let mut counts = vec![0u64; zipf.universe() as usize + 1];
+        for _ in 0..samples {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / samples as f64).collect()
+    }
+
+    #[test]
+    fn samples_stay_in_universe() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = Rng64::new(1);
+        for _ in 0..10_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn universe_of_one_always_returns_one() {
+        let zipf = Zipf::new(1, 1.5);
+        let mut rng = Rng64::new(2);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn matches_exact_pmf_small_universe() {
+        for s in [0.5, 1.0, 1.5, 2.0] {
+            let zipf = Zipf::new(10, s);
+            let emp = empirical_pmf(&zipf, 42, 200_000);
+            for k in 1..=10u64 {
+                let exact = zipf.exact_pmf(k);
+                let got = emp[k as usize];
+                assert!(
+                    (got - exact).abs() < 0.01,
+                    "s={s} k={k}: exact {exact}, empirical {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_one_is_handled() {
+        // s = 1 hits the log-degenerate branch of h_integral.
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = Rng64::new(3);
+        let mut ones = 0;
+        let trials = 50_000;
+        for _ in 0..trials {
+            if zipf.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        let expected = zipf.exact_pmf(1);
+        let got = ones as f64 / trials as f64;
+        assert!((got - expected).abs() < 0.01, "exact {expected}, got {got}");
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let mild = Zipf::new(1000, 0.8);
+        let steep = Zipf::new(1000, 2.0);
+        let p1_mild = empirical_pmf(&mild, 4, 100_000)[1];
+        let p1_steep = empirical_pmf(&steep, 4, 100_000)[1];
+        assert!(p1_steep > p1_mild + 0.2, "{p1_steep} vs {p1_mild}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let zipf = Zipf::new(500, 1.1);
+        let mut a = Rng64::new(9);
+        let mut b = Rng64::new(9);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn zero_universe_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn non_positive_exponent_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+
+    #[test]
+    fn large_universe_does_not_overflow() {
+        let zipf = Zipf::new(u64::MAX / 2, 1.5);
+        let mut rng = Rng64::new(10);
+        for _ in 0..1000 {
+            let k = zipf.sample(&mut rng);
+            assert!(k >= 1);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Distributed heavy hitters: a multi-threaded scatter/gather aggregation.
+//!
+//! Sixteen worker threads each stream a shard of a skewed click log into
+//! three different summaries — Misra-Gries, SpaceSaving and Count-Min —
+//! then the shards are gathered over channels and merged pairwise, exactly
+//! as a combiner tree would in a map-reduce system. The example prints the
+//! space each summary used and the frequency error each committed, next to
+//! the exact answer.
+//!
+//! Run with: `cargo run --release --example distributed_heavy_hitters`
+
+use std::sync::mpsc;
+use std::thread;
+
+use mergeable_summaries::core::{FrequencyOracle, ItemSummary, Mergeable, Summary};
+use mergeable_summaries::workloads::{Partitioner, StreamKind};
+use mergeable_summaries::{CountMinSketch, MgSummary, SpaceSavingSummary};
+
+const SITES: usize = 16;
+const N: usize = 1 << 20;
+const EPSILON: f64 = 0.01;
+
+/// All three summaries a site maintains, so one channel carries them all.
+struct SiteSummaries {
+    mg: MgSummary<u64>,
+    ss: SpaceSavingSummary<u64>,
+    cm: CountMinSketch<u64>,
+}
+
+impl SiteSummaries {
+    fn new() -> Self {
+        SiteSummaries {
+            mg: MgSummary::for_epsilon(EPSILON),
+            ss: SpaceSavingSummary::for_epsilon(EPSILON),
+            // Count-Min with δ = 1%: pays log(1/δ) rows for its guarantee.
+            cm: CountMinSketch::for_epsilon_delta(EPSILON, 0.01, 0xC0FFEE),
+        }
+    }
+
+    fn absorb(&mut self, items: &[u64]) {
+        for &item in items {
+            self.mg.update(item);
+            self.ss.update(item);
+            self.cm.update(item);
+        }
+    }
+
+    fn merge(self, other: Self) -> Self {
+        SiteSummaries {
+            mg: self.mg.merge(other.mg).expect("same epsilon"),
+            ss: self.ss.merge(other.ss).expect("same epsilon"),
+            cm: self.cm.merge(other.cm).expect("same family"),
+        }
+    }
+}
+
+fn main() {
+    let stream = StreamKind::Zipf {
+        s: 1.2,
+        universe: 1 << 22,
+    }
+    .generate(N, 7);
+    let oracle = FrequencyOracle::from_stream(stream.iter().copied());
+    let shards = Partitioner::ByKey.split(&stream, SITES);
+
+    // Scatter: one worker per shard.
+    let (tx, rx) = mpsc::channel::<SiteSummaries>();
+    thread::scope(|scope| {
+        for shard in &shards {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut site = SiteSummaries::new();
+                site.absorb(shard);
+                tx.send(site).expect("gatherer alive");
+            });
+        }
+    });
+    drop(tx);
+
+    // Gather: merge summaries pairwise as they arrive (a combiner tree —
+    // arrival order is nondeterministic, which mergeability tolerates).
+    let mut pending: Vec<SiteSummaries> = rx.iter().collect();
+    while pending.len() > 1 {
+        let a = pending.pop().expect("len > 1");
+        let b = pending.pop().expect("len > 1");
+        pending.push(a.merge(b));
+    }
+    let merged = pending.pop().expect("at least one site");
+
+    // Score every summary against the exact counts.
+    let mut mg_max = 0u64;
+    let mut ss_max = 0u64;
+    let mut cm_max = 0u64;
+    for (item, truth) in oracle.iter() {
+        mg_max = mg_max.max(truth - merged.mg.estimate(item));
+        let ss_est = merged.ss.estimate(item);
+        ss_max = ss_max.max(ss_est.abs_diff(truth).min(
+            // absent items score against the guaranteed upper bound
+            merged.ss.upper_bound(item).abs_diff(truth),
+        ));
+        cm_max = cm_max.max(merged.cm.estimate(item) - truth);
+    }
+    let bound = (EPSILON * N as f64) as u64;
+
+    println!(
+        "stream: n = {N}, {} distinct, {SITES} sites\n",
+        oracle.distinct()
+    );
+    println!("summary       stored entries   max |error|   εn bound");
+    println!(
+        "misra-gries   {:>14}   {:>11}   {bound:>8}",
+        merged.mg.size(),
+        mg_max
+    );
+    println!(
+        "space-saving  {:>14}   {:>11}   {bound:>8}",
+        merged.ss.size(),
+        ss_max
+    );
+    println!(
+        "count-min     {:>14}   {:>11}   {bound:>8}   (cells; probabilistic)",
+        merged.cm.size(),
+        cm_max
+    );
+    println!("exact         {:>14}", oracle.distinct());
+
+    assert!(mg_max <= bound, "MG exceeded its deterministic bound");
+    assert!(ss_max <= bound + 1, "SS exceeded its deterministic bound");
+    println!("\ndeterministic bounds held ✓");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: distributed heavy hitters in thirty lines.
+//!
+//! Four "sites" each see a shard of a skewed stream, summarize it with a
+//! Misra-Gries summary of `⌈1/ε⌉ − 1` counters, and the shards merge into
+//! one summary whose error is still `≤ εn` — the defining property of a
+//! mergeable summary.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mergeable_summaries::core::{merge_all, FrequencyOracle, ItemSummary, MergeTree, Summary};
+use mergeable_summaries::workloads::{Partitioner, StreamKind};
+use mergeable_summaries::MgSummary;
+
+fn main() {
+    let epsilon = 0.05;
+    let n = 200_000;
+
+    // A Zipf-distributed stream: a few items dominate.
+    let stream = StreamKind::Zipf {
+        s: 1.3,
+        universe: 100_000,
+    }
+    .generate(n, 42);
+    let oracle = FrequencyOracle::from_stream(stream.iter().copied());
+
+    // Split across 4 sites; each builds its own ε-summary.
+    let shards = Partitioner::RoundRobin.split(&stream, 4);
+    let sites: Vec<MgSummary<u64>> = shards
+        .iter()
+        .map(|shard| {
+            let mut s = MgSummary::for_epsilon(epsilon);
+            s.extend_from(shard.iter().copied());
+            s
+        })
+        .collect();
+
+    // Merge — balanced tree, but any order gives the same guarantee.
+    let merged = merge_all(sites, MergeTree::Balanced).expect("same parameters");
+
+    println!("stream size        : {n}");
+    println!("distinct items     : {}", oracle.distinct());
+    println!(
+        "summary counters   : {} (vs {} exact)",
+        merged.size(),
+        oracle.distinct()
+    );
+    println!(
+        "guaranteed error   : ≤ {:.0} ({}·n would be {:.0})",
+        merged.error_bound(),
+        epsilon,
+        epsilon * n as f64
+    );
+    println!("\ntop items (estimate is a lower bound; truth in brackets):");
+    for (item, est) in merged.heavy_hitters(epsilon).iter().take(8) {
+        println!("  item {item:>6}: {est:>7}  [{}]", oracle.count(item));
+    }
+
+    // Every true heavy hitter is reported.
+    let reported: Vec<u64> = merged
+        .heavy_hitters(epsilon)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    for (item, _) in oracle.heavy_hitters(epsilon) {
+        assert!(reported.contains(&item), "missed heavy hitter {item}");
+    }
+    println!("\nall true {}-heavy hitters were reported ✓", epsilon);
+}

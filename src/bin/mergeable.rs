@@ -1,0 +1,365 @@
+//! `mergeable` — build, merge and query mergeable summaries from the
+//! command line.
+//!
+//! Summaries are stored as JSON envelopes (`{"kind": …, "summary": …}`), so
+//! a fleet of machines can each `build` a summary of their local data,
+//! ship the files anywhere, and any machine can `merge` them and `query`
+//! the result — the command-line rendition of the paper's model.
+//!
+//! ```text
+//! mergeable build --kind mg --epsilon 0.01 --out site1.json  < site1.txt
+//! mergeable build --kind mg --epsilon 0.01 --out site2.json  < site2.txt
+//! mergeable merge site1.json site2.json --out all.json
+//! mergeable query all.json --heavy-hitters 0.01
+//! mergeable query all.json --estimate 42
+//! mergeable info all.json
+//! ```
+//!
+//! Input data is one unsigned integer per line (blank lines ignored).
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read};
+use std::process::ExitCode;
+
+use mergeable_summaries::core::{ItemSummary, Mergeable, Summary};
+use mergeable_summaries::quantiles::RankSummary;
+use mergeable_summaries::{
+    BottomKSample, CountMinSketch, HybridQuantile, MgSummary, SpaceSavingSummary,
+};
+
+/// The on-disk envelope: every supported summary, tagged by kind.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(tag = "kind", content = "summary", rename_all = "kebab-case")]
+enum AnySummary {
+    Mg(MgSummary<u64>),
+    SpaceSaving(SpaceSavingSummary<u64>),
+    CountMin(CountMinSketch<u64>),
+    HybridQuantile(HybridQuantile<u64>),
+    BottomK(BottomKSample<u64>),
+}
+
+impl AnySummary {
+    fn kind(&self) -> &'static str {
+        match self {
+            AnySummary::Mg(_) => "mg",
+            AnySummary::SpaceSaving(_) => "space-saving",
+            AnySummary::CountMin(_) => "count-min",
+            AnySummary::HybridQuantile(_) => "hybrid-quantile",
+            AnySummary::BottomK(_) => "bottom-k",
+        }
+    }
+
+    fn total_weight(&self) -> u64 {
+        match self {
+            AnySummary::Mg(s) => s.total_weight(),
+            AnySummary::SpaceSaving(s) => s.total_weight(),
+            AnySummary::CountMin(s) => s.total_weight(),
+            AnySummary::HybridQuantile(s) => s.total_weight(),
+            AnySummary::BottomK(s) => s.total_weight(),
+        }
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            AnySummary::Mg(s) => s.size(),
+            AnySummary::SpaceSaving(s) => s.size(),
+            AnySummary::CountMin(s) => s.size(),
+            AnySummary::HybridQuantile(s) => s.size(),
+            AnySummary::BottomK(s) => s.size(),
+        }
+    }
+
+    fn merge(self, other: AnySummary) -> Result<AnySummary, String> {
+        let pair = (self, other);
+        match pair {
+            (AnySummary::Mg(a), AnySummary::Mg(b)) => {
+                a.merge(b).map(AnySummary::Mg).map_err(|e| e.to_string())
+            }
+            (AnySummary::SpaceSaving(a), AnySummary::SpaceSaving(b)) => a
+                .merge(b)
+                .map(AnySummary::SpaceSaving)
+                .map_err(|e| e.to_string()),
+            (AnySummary::CountMin(a), AnySummary::CountMin(b)) => a
+                .merge(b)
+                .map(AnySummary::CountMin)
+                .map_err(|e| e.to_string()),
+            (AnySummary::HybridQuantile(a), AnySummary::HybridQuantile(b)) => a
+                .merge(b)
+                .map(AnySummary::HybridQuantile)
+                .map_err(|e| e.to_string()),
+            (AnySummary::BottomK(a), AnySummary::BottomK(b)) => a
+                .merge(b)
+                .map(AnySummary::BottomK)
+                .map_err(|e| e.to_string()),
+            (a, b) => Err(format!(
+                "cannot merge a '{}' summary with a '{}' summary",
+                a.kind(),
+                b.kind()
+            )),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'; try --help")),
+    }
+}
+
+const USAGE: &str = "\
+mergeable — build, merge and query mergeable summaries (PODS'12)
+
+USAGE:
+  mergeable build --kind KIND --epsilon E [--seed S] [--input FILE] --out FILE
+  mergeable merge FILE... --out FILE
+  mergeable query FILE (--heavy-hitters E | --estimate ITEM | --quantile PHI | --rank X)
+  mergeable info FILE
+
+KINDS:
+  mg               Misra-Gries heavy hitters (deterministic, freq error <= eps*n)
+  space-saving     SpaceSaving heavy hitters (deterministic bracket)
+  count-min        Count-Min sketch (probabilistic overestimate)
+  hybrid-quantile  fully mergeable quantile summary (rank error <= eps*n whp)
+  bottom-k         uniform sample of ceil(1/eps^2) values (quantile baseline)
+
+Input data: one unsigned integer per line (stdin unless --input is given).
+";
+
+/// Pull `--flag value` out of an argument list; returns the remainder.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn read_items(input: Option<String>) -> Result<Vec<u64>, String> {
+    let reader: Box<dyn Read> = match input {
+        Some(path) => {
+            Box::new(fs::File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?)
+        }
+        None => Box::new(std::io::stdin()),
+    };
+    let mut items = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let value: u64 = trimmed
+            .parse()
+            .map_err(|e| format!("line {}: '{trimmed}': {e}", lineno + 1))?;
+        items.push(value);
+    }
+    Ok(items)
+}
+
+fn load(path: &str) -> Result<AnySummary, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path} is not a summary file: {e}"))
+}
+
+fn store(path: &str, summary: &AnySummary) -> Result<(), String> {
+    let json = serde_json::to_string(summary).expect("summaries serialize infallibly");
+    fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let kind = take_flag(&mut args, "--kind").ok_or("build requires --kind")?;
+    let epsilon: f64 = take_flag(&mut args, "--epsilon")
+        .ok_or("build requires --epsilon")?
+        .parse()
+        .map_err(|e| format!("bad --epsilon: {e}"))?;
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(format!("--epsilon must be in (0, 1), got {epsilon}"));
+    }
+    let seed: u64 = match take_flag(&mut args, "--seed") {
+        Some(s) => s.parse().map_err(|e| format!("bad --seed: {e}"))?,
+        None => 0,
+    };
+    let input = take_flag(&mut args, "--input");
+    let out = take_flag(&mut args, "--out").ok_or("build requires --out")?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    let items = read_items(input)?;
+    let summary = match kind.as_str() {
+        "mg" => {
+            let mut s = MgSummary::for_epsilon(epsilon);
+            s.extend_from(items);
+            AnySummary::Mg(s)
+        }
+        "space-saving" => {
+            let mut s = SpaceSavingSummary::for_epsilon(epsilon);
+            s.extend_from(items);
+            AnySummary::SpaceSaving(s)
+        }
+        "count-min" => {
+            let mut s = CountMinSketch::for_epsilon_delta(epsilon, 0.01, seed);
+            s.extend_from(items);
+            AnySummary::CountMin(s)
+        }
+        "hybrid-quantile" => {
+            let mut s = HybridQuantile::new(epsilon, seed);
+            for v in items {
+                s.insert(v);
+            }
+            AnySummary::HybridQuantile(s)
+        }
+        "bottom-k" => {
+            let k = (1.0 / (epsilon * epsilon)).ceil() as usize;
+            let mut s = BottomKSample::new(k.max(1), seed);
+            for v in items {
+                s.insert(v);
+            }
+            AnySummary::BottomK(s)
+        }
+        other => return Err(format!("unknown --kind '{other}'; see --help")),
+    };
+    store(&out, &summary)?;
+    eprintln!(
+        "wrote {} ({} items, {} stored entries)",
+        out,
+        summary.total_weight(),
+        summary.size()
+    );
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let out = take_flag(&mut args, "--out").ok_or("merge requires --out")?;
+    if args.len() < 2 {
+        return Err("merge requires at least two input files".into());
+    }
+    let mut merged = load(&args[0])?;
+    for path in &args[1..] {
+        merged = merged.merge(load(path)?)?;
+    }
+    store(&out, &merged)?;
+    eprintln!(
+        "wrote {} ({} items, {} stored entries)",
+        out,
+        merged.total_weight(),
+        merged.size()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let hh = take_flag(&mut args, "--heavy-hitters");
+    let est = take_flag(&mut args, "--estimate");
+    let quant = take_flag(&mut args, "--quantile");
+    let rank = take_flag(&mut args, "--rank");
+    let [path] = args.as_slice() else {
+        return Err("query requires exactly one summary file".into());
+    };
+    let summary = load(path)?;
+
+    if let Some(eps) = hh {
+        let eps: f64 = eps
+            .parse()
+            .map_err(|e| format!("bad --heavy-hitters: {e}"))?;
+        let hits: Vec<(u64, u64)> = match &summary {
+            AnySummary::Mg(s) => s.heavy_hitters(eps),
+            AnySummary::SpaceSaving(s) => s.heavy_hitters(eps),
+            _ => {
+                return Err(format!(
+                    "--heavy-hitters applies to mg/space-saving, not {}",
+                    summary.kind()
+                ))
+            }
+        };
+        for (item, count) in hits {
+            println!("{item}\t{count}");
+        }
+        return Ok(());
+    }
+    if let Some(item) = est {
+        let item: u64 = item.parse().map_err(|e| format!("bad --estimate: {e}"))?;
+        let value = match &summary {
+            AnySummary::Mg(s) => s.estimate(&item),
+            AnySummary::SpaceSaving(s) => s.estimate(&item),
+            AnySummary::CountMin(s) => s.estimate(&item),
+            _ => {
+                return Err(format!(
+                    "--estimate applies to counter summaries, not {}",
+                    summary.kind()
+                ))
+            }
+        };
+        println!("{value}");
+        return Ok(());
+    }
+    if let Some(phi) = quant {
+        let phi: f64 = phi.parse().map_err(|e| format!("bad --quantile: {e}"))?;
+        let value = match &summary {
+            AnySummary::HybridQuantile(s) => s.quantile(phi),
+            AnySummary::BottomK(s) => s.quantile(phi),
+            _ => {
+                return Err(format!(
+                    "--quantile applies to quantile summaries, not {}",
+                    summary.kind()
+                ))
+            }
+        };
+        match value {
+            Some(v) => println!("{v}"),
+            None => return Err("summary is empty".into()),
+        }
+        return Ok(());
+    }
+    if let Some(x) = rank {
+        let x: u64 = x.parse().map_err(|e| format!("bad --rank: {e}"))?;
+        let value = match &summary {
+            AnySummary::HybridQuantile(s) => s.rank(&x),
+            AnySummary::BottomK(s) => s.rank(&x),
+            _ => {
+                return Err(format!(
+                    "--rank applies to quantile summaries, not {}",
+                    summary.kind()
+                ))
+            }
+        };
+        println!("{value}");
+        return Ok(());
+    }
+    Err("query needs one of --heavy-hitters / --estimate / --quantile / --rank".into())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("info requires exactly one summary file".into());
+    };
+    let summary = load(path)?;
+    println!("kind:           {}", summary.kind());
+    println!("items absorbed: {}", summary.total_weight());
+    println!("stored entries: {}", summary.size());
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # Mergeable summaries
+//!
+//! A Rust implementation of the framework and summaries of Agarwal,
+//! Cormode, Huang, Phillips, Wei and Yi, *Mergeable summaries*, PODS 2012
+//! (journal version: ACM TODS 38(4), 2013).
+//!
+//! A summarization scheme `S(D, ε)` is **mergeable** if `S(D₁, ε)` and
+//! `S(D₂, ε)` can be combined into `S(D₁ ⊎ D₂, ε)` — same error parameter,
+//! same size bound — under *arbitrarily many* merges in *any* order. This
+//! crate re-exports the workspace's summaries behind one façade:
+//!
+//! | module | summary | guarantee | size |
+//! |--------|---------|-----------|------|
+//! | [`frequency`] | Misra-Gries, SpaceSaving | freq. error ≤ εn, deterministic | `O(1/ε)` |
+//! | [`quantiles`] | known-n & hybrid randomized summaries | rank error ≤ εn w.h.p. | `O((1/ε)·polylog)` |
+//! | [`range`] | ε-approximations (rectangles) | range-count error ≤ εn | `Õ(1/ε)` buffers |
+//! | [`kernels`] | ε-kernels (restricted model) | width error ≤ ε·width | `O(1/√ε)` |
+//! | [`sketches`] | Count-Min, Count-Sketch, AMS F₂ | probabilistic | baseline class |
+//! | [`lowerror`] | extension: low-total-error merges | see crate docs | — |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mergeable_summaries::core::{merge_all, ItemSummary, MergeTree, Summary};
+//! use mergeable_summaries::frequency::MgSummary;
+//!
+//! // Each distributed site summarizes its own shard with ε = 0.1 …
+//! let sites: Vec<MgSummary<&str>> = (0..4)
+//!     .map(|site| {
+//!         let mut s = MgSummary::for_epsilon(0.1);
+//!         for _ in 0..=site {
+//!             s.update("popular");
+//!         }
+//!         s.update("rare");
+//!         s
+//!     })
+//!     .collect();
+//!
+//! // … and the shards merge in any tree shape with no error growth.
+//! let merged = merge_all(sites, MergeTree::Balanced).unwrap();
+//! assert_eq!(merged.total_weight(), 14);
+//! assert!(merged.estimate(&"popular") <= 10);
+//! ```
+
+pub use ms_core as core;
+pub use ms_frequency as frequency;
+pub use ms_kernels as kernels;
+pub use ms_lowerror as lowerror;
+pub use ms_netsim as netsim;
+pub use ms_quantiles as quantiles;
+pub use ms_range as range;
+pub use ms_sketches as sketches;
+pub use ms_workloads as workloads;
+
+pub use ms_core::{merge_all, ItemSummary, MergeError, MergeTree, Mergeable, Summary};
+pub use ms_frequency::{ExactCounts, MgSummary, SpaceSavingSummary};
+pub use ms_kernels::{EpsKernel, Frame};
+pub use ms_quantiles::{BottomKSample, GkSummary, HybridQuantile, KnownNQuantile, RankSummary};
+pub use ms_range::EpsApprox2d;
+pub use ms_sketches::{AmsF2Sketch, CountMinSketch, CountSketch};

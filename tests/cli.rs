@@ -1,0 +1,297 @@
+//! End-to-end tests of the `mergeable` CLI: build summaries from data
+//! files, merge the files, query the result — the full ship-summaries
+//! workflow, exercised through the real binary.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mergeable"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mergeable-cli-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn write_data(path: &PathBuf, items: &[u64]) {
+    let text: String = items.iter().map(|i| format!("{i}\n")).collect();
+    fs::write(path, text).expect("write data");
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let output = cmd.output().expect("spawn");
+    assert!(
+        output.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+#[test]
+fn build_merge_query_heavy_hitters() {
+    let dir = tempdir("hh");
+    let data1 = dir.join("d1.txt");
+    let data2 = dir.join("d2.txt");
+    // Item 7 is heavy at both sites; the long tails differ.
+    let mut items1: Vec<u64> = vec![7; 500];
+    items1.extend(1000..1400u64);
+    let mut items2: Vec<u64> = vec![7; 300];
+    items2.extend(2000..2500u64);
+    write_data(&data1, &items1);
+    write_data(&data2, &items2);
+
+    let s1 = dir.join("s1.json");
+    let s2 = dir.join("s2.json");
+    let merged = dir.join("merged.json");
+    for (data, out) in [(&data1, &s1), (&data2, &s2)] {
+        run_ok(bin().args([
+            "build",
+            "--kind",
+            "mg",
+            "--epsilon",
+            "0.05",
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+    }
+    run_ok(bin().args([
+        "merge",
+        s1.to_str().unwrap(),
+        s2.to_str().unwrap(),
+        "--out",
+        merged.to_str().unwrap(),
+    ]));
+
+    let output = run_ok(bin().args(["query", merged.to_str().unwrap(), "--heavy-hitters", "0.05"]));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let first = stdout.lines().next().expect("at least one heavy hitter");
+    assert!(
+        first.starts_with("7\t"),
+        "expected item 7 first, got {first}"
+    );
+
+    // info reports the combined weight.
+    let info = run_ok(bin().args(["info", merged.to_str().unwrap()]));
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("mg"));
+    assert!(
+        text.contains(&(items1.len() + items2.len()).to_string()),
+        "{text}"
+    );
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn quantile_workflow() {
+    let dir = tempdir("quant");
+    let data1 = dir.join("d1.txt");
+    let data2 = dir.join("d2.txt");
+    write_data(&data1, &(0..5000u64).collect::<Vec<_>>());
+    write_data(&data2, &(5000..10000u64).collect::<Vec<_>>());
+
+    let s1 = dir.join("q1.json");
+    let s2 = dir.join("q2.json");
+    let merged = dir.join("q.json");
+    for (data, out) in [(&data1, &s1), (&data2, &s2)] {
+        run_ok(bin().args([
+            "build",
+            "--kind",
+            "hybrid-quantile",
+            "--epsilon",
+            "0.02",
+            "--seed",
+            "9",
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+    }
+    run_ok(bin().args([
+        "merge",
+        s1.to_str().unwrap(),
+        s2.to_str().unwrap(),
+        "--out",
+        merged.to_str().unwrap(),
+    ]));
+
+    let output = run_ok(bin().args(["query", merged.to_str().unwrap(), "--quantile", "0.5"]));
+    let median: u64 = String::from_utf8_lossy(&output.stdout)
+        .trim()
+        .parse()
+        .unwrap();
+    assert!((4500..=5500).contains(&median), "median {median}");
+
+    let output = run_ok(bin().args(["query", merged.to_str().unwrap(), "--rank", "2500"]));
+    let rank: u64 = String::from_utf8_lossy(&output.stdout)
+        .trim()
+        .parse()
+        .unwrap();
+    assert!((2200..=2800).contains(&rank), "rank {rank}");
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn mixed_kind_merge_is_rejected() {
+    let dir = tempdir("mixed");
+    let data = dir.join("d.txt");
+    write_data(&data, &(0..100u64).collect::<Vec<_>>());
+    let mg = dir.join("mg.json");
+    let cm = dir.join("cm.json");
+    for (kind, out) in [("mg", &mg), ("count-min", &cm)] {
+        run_ok(bin().args([
+            "build",
+            "--kind",
+            kind,
+            "--epsilon",
+            "0.1",
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+    }
+    let output = bin()
+        .args([
+            "merge",
+            mg.to_str().unwrap(),
+            cm.to_str().unwrap(),
+            "--out",
+            dir.join("x.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot merge"), "{stderr}");
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn bad_inputs_produce_clear_errors() {
+    let dir = tempdir("bad");
+
+    // Unknown kind.
+    let out = bin()
+        .args(["build", "--kind", "bogus", "--epsilon", "0.1", "--out", "x"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --kind"));
+
+    // Epsilon out of range.
+    let out = bin()
+        .args(["build", "--kind", "mg", "--epsilon", "2.0", "--out", "x"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("(0, 1)"));
+
+    // Non-numeric data.
+    let data = dir.join("bad.txt");
+    fs::write(&data, "12\nnot-a-number\n").unwrap();
+    let out = bin()
+        .args([
+            "build",
+            "--kind",
+            "mg",
+            "--epsilon",
+            "0.1",
+            "--input",
+            data.to_str().unwrap(),
+            "--out",
+            dir.join("x.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+
+    // Querying the wrong kind.
+    let data2 = dir.join("ok.txt");
+    write_data(&data2, &[1, 2, 3]);
+    let mg = dir.join("mg.json");
+    run_ok(bin().args([
+        "build",
+        "--kind",
+        "mg",
+        "--epsilon",
+        "0.1",
+        "--input",
+        data2.to_str().unwrap(),
+        "--out",
+        mg.to_str().unwrap(),
+    ]));
+    let out = bin()
+        .args(["query", mg.to_str().unwrap(), "--quantile", "0.5"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("quantile summaries"));
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn space_saving_and_bottom_k_kinds() {
+    let dir = tempdir("kinds");
+    let data = dir.join("d.txt");
+    let mut items: Vec<u64> = vec![42; 400];
+    items.extend(0..400u64);
+    write_data(&data, &items);
+
+    // SpaceSaving: build, estimate the heavy item.
+    let ss = dir.join("ss.json");
+    run_ok(bin().args([
+        "build",
+        "--kind",
+        "space-saving",
+        "--epsilon",
+        "0.05",
+        "--input",
+        data.to_str().unwrap(),
+        "--out",
+        ss.to_str().unwrap(),
+    ]));
+    let out = run_ok(bin().args(["query", ss.to_str().unwrap(), "--estimate", "42"]));
+    let est: u64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert!((400..=440).contains(&est), "estimate {est}");
+
+    // Bottom-k sample: median of the mixed data.
+    let bk = dir.join("bk.json");
+    run_ok(bin().args([
+        "build",
+        "--kind",
+        "bottom-k",
+        "--epsilon",
+        "0.05",
+        "--seed",
+        "3",
+        "--input",
+        data.to_str().unwrap(),
+        "--out",
+        bk.to_str().unwrap(),
+    ]));
+    let out = run_ok(bin().args(["query", bk.to_str().unwrap(), "--quantile", "0.9"]));
+    let q: u64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert!(q >= 150, "p90 {q}");
+
+    fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run_ok(bin().arg("--help"));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("hybrid-quantile"));
+}

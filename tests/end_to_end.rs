@@ -1,0 +1,283 @@
+//! End-to-end integration: workloads → per-site summaries → merge trees →
+//! oracle validation, across every summary family in the workspace.
+
+use mergeable_summaries::core::{
+    merge_all, FrequencyOracle, ItemSummary, MergeTree, Mergeable, RankOracle, Summary,
+};
+use mergeable_summaries::quantiles::RankSummary;
+use mergeable_summaries::range::ranges::{count_in, grid_queries};
+use mergeable_summaries::range::{EpsApprox2d, Halving};
+use mergeable_summaries::workloads::{CloudKind, Partitioner, StreamKind, ValueDist};
+use mergeable_summaries::{
+    CountMinSketch, EpsKernel, Frame, HybridQuantile, KnownNQuantile, MgSummary, SpaceSavingSummary,
+};
+
+const SITES: usize = 32;
+
+/// One scatter/summarize/merge pass for an item-stream summary.
+fn scatter_merge<S, F>(items: &[u64], partitioner: Partitioner, shape: MergeTree, mk: F) -> S
+where
+    S: Mergeable + ItemSummary<u64>,
+    F: Fn(usize) -> S,
+{
+    let parts = partitioner.split(items, SITES);
+    let leaves: Vec<S> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, part)| {
+            let mut s = mk(i);
+            s.extend_from(part.iter().copied());
+            s
+        })
+        .collect();
+    merge_all(leaves, shape).expect("compatible summaries")
+}
+
+#[test]
+fn mg_pipeline_full_matrix() {
+    let eps = 0.02;
+    let items = StreamKind::Zipf {
+        s: 1.1,
+        universe: 50_000,
+    }
+    .generate(200_000, 1);
+    let oracle = FrequencyOracle::from_stream(items.iter().copied());
+    for partitioner in Partitioner::canonical() {
+        for shape in MergeTree::canonical() {
+            let merged: MgSummary<u64> =
+                scatter_merge(&items, partitioner, shape, |_| MgSummary::for_epsilon(eps));
+            assert_eq!(merged.total_weight(), oracle.total());
+            let bound = (eps * oracle.total() as f64).ceil() as u64;
+            for (item, truth) in oracle.iter() {
+                let est = merged.estimate(item);
+                assert!(est <= truth);
+                assert!(
+                    truth - est <= bound,
+                    "{}/{}: item {item} err {}",
+                    partitioner.label(),
+                    shape.label(),
+                    truth - est
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ss_pipeline_full_matrix() {
+    let eps = 0.02;
+    let items = StreamKind::HotSet {
+        hot: 40,
+        hot_fraction: 0.7,
+        universe: 100_000,
+    }
+    .generate(200_000, 2);
+    let oracle = FrequencyOracle::from_stream(items.iter().copied());
+    for partitioner in Partitioner::canonical() {
+        for shape in MergeTree::canonical() {
+            let merged: SpaceSavingSummary<u64> = scatter_merge(&items, partitioner, shape, |_| {
+                SpaceSavingSummary::for_epsilon(eps)
+            });
+            let bound = (eps * oracle.total() as f64).ceil() as u64;
+            for (item, truth) in oracle.iter() {
+                assert!(merged.lower_bound(item) <= truth);
+                assert!(merged.upper_bound(item) >= truth);
+                assert!(
+                    merged.upper_bound(item) - merged.lower_bound(item) <= 2 * bound,
+                    "{}/{}: item {item} bracket too wide",
+                    partitioner.label(),
+                    shape.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mg_and_ss_agree_on_heavy_hitters() {
+    let eps = 0.01;
+    let items = StreamKind::Zipf {
+        s: 1.5,
+        universe: 1 << 20,
+    }
+    .generate(500_000, 3);
+    let oracle = FrequencyOracle::from_stream(items.iter().copied());
+    let mg: MgSummary<u64> =
+        scatter_merge(&items, Partitioner::RoundRobin, MergeTree::Balanced, |_| {
+            MgSummary::for_epsilon(eps)
+        });
+    let ss: SpaceSavingSummary<u64> =
+        scatter_merge(&items, Partitioner::RoundRobin, MergeTree::Balanced, |_| {
+            SpaceSavingSummary::for_epsilon(eps)
+        });
+    let truth: Vec<u64> = oracle
+        .heavy_hitters(eps)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect();
+    let from_mg: Vec<u64> = mg.heavy_hitters(eps).into_iter().map(|(i, _)| i).collect();
+    let from_ss: Vec<u64> = ss.heavy_hitters(eps).into_iter().map(|(i, _)| i).collect();
+    for item in &truth {
+        assert!(from_mg.contains(item), "MG missed {item}");
+        assert!(from_ss.contains(item), "SS missed {item}");
+    }
+}
+
+#[test]
+fn count_min_is_tree_shape_invariant() {
+    // Linearity: any two merge orders give bit-identical estimates.
+    let items = StreamKind::Uniform { universe: 10_000 }.generate(100_000, 4);
+    let build = |shape: MergeTree| -> CountMinSketch<u64> {
+        scatter_merge(&items, Partitioner::Contiguous, shape, |_| {
+            CountMinSketch::new(512, 4, 99)
+        })
+    };
+    let a = build(MergeTree::Chain);
+    let b = build(MergeTree::Random { seed: 123 });
+    for probe in (0..10_000).step_by(97) {
+        assert_eq!(a.estimate(&probe), b.estimate(&probe));
+    }
+}
+
+#[test]
+fn quantile_pipeline_known_n_and_hybrid() {
+    let eps = 0.04;
+    let values = ValueDist::Exponential.generate(131_072, 5);
+    let oracle = RankOracle::from_stream(values.clone());
+    let parts = Partitioner::Contiguous.split(&values, SITES);
+
+    let known: KnownNQuantile<u64> = merge_all(
+        parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut q = KnownNQuantile::new(eps, values.len() as u64, i as u64);
+                for &v in p {
+                    q.insert(v);
+                }
+                q
+            })
+            .collect(),
+        MergeTree::Balanced,
+    )
+    .unwrap();
+    let hybrid: HybridQuantile<u64> = merge_all(
+        parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut q = HybridQuantile::new(eps, 1_000 + i as u64);
+                for &v in p {
+                    q.insert(v);
+                }
+                q
+            })
+            .collect(),
+        MergeTree::Balanced,
+    )
+    .unwrap();
+
+    let n = values.len() as f64;
+    for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
+        let probe = *oracle.quantile(phi).unwrap();
+        for (name, est) in [
+            ("known-n", known.rank(&probe)),
+            ("hybrid", hybrid.rank(&probe)),
+        ] {
+            let err = oracle.rank_error(&probe, est) as f64 / n;
+            assert!(err <= eps, "{name} phi {phi}: rank error {err}");
+        }
+    }
+    // Size contrast with exact storage.
+    assert!(known.size() < values.len() / 10);
+    assert!(hybrid.size() < values.len() / 10);
+}
+
+#[test]
+fn geometric_pipeline_kernel_and_approx() {
+    let pts = CloudKind::TwoClusters.generate(65_536, 6);
+    let frame = Frame::from_points(&pts);
+    let kernels: Vec<EpsKernel> = pts
+        .chunks(2048)
+        .map(|c| {
+            let mut k = EpsKernel::new(0.03, frame);
+            k.extend_from(c.iter().copied());
+            k
+        })
+        .collect();
+    let kernel = merge_all(kernels, MergeTree::TwoLevel { fan: 8 }).unwrap();
+    for i in 0..360 {
+        let dir = mergeable_summaries::core::unit_dir(std::f64::consts::TAU * i as f64 / 360.0);
+        let truth = mergeable_summaries::core::directional_width(&pts, dir);
+        let est = kernel.width(dir);
+        assert!(est <= truth + 1e-9);
+        assert!(truth - est <= 0.03 * truth, "dir {i}: {est} vs {truth}");
+    }
+
+    let approxes: Vec<EpsApprox2d> = pts
+        .chunks(2048)
+        .enumerate()
+        .map(|(i, c)| {
+            let mut a = EpsApprox2d::new(256, Halving::Hilbert, i as u64);
+            a.extend_from(c.iter().copied());
+            a
+        })
+        .collect();
+    let approx = merge_all(approxes, MergeTree::TwoLevel { fan: 8 }).unwrap();
+    for r in grid_queries(&pts, 5) {
+        let exact = count_in(&pts, &r) as f64;
+        let est = approx.estimate_count(&r) as f64;
+        assert!(
+            (est - exact).abs() <= 0.05 * pts.len() as f64,
+            "rect {r:?}: est {est}, exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn weighted_and_unweighted_updates_interoperate() {
+    // A site feeding weighted updates merges cleanly with sites feeding
+    // raw occurrences.
+    let mut weighted = MgSummary::new(9);
+    weighted.update_weighted(1u64, 500);
+    weighted.update_weighted(2, 300);
+    let mut raw = MgSummary::new(9);
+    for _ in 0..200 {
+        raw.update(1u64);
+    }
+    let merged = weighted.merge(raw).unwrap();
+    assert_eq!(merged.estimate(&1), 700);
+    assert_eq!(merged.total_weight(), 1000);
+}
+
+#[test]
+fn million_item_smoke_test() {
+    // The full stack at realistic scale: 1M items, 64 sites, all four
+    // canonical trees, deterministic result.
+    let eps = 0.005;
+    let items = StreamKind::Zipf {
+        s: 1.07,
+        universe: 1 << 24,
+    }
+    .generate(1 << 20, 7);
+    let parts = Partitioner::ByKey.split(&items, 64);
+    let leaves = || -> Vec<MgSummary<u64>> {
+        parts
+            .iter()
+            .map(|p| {
+                let mut s = MgSummary::for_epsilon(eps);
+                s.extend_from(p.iter().copied());
+                s
+            })
+            .collect()
+    };
+    let a = merge_all(leaves(), MergeTree::Balanced).unwrap();
+    let b = merge_all(leaves(), MergeTree::Balanced).unwrap();
+    // Determinism end to end.
+    let mut ea: Vec<(u64, u64)> = a.iter().map(|(i, c)| (*i, c)).collect();
+    let mut eb: Vec<(u64, u64)> = b.iter().map(|(i, c)| (*i, c)).collect();
+    ea.sort_unstable();
+    eb.sort_unstable();
+    assert_eq!(ea, eb);
+    assert!(a.size() <= 1.0_f64.div_euclid(eps) as usize);
+}

@@ -1,0 +1,212 @@
+//! The paper's results as executable statements — one test per theorem,
+//! phrased as closely to the paper as an assertion allows. These duplicate
+//! coverage that exists elsewhere at larger scale; their job is to be the
+//! readable index from theorem to behavior.
+
+use mergeable_summaries::core::{
+    merge_all, FrequencyOracle, ItemSummary, MergeTree, Mergeable, RankOracle, Summary,
+};
+use mergeable_summaries::frequency::isomorphism::check_isomorphism;
+use mergeable_summaries::quantiles::RankSummary;
+use mergeable_summaries::workloads::{CloudKind, Partitioner, StreamKind, ValueDist};
+use mergeable_summaries::{
+    EpsKernel, Frame, HybridQuantile, KnownNQuantile, MgSummary, SpaceSavingSummary,
+};
+
+/// §3, Theorem 1: "MG summaries are mergeable with error parameter ε and
+/// size O(1/ε)" — for any dataset, any partition into sites, and any merge
+/// order, the merged summary with k = ⌈1/ε⌉ − 1 counters answers every
+/// frequency query within εn from below.
+#[test]
+fn theorem_1_mg_summaries_are_mergeable() {
+    let eps = 0.05;
+    let items = StreamKind::Zipf {
+        s: 1.2,
+        universe: 5_000,
+    }
+    .generate(50_000, 42);
+    let oracle = FrequencyOracle::from_stream(items.iter().copied());
+    let bound = (eps * items.len() as f64) as u64;
+
+    for partitioner in Partitioner::canonical() {
+        for shape in MergeTree::canonical() {
+            let leaves: Vec<MgSummary<u64>> = partitioner
+                .split(&items, 16)
+                .into_iter()
+                .map(|part| {
+                    let mut s = MgSummary::for_epsilon(eps);
+                    s.extend_from(part);
+                    s
+                })
+                .collect();
+            let merged = merge_all(leaves, shape).unwrap();
+            // Size bound: still O(1/ε) counters after all merges.
+            assert!(merged.size() <= (1.0 / eps) as usize);
+            // Error bound: one-sided, ≤ εn, for every item.
+            for (item, truth) in oracle.iter() {
+                let est = merged.estimate(item);
+                assert!(est <= truth && truth - est <= bound);
+            }
+        }
+    }
+}
+
+/// §3, Lemma (isomorphism): "the MG summary with k counters and the
+/// SpaceSaving summary with k+1 counters are isomorphic" — their counter
+/// values correspond via δ = (n − n̂)/(k+1) on every stream.
+#[test]
+fn lemma_mg_spacesaving_isomorphism() {
+    for (kind, seed) in [
+        (
+            StreamKind::Zipf {
+                s: 1.4,
+                universe: 600,
+            },
+            1u64,
+        ),
+        (StreamKind::Uniform { universe: 100 }, 2),
+        (StreamKind::AllDistinct, 3),
+    ] {
+        let items = kind.generate(8_000, seed);
+        for k in [4usize, 17, 63] {
+            let mut mg = MgSummary::new(k);
+            let mut ss = SpaceSavingSummary::new(k + 1);
+            for &item in &items {
+                mg.update(item);
+                ss.update(item);
+            }
+            check_isomorphism(&mg, &ss)
+                .unwrap_or_else(|e| panic!("{} k={k}: {e}", kind.label()));
+        }
+    }
+}
+
+/// §4.2: "for known n there is a randomized mergeable quantile summary of
+/// size O((1/ε)·polylog) with rank error εn w.h.p." — exercised here on
+/// one seeded instance per tree shape.
+#[test]
+fn theorem_known_n_quantiles_merge() {
+    let eps = 0.05;
+    let n = 1 << 15;
+    let values = ValueDist::Normal.generate(n, 7);
+    let oracle = RankOracle::from_stream(values.clone());
+    for shape in MergeTree::canonical() {
+        let leaves: Vec<KnownNQuantile<u64>> = values
+            .chunks(n / 16)
+            .enumerate()
+            .map(|(i, c)| {
+                let mut q = KnownNQuantile::new(eps, n as u64, i as u64);
+                for &v in c {
+                    q.insert(v);
+                }
+                q
+            })
+            .collect();
+        let merged = merge_all(leaves, shape).unwrap();
+        assert!(merged.size() < n / 4, "summary must be much smaller than data");
+        for phi in [0.1, 0.5, 0.9] {
+            let probe = *oracle.quantile(phi).unwrap();
+            let err = oracle.rank_error(&probe, merged.rank(&probe));
+            assert!((err as f64) <= eps * n as f64, "{}: {err}", shape.label());
+        }
+    }
+}
+
+/// §4.3: "a fully mergeable quantile summary of size O((1/ε)·log^1.5(1/ε))
+/// — independent of n — exists" — the same summary object absorbs 16× more
+/// data without growing.
+#[test]
+fn theorem_hybrid_size_independent_of_n() {
+    let eps = 0.1;
+    let build = |n: usize| {
+        let mut q = HybridQuantile::new(eps, 3);
+        for &v in &ValueDist::Uniform.generate(n, 5) {
+            q.insert(v);
+        }
+        q
+    };
+    let small = build(1 << 13);
+    let large = build(1 << 17);
+    assert_eq!(small.size(), large.size(), "size depends only on ε");
+    assert!(large.base_weight() > small.base_weight());
+}
+
+/// §5: "ε-approximations of range spaces are mergeable via merge-reduce" —
+/// a 16-way merged approximation answers rectangle counts within εn.
+#[test]
+fn theorem_eps_approximation_merge_reduce() {
+    use mergeable_summaries::range::ranges::{count_in, grid_queries};
+    use mergeable_summaries::range::{EpsApprox2d, Halving};
+
+    let n = 1 << 14;
+    let pts = CloudKind::Gaussian.generate(n, 11);
+    let leaves: Vec<EpsApprox2d> = pts
+        .chunks(n / 16)
+        .enumerate()
+        .map(|(i, c)| {
+            let mut a = EpsApprox2d::new(256, Halving::Hilbert, i as u64);
+            a.extend_from(c.iter().copied());
+            a
+        })
+        .collect();
+    let merged = merge_all(leaves, MergeTree::Balanced).unwrap();
+    for r in grid_queries(&pts, 4) {
+        let exact = count_in(&pts, &r) as f64;
+        let est = merged.estimate_count(&r) as f64;
+        assert!((est - exact).abs() <= 0.05 * n as f64);
+    }
+}
+
+/// §6: "ε-kernels are mergeable in the restricted model" — with a shared
+/// frame, merging is exact (per-direction max), so any merge order yields
+/// the identical kernel; without the shared frame merging is refused.
+#[test]
+fn theorem_kernels_restricted_mergeability() {
+    let pts = CloudKind::Ring.generate(4_096, 13);
+    let frame = Frame::from_points(&pts);
+    let build = |chunk: &[mergeable_summaries::core::Point2]| {
+        let mut k = EpsKernel::new(0.05, frame);
+        k.extend_from(chunk.iter().copied());
+        k
+    };
+    let a = merge_all(
+        pts.chunks(256).map(build).collect(),
+        MergeTree::Chain,
+    )
+    .unwrap();
+    let b = merge_all(
+        pts.chunks(256).map(build).collect(),
+        MergeTree::Random { seed: 99 },
+    )
+    .unwrap();
+    for i in 0..360 {
+        let dir = mergeable_summaries::core::unit_dir(i as f64 * 0.0175);
+        assert_eq!(a.width(dir), b.width(dir), "merge order must not matter");
+    }
+    // The restriction is real: a different frame cannot merge.
+    let other = EpsKernel::new(0.05, Frame::identity());
+    assert!(a.merge(other).is_err());
+}
+
+/// §2 (comparison class): linear sketches merge by addition, so their
+/// estimates are invariant to the merge tree — bit for bit.
+#[test]
+fn linear_sketches_are_tree_invariant() {
+    use mergeable_summaries::CountMinSketch;
+    let items = StreamKind::Uniform { universe: 1_000 }.generate(20_000, 17);
+    let build = |shape: MergeTree| {
+        let leaves: Vec<CountMinSketch<u64>> = items
+            .chunks(2_000)
+            .map(|c| {
+                let mut s = CountMinSketch::new(64, 4, 0x5EED);
+                s.extend_from(c.iter().copied());
+                s
+            })
+            .collect();
+        merge_all(leaves, shape).unwrap()
+    };
+    let (a, b) = (build(MergeTree::Chain), build(MergeTree::Balanced));
+    for probe in 0..1_000u64 {
+        assert_eq!(a.estimate(&probe), b.estimate(&probe));
+    }
+}
