@@ -1,85 +1,63 @@
 //! Throughput of the heavy-hitter summaries (E9): updates, queries.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use ms_bench::Suite;
 use ms_core::{ItemSummary, Summary};
 use ms_frequency::{ExactCounts, MgSummary, SpaceSavingSummary};
 use ms_workloads::StreamKind;
 
-fn bench_updates(c: &mut Criterion) {
+fn main() {
     let n = 100_000;
     let items = StreamKind::Zipf {
         s: 1.1,
         universe: 1 << 20,
     }
     .generate(n, 1);
-    let mut group = c.benchmark_group("frequency_update");
-    group.sample_size(20);
-    group.measurement_time(Duration::from_secs(3));
-    group.warm_up_time(Duration::from_millis(500));
-    group.throughput(Throughput::Elements(n as u64));
 
+    let mut updates = Suite::new("frequency_update");
     for k in [64usize, 512] {
-        group.bench_with_input(BenchmarkId::new("mg", k), &k, |b, &k| {
-            b.iter(|| {
-                let mut s = MgSummary::new(k);
-                for &item in &items {
-                    s.update(black_box(item));
-                }
-                black_box(s.size())
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("space_saving", k), &k, |b, &k| {
-            b.iter(|| {
-                let mut s = SpaceSavingSummary::new(k);
-                for &item in &items {
-                    s.update(black_box(item));
-                }
-                black_box(s.size())
-            });
-        });
-    }
-    group.bench_function("exact", |b| {
-        b.iter(|| {
-            let mut s = ExactCounts::new();
+        updates.bench_elems(&format!("mg/k={k}"), n as u64, || {
+            let mut s = MgSummary::new(k);
             for &item in &items {
                 s.update(black_box(item));
             }
             black_box(s.size())
         });
+        updates.bench_elems(&format!("space_saving/k={k}"), n as u64, || {
+            let mut s = SpaceSavingSummary::new(k);
+            for &item in &items {
+                s.update(black_box(item));
+            }
+            black_box(s.size())
+        });
+    }
+    updates.bench_elems("exact", n as u64, || {
+        let mut s = ExactCounts::new();
+        for &item in &items {
+            s.update(black_box(item));
+        }
+        black_box(s.size())
     });
-    group.finish();
-}
+    updates.finish();
 
-fn bench_queries(c: &mut Criterion) {
-    let items = StreamKind::Zipf {
+    let query_items = StreamKind::Zipf {
         s: 1.1,
         universe: 1 << 20,
     }
     .generate(200_000, 2);
     let mut mg = MgSummary::new(256);
-    mg.extend_from(items.iter().copied());
-    let mut group = c.benchmark_group("frequency_query");
-    group.sample_size(20);
-    group.measurement_time(Duration::from_secs(3));
-    group.throughput(Throughput::Elements(1000));
-    group.bench_function("mg_estimate_x1000", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for probe in 0..1000u64 {
-                acc += mg.estimate(black_box(&probe));
-            }
-            black_box(acc)
-        });
+    mg.extend_from(query_items.iter().copied());
+    let mut queries = Suite::new("frequency_query");
+    queries.bench_elems("mg_estimate_x1000", 1000, || {
+        let mut acc = 0u64;
+        for probe in 0..1000u64 {
+            acc += mg.estimate(black_box(&probe));
+        }
+        black_box(acc)
     });
-    group.bench_function("mg_heavy_hitters", |b| {
-        b.iter(|| black_box(mg.heavy_hitters(0.01).len()));
+    queries.bench("mg_heavy_hitters", || {
+        black_box(mg.heavy_hitters(0.01).len())
     });
-    group.finish();
+    queries.finish();
 }
-
-criterion_group!(benches, bench_updates, bench_queries);
-criterion_main!(benches);

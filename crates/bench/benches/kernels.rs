@@ -1,67 +1,44 @@
 //! Throughput of the ε-kernel (E9): inserts vs grid size, merges, width
 //! queries.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use ms_bench::Suite;
 use ms_core::{unit_dir, Mergeable, Summary};
 use ms_kernels::{EpsKernel, Frame};
 use ms_workloads::CloudKind;
 
-fn bench_inserts(c: &mut Criterion) {
+fn main() {
     let n = 50_000;
     let points = CloudKind::Disk.generate(n, 1);
     let frame = Frame::from_points(&points);
-    let mut group = c.benchmark_group("kernel_insert");
-    group.sample_size(15);
-    group.measurement_time(Duration::from_secs(3));
-    group.throughput(Throughput::Elements(n as u64));
-    for eps in [0.1, 0.01, 0.001] {
-        group.bench_with_input(
-            BenchmarkId::new("insert", format!("eps={eps}")),
-            &eps,
-            |b, &eps| {
-                b.iter(|| {
-                    let mut k = EpsKernel::new(eps, frame);
-                    k.extend_from(points.iter().copied());
-                    black_box(k.size())
-                });
-            },
-        );
-    }
-    group.finish();
-}
 
-fn bench_merge_and_width(c: &mut Criterion) {
-    let points = CloudKind::Gaussian.generate(100_000, 2);
-    let frame = Frame::from_points(&points);
+    let mut inserts = Suite::new("kernel_insert");
+    for eps in [0.1, 0.01, 0.001] {
+        inserts.bench_elems(&format!("insert/eps={eps}"), n as u64, || {
+            let mut k = EpsKernel::new(eps, frame);
+            k.extend_from(points.iter().copied());
+            black_box(k.size())
+        });
+    }
+    inserts.finish();
+
+    let big = CloudKind::Gaussian.generate(100_000, 2);
+    let frame2 = Frame::from_points(&big);
     let mk = |slice: &[ms_core::Point2]| {
-        let mut k = EpsKernel::new(0.01, frame);
+        let mut k = EpsKernel::new(0.01, frame2);
         k.extend_from(slice.iter().copied());
         k
     };
-    let a = mk(&points[..50_000]);
-    let b2 = mk(&points[50_000..]);
-    let mut group = c.benchmark_group("kernel_merge_width");
-    group.sample_size(30);
-    group.measurement_time(Duration::from_secs(3));
-    group.bench_function("merge_two_way", |b| {
-        b.iter_batched(
-            || (a.clone(), b2.clone()),
-            |(x, y)| black_box(x.merge(y).unwrap()),
-            BatchSize::SmallInput,
-        );
+    let a = mk(&big[..50_000]);
+    let b = mk(&big[50_000..]);
+    let mut mw = Suite::new("kernel_merge_width");
+    mw.bench("merge_two_way", || {
+        black_box(a.clone().merge(b.clone()).unwrap())
     });
-    group.bench_function("width_query", |b| {
-        b.iter(|| black_box(a.width(black_box(unit_dir(0.7)))));
+    mw.bench("width_query", || {
+        black_box(a.width(black_box(unit_dir(0.7))))
     });
-    group.bench_function("diameter", |b| {
-        b.iter(|| black_box(a.diameter()));
-    });
-    group.finish();
+    mw.bench("diameter", || black_box(a.diameter()));
+    mw.finish();
 }
-
-criterion_group!(benches, bench_inserts, bench_merge_and_width);
-criterion_main!(benches);

@@ -1,10 +1,8 @@
 //! Merge throughput (E9): cost of one 2-way merge and of whole merge trees.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use ms_bench::Suite;
 use ms_core::{merge_all, ItemSummary, MergeTree, Mergeable};
 use ms_frequency::MgSummary;
 use ms_quantiles::{HybridQuantile, RankSummary};
@@ -26,18 +24,12 @@ fn leaves_mg(sites: usize, k: usize) -> Vec<MgSummary<u64>> {
         .collect()
 }
 
-fn bench_two_way(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merge_two_way");
-    group.sample_size(30);
-    group.measurement_time(Duration::from_secs(3));
+fn main() {
+    let mut two_way = Suite::new("merge_two_way");
     for k in [64usize, 256, 1024] {
         let leaves = leaves_mg(2, k);
-        group.bench_with_input(BenchmarkId::new("mg", k), &k, |b, _| {
-            b.iter_batched(
-                || (leaves[0].clone(), leaves[1].clone()),
-                |(a, b2)| black_box(a.merge(b2).unwrap()),
-                BatchSize::SmallInput,
-            );
+        two_way.bench(&format!("mg/k={k}"), || {
+            black_box(leaves[0].clone().merge(leaves[1].clone()).unwrap())
         });
     }
     for eps in [0.05, 0.01] {
@@ -50,44 +42,21 @@ fn bench_two_way(c: &mut Criterion) {
             q
         };
         let a = mk(1, &values[..20_000]);
-        let b2 = mk(2, &values[20_000..]);
-        group.bench_with_input(
-            BenchmarkId::new("hybrid_quantile", format!("eps={eps}")),
-            &eps,
-            |bch, _| {
-                bch.iter_batched(
-                    || (a.clone(), b2.clone()),
-                    |(x, y)| black_box(x.merge(y).unwrap()),
-                    BatchSize::SmallInput,
-                );
-            },
-        );
+        let b = mk(2, &values[20_000..]);
+        two_way.bench(&format!("hybrid_quantile/eps={eps}"), || {
+            black_box(a.clone().merge(b.clone()).unwrap())
+        });
     }
-    group.finish();
-}
+    two_way.finish();
 
-fn bench_trees(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merge_trees");
-    group.sample_size(20);
-    group.measurement_time(Duration::from_secs(3));
+    let mut trees = Suite::new("merge_trees");
     for sites in [16usize, 64, 256] {
         let leaves = leaves_mg(sites, 256);
         for shape in [MergeTree::Chain, MergeTree::Balanced] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("mg_{}", shape.label()), sites),
-                &sites,
-                |b, _| {
-                    b.iter_batched(
-                        || leaves.clone(),
-                        |l| black_box(merge_all(l, shape).unwrap()),
-                        BatchSize::SmallInput,
-                    );
-                },
-            );
+            trees.bench(&format!("mg_{}/sites={sites}", shape.label()), || {
+                black_box(merge_all(leaves.clone(), shape).unwrap())
+            });
         }
     }
-    group.finish();
+    trees.finish();
 }
-
-criterion_group!(benches, bench_two_way, bench_trees);
-criterion_main!(benches);

@@ -1,14 +1,12 @@
 //! Cost of in-network aggregation (E10's mechanics): serialization per
 //! message plus merge work, per topology.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use ms_bench::Suite;
 use ms_core::ItemSummary;
 use ms_frequency::MgSummary;
-use ms_netsim::{aggregate, message_bytes, Topology};
+use ms_netsim::{aggregate, json_message_bytes, message_bytes, Topology};
 use ms_workloads::StreamKind;
 
 fn leaves(sites: usize) -> Vec<MgSummary<u64>> {
@@ -27,39 +25,23 @@ fn leaves(sites: usize) -> Vec<MgSummary<u64>> {
         .collect()
 }
 
-fn bench_aggregate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("netsim_aggregate");
-    group.sample_size(20);
-    group.measurement_time(Duration::from_secs(3));
+fn main() {
+    let mut agg = Suite::new("netsim_aggregate");
     for sites in [16usize, 64] {
         let pool = leaves(sites);
         for topology in [Topology::Star, Topology::Chain, Topology::BalancedTree] {
-            group.bench_with_input(
-                BenchmarkId::new(topology.label(), sites),
-                &sites,
-                |b, _| {
-                    b.iter_batched(
-                        || pool.clone(),
-                        |l| black_box(aggregate(l, topology).unwrap().1),
-                        BatchSize::SmallInput,
-                    );
-                },
-            );
+            agg.bench(&format!("{}/sites={sites}", topology.label()), || {
+                black_box(aggregate(pool.clone(), topology).unwrap().1)
+            });
         }
     }
-    group.finish();
-}
+    agg.finish();
 
-fn bench_message_encoding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("netsim_encoding");
-    group.sample_size(30);
-    group.measurement_time(Duration::from_secs(3));
+    let mut enc = Suite::new("netsim_encoding");
     let summary = leaves(1).pop().expect("one leaf");
-    group.bench_function("mg_k128_json_bytes", |b| {
-        b.iter(|| black_box(message_bytes(&summary)));
+    enc.bench("mg_k128_wire_bytes", || black_box(message_bytes(&summary)));
+    enc.bench("mg_k128_json_bytes", || {
+        black_box(json_message_bytes(&summary))
     });
-    group.finish();
+    enc.finish();
 }
-
-criterion_group!(benches, bench_aggregate, bench_message_encoding);
-criterion_main!(benches);

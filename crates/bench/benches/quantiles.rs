@@ -1,95 +1,63 @@
 //! Throughput of the quantile summaries (E9): inserts, merges, queries.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use ms_bench::Suite;
 use ms_core::Mergeable;
 use ms_quantiles::{BottomKSample, GkSummary, HybridQuantile, KnownNQuantile, RankSummary};
 use ms_workloads::ValueDist;
 
-fn bench_inserts(c: &mut Criterion) {
+fn main() {
     let n = 100_000;
     let values = ValueDist::Uniform.generate(n, 1);
-    let mut group = c.benchmark_group("quantile_insert");
-    group.sample_size(15);
-    group.measurement_time(Duration::from_secs(3));
-    group.throughput(Throughput::Elements(n as u64));
 
+    let mut inserts = Suite::new("quantile_insert");
     for eps in [0.05, 0.01] {
-        group.bench_with_input(
-            BenchmarkId::new("known_n", format!("eps={eps}")),
-            &eps,
-            |b, &eps| {
-                b.iter(|| {
-                    let mut q = KnownNQuantile::new(eps, n as u64, 7);
-                    for &v in &values {
-                        q.insert(black_box(v));
-                    }
-                    black_box(q.count())
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("hybrid", format!("eps={eps}")),
-            &eps,
-            |b, &eps| {
-                b.iter(|| {
-                    let mut q = HybridQuantile::new(eps, 7);
-                    for &v in &values {
-                        q.insert(black_box(v));
-                    }
-                    black_box(q.count())
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("gk", format!("eps={eps}")),
-            &eps,
-            |b, &eps| {
-                b.iter(|| {
-                    let mut q = GkSummary::new(eps);
-                    for &v in &values {
-                        q.insert(black_box(v));
-                    }
-                    black_box(q.count())
-                });
-            },
-        );
-    }
-    group.bench_function("bottom_k_4096", |b| {
-        b.iter(|| {
-            let mut q = BottomKSample::new(4096, 7);
+        inserts.bench_elems(&format!("known_n/eps={eps}"), n as u64, || {
+            let mut q = KnownNQuantile::new(eps, n as u64, 7);
             for &v in &values {
                 q.insert(black_box(v));
             }
             black_box(q.count())
         });
+        inserts.bench_elems(&format!("hybrid/eps={eps}"), n as u64, || {
+            let mut q = HybridQuantile::new(eps, 7);
+            for &v in &values {
+                q.insert(black_box(v));
+            }
+            black_box(q.count())
+        });
+        inserts.bench_elems(&format!("gk/eps={eps}"), n as u64, || {
+            let mut q = GkSummary::new(eps);
+            for &v in &values {
+                q.insert(black_box(v));
+            }
+            black_box(q.count())
+        });
+    }
+    inserts.bench_elems("bottom_k_4096", n as u64, || {
+        let mut q = BottomKSample::new(4096, 7);
+        for &v in &values {
+            q.insert(black_box(v));
+        }
+        black_box(q.count())
     });
-    group.finish();
-}
+    inserts.finish();
 
-fn bench_queries(c: &mut Criterion) {
-    let values = ValueDist::Normal.generate(500_000, 2);
+    let big = ValueDist::Normal.generate(500_000, 2);
     let mut hybrid = HybridQuantile::new(0.01, 3);
-    for &v in &values {
+    for &v in &big {
         hybrid.insert(v);
     }
-    let mut group = c.benchmark_group("quantile_query");
-    group.sample_size(30);
-    group.measurement_time(Duration::from_secs(3));
-    group.bench_function("hybrid_rank", |b| {
-        b.iter(|| black_box(hybrid.rank(black_box(&4_294_967_296))));
+    let mut queries = Suite::new("quantile_query");
+    queries.bench("hybrid_rank", || {
+        black_box(hybrid.rank(black_box(&4_294_967_296)))
     });
-    group.bench_function("hybrid_quantile", |b| {
-        b.iter(|| black_box(hybrid.quantile(black_box(0.5))));
+    queries.bench("hybrid_quantile", || {
+        black_box(hybrid.quantile(black_box(0.5)))
     });
-    group.finish();
-}
+    queries.finish();
 
-fn bench_merges(c: &mut Criterion) {
-    let values = ValueDist::Uniform.generate(100_000, 4);
     let mk_known = |seed: u64, slice: &[u64]| {
         let mut q = KnownNQuantile::new(0.01, 100_000, seed);
         for &v in slice {
@@ -98,19 +66,10 @@ fn bench_merges(c: &mut Criterion) {
         q
     };
     let a = mk_known(1, &values[..50_000]);
-    let b2 = mk_known(2, &values[50_000..]);
-    let mut group = c.benchmark_group("quantile_merge");
-    group.sample_size(30);
-    group.measurement_time(Duration::from_secs(3));
-    group.bench_function("known_n_two_way", |b| {
-        b.iter_batched(
-            || (a.clone(), b2.clone()),
-            |(x, y)| black_box(x.merge(y).unwrap()),
-            BatchSize::SmallInput,
-        );
+    let b = mk_known(2, &values[50_000..]);
+    let mut merges = Suite::new("quantile_merge");
+    merges.bench("known_n_two_way", || {
+        black_box(a.clone().merge(b.clone()).unwrap())
     });
-    group.finish();
+    merges.finish();
 }
-
-criterion_group!(benches, bench_inserts, bench_queries, bench_merges);
-criterion_main!(benches);

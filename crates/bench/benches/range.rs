@@ -1,63 +1,42 @@
 //! Throughput of the ε-approximation (E9): inserts per halving strategy,
 //! merges and rectangle queries.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use ms_bench::Suite;
 use ms_core::{Mergeable, Rect, Summary};
 use ms_range::{EpsApprox2d, Halving};
 use ms_workloads::CloudKind;
 
-fn bench_inserts(c: &mut Criterion) {
+fn main() {
     let n = 50_000;
     let points = CloudKind::UniformSquare.generate(n, 1);
-    let mut group = c.benchmark_group("range_insert");
-    group.sample_size(15);
-    group.measurement_time(Duration::from_secs(3));
-    group.throughput(Throughput::Elements(n as u64));
-    for halving in [Halving::Random, Halving::SortedX, Halving::Hilbert] {
-        group.bench_with_input(
-            BenchmarkId::new("insert", halving.label()),
-            &halving,
-            |b, &h| {
-                b.iter(|| {
-                    let mut a = EpsApprox2d::new(256, h, 7);
-                    a.extend_from(points.iter().copied());
-                    black_box(a.size())
-                });
-            },
-        );
-    }
-    group.finish();
-}
 
-fn bench_merge_and_query(c: &mut Criterion) {
-    let points = CloudKind::UniformSquare.generate(100_000, 2);
+    let mut inserts = Suite::new("range_insert");
+    for halving in [Halving::Random, Halving::SortedX, Halving::Hilbert] {
+        inserts.bench_elems(&format!("insert/{}", halving.label()), n as u64, || {
+            let mut a = EpsApprox2d::new(256, halving, 7);
+            a.extend_from(points.iter().copied());
+            black_box(a.size())
+        });
+    }
+    inserts.finish();
+
+    let big = CloudKind::UniformSquare.generate(100_000, 2);
     let mk = |seed: u64, slice: &[ms_core::Point2]| {
         let mut a = EpsApprox2d::new(256, Halving::Hilbert, seed);
         a.extend_from(slice.iter().copied());
         a
     };
-    let a = mk(1, &points[..50_000]);
-    let b2 = mk(2, &points[50_000..]);
-    let mut group = c.benchmark_group("range_merge_query");
-    group.sample_size(20);
-    group.measurement_time(Duration::from_secs(3));
-    group.bench_function("merge_two_way", |b| {
-        b.iter_batched(
-            || (a.clone(), b2.clone()),
-            |(x, y)| black_box(x.merge(y).unwrap()),
-            BatchSize::SmallInput,
-        );
+    let a = mk(1, &big[..50_000]);
+    let b = mk(2, &big[50_000..]);
+    let mut mq = Suite::new("range_merge_query");
+    mq.bench("merge_two_way", || {
+        black_box(a.clone().merge(b.clone()).unwrap())
     });
     let query = Rect::new(0.2, 0.8, 0.1, 0.6);
-    group.bench_function("estimate_count", |b| {
-        b.iter(|| black_box(a.estimate_count(black_box(&query))));
+    mq.bench("estimate_count", || {
+        black_box(a.estimate_count(black_box(&query)))
     });
-    group.finish();
+    mq.finish();
 }
-
-criterion_group!(benches, bench_inserts, bench_merge_and_query);
-criterion_main!(benches);

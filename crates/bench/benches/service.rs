@@ -1,0 +1,103 @@
+//! Service ingest throughput vs shard count, plus codec-vs-JSON snapshot
+//! sizes. Persists `results/BENCH_service.json` so later revisions can
+//! track the perf trajectory.
+//!
+//! `MS_BENCH_ITEMS` overrides the stream length (default 1,000,000;
+//! `cargo test` runs this with a small value just to exercise the path).
+
+use std::time::Instant;
+
+use ms_core::{Json, Summary, ToJson, Wire};
+use ms_service::{Engine, ServiceConfig, ShardSummary, SummaryKind};
+use ms_workloads::StreamKind;
+
+fn main() {
+    let n: usize = std::env::var("MS_BENCH_ITEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let items = StreamKind::Zipf {
+        s: 1.1,
+        universe: 1 << 20,
+    }
+    .generate(n, 42);
+
+    println!("\n== service_ingest ({n} zipf items, mg eps=0.01) ==");
+    println!(
+        "{:<8}{:>16}{:>12}{:>10}",
+        "shards", "updates/sec", "merges", "epochs"
+    );
+    let mut scaling = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.01)
+            .shards(shards)
+            .delta_updates(16_384)
+            .seed(7);
+        let engine = Engine::start(cfg).unwrap();
+        let start = Instant::now();
+        for chunk in items.chunks(4_096) {
+            engine.ingest(chunk.to_vec());
+        }
+        let snapshot = engine.shutdown();
+        let secs = start.elapsed().as_secs_f64();
+        let m = engine.metrics();
+        assert_eq!(snapshot.summary.total_weight(), n as u64);
+        let rate = n as f64 / secs;
+        println!("{shards:<8}{rate:>16.0}{:>12}{:>10}", m.merges, m.epoch);
+        scaling.push(Json::obj([
+            ("shards", shards.to_json()),
+            ("updates_per_sec", rate.to_json()),
+            ("merges", m.merges.to_json()),
+            ("epochs", m.epoch.to_json()),
+        ]));
+    }
+
+    println!("\n== service_snapshot_bytes (per summary family, 100k items) ==");
+    println!(
+        "{:<18}{:>12}{:>12}{:>10}",
+        "kind", "wire bytes", "json bytes", "ratio"
+    );
+    let sample = StreamKind::Zipf {
+        s: 1.1,
+        universe: 1 << 20,
+    }
+    .generate(100_000.min(n), 43);
+    let mut codec = Vec::new();
+    for kind in SummaryKind::all() {
+        let cfg = ServiceConfig::new(kind, 0.01).seed(7);
+        let mut s = ShardSummary::new(&cfg, 0);
+        for &v in &sample {
+            s.update(v);
+        }
+        let wire = s.wire_len();
+        let json = s.json_len();
+        println!(
+            "{:<18}{wire:>12}{json:>12}{:>10.2}",
+            kind.label(),
+            json as f64 / wire as f64
+        );
+        codec.push(Json::obj([
+            ("kind", kind.label().to_json()),
+            ("wire_bytes", wire.to_json()),
+            ("json_bytes", json.to_json()),
+        ]));
+    }
+
+    let record = Json::obj([
+        ("id", "bench_service".to_json()),
+        ("items", n.to_json()),
+        ("scaling", Json::Arr(scaling)),
+        ("snapshot_bytes", Json::Arr(codec)),
+    ]);
+    // Write to the workspace-level results dir regardless of whether cargo
+    // invoked us from the workspace root or the package dir.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = dir.join("BENCH_service.json");
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&path, record.to_string_pretty()))
+    {
+        eprintln!("warning: could not persist BENCH_service.json: {e}");
+    } else {
+        println!("\nwrote {}", path.display());
+    }
+}

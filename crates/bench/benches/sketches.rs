@@ -1,91 +1,66 @@
 //! Throughput of the linear sketches (E9): updates, merges, queries.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use ms_bench::Suite;
 use ms_core::{ItemSummary, Mergeable, Summary};
 use ms_sketches::{AmsF2Sketch, CountMinSketch, CountSketch};
 use ms_workloads::StreamKind;
 
-fn bench_updates(c: &mut Criterion) {
+fn main() {
     let n = 100_000;
     let items = StreamKind::Zipf {
         s: 1.1,
         universe: 1 << 20,
     }
     .generate(n, 1);
-    let mut group = c.benchmark_group("sketch_update");
-    group.sample_size(15);
-    group.measurement_time(Duration::from_secs(3));
-    group.throughput(Throughput::Elements(n as u64));
 
+    let mut updates = Suite::new("sketch_update");
     for depth in [3usize, 5] {
-        group.bench_with_input(BenchmarkId::new("count_min", depth), &depth, |b, &d| {
-            b.iter(|| {
-                let mut s = CountMinSketch::new(272, d, 7);
-                for &item in &items {
-                    s.update(black_box(item));
-                }
-                black_box(s.total_weight())
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("count_sketch", depth), &depth, |b, &d| {
-            b.iter(|| {
-                let mut s = CountSketch::new(272, d, 7);
-                for &item in &items {
-                    s.update(black_box(item));
-                }
-                black_box(s.total_weight())
-            });
-        });
-    }
-    group.bench_function("ams_f2_64x5", |b| {
-        b.iter(|| {
-            let mut s = AmsF2Sketch::new(64, 5, 7);
+        updates.bench_elems(&format!("count_min/d={depth}"), n as u64, || {
+            let mut s = CountMinSketch::new(272, depth, 7);
             for &item in &items {
                 s.update(black_box(item));
             }
             black_box(s.total_weight())
         });
+        updates.bench_elems(&format!("count_sketch/d={depth}"), n as u64, || {
+            let mut s = CountSketch::new(272, depth, 7);
+            for &item in &items {
+                s.update(black_box(item));
+            }
+            black_box(s.total_weight())
+        });
+    }
+    updates.bench_elems("ams_f2_64x5", n as u64, || {
+        let mut s = AmsF2Sketch::new(64, 5, 7);
+        for &item in &items {
+            s.update(black_box(item));
+        }
+        black_box(s.total_weight())
     });
-    group.finish();
-}
+    updates.finish();
 
-fn bench_merge_and_query(c: &mut Criterion) {
-    let items = StreamKind::Zipf {
+    let items2 = StreamKind::Zipf {
         s: 1.1,
         universe: 1 << 20,
     }
     .generate(100_000, 2);
     let mut a = CountMinSketch::new(1024, 5, 9);
-    a.extend_from(items[..50_000].iter().copied());
-    let mut b2 = CountMinSketch::new(1024, 5, 9);
-    b2.extend_from(items[50_000..].iter().copied());
+    a.extend_from(items2[..50_000].iter().copied());
+    let mut b = CountMinSketch::new(1024, 5, 9);
+    b.extend_from(items2[50_000..].iter().copied());
 
-    let mut group = c.benchmark_group("sketch_merge_query");
-    group.sample_size(30);
-    group.measurement_time(Duration::from_secs(3));
-    group.bench_function("count_min_merge_1024x5", |b| {
-        b.iter_batched(
-            || (a.clone(), b2.clone()),
-            |(x, y)| black_box(x.merge(y).unwrap()),
-            BatchSize::SmallInput,
-        );
+    let mut mq = Suite::new("sketch_merge_query");
+    mq.bench("count_min_merge_1024x5", || {
+        black_box(a.clone().merge(b.clone()).unwrap())
     });
-    group.throughput(Throughput::Elements(1000));
-    group.bench_function("count_min_estimate_x1000", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for probe in 0..1000u64 {
-                acc += a.estimate(black_box(&probe));
-            }
-            black_box(acc)
-        });
+    mq.bench_elems("count_min_estimate_x1000", 1000, || {
+        let mut acc = 0u64;
+        for probe in 0..1000u64 {
+            acc += a.estimate(black_box(&probe));
+        }
+        black_box(acc)
     });
-    group.finish();
+    mq.finish();
 }
-
-criterion_group!(benches, bench_updates, bench_merge_and_query);
-criterion_main!(benches);

@@ -68,6 +68,9 @@ fn main() {
     if want("e11") {
         e11_buffer_ablation();
     }
+    if want("e12") {
+        e12_service_scaling();
+    }
     if want("x1") {
         x1_low_error_golden();
     }
@@ -867,17 +870,32 @@ fn e10_network_cost() {
         &format!(
             "in-network aggregation traffic, {sites} sites × {per_site} items, \
              eps = {eps}; raw shipping (8 B/item, one hop) = {raw} B; \
-             message size = JSON encoding (relative proxy)"
+             bytes reported under the binary wire codec and a JSON encoding"
         ),
         &[
             "summary",
             "topology",
             "messages",
-            "total bytes",
+            "wire bytes",
             "max message",
             "vs raw",
+            "json bytes",
+            "json/wire",
         ],
     );
+
+    let mut push = |name: &str, topology: Topology, stats: &ms_netsim::NetStats| {
+        table.row(vec![
+            name.into(),
+            topology.label().to_string(),
+            stats.messages.to_string(),
+            stats.total_bytes.to_string(),
+            stats.max_message_bytes.to_string(),
+            fmt(stats.total_bytes as f64 / raw as f64),
+            stats.json_total_bytes.to_string(),
+            fmt(stats.json_total_bytes as f64 / stats.total_bytes.max(1) as f64),
+        ]);
+    };
 
     for topology in Topology::canonical() {
         // Misra-Gries.
@@ -890,14 +908,7 @@ fn e10_network_cost() {
             })
             .collect();
         let (_, stats) = aggregate(mg_leaves, topology).unwrap();
-        table.row(vec![
-            "misra-gries".into(),
-            topology.label().to_string(),
-            stats.messages.to_string(),
-            stats.total_bytes.to_string(),
-            stats.max_message_bytes.to_string(),
-            fmt(stats.total_bytes as f64 / raw as f64),
-        ]);
+        push("misra-gries", topology, &stats);
 
         // Hybrid quantiles.
         let hq_leaves: Vec<HybridQuantile<u64>> = parts
@@ -912,14 +923,7 @@ fn e10_network_cost() {
             })
             .collect();
         let (_, stats) = aggregate(hq_leaves, topology).unwrap();
-        table.row(vec![
-            "hybrid quantile".into(),
-            topology.label().to_string(),
-            stats.messages.to_string(),
-            stats.total_bytes.to_string(),
-            stats.max_message_bytes.to_string(),
-            fmt(stats.total_bytes as f64 / raw as f64),
-        ]);
+        push("hybrid quantile", topology, &stats);
 
         // Count-Min (linear sketch).
         let cm_leaves: Vec<CountMinSketch<u64>> = parts
@@ -931,13 +935,75 @@ fn e10_network_cost() {
             })
             .collect();
         let (_, stats) = aggregate(cm_leaves, topology).unwrap();
+        push("count-min", topology, &stats);
+    }
+    table.emit();
+}
+
+// ---------------------------------------------------------------------------
+// E12 — concurrent service: ingest scaling and snapshot accuracy
+
+fn e12_service_scaling() {
+    use ms_core::{ToJson, Wire};
+    use ms_service::{Engine, ServiceConfig, SummaryKind};
+    use std::time::Instant;
+
+    let n = 1 << 20;
+    let eps = 0.01;
+    let items = StreamKind::Zipf {
+        s: 1.2,
+        universe: 1 << 20,
+    }
+    .generate(n, 121);
+    let oracle = FrequencyOracle::from_stream(items.iter().copied());
+    let bound = (eps * n as f64).ceil() as u64;
+
+    let mut table = Table::new(
+        "e12",
+        &format!(
+            "sharded concurrent engine (mg, eps = {eps}), {n} zipf items; \
+             max point error must stay within eps*n = {bound} at every shard \
+             count (arbitrary merge trees do not degrade the bound)"
+        ),
+        &[
+            "shards",
+            "updates/sec",
+            "merges",
+            "epochs",
+            "max error",
+            "within eps*n",
+            "snapshot wire B",
+            "snapshot json B",
+        ],
+    );
+
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = ServiceConfig::new(SummaryKind::Mg, eps)
+            .shards(shards)
+            .delta_updates(16_384)
+            .seed(7);
+        let engine = Engine::start(cfg).unwrap();
+        let start = Instant::now();
+        for chunk in items.chunks(4_096) {
+            engine.ingest(chunk.to_vec());
+        }
+        let snapshot = engine.shutdown();
+        let secs = start.elapsed().as_secs_f64();
+        let m = engine.metrics();
+        let max_err = oracle
+            .iter()
+            .map(|(item, truth)| snapshot.summary.point(*item).unwrap().abs_diff(truth))
+            .max()
+            .unwrap_or(0);
         table.row(vec![
-            "count-min".into(),
-            topology.label().to_string(),
-            stats.messages.to_string(),
-            stats.total_bytes.to_string(),
-            stats.max_message_bytes.to_string(),
-            fmt(stats.total_bytes as f64 / raw as f64),
+            shards.to_string(),
+            fmt(n as f64 / secs),
+            m.merges.to_string(),
+            m.epoch.to_string(),
+            max_err.to_string(),
+            (max_err <= bound).to_string(),
+            snapshot.summary.wire_len().to_string(),
+            snapshot.summary.json_len().to_string(),
         ]);
     }
     table.emit();

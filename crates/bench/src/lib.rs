@@ -1,6 +1,9 @@
-//! Shared harness for the experiment binary and the criterion benches:
-//! markdown table rendering and machine-readable result records.
+//! Shared harness for the experiment binary and the micro-benches:
+//! markdown table rendering, machine-readable result records, and a
+//! self-contained timing harness (see [`harness`]).
 
+pub mod harness;
 pub mod report;
 
+pub use harness::{Measurement, Suite};
 pub use report::{ExperimentRecord, Table};

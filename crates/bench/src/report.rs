@@ -6,10 +6,10 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
+use ms_core::{Json, ToJson};
 
 /// A rendered experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id (`t1`, `e1`, … `x2`).
     pub id: String,
@@ -90,13 +90,23 @@ impl Table {
     pub fn persist(&self, dir: &str) -> std::io::Result<()> {
         fs::create_dir_all(dir)?;
         let path = Path::new(dir).join(format!("{}.json", self.id));
-        let json = serde_json::to_string_pretty(self).expect("serializable");
-        fs::write(path, json)
+        fs::write(path, self.to_json().to_string_pretty())
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("title", self.title.to_json()),
+            ("headers", self.headers.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
     }
 }
 
 /// A single scalar finding, persisted alongside tables.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRecord {
     /// Experiment id.
     pub id: String,
@@ -108,6 +118,18 @@ pub struct ExperimentRecord {
     pub bound: Option<f64>,
     /// Whether the shape check passed.
     pub pass: bool,
+}
+
+impl ToJson for ExperimentRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("metric", self.metric.to_json()),
+            ("value", self.value.to_json()),
+            ("bound", self.bound.to_json()),
+            ("pass", self.pass.to_json()),
+        ])
+    }
 }
 
 /// Format a float with sensible width for tables.

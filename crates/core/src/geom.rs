@@ -1,9 +1,9 @@
 //! Minimal 2D geometry shared by the ε-approximation and ε-kernel crates.
 
-use serde::{Deserialize, Serialize};
+use crate::wire::{Wire, WireError, WireReader};
 
 /// A point in the plane.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point2 {
     /// x coordinate.
     pub x: f64,
@@ -29,9 +29,22 @@ impl Point2 {
     }
 }
 
+impl Wire for Point2 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.x.encode_into(out);
+        self.y.encode_into(out);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Point2 {
+            x: f64::decode_from(r)?,
+            y: f64::decode_from(r)?,
+        })
+    }
+}
+
 /// Axis-aligned rectangle `[x_lo, x_hi] × [y_lo, y_hi]` (closed on all
 /// sides), the canonical range space of VC dimension 4 used in §5.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Left edge.
     pub x_lo: f64,
@@ -81,6 +94,23 @@ impl Rect {
     /// Width × height.
     pub fn area(&self) -> f64 {
         (self.x_hi - self.x_lo) * (self.y_hi - self.y_lo)
+    }
+}
+
+impl Wire for Rect {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.x_lo.encode_into(out);
+        self.x_hi.encode_into(out);
+        self.y_lo.encode_into(out);
+        self.y_hi.encode_into(out);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Rect {
+            x_lo: f64::decode_from(r)?,
+            x_hi: f64::decode_from(r)?,
+            y_lo: f64::decode_from(r)?,
+            y_hi: f64::decode_from(r)?,
+        })
     }
 }
 

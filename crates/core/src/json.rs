@@ -1,0 +1,308 @@
+//! Minimal JSON *encoder* (no parser).
+//!
+//! Two consumers need JSON output only: `ms-bench` persists experiment
+//! tables as human-diffable records, and `ms-netsim` prices messages under
+//! a text encoding to compare against the binary codec in [`crate::wire`].
+//! Everything that must be read back (CLI envelopes, the service protocol)
+//! uses the binary codec, so no parser is needed.
+//!
+//! The encoding matches the conventional JSON layout: string keys, `\uXXXX`
+//! escapes for control characters, shortest-roundtrip float formatting with
+//! a forced decimal point, and non-finite floats encoded as `null`.
+
+/// A JSON value tree, built by [`ToJson`] implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (kept exact; never goes through f64).
+    U64(u64),
+    /// Signed integer (kept exact).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Build an array from anything serializable.
+    pub fn arr<T: ToJson>(items: impl IntoIterator<Item = T>) -> Json {
+        Json::Arr(items.into_iter().map(|v| v.to_json()).collect())
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    /// Compact rendering (no whitespace); also available via `Display`
+    /// and `ToString`.
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => write_f64(*v, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(key, out);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        // JSON has no NaN/Infinity.
+        out.push_str("null");
+        return;
+    }
+    let abs = v.abs();
+    let text = if abs != 0.0 && !(1e-5..1e17).contains(&abs) {
+        format!("{v:e}")
+    } else {
+        format!("{v}")
+    };
+    out.push_str(&text);
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A value with a JSON rendering (encode-only).
+pub trait ToJson {
+    /// Build the JSON value tree.
+    fn to_json(&self) -> Json;
+
+    /// Size of the compact JSON encoding in bytes (for byte accounting).
+    fn json_len(&self) -> usize {
+        self.to_json().to_string().len()
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::U64(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::U64(*self as u64)
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::I64(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::obj([
+            ("id", Json::Str("t1".into())),
+            ("rows", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            "{\"id\":\"t1\",\"rows\":[1,2],\"ok\":true,\"missing\":null}"
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_uses_colon_space() {
+        let v = Json::obj([("id", Json::Str("t9".into()))]);
+        assert_eq!(v.to_string_pretty(), "{\n  \"id\": \"t9\"\n}");
+    }
+
+    #[test]
+    fn floats_format_like_json() {
+        assert_eq!(Json::F64(1.0).to_string(), "1.0");
+        assert_eq!(Json::F64(0.25).to_string(), "0.25");
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::F64(-3.5e300).to_string(), "-3.5e300");
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        assert_eq!(
+            Json::Str("a\"b\\c\n\u{1}".into()).to_string(),
+            "\"a\\\"b\\\\c\\n\\u0001\""
+        );
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_in_pretty_mode() {
+        assert_eq!(Json::Arr(vec![]).to_string_pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).to_string_pretty(), "{}");
+    }
+}

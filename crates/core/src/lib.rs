@@ -16,7 +16,10 @@
 //! * [`metrics`] summarizes those errors;
 //! * [`rng`] is a tiny deterministic RNG (splitmix64 / xoshiro256**) so every
 //!   randomized merge in the workspace is reproducible from an explicit seed;
-//! * [`hash`] is a fast non-cryptographic hasher for counter maps.
+//! * [`hash`] is a fast non-cryptographic hasher for counter maps;
+//! * [`wire`] is the compact, versioned binary codec summaries ship in
+//!   (files, sockets, simulated links), and [`json`] a small encode-only
+//!   JSON writer used for reports and byte-cost comparisons.
 //!
 //! Summaries in this workspace are **value types**: merging consumes both
 //! inputs and returns the merged summary (or a typed [`MergeError`] when the
@@ -25,17 +28,21 @@
 pub mod error;
 pub mod geom;
 pub mod hash;
+pub mod json;
 pub mod metrics;
 pub mod oracle;
 pub mod rng;
 pub mod summary;
 pub mod tree;
+pub mod wire;
 
 pub use error::{MergeError, Result};
 pub use geom::{directional_width, unit_dir, Point2, Rect};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use json::{Json, ToJson};
 pub use metrics::ErrorStats;
 pub use oracle::{FrequencyOracle, RankOracle};
 pub use rng::Rng64;
 pub use summary::{ItemSummary, Mergeable, Summary};
 pub use tree::{merge_all, MergeTree};
+pub use wire::{Wire, WireError, WireFrame, WireReader};

@@ -1,6 +1,6 @@
 //! Error-measurement helpers shared by tests and the experiment harness.
 
-use serde::Serialize;
+use crate::json::{Json, ToJson};
 
 /// Summary statistics over a set of observed errors.
 ///
@@ -8,7 +8,7 @@ use serde::Serialize;
 /// the distribution; the paper's bounds are compared against `max` (for
 /// deterministic guarantees) or high percentiles (for with-high-probability
 /// guarantees).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ErrorStats {
     /// Number of observations.
     pub count: usize,
@@ -56,6 +56,19 @@ impl ErrorStats {
     pub fn from_u64(values: &[u64]) -> Self {
         let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
         Self::from_values(&floats)
+    }
+}
+
+impl ToJson for ErrorStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::U64(self.count as u64)),
+            ("mean", Json::F64(self.mean)),
+            ("max", Json::F64(self.max)),
+            ("p50", Json::F64(self.p50)),
+            ("p95", Json::F64(self.p95)),
+            ("p99", Json::F64(self.p99)),
+        ])
     }
 }
 

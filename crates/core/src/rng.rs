@@ -23,9 +23,24 @@ pub fn splitmix64(state: &mut u64) -> u64 {
 /// Summaries that need randomness own one of these, created from a caller
 /// seed; merging two summaries mixes both generators' states so a merged
 /// summary remains deterministic given the two input seeds.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng64 {
     s: [u64; 4],
+}
+
+impl crate::wire::Wire for Rng64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for lane in &self.s {
+            lane.encode_into(out);
+        }
+    }
+    fn decode_from(r: &mut crate::wire::WireReader<'_>) -> Result<Self, crate::wire::WireError> {
+        let mut s = [0u64; 4];
+        for lane in &mut s {
+            *lane = r.varint()?;
+        }
+        Ok(Rng64 { s })
+    }
 }
 
 impl Rng64 {

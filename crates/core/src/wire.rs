@@ -1,0 +1,602 @@
+//! Compact binary wire codec for shipping summaries between nodes.
+//!
+//! The paper's model is *ship summaries, not data*: a summary built at one
+//! site must travel to another site and merge there. This module is the
+//! workspace's wire format — a small, versioned, length-prefixed binary
+//! encoding used by the on-disk CLI envelopes, the `ms-service` TCP
+//! protocol, and `ms-netsim`'s byte accounting.
+//!
+//! Design:
+//!
+//! * **Varint integers** (LEB128) for all counts and unsigned values —
+//!   summaries are mostly small counters, so this is much denser than
+//!   fixed-width fields and than JSON.
+//! * **Zigzag varints** for signed values (Count-Sketch / AMS cells).
+//! * **Fixed 8-byte little-endian bit patterns** for `f64` (exactness
+//!   matters: ε parameters are compared bit-for-bit by merge guards).
+//! * **Explicit framing** for files and sockets: a 2-byte magic, a u16
+//!   format version, a 1-byte tag, and a u32 payload length — readers can
+//!   reject foreign data, future formats, and runaway lengths before
+//!   allocating.
+//!
+//! Derived state is *not* serialized: hash families are reconstructed from
+//! `(width, depth, seed)`, lazily-built indexes are rebuilt on demand. The
+//! codec therefore stays minimal and canonical for what it does encode.
+
+use std::io::{self, Read, Write};
+
+use crate::hash::FxHashMap;
+
+/// Current wire-format version, embedded in every frame.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Two-byte magic prefix of every frame ("mergeable summary").
+pub const WIRE_MAGIC: [u8; 2] = *b"MS";
+
+/// Refuse frames longer than this (corrupted or hostile length prefix).
+pub const MAX_FRAME_LEN: u32 = 1 << 28;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// Input has this many bytes left over after a complete value.
+    Trailing(usize),
+    /// Frame did not start with [`WIRE_MAGIC`].
+    BadMagic([u8; 2]),
+    /// Frame was written by an incompatible format version.
+    BadVersion {
+        /// Version found in the frame header.
+        found: u16,
+        /// Version this build understands.
+        expected: u16,
+    },
+    /// Unknown enum/tag discriminant.
+    BadTag(u8),
+    /// Structurally invalid payload.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:?}, not a wire frame"),
+            WireError::BadVersion { found, expected } => {
+                write!(f, "wire version {found}, expected {expected}")
+            }
+            WireError::BadTag(t) => write!(f, "unknown tag {t}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Cursor over a byte slice being decoded.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Start reading at the front of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        WireReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Next raw byte.
+    pub fn byte(&mut self) -> Result<u8, WireError> {
+        let b = *self.bytes.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// LEB128-decode the next unsigned varint.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift == 63 && b > 1 {
+                return Err(WireError::Malformed("varint overflows u64"));
+            }
+            value |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// A length prefix, checked against what is physically left so that a
+    /// corrupt length cannot trigger a huge allocation.
+    pub fn length(&mut self) -> Result<usize, WireError> {
+        let n = self.varint()?;
+        if n > self.remaining() as u64 {
+            return Err(WireError::Truncated);
+        }
+        Ok(n as usize)
+    }
+
+    /// Error unless every byte was consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Trailing(self.remaining()))
+        }
+    }
+}
+
+/// LEB128-encode `v`.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A value with a binary wire encoding.
+///
+/// Implementations come in field order, with collection lengths prefixed;
+/// `decode` rejects trailing garbage. Derived state (hash families,
+/// lazy indexes) is reconstructed, never shipped.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the reader.
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a complete value: trailing bytes are an error.
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let value = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(value)
+    }
+
+    /// Encoded size in bytes (the wire cost `ms-netsim` accounts).
+    fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+impl Wire for u8 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.byte()
+    }
+}
+
+impl Wire for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for u16 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_varint(out, u64::from(*self));
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        u16::try_from(r.varint()?).map_err(|_| WireError::Malformed("u16 out of range"))
+    }
+}
+
+impl Wire for u32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_varint(out, u64::from(*self));
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        u32::try_from(r.varint()?).map_err(|_| WireError::Malformed("u32 out of range"))
+    }
+}
+
+impl Wire for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_varint(out, *self);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.varint()
+    }
+}
+
+impl Wire for usize {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_varint(out, *self as u64);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        usize::try_from(r.varint()?).map_err(|_| WireError::Malformed("usize out of range"))
+    }
+}
+
+impl Wire for i64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // Zigzag: small magnitudes of either sign stay short.
+        put_varint(out, ((*self << 1) ^ (*self >> 63)) as u64);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let z = r.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+}
+
+impl Wire for f64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let bytes: [u8; 8] = r.take(8)?.try_into().expect("take(8) returns 8 bytes");
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+}
+
+impl Wire for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.length()?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string not UTF-8"))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(r)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        for v in self {
+            v.encode_into(out);
+        }
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.length()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode_from(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode_from(r)?, B::decode_from(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+        self.2.encode_into(out);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode_from(r)?, B::decode_from(r)?, C::decode_from(r)?))
+    }
+}
+
+impl<K, V> Wire for FxHashMap<K, V>
+where
+    K: Wire + Eq + std::hash::Hash,
+    V: Wire,
+{
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        for (k, v) in self {
+            k.encode_into(out);
+            v.encode_into(out);
+        }
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.length()?;
+        let mut map = FxHashMap::default();
+        map.reserve(len);
+        for _ in 0..len {
+            let k = K::decode_from(r)?;
+            let v = V::decode_from(r)?;
+            if map.insert(k, v).is_some() {
+                return Err(WireError::Malformed("duplicate map key"));
+            }
+        }
+        Ok(map)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// One tagged, length-prefixed frame (file envelope or socket message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    /// Application-level tag (summary kind, request opcode, …).
+    pub tag: u8,
+    /// Encoded payload.
+    pub payload: Vec<u8>,
+}
+
+impl WireFrame {
+    /// Frame a `Wire` value under `tag`.
+    pub fn from_value<T: Wire>(tag: u8, value: &T) -> Self {
+        WireFrame {
+            tag,
+            payload: value.encode(),
+        }
+    }
+
+    /// Decode the payload as `T` (complete, no trailing bytes).
+    pub fn value<T: Wire>(&self) -> Result<T, WireError> {
+        T::decode(&self.payload)
+    }
+
+    /// Serialize header + payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + self.payload.len());
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.push(self.tag);
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse a frame from a byte slice, rejecting trailing garbage.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let frame = Self::read_header_body(&mut r)?;
+        r.finish()?;
+        Ok(frame)
+    }
+
+    fn read_header_body(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let magic: [u8; 2] = r.take(2)?.try_into().expect("2 bytes");
+        if magic != WIRE_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes"));
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion {
+                found: version,
+                expected: WIRE_VERSION,
+            });
+        }
+        let tag = r.byte()?;
+        let len = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Malformed("frame length over limit"));
+        }
+        let payload = r.take(len as usize)?.to_vec();
+        Ok(WireFrame { tag, payload })
+    }
+
+    /// Write this frame to a stream.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+
+    /// Read one frame from a stream. `Ok(None)` on clean EOF at a frame
+    /// boundary; mid-frame EOF and malformed headers are errors.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Option<Self>> {
+        let mut header = [0u8; 9];
+        let mut filled = 0;
+        while filled < header.len() {
+            let n = r.read(&mut header[filled..])?;
+            if n == 0 {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    WireError::Truncated,
+                ));
+            }
+            filled += n;
+        }
+        if header[..2] != WIRE_MAGIC {
+            return Err(WireError::BadMagic([header[0], header[1]]).into());
+        }
+        let version = u16::from_le_bytes([header[2], header[3]]);
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion {
+                found: version,
+                expected: WIRE_VERSION,
+            }
+            .into());
+        }
+        let tag = header[4];
+        let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Malformed("frame length over limit").into());
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        Ok(Some(WireFrame { tag, payload }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.encode();
+        assert_eq!(T::decode(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(127u64);
+        roundtrip(128u64);
+        roundtrip(u64::MAX);
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(i64::MAX);
+        roundtrip(0.0f64);
+        roundtrip(-0.0f64);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(true);
+        roundtrip(String::from("héllo"));
+        roundtrip(Some(42u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip((7u64, -3i64, 0.5f64));
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let bytes = f64::NAN.encode();
+        assert!(f64::decode(&bytes).unwrap().is_nan());
+    }
+
+    #[test]
+    fn map_roundtrips_and_rejects_duplicates() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * i);
+        }
+        let bytes = m.encode();
+        assert_eq!(FxHashMap::<u64, u64>::decode(&bytes).unwrap(), m);
+
+        let mut dup = Vec::new();
+        put_varint(&mut dup, 2);
+        for _ in 0..2 {
+            1u64.encode_into(&mut dup);
+            9u64.encode_into(&mut dup);
+        }
+        assert!(matches!(
+            FxHashMap::<u64, u64>::decode(&dup),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn varints_are_compact() {
+        assert_eq!(5u64.encode().len(), 1);
+        assert_eq!(300u64.encode().len(), 2);
+        assert_eq!((-2i64).encode().len(), 1);
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_detected() {
+        let bytes = vec![1u64, 2, 3].encode();
+        assert_eq!(
+            Vec::<u64>::decode(&bytes[..bytes.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        let mut extra = bytes;
+        extra.push(0);
+        assert_eq!(Vec::<u64>::decode(&extra), Err(WireError::Trailing(1)));
+    }
+
+    #[test]
+    fn corrupt_length_cannot_allocate() {
+        // Claims 2^60 elements with 1 byte of data behind it.
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 1u64 << 60);
+        bytes.push(0);
+        assert_eq!(Vec::<u64>::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn frames_roundtrip_via_bytes_and_streams() {
+        let frame = WireFrame::from_value(7, &vec![1u64, 500, 9]);
+        let bytes = frame.to_bytes();
+        assert_eq!(WireFrame::from_bytes(&bytes).unwrap(), frame);
+
+        let mut stream = Vec::new();
+        frame.write_to(&mut stream).unwrap();
+        frame.write_to(&mut stream).unwrap();
+        let mut cursor = &stream[..];
+        assert_eq!(WireFrame::read_from(&mut cursor).unwrap().unwrap(), frame);
+        assert_eq!(WireFrame::read_from(&mut cursor).unwrap().unwrap(), frame);
+        assert!(WireFrame::read_from(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn frames_reject_foreign_data() {
+        assert!(matches!(
+            WireFrame::from_bytes(b"XX\x01\x00\x00\x00\x00\x00\x00"),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut wrong_version = WireFrame::from_value(0, &1u64).to_bytes();
+        wrong_version[2] = 0xFF;
+        assert!(matches!(
+            WireFrame::from_bytes(&wrong_version),
+            Err(WireError::BadVersion { .. })
+        ));
+        let mut cursor: &[u8] = b"MS";
+        assert!(WireFrame::read_from(&mut cursor).is_err());
+    }
+}

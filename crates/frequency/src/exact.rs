@@ -6,18 +6,31 @@
 
 use std::hash::Hash;
 
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{FxHashMap, ItemSummary, Mergeable, Result, Summary};
 
 /// Exact per-item counts. Implements the same traits as the bounded
 /// summaries so it can ride through the same merge trees.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
-#[serde(bound(
-    serialize = "I: serde::Serialize",
-    deserialize = "I: serde::Deserialize<'de> + Eq + std::hash::Hash"
-))]
+#[derive(Debug, Clone, Default)]
 pub struct ExactCounts<I> {
     counts: FxHashMap<I, u64>,
     n: u64,
+}
+
+impl<I: Wire + Eq + Hash> Wire for ExactCounts<I> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.counts.encode_into(out);
+        self.n.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let counts = FxHashMap::<I, u64>::decode_from(r)?;
+        let n = u64::decode_from(r)?;
+        if counts.values().sum::<u64>() != n {
+            return Err(WireError::Malformed("exact counts do not sum to n"));
+        }
+        Ok(ExactCounts { counts, n })
+    }
 }
 
 impl<I: Eq + Hash + Clone> ExactCounts<I> {

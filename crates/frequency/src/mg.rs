@@ -28,7 +28,8 @@
 use std::hash::Hash;
 
 use ms_core::error::ensure_same_capacity;
-use ms_core::{FxHashMap, ItemSummary, Mergeable, Result, Summary};
+use ms_core::wire::{Wire, WireError, WireReader};
+use ms_core::{FxHashMap, ItemSummary, Json, Mergeable, Result, Summary, ToJson};
 
 /// Misra-Gries summary with at most `k` counters.
 ///
@@ -47,15 +48,52 @@ use ms_core::{FxHashMap, ItemSummary, Mergeable, Result, Summary};
 /// assert!(merged.estimate(&"x") <= 4);
 /// assert!(merged.error_bound() <= 6.0 * 0.1);
 /// ```
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-#[serde(bound(
-    serialize = "I: serde::Serialize",
-    deserialize = "I: serde::Deserialize<'de> + Eq + std::hash::Hash"
-))]
+#[derive(Debug, Clone)]
 pub struct MgSummary<I> {
     k: usize,
     counters: FxHashMap<I, u64>,
     n: u64,
+}
+
+impl<I: Wire + Eq + Hash> Wire for MgSummary<I> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.k.encode_into(out);
+        self.counters.encode_into(out);
+        self.n.encode_into(out);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let k = usize::decode_from(r)?;
+        if k == 0 {
+            return Err(WireError::Malformed("MG capacity must be >= 1"));
+        }
+        let counters: FxHashMap<I, u64> = Wire::decode_from(r)?;
+        if counters.len() > k {
+            return Err(WireError::Malformed("MG stores more than k counters"));
+        }
+        let n = u64::decode_from(r)?;
+        if counters.values().sum::<u64>() > n {
+            return Err(WireError::Malformed("MG stored weight exceeds n"));
+        }
+        Ok(MgSummary { k, counters, n })
+    }
+}
+
+impl<I: ToJson> ToJson for MgSummary<I> {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("k", Json::U64(self.k as u64)),
+            (
+                "counters",
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|(item, count)| Json::Arr(vec![item.to_json(), Json::U64(*count)]))
+                        .collect(),
+                ),
+            ),
+            ("n", Json::U64(self.n)),
+        ])
+    }
 }
 
 impl<I: Eq + Hash + Clone> MgSummary<I> {

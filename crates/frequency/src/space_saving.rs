@@ -32,12 +32,13 @@
 use std::hash::Hash;
 
 use ms_core::error::ensure_same_capacity;
-use ms_core::{FxHashMap, ItemSummary, Mergeable, Result, Summary};
+use ms_core::wire::{Wire, WireError, WireReader};
+use ms_core::{FxHashMap, ItemSummary, Json, Mergeable, Result, Summary, ToJson};
 
 use crate::mg::MgSummary;
 
 /// Which invariant the counter table currently satisfies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Repr {
     /// Classic SpaceSaving: counters sum to `n`, counters overestimate.
     Stream,
@@ -120,20 +121,96 @@ impl<I: Eq + Hash + Clone> MinIndex<I> {
 /// // Items never seen are bounded too.
 /// assert!(ss.upper_bound(&999) <= 8 / 4 + 1);
 /// ```
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-#[serde(bound(
-    serialize = "I: serde::Serialize",
-    deserialize = "I: serde::Deserialize<'de> + Eq + std::hash::Hash"
-))]
+#[derive(Debug, Clone)]
 pub struct SpaceSavingSummary<I> {
     k: usize,
     counters: FxHashMap<I, u64>,
     n: u64,
     repr: Repr,
     /// Derived eviction index (streaming representation only); rebuilt on
-    /// demand after deserialization or cloning from a merged summary.
-    #[serde(skip)]
+    /// demand after decoding or cloning from a merged summary.
     index: Option<MinIndex<I>>,
+}
+
+impl<I: Wire + Eq + Hash> Wire for SpaceSavingSummary<I> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.k.encode_into(out);
+        self.counters.encode_into(out);
+        self.n.encode_into(out);
+        // The eviction index is derived state and is rebuilt lazily.
+        out.push(match self.repr {
+            Repr::Stream => 0,
+            Repr::Merged => 1,
+        });
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let k = usize::decode_from(r)?;
+        let counters = FxHashMap::<I, u64>::decode_from(r)?;
+        let n = u64::decode_from(r)?;
+        let repr = match r.byte()? {
+            0 => Repr::Stream,
+            1 => Repr::Merged,
+            _ => return Err(WireError::Malformed("unknown SpaceSaving representation")),
+        };
+        if k < 2 {
+            return Err(WireError::Malformed("SpaceSaving needs k >= 2"));
+        }
+        let cap = match repr {
+            Repr::Stream => k,
+            Repr::Merged => k - 1,
+        };
+        if counters.len() > cap {
+            return Err(WireError::Malformed("SpaceSaving has more than k counters"));
+        }
+        let stored: u64 = counters.values().sum();
+        let valid = match repr {
+            // Streaming invariant: counters sum to exactly n.
+            Repr::Stream => stored == n,
+            // Merged (MG) form: counters underestimate, so n̂ ≤ n.
+            Repr::Merged => stored <= n,
+        };
+        if !valid {
+            return Err(WireError::Malformed(
+                "SpaceSaving counter sum violates repr",
+            ));
+        }
+        Ok(SpaceSavingSummary {
+            k,
+            counters,
+            n,
+            repr,
+            index: None,
+        })
+    }
+}
+
+impl<I: ToJson> ToJson for SpaceSavingSummary<I> {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("k", Json::U64(self.k as u64)),
+            (
+                "repr",
+                Json::Str(
+                    match self.repr {
+                        Repr::Stream => "stream",
+                        Repr::Merged => "merged",
+                    }
+                    .to_string(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|(i, &c)| Json::Arr(vec![i.to_json(), Json::U64(c)]))
+                        .collect(),
+                ),
+            ),
+            ("n", Json::U64(self.n)),
+        ])
+    }
 }
 
 impl<I: Eq + Hash + Clone> SpaceSavingSummary<I> {
@@ -690,7 +767,7 @@ mod tests {
     }
 
     #[test]
-    fn index_survives_serde_roundtrip_and_further_updates() {
+    fn index_survives_codec_roundtrip_and_further_updates() {
         use ms_workloads::StreamKind;
         let items = StreamKind::Zipf {
             s: 1.3,
@@ -702,8 +779,7 @@ mod tests {
         ss.extend_from(first.iter().copied());
         // Round-trip drops the derived index; updates must rebuild it and
         // produce exactly the same profile as the uninterrupted run.
-        let json = serde_json::to_string(&ss).unwrap();
-        let mut restored: SpaceSavingSummary<u64> = serde_json::from_str(&json).unwrap();
+        let mut restored = SpaceSavingSummary::<u64>::decode(&ss.encode()).unwrap();
         restored.extend_from(rest.iter().copied());
         ss.extend_from(rest.iter().copied());
         let profile = |s: &SpaceSavingSummary<u64>| {

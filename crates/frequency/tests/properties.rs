@@ -1,87 +1,102 @@
 //! Property tests for the heavy-hitter summaries: the §3 invariants over
-//! arbitrary weighted update sequences.
+//! randomized weighted update sequences (seeded, so failures reproduce).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
-use ms_core::{ItemSummary, Mergeable, Summary};
+use ms_core::{ItemSummary, Mergeable, Rng64, Summary};
 use ms_frequency::isomorphism::{check_isomorphism, mg_offset};
 use ms_frequency::{ExactCounts, MgSummary, SpaceSavingSummary};
 
+const CASES: u64 = 96;
+
 /// Weighted updates over a small universe (collisions likely).
-fn updates() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    vec((0u64..40, 1u64..50), 0..600)
+fn updates(rng: &mut Rng64) -> Vec<(u64, u64)> {
+    let len = rng.below_usize(600);
+    (0..len)
+        .map(|_| (rng.below(40), 1 + rng.below(49)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// MG with weighted updates: never overestimates, integer-exact error
-    /// bound, capacity respected, total weight exact.
-    #[test]
-    fn mg_weighted_invariant(updates in updates(), k in 1usize..24) {
+/// MG with weighted updates: never overestimates, integer-exact error
+/// bound, capacity respected, total weight exact.
+#[test]
+fn mg_weighted_invariant() {
+    let mut rng = Rng64::new(0xF0_01);
+    for _ in 0..CASES {
+        let updates = updates(&mut rng);
+        let k = 1 + rng.below_usize(23);
         let mut mg = MgSummary::new(k);
         let mut exact = ExactCounts::new();
         for &(item, w) in &updates {
             mg.update_weighted(item, w);
             exact.update_weighted(item, w);
         }
-        prop_assert_eq!(mg.total_weight(), exact.total_weight());
-        prop_assert!(mg.size() <= k);
+        assert_eq!(mg.total_weight(), exact.total_weight());
+        assert!(mg.size() <= k);
         let err_num = mg.error_numerator();
         for item in 0u64..40 {
             let truth = exact.estimate(&item);
             let est = mg.estimate(&item);
-            prop_assert!(est <= truth);
-            prop_assert!((truth - est) * (k as u64 + 1) <= err_num);
-            prop_assert!(mg.estimate_upper(&item) >= truth);
+            assert!(est <= truth);
+            assert!((truth - est) * (k as u64 + 1) <= err_num);
+            assert!(mg.estimate_upper(&item) >= truth);
         }
     }
+}
 
-    /// SpaceSaving with weighted updates: bracket always correct, sum of
-    /// counters equals n in the streaming representation.
-    #[test]
-    fn ss_weighted_invariant(updates in updates(), k in 2usize..24) {
+/// SpaceSaving with weighted updates: bracket always correct, sum of
+/// counters equals n in the streaming representation.
+#[test]
+fn ss_weighted_invariant() {
+    let mut rng = Rng64::new(0xF0_02);
+    for _ in 0..CASES {
+        let updates = updates(&mut rng);
+        let k = 2 + rng.below_usize(22);
         let mut ss = SpaceSavingSummary::new(k);
         let mut exact = ExactCounts::new();
         for &(item, w) in &updates {
             ss.update_weighted(item, w);
             exact.update_weighted(item, w);
         }
-        prop_assert_eq!(ss.total_weight(), exact.total_weight());
-        prop_assert!(ss.size() <= k);
+        assert_eq!(ss.total_weight(), exact.total_weight());
+        assert!(ss.size() <= k);
         let stored: u64 = ss.iter().map(|(_, c)| c).sum();
-        prop_assert_eq!(stored, ss.total_weight(), "stream repr sums to n");
+        assert_eq!(stored, ss.total_weight(), "stream repr sums to n");
         for item in 0u64..40 {
             let truth = exact.estimate(&item);
-            prop_assert!(ss.lower_bound(&item) <= truth);
-            prop_assert!(ss.upper_bound(&item) >= truth);
+            assert!(ss.lower_bound(&item) <= truth);
+            assert!(ss.upper_bound(&item) >= truth);
         }
     }
+}
 
-    /// The isomorphism lemma holds for weighted streams too (the decrement
-    /// argument carries through with weights).
-    #[test]
-    fn isomorphism_with_weights(updates in updates(), k in 1usize..16) {
+/// The isomorphism lemma holds for weighted streams too (the decrement
+/// argument carries through with weights).
+#[test]
+fn isomorphism_with_weights() {
+    let mut rng = Rng64::new(0xF0_03);
+    for _ in 0..CASES {
+        let updates = updates(&mut rng);
+        let k = 1 + rng.below_usize(15);
         let mut mg = MgSummary::new(k);
         let mut ss = SpaceSavingSummary::new(k + 1);
         for &(item, w) in &updates {
             mg.update_weighted(item, w);
             ss.update_weighted(item, w);
         }
-        prop_assert!(check_isomorphism(&mg, &ss).is_ok());
-        prop_assert!(mg_offset(&mg).is_some());
+        assert!(check_isomorphism(&mg, &ss).is_ok());
+        assert!(mg_offset(&mg).is_some());
     }
+}
 
-    /// Splitting a weighted stream at any point and merging the halves
-    /// keeps the invariant (merge = concatenation, error-wise).
-    #[test]
-    fn split_anywhere_and_merge(
-        updates in updates(),
-        k in 1usize..16,
-        cut_ppm in 0u32..1_000_000,
-    ) {
-        let cut = (updates.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+/// Splitting a weighted stream at any point and merging the halves keeps
+/// the invariant (merge = concatenation, error-wise).
+#[test]
+fn split_anywhere_and_merge() {
+    let mut rng = Rng64::new(0xF0_04);
+    for _ in 0..CASES {
+        let updates = updates(&mut rng);
+        let k = 1 + rng.below_usize(15);
+        let cut_ppm = rng.below(1_000_000);
+        let cut = (updates.len() as u64 * cut_ppm / 1_000_000) as usize;
         let mut left = MgSummary::new(k);
         let mut right = MgSummary::new(k);
         let mut exact = ExactCounts::new();
@@ -95,19 +110,24 @@ proptest! {
         }
         let merged = left.merge(right).unwrap();
         let err_num = merged.error_numerator();
-        prop_assert!(err_num <= merged.total_weight());
+        assert!(err_num <= merged.total_weight());
         for item in 0u64..40 {
             let truth = exact.estimate(&item);
             let est = merged.estimate(&item);
-            prop_assert!(est <= truth);
-            prop_assert!((truth - est) * (k as u64 + 1) <= err_num);
+            assert!(est <= truth);
+            assert!((truth - est) * (k as u64 + 1) <= err_num);
         }
     }
+}
 
-    /// SpaceSaving's conversion to MG form preserves the total weight and
-    /// produces a valid MG summary.
-    #[test]
-    fn ss_into_mg_is_valid(updates in updates(), k in 2usize..16) {
+/// SpaceSaving's conversion to MG form preserves the total weight and
+/// produces a valid MG summary.
+#[test]
+fn ss_into_mg_is_valid() {
+    let mut rng = Rng64::new(0xF0_05);
+    for _ in 0..CASES {
+        let updates = updates(&mut rng);
+        let k = 2 + rng.below_usize(14);
         let mut ss = SpaceSavingSummary::new(k);
         let mut exact = ExactCounts::new();
         for &(item, w) in &updates {
@@ -115,14 +135,14 @@ proptest! {
             exact.update_weighted(item, w);
         }
         let mg = ss.into_mg();
-        prop_assert_eq!(mg.total_weight(), exact.total_weight());
-        prop_assert!(mg.size() < k);
+        assert_eq!(mg.total_weight(), exact.total_weight());
+        assert!(mg.size() < k);
         let err_num = mg.error_numerator();
         for item in 0u64..40 {
             let truth = exact.estimate(&item);
             let est = mg.estimate(&item);
-            prop_assert!(est <= truth);
-            prop_assert!((truth - est) * (k as u64) <= err_num);
+            assert!(est <= truth);
+            assert!((truth - est) * (k as u64) <= err_num);
         }
     }
 }

@@ -7,10 +7,11 @@
 //! normalize differently cannot merge, which the summaries enforce with a
 //! typed error.
 
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{Point2, Rect};
 
 /// An axis-aligned affine normalization `p ↦ ((p.x−x₀)/sx, (p.y−y₀)/sy)`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Frame {
     /// Origin x.
     pub x0: f64,
@@ -20,6 +21,28 @@ pub struct Frame {
     pub sx: f64,
     /// Scale along y (must be positive).
     pub sy: f64,
+}
+
+impl Wire for Frame {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.x0.encode_into(out);
+        self.y0.encode_into(out);
+        self.sx.encode_into(out);
+        self.sy.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let frame = Frame {
+            x0: f64::decode_from(r)?,
+            y0: f64::decode_from(r)?,
+            sx: f64::decode_from(r)?,
+            sy: f64::decode_from(r)?,
+        };
+        if !(frame.sx > 0.0 && frame.sy > 0.0) {
+            return Err(WireError::Malformed("frame scales must be positive"));
+        }
+        Ok(frame)
+    }
 }
 
 impl Frame {

@@ -13,6 +13,7 @@
 //! both inputs share the frame and grid (the restricted model; violations
 //! return typed errors).
 
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{directional_width, unit_dir, MergeError, Mergeable, Point2, Result, Summary};
 
 use crate::frame::Frame;
@@ -35,7 +36,7 @@ use crate::frame::Frame;
 /// let width_x = merged.width((1.0, 0.0));
 /// assert!((width_x - 1.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EpsKernel {
     epsilon: f64,
     frame: Frame,
@@ -45,6 +46,33 @@ pub struct EpsKernel {
     /// original-space point achieving it.
     extremes: Vec<Option<(f64, Point2)>>,
     n: u64,
+}
+
+impl Wire for EpsKernel {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // The direction grid is derived from epsilon and is rebuilt on
+        // decode; only the extremes travel.
+        self.epsilon.encode_into(out);
+        self.frame.encode_into(out);
+        self.extremes.encode_into(out);
+        self.n.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let epsilon = f64::decode_from(r)?;
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(WireError::Malformed("epsilon out of (0, 1)"));
+        }
+        let frame = Frame::decode_from(r)?;
+        let mut kernel = EpsKernel::new(epsilon, frame);
+        let extremes = Vec::<Option<(f64, Point2)>>::decode_from(r)?;
+        if extremes.len() != kernel.directions.len() {
+            return Err(WireError::Malformed("extreme count does not match grid"));
+        }
+        kernel.extremes = extremes;
+        kernel.n = u64::decode_from(r)?;
+        Ok(kernel)
+    }
 }
 
 impl EpsKernel {
@@ -344,7 +372,9 @@ mod tests {
         ] {
             assert!((a - b).abs() <= 0.02 * 2.0, "side {a} vs {b}");
         }
-        assert!(EpsKernel::new(0.1, Frame::identity()).bounding_box().is_none());
+        assert!(EpsKernel::new(0.1, Frame::identity())
+            .bounding_box()
+            .is_none());
     }
 
     #[test]

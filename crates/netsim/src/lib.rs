@@ -7,16 +7,15 @@
 //! of growing with the data below.
 //!
 //! This crate simulates that: it runs any [`ms_core::Mergeable`] +
-//! [`serde::Serialize`] summary up a [`Topology`] and accounts every
-//! message (count, bytes, per-link maximum, depth). Wire size is measured
-//! as the summary's JSON encoding — a simulation substitution for a real
-//! wire format (documented in `DESIGN.md`): JSON inflates all summaries by
-//! a similar constant factor, so *relative* comparisons (summary vs
-//! summary, summary vs raw shipping) are preserved, which is what
-//! experiment E10 reports.
+//! [`ms_core::Wire`] + [`ms_core::ToJson`] summary up a [`Topology`] and
+//! accounts every message (count, bytes, per-link maximum, depth). Each
+//! message is priced twice: under the compact binary codec
+//! ([`ms_core::wire`], the format the service actually ships) and under a
+//! JSON text encoding, so experiment E10 can report both the real wire
+//! cost and the text-protocol comparison point.
 
 pub mod run;
 pub mod topology;
 
-pub use run::{aggregate, message_bytes, raw_shipping_bytes, NetStats};
+pub use run::{aggregate, json_message_bytes, message_bytes, raw_shipping_bytes, NetStats};
 pub use topology::Topology;

@@ -1,19 +1,27 @@
 //! Running a merge schedule with byte accounting.
 
-use ms_core::{Mergeable, Result};
-use serde::Serialize;
+use ms_core::{Mergeable, Result, ToJson, Wire};
 
 use crate::topology::Topology;
 
 /// What the network observed while aggregating.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+///
+/// Every message is priced under two encodings: the compact binary codec
+/// (`*_bytes` fields — what a real deployment ships, see
+/// [`ms_core::wire`]) and a JSON text encoding (`json_*` fields — the
+/// comparison point for text protocols).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages shipped (one per merge step).
     pub messages: usize,
-    /// Total bytes over all links.
+    /// Total bytes over all links (binary codec).
     pub total_bytes: usize,
-    /// Largest single message.
+    /// Largest single message (binary codec).
     pub max_message_bytes: usize,
+    /// Total bytes over all links under a JSON encoding.
+    pub json_total_bytes: usize,
+    /// Largest single message under a JSON encoding.
+    pub json_max_message_bytes: usize,
     /// Deepest hop level used.
     pub depth: usize,
 }
@@ -25,7 +33,7 @@ pub struct NetStats {
 /// # Panics
 ///
 /// Panics if `leaves` is empty.
-pub fn aggregate<S: Mergeable + Serialize>(
+pub fn aggregate<S: Mergeable + Wire + ToJson>(
     leaves: Vec<S>,
     topology: Topology,
 ) -> Result<(S, NetStats)> {
@@ -39,14 +47,19 @@ pub fn aggregate<S: Mergeable + Serialize>(
         messages: 0,
         total_bytes: 0,
         max_message_bytes: 0,
+        json_total_bytes: 0,
+        json_max_message_bytes: 0,
         depth: 0,
     };
     for step in topology.schedule(sites) {
         let shipped = slots[step.src].take().expect("schedule uses live slots");
         let bytes = message_bytes(&shipped);
+        let json_bytes = json_message_bytes(&shipped);
         stats.messages += 1;
         stats.total_bytes += bytes;
         stats.max_message_bytes = stats.max_message_bytes.max(bytes);
+        stats.json_total_bytes += json_bytes;
+        stats.json_max_message_bytes = stats.json_max_message_bytes.max(json_bytes);
         stats.depth = stats.depth.max(step.level);
         let receiver = slots[step.dst].take().expect("schedule uses live slots");
         slots[step.dst] = Some(receiver.merge(shipped)?);
@@ -58,12 +71,16 @@ pub fn aggregate<S: Mergeable + Serialize>(
     ))
 }
 
-/// Encoded size of one message (JSON; see the crate docs for why this is a
-/// valid *relative* proxy).
-pub fn message_bytes<S: Serialize>(summary: &S) -> usize {
-    serde_json::to_vec(summary)
-        .expect("summaries serialize infallibly")
-        .len()
+/// Encoded size of one message under the binary codec — the real wire
+/// cost a deployment pays per hop.
+pub fn message_bytes<S: Wire>(summary: &S) -> usize {
+    summary.wire_len()
+}
+
+/// Encoded size of one message under a compact JSON encoding — the text
+/// protocol comparison point reported by experiment E10.
+pub fn json_message_bytes<S: ToJson>(summary: &S) -> usize {
+    summary.json_len()
 }
 
 /// Bytes the naive scheme ships: every site forwards its *raw data*

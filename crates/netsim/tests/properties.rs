@@ -1,16 +1,17 @@
-//! Property tests for the aggregation-network schedules.
+//! Property tests for the aggregation-network schedules, randomized over
+//! seeded site counts so failures reproduce.
 
-use proptest::prelude::*;
-
+use ms_core::Rng64;
 use ms_netsim::Topology;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every topology compiles, for any site count, into a schedule that
-    /// consumes n−1 live slots and leaves exactly the declared sink.
-    #[test]
-    fn schedules_always_reduce_to_the_sink(sites in 1usize..300, fan in 1usize..24) {
+/// Every topology compiles, for any site count, into a schedule that
+/// consumes n−1 live slots and leaves exactly the declared sink.
+#[test]
+fn schedules_always_reduce_to_the_sink() {
+    let mut rng = Rng64::new(0x4E_01);
+    for _ in 0..128 {
+        let sites = 1 + rng.below_usize(299);
+        let fan = 1 + rng.below_usize(23);
         let topologies = [
             Topology::Star,
             Topology::Chain,
@@ -19,27 +20,32 @@ proptest! {
         ];
         for t in topologies {
             let steps = t.schedule(sites);
-            prop_assert_eq!(steps.len(), sites - 1, "{}", t.label());
+            assert_eq!(steps.len(), sites - 1, "{}", t.label());
             let mut alive = vec![true; sites];
             for step in &steps {
-                prop_assert!(alive[step.src]);
-                prop_assert!(alive[step.dst]);
-                prop_assert_ne!(step.src, step.dst);
-                prop_assert!(step.level >= 1);
+                assert!(alive[step.src]);
+                assert!(alive[step.dst]);
+                assert_ne!(step.src, step.dst);
+                assert!(step.level >= 1);
                 alive[step.src] = false;
             }
             let survivors: Vec<usize> = (0..sites).filter(|&i| alive[i]).collect();
-            prop_assert_eq!(survivors, vec![t.sink(sites)], "{}", t.label());
+            assert_eq!(survivors, vec![t.sink(sites)], "{}", t.label());
         }
     }
+}
 
-    /// Aggregation over any topology preserves the exact total weight and
-    /// ships exactly n−1 messages.
-    #[test]
-    fn aggregation_conserves_weight(sites in 1usize..40, fan in 1usize..8) {
-        use ms_core::{ItemSummary, Summary};
-        use ms_frequency::MgSummary;
+/// Aggregation over any topology preserves the exact total weight, ships
+/// exactly n−1 messages, and the binary codec never loses to JSON.
+#[test]
+fn aggregation_conserves_weight() {
+    use ms_core::{ItemSummary, Summary};
+    use ms_frequency::MgSummary;
 
+    let mut rng = Rng64::new(0x4E_02);
+    for _ in 0..128 {
+        let sites = 1 + rng.below_usize(39);
+        let fan = 1 + rng.below_usize(7);
         let leaves: Vec<MgSummary<u64>> = (0..sites)
             .map(|s| {
                 let mut m = MgSummary::new(8);
@@ -56,9 +62,15 @@ proptest! {
             Topology::TwoLevel { fan },
         ] {
             let (merged, stats) = ms_netsim::aggregate(leaves.clone(), t).unwrap();
-            prop_assert_eq!(merged.total_weight(), sites as u64 * 10);
-            prop_assert_eq!(stats.messages, sites - 1);
-            prop_assert!(stats.max_message_bytes <= stats.total_bytes.max(1));
+            assert_eq!(merged.total_weight(), sites as u64 * 10);
+            assert_eq!(stats.messages, sites - 1);
+            assert!(stats.max_message_bytes <= stats.total_bytes.max(1));
+            assert!(
+                stats.total_bytes <= stats.json_total_bytes,
+                "binary {} should not exceed JSON {}",
+                stats.total_bytes,
+                stats.json_total_bytes
+            );
         }
     }
 }

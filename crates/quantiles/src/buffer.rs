@@ -9,13 +9,28 @@
 //! which is what makes whole merge trees behave like random walks rather
 //! than accumulating worst cases.
 
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::Rng64;
 
 /// A sorted buffer of points sharing one weight (the weight itself lives in
 /// the hierarchy; buffers only know their points).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SortedBuffer<T> {
     points: Vec<T>,
+}
+
+impl<T: Wire + Ord> Wire for SortedBuffer<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.points.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let points = Vec::<T>::decode_from(r)?;
+        if points.windows(2).any(|w| w[0] > w[1]) {
+            return Err(WireError::Malformed("buffer points not sorted"));
+        }
+        Ok(SortedBuffer { points })
+    }
 }
 
 impl<T: Ord + Clone> SortedBuffer<T> {

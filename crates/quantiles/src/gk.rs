@@ -12,12 +12,13 @@
 //! paper's randomized summary avoids. [`GkSummary::merge`] implements that
 //! standard combine so the degradation can be measured.
 
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{MergeError, Mergeable, Result, Summary};
 
 use crate::RankSummary;
 
 /// One GK tuple.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Tuple<T> {
     value: T,
     /// Rank gap to the previous tuple: `r_min(i) = Σ_{j ≤ i} g_j`.
@@ -26,13 +27,56 @@ struct Tuple<T> {
     delta: u64,
 }
 
+impl<T: Wire> Wire for Tuple<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.value.encode_into(out);
+        self.g.encode_into(out);
+        self.delta.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(Tuple {
+            value: T::decode_from(r)?,
+            g: u64::decode_from(r)?,
+            delta: u64::decode_from(r)?,
+        })
+    }
+}
+
 /// Greenwald-Khanna ε-approximate quantile summary.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GkSummary<T> {
     epsilon: f64,
     tuples: Vec<Tuple<T>>,
     n: u64,
     since_compress: usize,
+}
+
+impl<T: Wire> Wire for GkSummary<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epsilon.encode_into(out);
+        self.tuples.encode_into(out);
+        self.n.encode_into(out);
+        self.since_compress.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let epsilon = f64::decode_from(r)?;
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(WireError::Malformed("epsilon out of (0, 1)"));
+        }
+        let tuples = Vec::<Tuple<T>>::decode_from(r)?;
+        let n = u64::decode_from(r)?;
+        if tuples.iter().map(|t| t.g).sum::<u64>() > n {
+            return Err(WireError::Malformed("GK rank gaps exceed n"));
+        }
+        Ok(GkSummary {
+            epsilon,
+            tuples,
+            n,
+            since_compress: usize::decode_from(r)?,
+        })
+    }
 }
 
 impl<T: Ord + Clone> GkSummary<T> {

@@ -8,14 +8,27 @@
 //! what happens when two summaries merge (their hierarchies add level-wise
 //! with carries).
 
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::Rng64;
 
 use crate::buffer::SortedBuffer;
 
 /// A stack of at-most-one-buffer-per-level, carrying upward on collision.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BufferHierarchy<T> {
     levels: Vec<Option<SortedBuffer<T>>>,
+}
+
+impl<T: Wire + Ord> Wire for BufferHierarchy<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.levels.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(BufferHierarchy {
+            levels: Vec::<Option<SortedBuffer<T>>>::decode_from(r)?,
+        })
+    }
 }
 
 impl<T: Ord + Clone> BufferHierarchy<T> {

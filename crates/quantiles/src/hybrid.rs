@@ -23,6 +23,7 @@
 //!   back through the block sampler at its own weight.
 
 use ms_core::error::ensure_same_capacity;
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{MergeError, Mergeable, Result, Rng64, Summary};
 
 use crate::buffer::SortedBuffer;
@@ -50,7 +51,7 @@ const DELTA: f64 = 0.01;
 /// let median = merged.quantile(0.5).unwrap();
 /// assert!((450..=550).contains(&median));
 /// ```
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HybridQuantile<T> {
     epsilon: f64,
     m: usize,
@@ -66,6 +67,51 @@ pub struct HybridQuantile<T> {
     hierarchy: BufferHierarchy<T>,
     n: u64,
     rng: Rng64,
+}
+
+impl<T: Wire + Ord> Wire for HybridQuantile<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epsilon.encode_into(out);
+        self.m.encode_into(out);
+        self.max_levels.encode_into(out);
+        self.w.encode_into(out);
+        self.block_count.encode_into(out);
+        self.block_candidate.encode_into(out);
+        self.base.encode_into(out);
+        self.hierarchy.encode_into(out);
+        self.n.encode_into(out);
+        self.rng.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let epsilon = f64::decode_from(r)?;
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(WireError::Malformed("epsilon out of (0, 1)"));
+        }
+        let m = usize::decode_from(r)?;
+        let max_levels = usize::decode_from(r)?;
+        let w = u64::decode_from(r)?;
+        if !w.is_power_of_two() {
+            return Err(WireError::Malformed("base weight not a power of two"));
+        }
+        let block_count = u64::decode_from(r)?;
+        let block_candidate = Option::<T>::decode_from(r)?;
+        if block_count > 0 && block_candidate.is_none() {
+            return Err(WireError::Malformed("partial block lost its candidate"));
+        }
+        Ok(HybridQuantile {
+            epsilon,
+            m,
+            max_levels,
+            w,
+            block_count,
+            block_candidate,
+            base: Vec::<T>::decode_from(r)?,
+            hierarchy: BufferHierarchy::<T>::decode_from(r)?,
+            n: u64::decode_from(r)?,
+            rng: Rng64::decode_from(r)?,
+        })
+    }
 }
 
 impl<T: Ord + Clone> HybridQuantile<T> {
@@ -210,6 +256,38 @@ impl<T: Ord + Clone> HybridQuantile<T> {
             }
         }
         out
+    }
+}
+
+impl<T: Ord + Clone + ms_core::ToJson> ms_core::ToJson for HybridQuantile<T> {
+    fn to_json(&self) -> ms_core::Json {
+        use ms_core::Json;
+        Json::obj([
+            ("epsilon", Json::F64(self.epsilon)),
+            ("m", Json::U64(self.m as u64)),
+            ("w", Json::U64(self.w)),
+            ("block_count", Json::U64(self.block_count)),
+            ("block_candidate", self.block_candidate.to_json()),
+            ("base", Json::arr(self.base.iter())),
+            (
+                "levels",
+                Json::Arr(
+                    (0..self.hierarchy.num_levels())
+                        .map(|_| Json::Null)
+                        .collect(),
+                ),
+            ),
+            (
+                "points",
+                Json::Arr(
+                    self.weighted_points()
+                        .iter()
+                        .map(|(p, w)| Json::Arr(vec![p.to_json(), Json::U64(*w)]))
+                        .collect(),
+                ),
+            ),
+            ("n", Json::U64(self.n)),
+        ])
     }
 }
 

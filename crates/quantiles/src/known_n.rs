@@ -14,6 +14,7 @@
 //! by its level weight, and Hoeffding's inequality controls the sum.
 
 use ms_core::error::ensure_same_capacity;
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{MergeError, Mergeable, Result, Rng64, Summary};
 
 use crate::buffer::SortedBuffer;
@@ -24,7 +25,7 @@ use crate::RankSummary;
 const DELTA: f64 = 0.01;
 
 /// Mergeable quantile summary for streams of known maximum total size.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KnownNQuantile<T> {
     epsilon: f64,
     m: usize,
@@ -32,6 +33,32 @@ pub struct KnownNQuantile<T> {
     hierarchy: BufferHierarchy<T>,
     n: u64,
     rng: Rng64,
+}
+
+impl<T: Wire + Ord> Wire for KnownNQuantile<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epsilon.encode_into(out);
+        self.m.encode_into(out);
+        self.base.encode_into(out);
+        self.hierarchy.encode_into(out);
+        self.n.encode_into(out);
+        self.rng.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let epsilon = f64::decode_from(r)?;
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(WireError::Malformed("epsilon out of (0, 1)"));
+        }
+        Ok(KnownNQuantile {
+            epsilon,
+            m: usize::decode_from(r)?,
+            base: Vec::<T>::decode_from(r)?,
+            hierarchy: BufferHierarchy::<T>::decode_from(r)?,
+            n: u64::decode_from(r)?,
+            rng: Rng64::decode_from(r)?,
+        })
+    }
 }
 
 /// Buffer size for a target ε and advertised maximum stream size: the

@@ -9,18 +9,48 @@
 //! against (experiment E6).
 
 use ms_core::error::ensure_same_capacity;
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{Mergeable, Result, Rng64, Summary};
 
 use crate::RankSummary;
 
 /// Mergeable uniform sample of fixed capacity.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BottomKSample<T> {
     k: usize,
     /// `(tag, value)` pairs, kept sorted ascending by tag; at most `k`.
     entries: Vec<(u64, T)>,
     n: u64,
     rng: Rng64,
+}
+
+impl<T: Wire> Wire for BottomKSample<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.k.encode_into(out);
+        self.entries.encode_into(out);
+        self.n.encode_into(out);
+        self.rng.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let k = usize::decode_from(r)?;
+        if k == 0 {
+            return Err(WireError::Malformed("sample capacity must be positive"));
+        }
+        let entries = Vec::<(u64, T)>::decode_from(r)?;
+        if entries.len() > k {
+            return Err(WireError::Malformed("sample holds more than k entries"));
+        }
+        if entries.windows(2).any(|w| w[0].0 > w[1].0) {
+            return Err(WireError::Malformed("sample tags not sorted"));
+        }
+        Ok(BottomKSample {
+            k,
+            entries,
+            n: u64::decode_from(r)?,
+            rng: Rng64::decode_from(r)?,
+        })
+    }
 }
 
 impl<T: Ord + Clone> BottomKSample<T> {

@@ -1,54 +1,60 @@
 //! Property tests for the quantile summaries: structural invariants that
 //! must hold for every input, independent of the probabilistic error
-//! analysis.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//! analysis. Randomized over seeded streams so failures reproduce.
 
 use ms_core::{Mergeable, Rng64, Summary};
 use ms_quantiles::{
     BottomKSample, GkSummary, HybridQuantile, KnownNQuantile, RankSummary, SortedBuffer,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: u64 = 96;
 
-    /// The same-weight merge keeps exactly half the points (to parity),
-    /// sorted, and every kept point comes from the inputs.
-    #[test]
-    fn same_weight_merge_structure(
-        a in vec(0u64..1000, 0..64),
-        b in vec(0u64..1000, 0..64),
-        seed in any::<u64>(),
-    ) {
+fn values(rng: &mut Rng64, universe: u64, max_len: usize, min_len: usize) -> Vec<u64> {
+    let len = min_len + rng.below_usize(max_len - min_len);
+    (0..len).map(|_| rng.below(universe)).collect()
+}
+
+/// The same-weight merge keeps exactly half the points (to parity),
+/// sorted, and every kept point comes from the inputs.
+#[test]
+fn same_weight_merge_structure() {
+    let mut outer = Rng64::new(0x0A_01);
+    for _ in 0..CASES {
+        let a = values(&mut outer, 1000, 64, 0);
+        let b = values(&mut outer, 1000, 64, 0);
+        let seed = outer.next_u64();
         let total = a.len() + b.len();
         let ba = SortedBuffer::from_unsorted(a.clone());
         let bb = SortedBuffer::from_unsorted(b.clone());
         let mut rng = Rng64::new(seed);
         let merged = SortedBuffer::same_weight_merge(ba, bb, &mut rng);
-        prop_assert!(merged.len() == total / 2 || merged.len() == total.div_ceil(2));
-        prop_assert!(merged.points().windows(2).all(|w| w[0] <= w[1]));
+        assert!(merged.len() == total / 2 || merged.len() == total.div_ceil(2));
+        assert!(merged.points().windows(2).all(|w| w[0] <= w[1]));
         let mut pool: Vec<u64> = a;
         pool.extend(b);
         for p in merged.points() {
             let pos = pool.iter().position(|x| x == p);
-            prop_assert!(pos.is_some(), "merge invented point {p}");
+            assert!(pos.is_some(), "merge invented point {p}");
             pool.swap_remove(pos.unwrap());
         }
     }
+}
 
-    /// Rank estimates are bounded by n for all four summaries, and
-    /// monotone in the query for the point-set summaries. (GK's midpoint
-    /// estimator is *not* monotone in general — its uncertainty band can
-    /// narrow across tuples — so it is only checked for the bound.)
-    #[test]
-    fn ranks_are_monotone_and_bounded(values in vec(0u64..10_000, 1..800)) {
-        let n = values.len() as u64;
+/// Rank estimates are bounded by n for all four summaries, and monotone
+/// in the query for the point-set summaries. (GK's midpoint estimator is
+/// *not* monotone in general — its uncertainty band can narrow across
+/// tuples — so it is only checked for the bound.)
+#[test]
+fn ranks_are_monotone_and_bounded() {
+    let mut outer = Rng64::new(0x0A_02);
+    for _ in 0..CASES {
+        let vals = values(&mut outer, 10_000, 800, 1);
+        let n = vals.len() as u64;
         let mut known = KnownNQuantile::new(0.1, n, 1);
         let mut hybrid = HybridQuantile::new(0.1, 1);
         let mut gk = GkSummary::new(0.1);
         let mut sample = BottomKSample::new(64, 1);
-        for &v in &values {
+        for &v in &vals {
             known.insert(v);
             hybrid.insert(v);
             gk.insert(v);
@@ -59,41 +65,48 @@ proptest! {
         for x in probes {
             let monotone = [known.rank(&x), hybrid.rank(&x), sample.rank(&x)];
             for (i, &r) in monotone.iter().enumerate() {
-                prop_assert!(r <= n, "summary {i}: rank {r} > n {n}");
-                prop_assert!(r >= prev[i], "summary {i}: rank not monotone");
+                assert!(r <= n, "summary {i}: rank {r} > n {n}");
+                assert!(r >= prev[i], "summary {i}: rank not monotone");
             }
             prev = monotone;
-            prop_assert!(gk.rank(&x) <= n);
+            assert!(gk.rank(&x) <= n);
         }
     }
+}
 
-    /// Quantile answers are always actual inserted values and move
-    /// monotonically with φ.
-    #[test]
-    fn quantiles_are_data_values(values in vec(0u64..10_000, 1..500), seed in any::<u64>()) {
+/// Quantile answers are always actual inserted values and move
+/// monotonically with φ.
+#[test]
+fn quantiles_are_data_values() {
+    let mut outer = Rng64::new(0x0A_03);
+    for _ in 0..CASES {
+        let vals = values(&mut outer, 10_000, 500, 1);
+        let seed = outer.next_u64();
         let mut hybrid = HybridQuantile::new(0.1, seed);
-        for &v in &values {
+        for &v in &vals {
             hybrid.insert(v);
         }
         let mut prev = None;
         for phi in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let q = hybrid.quantile(phi).expect("non-empty");
-            prop_assert!(values.contains(&q), "quantile {q} not in the data");
+            assert!(vals.contains(&q), "quantile {q} not in the data");
             if let Some(p) = prev {
-                prop_assert!(q >= p, "quantiles not monotone in phi");
+                assert!(q >= p, "quantiles not monotone in phi");
             }
             prev = Some(q);
         }
     }
+}
 
-    /// Merging preserves counts exactly, for every split of the stream and
-    /// both randomized summaries.
-    #[test]
-    fn merge_preserves_count(
-        values in vec(0u64..1000, 0..600),
-        cut_ppm in 0u32..1_000_000,
-    ) {
-        let cut = (values.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+/// Merging preserves counts exactly, for every split of the stream and
+/// both randomized summaries.
+#[test]
+fn merge_preserves_count() {
+    let mut outer = Rng64::new(0x0A_04);
+    for _ in 0..CASES {
+        let vals = values(&mut outer, 1000, 600, 0);
+        let cut_ppm = outer.below(1_000_000);
+        let cut = (vals.len() as u64 * cut_ppm / 1_000_000) as usize;
         let mk_known = |slice: &[u64], seed| {
             let mut q = KnownNQuantile::new(0.1, 1_000, seed);
             for &v in slice {
@@ -101,9 +114,11 @@ proptest! {
             }
             q
         };
-        let merged = mk_known(&values[..cut], 1).merge(mk_known(&values[cut..], 2)).unwrap();
-        prop_assert_eq!(merged.count(), values.len() as u64);
-        prop_assert_eq!(merged.total_weight(), values.len() as u64);
+        let merged = mk_known(&vals[..cut], 1)
+            .merge(mk_known(&vals[cut..], 2))
+            .unwrap();
+        assert_eq!(merged.count(), vals.len() as u64);
+        assert_eq!(merged.total_weight(), vals.len() as u64);
 
         let mk_hybrid = |slice: &[u64], seed| {
             let mut q = HybridQuantile::new(0.1, seed);
@@ -112,30 +127,41 @@ proptest! {
             }
             q
         };
-        let merged = mk_hybrid(&values[..cut], 3).merge(mk_hybrid(&values[cut..], 4)).unwrap();
-        prop_assert_eq!(merged.count(), values.len() as u64);
+        let merged = mk_hybrid(&vals[..cut], 3)
+            .merge(mk_hybrid(&vals[cut..], 4))
+            .unwrap();
+        assert_eq!(merged.count(), vals.len() as u64);
     }
+}
 
-    /// The hybrid summary's size respects its own cap for any stream.
-    #[test]
-    fn hybrid_size_cap(values in vec(any::<u64>(), 0..2_000), seed in any::<u64>()) {
+/// The hybrid summary's size respects its own cap for any stream.
+#[test]
+fn hybrid_size_cap() {
+    let mut outer = Rng64::new(0x0A_05);
+    for _ in 0..CASES {
+        let len = outer.below_usize(2_000);
+        let seed = outer.next_u64();
         let mut q = HybridQuantile::new(0.1, seed);
-        for &v in &values {
-            q.insert(v);
+        for _ in 0..len {
+            q.insert(outer.next_u64());
         }
         let cap = q.buffer_capacity() * (q.max_levels() + 1) + 1;
-        prop_assert!(q.size() <= cap, "size {} over cap {cap}", q.size());
+        assert!(q.size() <= cap, "size {} over cap {cap}", q.size());
     }
+}
 
-    /// GK never stores more tuples than inserted values and stays within a
-    /// polylog multiple of 1/ε on sorted adversarial input.
-    #[test]
-    fn gk_size_control(n in 1usize..3_000) {
+/// GK never stores more tuples than inserted values and stays within a
+/// polylog multiple of 1/ε on sorted adversarial input.
+#[test]
+fn gk_size_control() {
+    let mut outer = Rng64::new(0x0A_06);
+    for _ in 0..CASES {
+        let n = 1 + outer.below_usize(2_999);
         let mut gk = GkSummary::new(0.05);
         for v in 0..n as u64 {
             gk.insert(v);
         }
-        prop_assert!(gk.size() <= n);
-        prop_assert!(gk.size() <= 400, "gk stored {} tuples", gk.size());
+        assert!(gk.size() <= n);
+        assert!(gk.size() <= 400, "gk stored {} tuples", gk.size());
     }
 }

@@ -9,10 +9,11 @@
 //! quantile summaries of `ms-quantiles`.
 
 use ms_core::error::ensure_same_capacity;
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{Mergeable, Result, Rng64, Summary};
 
 /// Mergeable ε-approximation for interval ranges over `f64` values.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EpsApprox1d {
     m: usize,
     base: Vec<f64>,
@@ -21,6 +22,30 @@ pub struct EpsApprox1d {
     levels: Vec<Option<Vec<f64>>>,
     n: u64,
     rng: Rng64,
+}
+
+impl Wire for EpsApprox1d {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.m.encode_into(out);
+        self.base.encode_into(out);
+        self.levels.encode_into(out);
+        self.n.encode_into(out);
+        self.rng.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let m = usize::decode_from(r)?;
+        if m < 2 {
+            return Err(WireError::Malformed("buffer size must be at least 2"));
+        }
+        Ok(EpsApprox1d {
+            m,
+            base: Vec::<f64>::decode_from(r)?,
+            levels: Vec::<Option<Vec<f64>>>::decode_from(r)?,
+            n: u64::decode_from(r)?,
+            rng: Rng64::decode_from(r)?,
+        })
+    }
 }
 
 impl EpsApprox1d {

@@ -1,6 +1,7 @@
 //! The mergeable 2D ε-approximation summary.
 
 use ms_core::error::ensure_same_capacity;
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{MergeError, Mergeable, Point2, Rect, Result, Rng64, Summary};
 
 use crate::halving::Halving;
@@ -21,13 +22,37 @@ use crate::merge_reduce::PointHierarchy;
 /// let estimate = approx.estimate_count(&quadrant);
 /// assert!((200..=300).contains(&estimate)); // exact answer is 250
 /// ```
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EpsApprox2d {
     m: usize,
     base: Vec<Point2>,
     hierarchy: PointHierarchy,
     n: u64,
     rng: Rng64,
+}
+
+impl Wire for EpsApprox2d {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.m.encode_into(out);
+        self.base.encode_into(out);
+        self.hierarchy.encode_into(out);
+        self.n.encode_into(out);
+        self.rng.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let m = usize::decode_from(r)?;
+        if m < 2 {
+            return Err(WireError::Malformed("buffer size must be at least 2"));
+        }
+        Ok(EpsApprox2d {
+            m,
+            base: Vec::<Point2>::decode_from(r)?,
+            hierarchy: PointHierarchy::decode_from(r)?,
+            n: u64::decode_from(r)?,
+            rng: Rng64::decode_from(r)?,
+        })
+    }
 }
 
 impl EpsApprox2d {

@@ -1,10 +1,11 @@
 //! Halving strategies: reduce `2m` points to `m` while keeping every
 //! rectangle's count nearly proportional.
 
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{Point2, Rect, Rng64};
 
 /// How a buffer of points is halved during a reduce step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Halving {
     /// Keep a uniformly random half — the control strategy; per-halving
     /// discrepancy `Θ(√m)`.
@@ -18,6 +19,25 @@ pub enum Halving {
     /// neighbors, so any rectangle splits few pairs — low discrepancy for
     /// axis-aligned ranges.
     Hilbert,
+}
+
+impl Wire for Halving {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Halving::Random => 0,
+            Halving::SortedX => 1,
+            Halving::Hilbert => 2,
+        });
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        match r.byte()? {
+            0 => Ok(Halving::Random),
+            1 => Ok(Halving::SortedX),
+            2 => Ok(Halving::Hilbert),
+            _ => Err(WireError::Malformed("unknown halving strategy")),
+        }
+    }
 }
 
 impl Halving {

@@ -1,16 +1,31 @@
 //! The merge-reduce hierarchy over point buffers — the geometric analogue
 //! of the quantile buffer hierarchy, with a pluggable halving.
 
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{Point2, Rng64};
 
 use crate::halving::Halving;
 
 /// Binary-counter hierarchy of point buffers: level `i` holds at most one
 /// buffer whose points each represent `2^i` input points.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PointHierarchy {
     levels: Vec<Option<Vec<Point2>>>,
     halving: Halving,
+}
+
+impl Wire for PointHierarchy {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.levels.encode_into(out);
+        self.halving.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(PointHierarchy {
+            levels: Vec::<Option<Vec<Point2>>>::decode_from(r)?,
+            halving: Halving::decode_from(r)?,
+        })
+    }
 }
 
 impl PointHierarchy {

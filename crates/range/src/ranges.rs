@@ -6,7 +6,7 @@ use ms_core::{Point2, Rect, Rng64};
 /// A closed halfplane `a·x + b·y ≤ c` — the VC-dimension-3 range family of
 /// §5 (rectangles have VC dimension 4; halfplanes are the other canonical
 /// family the merge-reduce framework covers).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Halfplane {
     /// Normal x component.
     pub a: f64,
@@ -14,6 +14,24 @@ pub struct Halfplane {
     pub b: f64,
     /// Offset.
     pub c: f64,
+}
+
+impl ms_core::Wire for Halfplane {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.a.encode_into(out);
+        self.b.encode_into(out);
+        self.c.encode_into(out);
+    }
+
+    fn decode_from(
+        r: &mut ms_core::WireReader<'_>,
+    ) -> std::result::Result<Self, ms_core::WireError> {
+        Ok(Halfplane {
+            a: f64::decode_from(r)?,
+            b: f64::decode_from(r)?,
+            c: f64::decode_from(r)?,
+        })
+    }
 }
 
 impl Halfplane {

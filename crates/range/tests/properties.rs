@@ -1,27 +1,30 @@
-//! Property tests for the merge-reduce ε-approximations.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//! Property tests for the merge-reduce ε-approximations, randomized over
+//! seeded point sets so failures reproduce.
 
 use ms_core::{Mergeable, Point2, Rect, Rng64, Summary};
 use ms_range::{EpsApprox1d, EpsApprox2d, Halving};
 
-fn points() -> impl Strategy<Value = Vec<Point2>> {
-    vec((-100.0f64..100.0, -100.0f64..100.0), 0..400)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new(x, y)).collect())
+const CASES: u64 = 64;
+
+fn points(rng: &mut Rng64, max_len: usize) -> Vec<Point2> {
+    let len = rng.below_usize(max_len);
+    (0..len)
+        .map(|_| Point2::new(rng.f64() * 200.0 - 100.0, rng.f64() * 200.0 - 100.0))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every halving keeps ⌊len/2⌋ or ⌈len/2⌉ points and only points from
-    /// the input.
-    #[test]
-    fn halvings_keep_half_a_subset(pts in points(), seed in any::<u64>()) {
+/// Every halving keeps ⌊len/2⌋ or ⌈len/2⌉ points and only points from
+/// the input.
+#[test]
+fn halvings_keep_half_a_subset() {
+    let mut outer = Rng64::new(0x2D_01);
+    for _ in 0..CASES {
+        let pts = points(&mut outer, 400);
+        let seed = outer.next_u64();
         for strategy in [Halving::Random, Halving::SortedX, Halving::Hilbert] {
             let mut rng = Rng64::new(seed);
             let kept = strategy.halve(pts.clone(), &mut rng);
-            prop_assert!(
+            assert!(
                 kept.len() == pts.len() / 2 || kept.len() == pts.len().div_ceil(2),
                 "{}: kept {} of {}",
                 strategy.label(),
@@ -31,60 +34,76 @@ proptest! {
             let mut pool = pts.clone();
             for p in &kept {
                 let pos = pool.iter().position(|q| q == p);
-                prop_assert!(pos.is_some(), "{} invented a point", strategy.label());
+                assert!(pos.is_some(), "{} invented a point", strategy.label());
                 pool.swap_remove(pos.unwrap());
             }
         }
     }
+}
 
-    /// The whole-bounding-box query counts all represented weight, which
-    /// stays within one halving-loss per level of the true n.
-    #[test]
-    fn total_weight_is_nearly_conserved(pts in points(), seed in any::<u64>()) {
+/// The whole-bounding-box query counts all represented weight, which
+/// stays within one halving-loss per level of the true n.
+#[test]
+fn total_weight_is_nearly_conserved() {
+    let mut outer = Rng64::new(0x2D_02);
+    for _ in 0..CASES {
+        let pts = points(&mut outer, 400);
+        let seed = outer.next_u64();
         let mut a = EpsApprox2d::new(16, Halving::Hilbert, seed);
         a.extend_from(pts.iter().copied());
-        prop_assert_eq!(a.total_weight(), pts.len() as u64);
+        assert_eq!(a.total_weight(), pts.len() as u64);
         if let Some(bbox) = Rect::bounding(&pts) {
             let est = a.estimate_count(&bbox);
             // Odd-size halvings may drop/duplicate one point per level.
             let slack = 16 * 8;
-            prop_assert!(
+            assert!(
                 est.abs_diff(pts.len() as u64) <= slack,
                 "estimate {est} vs n {}",
                 pts.len()
             );
         }
     }
+}
 
-    /// Merging conserves the input count exactly in `n` and the merged
-    /// summary answers with the same slack guarantee.
-    #[test]
-    fn merge_conserves_n(pts in points(), cut_ppm in 0u32..1_000_000) {
-        let cut = (pts.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+/// Merging conserves the input count exactly in `n` and the merged
+/// summary answers with the same slack guarantee.
+#[test]
+fn merge_conserves_n() {
+    let mut outer = Rng64::new(0x2D_03);
+    for _ in 0..CASES {
+        let pts = points(&mut outer, 400);
+        let cut_ppm = outer.below(1_000_000);
+        let cut = (pts.len() as u64 * cut_ppm / 1_000_000) as usize;
         let mk = |slice: &[Point2], seed| {
             let mut a = EpsApprox2d::new(32, Halving::SortedX, seed);
             a.extend_from(slice.iter().copied());
             a
         };
         let merged = mk(&pts[..cut], 1).merge(mk(&pts[cut..], 2)).unwrap();
-        prop_assert_eq!(merged.total_weight(), pts.len() as u64);
+        assert_eq!(merged.total_weight(), pts.len() as u64);
     }
+}
 
-    /// 1D: rank estimates are monotone and interval counts are consistent
-    /// with rank differences.
-    #[test]
-    fn one_d_rank_consistency(values in vec(-1000.0f64..1000.0, 1..500), seed in any::<u64>()) {
+/// 1D: rank estimates are monotone and interval counts are consistent
+/// with rank differences.
+#[test]
+fn one_d_rank_consistency() {
+    let mut outer = Rng64::new(0x2D_04);
+    for _ in 0..CASES {
+        let len = 1 + outer.below_usize(499);
+        let values: Vec<f64> = (0..len).map(|_| outer.f64() * 2000.0 - 1000.0).collect();
+        let seed = outer.next_u64();
         let mut a = EpsApprox1d::new(32, seed);
         a.extend_from(values.iter().copied());
         let mut prev = 0u64;
         for x in [-1000.0, -100.0, 0.0, 100.0, 1000.5] {
             let r = a.rank(x);
-            prop_assert!(r >= prev, "rank not monotone at {x}");
-            prop_assert!(r <= values.len() as u64);
+            assert!(r >= prev, "rank not monotone at {x}");
+            assert!(r <= values.len() as u64);
             prev = r;
         }
         // The full interval counts everything the structure stores.
         let all = a.estimate_count(-1000.0, 1000.0);
-        prop_assert!(all.abs_diff(values.len() as u64) <= 32 * 8);
+        assert!(all.abs_diff(values.len() as u64) <= 32 * 8);
     }
 }

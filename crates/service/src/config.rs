@@ -1,0 +1,181 @@
+//! Engine configuration: which summary family each shard maintains and how
+//! the sharded pipeline is sized.
+
+use ms_core::{Wire, WireError, WireReader};
+
+/// The summary family an engine maintains (one instance per shard plus the
+/// compacted global).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryKind {
+    /// Misra-Gries heavy hitters (§3.1).
+    Mg,
+    /// SpaceSaving heavy hitters (§3.2, isomorphic to MG).
+    SpaceSaving,
+    /// Hybrid quantiles, no advance knowledge of `n` (§4.3).
+    HybridQuantile,
+    /// Count-Min linear sketch.
+    CountMin,
+}
+
+impl SummaryKind {
+    /// Stable label used by the CLI and the bench tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SummaryKind::Mg => "mg",
+            SummaryKind::SpaceSaving => "space-saving",
+            SummaryKind::HybridQuantile => "hybrid-quantile",
+            SummaryKind::CountMin => "count-min",
+        }
+    }
+
+    /// Parse a label (as accepted by the CLI).
+    pub fn parse(s: &str) -> Option<SummaryKind> {
+        match s {
+            "mg" => Some(SummaryKind::Mg),
+            "space-saving" => Some(SummaryKind::SpaceSaving),
+            "hybrid-quantile" => Some(SummaryKind::HybridQuantile),
+            "count-min" => Some(SummaryKind::CountMin),
+            _ => None,
+        }
+    }
+
+    /// All four kinds, for tests and benches.
+    pub fn all() -> [SummaryKind; 4] {
+        [
+            SummaryKind::Mg,
+            SummaryKind::SpaceSaving,
+            SummaryKind::HybridQuantile,
+            SummaryKind::CountMin,
+        ]
+    }
+}
+
+impl Wire for SummaryKind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            SummaryKind::Mg => 0,
+            SummaryKind::SpaceSaving => 1,
+            SummaryKind::HybridQuantile => 2,
+            SummaryKind::CountMin => 3,
+        });
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        match r.byte()? {
+            0 => Ok(SummaryKind::Mg),
+            1 => Ok(SummaryKind::SpaceSaving),
+            2 => Ok(SummaryKind::HybridQuantile),
+            3 => Ok(SummaryKind::CountMin),
+            _ => Err(WireError::Malformed("unknown summary kind")),
+        }
+    }
+}
+
+/// Sizing and summary parameters for an [`crate::Engine`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Ingest worker threads, each owning a thread-local delta summary.
+    pub shards: usize,
+    /// Bounded depth of each worker's batch queue; a full queue blocks
+    /// [`crate::Engine::ingest`] (backpressure) and fails
+    /// [`crate::Engine::try_ingest`] (drop accounting).
+    pub queue_depth: usize,
+    /// Updates a worker absorbs into its delta before handing it to the
+    /// compactor and starting a fresh one.
+    pub delta_updates: usize,
+    /// Which summary family to maintain.
+    pub kind: SummaryKind,
+    /// Error parameter ε shared by every shard (merging requires it).
+    pub epsilon: f64,
+    /// Base RNG / hash seed. Linear sketches must share it across shards;
+    /// randomized quantile summaries fork it per shard.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// A config with sensible defaults for `kind` at `epsilon`.
+    pub fn new(kind: SummaryKind, epsilon: f64) -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_depth: 64,
+            delta_updates: 16_384,
+            kind,
+            epsilon,
+            seed: 0x5E1F,
+        }
+    }
+
+    /// Set the shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Set the per-worker queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Set the per-worker delta hand-off threshold.
+    pub fn delta_updates(mut self, updates: usize) -> Self {
+        self.delta_updates = updates;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the sizing parameters.
+    pub fn check(&self) -> std::result::Result<(), &'static str> {
+        if self.shards == 0 {
+            return Err("shards must be at least 1");
+        }
+        if self.queue_depth == 0 {
+            return Err("queue_depth must be at least 1");
+        }
+        if self.delta_updates == 0 {
+            return Err("delta_updates must be at least 1");
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err("epsilon must be in (0, 1)");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_roundtrip() {
+        for kind in SummaryKind::all() {
+            assert_eq!(SummaryKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(SummaryKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn kind_wire_roundtrip() {
+        for kind in SummaryKind::all() {
+            assert_eq!(SummaryKind::decode(&kind.encode()).unwrap(), kind);
+        }
+        assert!(SummaryKind::decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn config_checks_sizing() {
+        let good = ServiceConfig::new(SummaryKind::Mg, 0.01);
+        assert!(good.check().is_ok());
+        assert!(good.clone().shards(0).check().is_err());
+        assert!(good.clone().queue_depth(0).check().is_err());
+        assert!(good.clone().delta_updates(0).check().is_err());
+        let mut bad_eps = good.clone();
+        bad_eps.epsilon = 1.5;
+        assert!(bad_eps.check().is_err());
+    }
+}

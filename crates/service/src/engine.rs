@@ -1,0 +1,432 @@
+//! The sharded concurrent aggregation engine.
+//!
+//! Mergeability (PODS'12, Definition 1) is exactly what makes this design
+//! correct: each of `N` worker threads absorbs its slice of the stream into
+//! a thread-local *delta* summary, and a background compactor merges the
+//! deltas — in whatever order the scheduler produces them — into one global
+//! summary. Because the error guarantee survives arbitrary merge trees, the
+//! concurrent engine answers queries with the same `εn` bound as a
+//! single-threaded summary of the whole stream.
+//!
+//! Data flow:
+//!
+//! ```text
+//! ingest(batch) ──round-robin──▶ worker 0..N   (bounded queue, backpressure)
+//!                                │ local delta, handed off every
+//!                                │ `delta_updates` updates
+//!                                ▼
+//!                             compactor ── merge ──▶ global summary
+//!                                │ publish (epoch += 1)
+//!                                ▼
+//!                        Arc<Snapshot>  ◀── snapshot()/queries (lock-free
+//!                                           reads of an immutable value)
+//! ```
+//!
+//! Readers never block writers: a query clones the current `Arc<Snapshot>`
+//! under a briefly-held lock and then works on the immutable snapshot;
+//! the compactor builds the next snapshot off to the side and swaps the
+//! `Arc` in.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ms_core::{Mergeable, Summary};
+
+use crate::config::ServiceConfig;
+use crate::summary::ShardSummary;
+
+/// An immutable published view of the global summary.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Compaction epoch: how many publishes preceded this one.
+    pub epoch: u64,
+    /// The merged global summary as of this epoch.
+    pub summary: ShardSummary,
+    /// When this snapshot was published.
+    pub published_at: Instant,
+}
+
+/// Point-in-time engine counters, cheap to copy over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Updates ingested by the workers.
+    pub updates: u64,
+    /// Batches accepted onto worker queues.
+    pub batches: u64,
+    /// Batches rejected by [`Engine::try_ingest`] because a queue was full.
+    pub dropped: u64,
+    /// Delta merges the compactor performed.
+    pub merges: u64,
+    /// Epoch of the current snapshot.
+    pub epoch: u64,
+    /// Age of the current snapshot in microseconds.
+    pub snapshot_age_micros: u64,
+    /// Total weight visible in the current snapshot.
+    pub snapshot_weight: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    updates: AtomicU64,
+    batches: AtomicU64,
+    dropped: AtomicU64,
+    merges: AtomicU64,
+}
+
+enum WorkerMsg {
+    Batch(Vec<u64>),
+    Flush(Sender<()>),
+    Shutdown,
+}
+
+enum CompactMsg {
+    Delta(ShardSummary),
+    Publish(Sender<()>),
+}
+
+/// The engine: owns the worker and compactor threads. Cheap to share as
+/// `Arc<Engine>`; all public methods take `&self`.
+pub struct Engine {
+    cfg: ServiceConfig,
+    workers: Vec<SyncSender<WorkerMsg>>,
+    compact_tx: Mutex<Option<Sender<CompactMsg>>>,
+    snapshot: RwLock<Arc<Snapshot>>,
+    counters: Arc<Counters>,
+    next_shard: AtomicUsize,
+    stopped: AtomicBool,
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    compactor_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Start the worker and compactor threads for `cfg`.
+    pub fn start(cfg: ServiceConfig) -> Result<Arc<Engine>, &'static str> {
+        cfg.check()?;
+        let counters = Arc::new(Counters::default());
+        let (compact_tx, compact_rx) = mpsc::channel::<CompactMsg>();
+
+        let mut workers = Vec::with_capacity(cfg.shards);
+        let mut worker_handles = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(cfg.queue_depth);
+            workers.push(tx);
+            worker_handles.push(spawn_worker(
+                shard,
+                cfg.clone(),
+                rx,
+                compact_tx.clone(),
+                Arc::clone(&counters),
+            ));
+        }
+
+        let engine = Arc::new(Engine {
+            snapshot: RwLock::new(Arc::new(Snapshot {
+                epoch: 0,
+                summary: ShardSummary::new(&cfg, usize::MAX),
+                published_at: Instant::now(),
+            })),
+            cfg: cfg.clone(),
+            workers,
+            compact_tx: Mutex::new(Some(compact_tx)),
+            counters,
+            next_shard: AtomicUsize::new(0),
+            stopped: AtomicBool::new(false),
+            worker_handles: Mutex::new(worker_handles),
+            compactor_handle: Mutex::new(None),
+        });
+
+        let compactor = spawn_compactor(Arc::clone(&engine), compact_rx);
+        *engine.compactor_handle.lock().unwrap() = Some(compactor);
+        Ok(engine)
+    }
+
+    /// The configuration the engine was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Enqueue a batch on the next shard, blocking while its queue is full
+    /// (backpressure). Returns `false` if the engine is shut down.
+    pub fn ingest(&self, batch: Vec<u64>) -> bool {
+        if self.stopped.load(Ordering::Acquire) || batch.is_empty() {
+            return false;
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.workers.len();
+        if self.workers[shard].send(WorkerMsg::Batch(batch)).is_err() {
+            return false;
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Enqueue a batch without blocking. A full queue counts the batch as
+    /// dropped and returns `false`.
+    pub fn try_ingest(&self, batch: Vec<u64>) -> bool {
+        if self.stopped.load(Ordering::Acquire) || batch.is_empty() {
+            return false;
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.workers.len();
+        match self.workers[shard].try_send(WorkerMsg::Batch(batch)) {
+            Ok(()) => {
+                self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Force every worker to hand its delta to the compactor and publish a
+    /// fresh snapshot containing all data ingested before this call.
+    ///
+    /// Ordering argument: each worker pushes its delta onto the compactor
+    /// queue *before* acking, and the publish barrier is enqueued after all
+    /// acks, so the barrier drains behind every delta.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let mut waiting = 0;
+        for tx in &self.workers {
+            if tx.send(WorkerMsg::Flush(ack_tx.clone())).is_ok() {
+                waiting += 1;
+            }
+        }
+        drop(ack_tx);
+        for _ in 0..waiting {
+            let _ = ack_rx.recv();
+        }
+        let (pub_tx, pub_rx) = mpsc::channel();
+        let sent = {
+            let guard = self.compact_tx.lock().unwrap();
+            match guard.as_ref() {
+                Some(tx) => tx.send(CompactMsg::Publish(pub_tx)).is_ok(),
+                None => false,
+            }
+        };
+        if sent {
+            let _ = pub_rx.recv();
+        }
+    }
+
+    /// The current snapshot. The lock is held only to clone the `Arc`.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().unwrap())
+    }
+
+    fn publish(&self, summary: ShardSummary) {
+        let mut guard = self.snapshot.write().unwrap();
+        let epoch = guard.epoch + 1;
+        *guard = Arc::new(Snapshot {
+            epoch,
+            summary,
+            published_at: Instant::now(),
+        });
+    }
+
+    /// Current counters plus snapshot-derived gauges.
+    pub fn metrics(&self) -> MetricsReport {
+        let snap = self.snapshot();
+        MetricsReport {
+            updates: self.counters.updates.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            merges: self.counters.merges.load(Ordering::Relaxed),
+            epoch: snap.epoch,
+            snapshot_age_micros: snap.published_at.elapsed().as_micros() as u64,
+            snapshot_weight: snap.summary.total_weight(),
+        }
+    }
+
+    /// Drain everything, stop all threads, and return the final snapshot.
+    /// Idempotent; later calls just return the current snapshot.
+    pub fn shutdown(&self) -> Arc<Snapshot> {
+        if self.stopped.swap(true, Ordering::AcqRel) {
+            return self.snapshot();
+        }
+        // Drain workers: their Shutdown handler forwards any pending delta.
+        for tx in &self.workers {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        for handle in self.worker_handles.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+        // Publish whatever the compactor accumulated, then close its queue.
+        let (pub_tx, pub_rx) = mpsc::channel();
+        if let Some(tx) = self.compact_tx.lock().unwrap().take() {
+            if tx.send(CompactMsg::Publish(pub_tx)).is_ok() {
+                let _ = pub_rx.recv();
+            }
+        }
+        if let Some(handle) = self.compactor_handle.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        self.snapshot()
+    }
+}
+
+fn spawn_worker(
+    shard: usize,
+    cfg: ServiceConfig,
+    rx: Receiver<WorkerMsg>,
+    compact_tx: Sender<CompactMsg>,
+    counters: Arc<Counters>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("ms-worker-{shard}"))
+        .spawn(move || {
+            let mut delta = ShardSummary::new(&cfg, shard);
+            let mut pending = 0usize;
+            let hand_off = |delta: &mut ShardSummary, pending: &mut usize| {
+                if *pending > 0 {
+                    let full = std::mem::replace(delta, ShardSummary::new(&cfg, shard));
+                    let _ = compact_tx.send(CompactMsg::Delta(full));
+                    *pending = 0;
+                }
+            };
+            for msg in rx {
+                match msg {
+                    WorkerMsg::Batch(items) => {
+                        counters
+                            .updates
+                            .fetch_add(items.len() as u64, Ordering::Relaxed);
+                        pending += items.len();
+                        for item in items {
+                            delta.update(item);
+                        }
+                        if pending >= cfg.delta_updates {
+                            hand_off(&mut delta, &mut pending);
+                        }
+                    }
+                    WorkerMsg::Flush(ack) => {
+                        hand_off(&mut delta, &mut pending);
+                        let _ = ack.send(());
+                    }
+                    WorkerMsg::Shutdown => {
+                        hand_off(&mut delta, &mut pending);
+                        break;
+                    }
+                }
+            }
+        })
+        .expect("spawn worker thread")
+}
+
+fn spawn_compactor(engine: Arc<Engine>, rx: Receiver<CompactMsg>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("ms-compactor".to_string())
+        .spawn(move || {
+            let cfg = engine.cfg.clone();
+            let mut global = ShardSummary::new(&cfg, usize::MAX);
+            for msg in rx {
+                match msg {
+                    CompactMsg::Delta(delta) => {
+                        match global.clone().merge(delta) {
+                            Ok(merged) => global = merged,
+                            // Deltas come from ShardSummary::new under the
+                            // same config, so kinds/ε always match; a
+                            // failure here would be an engine bug. Keep the
+                            // previous global rather than poisoning it.
+                            Err(_) => continue,
+                        }
+                        engine.counters.merges.fetch_add(1, Ordering::Relaxed);
+                        engine.publish(global.clone());
+                    }
+                    CompactMsg::Publish(ack) => {
+                        engine.publish(global.clone());
+                        let _ = ack.send(());
+                    }
+                }
+            }
+        })
+        .expect("spawn compactor thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SummaryKind;
+
+    #[test]
+    fn ingest_flush_query_roundtrip() {
+        let engine = Engine::start(ServiceConfig::new(SummaryKind::Mg, 0.05).shards(2)).unwrap();
+        for chunk in (0..10_000u64).collect::<Vec<_>>().chunks(100) {
+            assert!(engine.ingest(chunk.iter().map(|&v| v % 10).collect()));
+        }
+        engine.flush();
+        let snap = engine.snapshot();
+        assert_eq!(snap.summary.total_weight(), 10_000);
+        assert!(snap.epoch >= 1);
+        let m = engine.metrics();
+        assert_eq!(m.updates, 10_000);
+        assert_eq!(m.batches, 100);
+        assert_eq!(m.dropped, 0);
+        assert_eq!(m.snapshot_weight, 10_000);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_deltas() {
+        let engine =
+            Engine::start(ServiceConfig::new(SummaryKind::CountMin, 0.01).shards(3)).unwrap();
+        for _ in 0..30 {
+            assert!(engine.ingest(vec![7; 50]));
+        }
+        // No flush: shutdown itself must make all 1500 updates visible.
+        let snap = engine.shutdown();
+        assert_eq!(snap.summary.total_weight(), 1500);
+        assert_eq!(snap.summary.point(7), Some(1500));
+        // Idempotent.
+        assert_eq!(engine.shutdown().summary.total_weight(), 1500);
+        assert!(!engine.ingest(vec![1]));
+    }
+
+    #[test]
+    fn try_ingest_counts_drops_when_queues_fill() {
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.1)
+            .shards(1)
+            .queue_depth(1);
+        let engine = Engine::start(cfg).unwrap();
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for _ in 0..2_000 {
+            if engine.try_ingest(vec![1; 512]) {
+                accepted += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        let m = engine.metrics();
+        assert_eq!(m.batches, accepted);
+        assert_eq!(m.dropped, rejected);
+        engine.shutdown();
+        assert_eq!(engine.metrics().updates, accepted * 512);
+    }
+
+    #[test]
+    fn epochs_advance_and_snapshots_are_immutable() {
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.05)
+            .shards(2)
+            .delta_updates(100);
+        let engine = Engine::start(cfg).unwrap();
+        engine.ingest((0..500).collect());
+        engine.flush();
+        let early = engine.snapshot();
+        engine.ingest((0..500).collect());
+        engine.flush();
+        let late = engine.snapshot();
+        assert!(late.epoch > early.epoch);
+        // The old snapshot still answers from its own epoch.
+        assert_eq!(early.summary.total_weight(), 500);
+        assert_eq!(late.summary.total_weight(), 1000);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(Engine::start(ServiceConfig::new(SummaryKind::Mg, 0.05).shards(0)).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Sharded concurrent streaming-aggregation service.
+//!
+//! This crate turns the paper's mergeability guarantee into a concurrent
+//! systems design. An [`Engine`] runs `N` ingest workers, each owning a
+//! thread-local **delta** summary of one of four families
+//! ([`SummaryKind`]); a background **compactor** merges handed-off deltas
+//! into a global summary and publishes immutable [`Snapshot`]s behind an
+//! `Arc`, so queries never block ingest. Because summaries are mergeable
+//! under *arbitrary* merge trees (PODS'12, Definition 1), the
+//! nondeterministic interleaving of shard hand-offs does not degrade the
+//! `εn` error bound — the differential tests in `tests/` check the
+//! concurrent engine against a single-threaded reference on the same
+//! stream.
+//!
+//! The [`server`] module adds a TCP front-end: [`Wire`]-encoded
+//! [`Request`]/[`Response`] values carried in `WireFrame`s
+//! (`ms_core::wire`), served by `mergeable serve` and exercised by
+//! `mergeable bench-client`.
+//!
+//! [`Wire`]: ms_core::Wire
+
+pub mod config;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+pub mod summary;
+
+pub use config::{ServiceConfig, SummaryKind};
+pub use engine::{Engine, MetricsReport, Snapshot};
+pub use protocol::{Request, Response, REQUEST_TAG, RESPONSE_TAG};
+pub use server::{dispatch, Client, Server};
+pub use summary::ShardSummary;

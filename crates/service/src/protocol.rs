@@ -1,0 +1,224 @@
+//! Request/response protocol: `Wire`-encoded values carried in
+//! [`WireFrame`]s over TCP (tag [`REQUEST_TAG`] client→server,
+//! [`RESPONSE_TAG`] server→client).
+
+use ms_core::{Wire, WireError, WireReader};
+
+use crate::engine::MetricsReport;
+
+/// Frame tag for client→server messages.
+pub const REQUEST_TAG: u8 = 0x10;
+/// Frame tag for server→client messages.
+pub const RESPONSE_TAG: u8 = 0x11;
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check; answered with [`Response::Ok`].
+    Ping,
+    /// Ingest a batch of items (blocking backpressure on the server side).
+    Ingest(Vec<u64>),
+    /// Publish a snapshot containing everything ingested so far.
+    Flush,
+    /// Estimated frequency of an item.
+    Point(u64),
+    /// Items with estimated frequency ≥ φ·n.
+    HeavyHitters(f64),
+    /// Estimated rank of a value.
+    Rank(u64),
+    /// Estimated φ-quantile.
+    Quantile(f64),
+    /// Engine counters and snapshot gauges.
+    Metrics,
+    /// The full global summary, binary-encoded.
+    Summary,
+}
+
+impl Wire for Request {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Ping => out.push(0),
+            Request::Ingest(items) => {
+                out.push(1);
+                items.encode_into(out);
+            }
+            Request::Flush => out.push(2),
+            Request::Point(item) => {
+                out.push(3);
+                item.encode_into(out);
+            }
+            Request::HeavyHitters(phi) => {
+                out.push(4);
+                phi.encode_into(out);
+            }
+            Request::Rank(x) => {
+                out.push(5);
+                x.encode_into(out);
+            }
+            Request::Quantile(phi) => {
+                out.push(6);
+                phi.encode_into(out);
+            }
+            Request::Metrics => out.push(7),
+            Request::Summary => out.push(8),
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(match r.byte()? {
+            0 => Request::Ping,
+            1 => Request::Ingest(Vec::decode_from(r)?),
+            2 => Request::Flush,
+            3 => Request::Point(u64::decode_from(r)?),
+            4 => Request::HeavyHitters(f64::decode_from(r)?),
+            5 => Request::Rank(u64::decode_from(r)?),
+            6 => Request::Quantile(f64::decode_from(r)?),
+            7 => Request::Metrics,
+            8 => Request::Summary,
+            _ => return Err(WireError::Malformed("unknown request opcode")),
+        })
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Acknowledgement with no payload.
+    Ok,
+    /// A count (point estimate or rank).
+    Count(u64),
+    /// Heavy-hitter items with estimated counts.
+    Items(Vec<(u64, u64)>),
+    /// A quantile value; `None` if the summary is empty.
+    Value(Option<u64>),
+    /// Engine metrics.
+    Metrics(MetricsReport),
+    /// The encoded global summary.
+    Summary(Vec<u8>),
+    /// The request could not be served (e.g. a rank query against a
+    /// heavy-hitter engine).
+    Error(String),
+}
+
+impl Wire for Response {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Ok => out.push(0),
+            Response::Count(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+            Response::Items(items) => {
+                out.push(2);
+                items.encode_into(out);
+            }
+            Response::Value(v) => {
+                out.push(3);
+                v.encode_into(out);
+            }
+            Response::Metrics(m) => {
+                out.push(4);
+                m.encode_into(out);
+            }
+            Response::Summary(bytes) => {
+                out.push(5);
+                bytes.encode_into(out);
+            }
+            Response::Error(msg) => {
+                out.push(6);
+                msg.encode_into(out);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(match r.byte()? {
+            0 => Response::Ok,
+            1 => Response::Count(u64::decode_from(r)?),
+            2 => Response::Items(Vec::decode_from(r)?),
+            3 => Response::Value(Option::decode_from(r)?),
+            4 => Response::Metrics(MetricsReport::decode_from(r)?),
+            5 => Response::Summary(Vec::decode_from(r)?),
+            6 => Response::Error(String::decode_from(r)?),
+            _ => return Err(WireError::Malformed("unknown response opcode")),
+        })
+    }
+}
+
+impl Wire for MetricsReport {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.updates.encode_into(out);
+        self.batches.encode_into(out);
+        self.dropped.encode_into(out);
+        self.merges.encode_into(out);
+        self.epoch.encode_into(out);
+        self.snapshot_age_micros.encode_into(out);
+        self.snapshot_weight.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(MetricsReport {
+            updates: u64::decode_from(r)?,
+            batches: u64::decode_from(r)?,
+            dropped: u64::decode_from(r)?,
+            merges: u64::decode_from(r)?,
+            epoch: u64::decode_from(r)?,
+            snapshot_age_micros: u64::decode_from(r)?,
+            snapshot_weight: u64::decode_from(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = [
+            Request::Ping,
+            Request::Ingest(vec![1, 2, 3, u64::MAX]),
+            Request::Flush,
+            Request::Point(42),
+            Request::HeavyHitters(0.01),
+            Request::Rank(7),
+            Request::Quantile(0.5),
+            Request::Metrics,
+            Request::Summary,
+        ];
+        for req in cases {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = [
+            Response::Ok,
+            Response::Count(99),
+            Response::Items(vec![(1, 10), (2, 20)]),
+            Response::Value(None),
+            Response::Value(Some(123)),
+            Response::Metrics(MetricsReport {
+                updates: 1,
+                batches: 2,
+                dropped: 3,
+                merges: 4,
+                epoch: 5,
+                snapshot_age_micros: 6,
+                snapshot_weight: 7,
+            }),
+            Response::Summary(vec![0xAB; 16]),
+            Response::Error("nope".into()),
+        ];
+        for resp in cases {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn bad_opcodes_rejected() {
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Response::decode(&[99]).is_err());
+    }
+}

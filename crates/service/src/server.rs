@@ -1,0 +1,278 @@
+//! Blocking TCP server and client for the engine, framed with
+//! [`WireFrame`] (`std::net` only — one thread per connection, graceful
+//! shutdown via a stop flag plus a wake-up connection).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ms_core::{Wire, WireFrame};
+
+use crate::engine::{Engine, MetricsReport};
+use crate::protocol::{Request, Response, REQUEST_TAG, RESPONSE_TAG};
+
+/// A running TCP front-end over an [`Engine`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    engine: Arc<Engine>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// accepting connections, each served by its own thread.
+    pub fn bind(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_engine = Arc::clone(&engine);
+        let accept_handle = std::thread::Builder::new()
+            .name("ms-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let engine = Arc::clone(&accept_engine);
+                    let _ = std::thread::Builder::new()
+                        .name("ms-conn".to_string())
+                        .spawn(move || serve_connection(stream, engine));
+                }
+            })?;
+        Ok(Server {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            engine,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stop accepting connections and shut the engine down. In-flight
+    /// connection threads finish their current request and exit when the
+    /// peer closes.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throw-away connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.engine.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, engine: Arc<Engine>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match WireFrame::read_from(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF or a broken peer: either way this connection is done.
+            Ok(None) | Err(_) => return,
+        };
+        let response = match decode_request(&frame) {
+            Ok(request) => dispatch(&engine, request),
+            Err(e) => Response::Error(format!("bad request: {e:?}")),
+        };
+        let out = WireFrame::from_value(RESPONSE_TAG, &response);
+        if out.write_to(&mut stream).is_err() {
+            return;
+        }
+    }
+}
+
+fn decode_request(frame: &WireFrame) -> Result<Request, ms_core::WireError> {
+    if frame.tag != REQUEST_TAG {
+        return Err(ms_core::WireError::BadTag(frame.tag));
+    }
+    frame.value::<Request>()
+}
+
+/// Serve one request against the engine. Public so tests and the CLI can
+/// exercise the protocol without a socket.
+pub fn dispatch(engine: &Engine, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Ok,
+        Request::Ingest(items) => {
+            if engine.ingest(items) {
+                Response::Ok
+            } else {
+                Response::Error("engine is shut down".into())
+            }
+        }
+        Request::Flush => {
+            engine.flush();
+            Response::Ok
+        }
+        Request::Point(item) => match engine.snapshot().summary.point(item) {
+            Some(count) => Response::Count(count),
+            None => Response::Error(unsupported(engine, "point")),
+        },
+        Request::HeavyHitters(phi) => match engine.snapshot().summary.heavy_hitters(phi) {
+            Some(items) => Response::Items(items),
+            None => Response::Error(unsupported(engine, "heavy-hitters")),
+        },
+        Request::Rank(x) => match engine.snapshot().summary.rank(x) {
+            Some(rank) => Response::Count(rank),
+            None => Response::Error(unsupported(engine, "rank")),
+        },
+        Request::Quantile(phi) => match engine.snapshot().summary.quantile(phi) {
+            Some(value) => Response::Value(value),
+            None => Response::Error(unsupported(engine, "quantile")),
+        },
+        Request::Metrics => Response::Metrics(engine.metrics()),
+        Request::Summary => Response::Summary(engine.snapshot().summary.encode()),
+    }
+}
+
+fn unsupported(engine: &Engine, query: &str) -> String {
+    format!(
+        "{query} queries are not supported by a {} engine",
+        engine.config().kind.label()
+    )
+}
+
+/// Blocking client speaking the framed request/response protocol.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        WireFrame::from_value(REQUEST_TAG, request).write_to(&mut self.stream)?;
+        let frame = WireFrame::read_from(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        if frame.tag != RESPONSE_TAG {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected frame tag {:#x}", frame.tag),
+            ));
+        }
+        frame
+            .value::<Response>()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+
+    /// Ingest a batch, erroring on a server-side failure.
+    pub fn ingest(&mut self, items: Vec<u64>) -> io::Result<()> {
+        match self.call(&Request::Ingest(items))? {
+            Response::Ok => Ok(()),
+            other => Err(protocol_error(other)),
+        }
+    }
+
+    /// Flush the engine so later queries see all prior ingests.
+    pub fn flush(&mut self) -> io::Result<()> {
+        match self.call(&Request::Flush)? {
+            Response::Ok => Ok(()),
+            other => Err(protocol_error(other)),
+        }
+    }
+
+    /// Fetch engine metrics.
+    pub fn metrics(&mut self) -> io::Result<MetricsReport> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            other => Err(protocol_error(other)),
+        }
+    }
+}
+
+fn protocol_error(response: Response) -> io::Error {
+    let msg = match response {
+        Response::Error(m) => m,
+        other => format!("unexpected response {other:?}"),
+    };
+    io::Error::other(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ServiceConfig, SummaryKind};
+    use crate::summary::ShardSummary;
+    use ms_core::Summary;
+
+    fn mg_server() -> Server {
+        let engine = Engine::start(ServiceConfig::new(SummaryKind::Mg, 0.02).shards(2)).unwrap();
+        Server::bind(engine, "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn tcp_ingest_flush_query() {
+        let server = mg_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Ok);
+        for _ in 0..20 {
+            client.ingest((0..100).map(|v| v % 5).collect()).unwrap();
+        }
+        client.flush().unwrap();
+        match client.call(&Request::HeavyHitters(0.1)).unwrap() {
+            Response::Items(items) => {
+                assert_eq!(items.len(), 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let m = client.metrics().unwrap();
+        assert_eq!(m.updates, 2000);
+        assert_eq!(m.snapshot_weight, 2000);
+        server.stop();
+    }
+
+    #[test]
+    fn summary_request_ships_decodable_codec_bytes() {
+        let server = mg_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.ingest(vec![9; 500]).unwrap();
+        client.flush().unwrap();
+        let bytes = match client.call(&Request::Summary).unwrap() {
+            Response::Summary(bytes) => bytes,
+            other => panic!("unexpected {other:?}"),
+        };
+        let summary = ShardSummary::decode(&bytes).unwrap();
+        assert_eq!(summary.total_weight(), 500);
+        assert_eq!(summary.point(9), Some(500));
+        server.stop();
+    }
+
+    #[test]
+    fn unsupported_queries_return_protocol_errors() {
+        let server = mg_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        match client.call(&Request::Rank(3)).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("rank")),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn stop_shuts_engine_down() {
+        let server = mg_server();
+        let engine = Arc::clone(server.engine());
+        server.stop();
+        assert!(!engine.ingest(vec![1]));
+    }
+}

@@ -1,0 +1,278 @@
+//! Runtime-dispatched summary: one enum over the four families the engine
+//! can maintain, so shards, the compactor, and the wire protocol handle any
+//! configured kind uniformly.
+
+use ms_core::{
+    ItemSummary, Json, MergeError, Mergeable, Summary, ToJson, Wire, WireError, WireReader,
+};
+use ms_frequency::{MgSummary, SpaceSavingSummary};
+use ms_quantiles::{HybridQuantile, RankSummary};
+use ms_sketches::CountMinSketch;
+
+use crate::config::{ServiceConfig, SummaryKind};
+
+/// A summary of one of the engine's four families, over `u64` items.
+#[derive(Debug, Clone)]
+pub enum ShardSummary {
+    /// Misra-Gries heavy hitters.
+    Mg(MgSummary<u64>),
+    /// SpaceSaving heavy hitters.
+    SpaceSaving(SpaceSavingSummary<u64>),
+    /// Hybrid quantile summary.
+    HybridQuantile(HybridQuantile<u64>),
+    /// Count-Min sketch.
+    CountMin(CountMinSketch<u64>),
+}
+
+impl ShardSummary {
+    /// A fresh, empty summary for `shard` under `cfg`.
+    ///
+    /// Linear sketches share `cfg.seed` across shards (merging requires the
+    /// same hash family); the randomized quantile summary gets a distinct
+    /// per-shard seed so shard RNG streams are independent.
+    pub fn new(cfg: &ServiceConfig, shard: usize) -> Self {
+        match cfg.kind {
+            SummaryKind::Mg => ShardSummary::Mg(MgSummary::for_epsilon(cfg.epsilon)),
+            SummaryKind::SpaceSaving => {
+                ShardSummary::SpaceSaving(SpaceSavingSummary::for_epsilon(cfg.epsilon))
+            }
+            SummaryKind::HybridQuantile => ShardSummary::HybridQuantile(HybridQuantile::new(
+                cfg.epsilon,
+                cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )),
+            SummaryKind::CountMin => ShardSummary::CountMin(CountMinSketch::for_epsilon_delta(
+                cfg.epsilon,
+                0.01,
+                cfg.seed,
+            )),
+        }
+    }
+
+    /// Which family this summary belongs to.
+    pub fn kind(&self) -> SummaryKind {
+        match self {
+            ShardSummary::Mg(_) => SummaryKind::Mg,
+            ShardSummary::SpaceSaving(_) => SummaryKind::SpaceSaving,
+            ShardSummary::HybridQuantile(_) => SummaryKind::HybridQuantile,
+            ShardSummary::CountMin(_) => SummaryKind::CountMin,
+        }
+    }
+
+    /// Insert one occurrence of `item`.
+    pub fn update(&mut self, item: u64) {
+        match self {
+            ShardSummary::Mg(s) => s.update(item),
+            ShardSummary::SpaceSaving(s) => s.update(item),
+            ShardSummary::HybridQuantile(s) => s.insert(item),
+            ShardSummary::CountMin(s) => s.update(item),
+        }
+    }
+
+    /// Estimated frequency of `item`. `None` for quantile summaries, which
+    /// do not answer point queries.
+    pub fn point(&self, item: u64) -> Option<u64> {
+        match self {
+            ShardSummary::Mg(s) => Some(s.estimate(&item)),
+            ShardSummary::SpaceSaving(s) => Some(s.estimate(&item)),
+            ShardSummary::HybridQuantile(_) => None,
+            ShardSummary::CountMin(s) => Some(s.estimate(&item)),
+        }
+    }
+
+    /// Items with estimated frequency ≥ φ·n. `None` for families that
+    /// cannot enumerate candidates (Count-Min, quantiles).
+    pub fn heavy_hitters(&self, phi: f64) -> Option<Vec<(u64, u64)>> {
+        match self {
+            ShardSummary::Mg(s) => Some(s.heavy_hitters(phi)),
+            ShardSummary::SpaceSaving(s) => Some(s.heavy_hitters(phi)),
+            ShardSummary::HybridQuantile(_) | ShardSummary::CountMin(_) => None,
+        }
+    }
+
+    /// Estimated rank of `x` (values strictly below). Quantile summaries
+    /// only.
+    pub fn rank(&self, x: u64) -> Option<u64> {
+        match self {
+            ShardSummary::HybridQuantile(s) => Some(s.rank(&x)),
+            _ => None,
+        }
+    }
+
+    /// Estimated φ-quantile. Quantile summaries only; inner `None` means
+    /// the summary is empty.
+    pub fn quantile(&self, phi: f64) -> Option<Option<u64>> {
+        match self {
+            ShardSummary::HybridQuantile(s) => Some(s.quantile(phi)),
+            _ => None,
+        }
+    }
+}
+
+impl Summary for ShardSummary {
+    fn total_weight(&self) -> u64 {
+        match self {
+            ShardSummary::Mg(s) => s.total_weight(),
+            ShardSummary::SpaceSaving(s) => s.total_weight(),
+            ShardSummary::HybridQuantile(s) => s.count(),
+            ShardSummary::CountMin(s) => s.total_weight(),
+        }
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            ShardSummary::Mg(s) => s.size(),
+            ShardSummary::SpaceSaving(s) => s.size(),
+            ShardSummary::HybridQuantile(s) => s.size(),
+            ShardSummary::CountMin(s) => s.size(),
+        }
+    }
+}
+
+impl Mergeable for ShardSummary {
+    fn merge(self, other: Self) -> ms_core::Result<Self> {
+        match (self, other) {
+            (ShardSummary::Mg(a), ShardSummary::Mg(b)) => Ok(ShardSummary::Mg(a.merge(b)?)),
+            (ShardSummary::SpaceSaving(a), ShardSummary::SpaceSaving(b)) => {
+                Ok(ShardSummary::SpaceSaving(a.merge(b)?))
+            }
+            (ShardSummary::HybridQuantile(a), ShardSummary::HybridQuantile(b)) => {
+                Ok(ShardSummary::HybridQuantile(a.merge(b)?))
+            }
+            (ShardSummary::CountMin(a), ShardSummary::CountMin(b)) => {
+                Ok(ShardSummary::CountMin(a.merge(b)?))
+            }
+            _ => Err(MergeError::Incompatible(
+                "cannot merge summaries of different kinds",
+            )),
+        }
+    }
+}
+
+impl Wire for ShardSummary {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.kind().encode_into(out);
+        match self {
+            ShardSummary::Mg(s) => s.encode_into(out),
+            ShardSummary::SpaceSaving(s) => s.encode_into(out),
+            ShardSummary::HybridQuantile(s) => s.encode_into(out),
+            ShardSummary::CountMin(s) => s.encode_into(out),
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(match SummaryKind::decode_from(r)? {
+            SummaryKind::Mg => ShardSummary::Mg(MgSummary::decode_from(r)?),
+            SummaryKind::SpaceSaving => {
+                ShardSummary::SpaceSaving(SpaceSavingSummary::decode_from(r)?)
+            }
+            SummaryKind::HybridQuantile => {
+                ShardSummary::HybridQuantile(HybridQuantile::decode_from(r)?)
+            }
+            SummaryKind::CountMin => ShardSummary::CountMin(CountMinSketch::decode_from(r)?),
+        })
+    }
+}
+
+impl ToJson for ShardSummary {
+    fn to_json(&self) -> Json {
+        let inner = match self {
+            ShardSummary::Mg(s) => s.to_json(),
+            ShardSummary::SpaceSaving(s) => s.to_json(),
+            ShardSummary::HybridQuantile(s) => s.to_json(),
+            ShardSummary::CountMin(s) => s.to_json(),
+        };
+        Json::obj([
+            ("kind", Json::Str(self.kind().label().to_string())),
+            ("summary", inner),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(kind: SummaryKind) -> ShardSummary {
+        let cfg = ServiceConfig::new(kind, 0.05);
+        let mut s = ShardSummary::new(&cfg, 0);
+        // Skewed so heavy-hitter summaries retain counters (a uniform
+        // stream below n/(k+1) per item may legitimately empty MG).
+        for i in 0..500u64 {
+            s.update(i % 7);
+        }
+        s
+    }
+
+    #[test]
+    fn update_and_weight_for_every_kind() {
+        for kind in SummaryKind::all() {
+            let s = filled(kind);
+            assert_eq!(s.kind(), kind);
+            assert_eq!(s.total_weight(), 500);
+            assert!(s.size() > 0);
+        }
+    }
+
+    #[test]
+    fn queries_dispatch_by_family() {
+        let mg = filled(SummaryKind::Mg);
+        assert!(mg.point(0).is_some());
+        assert!(mg.heavy_hitters(0.01).is_some());
+        assert!(mg.rank(10).is_none());
+        assert!(mg.quantile(0.5).is_none());
+
+        let hq = filled(SummaryKind::HybridQuantile);
+        assert!(hq.point(0).is_none());
+        assert!(hq.heavy_hitters(0.01).is_none());
+        assert!(hq.rank(10).is_some());
+        assert!(hq.quantile(0.5).unwrap().is_some());
+
+        let cm = filled(SummaryKind::CountMin);
+        assert!(cm.point(0).is_some());
+        assert!(cm.heavy_hitters(0.01).is_none());
+    }
+
+    #[test]
+    fn merge_same_kind_adds_weight() {
+        for kind in SummaryKind::all() {
+            let merged = filled(kind).merge(filled(kind)).unwrap();
+            assert_eq!(merged.total_weight(), 1000, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn merge_kind_mismatch_errors() {
+        let err = filled(SummaryKind::Mg)
+            .merge(filled(SummaryKind::CountMin))
+            .unwrap_err();
+        assert!(matches!(err, MergeError::Incompatible(_)));
+    }
+
+    #[test]
+    fn wire_roundtrip_every_kind() {
+        for kind in SummaryKind::all() {
+            let s = filled(kind);
+            let back = ShardSummary::decode(&s.encode()).unwrap();
+            assert_eq!(back.kind(), kind);
+            assert_eq!(back.total_weight(), s.total_weight());
+            assert_eq!(back.size(), s.size(), "{}", kind.label());
+            // Losslessness: every query answers identically after a trip
+            // through the codec.
+            for item in 0..10 {
+                assert_eq!(back.point(item), s.point(item), "{}", kind.label());
+                assert_eq!(back.rank(item), s.rank(item), "{}", kind.label());
+            }
+            assert_eq!(
+                back.heavy_hitters(0.05).map(|mut h| {
+                    h.sort_unstable();
+                    h
+                }),
+                s.heavy_hitters(0.05).map(|mut h| {
+                    h.sort_unstable();
+                    h
+                })
+            );
+            assert_eq!(back.quantile(0.5), s.quantile(0.5));
+        }
+    }
+}

@@ -13,13 +13,13 @@ use std::hash::Hash;
 use std::marker::PhantomData;
 
 use ms_core::error::ensure_same_capacity;
+use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{ItemSummary, MergeError, Mergeable, Result, Summary};
 
 use crate::hashing::{fingerprint, FourwiseHash};
 
 /// AMS F₂ sketch over items of type `I`.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-#[serde(bound = "")]
+#[derive(Debug, Clone)]
 pub struct AmsF2Sketch<I> {
     width: usize,
     depth: usize,
@@ -28,6 +28,34 @@ pub struct AmsF2Sketch<I> {
     cells: Vec<i64>,
     n: u64,
     _marker: PhantomData<fn(&I)>,
+}
+
+impl<I: Hash> Wire for AmsF2Sketch<I> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // Sign hashes are derived from (width·depth, seed).
+        self.width.encode_into(out);
+        self.depth.encode_into(out);
+        self.seed.encode_into(out);
+        self.cells.encode_into(out);
+        self.n.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let width = usize::decode_from(r)?;
+        let depth = usize::decode_from(r)?;
+        if width == 0 || depth == 0 {
+            return Err(WireError::Malformed("sketch dimensions must be positive"));
+        }
+        let seed = u64::decode_from(r)?;
+        let cells = Vec::<i64>::decode_from(r)?;
+        if cells.len() != width * depth {
+            return Err(WireError::Malformed("sketch table has the wrong shape"));
+        }
+        let mut sketch = AmsF2Sketch::<I>::new(width, depth, seed);
+        sketch.cells = cells;
+        sketch.n = u64::decode_from(r)?;
+        Ok(sketch)
+    }
 }
 
 impl<I: Hash> AmsF2Sketch<I> {

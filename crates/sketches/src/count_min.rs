@@ -14,7 +14,8 @@ use std::hash::Hash;
 use std::marker::PhantomData;
 
 use ms_core::error::ensure_same_capacity;
-use ms_core::{ItemSummary, MergeError, Mergeable, Result, Summary};
+use ms_core::wire::{Wire, WireError, WireReader};
+use ms_core::{ItemSummary, Json, MergeError, Mergeable, Result, Summary, ToJson};
 
 use crate::hashing::{fingerprint, PairwiseHash};
 
@@ -32,8 +33,7 @@ use crate::hashing::{fingerprint, PairwiseHash};
 /// let merged = a.merge(b).unwrap();
 /// assert!(merged.estimate(&"login") >= 15); // never underestimates
 /// ```
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-#[serde(bound = "")]
+#[derive(Debug, Clone)]
 pub struct CountMinSketch<I> {
     width: usize,
     depth: usize,
@@ -42,6 +42,47 @@ pub struct CountMinSketch<I> {
     table: Vec<u64>,
     n: u64,
     _marker: PhantomData<fn(&I)>,
+}
+
+impl<I: Hash> Wire for CountMinSketch<I> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // The row hashes are derived from (depth, seed) and are rebuilt on
+        // decode, so only the scalars and the table travel.
+        self.width.encode_into(out);
+        self.depth.encode_into(out);
+        self.seed.encode_into(out);
+        self.table.encode_into(out);
+        self.n.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        let width = usize::decode_from(r)?;
+        let depth = usize::decode_from(r)?;
+        if width == 0 || depth == 0 {
+            return Err(WireError::Malformed("sketch dimensions must be positive"));
+        }
+        let seed = u64::decode_from(r)?;
+        let table = Vec::<u64>::decode_from(r)?;
+        if table.len() != width * depth {
+            return Err(WireError::Malformed("sketch table has the wrong shape"));
+        }
+        let mut sketch = CountMinSketch::<I>::new(width, depth, seed);
+        sketch.table = table;
+        sketch.n = u64::decode_from(r)?;
+        Ok(sketch)
+    }
+}
+
+impl<I> ToJson for CountMinSketch<I> {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("width", Json::U64(self.width as u64)),
+            ("depth", Json::U64(self.depth as u64)),
+            ("seed", Json::U64(self.seed)),
+            ("table", Json::arr(self.table.iter().copied())),
+            ("n", Json::U64(self.n)),
+        ])
+    }
 }
 
 impl<I: Hash> CountMinSketch<I> {

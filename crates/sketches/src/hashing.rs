@@ -46,24 +46,6 @@ pub struct PolyHash<const K: usize> {
     coeffs: [u64; K],
 }
 
-// serde lacks blanket impls for const-generic arrays, so the coefficient
-// vector round-trips through a slice/Vec with an explicit length check.
-impl<const K: usize> serde::Serialize for PolyHash<K> {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.coeffs.as_slice().serialize(serializer)
-    }
-}
-
-impl<'de, const K: usize> serde::Deserialize<'de> for PolyHash<K> {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let v: Vec<u64> = Vec::deserialize(deserializer)?;
-        let coeffs: [u64; K] = v
-            .try_into()
-            .map_err(|_| serde::de::Error::custom("wrong polynomial degree"))?;
-        Ok(PolyHash { coeffs })
-    }
-}
-
 impl<const K: usize> PolyHash<K> {
     /// Draw a random member of the family from `seed`.
     pub fn new(seed: u64) -> Self {

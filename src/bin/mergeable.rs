@@ -1,18 +1,24 @@
-//! `mergeable` — build, merge and query mergeable summaries from the
-//! command line.
+//! `mergeable` — build, merge, query and serve mergeable summaries from
+//! the command line.
 //!
-//! Summaries are stored as JSON envelopes (`{"kind": …, "summary": …}`), so
-//! a fleet of machines can each `build` a summary of their local data,
-//! ship the files anywhere, and any machine can `merge` them and `query`
-//! the result — the command-line rendition of the paper's model.
+//! Summaries are stored as binary wire frames (magic `MS`, codec version,
+//! a tag byte, then the summary's compact encoding), so a fleet of
+//! machines can each `build` a summary of their local data, ship the
+//! files anywhere, and any machine can `merge` them and `query` the
+//! result — the command-line rendition of the paper's model. `serve`
+//! runs the sharded concurrent aggregation engine behind a TCP front-end
+//! speaking the same codec, and `bench-client` drives it.
 //!
 //! ```text
-//! mergeable build --kind mg --epsilon 0.01 --out site1.json  < site1.txt
-//! mergeable build --kind mg --epsilon 0.01 --out site2.json  < site2.txt
-//! mergeable merge site1.json site2.json --out all.json
-//! mergeable query all.json --heavy-hitters 0.01
-//! mergeable query all.json --estimate 42
-//! mergeable info all.json
+//! mergeable build --kind mg --epsilon 0.01 --out site1.ms  < site1.txt
+//! mergeable build --kind mg --epsilon 0.01 --out site2.ms  < site2.txt
+//! mergeable merge site1.ms site2.ms --out all.ms
+//! mergeable query all.ms --heavy-hitters 0.01
+//! mergeable query all.ms --estimate 42
+//! mergeable info all.ms
+//!
+//! mergeable serve --kind mg --epsilon 0.01 --addr 127.0.0.1:7433
+//! mergeable bench-client --addr 127.0.0.1:7433 --items 1000000
 //! ```
 //!
 //! Input data is one unsigned integer per line (blank lines ignored).
@@ -20,16 +26,22 @@
 use std::fs;
 use std::io::{BufRead, BufReader, Read};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use mergeable_summaries::core::{ItemSummary, Mergeable, Summary};
+use mergeable_summaries::core::{
+    ItemSummary, Mergeable, Summary, Wire, WireError, WireFrame, WireReader,
+};
 use mergeable_summaries::quantiles::RankSummary;
+use mergeable_summaries::service::{Engine, Request, Response, Server, ServiceConfig, SummaryKind};
+use mergeable_summaries::workloads::StreamKind;
 use mergeable_summaries::{
     BottomKSample, CountMinSketch, HybridQuantile, MgSummary, SpaceSavingSummary,
 };
 
+/// Frame tag for a summary file produced by `build`/`merge`.
+const SUMMARY_TAG: u8 = 0x01;
+
 /// The on-disk envelope: every supported summary, tagged by kind.
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(tag = "kind", content = "summary", rename_all = "kebab-case")]
 enum AnySummary {
     Mg(MgSummary<u64>),
     SpaceSaving(SpaceSavingSummary<u64>),
@@ -100,6 +112,44 @@ impl AnySummary {
     }
 }
 
+impl Wire for AnySummary {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            AnySummary::Mg(s) => {
+                out.push(1);
+                s.encode_into(out);
+            }
+            AnySummary::SpaceSaving(s) => {
+                out.push(2);
+                s.encode_into(out);
+            }
+            AnySummary::CountMin(s) => {
+                out.push(3);
+                s.encode_into(out);
+            }
+            AnySummary::HybridQuantile(s) => {
+                out.push(4);
+                s.encode_into(out);
+            }
+            AnySummary::BottomK(s) => {
+                out.push(5);
+                s.encode_into(out);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(match r.byte()? {
+            1 => AnySummary::Mg(MgSummary::decode_from(r)?),
+            2 => AnySummary::SpaceSaving(SpaceSavingSummary::decode_from(r)?),
+            3 => AnySummary::CountMin(CountMinSketch::decode_from(r)?),
+            4 => AnySummary::HybridQuantile(HybridQuantile::decode_from(r)?),
+            5 => AnySummary::BottomK(BottomKSample::decode_from(r)?),
+            _ => return Err(WireError::Malformed("unknown summary kind")),
+        })
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -117,6 +167,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("merge") => cmd_merge(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-client") => cmd_bench_client(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -126,13 +178,15 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 const USAGE: &str = "\
-mergeable — build, merge and query mergeable summaries (PODS'12)
+mergeable — build, merge, query and serve mergeable summaries (PODS'12)
 
 USAGE:
   mergeable build --kind KIND --epsilon E [--seed S] [--input FILE] --out FILE
   mergeable merge FILE... --out FILE
   mergeable query FILE (--heavy-hitters E | --estimate ITEM | --quantile PHI | --rank X)
   mergeable info FILE
+  mergeable serve --kind KIND --epsilon E [--addr A] [--shards N] [--seed S]
+  mergeable bench-client --addr A [--items N] [--batch B] [--seed S] [--zipf S]
 
 KINDS:
   mg               Misra-Gries heavy hitters (deterministic, freq error <= eps*n)
@@ -140,6 +194,12 @@ KINDS:
   count-min        Count-Min sketch (probabilistic overestimate)
   hybrid-quantile  fully mergeable quantile summary (rank error <= eps*n whp)
   bottom-k         uniform sample of ceil(1/eps^2) values (quantile baseline)
+
+Summary files are binary wire frames (the same codec the TCP protocol
+uses). `serve` runs the sharded concurrent engine (mg, space-saving,
+count-min or hybrid-quantile) on A (default 127.0.0.1:7433) until stdin
+closes; `bench-client` streams a seeded Zipf workload at it and reports
+throughput and engine metrics.
 
 Input data: one unsigned integer per line (stdin unless --input is given).
 ";
@@ -178,25 +238,38 @@ fn read_items(input: Option<String>) -> Result<Vec<u64>, String> {
 }
 
 fn load(path: &str) -> Result<AnySummary, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("{path} is not a summary file: {e}"))
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let frame =
+        WireFrame::from_bytes(&bytes).map_err(|e| format!("{path} is not a summary file: {e}"))?;
+    if frame.tag != SUMMARY_TAG {
+        return Err(format!(
+            "{path} is not a summary file: unexpected frame tag {:#x}",
+            frame.tag
+        ));
+    }
+    frame
+        .value::<AnySummary>()
+        .map_err(|e| format!("{path} is not a summary file: {e}"))
 }
 
 fn store(path: &str, summary: &AnySummary) -> Result<(), String> {
-    let json = serde_json::to_string(summary).expect("summaries serialize infallibly");
-    fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
+    let bytes = WireFrame::from_value(SUMMARY_TAG, summary).to_bytes();
+    fs::write(path, bytes).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn parse_epsilon(value: &str) -> Result<f64, String> {
+    let epsilon: f64 = value.parse().map_err(|e| format!("bad --epsilon: {e}"))?;
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(format!("--epsilon must be in (0, 1), got {epsilon}"));
+    }
+    Ok(epsilon)
 }
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let kind = take_flag(&mut args, "--kind").ok_or("build requires --kind")?;
-    let epsilon: f64 = take_flag(&mut args, "--epsilon")
-        .ok_or("build requires --epsilon")?
-        .parse()
-        .map_err(|e| format!("bad --epsilon: {e}"))?;
-    if !(epsilon > 0.0 && epsilon < 1.0) {
-        return Err(format!("--epsilon must be in (0, 1), got {epsilon}"));
-    }
+    let epsilon =
+        parse_epsilon(&take_flag(&mut args, "--epsilon").ok_or("build requires --epsilon")?)?;
     let seed: u64 = match take_flag(&mut args, "--seed") {
         Some(s) => s.parse().map_err(|e| format!("bad --seed: {e}"))?,
         None => 0,
@@ -361,5 +434,109 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("kind:           {}", summary.kind());
     println!("items absorbed: {}", summary.total_weight());
     println!("stored entries: {}", summary.size());
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let kind = take_flag(&mut args, "--kind").ok_or("serve requires --kind")?;
+    let kind = SummaryKind::parse(&kind).ok_or_else(|| {
+        format!(
+            "unknown --kind '{kind}'; serve supports mg, space-saving, count-min, hybrid-quantile"
+        )
+    })?;
+    let epsilon =
+        parse_epsilon(&take_flag(&mut args, "--epsilon").ok_or("serve requires --epsilon")?)?;
+    let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7433".to_string());
+    let mut cfg = ServiceConfig::new(kind, epsilon);
+    if let Some(shards) = take_flag(&mut args, "--shards") {
+        cfg = cfg.shards(shards.parse().map_err(|e| format!("bad --shards: {e}"))?);
+    }
+    if let Some(seed) = take_flag(&mut args, "--seed") {
+        cfg = cfg.seed(seed.parse().map_err(|e| format!("bad --seed: {e}"))?);
+    }
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    let engine = Engine::start(cfg).map_err(|e| format!("cannot start engine: {e}"))?;
+    let server =
+        Server::bind(engine, addr.as_str()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "listening on {} ({} engine, epsilon {}); close stdin to stop",
+        server.local_addr(),
+        kind.label(),
+        epsilon
+    );
+    // Block until stdin closes, then shut the engine down gracefully so
+    // in-flight deltas are merged and the final snapshot published.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().lock().read_to_end(&mut sink);
+    server.stop();
+    eprintln!("server stopped");
+    Ok(())
+}
+
+fn cmd_bench_client(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr = take_flag(&mut args, "--addr").ok_or("bench-client requires --addr")?;
+    let items: usize = match take_flag(&mut args, "--items") {
+        Some(v) => v.parse().map_err(|e| format!("bad --items: {e}"))?,
+        None => 1_000_000,
+    };
+    let batch: usize = match take_flag(&mut args, "--batch") {
+        Some(v) => v.parse().map_err(|e| format!("bad --batch: {e}"))?,
+        None => 4_096,
+    };
+    let seed: u64 = match take_flag(&mut args, "--seed") {
+        Some(v) => v.parse().map_err(|e| format!("bad --seed: {e}"))?,
+        None => 42,
+    };
+    let zipf: f64 = match take_flag(&mut args, "--zipf") {
+        Some(v) => v.parse().map_err(|e| format!("bad --zipf: {e}"))?,
+        None => 1.1,
+    };
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    let stream = StreamKind::Zipf {
+        s: zipf,
+        universe: 1 << 20,
+    }
+    .generate(items, seed);
+
+    let mut client = mergeable_summaries::service::Client::connect(addr.as_str())
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match client
+        .call(&Request::Ping)
+        .map_err(|e| format!("ping failed: {e}"))?
+    {
+        Response::Ok => {}
+        other => return Err(format!("unexpected ping response {other:?}")),
+    }
+
+    let start = Instant::now();
+    for chunk in stream.chunks(batch.max(1)) {
+        client
+            .ingest(chunk.to_vec())
+            .map_err(|e| format!("ingest failed: {e}"))?;
+    }
+    client.flush().map_err(|e| format!("flush failed: {e}"))?;
+    let secs = start.elapsed().as_secs_f64();
+
+    let m = client
+        .metrics()
+        .map_err(|e| format!("metrics failed: {e}"))?;
+    println!(
+        "sent {items} items in {secs:.3}s ({:.0} updates/sec)",
+        items as f64 / secs
+    );
+    println!("engine updates:   {}", m.updates);
+    println!("engine batches:   {} ({} dropped)", m.batches, m.dropped);
+    println!("engine merges:    {}", m.merges);
+    println!("snapshot epoch:   {}", m.epoch);
+    println!("snapshot weight:  {}", m.snapshot_weight);
+    println!("snapshot age:     {}us", m.snapshot_age_micros);
     Ok(())
 }

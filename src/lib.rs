@@ -17,6 +17,7 @@
 //! | [`kernels`] | ε-kernels (restricted model) | width error ≤ ε·width | `O(1/√ε)` |
 //! | [`sketches`] | Count-Min, Count-Sketch, AMS F₂ | probabilistic | baseline class |
 //! | [`lowerror`] | extension: low-total-error merges | see crate docs | — |
+//! | [`service`] | sharded concurrent aggregation engine + TCP wire protocol | inherits the summary's mergeability bound | — |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use ms_lowerror as lowerror;
 pub use ms_netsim as netsim;
 pub use ms_quantiles as quantiles;
 pub use ms_range as range;
+pub use ms_service as service;
 pub use ms_sketches as sketches;
 pub use ms_workloads as workloads;
 

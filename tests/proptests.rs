@@ -1,14 +1,14 @@
-//! Property-based tests of the paper's invariants, driven by proptest.
+//! Property-based tests of the paper's invariants, driven by seeded
+//! random-case generation (`ms_core::Rng64`, so every run is
+//! reproducible bit-for-bit).
 //!
 //! Each property quantifies over streams, parameters, partitions and merge
 //! orders; the invariants must hold for *every* generated instance, not in
-//! expectation.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//! expectation. Every test draws `CASES` independent instances from its
+//! own seed stream.
 
 use mergeable_summaries::core::{
-    merge_all, FrequencyOracle, ItemSummary, MergeTree, Mergeable, RankOracle, Summary,
+    merge_all, FrequencyOracle, ItemSummary, MergeTree, Mergeable, RankOracle, Rng64, Summary,
 };
 use mergeable_summaries::frequency::isomorphism::check_isomorphism;
 use mergeable_summaries::lowerror::{
@@ -16,36 +16,42 @@ use mergeable_summaries::lowerror::{
     merge_space_saving_low_error, replay_frequent, replay_space_saving, SortedSummary,
 };
 use mergeable_summaries::quantiles::RankSummary;
+use mergeable_summaries::workloads::ValueDist;
 use mergeable_summaries::{
     BottomKSample, CountMinSketch, KnownNQuantile, MgSummary, SpaceSavingSummary,
 };
 
+const CASES: u64 = 64;
+
 /// Small-universe streams make collisions (the hard case) likely.
-fn stream_strategy() -> impl Strategy<Value = Vec<u64>> {
-    vec(0u64..64, 1..2_000)
+fn stream(rng: &mut Rng64) -> Vec<u64> {
+    let len = 1 + rng.below_usize(1_999);
+    (0..len).map(|_| rng.below(64)).collect()
 }
 
-fn tree_strategy() -> impl Strategy<Value = MergeTree> {
-    prop_oneof![
-        Just(MergeTree::Chain),
-        Just(MergeTree::Balanced),
-        any::<u64>().prop_map(|seed| MergeTree::Random { seed }),
-        (1usize..6).prop_map(|fan| MergeTree::TwoLevel { fan }),
-    ]
+fn tree(rng: &mut Rng64) -> MergeTree {
+    match rng.below(4) {
+        0 => MergeTree::Chain,
+        1 => MergeTree::Balanced,
+        2 => MergeTree::Random {
+            seed: rng.next_u64(),
+        },
+        _ => MergeTree::TwoLevel {
+            fan: 1 + rng.below_usize(5),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// MG invariant: `est ≤ truth` and `(truth − est)·(k+1) ≤ n − n̂`, for
-    /// every item, any stream, any capacity, any partition, any tree.
-    #[test]
-    fn mg_bound_holds_under_any_merge(
-        items in stream_strategy(),
-        k in 1usize..20,
-        sites in 1usize..8,
-        shape in tree_strategy(),
-    ) {
+/// MG invariant: `est ≤ truth` and `(truth − est)·(k+1) ≤ n − n̂`, for
+/// every item, any stream, any capacity, any partition, any tree.
+#[test]
+fn mg_bound_holds_under_any_merge() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA100 + case);
+        let items = stream(&mut rng);
+        let k = 1 + rng.below_usize(19);
+        let sites = 1 + rng.below_usize(7);
+        let shape = tree(&mut rng);
         let oracle = FrequencyOracle::from_stream(items.iter().copied());
         let leaves: Vec<MgSummary<u64>> = items
             .chunks(items.len().div_ceil(sites).max(1))
@@ -56,25 +62,30 @@ proptest! {
             })
             .collect();
         let merged = merge_all(leaves, shape).unwrap();
-        prop_assert_eq!(merged.total_weight(), oracle.total());
-        prop_assert!(merged.size() <= k);
+        assert_eq!(merged.total_weight(), oracle.total(), "case {case}");
+        assert!(merged.size() <= k, "case {case}");
         let err_num = merged.error_numerator();
         for (item, truth) in oracle.iter() {
             let est = merged.estimate(item);
-            prop_assert!(est <= truth);
-            prop_assert!((truth - est) * (k as u64 + 1) <= err_num);
+            assert!(est <= truth, "case {case}: item {item}");
+            assert!(
+                (truth - est) * (k as u64 + 1) <= err_num,
+                "case {case}: item {item}"
+            );
         }
     }
+}
 
-    /// SS bracket: `lower ≤ truth ≤ upper` for every item, and the radius
-    /// stays within ⌈n/k⌉.
-    #[test]
-    fn ss_bracket_holds_under_any_merge(
-        items in stream_strategy(),
-        k in 2usize..20,
-        sites in 1usize..8,
-        shape in tree_strategy(),
-    ) {
+/// SS bracket: `lower ≤ truth ≤ upper` for every item, and the radius
+/// stays within ⌈n/k⌉.
+#[test]
+fn ss_bracket_holds_under_any_merge() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA200 + case);
+        let items = stream(&mut rng);
+        let k = 2 + rng.below_usize(18);
+        let sites = 1 + rng.below_usize(7);
+        let shape = tree(&mut rng);
         let oracle = FrequencyOracle::from_stream(items.iter().copied());
         let leaves: Vec<SpaceSavingSummary<u64>> = items
             .chunks(items.len().div_ceil(sites).max(1))
@@ -85,61 +96,86 @@ proptest! {
             })
             .collect();
         let merged = merge_all(leaves, shape).unwrap();
-        prop_assert!(merged.error_bound() <= oracle.total().div_ceil(k as u64));
+        assert!(
+            merged.error_bound() <= oracle.total().div_ceil(k as u64),
+            "case {case}"
+        );
         for (item, truth) in oracle.iter() {
-            prop_assert!(merged.lower_bound(item) <= truth);
-            prop_assert!(merged.upper_bound(item) >= truth);
+            assert!(
+                merged.lower_bound(item) <= truth,
+                "case {case}: item {item}"
+            );
+            assert!(
+                merged.upper_bound(item) >= truth,
+                "case {case}: item {item}"
+            );
         }
     }
+}
 
-    /// Lemma 1 (isomorphism): MG(k) and SS(k+1) correspond on any stream.
-    #[test]
-    fn isomorphism_on_any_stream(items in stream_strategy(), k in 1usize..16) {
+/// Lemma 1 (isomorphism): MG(k) and SS(k+1) correspond on any stream.
+#[test]
+fn isomorphism_on_any_stream() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA300 + case);
+        let items = stream(&mut rng);
+        let k = 1 + rng.below_usize(15);
         let mut mg = MgSummary::new(k);
         let mut ss = SpaceSavingSummary::new(k + 1);
         for &item in &items {
             mg.update(item);
             ss.update(item);
         }
-        prop_assert!(check_isomorphism(&mg, &ss).is_ok());
+        assert!(check_isomorphism(&mg, &ss).is_ok(), "case {case}");
     }
+}
 
-    /// Merging is "associative within the bound": the (n, n̂) error budget
-    /// of an MG merge is the same no matter the association order.
-    #[test]
-    fn mg_merge_weight_is_association_invariant(
-        items in stream_strategy(),
-        k in 1usize..12,
-    ) {
+/// Merging is "associative within the bound": the (n, n̂) error budget
+/// of an MG merge is the same no matter the association order.
+#[test]
+fn mg_merge_weight_is_association_invariant() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA400 + case);
+        let items = stream(&mut rng);
+        let k = 1 + rng.below_usize(11);
         let third = (items.len() / 3).max(1);
         let mk = |slice: &[u64]| {
             let mut s = MgSummary::new(k);
             s.extend_from(slice.iter().copied());
             s
         };
-        let (a1, b1, c1) = (mk(&items[..third.min(items.len())]),
-                            mk(&items[third.min(items.len())..(2 * third).min(items.len())]),
-                            mk(&items[(2 * third).min(items.len())..]));
+        let (a1, b1, c1) = (
+            mk(&items[..third.min(items.len())]),
+            mk(&items[third.min(items.len())..(2 * third).min(items.len())]),
+            mk(&items[(2 * third).min(items.len())..]),
+        );
         let left = a1.merge(b1).unwrap().merge(c1).unwrap();
-        let (a2, b2, c2) = (mk(&items[..third.min(items.len())]),
-                            mk(&items[third.min(items.len())..(2 * third).min(items.len())]),
-                            mk(&items[(2 * third).min(items.len())..]));
+        let (a2, b2, c2) = (
+            mk(&items[..third.min(items.len())]),
+            mk(&items[third.min(items.len())..(2 * third).min(items.len())]),
+            mk(&items[(2 * third).min(items.len())..]),
+        );
         let right = a2.merge(b2.merge(c2).unwrap()).unwrap();
-        prop_assert_eq!(left.total_weight(), right.total_weight());
+        assert_eq!(left.total_weight(), right.total_weight(), "case {case}");
         // Both satisfy the invariant; their budgets may differ, but both
         // must fit under n/(k+1).
-        prop_assert!(left.error_numerator() <= left.total_weight());
-        prop_assert!(right.error_numerator() <= right.total_weight());
+        assert!(left.error_numerator() <= left.total_weight(), "case {case}");
+        assert!(
+            right.error_numerator() <= right.total_weight(),
+            "case {case}"
+        );
     }
+}
 
-    /// Count-Min linearity: the sketch of a concatenation equals the merge
-    /// of the sketches, cell for cell (checked via estimates).
-    #[test]
-    fn count_min_linearity(
-        a in vec(0u64..128, 0..500),
-        b in vec(0u64..128, 0..500),
-        seed in any::<u64>(),
-    ) {
+/// Count-Min linearity: the sketch of a concatenation equals the merge
+/// of the sketches, cell for cell (checked via estimates).
+#[test]
+fn count_min_linearity() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA500 + case);
+        let a: Vec<u64> = (0..rng.below_usize(500)).map(|_| rng.below(128)).collect();
+        let b: Vec<u64> = (0..rng.below_usize(500)).map(|_| rng.below(128)).collect();
+        let seed = rng.next_u64();
         let mut whole = CountMinSketch::new(32, 3, seed);
         whole.extend_from(a.iter().copied().chain(b.iter().copied()));
         let mut sa = CountMinSketch::new(32, 3, seed);
@@ -148,17 +184,23 @@ proptest! {
         sb.extend_from(b.iter().copied());
         let merged = sa.merge(sb).unwrap();
         for probe in 0u64..128 {
-            prop_assert_eq!(merged.estimate(&probe), whole.estimate(&probe));
+            assert_eq!(
+                merged.estimate(&probe),
+                whole.estimate(&probe),
+                "case {case}: probe {probe}"
+            );
         }
     }
+}
 
-    /// Count-Min never underestimates, under any merge.
-    #[test]
-    fn count_min_overestimates(
-        items in stream_strategy(),
-        seed in any::<u64>(),
-        sites in 1usize..6,
-    ) {
+/// Count-Min never underestimates, under any merge.
+#[test]
+fn count_min_overestimates() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA600 + case);
+        let items = stream(&mut rng);
+        let seed = rng.next_u64();
+        let sites = 1 + rng.below_usize(5);
         let oracle = FrequencyOracle::from_stream(items.iter().copied());
         let leaves: Vec<CountMinSketch<u64>> = items
             .chunks(items.len().div_ceil(sites).max(1))
@@ -170,46 +212,68 @@ proptest! {
             .collect();
         let merged = merge_all(leaves, MergeTree::Chain).unwrap();
         for (item, truth) in oracle.iter() {
-            prop_assert!(merged.estimate(item) >= truth);
+            assert!(merged.estimate(item) >= truth, "case {case}: item {item}");
         }
     }
+}
 
-    /// Extension crate: the closed-form low-error merges equal a literal
-    /// replay of Frequent / SpaceSaving, and never exceed the baseline's
-    /// total error (Lemmas 4.3 and 4.6 of the extension paper).
-    #[test]
-    fn low_error_merges_exact_and_dominant(
-        counts_a in vec(1u64..500, 0..12),
-        counts_b in vec(1u64..500, 0..12),
-        k in 3usize..16,
-    ) {
+/// Extension crate: the closed-form low-error merges equal a literal
+/// replay of Frequent / SpaceSaving, and never exceed the baseline's
+/// total error (Lemmas 4.3 and 4.6 of the extension paper).
+#[test]
+fn low_error_merges_exact_and_dominant() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA700 + case);
+        let k = 3 + rng.below_usize(13);
+        let counts_a: Vec<u64> = (0..rng.below_usize(12))
+            .map(|_| 1 + rng.below(499))
+            .collect();
+        let counts_b: Vec<u64> = (0..rng.below_usize(12))
+            .map(|_| 1 + rng.below(499))
+            .collect();
         let a = SortedSummary::new(
-            counts_a.iter().take(k - 1).enumerate().map(|(i, &c)| (i as u64, c)).collect(),
+            counts_a
+                .iter()
+                .take(k - 1)
+                .enumerate()
+                .map(|(i, &c)| (i as u64, c))
+                .collect(),
         );
         let b = SortedSummary::new(
-            counts_b.iter().take(k - 1).enumerate().map(|(i, &c)| (100 + i as u64, c)).collect(),
+            counts_b
+                .iter()
+                .take(k - 1)
+                .enumerate()
+                .map(|(i, &c)| (100 + i as u64, c))
+                .collect(),
         );
         // Frequent.
         let low = merge_frequent_low_error(&a, &b, k);
         let base = merge_frequent_baseline(&a, &b, k);
-        prop_assert_eq!(&low.summary, &replay_frequent(&a, &b, k));
-        prop_assert!(low.total_error <= base.total_error);
+        assert_eq!(&low.summary, &replay_frequent(&a, &b, k), "case {case}");
+        assert!(low.total_error <= base.total_error, "case {case}");
         // SpaceSaving (same inputs are valid: ≤ k−1 ≤ k counters).
         let low_ss = merge_space_saving_low_error(&a, &b, k);
         let base_ss = merge_space_saving_baseline(&a, &b, k);
-        prop_assert_eq!(&low_ss.summary, &replay_space_saving(&a, &b, k));
-        prop_assert!(low_ss.total_error <= base_ss.total_error);
+        assert_eq!(
+            &low_ss.summary,
+            &replay_space_saving(&a, &b, k),
+            "case {case}"
+        );
+        assert!(low_ss.total_error <= base_ss.total_error, "case {case}");
     }
+}
 
-    /// Bottom-k sampling: merge equals the bottom-k of the union (checked
-    /// through the size and count bookkeeping), and rank estimates of the
-    /// full-retention regime are exact.
-    #[test]
-    fn bottom_k_merge_bookkeeping(
-        a_len in 0usize..200,
-        b_len in 0usize..200,
-        k in 1usize..64,
-    ) {
+/// Bottom-k sampling: merge equals the bottom-k of the union (checked
+/// through the size and count bookkeeping), and rank estimates of the
+/// full-retention regime are exact.
+#[test]
+fn bottom_k_merge_bookkeeping() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA800 + case);
+        let a_len = rng.below_usize(200);
+        let b_len = rng.below_usize(200);
+        let k = 1 + rng.below_usize(63);
         let mut sa = BottomKSample::new(k, 1);
         for i in 0..a_len as u64 {
             sa.insert(i);
@@ -219,20 +283,22 @@ proptest! {
             sb.insert(1_000 + i);
         }
         let merged = sa.merge(sb).unwrap();
-        prop_assert_eq!(merged.count(), (a_len + b_len) as u64);
-        prop_assert!(merged.size() <= k);
-        prop_assert_eq!(merged.size(), k.min(a_len + b_len));
+        assert_eq!(merged.count(), (a_len + b_len) as u64, "case {case}");
+        assert!(merged.size() <= k, "case {case}");
+        assert_eq!(merged.size(), k.min(a_len + b_len), "case {case}");
     }
+}
 
-    /// Known-n quantile summary: rank estimates stay within εn on uniform
-    /// random streams for a fixed generous ε (a smoke-level statistical
-    /// property kept deterministic by seeding).
-    #[test]
-    fn known_n_rank_error_bounded(
-        seed in 0u64..1_000,
-        sites in 1usize..6,
-    ) {
-        let values = ms_workloads::ValueDist::Uniform.generate(8_192, seed);
+/// Known-n quantile summary: rank estimates stay within εn on uniform
+/// random streams for a fixed generous ε (a smoke-level statistical
+/// property kept deterministic by seeding).
+#[test]
+fn known_n_rank_error_bounded() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA900 + case);
+        let seed = rng.below(1_000);
+        let sites = 1 + rng.below_usize(5);
+        let values = ValueDist::Uniform.generate(8_192, seed);
         let oracle = RankOracle::from_stream(values.clone());
         let eps = 0.1;
         let leaves: Vec<KnownNQuantile<u64>> = values
@@ -251,7 +317,7 @@ proptest! {
         for phi in [0.1, 0.5, 0.9] {
             let probe = *oracle.quantile(phi).unwrap();
             let err = oracle.rank_error(&probe, merged.rank(&probe)) as f64 / n;
-            prop_assert!(err <= eps, "phi {}: err {}", phi, err);
+            assert!(err <= eps, "case {case}: phi {phi}: err {err}");
         }
     }
 }

@@ -1,19 +1,20 @@
 //! Serialization round-trips: the whole point of a mergeable summary is to
 //! be shipped between nodes, so every summary must survive
-//! serialize → deserialize → merge with identical answers.
+//! encode → decode → merge with identical answers. All shipping uses the
+//! workspace's compact binary wire codec (`ms_core::Wire`).
 
-use mergeable_summaries::core::{ItemSummary, Mergeable, Summary};
+use mergeable_summaries::core::{ItemSummary, Mergeable, Summary, Wire};
 use mergeable_summaries::quantiles::RankSummary;
 use mergeable_summaries::range::{EpsApprox2d, Halving};
+use mergeable_summaries::service::{ServiceConfig, ShardSummary, SummaryKind};
 use mergeable_summaries::workloads::{CloudKind, StreamKind, ValueDist};
 use mergeable_summaries::{
     AmsF2Sketch, BottomKSample, CountMinSketch, CountSketch, EpsKernel, Frame, GkSummary,
     HybridQuantile, KnownNQuantile, MgSummary, SpaceSavingSummary,
 };
 
-fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned>(value: &T) -> T {
-    let json = serde_json::to_string(value).expect("serialize");
-    serde_json::from_str(&json).expect("deserialize")
+fn roundtrip<T: Wire>(value: &T) -> T {
+    T::decode(&value.encode()).expect("decode")
 }
 
 #[test]
@@ -33,7 +34,7 @@ fn mg_roundtrip_preserves_estimates_and_merging() {
         assert_eq!(restored.estimate(&probe), mg.estimate(&probe));
     }
 
-    // A deserialized summary must still merge (the shipping scenario).
+    // A decoded summary must still merge (the shipping scenario).
     let mut other = MgSummary::for_epsilon(0.02);
     other.extend_from(items.iter().copied());
     let merged = restored.merge(other).unwrap();
@@ -134,6 +135,10 @@ fn sketches_roundtrip_bit_exact() {
     let cm2 = roundtrip(&cm);
     let cs2 = roundtrip(&cs);
     let ams2 = roundtrip(&ams);
+    // Array-backed sketches re-encode to the exact same bytes.
+    assert_eq!(cm2.encode(), cm.encode());
+    assert_eq!(cs2.encode(), cs.encode());
+    assert_eq!(ams2.encode(), ams.encode());
     for probe in 0..2000u64 {
         assert_eq!(cm2.estimate(&probe), cm.estimate(&probe));
         assert_eq!(cs2.estimate(&probe), cs.estimate(&probe));
@@ -164,4 +169,33 @@ fn geometric_summaries_roundtrip() {
     let a2: EpsApprox2d = roundtrip(&approx);
     let query = mergeable_summaries::core::Rect::new(-0.5, 0.5, -0.5, 0.5);
     assert_eq!(a2.estimate_count(&query), approx.estimate_count(&query));
+}
+
+#[test]
+fn service_summaries_roundtrip_for_every_family() {
+    // The engine's runtime-dispatched summary (what the TCP protocol and
+    // the snapshot API ship) round-trips losslessly for all four families.
+    let items = StreamKind::Zipf {
+        s: 1.2,
+        universe: 4096,
+    }
+    .generate(50_000, 21);
+    for kind in SummaryKind::all() {
+        let cfg = ServiceConfig::new(kind, 0.02).seed(21);
+        let mut s = ShardSummary::new(&cfg, 0);
+        for &v in &items {
+            s.update(v);
+        }
+        let back = roundtrip(&s);
+        assert_eq!(back.kind(), kind);
+        assert_eq!(back.total_weight(), s.total_weight());
+        assert_eq!(back.size(), s.size(), "{}", kind.label());
+        for probe in 0..64 {
+            assert_eq!(back.point(probe), s.point(probe), "{}", kind.label());
+            assert_eq!(back.rank(probe), s.rank(probe), "{}", kind.label());
+        }
+        assert_eq!(back.quantile(0.5), s.quantile(0.5), "{}", kind.label());
+        // Decoded summaries must still merge with live ones.
+        assert!(back.merge(s).is_ok());
+    }
 }

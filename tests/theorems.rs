@@ -75,8 +75,7 @@ fn lemma_mg_spacesaving_isomorphism() {
                 mg.update(item);
                 ss.update(item);
             }
-            check_isomorphism(&mg, &ss)
-                .unwrap_or_else(|e| panic!("{} k={k}: {e}", kind.label()));
+            check_isomorphism(&mg, &ss).unwrap_or_else(|e| panic!("{} k={k}: {e}", kind.label()));
         }
     }
 }
@@ -103,7 +102,10 @@ fn theorem_known_n_quantiles_merge() {
             })
             .collect();
         let merged = merge_all(leaves, shape).unwrap();
-        assert!(merged.size() < n / 4, "summary must be much smaller than data");
+        assert!(
+            merged.size() < n / 4,
+            "summary must be much smaller than data"
+        );
         for phi in [0.1, 0.5, 0.9] {
             let probe = *oracle.quantile(phi).unwrap();
             let err = oracle.rank_error(&probe, merged.rank(&probe));
@@ -169,11 +171,7 @@ fn theorem_kernels_restricted_mergeability() {
         k.extend_from(chunk.iter().copied());
         k
     };
-    let a = merge_all(
-        pts.chunks(256).map(build).collect(),
-        MergeTree::Chain,
-    )
-    .unwrap();
+    let a = merge_all(pts.chunks(256).map(build).collect(), MergeTree::Chain).unwrap();
     let b = merge_all(
         pts.chunks(256).map(build).collect(),
         MergeTree::Random { seed: 99 },
