@@ -36,7 +36,7 @@ fn main() {
         let engine = Engine::start(cfg).unwrap();
         let start = Instant::now();
         for chunk in items.chunks(4_096) {
-            engine.ingest(chunk.to_vec());
+            engine.ingest(chunk.to_vec()).unwrap();
         }
         let snapshot = engine.shutdown();
         let secs = start.elapsed().as_secs_f64();

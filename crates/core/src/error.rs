@@ -1,11 +1,22 @@
-//! Typed errors for merge operations.
+//! Typed errors for merge operations and the aggregation service.
 //!
 //! Merging is only defined between summaries built with the same parameters
 //! (same ε / number of counters / buffer size / reference frame). Rather than
 //! silently producing a summary with an undefined guarantee, every merge in
 //! the workspace validates its inputs and returns a [`MergeError`].
+//!
+//! [`ServiceError`] is the failure vocabulary of the sharded aggregation
+//! service (`ms-service`) and the fault-injection harness (`ms-faultsim`):
+//! every failure path that used to be an `unwrap()`/`panic!` — engine
+//! shutdown races, dead shard threads, saturated queues, malformed wire
+//! frames, socket timeouts — is a typed, matchable variant instead, so the
+//! harness can assert *which* failure occurred, not just that something
+//! went wrong.
 
 use std::fmt;
+use std::io;
+
+use crate::wire::WireError;
 
 /// Result alias used by fallible merge operations throughout the workspace.
 pub type Result<T, E = MergeError> = std::result::Result<T, E>;
@@ -76,6 +87,83 @@ impl fmt::Display for MergeError {
 
 impl std::error::Error for MergeError {}
 
+/// Why a service operation (ingest, flush, query, RPC) failed.
+///
+/// Transient variants ([`ServiceError::is_transient`]) are worth retrying
+/// with backoff; the rest are definitive and retrying cannot help.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The engine has been shut down; no further ingest or flush possible.
+    Shutdown,
+    /// Every ingest shard is dead and respawn is disabled or failing.
+    AllShardsLost,
+    /// A non-blocking ingest found the target queue full (backpressure).
+    Backpressure,
+    /// The configuration failed validation.
+    Config(&'static str),
+    /// An OS-level failure (spawn, bind, socket I/O). The kind is preserved
+    /// so callers can distinguish EOF from refused connections etc.
+    Io {
+        /// The `std::io::ErrorKind` of the underlying failure.
+        kind: io::ErrorKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A request or response did not decode.
+    Wire(WireError),
+    /// A request did not complete within its deadline.
+    Timeout {
+        /// The deadline that expired, in milliseconds.
+        millis: u64,
+    },
+    /// The peer answered with a protocol-level error message.
+    Protocol(String),
+}
+
+impl ServiceError {
+    /// True for failures that a retry with backoff may cure (I/O hiccups
+    /// and timeouts); false for definitive ones (shutdown, bad config,
+    /// malformed data, peer-reported errors).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Io { .. } | ServiceError::Timeout { .. } | ServiceError::Backpressure
+        )
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Shutdown => write!(f, "engine is shut down"),
+            ServiceError::AllShardsLost => write!(f, "all ingest shards are dead"),
+            ServiceError::Backpressure => write!(f, "shard queue full (backpressure)"),
+            ServiceError::Config(why) => write!(f, "invalid configuration: {why}"),
+            ServiceError::Io { kind, detail } => write!(f, "i/o failure ({kind:?}): {detail}"),
+            ServiceError::Wire(e) => write!(f, "wire failure: {e}"),
+            ServiceError::Timeout { millis } => write!(f, "request timed out after {millis}ms"),
+            ServiceError::Protocol(msg) => write!(f, "peer error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
 /// Check that two capacity parameters match, returning a typed error if not.
 pub fn ensure_same_capacity(parameter: &'static str, left: usize, right: usize) -> Result<()> {
     if left == right {
@@ -145,5 +233,39 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(MergeError::FrameMismatch);
         assert!(e.to_string().contains("reference frame"));
+    }
+
+    #[test]
+    fn service_error_transience() {
+        assert!(ServiceError::Timeout { millis: 10 }.is_transient());
+        assert!(ServiceError::Backpressure.is_transient());
+        assert!(
+            ServiceError::from(io::Error::new(io::ErrorKind::ConnectionReset, "rst"))
+                .is_transient()
+        );
+        assert!(!ServiceError::Shutdown.is_transient());
+        assert!(!ServiceError::AllShardsLost.is_transient());
+        assert!(!ServiceError::Wire(WireError::Truncated).is_transient());
+        assert!(!ServiceError::Protocol("nope".into()).is_transient());
+    }
+
+    #[test]
+    fn service_error_display_and_conversions() {
+        let e = ServiceError::from(WireError::BadTag(9));
+        assert!(e.to_string().contains("tag 9"), "{e}");
+        let io_err = io::Error::new(io::ErrorKind::UnexpectedEof, "gone");
+        let e = ServiceError::from(io_err);
+        assert!(matches!(
+            e,
+            ServiceError::Io {
+                kind: io::ErrorKind::UnexpectedEof,
+                ..
+            }
+        ));
+        assert!(ServiceError::Timeout { millis: 250 }
+            .to_string()
+            .contains("250ms"));
+        let boxed: Box<dyn std::error::Error> = Box::new(ServiceError::AllShardsLost);
+        assert!(boxed.to_string().contains("shards"));
     }
 }

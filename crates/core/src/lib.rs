@@ -36,11 +36,11 @@ pub mod summary;
 pub mod tree;
 pub mod wire;
 
-pub use error::{MergeError, Result};
+pub use error::{MergeError, Result, ServiceError};
 pub use geom::{directional_width, unit_dir, Point2, Rect};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, ToJson};
-pub use metrics::ErrorStats;
+pub use metrics::{BoundCheck, ErrorStats};
 pub use oracle::{FrequencyOracle, RankOracle};
 pub use rng::Rng64;
 pub use summary::{ItemSummary, Mergeable, Summary};

@@ -72,6 +72,53 @@ impl ToJson for ErrorStats {
     }
 }
 
+/// Observed errors scored against a theoretical bound (e.g. `ε·n`).
+///
+/// The fault-injection harness builds one of these per schedule: the
+/// mergeability theorem promises `stats.max ≤ bound` no matter what merge
+/// tree the faults produced, so `ok()` is the pass/fail verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundCheck {
+    /// The theoretical bound the observations must stay under.
+    pub bound: f64,
+    /// Distribution of the observed errors.
+    pub stats: ErrorStats,
+}
+
+impl BoundCheck {
+    /// Score `values` against `bound`.
+    pub fn new(values: &[f64], bound: f64) -> Self {
+        BoundCheck {
+            bound,
+            stats: ErrorStats::from_values(values),
+        }
+    }
+
+    /// Score integer errors against `bound`.
+    pub fn from_u64(values: &[u64], bound: f64) -> Self {
+        BoundCheck {
+            bound,
+            stats: ErrorStats::from_u64(values),
+        }
+    }
+
+    /// True when every observation respects the bound (vacuously true for
+    /// zero observations).
+    pub fn ok(&self) -> bool {
+        self.stats.max <= self.bound
+    }
+}
+
+impl ToJson for BoundCheck {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("bound", Json::F64(self.bound)),
+            ("ok", Json::Bool(self.ok())),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
 /// Nearest-rank percentile on a pre-sorted slice.
 fn percentile(sorted: &[f64], phi: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
@@ -140,6 +187,19 @@ mod tests {
         let a = ErrorStats::from_u64(&[1, 2, 3]);
         let b = ErrorStats::from_values(&[1.0, 2.0, 3.0]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bound_check_verdicts() {
+        let pass = BoundCheck::from_u64(&[0, 3, 5], 5.0);
+        assert!(pass.ok());
+        assert_eq!(pass.stats.max, 5.0);
+        let fail = BoundCheck::from_u64(&[0, 3, 6], 5.0);
+        assert!(!fail.ok());
+        // Vacuous pass on no observations.
+        assert!(BoundCheck::new(&[], 0.0).ok());
+        let j = pass.to_json().to_string();
+        assert!(j.contains("\"ok\":true"), "{j}");
     }
 
     #[test]

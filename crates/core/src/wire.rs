@@ -36,6 +36,11 @@ pub const WIRE_MAGIC: [u8; 2] = *b"MS";
 /// Refuse frames longer than this (corrupted or hostile length prefix).
 pub const MAX_FRAME_LEN: u32 = 1 << 28;
 
+/// Size of the fixed frame header: magic (2) + version (2) + tag (1) +
+/// payload length (4). Fault-injection tooling uses this to aim corruption
+/// at the header vs. the payload precisely.
+pub const FRAME_HEADER_LEN: usize = 9;
+
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -402,7 +407,7 @@ impl WireFrame {
 
     /// Serialize header + payload.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(9 + self.payload.len());
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + self.payload.len());
         out.extend_from_slice(&WIRE_MAGIC);
         out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
         out.push(self.tag);
@@ -448,7 +453,7 @@ impl WireFrame {
     /// Read one frame from a stream. `Ok(None)` on clean EOF at a frame
     /// boundary; mid-frame EOF and malformed headers are errors.
     pub fn read_from(r: &mut impl Read) -> io::Result<Option<Self>> {
-        let mut header = [0u8; 9];
+        let mut header = [0u8; FRAME_HEADER_LEN];
         let mut filled = 0;
         while filled < header.len() {
             let n = r.read(&mut header[filled..])?;

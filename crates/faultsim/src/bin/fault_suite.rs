@@ -1,0 +1,109 @@
+//! Run the full fault-schedule matrix: every fault class × summary family
+//! × seed. Prints one line per schedule (including the seed that replays
+//! it) and exits nonzero if any schedule violates its error bound, codec
+//! round-trip, or fault-trigger assertion.
+//!
+//! ```text
+//! fault-suite [--seeds 11,12,13] [--classes shard-death,...] [--kinds mg,...]
+//! ```
+
+use std::process::ExitCode;
+
+use ms_faultsim::{run_schedule, FaultClass};
+use ms_service::SummaryKind;
+
+/// Default seeds; CI pins these three.
+const DEFAULT_SEEDS: [u64; 3] = [0xF417_5EED, 0xB0B5_CAFE, 0x2026_0806];
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn usage(detail: &str) -> ExitCode {
+    eprintln!("error: {detail}");
+    eprintln!("usage: fault-suite [--seeds N,N,...] [--classes C,C,...] [--kinds K,K,...]");
+    eprintln!(
+        "classes: {}",
+        FaultClass::all().map(|c| c.label()).join(", ")
+    );
+    eprintln!(
+        "kinds: {}",
+        SummaryKind::all().map(|k| k.label()).join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut seeds: Vec<u64> = DEFAULT_SEEDS.to_vec();
+    let mut classes: Vec<FaultClass> = FaultClass::all().to_vec();
+    let mut kinds: Vec<SummaryKind> = SummaryKind::all().to_vec();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            return usage(&format!("{flag} needs a value"));
+        };
+        match flag {
+            "--seeds" => {
+                let parsed: Option<Vec<u64>> = value.split(',').map(parse_seed).collect();
+                match parsed {
+                    Some(list) if !list.is_empty() => seeds = list,
+                    _ => return usage(&format!("bad seed list {value:?}")),
+                }
+            }
+            "--classes" => {
+                let parsed: Option<Vec<FaultClass>> =
+                    value.split(',').map(FaultClass::parse).collect();
+                match parsed {
+                    Some(list) if !list.is_empty() => classes = list,
+                    _ => return usage(&format!("bad class list {value:?}")),
+                }
+            }
+            "--kinds" => {
+                let parsed: Option<Vec<SummaryKind>> =
+                    value.split(',').map(SummaryKind::parse).collect();
+                match parsed {
+                    Some(list) if !list.is_empty() => kinds = list,
+                    _ => return usage(&format!("bad kind list {value:?}")),
+                }
+            }
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+
+    let mut failures = 0usize;
+    let mut ran = 0usize;
+    for &seed in &seeds {
+        for &class in &classes {
+            for &kind in &kinds {
+                ran += 1;
+                match run_schedule(class, kind, seed) {
+                    Ok(report) => println!("ok   {report}"),
+                    Err(msg) => {
+                        failures += 1;
+                        println!("FAIL {msg}");
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "fault-suite: {ran} schedules, {failures} failures ({} seeds × {} classes × {} kinds)",
+        seeds.len(),
+        classes.len(),
+        kinds.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,611 @@
+//! Seeded fault schedules over a live engine (and, for the wire classes, a
+//! live TCP server), each ending in the same verdict: **did the surviving
+//! state still honor the paper's `ε·n` guarantee, and does its codec
+//! round-trip losslessly?**
+//!
+//! ## The loss-slack bound
+//!
+//! A schedule tracks `accepted`: the total weight of batches the engine
+//! (or server) *acknowledged*. Faults may destroy some of that weight —
+//! a dying worker takes its un-handed-off delta and queued batches with
+//! it — leaving `surviving = snapshot.total_weight() ≤ accepted`. The
+//! surviving multiset `S` is a sub-multiset of the accepted stream `O`
+//! with `|O| − |S| = lost`, so for every item/rank query
+//!
+//! ```text
+//! |estimate − exact_O| ≤ |estimate − exact_S| + |exact_S − exact_O|
+//!                      ≤ ε·|S|               + lost
+//! ```
+//!
+//! The first term is the mergeability theorem applied to the surviving
+//! data (worker deltas merge in an arbitrary tree; a crashed shard only
+//! prunes branches, which Definition 1 explicitly allows); the second is
+//! the worst case of the missing weight all hitting one query. Requests
+//! that were sent but never acknowledged (a client that vanished before
+//! reading its response) may or may not have been applied, so their
+//! weight `unacked` widens the slack the same way. Fault classes that
+//! lose nothing (`backpressure` drops are *rejected*, not accepted;
+//! corrupt frames are never acked) run with `slack = 0` — the strict
+//! paper bound.
+
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ms_core::{
+    BoundCheck, FrequencyOracle, RankOracle, Rng64, ServiceError, Summary, Wire, WireFrame,
+};
+use ms_service::{
+    Client, ClientOptions, Engine, Request, Server, ServiceConfig, ShardSummary, SummaryKind,
+    REQUEST_TAG,
+};
+use ms_workloads::StreamKind;
+
+use crate::plan::SeededPlan;
+use crate::transport::{partial_prefix, Corruption};
+
+/// Summary error parameter every schedule runs at.
+pub const EPS: f64 = 0.02;
+
+/// The six injected failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Worker threads die mid-stream and are respawned.
+    ShardDeath,
+    /// Bounded queues saturate; `try_ingest` sheds load.
+    Backpressure,
+    /// Truncated and bit-flipped frames arrive over TCP.
+    CorruptFrames,
+    /// Clients push partial frames and vanish mid-write.
+    PartialWrites,
+    /// The compactor lags behind the workers.
+    CompactorDelay,
+    /// Clients disconnect mid-epoch without flushing.
+    ClientDisconnect,
+}
+
+impl FaultClass {
+    /// All classes, in a stable order.
+    pub fn all() -> [FaultClass; 6] {
+        [
+            FaultClass::ShardDeath,
+            FaultClass::Backpressure,
+            FaultClass::CorruptFrames,
+            FaultClass::PartialWrites,
+            FaultClass::CompactorDelay,
+            FaultClass::ClientDisconnect,
+        ]
+    }
+
+    /// Stable CLI label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::ShardDeath => "shard-death",
+            FaultClass::Backpressure => "backpressure",
+            FaultClass::CorruptFrames => "corrupt-frames",
+            FaultClass::PartialWrites => "partial-writes",
+            FaultClass::CompactorDelay => "compactor-delay",
+            FaultClass::ClientDisconnect => "client-disconnect",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<FaultClass> {
+        FaultClass::all().into_iter().find(|c| c.label() == s)
+    }
+}
+
+/// Outcome of one schedule. Printing it shows the seed that reproduces
+/// the run: `run_schedule(class, kind, seed)` replays the same injection
+/// decisions.
+#[derive(Debug, Clone)]
+pub struct ScheduleReport {
+    /// Which failure mode was injected.
+    pub class: FaultClass,
+    /// Which summary family the engine ran.
+    pub kind: SummaryKind,
+    /// The seed that reproduces this schedule.
+    pub seed: u64,
+    /// Total weight of acknowledged batches.
+    pub accepted_weight: u64,
+    /// Weight sent but never acknowledged (may or may not be applied).
+    pub unacked_weight: u64,
+    /// Weight visible in the final snapshot.
+    pub surviving_weight: u64,
+    /// Slack added to the `ε·n` bound: lost + unacked weight.
+    pub slack: u64,
+    /// Final engine metrics.
+    pub metrics: ms_service::MetricsReport,
+    /// Point-estimate errors vs. the exact oracle (frequency families).
+    pub point_check: Option<BoundCheck>,
+    /// Rank/quantile errors vs. the exact oracle (quantile family).
+    pub rank_check: Option<BoundCheck>,
+    /// Encoded size of the surviving summary (whose round-trip was
+    /// verified byte-for-byte).
+    pub codec_bytes: usize,
+}
+
+impl fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<17} {:<15} seed=0x{:X} accepted={} surviving={} slack={} \
+             lost_shards={} rejected_frames={} retries={} dropped={}",
+            self.class.label(),
+            self.kind.label(),
+            self.seed,
+            self.accepted_weight,
+            self.surviving_weight,
+            self.slack,
+            self.metrics.shards_lost,
+            self.metrics.frames_rejected,
+            self.metrics.retries,
+            self.metrics.dropped,
+        )?;
+        if let Some(c) = &self.point_check {
+            write!(f, " point_err={:.1}/{:.1}", c.stats.max, c.bound)?;
+        }
+        if let Some(c) = &self.rank_check {
+            write!(f, " rank_err={:.1}/{:.1}", c.stats.max, c.bound)?;
+        }
+        write!(f, " codec={}B", self.codec_bytes)
+    }
+}
+
+/// Everything a schedule accumulates while driving faults.
+struct Harness {
+    class: FaultClass,
+    kind: SummaryKind,
+    seed: u64,
+    accepted: Vec<u64>,
+    unacked_weight: u64,
+}
+
+impl Harness {
+    fn new(class: FaultClass, kind: SummaryKind, seed: u64) -> Self {
+        Harness {
+            class,
+            kind,
+            seed,
+            accepted: Vec::new(),
+            unacked_weight: 0,
+        }
+    }
+
+    fn fail(&self, msg: impl fmt::Display) -> String {
+        format!(
+            "[{} {} seed=0x{:X}] {msg}",
+            self.class.label(),
+            self.kind.label(),
+            self.seed
+        )
+    }
+
+    /// Final verdict: codec round-trip plus the loss-slack error bound on
+    /// every query family the summary supports.
+    fn finish(
+        self,
+        summary: &ShardSummary,
+        metrics: ms_service::MetricsReport,
+    ) -> Result<ScheduleReport, String> {
+        let accepted_weight = self.accepted.len() as u64;
+        let surviving_weight = summary.total_weight();
+        if surviving_weight > accepted_weight + self.unacked_weight {
+            return Err(self.fail(format!(
+                "snapshot holds {surviving_weight} but only {accepted_weight} acked + \
+                 {} unacked were ever sent",
+                self.unacked_weight
+            )));
+        }
+        let lost = accepted_weight.saturating_sub(surviving_weight);
+        let slack = lost + self.unacked_weight;
+        let bound = EPS * surviving_weight as f64 + slack as f64 + 1.0;
+
+        // Lossless codec round-trip on the surviving state: the decoded
+        // summary must answer every query identically. (Byte-identity is
+        // deliberately not required — counter maps serialize in arbitrary
+        // iteration order.)
+        let bytes = summary.encode();
+        let decoded = ShardSummary::decode(&bytes)
+            .map_err(|e| self.fail(format!("surviving summary failed to decode: {e}")))?;
+        if decoded.total_weight() != surviving_weight {
+            return Err(self.fail("decoded summary lost weight"));
+        }
+
+        let mut point_check = None;
+        let mut rank_check = None;
+        match self.kind {
+            SummaryKind::Mg | SummaryKind::SpaceSaving | SummaryKind::CountMin => {
+                let oracle = FrequencyOracle::from_stream(self.accepted.iter().copied());
+                for (item, _) in oracle.iter() {
+                    if decoded.point(*item) != summary.point(*item) {
+                        return Err(self.fail(format!(
+                            "codec round-trip changed the estimate for item {item}"
+                        )));
+                    }
+                }
+                let errors: Vec<u64> = oracle
+                    .iter()
+                    .map(|(item, truth)| summary.point(*item).unwrap_or(0).abs_diff(truth))
+                    .collect();
+                let check = BoundCheck::from_u64(&errors, bound);
+                if !check.ok() {
+                    return Err(self.fail(format!(
+                        "point error {:.1} exceeds ε·n+slack bound {:.1}",
+                        check.stats.max, check.bound
+                    )));
+                }
+                // Heavy-hitter answers must agree with the point estimates
+                // they are drawn from.
+                if let Some(hh) = summary.heavy_hitters(0.05) {
+                    for (item, est) in hh {
+                        let exact = oracle.count(&item);
+                        if est.abs_diff(exact) as f64 > bound {
+                            return Err(self.fail(format!(
+                                "heavy hitter {item}: estimate {est} vs exact {exact} \
+                                 outside bound {bound:.1}"
+                            )));
+                        }
+                    }
+                }
+                point_check = Some(check);
+            }
+            SummaryKind::HybridQuantile => {
+                let oracle = RankOracle::from_stream(self.accepted.iter().copied());
+                let mut errors: Vec<u64> = Vec::new();
+                // Rank queries at evenly spaced probe values.
+                for i in 0..=32u64 {
+                    let x = i * UNIVERSE / 32;
+                    if decoded.rank(x) != summary.rank(x) {
+                        return Err(
+                            self.fail(format!("codec round-trip changed the rank estimate at {x}"))
+                        );
+                    }
+                    if let Some(est) = summary.rank(x) {
+                        errors.push(oracle.rank_error(&x, est));
+                    }
+                }
+                // Quantile queries: the returned value's exact rank must be
+                // within the bound of its target.
+                for i in 1..20u64 {
+                    let phi = i as f64 / 20.0;
+                    if let Some(Some(v)) = summary.quantile(phi) {
+                        let target = (phi * surviving_weight as f64).round() as u64;
+                        errors.push(oracle.rank_error(&v, target));
+                    }
+                }
+                let check = BoundCheck::from_u64(&errors, bound);
+                if !check.ok() {
+                    return Err(self.fail(format!(
+                        "rank error {:.1} exceeds ε·n+slack bound {:.1}",
+                        check.stats.max, check.bound
+                    )));
+                }
+                rank_check = Some(check);
+            }
+        }
+
+        Ok(ScheduleReport {
+            class: self.class,
+            kind: self.kind,
+            seed: self.seed,
+            accepted_weight,
+            unacked_weight: self.unacked_weight,
+            surviving_weight,
+            slack,
+            metrics,
+            point_check,
+            rank_check,
+            codec_bytes: bytes.len(),
+        })
+    }
+}
+
+const UNIVERSE: u64 = 1 << 14;
+
+fn stream(n: usize, seed: u64) -> Vec<u64> {
+    StreamKind::Zipf {
+        s: 1.2,
+        universe: UNIVERSE,
+    }
+    .generate(n, seed)
+}
+
+fn base_config(kind: SummaryKind, seed: u64) -> ServiceConfig {
+    ServiceConfig::new(kind, EPS).seed(seed ^ 0xD15EA5E)
+}
+
+fn fast_client(addr: std::net::SocketAddr) -> Result<Client, ServiceError> {
+    Client::connect_with(
+        addr,
+        ClientOptions {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(5),
+            retries: 2,
+            backoff: Duration::from_millis(10),
+            retry_non_idempotent: false,
+        },
+    )
+}
+
+/// Run one seeded schedule to completion and verdict. Every injection
+/// decision derives from `seed`, so a failure message's seed replays it.
+pub fn run_schedule(
+    class: FaultClass,
+    kind: SummaryKind,
+    seed: u64,
+) -> Result<ScheduleReport, String> {
+    match class {
+        FaultClass::ShardDeath => shard_death(kind, seed),
+        FaultClass::Backpressure => backpressure(kind, seed),
+        FaultClass::CorruptFrames => corrupt_frames(kind, seed),
+        FaultClass::PartialWrites => partial_writes(kind, seed),
+        FaultClass::CompactorDelay => compactor_delay(kind, seed),
+        FaultClass::ClientDisconnect => client_disconnect(kind, seed),
+    }
+}
+
+/// Class 1: worker threads die and respawn. Every batch is still
+/// acknowledged (rerouted to a surviving shard); the loss is whatever the
+/// dead incarnations held, and the bound absorbs it as slack.
+fn shard_death(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::ShardDeath, kind, seed);
+    let plan = Arc::new(SeededPlan::new(seed).death_every(40));
+    let cfg = base_config(kind, seed)
+        .shards(4)
+        .queue_depth(4)
+        .delta_updates(256)
+        .fault_plan(Arc::clone(&plan) as Arc<dyn ms_service::FaultPlan>);
+    let engine = Engine::start(cfg).map_err(|e| h.fail(e))?;
+    for batch in stream(40_000, seed).chunks(100) {
+        engine.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+    }
+    let snap = engine.shutdown();
+    let metrics = engine.metrics();
+    if metrics.shards_lost == 0 || plan.deaths.load(Ordering::Relaxed) == 0 {
+        return Err(h.fail("no shard death was ever triggered"));
+    }
+    if metrics.retries == 0 {
+        return Err(h.fail("no batch was ever rerouted off a dead shard"));
+    }
+    h.finish(&snap.summary, metrics)
+}
+
+/// Class 2: queues saturate. `try_ingest` sheds batches under a stalling
+/// worker; shed batches were never accepted, so the strict `ε·n` bound
+/// applies to what was.
+fn backpressure(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::Backpressure, kind, seed);
+    let plan = Arc::new(SeededPlan::new(seed).stall(10_000, 1));
+    let cfg = base_config(kind, seed)
+        .shards(1)
+        .queue_depth(1)
+        .delta_updates(256)
+        .fault_plan(Arc::clone(&plan) as Arc<dyn ms_service::FaultPlan>);
+    let engine = Engine::start(cfg).map_err(|e| h.fail(e))?;
+    for batch in stream(20_000, seed).chunks(100) {
+        match engine.try_ingest(batch.to_vec()) {
+            Ok(()) => h.accepted.extend_from_slice(batch),
+            Err(ServiceError::Backpressure) => {
+                // Shed. Brief pause so the stalled worker makes progress
+                // and later batches have a chance.
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            Err(other) => return Err(h.fail(other)),
+        }
+    }
+    let snap = engine.shutdown();
+    let metrics = engine.metrics();
+    if metrics.dropped == 0 {
+        return Err(h.fail("queues never saturated"));
+    }
+    if h.accepted.is_empty() {
+        return Err(h.fail("backpressure rejected everything"));
+    }
+    if snap.summary.total_weight() != h.accepted.len() as u64 {
+        return Err(h.fail(format!(
+            "accepted {} but snapshot holds {} — shedding must not lose accepted data",
+            h.accepted.len(),
+            snap.summary.total_weight()
+        )));
+    }
+    h.finish(&snap.summary, metrics)
+}
+
+/// Class 3: corrupted frames over TCP — truncations, header bit flips,
+/// foreign magic, future versions, absurd lengths. Each must be counted
+/// and rejected without disturbing the clean traffic sharing the server.
+fn corrupt_frames(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::CorruptFrames, kind, seed);
+    let mut rng = Rng64::new(seed);
+    let engine = Engine::start(base_config(kind, seed).shards(2)).map_err(|e| h.fail(e))?;
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").map_err(|e| h.fail(e))?;
+    let addr = server.local_addr();
+    let mut clean = fast_client(addr).map_err(|e| h.fail(e))?;
+
+    let mut corrupted = 0u64;
+    for (i, batch) in stream(16_000, seed).chunks(100).enumerate() {
+        clean.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+        if i % 8 == 0 {
+            // A separate, doomed connection delivers the damaged frame so
+            // the clean client's stream stays parseable.
+            let frame =
+                WireFrame::from_value(REQUEST_TAG, &Request::Ingest(batch.to_vec())).to_bytes();
+            let bad = Corruption::All.apply(&frame, &mut rng);
+            let mut victim = fast_client(addr).map_err(|e| h.fail(e))?;
+            victim.send_raw(&bad).map_err(|e| h.fail(e))?;
+            // Abandon without waiting: a corruption the server detects
+            // immediately is answered and counted; one that leaves it
+            // blocked mid-read resolves to a counted rejection when the
+            // severed connection is observed.
+            victim.abandon();
+            corrupted += 1;
+        }
+    }
+    clean.flush().map_err(|e| h.fail(e))?;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while engine.metrics().frames_rejected < corrupted && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.stop();
+    let snap = engine.snapshot();
+    let metrics = engine.metrics();
+    if metrics.frames_rejected < corrupted {
+        return Err(h.fail(format!(
+            "sent {corrupted} corrupt frames but only {} were counted as rejected",
+            metrics.frames_rejected
+        )));
+    }
+    h.finish(&snap.summary, metrics)
+}
+
+/// Class 4: partial TCP writes — valid frames cut mid-stream by a peer
+/// that dies. The server must treat the stub as a rejected frame and the
+/// accepted stream must stay exact.
+fn partial_writes(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::PartialWrites, kind, seed);
+    let mut rng = Rng64::new(seed);
+    let engine = Engine::start(base_config(kind, seed).shards(2)).map_err(|e| h.fail(e))?;
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").map_err(|e| h.fail(e))?;
+    let addr = server.local_addr();
+    let mut clean = fast_client(addr).map_err(|e| h.fail(e))?;
+
+    let mut partials = 0u64;
+    for (i, batch) in stream(16_000, seed).chunks(100).enumerate() {
+        clean.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+        if i % 10 == 0 {
+            let frame =
+                WireFrame::from_value(REQUEST_TAG, &Request::Ingest(batch.to_vec())).to_bytes();
+            let prefix = partial_prefix(&frame, &mut rng);
+            let mut victim = fast_client(addr).map_err(|e| h.fail(e))?;
+            victim.send_raw(&prefix).map_err(|e| h.fail(e))?;
+            // Die mid-write: the severed connection is the fault.
+            victim.abandon();
+            partials += 1;
+        }
+    }
+    clean.flush().map_err(|e| h.fail(e))?;
+    // Give the connection threads a moment to observe the severed peers.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while engine.metrics().frames_rejected < partials && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.stop();
+    let snap = engine.snapshot();
+    let metrics = engine.metrics();
+    if metrics.frames_rejected < partials {
+        return Err(h.fail(format!(
+            "sent {partials} partial frames but only {} were counted as rejected",
+            metrics.frames_rejected
+        )));
+    }
+    h.finish(&snap.summary, metrics)
+}
+
+/// Class 5: the compactor lags. Delayed merges must delay visibility, not
+/// correctness — after the final flush everything accepted is visible and
+/// within the strict bound.
+fn compactor_delay(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::CompactorDelay, kind, seed);
+    let plan = Arc::new(SeededPlan::new(seed).compactor_stall_every(3, 2));
+    let cfg = base_config(kind, seed)
+        .shards(4)
+        .delta_updates(256)
+        .fault_plan(Arc::clone(&plan) as Arc<dyn ms_service::FaultPlan>);
+    let engine = Engine::start(cfg).map_err(|e| h.fail(e))?;
+    for batch in stream(20_000, seed).chunks(100) {
+        engine.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+    }
+    engine.flush().map_err(|e| h.fail(e))?;
+    let snap = engine.shutdown();
+    let metrics = engine.metrics();
+    if plan.compactor_stalls.load(Ordering::Relaxed) == 0 {
+        return Err(h.fail("compactor was never stalled"));
+    }
+    if snap.summary.total_weight() != h.accepted.len() as u64 {
+        return Err(h.fail("a lagging compactor lost data"));
+    }
+    h.finish(&snap.summary, metrics)
+}
+
+/// Class 6: clients vanish mid-epoch. Acked ingests from a vanished
+/// client must survive; one request abandoned before its ack may or may
+/// not have landed (its weight widens the slack); a mid-frame abandon is
+/// a rejected frame.
+fn client_disconnect(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::ClientDisconnect, kind, seed);
+    let mut rng = Rng64::new(seed);
+    let engine = Engine::start(base_config(kind, seed).shards(2)).map_err(|e| h.fail(e))?;
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").map_err(|e| h.fail(e))?;
+    let addr = server.local_addr();
+
+    let items = stream(18_000, seed);
+    let (first, rest) = items.split_at(6_000);
+    let (second, third) = rest.split_at(6_000);
+
+    // Client A: ingests its slice, acked, then vanishes without flushing.
+    let mut a = fast_client(addr).map_err(|e| h.fail(e))?;
+    for batch in first.chunks(100) {
+        a.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+    }
+    a.abandon();
+
+    // Client B: acked ingests, then one full request abandoned before
+    // reading the ack (it may have been applied), then a frame severed
+    // mid-write (never applied, counted as rejected).
+    let mut b = fast_client(addr).map_err(|e| h.fail(e))?;
+    let mut batches = second.chunks(100);
+    let orphan = batches.next().expect("slice is non-empty");
+    for batch in batches {
+        b.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+    }
+    let orphan_frame =
+        WireFrame::from_value(REQUEST_TAG, &Request::Ingest(orphan.to_vec())).to_bytes();
+    b.send_raw(&orphan_frame).map_err(|e| h.fail(e))?;
+    h.unacked_weight += orphan.len() as u64;
+    b.abandon();
+
+    let mut c = fast_client(addr).map_err(|e| h.fail(e))?;
+    let cut_frame =
+        WireFrame::from_value(REQUEST_TAG, &Request::Ingest(orphan.to_vec())).to_bytes();
+    c.send_raw(&partial_prefix(&cut_frame, &mut rng))
+        .map_err(|e| h.fail(e))?;
+    c.abandon();
+
+    // Client D survives all three disconnects and finishes the stream.
+    let mut d = fast_client(addr).map_err(|e| h.fail(e))?;
+    for batch in third.chunks(100) {
+        d.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+    }
+    d.flush().map_err(|e| h.fail(e))?;
+
+    // Wait until the severed mid-frame write is observed and any orphan
+    // ingest has settled.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while engine.metrics().frames_rejected < 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    d.flush().map_err(|e| h.fail(e))?;
+    server.stop();
+    let snap = engine.snapshot();
+    let metrics = engine.metrics();
+    if metrics.frames_rejected < 1 {
+        return Err(h.fail("mid-frame disconnect was never observed"));
+    }
+    if snap.summary.total_weight() < h.accepted.len() as u64 {
+        return Err(h.fail(format!(
+            "acked weight {} outlived its clients but snapshot holds only {}",
+            h.accepted.len(),
+            snap.summary.total_weight()
+        )));
+    }
+    h.finish(&snap.summary, metrics)
+}

@@ -1,0 +1,82 @@
+//! One seeded schedule per fault class (and a full family matrix for the
+//! richest class). Each test prints the schedule report, whose seed
+//! replays the run via `run_schedule(class, kind, seed)` — a failure
+//! message carries the same seed.
+
+use ms_faultsim::{run_schedule, FaultClass};
+use ms_service::SummaryKind;
+
+/// Seed shared by the per-class tests. The schedules are deterministic in
+/// it; if a test fails, rerun with the printed seed.
+const SEED: u64 = 0xF417_5EED;
+
+fn run(class: FaultClass, kind: SummaryKind) -> ms_faultsim::ScheduleReport {
+    let report = run_schedule(class, kind, SEED).unwrap_or_else(|msg| panic!("{msg}"));
+    println!("{report}");
+    report
+}
+
+#[test]
+fn shard_death_respawns_and_keeps_the_bound() {
+    let report = run(FaultClass::ShardDeath, SummaryKind::Mg);
+    assert!(report.metrics.shards_lost >= 1, "fault never triggered");
+    assert!(report.metrics.retries >= 1, "no batch was rerouted");
+    // Deaths lose only bounded state: pending delta + queued batches.
+    assert!(report.surviving_weight > 0);
+}
+
+#[test]
+fn shard_death_holds_for_every_family() {
+    for kind in SummaryKind::all() {
+        let report = run(FaultClass::ShardDeath, kind);
+        assert!(report.metrics.shards_lost >= 1, "{kind:?}: no death");
+    }
+}
+
+#[test]
+fn backpressure_sheds_load_without_losing_accepted_data() {
+    let report = run(FaultClass::Backpressure, SummaryKind::SpaceSaving);
+    assert!(report.metrics.dropped >= 1, "queues never saturated");
+    // Shedding is not loss: everything acknowledged survived.
+    assert_eq!(report.surviving_weight, report.accepted_weight);
+    assert_eq!(report.slack, 0);
+}
+
+#[test]
+fn corrupt_frames_are_rejected_and_counted() {
+    let report = run(FaultClass::CorruptFrames, SummaryKind::Mg);
+    assert!(report.metrics.frames_rejected >= 1, "no frame was rejected");
+    // Corruption must not leak into the accepted stream.
+    assert_eq!(report.surviving_weight, report.accepted_weight);
+}
+
+#[test]
+fn partial_writes_are_rejected_and_counted() {
+    let report = run(FaultClass::PartialWrites, SummaryKind::CountMin);
+    assert!(report.metrics.frames_rejected >= 1, "no stub was rejected");
+    assert_eq!(report.surviving_weight, report.accepted_weight);
+}
+
+#[test]
+fn compactor_delay_postpones_visibility_not_correctness() {
+    let report = run(FaultClass::CompactorDelay, SummaryKind::HybridQuantile);
+    assert_eq!(report.surviving_weight, report.accepted_weight);
+    assert!(report.metrics.merges >= 1);
+}
+
+#[test]
+fn client_disconnects_leave_acked_data_intact() {
+    let report = run(FaultClass::ClientDisconnect, SummaryKind::Mg);
+    assert!(report.metrics.frames_rejected >= 1, "severed frame unseen");
+    assert!(report.surviving_weight >= report.accepted_weight);
+    // The one unacked request bounds the slack.
+    assert!(report.slack <= report.unacked_weight);
+    assert_eq!(report.unacked_weight, 100);
+}
+
+#[test]
+fn quantile_family_survives_wire_faults() {
+    let report = run(FaultClass::CorruptFrames, SummaryKind::HybridQuantile);
+    assert!(report.metrics.frames_rejected >= 1);
+    assert!(report.rank_check.is_some(), "rank bound was not checked");
+}

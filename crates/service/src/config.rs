@@ -1,7 +1,11 @@
 //! Engine configuration: which summary family each shard maintains and how
 //! the sharded pipeline is sized.
 
-use ms_core::{Wire, WireError, WireReader};
+use std::sync::Arc;
+
+use ms_core::{ServiceError, Wire, WireError, WireReader};
+
+use crate::fault::{FaultPlan, NoFaults};
 
 /// The summary family an engine maintains (one instance per shard plus the
 /// compacted global).
@@ -90,6 +94,14 @@ pub struct ServiceConfig {
     /// Base RNG / hash seed. Linear sketches must share it across shards;
     /// randomized quantile summaries fork it per shard.
     pub seed: u64,
+    /// Respawn a worker whose thread died (fault injection or a panic in a
+    /// summary). The respawned worker starts with a fresh, empty delta; the
+    /// dead worker's un-handed-off delta is lost, which mergeability makes
+    /// safe — see DESIGN.md §Failure model.
+    pub respawn_lost_shards: bool,
+    /// Fault-injection schedule consulted by workers and the compactor.
+    /// [`NoFaults`] in production.
+    pub fault_plan: Arc<dyn FaultPlan>,
 }
 
 impl ServiceConfig {
@@ -102,6 +114,8 @@ impl ServiceConfig {
             kind,
             epsilon,
             seed: 0x5E1F,
+            respawn_lost_shards: true,
+            fault_plan: Arc::new(NoFaults),
         }
     }
 
@@ -129,19 +143,31 @@ impl ServiceConfig {
         self
     }
 
+    /// Enable or disable respawning of dead worker shards.
+    pub fn respawn_lost_shards(mut self, respawn: bool) -> Self {
+        self.respawn_lost_shards = respawn;
+        self
+    }
+
+    /// Install a fault-injection schedule.
+    pub fn fault_plan(mut self, plan: Arc<dyn FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Validate the sizing parameters.
-    pub fn check(&self) -> std::result::Result<(), &'static str> {
+    pub fn check(&self) -> std::result::Result<(), ServiceError> {
         if self.shards == 0 {
-            return Err("shards must be at least 1");
+            return Err(ServiceError::Config("shards must be at least 1"));
         }
         if self.queue_depth == 0 {
-            return Err("queue_depth must be at least 1");
+            return Err(ServiceError::Config("queue_depth must be at least 1"));
         }
         if self.delta_updates == 0 {
-            return Err("delta_updates must be at least 1");
+            return Err(ServiceError::Config("delta_updates must be at least 1"));
         }
         if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
-            return Err("epsilon must be in (0, 1)");
+            return Err(ServiceError::Config("epsilon must be in (0, 1)"));
         }
         Ok(())
     }
@@ -171,11 +197,26 @@ mod tests {
     fn config_checks_sizing() {
         let good = ServiceConfig::new(SummaryKind::Mg, 0.01);
         assert!(good.check().is_ok());
-        assert!(good.clone().shards(0).check().is_err());
+        assert!(matches!(
+            good.clone().shards(0).check(),
+            Err(ServiceError::Config(_))
+        ));
         assert!(good.clone().queue_depth(0).check().is_err());
         assert!(good.clone().delta_updates(0).check().is_err());
         let mut bad_eps = good.clone();
         bad_eps.epsilon = 1.5;
         assert!(bad_eps.check().is_err());
+    }
+
+    #[test]
+    fn fault_plan_defaults_to_no_faults() {
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.01);
+        assert!(cfg.respawn_lost_shards);
+        assert_eq!(
+            cfg.fault_plan.worker_batch(0, 0),
+            crate::fault::FaultAction::Continue
+        );
+        let off = cfg.respawn_lost_shards(false);
+        assert!(!off.respawn_lost_shards);
     }
 }

@@ -26,16 +26,32 @@
 //! under a briefly-held lock and then works on the immutable snapshot;
 //! the compactor builds the next snapshot off to the side and swaps the
 //! `Arc` in.
+//!
+//! ## Failure model
+//!
+//! The engine is built to *degrade*, not die. A worker thread that exits
+//! without warning (injected via [`crate::FaultPlan`], or a panic inside a
+//! summary) loses only its un-handed-off delta and whatever batches were
+//! still queued behind it; every delta already merged by the compactor
+//! stays in the published snapshot, which remains a valid `ε·n'` summary of
+//! the `n'` updates that survived — that is the mergeability theorem doing
+//! systems work. Ingest detects the dead shard on the next send, counts it
+//! in [`MetricsReport::shards_lost`], reroutes the batch (counted in
+//! [`MetricsReport::retries`]) and, when `respawn_lost_shards` is set,
+//! restarts the worker with a fresh delta. Fallible operations return
+//! [`ServiceError`] instead of panicking, and internal locks tolerate
+//! poisoning (a panicking worker cannot take queries down with it).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use ms_core::{Mergeable, Summary};
+use ms_core::{Mergeable, ServiceError, Summary};
 
 use crate::config::ServiceConfig;
+use crate::fault::FaultAction;
 use crate::summary::ShardSummary;
 
 /// An immutable published view of the global summary.
@@ -66,6 +82,12 @@ pub struct MetricsReport {
     pub snapshot_age_micros: u64,
     /// Total weight visible in the current snapshot.
     pub snapshot_weight: u64,
+    /// Worker-death events detected (each respawn-or-tombstone counts once).
+    pub shards_lost: u64,
+    /// Wire frames the server rejected as malformed.
+    pub frames_rejected: u64,
+    /// Batches rerouted to another shard after a send to a dead one.
+    pub retries: u64,
 }
 
 #[derive(Default)]
@@ -74,6 +96,9 @@ struct Counters {
     batches: AtomicU64,
     dropped: AtomicU64,
     merges: AtomicU64,
+    shards_lost: AtomicU64,
+    frames_rejected: AtomicU64,
+    retries: AtomicU64,
 }
 
 enum WorkerMsg {
@@ -87,39 +112,78 @@ enum CompactMsg {
     Publish(Sender<()>),
 }
 
+/// One ingest shard: its queue sender (None = dead and not respawned) and a
+/// generation counter so concurrent senders agree on *which* incarnation
+/// died (only the first failure against a generation is a death event).
+struct ShardSlot {
+    gen: u64,
+    tx: Option<SyncSender<WorkerMsg>>,
+}
+
+/// Lock helpers: a poisoned lock means some thread panicked while holding
+/// it. Every critical section here leaves the data structurally valid at
+/// all times, so we keep serving instead of propagating the panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
 /// The engine: owns the worker and compactor threads. Cheap to share as
 /// `Arc<Engine>`; all public methods take `&self`.
 pub struct Engine {
     cfg: ServiceConfig,
-    workers: Vec<SyncSender<WorkerMsg>>,
+    shards: RwLock<Vec<ShardSlot>>,
+    /// Cumulative per-shard batch indices, shared with workers so a
+    /// respawned worker continues the count (fault plans key off it).
+    batch_indices: Arc<Vec<AtomicU64>>,
     compact_tx: Mutex<Option<Sender<CompactMsg>>>,
     snapshot: RwLock<Arc<Snapshot>>,
     counters: Arc<Counters>,
     next_shard: AtomicUsize,
     stopped: AtomicBool,
+    /// Held for the whole drain: a concurrent second `shutdown` blocks on
+    /// it and then observes the fully drained snapshot, never a partial one.
+    shutdown_lock: Mutex<()>,
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
     compactor_handle: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Engine {
     /// Start the worker and compactor threads for `cfg`.
-    pub fn start(cfg: ServiceConfig) -> Result<Arc<Engine>, &'static str> {
+    pub fn start(cfg: ServiceConfig) -> Result<Arc<Engine>, ServiceError> {
         cfg.check()?;
         let counters = Arc::new(Counters::default());
         let (compact_tx, compact_rx) = mpsc::channel::<CompactMsg>();
+        let batch_indices = Arc::new(
+            (0..cfg.shards)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>(),
+        );
 
-        let mut workers = Vec::with_capacity(cfg.shards);
+        let mut slots = Vec::with_capacity(cfg.shards);
         let mut worker_handles = Vec::with_capacity(cfg.shards);
         for shard in 0..cfg.shards {
             let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(cfg.queue_depth);
-            workers.push(tx);
-            worker_handles.push(spawn_worker(
+            let handle = spawn_worker(
                 shard,
                 cfg.clone(),
                 rx,
                 compact_tx.clone(),
                 Arc::clone(&counters),
-            ));
+                Arc::clone(&batch_indices),
+            )?;
+            slots.push(ShardSlot {
+                gen: 0,
+                tx: Some(tx),
+            });
+            worker_handles.push(handle);
         }
 
         let engine = Arc::new(Engine {
@@ -129,17 +193,19 @@ impl Engine {
                 published_at: Instant::now(),
             })),
             cfg: cfg.clone(),
-            workers,
+            shards: RwLock::new(slots),
+            batch_indices,
             compact_tx: Mutex::new(Some(compact_tx)),
             counters,
             next_shard: AtomicUsize::new(0),
             stopped: AtomicBool::new(false),
+            shutdown_lock: Mutex::new(()),
             worker_handles: Mutex::new(worker_handles),
             compactor_handle: Mutex::new(None),
         });
 
-        let compactor = spawn_compactor(Arc::clone(&engine), compact_rx);
-        *engine.compactor_handle.lock().unwrap() = Some(compactor);
+        let compactor = spawn_compactor(Arc::clone(&engine), compact_rx)?;
+        *lock(&engine.compactor_handle) = Some(compactor);
         Ok(engine)
     }
 
@@ -148,51 +214,178 @@ impl Engine {
         &self.cfg
     }
 
-    /// Enqueue a batch on the next shard, blocking while its queue is full
-    /// (backpressure). Returns `false` if the engine is shut down.
-    pub fn ingest(&self, batch: Vec<u64>) -> bool {
-        if self.stopped.load(Ordering::Acquire) || batch.is_empty() {
-            return false;
+    /// Clone the sender for `shard` if it is alive, with its generation.
+    fn shard_sender(&self, shard: usize) -> Option<(u64, SyncSender<WorkerMsg>)> {
+        let shards = read(&self.shards);
+        let slot = &shards[shard];
+        slot.tx.clone().map(|tx| (slot.gen, tx))
+    }
+
+    /// True when no shard has a live queue.
+    fn all_shards_dead(&self) -> bool {
+        read(&self.shards).iter().all(|s| s.tx.is_none())
+    }
+
+    /// Handle the death of `shard` at generation `gen`: count it once,
+    /// respawn (if configured and not shutting down) or tombstone the slot.
+    fn note_dead_shard(&self, shard: usize, gen: u64) {
+        let respawn = {
+            let mut shards = write(&self.shards);
+            let slot = &mut shards[shard];
+            if slot.gen != gen {
+                // Another thread already handled this incarnation's death.
+                return;
+            }
+            slot.gen += 1;
+            slot.tx = None;
+            self.counters.shards_lost.fetch_add(1, Ordering::Relaxed);
+            self.cfg.respawn_lost_shards && !self.stopped.load(Ordering::Acquire)
+        };
+        if !respawn {
+            return;
         }
-        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.workers.len();
-        if self.workers[shard].send(WorkerMsg::Batch(batch)).is_err() {
-            return false;
+        let Some(compact_tx) = lock(&self.compact_tx).clone() else {
+            return; // compactor already closed: shutdown is racing us
+        };
+        let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(self.cfg.queue_depth);
+        match spawn_worker(
+            shard,
+            self.cfg.clone(),
+            rx,
+            compact_tx,
+            Arc::clone(&self.counters),
+            Arc::clone(&self.batch_indices),
+        ) {
+            Ok(handle) => {
+                let mut shards = write(&self.shards);
+                // Install only if the slot is still vacant AND shutdown has
+                // not started meanwhile: `shutdown` sets `stopped` before
+                // taking this lock, so a worker installed here is guaranteed
+                // to be seen (and joined) by it. Otherwise drop `tx` — the
+                // fresh worker finds its queue closed and exits on its own.
+                if !self.stopped.load(Ordering::Acquire) && shards[shard].tx.is_none() {
+                    shards[shard].tx = Some(tx);
+                    lock(&self.worker_handles).push(handle);
+                }
+            }
+            Err(_) => {
+                // Could not respawn: the slot stays tombstoned and ingest
+                // keeps rerouting to the surviving shards.
+            }
         }
-        self.counters.batches.fetch_add(1, Ordering::Relaxed);
-        true
+    }
+
+    /// Enqueue a batch on the next live shard, blocking while its queue is
+    /// full (backpressure). A dead shard is counted, respawned if
+    /// configured, and the batch rerouted.
+    pub fn ingest(&self, batch: Vec<u64>) -> Result<(), ServiceError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let shard_count = self.cfg.shards;
+        let mut batch = batch;
+        let mut failures = 0usize;
+        loop {
+            if self.stopped.load(Ordering::Acquire) {
+                return Err(ServiceError::Shutdown);
+            }
+            let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % shard_count;
+            let Some((gen, tx)) = self.shard_sender(shard) else {
+                failures += 1;
+                if failures >= shard_count && self.all_shards_dead() {
+                    return Err(ServiceError::AllShardsLost);
+                }
+                continue;
+            };
+            match tx.send(WorkerMsg::Batch(batch)) {
+                Ok(()) => {
+                    self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(mpsc::SendError(msg)) => {
+                    let WorkerMsg::Batch(b) = msg else {
+                        unreachable!()
+                    };
+                    batch = b;
+                    self.note_dead_shard(shard, gen);
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    failures += 1;
+                    if failures >= shard_count.saturating_mul(2) && self.all_shards_dead() {
+                        return Err(ServiceError::AllShardsLost);
+                    }
+                }
+            }
+        }
     }
 
     /// Enqueue a batch without blocking. A full queue counts the batch as
-    /// dropped and returns `false`.
-    pub fn try_ingest(&self, batch: Vec<u64>) -> bool {
-        if self.stopped.load(Ordering::Acquire) || batch.is_empty() {
-            return false;
+    /// dropped and returns [`ServiceError::Backpressure`]; a dead shard is
+    /// rerouted like [`Engine::ingest`].
+    pub fn try_ingest(&self, batch: Vec<u64>) -> Result<(), ServiceError> {
+        if batch.is_empty() {
+            return Ok(());
         }
-        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.workers.len();
-        match self.workers[shard].try_send(WorkerMsg::Batch(batch)) {
-            Ok(()) => {
-                self.counters.batches.fetch_add(1, Ordering::Relaxed);
-                true
-            }
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
-                false
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(ServiceError::Shutdown);
+        }
+        let shard_count = self.cfg.shards;
+        let mut batch = batch;
+        let mut attempts = 0usize;
+        while attempts < shard_count.saturating_mul(2) {
+            let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % shard_count;
+            let Some((gen, tx)) = self.shard_sender(shard) else {
+                attempts += 1;
+                if self.all_shards_dead() {
+                    return Err(ServiceError::AllShardsLost);
+                }
+                continue;
+            };
+            match tx.try_send(WorkerMsg::Batch(batch)) {
+                Ok(()) => {
+                    self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(TrySendError::Full(_)) => {
+                    self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServiceError::Backpressure);
+                }
+                Err(TrySendError::Disconnected(msg)) => {
+                    let WorkerMsg::Batch(b) = msg else {
+                        unreachable!()
+                    };
+                    batch = b;
+                    self.note_dead_shard(shard, gen);
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    attempts += 1;
+                }
             }
         }
+        Err(ServiceError::AllShardsLost)
     }
 
-    /// Force every worker to hand its delta to the compactor and publish a
-    /// fresh snapshot containing all data ingested before this call.
+    /// Force every live worker to hand its delta to the compactor and
+    /// publish a fresh snapshot containing all data ingested before this
+    /// call. Dead shards are skipped (their loss is already accounted).
     ///
     /// Ordering argument: each worker pushes its delta onto the compactor
     /// queue *before* acking, and the publish barrier is enqueued after all
     /// acks, so the barrier drains behind every delta.
-    pub fn flush(&self) {
+    pub fn flush(&self) -> Result<(), ServiceError> {
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(ServiceError::Shutdown);
+        }
         let (ack_tx, ack_rx) = mpsc::channel();
         let mut waiting = 0;
-        for tx in &self.workers {
+        let targets: Vec<(usize, u64, SyncSender<WorkerMsg>)> = read(&self.shards)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.tx.clone().map(|tx| (i, s.gen, tx)))
+            .collect();
+        for (shard, gen, tx) in targets {
             if tx.send(WorkerMsg::Flush(ack_tx.clone())).is_ok() {
                 waiting += 1;
+            } else {
+                self.note_dead_shard(shard, gen);
             }
         }
         drop(ack_tx);
@@ -201,7 +394,7 @@ impl Engine {
         }
         let (pub_tx, pub_rx) = mpsc::channel();
         let sent = {
-            let guard = self.compact_tx.lock().unwrap();
+            let guard = lock(&self.compact_tx);
             match guard.as_ref() {
                 Some(tx) => tx.send(CompactMsg::Publish(pub_tx)).is_ok(),
                 None => false,
@@ -209,22 +402,33 @@ impl Engine {
         };
         if sent {
             let _ = pub_rx.recv();
+            Ok(())
+        } else {
+            Err(ServiceError::Shutdown)
         }
     }
 
     /// The current snapshot. The lock is held only to clone the `Arc`.
+    /// Always answers, even after shutdown or a worker panic.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.snapshot.read().unwrap())
+        Arc::clone(&read(&self.snapshot))
     }
 
     fn publish(&self, summary: ShardSummary) {
-        let mut guard = self.snapshot.write().unwrap();
+        let mut guard = write(&self.snapshot);
         let epoch = guard.epoch + 1;
         *guard = Arc::new(Snapshot {
             epoch,
             summary,
             published_at: Instant::now(),
         });
+    }
+
+    /// Record a wire frame the server rejected as malformed.
+    pub fn record_rejected_frame(&self) {
+        self.counters
+            .frames_rejected
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current counters plus snapshot-derived gauges.
@@ -238,30 +442,46 @@ impl Engine {
             epoch: snap.epoch,
             snapshot_age_micros: snap.published_at.elapsed().as_micros() as u64,
             snapshot_weight: snap.summary.total_weight(),
+            shards_lost: self.counters.shards_lost.load(Ordering::Relaxed),
+            frames_rejected: self.counters.frames_rejected.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
         }
     }
 
     /// Drain everything, stop all threads, and return the final snapshot.
     /// Idempotent; later calls just return the current snapshot.
     pub fn shutdown(&self) -> Arc<Snapshot> {
+        let _draining = lock(&self.shutdown_lock);
         if self.stopped.swap(true, Ordering::AcqRel) {
+            // Whoever held the lock before us finished the drain.
             return self.snapshot();
         }
         // Drain workers: their Shutdown handler forwards any pending delta.
-        for tx in &self.workers {
+        let txs: Vec<SyncSender<WorkerMsg>> = {
+            let mut shards = write(&self.shards);
+            shards
+                .iter_mut()
+                .filter_map(|slot| {
+                    slot.gen += 1;
+                    slot.tx.take()
+                })
+                .collect()
+        };
+        for tx in &txs {
             let _ = tx.send(WorkerMsg::Shutdown);
         }
-        for handle in self.worker_handles.lock().unwrap().drain(..) {
+        drop(txs);
+        for handle in lock(&self.worker_handles).drain(..) {
             let _ = handle.join();
         }
         // Publish whatever the compactor accumulated, then close its queue.
         let (pub_tx, pub_rx) = mpsc::channel();
-        if let Some(tx) = self.compact_tx.lock().unwrap().take() {
+        if let Some(tx) = lock(&self.compact_tx).take() {
             if tx.send(CompactMsg::Publish(pub_tx)).is_ok() {
                 let _ = pub_rx.recv();
             }
         }
-        if let Some(handle) = self.compactor_handle.lock().unwrap().take() {
+        if let Some(handle) = lock(&self.compactor_handle).take() {
             let _ = handle.join();
         }
         self.snapshot()
@@ -274,7 +494,8 @@ fn spawn_worker(
     rx: Receiver<WorkerMsg>,
     compact_tx: Sender<CompactMsg>,
     counters: Arc<Counters>,
-) -> JoinHandle<()> {
+    batch_indices: Arc<Vec<AtomicU64>>,
+) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("ms-worker-{shard}"))
         .spawn(move || {
@@ -290,6 +511,19 @@ fn spawn_worker(
             for msg in rx {
                 match msg {
                     WorkerMsg::Batch(items) => {
+                        let index = batch_indices[shard].fetch_add(1, Ordering::Relaxed);
+                        match cfg.fault_plan.worker_batch(shard, index) {
+                            FaultAction::Continue => {}
+                            FaultAction::StallMs(ms) => {
+                                std::thread::sleep(std::time::Duration::from_millis(ms));
+                            }
+                            FaultAction::Die => {
+                                // Crash semantics: the pending delta and all
+                                // queued batches are lost; deltas already
+                                // handed off survive in the global summary.
+                                return;
+                            }
+                        }
                         counters
                             .updates
                             .fetch_add(items.len() as u64, Ordering::Relaxed);
@@ -312,18 +546,26 @@ fn spawn_worker(
                 }
             }
         })
-        .expect("spawn worker thread")
 }
 
-fn spawn_compactor(engine: Arc<Engine>, rx: Receiver<CompactMsg>) -> JoinHandle<()> {
+fn spawn_compactor(
+    engine: Arc<Engine>,
+    rx: Receiver<CompactMsg>,
+) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name("ms-compactor".to_string())
         .spawn(move || {
             let cfg = engine.cfg.clone();
             let mut global = ShardSummary::new(&cfg, usize::MAX);
+            let mut merge_index = 0u64;
             for msg in rx {
                 match msg {
                     CompactMsg::Delta(delta) => {
+                        let stall_ms = cfg.fault_plan.compactor_merge(merge_index);
+                        merge_index += 1;
+                        if stall_ms > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(stall_ms));
+                        }
                         match global.clone().merge(delta) {
                             Ok(merged) => global = merged,
                             // Deltas come from ShardSummary::new under the
@@ -342,21 +584,23 @@ fn spawn_compactor(engine: Arc<Engine>, rx: Receiver<CompactMsg>) -> JoinHandle<
                 }
             }
         })
-        .expect("spawn compactor thread")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::SummaryKind;
+    use crate::fault::plan_fn;
 
     #[test]
     fn ingest_flush_query_roundtrip() {
         let engine = Engine::start(ServiceConfig::new(SummaryKind::Mg, 0.05).shards(2)).unwrap();
         for chunk in (0..10_000u64).collect::<Vec<_>>().chunks(100) {
-            assert!(engine.ingest(chunk.iter().map(|&v| v % 10).collect()));
+            engine
+                .ingest(chunk.iter().map(|&v| v % 10).collect())
+                .unwrap();
         }
-        engine.flush();
+        engine.flush().unwrap();
         let snap = engine.snapshot();
         assert_eq!(snap.summary.total_weight(), 10_000);
         assert!(snap.epoch >= 1);
@@ -365,6 +609,8 @@ mod tests {
         assert_eq!(m.batches, 100);
         assert_eq!(m.dropped, 0);
         assert_eq!(m.snapshot_weight, 10_000);
+        assert_eq!(m.shards_lost, 0);
+        assert_eq!(m.retries, 0);
         engine.shutdown();
     }
 
@@ -373,7 +619,7 @@ mod tests {
         let engine =
             Engine::start(ServiceConfig::new(SummaryKind::CountMin, 0.01).shards(3)).unwrap();
         for _ in 0..30 {
-            assert!(engine.ingest(vec![7; 50]));
+            engine.ingest(vec![7; 50]).unwrap();
         }
         // No flush: shutdown itself must make all 1500 updates visible.
         let snap = engine.shutdown();
@@ -381,7 +627,9 @@ mod tests {
         assert_eq!(snap.summary.point(7), Some(1500));
         // Idempotent.
         assert_eq!(engine.shutdown().summary.total_weight(), 1500);
-        assert!(!engine.ingest(vec![1]));
+        assert_eq!(engine.ingest(vec![1]), Err(ServiceError::Shutdown));
+        assert_eq!(engine.flush(), Err(ServiceError::Shutdown));
+        assert_eq!(engine.try_ingest(vec![1]), Err(ServiceError::Shutdown));
     }
 
     #[test]
@@ -393,10 +641,10 @@ mod tests {
         let mut accepted = 0u64;
         let mut rejected = 0u64;
         for _ in 0..2_000 {
-            if engine.try_ingest(vec![1; 512]) {
-                accepted += 1;
-            } else {
-                rejected += 1;
+            match engine.try_ingest(vec![1; 512]) {
+                Ok(()) => accepted += 1,
+                Err(ServiceError::Backpressure) => rejected += 1,
+                Err(other) => panic!("unexpected {other:?}"),
             }
         }
         let m = engine.metrics();
@@ -412,11 +660,11 @@ mod tests {
             .shards(2)
             .delta_updates(100);
         let engine = Engine::start(cfg).unwrap();
-        engine.ingest((0..500).collect());
-        engine.flush();
+        engine.ingest((0..500).collect()).unwrap();
+        engine.flush().unwrap();
         let early = engine.snapshot();
-        engine.ingest((0..500).collect());
-        engine.flush();
+        engine.ingest((0..500).collect()).unwrap();
+        engine.flush().unwrap();
         let late = engine.snapshot();
         assert!(late.epoch > early.epoch);
         // The old snapshot still answers from its own epoch.
@@ -427,6 +675,135 @@ mod tests {
 
     #[test]
     fn rejects_bad_config() {
-        assert!(Engine::start(ServiceConfig::new(SummaryKind::Mg, 0.05).shards(0)).is_err());
+        assert!(matches!(
+            Engine::start(ServiceConfig::new(SummaryKind::Mg, 0.05).shards(0)),
+            Err(ServiceError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn dead_shard_is_detected_rerouted_and_respawned() {
+        // Shard 0 dies at its third batch; the engine must keep accepting
+        // every batch (rerouting + respawning) and lose at most the dead
+        // worker's pending delta and queued batches.
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.05)
+            .shards(2)
+            .delta_updates(50)
+            .queue_depth(4)
+            .fault_plan(plan_fn(|shard, idx| {
+                if shard == 0 && idx == 2 {
+                    FaultAction::Die
+                } else {
+                    FaultAction::Continue
+                }
+            }));
+        let engine = Engine::start(cfg).unwrap();
+        let mut accepted = 0u64;
+        for _ in 0..200 {
+            engine.ingest(vec![3; 10]).unwrap();
+            accepted += 10;
+        }
+        let snap = engine.shutdown();
+        let m = engine.metrics();
+        assert!(m.shards_lost >= 1, "death not detected: {m:?}");
+        let surviving = snap.summary.total_weight();
+        assert!(surviving <= accepted);
+        // The respawned shard keeps absorbing, so the loss is bounded by
+        // what one incarnation could hold: its pending delta (< 50 updates
+        // per hand-off threshold) plus queued batches (4 × 10) plus the
+        // batch it died on.
+        let max_loss = 50 + 4 * 10 + 10;
+        assert!(
+            accepted - surviving <= max_loss,
+            "lost {} > {max_loss}",
+            accepted - surviving
+        );
+    }
+
+    #[test]
+    fn respawn_disabled_tombstones_the_shard() {
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.05)
+            .shards(2)
+            .respawn_lost_shards(false)
+            .fault_plan(plan_fn(|shard, idx| {
+                if shard == 0 && idx == 0 {
+                    FaultAction::Die
+                } else {
+                    FaultAction::Continue
+                }
+            }));
+        let engine = Engine::start(cfg).unwrap();
+        for _ in 0..50 {
+            engine.ingest(vec![1; 4]).unwrap();
+        }
+        // Give the dying worker time to process its first batch, then keep
+        // ingesting: every batch must land on the surviving shard.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        for _ in 0..50 {
+            engine.ingest(vec![1; 4]).unwrap();
+        }
+        let m = engine.metrics();
+        engine.shutdown();
+        assert_eq!(m.shards_lost, 1);
+        assert!(m.retries >= 1);
+    }
+
+    #[test]
+    fn all_shards_dead_is_a_typed_error() {
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.05)
+            .shards(1)
+            .respawn_lost_shards(false)
+            .fault_plan(plan_fn(|_, idx| {
+                if idx == 0 {
+                    FaultAction::Die
+                } else {
+                    FaultAction::Continue
+                }
+            }));
+        let engine = Engine::start(cfg).unwrap();
+        // First batch reaches the queue; the worker dies on it.
+        engine.ingest(vec![1]).unwrap();
+        // Eventually every send fails and the engine reports total loss.
+        let mut saw_all_lost = false;
+        for _ in 0..1_000 {
+            match engine.ingest(vec![2]) {
+                Ok(()) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                Err(ServiceError::AllShardsLost) => {
+                    saw_all_lost = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_all_lost);
+        assert_eq!(engine.metrics().shards_lost, 1);
+        // Queries still answer from the last published snapshot.
+        let _ = engine.snapshot();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn compactor_stall_delays_but_preserves_data() {
+        use std::sync::atomic::AtomicU64 as A;
+        #[derive(Debug, Default)]
+        struct SlowCompactor(A);
+        impl crate::fault::FaultPlan for SlowCompactor {
+            fn compactor_merge(&self, _merge_index: u64) -> u64 {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                1
+            }
+        }
+        let plan = Arc::new(SlowCompactor::default());
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.05)
+            .shards(2)
+            .delta_updates(100)
+            .fault_plan(Arc::clone(&plan) as Arc<dyn crate::fault::FaultPlan>);
+        let engine = Engine::start(cfg).unwrap();
+        for _ in 0..20 {
+            engine.ingest(vec![5; 100]).unwrap();
+        }
+        let snap = engine.shutdown();
+        assert_eq!(snap.summary.total_weight(), 2000);
+        assert!(plan.0.load(Ordering::Relaxed) >= 1, "stall never consulted");
     }
 }

@@ -1,0 +1,111 @@
+//! Fault-injection seams.
+//!
+//! The engine consults a [`FaultPlan`] at every decision point where a real
+//! deployment can fail: before a worker absorbs a batch (thread death,
+//! scheduling stalls) and before the compactor merges a delta (compaction
+//! lag). The default plan, [`NoFaults`], says "continue" everywhere and
+//! costs two virtual calls per batch — the production path is unchanged.
+//!
+//! Plans must be deterministic functions of their inputs (shard id and a
+//! cumulative per-shard batch index maintained by the engine) so that a
+//! schedule is reproducible from a printed seed. `ms-faultsim` builds
+//! seeded plans on top of this trait; unit tests can use closures via
+//! [`plan_fn`].
+
+use std::fmt;
+use std::sync::Arc;
+
+/// What a worker should do with the batch it is about to absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Absorb the batch normally.
+    Continue,
+    /// Sleep this many milliseconds first (scheduling stall — saturates the
+    /// bounded queue behind the worker and exercises backpressure).
+    StallMs(u64),
+    /// Die *now*, before absorbing the batch: the thread exits without
+    /// handing off its pending delta, and everything still queued behind it
+    /// is dropped — exactly what a crashed shard loses.
+    Die,
+}
+
+/// A deterministic schedule of injected faults.
+///
+/// Implementations must be `Send + Sync` (consulted concurrently from every
+/// worker and the compactor) and should derive their answers only from the
+/// arguments, so the same seed replays the same schedule.
+pub trait FaultPlan: Send + Sync + fmt::Debug {
+    /// Consulted by worker `shard` before absorbing a batch. `batch_index`
+    /// counts batches *cumulatively across respawns* of that shard, so "die
+    /// at index k" fires exactly once even if the shard is restarted.
+    fn worker_batch(&self, shard: usize, batch_index: u64) -> FaultAction {
+        let _ = (shard, batch_index);
+        FaultAction::Continue
+    }
+
+    /// Consulted by the compactor before merge number `merge_index`.
+    /// Returns a stall in milliseconds (0 = no fault).
+    fn compactor_merge(&self, merge_index: u64) -> u64 {
+        let _ = merge_index;
+        0
+    }
+}
+
+/// The default plan: no faults anywhere.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultPlan for NoFaults {}
+
+/// A plan backed by a plain function, for tests:
+/// `plan_fn(|shard, idx| if idx == 3 { FaultAction::Die } else { FaultAction::Continue })`.
+pub fn plan_fn<F>(f: F) -> Arc<dyn FaultPlan>
+where
+    F: Fn(usize, u64) -> FaultAction + Send + Sync + 'static,
+{
+    struct FnPlan<F>(F);
+    impl<F> fmt::Debug for FnPlan<F> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("FnPlan")
+        }
+    }
+    impl<F> FaultPlan for FnPlan<F>
+    where
+        F: Fn(usize, u64) -> FaultAction + Send + Sync,
+    {
+        fn worker_batch(&self, shard: usize, batch_index: u64) -> FaultAction {
+            (self.0)(shard, batch_index)
+        }
+    }
+    Arc::new(FnPlan(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_always_continues() {
+        let plan = NoFaults;
+        for shard in 0..4 {
+            for idx in 0..100 {
+                assert_eq!(plan.worker_batch(shard, idx), FaultAction::Continue);
+            }
+        }
+        assert_eq!(plan.compactor_merge(0), 0);
+    }
+
+    #[test]
+    fn fn_plans_dispatch() {
+        let plan = plan_fn(|shard, idx| {
+            if shard == 1 && idx == 2 {
+                FaultAction::Die
+            } else {
+                FaultAction::Continue
+            }
+        });
+        assert_eq!(plan.worker_batch(0, 2), FaultAction::Continue);
+        assert_eq!(plan.worker_batch(1, 2), FaultAction::Die);
+        assert_eq!(format!("{plan:?}"), "FnPlan");
+    }
+}

@@ -17,16 +17,28 @@
 //! (`ms_core::wire`), served by `mergeable serve` and exercised by
 //! `mergeable bench-client`.
 //!
+//! The same mergeability argument covers *failure*: a crashed shard's
+//! published deltas are already merged, so the engine degrades to a valid
+//! summary of the surviving updates instead of dying. The [`fault`] module
+//! defines the injection seams ([`FaultPlan`]) the `ms-faultsim` harness
+//! drives to prove that under seeded schedules of shard death, queue
+//! saturation, frame corruption and client disconnects; every failure path
+//! returns a typed [`ServiceError`].
+//!
 //! [`Wire`]: ms_core::Wire
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod protocol;
 pub mod server;
 pub mod summary;
 
 pub use config::{ServiceConfig, SummaryKind};
 pub use engine::{Engine, MetricsReport, Snapshot};
-pub use protocol::{Request, Response, REQUEST_TAG, RESPONSE_TAG};
-pub use server::{dispatch, Client, Server};
+pub use fault::{plan_fn, FaultAction, FaultPlan, NoFaults};
+pub use protocol::{decode_request, Request, Response, REQUEST_TAG, RESPONSE_TAG};
+pub use server::{dispatch, Client, ClientOptions, Server};
 pub use summary::ShardSummary;
+
+pub use ms_core::ServiceError;

@@ -1,8 +1,13 @@
 //! Request/response protocol: `Wire`-encoded values carried in
 //! [`WireFrame`]s over TCP (tag [`REQUEST_TAG`] client→server,
 //! [`RESPONSE_TAG`] server→client).
+//!
+//! Decoding is total: any malformed frame — wrong tag, unknown opcode,
+//! truncated or trailing payload — comes back as a typed [`WireError`]
+//! that the server converts into a [`Response::Error`] (and counts in
+//! `frames_rejected`) instead of killing the connection thread.
 
-use ms_core::{Wire, WireError, WireReader};
+use ms_core::{Wire, WireError, WireFrame, WireReader};
 
 use crate::engine::MetricsReport;
 
@@ -32,6 +37,24 @@ pub enum Request {
     Metrics,
     /// The full global summary, binary-encoded.
     Summary,
+}
+
+impl Request {
+    /// True when re-sending the request after a transport failure cannot
+    /// change engine state observed by anyone ([`Request::Ingest`] is the
+    /// one mutation that would double-count; `Flush` merely re-publishes).
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::Ingest(_))
+    }
+}
+
+/// Decode and validate a request frame: the tag must be [`REQUEST_TAG`]
+/// and the payload a complete [`Request`] with no trailing bytes.
+pub fn decode_request(frame: &WireFrame) -> Result<Request, WireError> {
+    if frame.tag != REQUEST_TAG {
+        return Err(WireError::BadTag(frame.tag));
+    }
+    frame.value::<Request>()
 }
 
 impl Wire for Request {
@@ -154,6 +177,9 @@ impl Wire for MetricsReport {
         self.epoch.encode_into(out);
         self.snapshot_age_micros.encode_into(out);
         self.snapshot_weight.encode_into(out);
+        self.shards_lost.encode_into(out);
+        self.frames_rejected.encode_into(out);
+        self.retries.encode_into(out);
     }
 
     fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
@@ -165,6 +191,9 @@ impl Wire for MetricsReport {
             epoch: u64::decode_from(r)?,
             snapshot_age_micros: u64::decode_from(r)?,
             snapshot_weight: u64::decode_from(r)?,
+            shards_lost: u64::decode_from(r)?,
+            frames_rejected: u64::decode_from(r)?,
+            retries: u64::decode_from(r)?,
         })
     }
 }
@@ -207,6 +236,9 @@ mod tests {
                 epoch: 5,
                 snapshot_age_micros: 6,
                 snapshot_weight: 7,
+                shards_lost: 8,
+                frames_rejected: 9,
+                retries: 10,
             }),
             Response::Summary(vec![0xAB; 16]),
             Response::Error("nope".into()),
@@ -220,5 +252,50 @@ mod tests {
     fn bad_opcodes_rejected() {
         assert!(Request::decode(&[99]).is_err());
         assert!(Response::decode(&[99]).is_err());
+    }
+
+    #[test]
+    fn idempotency_classification() {
+        assert!(!Request::Ingest(vec![1]).is_idempotent());
+        for req in [
+            Request::Ping,
+            Request::Flush,
+            Request::Point(1),
+            Request::HeavyHitters(0.1),
+            Request::Rank(1),
+            Request::Quantile(0.5),
+            Request::Metrics,
+            Request::Summary,
+        ] {
+            assert!(req.is_idempotent(), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn decode_request_rejects_wrong_tag_and_trailing_bytes() {
+        let good = WireFrame::from_value(REQUEST_TAG, &Request::Ping);
+        assert_eq!(decode_request(&good).unwrap(), Request::Ping);
+
+        let wrong_tag = WireFrame::from_value(RESPONSE_TAG, &Request::Ping);
+        assert_eq!(
+            decode_request(&wrong_tag).unwrap_err(),
+            WireError::BadTag(RESPONSE_TAG)
+        );
+
+        let mut trailing = good.clone();
+        trailing.payload.push(0xFF);
+        assert_eq!(
+            decode_request(&trailing).unwrap_err(),
+            WireError::Trailing(1)
+        );
+
+        let truncated = WireFrame {
+            tag: REQUEST_TAG,
+            payload: Vec::new(),
+        };
+        assert_eq!(
+            decode_request(&truncated).unwrap_err(),
+            WireError::Truncated
+        );
     }
 }

@@ -1,17 +1,27 @@
 //! Blocking TCP server and client for the engine, framed with
 //! [`WireFrame`] (`std::net` only — one thread per connection, graceful
 //! shutdown via a stop flag plus a wake-up connection).
+//!
+//! Failure paths are first-class: a malformed frame is answered with a
+//! [`Response::Error`] and counted in the engine's `frames_rejected`
+//! metric instead of killing the connection thread; mid-frame EOF (a peer
+//! that died between bytes, or a partial TCP write) closes only that
+//! connection. The [`Client`] enforces per-request timeouts and retries
+//! transient failures of idempotent requests with exponential backoff
+//! ([`ClientOptions`]), so a hung server surfaces as a typed
+//! [`ServiceError::Timeout`] rather than a wedged caller.
 
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{self, Write};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use ms_core::{Wire, WireFrame};
+use ms_core::{ServiceError, Wire, WireFrame};
 
 use crate::engine::{Engine, MetricsReport};
-use crate::protocol::{Request, Response, REQUEST_TAG, RESPONSE_TAG};
+use crate::protocol::{decode_request, Request, Response, REQUEST_TAG, RESPONSE_TAG};
 
 /// A running TCP front-end over an [`Engine`].
 pub struct Server {
@@ -24,7 +34,7 @@ pub struct Server {
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
     /// accepting connections, each served by its own thread.
-    pub fn bind(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+    pub fn bind(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> Result<Server, ServiceError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -81,12 +91,29 @@ fn serve_connection(mut stream: TcpStream, engine: Arc<Engine>) {
     loop {
         let frame = match WireFrame::read_from(&mut stream) {
             Ok(Some(frame)) => frame,
-            // Clean EOF or a broken peer: either way this connection is done.
-            Ok(None) | Err(_) => return,
+            // Clean EOF at a frame boundary: the peer is done.
+            Ok(None) => return,
+            // Garbage header, foreign magic, or a partial frame (the peer
+            // died mid-write): count it, tell the peer if it is still
+            // there, and close — framing cannot be resynchronized.
+            Err(e) => {
+                if is_frame_rejection(&e) {
+                    engine.record_rejected_frame();
+                    let msg = Response::Error(format!("bad frame: {e}"));
+                    let _ = WireFrame::from_value(RESPONSE_TAG, &msg).write_to(&mut stream);
+                    let _ = stream.shutdown(NetShutdown::Both);
+                }
+                return;
+            }
         };
+        // The frame itself was well-formed; a payload that fails to decode
+        // is a protocol error worth answering, and the connection lives on.
         let response = match decode_request(&frame) {
             Ok(request) => dispatch(&engine, request),
-            Err(e) => Response::Error(format!("bad request: {e:?}")),
+            Err(e) => {
+                engine.record_rejected_frame();
+                Response::Error(format!("bad request: {e}"))
+            }
         };
         let out = WireFrame::from_value(RESPONSE_TAG, &response);
         if out.write_to(&mut stream).is_err() {
@@ -95,11 +122,13 @@ fn serve_connection(mut stream: TcpStream, engine: Arc<Engine>) {
     }
 }
 
-fn decode_request(frame: &WireFrame) -> Result<Request, ms_core::WireError> {
-    if frame.tag != REQUEST_TAG {
-        return Err(ms_core::WireError::BadTag(frame.tag));
-    }
-    frame.value::<Request>()
+/// Frame-read failures that mean the *bytes* were bad (count as a rejected
+/// frame), as opposed to ordinary socket teardown.
+fn is_frame_rejection(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+    )
 }
 
 /// Serve one request against the engine. Public so tests and the CLI can
@@ -107,35 +136,48 @@ fn decode_request(frame: &WireFrame) -> Result<Request, ms_core::WireError> {
 pub fn dispatch(engine: &Engine, request: Request) -> Response {
     match request {
         Request::Ping => Response::Ok,
-        Request::Ingest(items) => {
-            if engine.ingest(items) {
-                Response::Ok
-            } else {
-                Response::Error("engine is shut down".into())
-            }
-        }
-        Request::Flush => {
-            engine.flush();
-            Response::Ok
-        }
+        Request::Ingest(items) => match engine.ingest(items) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Flush => match engine.flush() {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Error(e.to_string()),
+        },
         Request::Point(item) => match engine.snapshot().summary.point(item) {
             Some(count) => Response::Count(count),
             None => Response::Error(unsupported(engine, "point")),
         },
-        Request::HeavyHitters(phi) => match engine.snapshot().summary.heavy_hitters(phi) {
-            Some(items) => Response::Items(items),
-            None => Response::Error(unsupported(engine, "heavy-hitters")),
+        Request::HeavyHitters(phi) => match check_phi(phi) {
+            Err(e) => Response::Error(e),
+            Ok(()) => match engine.snapshot().summary.heavy_hitters(phi) {
+                Some(items) => Response::Items(items),
+                None => Response::Error(unsupported(engine, "heavy-hitters")),
+            },
         },
         Request::Rank(x) => match engine.snapshot().summary.rank(x) {
             Some(rank) => Response::Count(rank),
             None => Response::Error(unsupported(engine, "rank")),
         },
-        Request::Quantile(phi) => match engine.snapshot().summary.quantile(phi) {
-            Some(value) => Response::Value(value),
-            None => Response::Error(unsupported(engine, "quantile")),
+        Request::Quantile(phi) => match check_phi(phi) {
+            Err(e) => Response::Error(e),
+            Ok(()) => match engine.snapshot().summary.quantile(phi) {
+                Some(value) => Response::Value(value),
+                None => Response::Error(unsupported(engine, "quantile")),
+            },
         },
         Request::Metrics => Response::Metrics(engine.metrics()),
         Request::Summary => Response::Summary(engine.snapshot().summary.encode()),
+    }
+}
+
+/// φ parameters arrive as raw `f64` bits off the wire; reject NaN,
+/// infinities and out-of-range values before they reach a summary.
+fn check_phi(phi: f64) -> Result<(), String> {
+    if phi.is_finite() && (0.0..=1.0).contains(&phi) {
+        Ok(())
+    } else {
+        Err(format!("phi must be a finite value in [0, 1], got {phi}"))
     }
 }
 
@@ -146,37 +188,166 @@ fn unsupported(engine: &Engine, query: &str) -> String {
     )
 }
 
-/// Blocking client speaking the framed request/response protocol.
+/// Transport behavior of a [`Client`]: per-request deadline, connect
+/// deadline, and how transient failures are retried.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Per-request deadline: if no response byte arrives within this
+    /// window, the call fails with [`ServiceError::Timeout`].
+    pub read_timeout: Duration,
+    /// Extra attempts after the first failure (transient failures of
+    /// idempotent requests only, unless `retry_non_idempotent`).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles on each subsequent one.
+    pub backoff: Duration,
+    /// Also retry non-idempotent requests ([`Request::Ingest`]). Off by
+    /// default: a retried ingest whose first attempt *was* applied
+    /// double-counts its batch.
+    pub retry_non_idempotent: bool,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(30),
+            retries: 3,
+            backoff: Duration::from_millis(25),
+            retry_non_idempotent: false,
+        }
+    }
+}
+
+/// Blocking client speaking the framed request/response protocol, with
+/// timeouts and seeded-backoff retries (see [`ClientOptions`]).
 pub struct Client {
-    stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    opts: ClientOptions,
+    stream: Option<TcpStream>,
+    retries_performed: u64,
 }
 
 impl Client {
-    /// Connect to a server.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
+    /// Connect to a server with default [`ClientOptions`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServiceError> {
+        Self::connect_with(addr, ClientOptions::default())
     }
 
-    /// Send one request and wait for its response.
-    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
-        WireFrame::from_value(REQUEST_TAG, request).write_to(&mut self.stream)?;
-        let frame = WireFrame::read_from(&mut self.stream)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
-        if frame.tag != RESPONSE_TAG {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected frame tag {:#x}", frame.tag),
-            ));
+    /// Connect with explicit transport options.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        opts: ClientOptions,
+    ) -> Result<Client, ServiceError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ServiceError::Io {
+                kind: io::ErrorKind::AddrNotAvailable,
+                detail: "address resolved to nothing".to_string(),
+            });
         }
-        frame
-            .value::<Response>()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+        let mut client = Client {
+            addrs,
+            opts,
+            stream: None,
+            retries_performed: 0,
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    /// Transport-level retries performed so far (for tests and reports).
+    pub fn retries_performed(&self) -> u64 {
+        self.retries_performed
+    }
+
+    fn reconnect(&mut self) -> Result<(), ServiceError> {
+        self.stream = None;
+        let mut last: Option<io::Error> = None;
+        for addr in &self.addrs {
+            match TcpStream::connect_timeout(addr, self.opts.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(self.opts.read_timeout))?;
+                    self.stream = Some(stream);
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.map(ServiceError::from).unwrap_or(ServiceError::Io {
+            kind: io::ErrorKind::AddrNotAvailable,
+            detail: "no address to connect to".to_string(),
+        }))
+    }
+
+    /// One wire round-trip on the current connection.
+    fn call_once(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let timeout_ms = self.opts.read_timeout.as_millis() as u64;
+        let stream = self.stream.as_mut().ok_or(ServiceError::Io {
+            kind: io::ErrorKind::NotConnected,
+            detail: "connection is down".to_string(),
+        })?;
+        WireFrame::from_value(REQUEST_TAG, request)
+            .write_to(stream)
+            .map_err(ServiceError::from)?;
+        let frame = match WireFrame::read_from(stream) {
+            Ok(Some(frame)) => frame,
+            // The server closed the connection between our request and its
+            // response: a clean, typed EOF instead of a hang.
+            Ok(None) => {
+                return Err(ServiceError::Io {
+                    kind: io::ErrorKind::UnexpectedEof,
+                    detail: "server closed the connection".to_string(),
+                })
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(ServiceError::Timeout { millis: timeout_ms })
+            }
+            Err(e) => return Err(ServiceError::from(e)),
+        };
+        if frame.tag != RESPONSE_TAG {
+            return Err(ServiceError::Wire(ms_core::WireError::BadTag(frame.tag)));
+        }
+        frame.value::<Response>().map_err(ServiceError::from)
+    }
+
+    /// Send one request and wait for its response, retrying transient
+    /// transport failures with exponential backoff when safe (see
+    /// [`ClientOptions`]). After any failure the connection is torn down
+    /// and re-established, so a late response to a timed-out request can
+    /// never be mistaken for the answer to the next one.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = self.call_once(request);
+            match result {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    self.stream = None; // never reuse a connection that failed
+                    let retryable = e.is_transient()
+                        && (request.is_idempotent() || self.opts.retry_non_idempotent);
+                    if !retryable || attempt >= self.opts.retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.opts.backoff.saturating_mul(1 << attempt.min(16)));
+                    attempt += 1;
+                    self.retries_performed += 1;
+                    if let Err(reconnect_err) = self.reconnect() {
+                        if attempt >= self.opts.retries {
+                            return Err(reconnect_err);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Ingest a batch, erroring on a server-side failure.
-    pub fn ingest(&mut self, items: Vec<u64>) -> io::Result<()> {
+    pub fn ingest(&mut self, items: Vec<u64>) -> Result<(), ServiceError> {
         match self.call(&Request::Ingest(items))? {
             Response::Ok => Ok(()),
             other => Err(protocol_error(other)),
@@ -184,7 +355,7 @@ impl Client {
     }
 
     /// Flush the engine so later queries see all prior ingests.
-    pub fn flush(&mut self) -> io::Result<()> {
+    pub fn flush(&mut self) -> Result<(), ServiceError> {
         match self.call(&Request::Flush)? {
             Response::Ok => Ok(()),
             other => Err(protocol_error(other)),
@@ -192,20 +363,62 @@ impl Client {
     }
 
     /// Fetch engine metrics.
-    pub fn metrics(&mut self) -> io::Result<MetricsReport> {
+    pub fn metrics(&mut self) -> Result<MetricsReport, ServiceError> {
         match self.call(&Request::Metrics)? {
             Response::Metrics(m) => Ok(m),
             other => Err(protocol_error(other)),
         }
     }
+
+    /// Write `bytes` raw onto the connection — fault-injection tooling
+    /// uses this to deliver deliberately corrupt frames. Normal callers
+    /// never need it.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ServiceError> {
+        let stream = self.stream.as_mut().ok_or(ServiceError::Io {
+            kind: io::ErrorKind::NotConnected,
+            detail: "connection is down".to_string(),
+        })?;
+        stream.write_all(bytes)?;
+        stream.flush()?;
+        Ok(())
+    }
+
+    /// Read one response frame (after [`Client::send_raw`]).
+    pub fn read_response(&mut self) -> Result<Response, ServiceError> {
+        let timeout_ms = self.opts.read_timeout.as_millis() as u64;
+        let stream = self.stream.as_mut().ok_or(ServiceError::Io {
+            kind: io::ErrorKind::NotConnected,
+            detail: "connection is down".to_string(),
+        })?;
+        match WireFrame::read_from(stream) {
+            Ok(Some(frame)) => frame.value::<Response>().map_err(ServiceError::from),
+            Ok(None) => Err(ServiceError::Io {
+                kind: io::ErrorKind::UnexpectedEof,
+                detail: "server closed the connection".to_string(),
+            }),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Err(ServiceError::Timeout { millis: timeout_ms })
+            }
+            Err(e) => Err(ServiceError::from(e)),
+        }
+    }
+
+    /// Drop the connection without a clean shutdown (simulates a client
+    /// that vanished mid-epoch).
+    pub fn abandon(mut self) {
+        if let Some(stream) = self.stream.take() {
+            let _ = stream.shutdown(NetShutdown::Both);
+        }
+    }
 }
 
-fn protocol_error(response: Response) -> io::Error {
-    let msg = match response {
-        Response::Error(m) => m,
-        other => format!("unexpected response {other:?}"),
-    };
-    io::Error::other(msg)
+fn protocol_error(response: Response) -> ServiceError {
+    match response {
+        Response::Error(m) => ServiceError::Protocol(m),
+        other => ServiceError::Protocol(format!("unexpected response {other:?}")),
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +431,16 @@ mod tests {
     fn mg_server() -> Server {
         let engine = Engine::start(ServiceConfig::new(SummaryKind::Mg, 0.02).shards(2)).unwrap();
         Server::bind(engine, "127.0.0.1:0").unwrap()
+    }
+
+    fn fast_options() -> ClientOptions {
+        ClientOptions {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_millis(500),
+            retries: 2,
+            backoff: Duration::from_millis(5),
+            retry_non_idempotent: false,
+        }
     }
 
     #[test]
@@ -238,6 +461,7 @@ mod tests {
         let m = client.metrics().unwrap();
         assert_eq!(m.updates, 2000);
         assert_eq!(m.snapshot_weight, 2000);
+        assert_eq!(m.frames_rejected, 0);
         server.stop();
     }
 
@@ -269,10 +493,153 @@ mod tests {
     }
 
     #[test]
+    fn nan_and_out_of_range_phi_are_protocol_errors() {
+        let server = mg_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, -0.5, 1.5] {
+            match client.call(&Request::HeavyHitters(bad)).unwrap() {
+                Response::Error(msg) => assert!(msg.contains("phi"), "{msg}"),
+                other => panic!("unexpected {other:?} for phi {bad}"),
+            }
+            match client.call(&Request::Quantile(bad)).unwrap() {
+                Response::Error(msg) => assert!(msg.contains("phi"), "{msg}"),
+                other => panic!("unexpected {other:?} for phi {bad}"),
+            }
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_payload_gets_error_response_and_connection_survives() {
+        let server = mg_server();
+        let mut client = Client::connect_with(server.local_addr(), fast_options()).unwrap();
+        // A well-framed payload with an unknown opcode.
+        let bad = WireFrame {
+            tag: REQUEST_TAG,
+            payload: vec![99],
+        };
+        client.send_raw(&bad.to_bytes()).unwrap();
+        match client.read_response().unwrap() {
+            Response::Error(msg) => assert!(msg.contains("bad request"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Same connection still serves good requests.
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Ok);
+        assert_eq!(server.engine().metrics().frames_rejected, 1);
+        server.stop();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_and_counted() {
+        let server = mg_server();
+        let mut client = Client::connect_with(server.local_addr(), fast_options()).unwrap();
+        client.send_raw(b"XXGARBAGE").unwrap();
+        // The server answers with an error frame and closes.
+        match client.read_response() {
+            Ok(Response::Error(msg)) => assert!(msg.contains("bad frame"), "{msg}"),
+            Ok(other) => panic!("unexpected {other:?}"),
+            // Depending on timing the close can beat the error frame.
+            Err(ServiceError::Io { .. }) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+        // Engine unharmed; a fresh connection works.
+        let mut fresh = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(fresh.call(&Request::Ping).unwrap(), Response::Ok);
+        assert!(server.engine().metrics().frames_rejected >= 1);
+        server.stop();
+    }
+
+    #[test]
+    fn client_times_out_instead_of_hanging() {
+        // A listener that accepts and then never answers. The thread is
+        // deliberately not joined: it blocks in accept() until the test
+        // process exits.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut kept = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                kept.push(stream);
+            }
+        });
+        let opts = ClientOptions {
+            read_timeout: Duration::from_millis(100),
+            retries: 1,
+            backoff: Duration::from_millis(5),
+            ..ClientOptions::default()
+        };
+        let mut client = Client::connect_with(addr, opts).unwrap();
+        let start = std::time::Instant::now();
+        let err = client.call(&Request::Ping).unwrap_err();
+        assert!(matches!(err, ServiceError::Timeout { .. }), "{err:?}");
+        // One original attempt + one retry, each bounded by the timeout.
+        assert!(start.elapsed() < Duration::from_secs(2));
+        assert_eq!(client.retries_performed(), 1);
+    }
+
+    #[test]
+    fn client_surfaces_clean_eof_when_server_goes_away() {
+        // Accept and immediately close every connection; not joined — the
+        // thread blocks in accept() until the test process exits.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                drop(stream);
+            }
+        });
+        let opts = ClientOptions {
+            read_timeout: Duration::from_millis(200),
+            retries: 1,
+            backoff: Duration::from_millis(5),
+            ..ClientOptions::default()
+        };
+        let mut client = Client::connect_with(addr, opts).unwrap();
+        let err = client.call(&Request::Ping).unwrap_err();
+        match err {
+            ServiceError::Io { kind, .. } => {
+                assert!(
+                    kind == io::ErrorKind::UnexpectedEof
+                        || kind == io::ErrorKind::ConnectionReset
+                        || kind == io::ErrorKind::BrokenPipe,
+                    "{kind:?}"
+                );
+            }
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_recovers_when_server_comes_back() {
+        // First connection dies mid-request; the retry lands on a live
+        // server and succeeds.
+        let server = mg_server();
+        let addr = server.local_addr();
+        let opts = ClientOptions {
+            read_timeout: Duration::from_millis(300),
+            retries: 3,
+            backoff: Duration::from_millis(5),
+            ..ClientOptions::default()
+        };
+        let mut client = Client::connect_with(addr, opts).unwrap();
+        // Poison the current connection from our side so the next write
+        // fails, forcing the retry path.
+        if let Some(s) = client.stream.as_ref() {
+            let _ = s.shutdown(NetShutdown::Both);
+        }
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Ok);
+        assert!(client.retries_performed() >= 1);
+        server.stop();
+    }
+
+    #[test]
     fn stop_shuts_engine_down() {
         let server = mg_server();
         let engine = Arc::clone(server.engine());
         server.stop();
-        assert!(!engine.ingest(vec![1]));
+        assert!(matches!(
+            engine.ingest(vec![1]),
+            Err(ServiceError::Shutdown)
+        ));
     }
 }

@@ -27,7 +27,7 @@ fn engine_summary(kind: SummaryKind, items: &[u64], shards: usize) -> ShardSumma
         .seed(0xD1FF);
     let engine = Engine::start(cfg).unwrap();
     for chunk in items.chunks(1_000) {
-        assert!(engine.ingest(chunk.to_vec()));
+        engine.ingest(chunk.to_vec()).unwrap();
     }
     let snapshot = engine.shutdown();
     assert_eq!(snapshot.summary.total_weight(), items.len() as u64);

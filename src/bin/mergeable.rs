@@ -538,5 +538,8 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     println!("snapshot epoch:   {}", m.epoch);
     println!("snapshot weight:  {}", m.snapshot_weight);
     println!("snapshot age:     {}us", m.snapshot_age_micros);
+    println!("shards lost:      {}", m.shards_lost);
+    println!("frames rejected:  {}", m.frames_rejected);
+    println!("server retries:   {}", m.retries);
     Ok(())
 }

@@ -38,7 +38,7 @@ fn ingest_concurrently(kind: SummaryKind, items: &[u64]) -> ShardSummary {
             let engine = Arc::clone(&engine);
             scope.spawn(move || {
                 for chunk in part.chunks(1_000) {
-                    assert!(engine.ingest(chunk.to_vec()));
+                    engine.ingest(chunk.to_vec()).unwrap();
                 }
             });
         }
@@ -127,7 +127,7 @@ fn snapshots_survive_the_wire_codec() {
         let cfg = ServiceConfig::new(kind, EPS).shards(SHARDS).seed(SEED);
         let engine = Engine::start(cfg).expect("engine start");
         for chunk in items.chunks(1_000) {
-            assert!(engine.ingest(chunk.to_vec()));
+            engine.ingest(chunk.to_vec()).unwrap();
         }
         let snapshot = engine.shutdown();
         let back = ShardSummary::decode(&snapshot.summary.encode()).expect("decode");

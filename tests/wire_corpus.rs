@@ -1,0 +1,198 @@
+//! Golden corpus of malformed wire frames.
+//!
+//! Each case is a deliberately damaged frame checked in under
+//! `tests/corpus/*.bin`, paired with the exact [`WireError`] the decoder
+//! must return. The corpus bytes are also rebuilt programmatically and
+//! compared byte-for-byte against the checked-in files, so an accidental
+//! codec format change (shifted header field, new magic, resized length)
+//! shows up as a corpus mismatch instead of silently re-deriving the
+//! goldens from the new — possibly wrong — behavior.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! REGEN=1 cargo test --test wire_corpus
+//! ```
+
+use std::path::PathBuf;
+
+use mergeable_summaries::service::protocol::{decode_request, Request, REQUEST_TAG, RESPONSE_TAG};
+use ms_core::wire::{FRAME_HEADER_LEN, MAX_FRAME_LEN, WIRE_VERSION};
+use ms_core::{WireError, WireFrame};
+
+/// What the decoder must say about one corpus entry.
+enum Expect {
+    /// `WireFrame::from_bytes` fails with exactly this error.
+    Frame(WireError),
+    /// The frame parses, but `decode_request` fails with exactly this error.
+    Request(WireError),
+}
+
+struct Case {
+    /// File name under `tests/corpus/`.
+    name: &'static str,
+    /// The damaged bytes.
+    bytes: Vec<u8>,
+    /// The golden error.
+    expect: Expect,
+}
+
+/// A well-formed reference frame the damaged cases start from.
+fn good_frame() -> WireFrame {
+    WireFrame::from_value(REQUEST_TAG, &Request::Ingest(vec![1, 2, 3, 500, 70_000]))
+}
+
+fn corpus() -> Vec<Case> {
+    let good = good_frame().to_bytes();
+    vec![
+        Case {
+            name: "truncated_header.bin",
+            bytes: good[..FRAME_HEADER_LEN - 3].to_vec(),
+            expect: Expect::Frame(WireError::Truncated),
+        },
+        Case {
+            name: "truncated_payload.bin",
+            bytes: good[..good.len() - 2].to_vec(),
+            expect: Expect::Frame(WireError::Truncated),
+        },
+        Case {
+            name: "trailing_garbage.bin",
+            bytes: {
+                let mut b = good.clone();
+                b.extend_from_slice(&[0xDE, 0xAD, 0xBE]);
+                b
+            },
+            expect: Expect::Frame(WireError::Trailing(3)),
+        },
+        Case {
+            name: "bad_magic.bin",
+            bytes: {
+                let mut b = good.clone();
+                b[0] = b'X';
+                b[1] = b'Y';
+                b
+            },
+            expect: Expect::Frame(WireError::BadMagic([b'X', b'Y'])),
+        },
+        Case {
+            name: "bad_version.bin",
+            bytes: {
+                let mut b = good.clone();
+                b[2..4].copy_from_slice(&0x7FFFu16.to_le_bytes());
+                b
+            },
+            expect: Expect::Frame(WireError::BadVersion {
+                found: 0x7FFF,
+                expected: WIRE_VERSION,
+            }),
+        },
+        Case {
+            name: "oversize_len.bin",
+            bytes: {
+                let mut b = good.clone();
+                b[5..9].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+                b
+            },
+            expect: Expect::Frame(WireError::Malformed("frame length over limit")),
+        },
+        Case {
+            name: "bad_request_opcode.bin",
+            bytes: WireFrame {
+                tag: REQUEST_TAG,
+                payload: vec![0xEE],
+            }
+            .to_bytes(),
+            expect: Expect::Request(WireError::Malformed("unknown request opcode")),
+        },
+        Case {
+            name: "wrong_tag.bin",
+            bytes: WireFrame::from_value(RESPONSE_TAG, &Request::Ping).to_bytes(),
+            expect: Expect::Request(WireError::BadTag(RESPONSE_TAG)),
+        },
+        Case {
+            name: "empty_request_payload.bin",
+            bytes: WireFrame {
+                tag: REQUEST_TAG,
+                payload: Vec::new(),
+            }
+            .to_bytes(),
+            expect: Expect::Request(WireError::Truncated),
+        },
+        Case {
+            name: "request_trailing_bytes.bin",
+            bytes: {
+                let mut frame = good_frame();
+                frame.payload.push(0xFF);
+                frame.to_bytes()
+            },
+            expect: Expect::Request(WireError::Trailing(1)),
+        },
+    ]
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+#[test]
+fn corpus_files_match_their_construction() {
+    let dir = corpus_dir();
+    if std::env::var_os("REGEN").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for case in corpus() {
+            std::fs::write(dir.join(case.name), &case.bytes).unwrap();
+        }
+        return;
+    }
+    for case in corpus() {
+        let path = dir.join(case.name);
+        let on_disk = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e} — run `REGEN=1 cargo test --test wire_corpus`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            on_disk, case.bytes,
+            "{}: checked-in bytes diverge from construction — if the wire \
+             format changed intentionally, regenerate with REGEN=1",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn every_corpus_entry_fails_with_its_golden_error() {
+    for case in corpus() {
+        // Decode the *checked-in* bytes when present, else the built ones,
+        // so the goldens really cover what is in the repository.
+        let bytes = std::fs::read(corpus_dir().join(case.name)).unwrap_or(case.bytes);
+        match case.expect {
+            Expect::Frame(golden) => {
+                let err = WireFrame::from_bytes(&bytes)
+                    .expect_err(&format!("{}: frame decoded", case.name));
+                assert_eq!(err, golden, "{}", case.name);
+            }
+            Expect::Request(golden) => {
+                let frame = WireFrame::from_bytes(&bytes)
+                    .unwrap_or_else(|e| panic!("{}: frame should parse, got {e}", case.name));
+                let err =
+                    decode_request(&frame).expect_err(&format!("{}: request decoded", case.name));
+                assert_eq!(err, golden, "{}", case.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn the_reference_frame_itself_is_valid() {
+    let frame = good_frame();
+    let parsed = WireFrame::from_bytes(&frame.to_bytes()).unwrap();
+    assert_eq!(parsed, frame);
+    assert_eq!(
+        decode_request(&parsed).unwrap(),
+        Request::Ingest(vec![1, 2, 3, 500, 70_000])
+    );
+}
