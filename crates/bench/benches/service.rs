@@ -83,11 +83,83 @@ fn main() {
         ]));
     }
 
+    // Telemetry overhead on the ingest hot path: the same workload with
+    // the observability plane on and off, interleaved best-of-3 so CPU
+    // frequency drift hits both sides equally. The acceptance budget is
+    // ≤ 5% — the histograms are a handful of relaxed atomic adds per
+    // *batch*, not per update, so the per-update cost is in the noise.
+    println!("\n== service_telemetry_overhead (4 shards, ingest hot path) ==");
+    let run_ingest = |telemetry: bool| {
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.01)
+            .shards(4)
+            .delta_updates(16_384)
+            .seed(7)
+            .telemetry(telemetry);
+        let engine = Engine::start(cfg).unwrap();
+        let start = Instant::now();
+        for chunk in items.chunks(4_096) {
+            engine.ingest(chunk.to_vec()).unwrap();
+        }
+        let snapshot = engine.shutdown();
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(snapshot.summary.total_weight(), n as u64);
+        (n as f64 / secs, engine.telemetry_snapshot())
+    };
+    let (mut rate_off, mut rate_on) = (0f64, 0f64);
+    let mut telemetry_snap = None;
+    for _ in 0..3 {
+        rate_off = rate_off.max(run_ingest(false).0);
+        let (rate, snap) = run_ingest(true);
+        rate_on = rate_on.max(rate);
+        telemetry_snap = Some(snap);
+    }
+    let overhead_pct = (rate_off - rate_on) / rate_off * 100.0;
+    println!(
+        "{:<14}{:>16}\n{:<14}{rate_off:>16.0}\n{:<14}{rate_on:>16.0}\n{:<14}{overhead_pct:>15.2}%",
+        "mode", "updates/sec", "telemetry off", "telemetry on", "overhead"
+    );
+    // Fold the per-shard ingest-batch histograms into one — the same
+    // bucket-wise merge the paper's Definition 1 demands of summaries.
+    let snap = telemetry_snap.expect("three telemetry-on runs happened");
+    let ingest_hist = (0..4)
+        .filter_map(|s| snap.histogram(&format!("ingest_batch_micros{{shard=\"{s}\"}}")))
+        .fold(None, |acc, h| {
+            Some(match acc {
+                Some(prev) => h.merge(&prev),
+                None => h.clone(),
+            })
+        });
+    let telemetry_json = if let Some(h) = ingest_hist {
+        println!(
+            "ingest_batch_micros (all shards): count={} p50={} p99={} max={}",
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.99),
+            h.max
+        );
+        Json::obj([
+            ("updates_per_sec_off", rate_off.to_json()),
+            ("updates_per_sec_on", rate_on.to_json()),
+            ("overhead_pct", overhead_pct.to_json()),
+            ("ingest_batch_count", h.count.to_json()),
+            ("ingest_batch_p50_micros", h.quantile(0.50).to_json()),
+            ("ingest_batch_p99_micros", h.quantile(0.99).to_json()),
+            ("ingest_batch_max_micros", h.max.to_json()),
+        ])
+    } else {
+        Json::obj([
+            ("updates_per_sec_off", rate_off.to_json()),
+            ("updates_per_sec_on", rate_on.to_json()),
+            ("overhead_pct", overhead_pct.to_json()),
+        ])
+    };
+
     let record = Json::obj([
         ("id", "bench_service".to_json()),
         ("items", n.to_json()),
         ("scaling", Json::Arr(scaling)),
         ("snapshot_bytes", Json::Arr(codec)),
+        ("telemetry_overhead", telemetry_json),
     ]);
     // Write to the workspace-level results dir regardless of whether cargo
     // invoked us from the workspace root or the package dir.

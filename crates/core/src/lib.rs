@@ -40,7 +40,7 @@ pub use error::{MergeError, Result, ServiceError};
 pub use geom::{directional_width, unit_dir, Point2, Rect};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, ToJson};
-pub use metrics::{BoundCheck, ErrorStats};
+pub use metrics::{percentile, BoundCheck, ErrorStats};
 pub use oracle::{FrequencyOracle, RankOracle};
 pub use rng::Rng64;
 pub use summary::{ItemSummary, Mergeable, Summary};

@@ -22,6 +22,9 @@ pub struct ErrorStats {
     pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
+    /// 99.9th percentile — the tail that matters once experiments make
+    /// tens of thousands of queries per run.
+    pub p999: f64,
 }
 
 impl ErrorStats {
@@ -36,6 +39,7 @@ impl ErrorStats {
                 p50: 0.0,
                 p95: 0.0,
                 p99: 0.0,
+                p999: 0.0,
             };
         }
         let mut sorted: Vec<f64> = values.to_vec();
@@ -49,6 +53,7 @@ impl ErrorStats {
             p50: percentile(&sorted, 0.50),
             p95: percentile(&sorted, 0.95),
             p99: percentile(&sorted, 0.99),
+            p999: percentile(&sorted, 0.999),
         }
     }
 
@@ -68,6 +73,7 @@ impl ToJson for ErrorStats {
             ("p50", Json::F64(self.p50)),
             ("p95", Json::F64(self.p95)),
             ("p99", Json::F64(self.p99)),
+            ("p999", Json::F64(self.p999)),
         ])
     }
 }
@@ -119,11 +125,19 @@ impl ToJson for BoundCheck {
     }
 }
 
-/// Nearest-rank percentile on a pre-sorted slice.
-fn percentile(sorted: &[f64], phi: f64) -> f64 {
+/// Nearest-rank percentile on a pre-sorted slice: the element of rank
+/// `⌈φ·n⌉` (1-based), clamped to the slice.
+///
+/// The product `φ·n` is computed in floating point, so a rank that is
+/// mathematically an exact integer `k` can come out as `k + δ` for some
+/// one-ulp `δ > 0` (e.g. `0.95 × 100` has no exact binary value) and a
+/// naive `ceil` would then skip to rank `k + 1`. The `1e-9` slack absorbs
+/// that asymmetry: it is far larger than any ulp at realistic `n`, and far
+/// smaller than the gap to the next genuine rank.
+pub fn percentile(sorted: &[f64], phi: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
     let n = sorted.len();
-    let idx = ((phi * n as f64).ceil() as usize).clamp(1, n) - 1;
+    let idx = ((phi * n as f64 - 1e-9).ceil() as usize).clamp(1, n) - 1;
     sorted[idx]
 }
 
@@ -161,6 +175,7 @@ mod tests {
         assert_eq!(s.max, 3.0);
         assert_eq!(s.p50, 3.0);
         assert_eq!(s.p99, 3.0);
+        assert_eq!(s.p999, 3.0);
     }
 
     #[test]
@@ -173,6 +188,38 @@ mod tests {
         assert_eq!(s.p50, 50.0);
         assert_eq!(s.p95, 95.0);
         assert_eq!(s.p99, 99.0);
+        assert_eq!(s.p999, 100.0);
+    }
+
+    /// Nearest-rank properties, over many sizes: `φ = 1` is exactly the
+    /// maximum, `φ` near 0 is exactly the minimum, and the result is
+    /// monotone non-decreasing in `φ` — including the φ values whose
+    /// product with `n` is mathematically integral but not representable
+    /// (the fp asymmetry that used to skip a rank).
+    #[test]
+    fn percentile_properties() {
+        for n in [1usize, 2, 3, 7, 10, 64, 100, 1000] {
+            let sorted: Vec<f64> = (1..=n).map(|v| v as f64).collect();
+            assert_eq!(percentile(&sorted, 1.0), *sorted.last().unwrap(), "n={n}");
+            assert_eq!(percentile(&sorted, 0.0), sorted[0], "n={n}");
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=1000 {
+                let phi = i as f64 / 1000.0;
+                let v = percentile(&sorted, phi);
+                assert!(v >= prev, "percentile not monotone at φ={phi}, n={n}");
+                prev = v;
+            }
+            // Exact-integer ranks: φ·n = k must select rank k (1-based),
+            // never k+1, even when the fp product lands one ulp high.
+            for k in 1..=n {
+                let phi = k as f64 / n as f64;
+                assert_eq!(
+                    percentile(&sorted, phi),
+                    k as f64,
+                    "φ={phi} n={n} should be rank {k}"
+                );
+            }
+        }
     }
 
     #[test]

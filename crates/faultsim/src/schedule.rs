@@ -37,8 +37,8 @@ use ms_core::{
     BoundCheck, FrequencyOracle, RankOracle, Rng64, ServiceError, Summary, Wire, WireFrame,
 };
 use ms_service::{
-    Client, ClientOptions, Engine, Request, Server, ServiceConfig, ShardSummary, SummaryKind,
-    REQUEST_TAG,
+    Client, ClientOptions, Engine, EngineTelemetry, Request, Server, ServiceConfig, ShardSummary,
+    SummaryKind, REQUEST_TAG,
 };
 use ms_workloads::StreamKind;
 
@@ -160,6 +160,9 @@ struct Harness {
     seed: u64,
     accepted: Vec<u64>,
     unacked_weight: u64,
+    /// The engine's telemetry plane, attached after `Engine::start` so a
+    /// failing verdict can dump the flight recorder for forensics.
+    telemetry: Option<Arc<EngineTelemetry>>,
 }
 
 impl Harness {
@@ -170,16 +173,32 @@ impl Harness {
             seed,
             accepted: Vec::new(),
             unacked_weight: 0,
+            telemetry: None,
         }
     }
 
+    /// Hold onto the engine's telemetry so [`Harness::fail`] can dump the
+    /// flight recorder when a schedule's verdict fails.
+    fn attach(&mut self, engine: &Arc<Engine>) {
+        self.telemetry = Some(Arc::clone(engine.telemetry()));
+    }
+
+    /// Build a failure message carrying the reproducing seed. If the
+    /// engine's flight recorder is attached, dump it seed-stamped (first
+    /// failure only) and cite the file in the message.
     fn fail(&self, msg: impl fmt::Display) -> String {
-        format!(
+        let mut text = format!(
             "[{} {} seed=0x{:X}] {msg}",
             self.class.label(),
             self.kind.label(),
             self.seed
-        )
+        );
+        if let Some(telemetry) = &self.telemetry {
+            if let Some(path) = telemetry.dump_flight(self.seed, self.class.label()) {
+                text.push_str(&format!(" (flight recording: {})", path.display()));
+            }
+        }
+        text
     }
 
     /// Final verdict: codec round-trip plus the loss-slack error bound on
@@ -358,6 +377,7 @@ fn shard_death(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
         .delta_updates(256)
         .fault_plan(Arc::clone(&plan) as Arc<dyn ms_service::FaultPlan>);
     let engine = Engine::start(cfg).map_err(|e| h.fail(e))?;
+    h.attach(&engine);
     for batch in stream(40_000, seed).chunks(100) {
         engine.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
         h.accepted.extend_from_slice(batch);
@@ -385,6 +405,7 @@ fn backpressure(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> 
         .delta_updates(256)
         .fault_plan(Arc::clone(&plan) as Arc<dyn ms_service::FaultPlan>);
     let engine = Engine::start(cfg).map_err(|e| h.fail(e))?;
+    h.attach(&engine);
     for batch in stream(20_000, seed).chunks(100) {
         match engine.try_ingest(batch.to_vec()) {
             Ok(()) => h.accepted.extend_from_slice(batch),
@@ -421,6 +442,7 @@ fn corrupt_frames(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String
     let mut h = Harness::new(FaultClass::CorruptFrames, kind, seed);
     let mut rng = Rng64::new(seed);
     let engine = Engine::start(base_config(kind, seed).shards(2)).map_err(|e| h.fail(e))?;
+    h.attach(&engine);
     let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").map_err(|e| h.fail(e))?;
     let addr = server.local_addr();
     let mut clean = fast_client(addr).map_err(|e| h.fail(e))?;
@@ -469,6 +491,7 @@ fn partial_writes(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String
     let mut h = Harness::new(FaultClass::PartialWrites, kind, seed);
     let mut rng = Rng64::new(seed);
     let engine = Engine::start(base_config(kind, seed).shards(2)).map_err(|e| h.fail(e))?;
+    h.attach(&engine);
     let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").map_err(|e| h.fail(e))?;
     let addr = server.local_addr();
     let mut clean = fast_client(addr).map_err(|e| h.fail(e))?;
@@ -517,6 +540,7 @@ fn compactor_delay(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, Strin
         .delta_updates(256)
         .fault_plan(Arc::clone(&plan) as Arc<dyn ms_service::FaultPlan>);
     let engine = Engine::start(cfg).map_err(|e| h.fail(e))?;
+    h.attach(&engine);
     for batch in stream(20_000, seed).chunks(100) {
         engine.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
         h.accepted.extend_from_slice(batch);
@@ -541,6 +565,7 @@ fn client_disconnect(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, Str
     let mut h = Harness::new(FaultClass::ClientDisconnect, kind, seed);
     let mut rng = Rng64::new(seed);
     let engine = Engine::start(base_config(kind, seed).shards(2)).map_err(|e| h.fail(e))?;
+    h.attach(&engine);
     let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").map_err(|e| h.fail(e))?;
     let addr = server.local_addr();
 
@@ -608,4 +633,54 @@ fn client_disconnect(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, Str
         )));
     }
     h.finish(&snap.summary, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A schedule verdict that fails must leave a seed-stamped flight
+    /// recording behind and cite it in the failure message — and only
+    /// once: the first failure wins the latch.
+    #[test]
+    fn failing_verdict_dumps_seed_stamped_flight_recording() {
+        let dir = std::env::temp_dir().join(format!("ms-faultsim-flight-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::env::set_var("MS_FLIGHT_DIR", &dir);
+
+        let seed = 0xFA11ED;
+        let mut h = Harness::new(FaultClass::ShardDeath, SummaryKind::Mg, seed);
+        let engine = Engine::start(base_config(SummaryKind::Mg, seed).shards(2)).unwrap();
+        h.attach(&engine);
+        engine.ingest((0..100).collect()).unwrap();
+        engine.flush().unwrap();
+
+        let msg = h.fail("forced failure for the flight-dump test");
+        std::env::remove_var("MS_FLIGHT_DIR");
+        engine.shutdown();
+
+        assert!(msg.contains("flight recording:"), "{msg}");
+        let expected = dir.join(format!("flight-shard-death-{seed:#x}.json"));
+        assert!(expected.exists(), "missing {}", expected.display());
+        let json = std::fs::read_to_string(&expected).unwrap();
+        assert!(
+            json.contains(&format!("\"seed\": \"{seed:#x}\"")),
+            "dump is not seed-stamped: {json}"
+        );
+
+        // The latch: a second failure on the same engine reports plainly.
+        let again = h.fail("second failure");
+        assert!(!again.contains("flight recording:"), "{again}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A harness that never saw an engine (e.g. `Engine::start` itself
+    /// failed) still formats a plain failure message.
+    #[test]
+    fn unattached_harness_fails_without_dump() {
+        let h = Harness::new(FaultClass::Backpressure, SummaryKind::CountMin, 7);
+        let msg = h.fail("boom");
+        assert_eq!(msg, "[backpressure count-min seed=0x7] boom");
+    }
 }

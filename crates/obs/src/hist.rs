@@ -1,0 +1,393 @@
+//! Log-scaled latency histograms with lock-free recording and mergeable
+//! snapshots.
+//!
+//! Values (microseconds on every hot path in this workspace) land in
+//! power-of-two buckets: bucket `0` holds the value `0`, bucket `i ≥ 1`
+//! holds `[2^(i-1), 2^i)`. That is the HDR idea stripped to its cheapest
+//! form — `record()` is one `leading_zeros` plus four relaxed atomic
+//! operations, and the relative error of any quantile read off the bucket
+//! boundaries is at most a factor of two.
+//!
+//! Snapshots are **mergeable in the paper's sense**: buckets add
+//! component-wise, `count`/`sum` add, `max` takes the maximum, so
+//! `merge(s1, s2)` summarizes the concatenated observation streams exactly
+//! as a single histogram fed both streams would — the unit tests assert
+//! bucket-level equality, which makes every quantile bound match too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ms_core::{Json, ToJson, Wire, WireError, WireReader};
+
+/// Number of buckets: value 0, then one bucket per power of two up to
+/// `u64::MAX` (bucket 64 holds `[2^63, u64::MAX]`).
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (the value a quantile query reports).
+pub fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A concurrent histogram. `record()` is wait-free; readers take a
+/// [`HistogramSnapshot`] and work on plain integers.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation. Lock-free: four relaxed atomic RMWs.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state. Concurrent `record()`s may straddle the
+    /// copy (a bucket incremented after its slot was read), so a snapshot
+    /// is a near-point-in-time view; each component is individually exact
+    /// and monotone across successive snapshots.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`], mergeable bucket-wise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (for the mean).
+    pub sum: u64,
+    /// Largest observed value, exact.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merge two snapshots: the result summarizes the union of the two
+    /// observation streams, mirroring the paper's merge semantics
+    /// (buckets and counts add, max takes the maximum). `sum` adds with
+    /// wraparound — the same arithmetic `record`'s atomic add uses — so a
+    /// merged snapshot equals the one-shot snapshot of the combined
+    /// stream even when value sums exceed `u64::MAX`.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_add(other.buckets[i])),
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Nearest-rank `q`-quantile read off the bucket boundaries: the
+    /// inclusive upper bound of the bucket holding the rank-`⌈q·count⌉`
+    /// observation (clamped by the exact max). Within a factor of two of
+    /// the true quantile by construction. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Tiny slack so q·count values computed a hair above an integer
+        // (0.95 × 20 = 19.000…004) do not overshoot a rank.
+        let target = ((q * self.count as f64 - 1e-9).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Iterate `(inclusive_upper_bound, count)` over the non-empty
+    /// buckets, in increasing value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+impl Wire for HistogramSnapshot {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.count.encode_into(out);
+        self.sum.encode_into(out);
+        self.max.encode_into(out);
+        // Sparse bucket encoding: most histograms occupy a handful of the
+        // 65 buckets.
+        let nonzero: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64, c))
+            .collect();
+        nonzero.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = u64::decode_from(r)?;
+        let sum = u64::decode_from(r)?;
+        let max = u64::decode_from(r)?;
+        let nonzero = Vec::<(u64, u64)>::decode_from(r)?;
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let mut total = 0u64;
+        for (i, c) in nonzero {
+            let slot = buckets
+                .get_mut(i as usize)
+                .ok_or(WireError::Malformed("histogram bucket index out of range"))?;
+            if *slot != 0 {
+                return Err(WireError::Malformed("duplicate histogram bucket"));
+            }
+            *slot = c;
+            total = total
+                .checked_add(c)
+                .ok_or(WireError::Malformed("histogram bucket overflow"))?;
+        }
+        if total != count {
+            return Err(WireError::Malformed("histogram bucket sum != count"));
+        }
+        Ok(HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            max,
+        })
+    }
+}
+
+impl ToJson for HistogramSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("mean", Json::F64(self.mean())),
+            ("p50", Json::U64(self.quantile(0.50))),
+            ("p95", Json::U64(self.quantile(0.95))),
+            ("p99", Json::U64(self.quantile(0.99))),
+            ("max", Json::U64(self.max)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .map(|(le, c)| Json::obj([("le", Json::U64(le)), ("count", Json::U64(c))]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::Rng64;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantile_within_factor_two() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        for (q, truth) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = s.quantile(q) as f64;
+            assert!(
+                est >= truth / 2.0 && est <= truth * 2.0,
+                "q={q}: est {est} vs truth {truth}"
+            );
+        }
+        // The top quantile is the exact max, not a bucket bound.
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    /// The tentpole property: merged snapshots answer quantiles exactly
+    /// like a single histogram that saw both streams — bucket counts are
+    /// equal, so every quantile bound matches, for both split points and
+    /// arbitrary seeded streams.
+    #[test]
+    fn merge_quantiles_match_one_shot_histogram() {
+        let mut rng = Rng64::new(0x0B5E);
+        for trial in 0..20 {
+            let n = 200 + (trial * 137) % 1800;
+            let split = (trial * 71) % n;
+            let values: Vec<u64> = (0..n).map(|_| rng.next_u64() >> (trial % 50)).collect();
+
+            let one_shot = Histogram::new();
+            let left = Histogram::new();
+            let right = Histogram::new();
+            for (i, &v) in values.iter().enumerate() {
+                one_shot.record(v);
+                if i < split { &left } else { &right }.record(v);
+            }
+            let merged = left.snapshot().merge(&right.snapshot());
+            let reference = one_shot.snapshot();
+            assert_eq!(merged, reference, "trial {trial}: snapshots diverge");
+            for i in 0..=100 {
+                let q = i as f64 / 100.0;
+                assert_eq!(
+                    merged.quantile(q),
+                    reference.quantile(q),
+                    "trial {trial}: quantile({q}) diverges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_tracks_mean_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [5u64, 50, 5000] {
+            b.record(v);
+        }
+        let ab = a.snapshot().merge(&b.snapshot());
+        let ba = b.snapshot().merge(&a.snapshot());
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 6);
+        assert_eq!(ab.max, 5000);
+        assert!((ab.mean() - 5166.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 40_000);
+        assert_eq!(s.max, 39_999);
+    }
+
+    #[test]
+    fn wire_roundtrip_including_extremes() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(HistogramSnapshot::decode(&s.encode()).unwrap(), s);
+        assert_eq!(
+            HistogramSnapshot::decode(&HistogramSnapshot::default().encode()).unwrap(),
+            HistogramSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn wire_rejects_inconsistent_payloads() {
+        let h = Histogram::new();
+        h.record(7);
+        let mut s = h.snapshot();
+        s.count = 2; // bucket sum is 1
+        assert!(matches!(
+            HistogramSnapshot::decode(&s.encode()),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

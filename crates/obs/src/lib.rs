@@ -1,0 +1,57 @@
+//! Zero-dependency observability for the mergeable-summaries service.
+//!
+//! The mergeability theorem (PODS'12, Definition 1) guarantees the error
+//! bound under *any* merge tree, but says nothing about where wall-clock
+//! time goes inside one. This crate is the instrument panel: it tells you
+//! where the `ε·n`-correct answer spent its microseconds — shard-queue
+//! wait, compaction stalls, per-opcode server latency — without adding a
+//! single external dependency or a lock on any hot path.
+//!
+//! Three layers:
+//!
+//! * [`MetricsRegistry`] — named atomic [`Counter`]s, [`Gauge`]s and
+//!   log-scaled [`Histogram`]s. `record()` is lock-free (a handful of
+//!   relaxed atomic adds); [`RegistrySnapshot`]s are *mergeable* exactly
+//!   like the paper's summaries — histograms merge bucket-wise, counters
+//!   add — so snapshots from many shards or many scrapes compose.
+//! * [`FlightRecorder`] — a span/event tracing layer writing to fixed-size
+//!   per-thread ring buffers. Always cheap, always on, dumped as
+//!   seed-stamped JSON when something goes wrong (`ServiceError`, a
+//!   faultsim schedule failure), so "seed 0x… failed" comes with the
+//!   trace of the failing epoch. See the [`span!`] macro.
+//! * [`render_prometheus`] — the registry snapshot as Prometheus text
+//!   exposition, served by the `mergeable metrics` CLI.
+
+pub mod hist;
+pub mod prom;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{bucket_upper, Histogram, HistogramSnapshot, HIST_BUCKETS};
+pub use prom::render_prometheus;
+pub use registry::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
+pub use trace::{FlightRecorder, SpanGuard, TraceEvent, TraceHandle};
+
+/// Open a span on a [`TraceHandle`], recording named `u64` fields and the
+/// span's duration into the thread's flight-recorder ring when the guard
+/// drops:
+///
+/// ```
+/// use ms_obs::{span, FlightRecorder};
+/// let recorder = std::sync::Arc::new(FlightRecorder::new(64));
+/// let handle = recorder.register("compactor");
+/// {
+///     let _span = span!(handle, "compact", epoch = 3u64, deltas = 2u64);
+///     // ... timed work ...
+/// }
+/// assert_eq!(recorder.event_count(), 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($handle:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut __span = $handle.span($name);
+        $( __span.field(stringify!($key), $val as u64); )*
+        __span
+    }};
+}

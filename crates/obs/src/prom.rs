@@ -1,0 +1,148 @@
+//! Prometheus-style text exposition for a [`RegistrySnapshot`].
+//!
+//! Metric names may carry inline labels (`queue_depth{shard="0"}`); the
+//! family is the name up to the `{`. Metrics of one family share a single
+//! `# TYPE` header, and histogram bucket lines splice `le="…"` into the
+//! metric's existing label set, so the output scrapes cleanly.
+
+use crate::hist::{bucket_upper, HistogramSnapshot, HIST_BUCKETS};
+use crate::registry::RegistrySnapshot;
+
+/// Split `name` into (family, labels-without-braces).
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// Rebuild a metric name from a family, optional existing labels, and an
+/// optional extra label.
+fn with_labels(family: &str, suffix: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    let mut all = String::new();
+    if let Some(l) = labels {
+        all.push_str(l);
+    }
+    if let Some(e) = extra {
+        if !all.is_empty() {
+            all.push(',');
+        }
+        all.push_str(e);
+    }
+    if all.is_empty() {
+        format!("{family}{suffix}")
+    } else {
+        format!("{family}{suffix}{{{all}}}")
+    }
+}
+
+fn type_header(out: &mut String, seen: &mut Vec<String>, family: &str, kind: &str) {
+    if seen.iter().any(|f| f == family) {
+        return;
+    }
+    seen.push(family.to_string());
+    out.push_str(&format!("# TYPE {family} {kind}\n"));
+}
+
+fn render_histogram(out: &mut String, family: &str, labels: Option<&str>, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for i in 0..HIST_BUCKETS {
+        if h.buckets[i] == 0 {
+            continue;
+        }
+        cumulative += h.buckets[i];
+        let le = format!("le=\"{}\"", bucket_upper(i));
+        let name = with_labels(family, "_bucket", labels, Some(&le));
+        out.push_str(&format!("{name} {cumulative}\n"));
+    }
+    let inf = with_labels(family, "_bucket", labels, Some("le=\"+Inf\""));
+    out.push_str(&format!("{inf} {}\n", h.count));
+    let sum = with_labels(family, "_sum", labels, None);
+    out.push_str(&format!("{sum} {}\n", h.sum));
+    let count = with_labels(family, "_count", labels, None);
+    out.push_str(&format!("{count} {}\n", h.count));
+}
+
+/// Render a snapshot as Prometheus text exposition (`# TYPE` headers,
+/// one sample per line, histograms as cumulative `_bucket` series plus
+/// `_sum`/`_count`).
+pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut seen = Vec::new();
+    for (name, value) in &snapshot.counters {
+        let (family, _) = split_labels(name);
+        type_header(&mut out, &mut seen, family, "counter");
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let (family, _) = split_labels(name);
+        type_header(&mut out, &mut seen, family, "gauge");
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let (family, labels) = split_labels(name);
+        type_header(&mut out, &mut seen, family, "histogram");
+        render_histogram(&mut out, family, labels, hist);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn counters_and_gauges_render_with_shared_type_headers() {
+        let r = MetricsRegistry::new();
+        r.counter("ingest_total{shard=\"0\"}").add(10);
+        r.counter("ingest_total{shard=\"1\"}").add(20);
+        r.gauge("queue_depth{shard=\"0\"}").set(3);
+        let text = render_prometheus(&r.snapshot());
+        assert_eq!(
+            text.matches("# TYPE ingest_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains("ingest_total{shard=\"0\"} 10"), "{text}");
+        assert!(text.contains("ingest_total{shard=\"1\"} 20"), "{text}");
+        assert!(text.contains("# TYPE queue_depth gauge"), "{text}");
+        assert!(text.contains("queue_depth{shard=\"0\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_sum_count() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat{op=\"ingest\"}");
+        h.record(1); // bucket 1, upper 1
+        h.record(3); // bucket 2, upper 3
+        h.record(3);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE lat histogram"), "{text}");
+        assert!(
+            text.contains("lat_bucket{op=\"ingest\",le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_bucket{op=\"ingest\",le=\"3\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_bucket{op=\"ingest\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("lat_sum{op=\"ingest\"} 7"), "{text}");
+        assert!(text.contains("lat_count{op=\"ingest\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn unlabeled_histogram_renders_bare_le_labels() {
+        let r = MetricsRegistry::new();
+        r.histogram("d").record(5);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("d_bucket{le=\"7\"} 1"), "{text}");
+        assert!(text.contains("d_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("d_sum 5"), "{text}");
+        assert!(text.contains("d_count 1"), "{text}");
+    }
+}

@@ -102,6 +102,11 @@ pub struct ServiceConfig {
     /// Fault-injection schedule consulted by workers and the compactor.
     /// [`NoFaults`] in production.
     pub fault_plan: Arc<dyn FaultPlan>,
+    /// Record latency histograms, gauges and flight-recorder traces
+    /// (see [`crate::EngineTelemetry`]). On by default; turn off to
+    /// measure the instrumentation's own overhead (`serve
+    /// --no-telemetry`, `MS_BENCH_TELEMETRY=0`).
+    pub telemetry: bool,
 }
 
 impl ServiceConfig {
@@ -116,6 +121,7 @@ impl ServiceConfig {
             seed: 0x5E1F,
             respawn_lost_shards: true,
             fault_plan: Arc::new(NoFaults),
+            telemetry: true,
         }
     }
 
@@ -152,6 +158,12 @@ impl ServiceConfig {
     /// Install a fault-injection schedule.
     pub fn fault_plan(mut self, plan: Arc<dyn FaultPlan>) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Enable or disable telemetry recording.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
         self
     }
 

@@ -49,10 +49,12 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use ms_core::{Mergeable, ServiceError, Summary};
+use ms_obs::RegistrySnapshot;
 
 use crate::config::ServiceConfig;
 use crate::fault::FaultAction;
 use crate::summary::ShardSummary;
+use crate::telemetry::{timed, EngineTelemetry};
 
 /// An immutable published view of the global summary.
 #[derive(Debug, Clone)]
@@ -102,7 +104,8 @@ struct Counters {
 }
 
 enum WorkerMsg {
-    Batch(Vec<u64>),
+    /// A batch of items plus its enqueue time (for queue-wait histograms).
+    Batch(Vec<u64>, Instant),
     Flush(Sender<()>),
     Shutdown,
 }
@@ -153,6 +156,7 @@ pub struct Engine {
     shutdown_lock: Mutex<()>,
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
     compactor_handle: Mutex<Option<JoinHandle<()>>>,
+    telemetry: Arc<EngineTelemetry>,
 }
 
 impl Engine {
@@ -160,6 +164,7 @@ impl Engine {
     pub fn start(cfg: ServiceConfig) -> Result<Arc<Engine>, ServiceError> {
         cfg.check()?;
         let counters = Arc::new(Counters::default());
+        let telemetry = Arc::new(EngineTelemetry::new(cfg.shards, cfg.telemetry));
         let (compact_tx, compact_rx) = mpsc::channel::<CompactMsg>();
         let batch_indices = Arc::new(
             (0..cfg.shards)
@@ -178,6 +183,7 @@ impl Engine {
                 compact_tx.clone(),
                 Arc::clone(&counters),
                 Arc::clone(&batch_indices),
+                Arc::clone(&telemetry),
             )?;
             slots.push(ShardSlot {
                 gen: 0,
@@ -202,6 +208,7 @@ impl Engine {
             shutdown_lock: Mutex::new(()),
             worker_handles: Mutex::new(worker_handles),
             compactor_handle: Mutex::new(None),
+            telemetry,
         });
 
         let compactor = spawn_compactor(Arc::clone(&engine), compact_rx)?;
@@ -238,7 +245,14 @@ impl Engine {
             }
             slot.gen += 1;
             slot.tx = None;
-            self.counters.shards_lost.fetch_add(1, Ordering::Relaxed);
+            // Release pairs with the Acquire load in `metrics`: a report
+            // that observes engine state derived from this death (e.g. the
+            // retried batch) also observes the incremented counter.
+            self.counters.shards_lost.fetch_add(1, Ordering::Release);
+            self.telemetry
+                .event("shard_death", &[("shard", shard as u64), ("gen", gen)]);
+            // The dead worker's queued batches are gone with its receiver.
+            self.telemetry.queue_reset(shard);
             self.cfg.respawn_lost_shards && !self.stopped.load(Ordering::Acquire)
         };
         if !respawn {
@@ -255,8 +269,11 @@ impl Engine {
             compact_tx,
             Arc::clone(&self.counters),
             Arc::clone(&self.batch_indices),
+            Arc::clone(&self.telemetry),
         ) {
             Ok(handle) => {
+                self.telemetry
+                    .event("shard_respawn", &[("shard", shard as u64)]);
                 let mut shards = write(&self.shards);
                 // Install only if the slot is still vacant AND shutdown has
                 // not started meanwhile: `shutdown` sets `stopped` before
@@ -293,25 +310,26 @@ impl Engine {
             let Some((gen, tx)) = self.shard_sender(shard) else {
                 failures += 1;
                 if failures >= shard_count && self.all_shards_dead() {
-                    return Err(ServiceError::AllShardsLost);
+                    return Err(self.all_shards_lost());
                 }
                 continue;
             };
-            match tx.send(WorkerMsg::Batch(batch)) {
+            match tx.send(WorkerMsg::Batch(batch, Instant::now())) {
                 Ok(()) => {
                     self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.queue_pushed(shard);
                     return Ok(());
                 }
                 Err(mpsc::SendError(msg)) => {
-                    let WorkerMsg::Batch(b) = msg else {
+                    let WorkerMsg::Batch(b, _) = msg else {
                         unreachable!()
                     };
                     batch = b;
                     self.note_dead_shard(shard, gen);
-                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    self.counters.retries.fetch_add(1, Ordering::Release);
                     failures += 1;
                     if failures >= shard_count.saturating_mul(2) && self.all_shards_dead() {
-                        return Err(ServiceError::AllShardsLost);
+                        return Err(self.all_shards_lost());
                     }
                 }
             }
@@ -336,13 +354,14 @@ impl Engine {
             let Some((gen, tx)) = self.shard_sender(shard) else {
                 attempts += 1;
                 if self.all_shards_dead() {
-                    return Err(ServiceError::AllShardsLost);
+                    return Err(self.all_shards_lost());
                 }
                 continue;
             };
-            match tx.try_send(WorkerMsg::Batch(batch)) {
+            match tx.try_send(WorkerMsg::Batch(batch, Instant::now())) {
                 Ok(()) => {
                     self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.queue_pushed(shard);
                     return Ok(());
                 }
                 Err(TrySendError::Full(_)) => {
@@ -350,17 +369,25 @@ impl Engine {
                     return Err(ServiceError::Backpressure);
                 }
                 Err(TrySendError::Disconnected(msg)) => {
-                    let WorkerMsg::Batch(b) = msg else {
+                    let WorkerMsg::Batch(b, _) = msg else {
                         unreachable!()
                     };
                     batch = b;
                     self.note_dead_shard(shard, gen);
-                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    self.counters.retries.fetch_add(1, Ordering::Release);
                     attempts += 1;
                 }
             }
         }
-        Err(ServiceError::AllShardsLost)
+        Err(self.all_shards_lost())
+    }
+
+    /// Total shard loss is the engine's fatal state: dump the flight
+    /// recorder (first occurrence only) so the failure ships with a trace.
+    fn all_shards_lost(&self) -> ServiceError {
+        self.telemetry.event("all_shards_lost", &[]);
+        self.telemetry.dump_flight(self.cfg.seed, "all-shards-lost");
+        ServiceError::AllShardsLost
     }
 
     /// Force every live worker to hand its delta to the compactor and
@@ -417,21 +444,68 @@ impl Engine {
     fn publish(&self, summary: ShardSummary) {
         let mut guard = write(&self.snapshot);
         let epoch = guard.epoch + 1;
+        let since_last = guard.published_at.elapsed().as_micros() as u64;
         *guard = Arc::new(Snapshot {
             epoch,
             summary,
             published_at: Instant::now(),
         });
+        drop(guard);
+        self.telemetry.record_publish(epoch, since_last);
     }
 
     /// Record a wire frame the server rejected as malformed.
     pub fn record_rejected_frame(&self) {
+        // Release: see `metrics` for the pairing argument.
         self.counters
             .frames_rejected
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Release);
+    }
+
+    /// The engine's observability plane (latency histograms, queue-depth
+    /// gauges, the flight recorder).
+    pub fn telemetry(&self) -> &Arc<EngineTelemetry> {
+        &self.telemetry
+    }
+
+    /// The telemetry registry snapshot with the engine's own counters and
+    /// snapshot gauges folded in — the payload served for
+    /// [`crate::Request::Telemetry`]. Mergeable like any other
+    /// [`RegistrySnapshot`].
+    pub fn telemetry_snapshot(&self) -> RegistrySnapshot {
+        let m = self.metrics();
+        let engine = RegistrySnapshot {
+            counters: vec![
+                ("batches_total".to_string(), m.batches),
+                ("dropped_total".to_string(), m.dropped),
+                ("frames_rejected_total".to_string(), m.frames_rejected),
+                ("merges_total".to_string(), m.merges),
+                ("retries_total".to_string(), m.retries),
+                ("shards_lost_total".to_string(), m.shards_lost),
+                ("updates_total".to_string(), m.updates),
+            ],
+            gauges: vec![
+                (
+                    "snapshot_age_micros".to_string(),
+                    m.snapshot_age_micros as i64,
+                ),
+                ("snapshot_weight".to_string(), m.snapshot_weight as i64),
+            ],
+            histograms: Vec::new(),
+        };
+        self.telemetry.snapshot().merge(&engine)
     }
 
     /// Current counters plus snapshot-derived gauges.
+    ///
+    /// Consistency: each counter is individually monotone, and the
+    /// `shards_lost` / `frames_rejected` / `retries` increments use
+    /// `Release` paired with the `Acquire` loads here, so a report
+    /// observes every such event that happened-before anything else it
+    /// observes. The report is still not a consistent cut across *all*
+    /// fields — `updates` keeps advancing while the snapshot fields are
+    /// read — which is inherent to lock-free counters and fine for
+    /// monitoring; tests may only assume per-field monotonicity.
     pub fn metrics(&self) -> MetricsReport {
         let snap = self.snapshot();
         MetricsReport {
@@ -442,9 +516,9 @@ impl Engine {
             epoch: snap.epoch,
             snapshot_age_micros: snap.published_at.elapsed().as_micros() as u64,
             snapshot_weight: snap.summary.total_weight(),
-            shards_lost: self.counters.shards_lost.load(Ordering::Relaxed),
-            frames_rejected: self.counters.frames_rejected.load(Ordering::Relaxed),
-            retries: self.counters.retries.load(Ordering::Relaxed),
+            shards_lost: self.counters.shards_lost.load(Ordering::Acquire),
+            frames_rejected: self.counters.frames_rejected.load(Ordering::Acquire),
+            retries: self.counters.retries.load(Ordering::Acquire),
         }
     }
 
@@ -495,10 +569,12 @@ fn spawn_worker(
     compact_tx: Sender<CompactMsg>,
     counters: Arc<Counters>,
     batch_indices: Arc<Vec<AtomicU64>>,
+    telemetry: Arc<EngineTelemetry>,
 ) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("ms-worker-{shard}"))
         .spawn(move || {
+            let trace = telemetry.recorder().register(&format!("worker-{shard}"));
             let mut delta = ShardSummary::new(&cfg, shard);
             let mut pending = 0usize;
             let hand_off = |delta: &mut ShardSummary, pending: &mut usize| {
@@ -510,17 +586,24 @@ fn spawn_worker(
             };
             for msg in rx {
                 match msg {
-                    WorkerMsg::Batch(items) => {
+                    WorkerMsg::Batch(items, enqueued) => {
+                        telemetry.queue_popped(shard);
+                        telemetry.record_queue_wait(shard, enqueued.elapsed().as_micros() as u64);
                         let index = batch_indices[shard].fetch_add(1, Ordering::Relaxed);
                         match cfg.fault_plan.worker_batch(shard, index) {
                             FaultAction::Continue => {}
                             FaultAction::StallMs(ms) => {
+                                trace.event("stall", &[("ms", ms)]);
                                 std::thread::sleep(std::time::Duration::from_millis(ms));
                             }
                             FaultAction::Die => {
                                 // Crash semantics: the pending delta and all
                                 // queued batches are lost; deltas already
                                 // handed off survive in the global summary.
+                                trace.event(
+                                    "worker_die",
+                                    &[("batch_index", index), ("pending", pending as u64)],
+                                );
                                 return;
                             }
                         }
@@ -528,11 +611,16 @@ fn spawn_worker(
                             .updates
                             .fetch_add(items.len() as u64, Ordering::Relaxed);
                         pending += items.len();
-                        for item in items {
-                            delta.update(item);
-                        }
+                        let (_, micros) = timed(|| {
+                            for item in items {
+                                delta.update(item);
+                            }
+                        });
+                        telemetry.record_ingest_batch(shard, micros);
                         if pending >= cfg.delta_updates {
-                            hand_off(&mut delta, &mut pending);
+                            let handed = pending as u64;
+                            let (_, micros) = timed(|| hand_off(&mut delta, &mut pending));
+                            trace.event("hand_off", &[("updates", handed), ("micros", micros)]);
                         }
                     }
                     WorkerMsg::Flush(ack) => {
@@ -556,6 +644,7 @@ fn spawn_compactor(
         .name("ms-compactor".to_string())
         .spawn(move || {
             let cfg = engine.cfg.clone();
+            let trace = engine.telemetry.recorder().register("compactor");
             let mut global = ShardSummary::new(&cfg, usize::MAX);
             let mut merge_index = 0u64;
             for msg in rx {
@@ -564,9 +653,12 @@ fn spawn_compactor(
                         let stall_ms = cfg.fault_plan.compactor_merge(merge_index);
                         merge_index += 1;
                         if stall_ms > 0 {
+                            trace.event("stall", &[("ms", stall_ms)]);
                             std::thread::sleep(std::time::Duration::from_millis(stall_ms));
                         }
-                        match global.clone().merge(delta) {
+                        let mut span = ms_obs::span!(trace, "compact", merge_index = merge_index);
+                        let (merged, micros) = timed(|| global.clone().merge(delta));
+                        match merged {
                             Ok(merged) => global = merged,
                             // Deltas come from ShardSummary::new under the
                             // same config, so kinds/ε always match; a
@@ -574,8 +666,12 @@ fn spawn_compactor(
                             // previous global rather than poisoning it.
                             Err(_) => continue,
                         }
+                        // The compactor folds deltas left-deep, so the
+                        // snapshot's merge tree is `merge_index` deep.
+                        engine.telemetry.record_compact_merge(micros, merge_index);
                         engine.counters.merges.fetch_add(1, Ordering::Relaxed);
                         engine.publish(global.clone());
+                        span.field("epoch", engine.snapshot().epoch);
                     }
                     CompactMsg::Publish(ack) => {
                         engine.publish(global.clone());
@@ -780,6 +876,146 @@ mod tests {
         // Queries still answer from the last published snapshot.
         let _ = engine.snapshot();
         engine.shutdown();
+    }
+
+    #[test]
+    fn metrics_reads_are_monotone_under_concurrent_ingest() {
+        // Hammer `metrics()` while four threads ingest: every counter in
+        // successive reports must be monotone (each counter is a relaxed
+        // atomic, but loads of the same counter never go backwards), and
+        // the derived report must never observe impossible states like
+        // more retries than batches+retries attempts.
+        let engine = Engine::start(
+            ServiceConfig::new(SummaryKind::Mg, 0.05)
+                .shards(2)
+                .delta_updates(256),
+        )
+        .unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut prev = engine.metrics();
+                    let mut reads = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let m = engine.metrics();
+                        assert!(m.updates >= prev.updates, "updates went backwards");
+                        assert!(m.batches >= prev.batches, "batches went backwards");
+                        assert!(m.merges >= prev.merges, "merges went backwards");
+                        assert!(m.epoch >= prev.epoch, "epoch went backwards");
+                        assert!(m.shards_lost >= prev.shards_lost);
+                        assert!(m.frames_rejected >= prev.frames_rejected);
+                        assert!(m.retries >= prev.retries);
+                        prev = m;
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        engine.ingest(vec![i % 16; 50]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader never ran");
+        }
+        engine.shutdown();
+        let m = engine.metrics();
+        assert_eq!(m.updates, 4 * 200 * 50);
+        assert_eq!(m.shards_lost, 0);
+    }
+
+    #[test]
+    fn telemetry_snapshot_tracks_engine_activity() {
+        let engine = Engine::start(
+            ServiceConfig::new(SummaryKind::Mg, 0.05)
+                .shards(2)
+                .delta_updates(100),
+        )
+        .unwrap();
+        for _ in 0..40 {
+            engine.ingest(vec![2; 25]).unwrap();
+        }
+        engine.flush().unwrap();
+        let snap = engine.telemetry_snapshot();
+        let absorbed: u64 = (0..2)
+            .filter_map(|s| snap.histogram(&format!("ingest_batch_micros{{shard=\"{s}\"}}")))
+            .map(|h| h.count)
+            .sum();
+        assert_eq!(absorbed, 40, "every batch absorb must be recorded");
+        let waited: u64 = (0..2)
+            .filter_map(|s| snap.histogram(&format!("queue_wait_micros{{shard=\"{s}\"}}")))
+            .map(|h| h.count)
+            .sum();
+        assert_eq!(waited, 40, "every dequeue must record its queue wait");
+        // 1000 updates at delta_updates=100 hand off at least once per
+        // shard that saw data; each hand-off is one compactor merge.
+        let merges = snap.histogram("compact_merge_micros").unwrap();
+        assert!(merges.count >= 1);
+        assert_eq!(snap.gauge("epoch"), Some(engine.snapshot().epoch as i64));
+        assert_eq!(snap.counter("updates_total"), Some(1000));
+        // After flush + idle workers every queue is empty.
+        for s in 0..2 {
+            assert_eq!(
+                snap.gauge(&format!("queue_depth{{shard=\"{s}\"}}")),
+                Some(0)
+            );
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn all_shards_lost_dumps_seed_stamped_flight_recording() {
+        let dir = std::env::temp_dir().join("ms-engine-flight-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("MS_FLIGHT_DIR", &dir);
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.05)
+            .shards(1)
+            .seed(0xDEAD_BEEF)
+            .respawn_lost_shards(false)
+            .fault_plan(crate::fault::plan_fn(|_, idx| {
+                if idx == 0 {
+                    FaultAction::Die
+                } else {
+                    FaultAction::Continue
+                }
+            }));
+        let engine = Engine::start(cfg).unwrap();
+        engine.ingest(vec![1]).unwrap();
+        let mut lost = false;
+        for _ in 0..1_000 {
+            match engine.ingest(vec![2]) {
+                Ok(()) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                Err(ServiceError::AllShardsLost) => {
+                    lost = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        std::env::remove_var("MS_FLIGHT_DIR");
+        assert!(lost);
+        let dump = dir.join("flight-all-shards-lost-0xdeadbeef.json");
+        let text = std::fs::read_to_string(&dump)
+            .unwrap_or_else(|e| panic!("missing flight dump {}: {e}", dump.display()));
+        assert!(text.contains("\"seed\": \"0xdeadbeef\""), "{text}");
+        assert!(text.contains("worker_die"), "{text}");
+        assert!(text.contains("all_shards_lost"), "{text}");
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod fault;
 pub mod protocol;
 pub mod server;
 pub mod summary;
+pub mod telemetry;
 
 pub use config::{ServiceConfig, SummaryKind};
 pub use engine::{Engine, MetricsReport, Snapshot};
@@ -40,5 +41,7 @@ pub use fault::{plan_fn, FaultAction, FaultPlan, NoFaults};
 pub use protocol::{decode_request, Request, Response, REQUEST_TAG, RESPONSE_TAG};
 pub use server::{dispatch, Client, ClientOptions, Server};
 pub use summary::ShardSummary;
+pub use telemetry::{EngineTelemetry, OPCODE_LABELS};
 
 pub use ms_core::ServiceError;
+pub use ms_obs::RegistrySnapshot;

@@ -8,6 +8,7 @@
 //! `frames_rejected`) instead of killing the connection thread.
 
 use ms_core::{Wire, WireError, WireFrame, WireReader};
+use ms_obs::RegistrySnapshot;
 
 use crate::engine::MetricsReport;
 
@@ -37,6 +38,10 @@ pub enum Request {
     Metrics,
     /// The full global summary, binary-encoded.
     Summary,
+    /// The full telemetry registry snapshot: latency histograms,
+    /// queue-depth gauges, byte counters (see
+    /// [`crate::Engine::telemetry_snapshot`]).
+    Telemetry,
 }
 
 impl Request {
@@ -45,6 +50,24 @@ impl Request {
     /// one mutation that would double-count; `Flush` merely re-publishes).
     pub fn is_idempotent(&self) -> bool {
         !matches!(self, Request::Ingest(_))
+    }
+
+    /// The wire opcode byte (also the index into
+    /// [`crate::telemetry::OPCODE_LABELS`] for per-opcode latency
+    /// histograms).
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Ping => 0,
+            Request::Ingest(_) => 1,
+            Request::Flush => 2,
+            Request::Point(_) => 3,
+            Request::HeavyHitters(_) => 4,
+            Request::Rank(_) => 5,
+            Request::Quantile(_) => 6,
+            Request::Metrics => 7,
+            Request::Summary => 8,
+            Request::Telemetry => 9,
+        }
     }
 }
 
@@ -59,31 +82,17 @@ pub fn decode_request(frame: &WireFrame) -> Result<Request, WireError> {
 
 impl Wire for Request {
     fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.opcode());
         match self {
-            Request::Ping => out.push(0),
-            Request::Ingest(items) => {
-                out.push(1);
-                items.encode_into(out);
-            }
-            Request::Flush => out.push(2),
-            Request::Point(item) => {
-                out.push(3);
-                item.encode_into(out);
-            }
-            Request::HeavyHitters(phi) => {
-                out.push(4);
-                phi.encode_into(out);
-            }
-            Request::Rank(x) => {
-                out.push(5);
-                x.encode_into(out);
-            }
-            Request::Quantile(phi) => {
-                out.push(6);
-                phi.encode_into(out);
-            }
-            Request::Metrics => out.push(7),
-            Request::Summary => out.push(8),
+            Request::Ingest(items) => items.encode_into(out),
+            Request::Point(item) => item.encode_into(out),
+            Request::HeavyHitters(phi) | Request::Quantile(phi) => phi.encode_into(out),
+            Request::Rank(x) => x.encode_into(out),
+            Request::Ping
+            | Request::Flush
+            | Request::Metrics
+            | Request::Summary
+            | Request::Telemetry => {}
         }
     }
 
@@ -98,6 +107,7 @@ impl Wire for Request {
             6 => Request::Quantile(f64::decode_from(r)?),
             7 => Request::Metrics,
             8 => Request::Summary,
+            9 => Request::Telemetry,
             _ => return Err(WireError::Malformed("unknown request opcode")),
         })
     }
@@ -121,6 +131,8 @@ pub enum Response {
     /// The request could not be served (e.g. a rank query against a
     /// heavy-hitter engine).
     Error(String),
+    /// The telemetry registry snapshot.
+    Telemetry(RegistrySnapshot),
 }
 
 impl Wire for Response {
@@ -151,6 +163,10 @@ impl Wire for Response {
                 out.push(6);
                 msg.encode_into(out);
             }
+            Response::Telemetry(snapshot) => {
+                out.push(7);
+                snapshot.encode_into(out);
+            }
         }
     }
 
@@ -163,6 +179,7 @@ impl Wire for Response {
             4 => Response::Metrics(MetricsReport::decode_from(r)?),
             5 => Response::Summary(Vec::decode_from(r)?),
             6 => Response::Error(String::decode_from(r)?),
+            7 => Response::Telemetry(RegistrySnapshot::decode_from(r)?),
             _ => return Err(WireError::Malformed("unknown response opcode")),
         })
     }
@@ -214,6 +231,7 @@ mod tests {
             Request::Quantile(0.5),
             Request::Metrics,
             Request::Summary,
+            Request::Telemetry,
         ];
         for req in cases {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -242,10 +260,45 @@ mod tests {
             }),
             Response::Summary(vec![0xAB; 16]),
             Response::Error("nope".into()),
+            Response::Telemetry(RegistrySnapshot::default()),
         ];
         for resp in cases {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn telemetry_response_roundtrips_populated_snapshot() {
+        let registry = ms_obs::MetricsRegistry::new();
+        registry.counter("server_bytes_in_total").add(u64::MAX);
+        registry.gauge("queue_depth{shard=\"0\"}").set(i64::MIN);
+        let h = registry.histogram("request_micros{op=\"ingest\"}");
+        h.record(0);
+        h.record(u64::MAX);
+        let resp = Response::Telemetry(registry.snapshot());
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn metrics_report_roundtrips_all_max_values() {
+        // Every field at u64::MAX: the varint encoder's widest case. A
+        // regression here would silently corrupt counters reported by
+        // long-lived servers.
+        let report = MetricsReport {
+            updates: u64::MAX,
+            batches: u64::MAX,
+            dropped: u64::MAX,
+            merges: u64::MAX,
+            epoch: u64::MAX,
+            snapshot_age_micros: u64::MAX,
+            snapshot_weight: u64::MAX,
+            shards_lost: u64::MAX,
+            frames_rejected: u64::MAX,
+            retries: u64::MAX,
+        };
+        assert_eq!(MetricsReport::decode(&report.encode()).unwrap(), report);
+        let resp = Response::Metrics(report);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 
     #[test]
@@ -266,6 +319,7 @@ mod tests {
             Request::Quantile(0.5),
             Request::Metrics,
             Request::Summary,
+            Request::Telemetry,
         ] {
             assert!(req.is_idempotent(), "{req:?}");
         }

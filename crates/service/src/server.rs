@@ -18,10 +18,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ms_core::wire::FRAME_HEADER_LEN;
 use ms_core::{ServiceError, Wire, WireFrame};
+use ms_obs::RegistrySnapshot;
 
 use crate::engine::{Engine, MetricsReport};
 use crate::protocol::{decode_request, Request, Response, REQUEST_TAG, RESPONSE_TAG};
+use crate::telemetry::timed;
 
 /// A running TCP front-end over an [`Engine`].
 pub struct Server {
@@ -88,6 +91,7 @@ impl Server {
 
 fn serve_connection(mut stream: TcpStream, engine: Arc<Engine>) {
     let _ = stream.set_nodelay(true);
+    let telemetry = Arc::clone(engine.telemetry());
     loop {
         let frame = match WireFrame::read_from(&mut stream) {
             Ok(Some(frame)) => frame,
@@ -106,16 +110,23 @@ fn serve_connection(mut stream: TcpStream, engine: Arc<Engine>) {
                 return;
             }
         };
+        telemetry.add_bytes_in((FRAME_HEADER_LEN + frame.payload.len()) as u64);
         // The frame itself was well-formed; a payload that fails to decode
         // is a protocol error worth answering, and the connection lives on.
         let response = match decode_request(&frame) {
-            Ok(request) => dispatch(&engine, request),
+            Ok(request) => {
+                let opcode = request.opcode();
+                let (response, micros) = timed(|| dispatch(&engine, request));
+                telemetry.record_request(opcode, micros);
+                response
+            }
             Err(e) => {
                 engine.record_rejected_frame();
                 Response::Error(format!("bad request: {e}"))
             }
         };
         let out = WireFrame::from_value(RESPONSE_TAG, &response);
+        telemetry.add_bytes_out((FRAME_HEADER_LEN + out.payload.len()) as u64);
         if out.write_to(&mut stream).is_err() {
             return;
         }
@@ -168,6 +179,7 @@ pub fn dispatch(engine: &Engine, request: Request) -> Response {
         },
         Request::Metrics => Response::Metrics(engine.metrics()),
         Request::Summary => Response::Summary(engine.snapshot().summary.encode()),
+        Request::Telemetry => Response::Telemetry(engine.telemetry_snapshot()),
     }
 }
 
@@ -366,6 +378,15 @@ impl Client {
     pub fn metrics(&mut self) -> Result<MetricsReport, ServiceError> {
         match self.call(&Request::Metrics)? {
             Response::Metrics(m) => Ok(m),
+            other => Err(protocol_error(other)),
+        }
+    }
+
+    /// Fetch the full telemetry registry snapshot (latency histograms,
+    /// queue-depth gauges, byte counters).
+    pub fn telemetry(&mut self) -> Result<RegistrySnapshot, ServiceError> {
+        match self.call(&Request::Telemetry)? {
+            Response::Telemetry(snapshot) => Ok(snapshot),
             other => Err(protocol_error(other)),
         }
     }
@@ -629,6 +650,62 @@ mod tests {
         }
         assert_eq!(client.call(&Request::Ping).unwrap(), Response::Ok);
         assert!(client.retries_performed() >= 1);
+        server.stop();
+    }
+
+    #[test]
+    fn telemetry_opcode_serves_live_histograms() {
+        let server = mg_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for _ in 0..50 {
+            client.ingest((0..100).collect()).unwrap();
+        }
+        client.flush().unwrap();
+        let snap = client.telemetry().unwrap();
+        // Per-opcode request latency: 50 ingests and 1 flush were served.
+        let ingest = snap.histogram("request_micros{op=\"ingest\"}").unwrap();
+        assert_eq!(ingest.count, 50);
+        assert_eq!(
+            snap.histogram("request_micros{op=\"flush\"}")
+                .unwrap()
+                .count,
+            1
+        );
+        // Per-shard ingest-batch latency across shards covers every batch.
+        let absorbed: u64 = (0..server.engine().config().shards)
+            .filter_map(|s| snap.histogram(&format!("ingest_batch_micros{{shard=\"{s}\"}}")))
+            .map(|h| h.count)
+            .sum();
+        assert_eq!(absorbed, 50);
+        // Engine counters are folded in; queue-depth gauges exist.
+        assert_eq!(snap.counter("updates_total"), Some(5000));
+        assert_eq!(snap.counter("shards_lost_total"), Some(0));
+        assert!(snap.gauge("queue_depth{shard=\"0\"}").is_some());
+        // Byte accounting saw our frames in both directions.
+        assert!(snap.counter("server_bytes_in_total").unwrap() > 0);
+        assert!(snap.counter("server_bytes_out_total").unwrap() > 0);
+        server.stop();
+    }
+
+    #[test]
+    fn telemetry_disabled_serves_empty_histograms() {
+        let engine = Engine::start(
+            ServiceConfig::new(SummaryKind::Mg, 0.02)
+                .shards(2)
+                .telemetry(false),
+        )
+        .unwrap();
+        let server = Server::bind(engine, "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.ingest(vec![1; 100]).unwrap();
+        client.flush().unwrap();
+        let snap = client.telemetry().unwrap();
+        // The snapshot stays well-formed but records nothing...
+        let ingest = snap.histogram("request_micros{op=\"ingest\"}").unwrap();
+        assert_eq!(ingest.count, 0);
+        assert_eq!(snap.counter("server_bytes_in_total"), Some(0));
+        // ...while the engine's own counters still work.
+        assert_eq!(snap.counter("updates_total"), Some(100));
         server.stop();
     }
 

@@ -1,0 +1,229 @@
+//! The engine's observability plane: pre-registered instruments for every
+//! hot path, a flight recorder for failure forensics, and the snapshot
+//! the [`crate::Request::Telemetry`] opcode serves.
+//!
+//! Instruments are created once at engine start and stored as `Arc`s in
+//! fixed per-shard / per-opcode vectors, so the hot paths never touch the
+//! registry lock — recording is a few relaxed atomic adds. When the
+//! engine is started with `telemetry(false)` every record method is a
+//! single branch and the flight recorder is disabled.
+//!
+//! All durations are recorded in microseconds.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ms_obs::{
+    Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, RegistrySnapshot, TraceHandle,
+};
+
+/// Events each per-thread flight-recorder ring retains.
+const FLIGHT_RING_CAPACITY: usize = 256;
+
+/// Opcode labels, indexed by the request opcode byte (see
+/// [`crate::protocol::Request`]). Kept in wire-opcode order so the server
+/// can index by opcode without a match.
+pub const OPCODE_LABELS: [&str; 10] = [
+    "ping",
+    "ingest",
+    "flush",
+    "point",
+    "heavy_hitters",
+    "rank",
+    "quantile",
+    "metrics",
+    "summary",
+    "telemetry",
+];
+
+/// Pre-registered instruments for one engine (and the server wrapping it).
+pub struct EngineTelemetry {
+    enabled: bool,
+    registry: Arc<MetricsRegistry>,
+    recorder: Arc<FlightRecorder>,
+    /// Absorb time per ingested batch, per shard.
+    ingest_batch: Vec<Arc<Histogram>>,
+    /// Time a batch sat on the shard queue before the worker picked it up.
+    queue_wait: Vec<Arc<Histogram>>,
+    /// Batches currently sitting on each shard queue.
+    queue_depth: Vec<Arc<Gauge>>,
+    /// Compactor merge duration.
+    compact_merge: Arc<Histogram>,
+    /// Wall-clock gap between consecutive publishes (epoch duration).
+    epoch_duration: Arc<Histogram>,
+    /// Depth of the compactor's (left-deep) merge tree in the snapshot.
+    merge_tree_depth: Arc<Gauge>,
+    /// Current published epoch.
+    epoch: Arc<Gauge>,
+    /// Server dispatch latency, per request opcode.
+    request_latency: Vec<Arc<Histogram>>,
+    /// Wire payload bytes received / sent by the server.
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    /// Shared handle for rare cross-thread events (shard deaths, dumps).
+    engine_events: TraceHandle,
+    /// First-failure latch: only the first fatal error dumps the recorder.
+    flight_dumped: AtomicBool,
+}
+
+impl EngineTelemetry {
+    /// Build the instrument set for `shards` ingest shards. When
+    /// `enabled` is false every instrument still exists (snapshots stay
+    /// well-formed) but nothing records.
+    pub fn new(shards: usize, enabled: bool) -> EngineTelemetry {
+        let registry = Arc::new(MetricsRegistry::new());
+        let recorder = Arc::new(FlightRecorder::new(FLIGHT_RING_CAPACITY));
+        recorder.set_enabled(enabled);
+        let per_shard_hist = |name: &str| -> Vec<Arc<Histogram>> {
+            (0..shards)
+                .map(|s| registry.histogram(&format!("{name}{{shard=\"{s}\"}}")))
+                .collect()
+        };
+        let engine_events = recorder.register("engine");
+        EngineTelemetry {
+            enabled,
+            ingest_batch: per_shard_hist("ingest_batch_micros"),
+            queue_wait: per_shard_hist("queue_wait_micros"),
+            queue_depth: (0..shards)
+                .map(|s| registry.gauge(&format!("queue_depth{{shard=\"{s}\"}}")))
+                .collect(),
+            compact_merge: registry.histogram("compact_merge_micros"),
+            epoch_duration: registry.histogram("epoch_duration_micros"),
+            merge_tree_depth: registry.gauge("merge_tree_depth"),
+            epoch: registry.gauge("epoch"),
+            request_latency: OPCODE_LABELS
+                .iter()
+                .map(|op| registry.histogram(&format!("request_micros{{op=\"{op}\"}}")))
+                .collect(),
+            bytes_in: registry.counter("server_bytes_in_total"),
+            bytes_out: registry.counter("server_bytes_out_total"),
+            engine_events,
+            registry,
+            recorder,
+            flight_dumped: AtomicBool::new(false),
+        }
+    }
+
+    /// Is recording enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The underlying registry (for callers adding their own instruments).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The flight recorder, for registering per-thread trace handles.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Record one absorbed batch on `shard`.
+    pub fn record_ingest_batch(&self, shard: usize, micros: u64) {
+        if self.enabled {
+            self.ingest_batch[shard].record(micros);
+        }
+    }
+
+    /// Record how long a batch waited on `shard`'s queue.
+    pub fn record_queue_wait(&self, shard: usize, micros: u64) {
+        if self.enabled {
+            self.queue_wait[shard].record(micros);
+        }
+    }
+
+    /// A batch was enqueued on `shard`.
+    pub fn queue_pushed(&self, shard: usize) {
+        if self.enabled {
+            self.queue_depth[shard].inc();
+        }
+    }
+
+    /// A batch was taken off `shard`'s queue.
+    pub fn queue_popped(&self, shard: usize) {
+        if self.enabled {
+            self.queue_depth[shard].dec();
+        }
+    }
+
+    /// Zero `shard`'s queue-depth gauge (a dead worker takes its queued
+    /// batches with it).
+    pub fn queue_reset(&self, shard: usize) {
+        if self.enabled {
+            self.queue_depth[shard].set(0);
+        }
+    }
+
+    /// Record one compactor merge and the resulting merge-tree depth.
+    pub fn record_compact_merge(&self, micros: u64, tree_depth: u64) {
+        if self.enabled {
+            self.compact_merge.record(micros);
+            self.merge_tree_depth.set(tree_depth as i64);
+        }
+    }
+
+    /// Record a publish: the new epoch and the gap since the previous one.
+    pub fn record_publish(&self, epoch: u64, since_last_micros: u64) {
+        if self.enabled {
+            self.epoch.set(epoch as i64);
+            self.epoch_duration.record(since_last_micros);
+        }
+    }
+
+    /// Record one served request by wire opcode.
+    pub fn record_request(&self, opcode: u8, micros: u64) {
+        if self.enabled {
+            if let Some(h) = self.request_latency.get(opcode as usize) {
+                h.record(micros);
+            }
+        }
+    }
+
+    /// Count wire payload bytes received by the server.
+    pub fn add_bytes_in(&self, n: u64) {
+        if self.enabled {
+            self.bytes_in.add(n);
+        }
+    }
+
+    /// Count wire payload bytes sent by the server.
+    pub fn add_bytes_out(&self, n: u64) {
+        if self.enabled {
+            self.bytes_out.add(n);
+        }
+    }
+
+    /// Record a rare cross-thread event (shard death, respawn, dump).
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, u64)]) {
+        self.engine_events.event(name, fields);
+    }
+
+    /// Snapshot every instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Dump the flight recorder as seed-stamped JSON, once per engine:
+    /// the first fatal error wins and later calls return `None`. The dump
+    /// lands in `$MS_FLIGHT_DIR` (default `target/flight`), named after
+    /// `reason` and `seed` so the failing run is reproducible from the
+    /// filename alone.
+    pub fn dump_flight(&self, seed: u64, reason: &str) -> Option<PathBuf> {
+        if !self.enabled || self.flight_dumped.swap(true, Ordering::AcqRel) {
+            return None;
+        }
+        let dir = std::env::var("MS_FLIGHT_DIR").unwrap_or_else(|_| "target/flight".to_string());
+        let name = format!("flight-{reason}-{seed:#x}.json");
+        self.recorder.dump_to_file(&dir, &name, seed).ok()
+    }
+}
+
+/// Measure a closure's wall-clock duration in microseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_micros() as u64)
+}

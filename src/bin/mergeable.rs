@@ -19,6 +19,8 @@
 //!
 //! mergeable serve --kind mg --epsilon 0.01 --addr 127.0.0.1:7433
 //! mergeable bench-client --addr 127.0.0.1:7433 --items 1000000
+//! mergeable metrics --addr 127.0.0.1:7433          # human-readable
+//! mergeable metrics --addr 127.0.0.1:7433 --prom   # Prometheus text
 //! ```
 //!
 //! Input data is one unsigned integer per line (blank lines ignored).
@@ -169,6 +171,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("info") => cmd_info(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-client") => cmd_bench_client(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -185,8 +188,9 @@ USAGE:
   mergeable merge FILE... --out FILE
   mergeable query FILE (--heavy-hitters E | --estimate ITEM | --quantile PHI | --rank X)
   mergeable info FILE
-  mergeable serve --kind KIND --epsilon E [--addr A] [--shards N] [--seed S]
+  mergeable serve --kind KIND --epsilon E [--addr A] [--shards N] [--seed S] [--no-telemetry]
   mergeable bench-client --addr A [--items N] [--batch B] [--seed S] [--zipf S]
+  mergeable metrics --addr A [--prom]
 
 KINDS:
   mg               Misra-Gries heavy hitters (deterministic, freq error <= eps*n)
@@ -199,7 +203,10 @@ Summary files are binary wire frames (the same codec the TCP protocol
 uses). `serve` runs the sharded concurrent engine (mg, space-saving,
 count-min or hybrid-quantile) on A (default 127.0.0.1:7433) until stdin
 closes; `bench-client` streams a seeded Zipf workload at it and reports
-throughput and engine metrics.
+throughput and engine metrics. `metrics` scrapes a live server's
+telemetry plane: per-opcode latency histograms (p50/p95/p99/max),
+per-shard queue-depth gauges and byte counters, as a table or (--prom)
+Prometheus text exposition.
 
 Input data: one unsigned integer per line (stdin unless --input is given).
 ";
@@ -213,6 +220,17 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let value = args.remove(pos + 1);
     args.remove(pos);
     Some(value)
+}
+
+/// Pull a boolean `--switch` out of an argument list.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
 }
 
 fn read_items(input: Option<String>) -> Result<Vec<u64>, String> {
@@ -455,6 +473,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(seed) = take_flag(&mut args, "--seed") {
         cfg = cfg.seed(seed.parse().map_err(|e| format!("bad --seed: {e}"))?);
     }
+    if take_switch(&mut args, "--no-telemetry") {
+        cfg = cfg.telemetry(false);
+    }
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
     }
@@ -541,5 +562,57 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     println!("shards lost:      {}", m.shards_lost);
     println!("frames rejected:  {}", m.frames_rejected);
     println!("server retries:   {}", m.retries);
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr = take_flag(&mut args, "--addr").ok_or("metrics requires --addr")?;
+    let prom = take_switch(&mut args, "--prom");
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    let mut client = mergeable_summaries::service::Client::connect(addr.as_str())
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let snap = client
+        .telemetry()
+        .map_err(|e| format!("telemetry scrape failed: {e}"))?;
+
+    if prom {
+        print!("{}", mergeable_summaries::obs::render_prometheus(&snap));
+        return Ok(());
+    }
+
+    if !snap.counters.is_empty() {
+        println!("== counters ==");
+        for (name, value) in &snap.counters {
+            println!("{name:<44} {value}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        println!("== gauges ==");
+        for (name, value) in &snap.gauges {
+            println!("{name:<44} {value}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        println!("== histograms (microseconds) ==");
+        println!(
+            "{:<44} {:>10} {:>8} {:>8} {:>8} {:>10}",
+            "name", "count", "p50", "p95", "p99", "max"
+        );
+        for (name, h) in &snap.histograms {
+            println!(
+                "{:<44} {:>10} {:>8} {:>8} {:>8} {:>10}",
+                name,
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max
+            );
+        }
+    }
     Ok(())
 }

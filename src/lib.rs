@@ -48,6 +48,7 @@ pub use ms_frequency as frequency;
 pub use ms_kernels as kernels;
 pub use ms_lowerror as lowerror;
 pub use ms_netsim as netsim;
+pub use ms_obs as obs;
 pub use ms_quantiles as quantiles;
 pub use ms_range as range;
 pub use ms_service as service;

@@ -1,0 +1,105 @@
+//! In-process mirror of CI's `telemetry-smoke` job: a live TCP server
+//! under a 10k-item load must serve a `Telemetry` snapshot whose ingest
+//! latency histograms have recorded samples, whose queue-depth gauges
+//! exist per shard, and whose Prometheus rendering carries the same
+//! series — with `shards_lost_total` still zero.
+
+use std::sync::Arc;
+
+use mergeable_summaries::obs::render_prometheus;
+use mergeable_summaries::service::{Client, Engine, Server, ServiceConfig, SummaryKind};
+use mergeable_summaries::workloads::StreamKind;
+
+const SHARDS: usize = 4;
+const N: usize = 10_000;
+const BATCH: usize = 100;
+
+#[test]
+fn loaded_server_serves_live_telemetry() {
+    let cfg = ServiceConfig::new(SummaryKind::Mg, 0.01)
+        .shards(SHARDS)
+        .seed(0x7E1E)
+        .telemetry(true);
+    let engine = Engine::start(cfg).expect("engine start");
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let items = StreamKind::Zipf {
+        s: 1.1,
+        universe: 1 << 16,
+    }
+    .generate(N, 0x7E1E);
+    let mut client = Client::connect(addr).expect("connect");
+    for chunk in items.chunks(BATCH) {
+        client.ingest(chunk.to_vec()).expect("ingest");
+    }
+    client.flush().expect("flush");
+
+    let snap = client.telemetry().expect("telemetry");
+    server.stop();
+
+    // Per-opcode server latency: every ingest request recorded.
+    let ingest = snap
+        .histogram("request_micros{op=\"ingest\"}")
+        .expect("ingest latency histogram");
+    assert_eq!(ingest.count, (N / BATCH) as u64);
+    assert!(ingest.quantile(0.5) <= ingest.quantile(0.99));
+    assert!(ingest.quantile(0.99) <= ingest.max);
+
+    // Per-shard absorb histograms: the whole stream was measured.
+    let absorbed: u64 = (0..SHARDS)
+        .map(|s| {
+            snap.histogram(&format!("ingest_batch_micros{{shard=\"{s}\"}}"))
+                .expect("per-shard histogram")
+                .count
+        })
+        .sum();
+    assert_eq!(absorbed, (N / BATCH) as u64);
+
+    // Per-shard queue-depth gauges exist and are drained after flush.
+    for s in 0..SHARDS {
+        assert_eq!(
+            snap.gauge(&format!("queue_depth{{shard=\"{s}\"}}")),
+            Some(0)
+        );
+    }
+
+    // Engine counters are folded into the same snapshot.
+    assert_eq!(snap.counter("updates_total"), Some(N as u64));
+    assert_eq!(snap.counter("shards_lost_total"), Some(0));
+    assert!(snap.counter("server_bytes_in_total").unwrap() > 0);
+
+    // The Prometheus rendering exposes the exact series CI greps for.
+    let prom = render_prometheus(&snap);
+    assert!(prom.contains("shards_lost_total 0"), "{prom}");
+    assert!(
+        prom.contains("request_micros_count{op=\"ingest\"}"),
+        "{prom}"
+    );
+    assert!(prom.contains("# TYPE request_micros histogram"), "{prom}");
+}
+
+/// `--no-telemetry` must kill the instruments but not the opcode: the
+/// snapshot still answers, empty, and engine counters still fold in.
+#[test]
+fn disabled_telemetry_serves_empty_instruments() {
+    let cfg = ServiceConfig::new(SummaryKind::Mg, 0.01)
+        .shards(2)
+        .seed(0x7E1E)
+        .telemetry(false);
+    let engine = Engine::start(cfg).expect("engine start");
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.ingest((0..500).collect()).expect("ingest");
+    client.flush().expect("flush");
+
+    let snap = client.telemetry().expect("telemetry");
+    server.stop();
+
+    let ingest = snap
+        .histogram("request_micros{op=\"ingest\"}")
+        .expect("histogram still registered");
+    assert_eq!(ingest.count, 0);
+    assert_eq!(snap.counter("server_bytes_in_total"), Some(0));
+    assert_eq!(snap.counter("updates_total"), Some(500));
+}

@@ -26,6 +26,9 @@ enum Expect {
     Frame(WireError),
     /// The frame parses, but `decode_request` fails with exactly this error.
     Request(WireError),
+    /// The frame parses and decodes to exactly this request — pinning the
+    /// on-wire encoding of an opcode, not just its failure modes.
+    Decodes(Request),
 }
 
 struct Case {
@@ -127,6 +130,23 @@ fn corpus() -> Vec<Case> {
             },
             expect: Expect::Request(WireError::Trailing(1)),
         },
+        // The Telemetry opcode (9, payload-free) joined the protocol after
+        // the rest of this corpus; pin its exact frame bytes so a renumber
+        // or accidental payload shows up as a golden mismatch.
+        Case {
+            name: "telemetry_request.bin",
+            bytes: WireFrame::from_value(REQUEST_TAG, &Request::Telemetry).to_bytes(),
+            expect: Expect::Decodes(Request::Telemetry),
+        },
+        Case {
+            name: "telemetry_trailing.bin",
+            bytes: WireFrame {
+                tag: REQUEST_TAG,
+                payload: vec![9, 0x00],
+            }
+            .to_bytes(),
+            expect: Expect::Request(WireError::Trailing(1)),
+        },
     ]
 }
 
@@ -181,6 +201,13 @@ fn every_corpus_entry_fails_with_its_golden_error() {
                 let err =
                     decode_request(&frame).expect_err(&format!("{}: request decoded", case.name));
                 assert_eq!(err, golden, "{}", case.name);
+            }
+            Expect::Decodes(golden) => {
+                let frame = WireFrame::from_bytes(&bytes)
+                    .unwrap_or_else(|e| panic!("{}: frame should parse, got {e}", case.name));
+                let req = decode_request(&frame)
+                    .unwrap_or_else(|e| panic!("{}: request should decode, got {e}", case.name));
+                assert_eq!(req, golden, "{}", case.name);
             }
         }
     }
