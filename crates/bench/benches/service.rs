@@ -8,7 +8,7 @@
 use std::time::Instant;
 
 use ms_core::{Json, Summary, ToJson, Wire};
-use ms_service::{Engine, ServiceConfig, ShardSummary, SummaryKind};
+use ms_service::{DurabilityConfig, Engine, FsyncPolicy, ServiceConfig, ShardSummary, SummaryKind};
 use ms_workloads::StreamKind;
 
 fn main() {
@@ -154,12 +154,64 @@ fn main() {
         ])
     };
 
+    // Durability cost: the same ingest workload with the WAL off and under
+    // each fsync policy. One WAL record per ingest batch, so `always` pays
+    // one fsync per 4096-item batch — the price of zero acked loss — while
+    // `every:64`/`never` trade bounded loss windows for throughput.
+    let dn = 200_000.min(n);
+    let ditems = &items[..dn];
+    println!("\n== service_durability ({dn} zipf items, 2 shards, 4096/batch) ==");
+    println!("{:<12}{:>16}{:>12}", "fsync", "updates/sec", "vs no-wal");
+    let modes: [(&str, Option<FsyncPolicy>); 4] = [
+        ("no-wal", None),
+        ("never", Some(FsyncPolicy::Never)),
+        ("every:64", Some(FsyncPolicy::EveryN(64))),
+        ("always", Some(FsyncPolicy::Always)),
+    ];
+    let mut durability = Vec::new();
+    let mut baseline = 0f64;
+    for (label, fsync) in modes {
+        let dir = std::env::temp_dir().join(format!(
+            "ms-bench-durability-{label}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = ServiceConfig::new(SummaryKind::Mg, 0.01)
+            .shards(2)
+            .delta_updates(16_384)
+            .seed(7);
+        if let Some(policy) = fsync {
+            cfg = cfg.durability(DurabilityConfig::new(&dir).fsync(policy));
+        }
+        let engine = Engine::start(cfg).unwrap();
+        let start = Instant::now();
+        for chunk in ditems.chunks(4_096) {
+            engine.ingest(chunk.to_vec()).unwrap();
+        }
+        let snapshot = engine.shutdown();
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(snapshot.summary.total_weight(), dn as u64);
+        let rate = dn as f64 / secs;
+        if fsync.is_none() {
+            baseline = rate;
+        }
+        let relative = rate / baseline;
+        println!("{label:<12}{rate:>16.0}{relative:>11.2}x");
+        durability.push(Json::obj([
+            ("fsync", label.to_json()),
+            ("updates_per_sec", rate.to_json()),
+            ("relative_to_no_wal", relative.to_json()),
+        ]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     let record = Json::obj([
         ("id", "bench_service".to_json()),
         ("items", n.to_json()),
         ("scaling", Json::Arr(scaling)),
         ("snapshot_bytes", Json::Arr(codec)),
         ("telemetry_overhead", telemetry_json),
+        ("durability", Json::Arr(durability)),
     ]);
     // Write to the workspace-level results dir regardless of whether cargo
     // invoked us from the workspace root or the package dir.

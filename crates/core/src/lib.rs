@@ -45,4 +45,4 @@ pub use oracle::{FrequencyOracle, RankOracle};
 pub use rng::Rng64;
 pub use summary::{ItemSummary, Mergeable, Summary};
 pub use tree::{merge_all, MergeTree};
-pub use wire::{Wire, WireError, WireFrame, WireReader};
+pub use wire::{crc32, Wire, WireError, WireFrame, WireReader};

@@ -5,17 +5,25 @@
 //! the degenerate trees a crashing system produces: branches pruned by a
 //! dead shard, merges deferred by a lagging compactor, leaves that never
 //! arrive because a client vanished mid-write. This crate turns that
-//! observation into an executable test: seeded schedules of six fault
+//! observation into an executable test: seeded schedules of nine fault
 //! classes ([`FaultClass`]) drive a live engine (and, for the wire
 //! classes, a live TCP server), and every schedule ends by asserting the
 //! `ε·n` error bound against an exact oracle on the surviving state, plus
 //! a byte-identical codec round-trip.
+//!
+//! The three durability classes (`crash-point`, `torn-write`, `bit-flip`)
+//! push the same verdict across a process boundary: kill a durable engine
+//! with no shutdown path, damage its WAL segments and checkpoint parts
+//! the way a real crash does, and require recovery to account for every
+//! surviving batch exactly.
 //!
 //! Everything is reproducible from a printed u64 seed:
 //!
 //! * [`SeededPlan`] decides worker death / stall / compactor delay as a
 //!   pure function of `(seed, shard, batch index)`;
 //! * [`Corruption`] damages wire frames with a seeded [`ms_core::Rng64`];
+//! * seeded indices place checkpoints, crash points, truncation cuts and
+//!   bit flips for the durability classes;
 //! * [`run_schedule`]`(class, kind, seed)` replays a schedule exactly.
 //!
 //! The `fault-suite` binary runs the full class × family matrix over a

@@ -27,8 +27,24 @@
 //! lose nothing (`backpressure` drops are *rejected*, not accepted;
 //! corrupt frames are never acked) run with `slack = 0` — the strict
 //! paper bound.
+//!
+//! ## The durability classes
+//!
+//! `crash-point`, `torn-write` and `bit-flip` extend the verdict across a
+//! process boundary. Each runs a durable engine (WAL + checkpoints under
+//! a scratch data directory), kills it with [`Engine::abort`] — no final
+//! checkpoint, no flush, no fsync — then damages the on-disk files the
+//! way a real crash damages them: a checkpoint part half-written or
+//! missing, a WAL segment cut mid-record, a single bit flipped. A fresh
+//! engine recovers from the wreckage and must land on an *exactly
+//! accounted* state: the surviving weight equals the checkpoint's
+//! preloaded weight plus the replayed tail's weight, recovery reports
+//! every piece of damage it skipped, and the recovered summary honors the
+//! same `ε·n (+ slack)` bound against an oracle over the batches that
+//! provably survived.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,8 +53,8 @@ use ms_core::{
     BoundCheck, FrequencyOracle, RankOracle, Rng64, ServiceError, Summary, Wire, WireFrame,
 };
 use ms_service::{
-    Client, ClientOptions, Engine, EngineTelemetry, Request, Server, ServiceConfig, ShardSummary,
-    SummaryKind, REQUEST_TAG,
+    Client, ClientOptions, DurabilityConfig, Engine, EngineTelemetry, FsyncPolicy, Request, Server,
+    ServiceConfig, ShardSummary, SummaryKind, REQUEST_TAG,
 };
 use ms_workloads::StreamKind;
 
@@ -48,7 +64,7 @@ use crate::transport::{partial_prefix, Corruption};
 /// Summary error parameter every schedule runs at.
 pub const EPS: f64 = 0.02;
 
-/// The six injected failure modes.
+/// The nine injected failure modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultClass {
     /// Worker threads die mid-stream and are respawned.
@@ -63,11 +79,20 @@ pub enum FaultClass {
     CompactorDelay,
     /// Clients disconnect mid-epoch without flushing.
     ClientDisconnect,
+    /// The process dies at a seeded point, possibly mid-checkpoint;
+    /// recovery must lose nothing the WAL holds.
+    CrashPoint,
+    /// The last WAL segment is cut mid-record; recovery must keep the
+    /// exact surviving prefix.
+    TornWrite,
+    /// A single bit flips in a WAL segment or checkpoint part; recovery
+    /// must detect it and account for every surviving batch.
+    BitFlip,
 }
 
 impl FaultClass {
     /// All classes, in a stable order.
-    pub fn all() -> [FaultClass; 6] {
+    pub fn all() -> [FaultClass; 9] {
         [
             FaultClass::ShardDeath,
             FaultClass::Backpressure,
@@ -75,6 +100,9 @@ impl FaultClass {
             FaultClass::PartialWrites,
             FaultClass::CompactorDelay,
             FaultClass::ClientDisconnect,
+            FaultClass::CrashPoint,
+            FaultClass::TornWrite,
+            FaultClass::BitFlip,
         ]
     }
 
@@ -87,6 +115,9 @@ impl FaultClass {
             FaultClass::PartialWrites => "partial-writes",
             FaultClass::CompactorDelay => "compactor-delay",
             FaultClass::ClientDisconnect => "client-disconnect",
+            FaultClass::CrashPoint => "crash-point",
+            FaultClass::TornWrite => "torn-write",
+            FaultClass::BitFlip => "bit-flip",
         }
     }
 
@@ -362,6 +393,9 @@ pub fn run_schedule(
         FaultClass::PartialWrites => partial_writes(kind, seed),
         FaultClass::CompactorDelay => compactor_delay(kind, seed),
         FaultClass::ClientDisconnect => client_disconnect(kind, seed),
+        FaultClass::CrashPoint => crash_point(kind, seed),
+        FaultClass::TornWrite => torn_write(kind, seed),
+        FaultClass::BitFlip => bit_flip(kind, seed),
     }
 }
 
@@ -632,6 +666,339 @@ fn client_disconnect(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, Str
             snap.summary.total_weight()
         )));
     }
+    h.finish(&snap.summary, metrics)
+}
+
+/// Fresh scratch data directory for one durable schedule, named by the
+/// run's coordinates so concurrent suites never collide.
+fn scratch_dir(class: FaultClass, kind: SummaryKind, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ms-faultsim-{}-{}-{seed:x}-{}",
+        class.label(),
+        kind.label(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A durable engine config for the crash classes: small segments so a
+/// short stream spans several files, manual checkpoints only (the
+/// schedules place them at seeded indices).
+fn durable_config(kind: SummaryKind, seed: u64, dir: &Path, fsync: FsyncPolicy) -> ServiceConfig {
+    base_config(kind, seed)
+        .shards(2)
+        .delta_updates(64)
+        .durability(
+            DurabilityConfig::new(dir)
+                .fsync(fsync)
+                .checkpoint_batches(u64::MAX)
+                .segment_bytes(8192),
+        )
+}
+
+/// WAL segment files under the data directory, in append order.
+fn wal_segments(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir.join("wal"))
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+/// Part files of the newest checkpoint set on disk. Sequence numbers are
+/// fixed-width hex, so the lexicographically greatest name belongs to the
+/// newest set and its parts share the `ckpt-<seq>` prefix (21 chars).
+fn newest_checkpoint_parts(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir.join("ckpt"))
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    let Some(prefix) = files
+        .last()
+        .and_then(|p| p.file_name())
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.get(..21))
+        .map(str::to_owned)
+    else {
+        return Vec::new();
+    };
+    files.retain(|p| {
+        p.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with(&prefix))
+    });
+    files
+}
+
+fn truncate_file(path: &Path, len: u64) -> std::io::Result<()> {
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)?
+        .set_len(len)
+}
+
+/// Flip one seeded bit somewhere in `path`.
+fn flip_bit(path: &Path, rng: &mut Rng64) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    let idx = rng.below_usize(bytes.len());
+    bytes[idx] ^= 1 << rng.below(8);
+    std::fs::write(path, bytes)
+}
+
+/// Class 7: the process dies at a seeded batch index with no shutdown
+/// path, possibly leaving the newest checkpoint set half-written (a part
+/// truncated mid-write or missing entirely). Because the WAL is synced
+/// before a checkpoint set ever claims its cut, a damaged set must fall
+/// back to the previous one plus a longer WAL replay — recovering *all*
+/// `k` acknowledged batches, under the strict zero-slack bound.
+fn crash_point(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::CrashPoint, kind, seed);
+    let mut rng = Rng64::new(seed ^ 0xC4A5_4B01);
+    let dir = scratch_dir(FaultClass::CrashPoint, kind, seed);
+
+    // Two seeded checkpoints and a seeded crash index: c1 < c2 < k ≤ 200.
+    let c1 = 20 + rng.below(40) as usize;
+    let c2 = c1 + 20 + rng.below(40) as usize;
+    let k = c2 + 10 + rng.below((200 - c2 - 10 + 1) as u64) as usize;
+
+    let engine = Engine::start(durable_config(kind, seed, &dir, FsyncPolicy::EveryN(4)))
+        .map_err(|e| h.fail(e))?;
+    h.attach(&engine);
+    for (i, batch) in stream(k * 100, seed).chunks(100).enumerate() {
+        engine.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+        if i + 1 == c1 || i + 1 == c2 {
+            engine.checkpoint_now().map_err(|e| h.fail(e))?;
+        }
+    }
+    engine.abort();
+
+    // Seeded crash damage: the files a dying process can leave behind.
+    let damaged = match rng.below(3) {
+        0 => false, // clean crash: every buffered page made it to disk
+        mode => {
+            let parts = newest_checkpoint_parts(&dir);
+            if parts.is_empty() {
+                return Err(h.fail("no checkpoint part files on disk"));
+            }
+            let victim = &parts[rng.below_usize(parts.len())];
+            if mode == 1 {
+                std::fs::remove_file(victim).map_err(|e| h.fail(e))?;
+            } else {
+                let len = std::fs::metadata(victim).map_err(|e| h.fail(e))?.len();
+                truncate_file(victim, len / 2).map_err(|e| h.fail(e))?;
+            }
+            true
+        }
+    };
+
+    let engine = Engine::start(durable_config(kind, seed, &dir, FsyncPolicy::EveryN(4)))
+        .map_err(|e| h.fail(e))?;
+    h.attach(&engine);
+    let report = engine
+        .recovery()
+        .ok_or_else(|| h.fail("restarted engine has no recovery report"))?;
+    let expect_ckpt = if damaged { c1 } else { c2 } as u64;
+    if report.checkpoint_seq != expect_ckpt {
+        return Err(h.fail(format!(
+            "recovered from checkpoint {} but expected {expect_ckpt} (damaged={damaged})",
+            report.checkpoint_seq
+        )));
+    }
+    if damaged && report.corrupt_checkpoints == 0 {
+        return Err(h.fail("damaged checkpoint set was not detected"));
+    }
+    if report.replayed_records != k as u64 - expect_ckpt {
+        return Err(h.fail(format!(
+            "replayed {} WAL records but expected {}",
+            report.replayed_records,
+            k as u64 - expect_ckpt
+        )));
+    }
+    let snap = engine.shutdown();
+    let metrics = engine.metrics();
+    let surviving = snap.summary.total_weight();
+    if surviving != (k * 100) as u64 {
+        return Err(h.fail(format!(
+            "crash lost acknowledged data: {surviving} of {} items survived",
+            k * 100
+        )));
+    }
+    if report.preloaded_weight + report.replayed_weight != surviving {
+        return Err(h.fail(format!(
+            "recovery accounting mismatch: preloaded {} + replayed {} != surviving {surviving}",
+            report.preloaded_weight, report.replayed_weight
+        )));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    h.finish(&snap.summary, metrics)
+}
+
+/// Class 8: the last WAL segment is cut mid-write (no checkpoint exists,
+/// `fsync never` — the worst case). Recovery must keep exactly the
+/// records wholly before the cut: an *exact prefix* of the acknowledged
+/// stream, verified under the strict zero-slack bound. A cut inside the
+/// final record's trailer additionally must be *reported* as a torn tail
+/// and lose exactly that one record.
+fn torn_write(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::TornWrite, kind, seed);
+    let mut rng = Rng64::new(seed ^ 0x7042_11E5);
+    let dir = scratch_dir(FaultClass::TornWrite, kind, seed);
+
+    let engine = Engine::start(durable_config(kind, seed, &dir, FsyncPolicy::Never))
+        .map_err(|e| h.fail(e))?;
+    h.attach(&engine);
+    for batch in stream(20_000, seed).chunks(100) {
+        engine.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+    }
+    engine.abort();
+
+    let segments = wal_segments(&dir);
+    let last = segments
+        .last()
+        .ok_or_else(|| h.fail("no WAL segments on disk"))?;
+    let len = std::fs::metadata(last).map_err(|e| h.fail(e))?.len();
+    // Two torn-write shapes. A cut inside the last record's 8-byte
+    // trailer always leaves detectable garbage. A seeded cut in the
+    // upper half may land exactly on a record boundary — in principle
+    // indistinguishable from a shorter clean log, so only the
+    // exact-prefix property is asserted there.
+    let trailer_cut = rng.coin();
+    let cut = if trailer_cut {
+        len - 1 - rng.below(7)
+    } else {
+        len / 2 + rng.below(len / 2 - 8)
+    };
+    truncate_file(last, cut).map_err(|e| h.fail(e))?;
+
+    let engine = Engine::start(durable_config(kind, seed, &dir, FsyncPolicy::Never))
+        .map_err(|e| h.fail(e))?;
+    h.attach(&engine);
+    let report = engine
+        .recovery()
+        .ok_or_else(|| h.fail("restarted engine has no recovery report"))?;
+    if report.checkpoint_seq != 0 {
+        return Err(h.fail("no checkpoint was ever written, yet recovery found one"));
+    }
+    let m = report.replayed_records as usize;
+    if m == 0 || m >= 200 {
+        return Err(h.fail(format!("torn tail recovered {m} of 200 batches")));
+    }
+    if trailer_cut {
+        if m != 199 {
+            return Err(h.fail(format!(
+                "a cut inside the final trailer must lose exactly the last record, recovered {m}"
+            )));
+        }
+        if report.torn_bytes == 0 {
+            return Err(h.fail("torn tail was not reported"));
+        }
+    }
+    // The recovered state must be the exact prefix the cut left behind.
+    h.accepted.truncate(m * 100);
+    let snap = engine.shutdown();
+    let metrics = engine.metrics();
+    if snap.summary.total_weight() != (m * 100) as u64 {
+        return Err(h.fail(format!(
+            "replay of {m} batches surfaced weight {} instead of {}",
+            snap.summary.total_weight(),
+            m * 100
+        )));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    h.finish(&snap.summary, metrics)
+}
+
+/// Class 9: one seeded bit flips at rest — in a WAL segment or in a part
+/// of the only checkpoint set. Every flip must be *detected* (CRC-covered
+/// records and parts, never trusted), the damage skipped, and the
+/// surviving weight exactly equal to what recovery says it preloaded plus
+/// replayed; the lost weight widens the bound as slack.
+fn bit_flip(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::BitFlip, kind, seed);
+    let mut rng = Rng64::new(seed ^ 0xB17F_11B5);
+    let dir = scratch_dir(FaultClass::BitFlip, kind, seed);
+
+    let c = 40 + rng.below(80) as usize;
+    let engine = Engine::start(durable_config(kind, seed, &dir, FsyncPolicy::EveryN(8)))
+        .map_err(|e| h.fail(e))?;
+    h.attach(&engine);
+    for (i, batch) in stream(20_000, seed).chunks(100).enumerate() {
+        engine.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+        if i + 1 == c {
+            engine.checkpoint_now().map_err(|e| h.fail(e))?;
+        }
+    }
+    engine.abort();
+
+    let flip_wal = rng.coin();
+    let victims = if flip_wal {
+        wal_segments(&dir)
+    } else {
+        newest_checkpoint_parts(&dir)
+    };
+    if victims.is_empty() {
+        return Err(h.fail("no durable files on disk to damage"));
+    }
+    let victim = &victims[rng.below_usize(victims.len())];
+    flip_bit(victim, &mut rng).map_err(|e| h.fail(e))?;
+
+    let engine = Engine::start(durable_config(kind, seed, &dir, FsyncPolicy::EveryN(8)))
+        .map_err(|e| h.fail(e))?;
+    h.attach(&engine);
+    let report = engine
+        .recovery()
+        .ok_or_else(|| h.fail("restarted engine has no recovery report"))?;
+    if flip_wal {
+        // A flipped WAL bit corrupts one record (an interior flip resyncs
+        // past it; a final-record flip reads as a torn tail) and must
+        // never disturb the checkpoint.
+        if report.corrupt_records == 0 && report.torn_bytes == 0 {
+            return Err(h.fail("flipped WAL bit was not detected"));
+        }
+        if report.checkpoint_seq != c as u64 {
+            return Err(h.fail(format!(
+                "WAL damage must not disturb the checkpoint, yet recovery used seq {}",
+                report.checkpoint_seq
+            )));
+        }
+    } else {
+        // A flipped checkpoint bit invalidates the whole (only) set;
+        // recovery degrades to whatever WAL survives pruning.
+        if report.corrupt_checkpoints == 0 {
+            return Err(h.fail("flipped checkpoint bit was not detected"));
+        }
+        if report.checkpoint_seq != 0 {
+            return Err(h.fail(
+                "the only checkpoint set was damaged, yet recovery claims to have used one",
+            ));
+        }
+    }
+    let snap = engine.shutdown();
+    let metrics = engine.metrics();
+    let surviving = snap.summary.total_weight();
+    if report.preloaded_weight + report.replayed_weight != surviving {
+        return Err(h.fail(format!(
+            "recovery accounting mismatch: preloaded {} + replayed {} != surviving {surviving}",
+            report.preloaded_weight, report.replayed_weight
+        )));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
     h.finish(&snap.summary, metrics)
 }
 

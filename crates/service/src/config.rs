@@ -1,9 +1,11 @@
 //! Engine configuration: which summary family each shard maintains and how
 //! the sharded pipeline is sized.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use ms_core::{ServiceError, Wire, WireError, WireReader};
+use ms_store::FsyncPolicy;
 
 use crate::fault::{FaultPlan, NoFaults};
 
@@ -75,6 +77,64 @@ impl Wire for SummaryKind {
     }
 }
 
+/// Crash-safe durability settings: where the WAL and checkpoints live and
+/// how eagerly they reach stable storage. `None` keeps the engine purely
+/// in-memory (the pre-durability behavior).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Data directory holding `wal/` and `ckpt/`.
+    pub data_dir: PathBuf,
+    /// When WAL appends fsync (`always` / `every:N` / `never`).
+    pub fsync: FsyncPolicy,
+    /// Write a checkpoint set after this many ingested batches.
+    pub checkpoint_batches: u64,
+    /// Rotate WAL segments past this size, so checkpoints can delete
+    /// whole covered files.
+    pub segment_bytes: u64,
+    /// Checkpoint sets retained on disk (older ones are pruned together
+    /// with the WAL segments they cover).
+    pub keep_checkpoints: usize,
+}
+
+impl DurabilityConfig {
+    /// Defaults for `data_dir`: `every:64` fsyncs, a checkpoint every 512
+    /// batches, 4 MiB segments, 2 retained sets.
+    pub fn new(data_dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::EveryN(64),
+            checkpoint_batches: 512,
+            segment_bytes: 4 << 20,
+            keep_checkpoints: 2,
+        }
+    }
+
+    /// Set the fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> DurabilityConfig {
+        self.fsync = policy;
+        self
+    }
+
+    /// Set the checkpoint cadence in ingested batches.
+    pub fn checkpoint_batches(mut self, batches: u64) -> DurabilityConfig {
+        self.checkpoint_batches = batches;
+        self
+    }
+
+    /// Set the WAL segment rotation threshold.
+    pub fn segment_bytes(mut self, bytes: u64) -> DurabilityConfig {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// The [`ms_store::StoreConfig`] these settings describe.
+    pub fn store_config(&self) -> ms_store::StoreConfig {
+        ms_store::StoreConfig::new(&self.data_dir)
+            .segment_bytes(self.segment_bytes)
+            .fsync(self.fsync)
+    }
+}
+
 /// Sizing and summary parameters for an [`crate::Engine`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -107,6 +167,9 @@ pub struct ServiceConfig {
     /// measure the instrumentation's own overhead (`serve
     /// --no-telemetry`, `MS_BENCH_TELEMETRY=0`).
     pub telemetry: bool,
+    /// Crash-safe durability (WAL + checkpoints under a data directory).
+    /// `None` (the default) keeps the engine purely in-memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ServiceConfig {
@@ -122,6 +185,7 @@ impl ServiceConfig {
             respawn_lost_shards: true,
             fault_plan: Arc::new(NoFaults),
             telemetry: true,
+            durability: None,
         }
     }
 
@@ -167,6 +231,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Enable crash-safe durability under `durability.data_dir`.
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
     /// Validate the sizing parameters.
     pub fn check(&self) -> std::result::Result<(), ServiceError> {
         if self.shards == 0 {
@@ -180,6 +250,19 @@ impl ServiceConfig {
         }
         if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
             return Err(ServiceError::Config("epsilon must be in (0, 1)"));
+        }
+        if let Some(d) = &self.durability {
+            if d.checkpoint_batches == 0 {
+                return Err(ServiceError::Config(
+                    "checkpoint_batches must be at least 1",
+                ));
+            }
+            if d.segment_bytes < 1024 {
+                return Err(ServiceError::Config("segment_bytes must be at least 1024"));
+            }
+            if d.keep_checkpoints == 0 {
+                return Err(ServiceError::Config("keep_checkpoints must be at least 1"));
+            }
         }
         Ok(())
     }

@@ -48,10 +48,11 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuar
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use ms_core::{Mergeable, ServiceError, Summary};
+use ms_core::{Mergeable, ServiceError, Summary, Wire};
 use ms_obs::RegistrySnapshot;
+use ms_store::Store;
 
-use crate::config::ServiceConfig;
+use crate::config::{DurabilityConfig, ServiceConfig};
 use crate::fault::FaultAction;
 use crate::summary::ShardSummary;
 use crate::telemetry::{timed, EngineTelemetry};
@@ -103,16 +104,71 @@ struct Counters {
     retries: AtomicU64,
 }
 
+/// What recovery found and rebuilt when a durable engine started. All
+/// damage counters come from CRC verification in `ms-store`: corrupted
+/// records are reported here and *excluded* from the rebuilt state,
+/// never silently ingested.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// WAL cut of the checkpoint set that was merged back (0 = none).
+    pub checkpoint_seq: u64,
+    /// Per-shard parts in that set.
+    pub checkpoint_parts: usize,
+    /// Total weight restored from the checkpoint.
+    pub preloaded_weight: u64,
+    /// WAL records newer than the checkpoint that were re-applied.
+    pub replayed_records: u64,
+    /// Total weight in those replayed records.
+    pub replayed_weight: u64,
+    /// Damaged WAL spans skipped (CRC mismatch, resynchronized).
+    pub corrupt_records: u64,
+    /// Checkpoint files discarded as damaged or incomplete.
+    pub corrupt_checkpoints: u64,
+    /// Torn bytes truncated from the end of the log.
+    pub torn_bytes: u64,
+    /// WAL records dropped as duplicates (idempotent replay).
+    pub duplicate_records: u64,
+    /// Highest valid WAL seq found on disk.
+    pub wal_last_seq: u64,
+    /// Wall-clock cost of the whole recovery (scan + merge + replay).
+    pub duration_micros: u64,
+    /// Human-readable damage notes from the store scan.
+    pub notes: Vec<String>,
+}
+
+/// The engine's durability plane, present when the config names a data
+/// directory. Owns the open store and the checkpointer thread.
+struct Durable {
+    cfg: DurabilityConfig,
+    /// Ingest holds this for read while appending + enqueueing one batch;
+    /// the checkpointer holds it for write while establishing the WAL cut,
+    /// so "appended" and "visible to the flush barrier" stay in lockstep.
+    pause: RwLock<()>,
+    store: Mutex<Store>,
+    batches_since_ckpt: AtomicU64,
+    /// `None` once the checkpointer stopped. A trigger may carry an ack
+    /// sender ([`Engine::checkpoint_now`] waits on it).
+    trigger_tx: Mutex<Option<Sender<Option<Sender<()>>>>>,
+    checkpointer: Mutex<Option<JoinHandle<()>>>,
+    last_ckpt_seq: AtomicU64,
+    last_ckpt_at: Mutex<Instant>,
+    recovery: Mutex<RecoveryReport>,
+}
+
 enum WorkerMsg {
     /// A batch of items plus its enqueue time (for queue-wait histograms).
     Batch(Vec<u64>, Instant),
     Flush(Sender<()>),
-    Shutdown,
 }
 
 enum CompactMsg {
-    Delta(ShardSummary),
+    /// A delta handed off by the worker for `shard` (the index keys the
+    /// compactor's per-shard checkpoint accumulators).
+    Delta(usize, ShardSummary),
     Publish(Sender<()>),
+    /// Request a consistent clone of the per-shard accumulators (empty
+    /// when durability is off); also publishes the global summary.
+    Checkpoint(Sender<Vec<ShardSummary>>),
 }
 
 /// One ingest shard: its queue sender (None = dead and not respawned) and a
@@ -157,12 +213,23 @@ pub struct Engine {
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
     compactor_handle: Mutex<Option<JoinHandle<()>>>,
     telemetry: Arc<EngineTelemetry>,
+    /// WAL + checkpoints; `None` for a purely in-memory engine.
+    durable: Option<Durable>,
 }
 
 impl Engine {
-    /// Start the worker and compactor threads for `cfg`.
+    /// Start the worker and compactor threads for `cfg`. With durability
+    /// configured this also opens the data directory, recovers its state
+    /// (newest valid checkpoint merged back, WAL tail replayed — see
+    /// [`Engine::recovery`]) and starts the checkpointer thread.
     pub fn start(cfg: ServiceConfig) -> Result<Arc<Engine>, ServiceError> {
         cfg.check()?;
+        // Open the store and scan before any thread starts; the recovered
+        // state is preloaded below once workers exist to receive it.
+        let mut opened = None;
+        if let Some(dcfg) = &cfg.durability {
+            opened = Some(Store::open(&dcfg.store_config())?);
+        }
         let counters = Arc::new(Counters::default());
         let telemetry = Arc::new(EngineTelemetry::new(cfg.shards, cfg.telemetry));
         let (compact_tx, compact_rx) = mpsc::channel::<CompactMsg>();
@@ -192,6 +259,28 @@ impl Engine {
             worker_handles.push(handle);
         }
 
+        let (store, recovered) = match opened {
+            Some((store, recovery)) => (Some(store), Some(recovery)),
+            None => (None, None),
+        };
+        let durable = store.map(|store| {
+            let ckpt_seq = recovered
+                .as_ref()
+                .and_then(|r| r.checkpoint.as_ref())
+                .map_or(0, |c| c.wal_seq);
+            Durable {
+                cfg: cfg.durability.clone().expect("checked by opened"),
+                pause: RwLock::new(()),
+                store: Mutex::new(store),
+                batches_since_ckpt: AtomicU64::new(0),
+                trigger_tx: Mutex::new(None),
+                checkpointer: Mutex::new(None),
+                last_ckpt_seq: AtomicU64::new(ckpt_seq),
+                last_ckpt_at: Mutex::new(Instant::now()),
+                recovery: Mutex::new(RecoveryReport::default()),
+            }
+        });
+
         let engine = Arc::new(Engine {
             snapshot: RwLock::new(Arc::new(Snapshot {
                 epoch: 0,
@@ -209,11 +298,93 @@ impl Engine {
             worker_handles: Mutex::new(worker_handles),
             compactor_handle: Mutex::new(None),
             telemetry,
+            durable,
         });
 
         let compactor = spawn_compactor(Arc::clone(&engine), compact_rx)?;
         *lock(&engine.compactor_handle) = Some(compactor);
+
+        if let Some(recovery) = recovered {
+            let report = engine.preload(recovery)?;
+            let d = engine.durable.as_ref().expect("recovered implies durable");
+            engine.telemetry.event(
+                "recovered",
+                &[
+                    ("checkpoint_seq", report.checkpoint_seq),
+                    ("replayed", report.replayed_records),
+                    (
+                        "corrupt",
+                        report.corrupt_records + report.corrupt_checkpoints,
+                    ),
+                ],
+            );
+            *lock(&d.recovery) = report;
+            let (trigger_tx, trigger_rx) = mpsc::channel();
+            *lock(&d.trigger_tx) = Some(trigger_tx);
+            *lock(&d.checkpointer) = Some(spawn_checkpointer(Arc::clone(&engine), trigger_rx)?);
+        }
         Ok(engine)
+    }
+
+    /// Merge the recovered checkpoint back into the engine and replay the
+    /// WAL tail, validating everything *before* applying it: each part
+    /// must merge cleanly with a fresh summary under this config (which
+    /// catches kind, ε, and hash-seed mismatches), and each WAL payload
+    /// must decode as a batch. Fails with a typed error rather than
+    /// half-restoring.
+    fn preload(&self, recovery: ms_store::Recovery) -> Result<RecoveryReport, ServiceError> {
+        let started = Instant::now();
+        let mut report = RecoveryReport {
+            corrupt_records: recovery.corrupt_records,
+            corrupt_checkpoints: recovery.corrupt_checkpoints,
+            torn_bytes: recovery.torn_bytes,
+            duplicate_records: recovery.duplicates,
+            wal_last_seq: recovery.last_seq,
+            notes: recovery.notes,
+            ..RecoveryReport::default()
+        };
+        if let Some(set) = recovery.checkpoint {
+            report.checkpoint_seq = set.wal_seq;
+            report.checkpoint_parts = set.parts.len();
+            let mut parts = Vec::with_capacity(set.parts.len());
+            for (i, bytes) in set.parts.iter().enumerate() {
+                let part = ShardSummary::decode(bytes).map_err(|_| {
+                    ServiceError::Config("checkpoint part does not decode as a shard summary")
+                })?;
+                let merged = ShardSummary::new(&self.cfg, i % self.cfg.shards)
+                    .merge(part)
+                    .map_err(|_| {
+                        ServiceError::Config(
+                            "checkpoint incompatible with configured kind/epsilon/seed",
+                        )
+                    })?;
+                parts.push(merged);
+            }
+            let guard = lock(&self.compact_tx);
+            let tx = guard.as_ref().ok_or(ServiceError::Shutdown)?;
+            for (i, part) in parts.into_iter().enumerate() {
+                report.preloaded_weight += part.total_weight();
+                tx.send(CompactMsg::Delta(i % self.cfg.shards, part))
+                    .map_err(|_| ServiceError::Shutdown)?;
+            }
+        }
+        for entry in &recovery.tail {
+            let batch = Vec::<u64>::decode(&entry.payload).map_err(|_| {
+                ServiceError::Config("WAL record does not decode as an ingest batch")
+            })?;
+            report.replayed_records += 1;
+            report.replayed_weight += batch.len() as u64;
+            self.enqueue(batch)?;
+        }
+        self.flush()?;
+        report.duration_micros = started.elapsed().as_micros() as u64;
+        Ok(report)
+    }
+
+    /// What recovery found when this engine started, or `None` for an
+    /// in-memory engine.
+    pub fn recovery(&self) -> Option<RecoveryReport> {
+        self.durable.as_ref().map(|d| lock(&d.recovery).clone())
     }
 
     /// The configuration the engine was started with.
@@ -294,11 +465,43 @@ impl Engine {
 
     /// Enqueue a batch on the next live shard, blocking while its queue is
     /// full (backpressure). A dead shard is counted, respawned if
-    /// configured, and the batch rerouted.
+    /// configured, and the batch rerouted. With durability enabled the
+    /// batch is appended to the WAL (fsync'd per policy) *before* it is
+    /// enqueued, so an acked batch is exactly as durable as the policy
+    /// promises.
     pub fn ingest(&self, batch: Vec<u64>) -> Result<(), ServiceError> {
         if batch.is_empty() {
             return Ok(());
         }
+        let _pause = self.durable.as_ref().map(|d| read(&d.pause));
+        self.append_durable(&batch)?;
+        self.enqueue(batch)
+    }
+
+    /// Append one batch to the WAL and trigger a background checkpoint at
+    /// the configured cadence. No-op for in-memory engines. The caller
+    /// holds the checkpoint pause lock for read, so the append and the
+    /// subsequent enqueue land on the same side of any checkpoint cut.
+    fn append_durable(&self, batch: &[u64]) -> Result<(), ServiceError> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        let appended = lock(&d.store).wal.append(&batch.to_vec().encode())?;
+        self.telemetry
+            .record_wal_append(appended.bytes, appended.synced);
+        let since = d.batches_since_ckpt.fetch_add(1, Ordering::Relaxed) + 1;
+        if since % d.cfg.checkpoint_batches == 0 {
+            if let Some(tx) = lock(&d.trigger_tx).as_ref() {
+                let _ = tx.send(None);
+            }
+        }
+        Ok(())
+    }
+
+    /// The enqueue half of [`Engine::ingest`]: route to a live shard with
+    /// backpressure and dead-shard rerouting. Recovery replay calls this
+    /// directly (the records are already in the WAL).
+    fn enqueue(&self, batch: Vec<u64>) -> Result<(), ServiceError> {
         let shard_count = self.cfg.shards;
         let mut batch = batch;
         let mut failures = 0usize;
@@ -338,7 +541,10 @@ impl Engine {
 
     /// Enqueue a batch without blocking. A full queue counts the batch as
     /// dropped and returns [`ServiceError::Backpressure`]; a dead shard is
-    /// rerouted like [`Engine::ingest`].
+    /// rerouted like [`Engine::ingest`]. With durability enabled the WAL
+    /// append happens first (write-ahead discipline), so a batch dropped
+    /// for backpressure is still on disk and will be restored by the next
+    /// recovery — the WAL acks writes, not queue admission.
     pub fn try_ingest(&self, batch: Vec<u64>) -> Result<(), ServiceError> {
         if batch.is_empty() {
             return Ok(());
@@ -346,6 +552,8 @@ impl Engine {
         if self.stopped.load(Ordering::Acquire) {
             return Err(ServiceError::Shutdown);
         }
+        let _pause = self.durable.as_ref().map(|d| read(&d.pause));
+        self.append_durable(&batch)?;
         let shard_count = self.cfg.shards;
         let mut batch = batch;
         let mut attempts = 0usize;
@@ -401,6 +609,26 @@ impl Engine {
         if self.stopped.load(Ordering::Acquire) {
             return Err(ServiceError::Shutdown);
         }
+        self.flush_workers();
+        let (pub_tx, pub_rx) = mpsc::channel();
+        let sent = {
+            let guard = lock(&self.compact_tx);
+            match guard.as_ref() {
+                Some(tx) => tx.send(CompactMsg::Publish(pub_tx)).is_ok(),
+                None => false,
+            }
+        };
+        if sent {
+            let _ = pub_rx.recv();
+            Ok(())
+        } else {
+            Err(ServiceError::Shutdown)
+        }
+    }
+
+    /// Make every live worker hand its delta to the compactor and wait for
+    /// the acks. Dead shards are skipped (their loss is already accounted).
+    fn flush_workers(&self) {
         let (ack_tx, ack_rx) = mpsc::channel();
         let mut waiting = 0;
         let targets: Vec<(usize, u64, SyncSender<WorkerMsg>)> = read(&self.shards)
@@ -419,19 +647,93 @@ impl Engine {
         for _ in 0..waiting {
             let _ = ack_rx.recv();
         }
-        let (pub_tx, pub_rx) = mpsc::channel();
-        let sent = {
-            let guard = lock(&self.compact_tx);
-            match guard.as_ref() {
-                Some(tx) => tx.send(CompactMsg::Publish(pub_tx)).is_ok(),
-                None => false,
-            }
+    }
+
+    /// Write a checkpoint set now and wait for it to reach disk. Errors
+    /// with `Config` when the engine has no data directory.
+    pub fn checkpoint_now(&self) -> Result<(), ServiceError> {
+        let Some(d) = &self.durable else {
+            return Err(ServiceError::Config("durability is not enabled"));
         };
-        if sent {
-            let _ = pub_rx.recv();
-            Ok(())
-        } else {
-            Err(ServiceError::Shutdown)
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let sent = match lock(&d.trigger_tx).as_ref() {
+            Some(tx) => tx.send(Some(ack_tx)).is_ok(),
+            None => false,
+        };
+        if !sent {
+            return Err(ServiceError::Shutdown);
+        }
+        ack_rx.recv().map_err(|_| ServiceError::Shutdown)
+    }
+
+    /// One checkpoint cycle, run on the checkpointer thread.
+    ///
+    /// Consistency argument: with the pause lock held for write, no ingest
+    /// is between "appended to WAL" and "enqueued", so the cut `W =
+    /// last_seq` covers exactly the enqueued batches; the flush barrier
+    /// then pushes all of them through the workers into the compactor
+    /// queue, and the `Checkpoint` message drains behind them — the
+    /// accumulators it clones hold precisely the surviving data of seqs
+    /// ≤ W. The lock is released before waiting, so ingest resumes while
+    /// the compactor catches up and files are written.
+    fn perform_checkpoint(&self) -> Result<(), ServiceError> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        if self.stopped.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let (cut, parts_rx) = {
+            let _pause = write(&d.pause);
+            let cut = lock(&d.store).wal.last_seq();
+            self.flush_workers();
+            let (tx, rx) = mpsc::channel();
+            let guard = lock(&self.compact_tx);
+            let Some(compact) = guard.as_ref() else {
+                return Err(ServiceError::Shutdown);
+            };
+            if compact.send(CompactMsg::Checkpoint(tx)).is_err() {
+                return Err(ServiceError::Shutdown);
+            }
+            (cut, rx)
+        };
+        let parts = parts_rx.recv().map_err(|_| ServiceError::Shutdown)?;
+        self.write_checkpoint(&parts, cut)
+    }
+
+    /// Persist `parts` as the checkpoint set for WAL cut `cut`, then prune
+    /// older sets and the segments they cover. The WAL is fsync'd first so
+    /// the set never claims a cut newer than what is durable.
+    fn write_checkpoint(&self, parts: &[ShardSummary], cut: u64) -> Result<(), ServiceError> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        let encoded: Vec<Vec<u8>> = parts.iter().map(|p| p.encode()).collect();
+        let epoch = self.snapshot().epoch;
+        {
+            let mut store = lock(&d.store);
+            store.wal.sync()?;
+            store.checkpoints.write_set(cut, epoch, &encoded)?;
+            if let Some(floor) = store.checkpoints.prune_keep(d.cfg.keep_checkpoints)? {
+                store.wal.prune_covered(floor)?;
+            }
+        }
+        d.last_ckpt_seq.store(cut, Ordering::Release);
+        *lock(&d.last_ckpt_at) = Instant::now();
+        self.telemetry.record_checkpoint();
+        self.telemetry.event("checkpoint", &[("wal_seq", cut)]);
+        Ok(())
+    }
+
+    /// Stop the checkpointer thread (idempotent). Must run before worker
+    /// drain: the checkpointer's flush barrier needs live workers.
+    fn stop_checkpointer(&self) {
+        let Some(d) = &self.durable else {
+            return;
+        };
+        drop(lock(&d.trigger_tx).take());
+        if let Some(handle) = lock(&d.checkpointer).take() {
+            let _ = handle.join();
         }
     }
 
@@ -474,7 +776,7 @@ impl Engine {
     /// [`RegistrySnapshot`].
     pub fn telemetry_snapshot(&self) -> RegistrySnapshot {
         let m = self.metrics();
-        let engine = RegistrySnapshot {
+        let mut engine = RegistrySnapshot {
             counters: vec![
                 ("batches_total".to_string(), m.batches),
                 ("dropped_total".to_string(), m.dropped),
@@ -493,6 +795,35 @@ impl Engine {
             ],
             histograms: Vec::new(),
         };
+        if let Some(d) = &self.durable {
+            let recovery = lock(&d.recovery);
+            engine.gauges.extend([
+                (
+                    "checkpoint_seq".to_string(),
+                    d.last_ckpt_seq.load(Ordering::Acquire) as i64,
+                ),
+                (
+                    "checkpoint_age_micros".to_string(),
+                    lock(&d.last_ckpt_at).elapsed().as_micros() as i64,
+                ),
+                (
+                    "wal_last_seq".to_string(),
+                    lock(&d.store).wal.last_seq() as i64,
+                ),
+                (
+                    "recovery_duration_micros".to_string(),
+                    recovery.duration_micros as i64,
+                ),
+                (
+                    "recovery_replayed_records".to_string(),
+                    recovery.replayed_records as i64,
+                ),
+                (
+                    "recovery_corrupt_records".to_string(),
+                    (recovery.corrupt_records + recovery.corrupt_checkpoints) as i64,
+                ),
+            ]);
+        }
         self.telemetry.snapshot().merge(&engine)
     }
 
@@ -524,29 +855,40 @@ impl Engine {
 
     /// Drain everything, stop all threads, and return the final snapshot.
     /// Idempotent; later calls just return the current snapshot.
+    ///
+    /// Clean shutdown is lossless: closing the worker queues (rather than
+    /// sending a sentinel message) lets each worker drain *every* queued
+    /// batch — including ones enqueued by racing ingest calls that were
+    /// acked while shutdown was starting — and hand off its delta when the
+    /// queue disconnects. A durable engine then writes a final checkpoint
+    /// and fsyncs the WAL regardless of policy, so a restart restores
+    /// exactly what this snapshot holds.
     pub fn shutdown(&self) -> Arc<Snapshot> {
         let _draining = lock(&self.shutdown_lock);
         if self.stopped.swap(true, Ordering::AcqRel) {
             // Whoever held the lock before us finished the drain.
             return self.snapshot();
         }
-        // Drain workers: their Shutdown handler forwards any pending delta.
-        let txs: Vec<SyncSender<WorkerMsg>> = {
-            let mut shards = write(&self.shards);
-            shards
-                .iter_mut()
-                .filter_map(|slot| {
-                    slot.gen += 1;
-                    slot.tx.take()
-                })
-                .collect()
-        };
-        for tx in &txs {
-            let _ = tx.send(WorkerMsg::Shutdown);
-        }
-        drop(txs);
-        for handle in lock(&self.worker_handles).drain(..) {
-            let _ = handle.join();
+        // The checkpointer's flush barrier needs live workers: stop it
+        // before touching them.
+        self.stop_checkpointer();
+        self.drain_workers();
+        if let Some(d) = &self.durable {
+            // All deltas are on the compactor queue; the Checkpoint
+            // message drains behind them and snapshots the accumulators.
+            let (tx, rx) = mpsc::channel();
+            let sent = match lock(&self.compact_tx).as_ref() {
+                Some(compact) => compact.send(CompactMsg::Checkpoint(tx)).is_ok(),
+                None => false,
+            };
+            if sent {
+                if let Ok(parts) = rx.recv() {
+                    let cut = lock(&d.store).wal.last_seq();
+                    if self.write_checkpoint(&parts, cut).is_err() {
+                        self.telemetry.event("final_checkpoint_failed", &[]);
+                    }
+                }
+            }
         }
         // Publish whatever the compactor accumulated, then close its queue.
         let (pub_tx, pub_rx) = mpsc::channel();
@@ -559,6 +901,47 @@ impl Engine {
             let _ = handle.join();
         }
         self.snapshot()
+    }
+
+    /// Simulate a hard crash (`kill -9`): stop every thread *without* the
+    /// final flush, checkpoint, or fsync that [`Engine::shutdown`]
+    /// performs. On-disk state is whatever the fsync policy already made
+    /// durable — exactly the state recovery must be able to live with.
+    /// The crash/recovery fault suite drives this; it is safe (if
+    /// pointless) to call in production.
+    pub fn abort(&self) {
+        let _draining = lock(&self.shutdown_lock);
+        if self.stopped.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.stop_checkpointer();
+        self.drain_workers();
+        // Close the compactor without a final publish: queries keep
+        // answering from the last published snapshot, like a real crash
+        // survivor's client would have seen.
+        drop(lock(&self.compact_tx).take());
+        if let Some(handle) = lock(&self.compactor_handle).take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Close every worker queue and join the workers. Each worker drains
+    /// its remaining queued batches and hands off its delta on disconnect.
+    fn drain_workers(&self) {
+        let txs: Vec<SyncSender<WorkerMsg>> = {
+            let mut shards = write(&self.shards);
+            shards
+                .iter_mut()
+                .filter_map(|slot| {
+                    slot.gen += 1;
+                    slot.tx.take()
+                })
+                .collect()
+        };
+        drop(txs);
+        for handle in lock(&self.worker_handles).drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -580,7 +963,7 @@ fn spawn_worker(
             let hand_off = |delta: &mut ShardSummary, pending: &mut usize| {
                 if *pending > 0 {
                     let full = std::mem::replace(delta, ShardSummary::new(&cfg, shard));
-                    let _ = compact_tx.send(CompactMsg::Delta(full));
+                    let _ = compact_tx.send(CompactMsg::Delta(shard, full));
                     *pending = 0;
                 }
             };
@@ -627,12 +1010,13 @@ fn spawn_worker(
                         hand_off(&mut delta, &mut pending);
                         let _ = ack.send(());
                     }
-                    WorkerMsg::Shutdown => {
-                        hand_off(&mut delta, &mut pending);
-                        break;
-                    }
                 }
             }
+            // The queue disconnected: every sender — the engine's slot and
+            // any clone a racing ingest held — is gone, so everything that
+            // was ever acked onto this queue has been absorbed above.
+            // Hand off the final delta; shutdown publishes it.
+            hand_off(&mut delta, &mut pending);
         })
 }
 
@@ -646,10 +1030,20 @@ fn spawn_compactor(
             let cfg = engine.cfg.clone();
             let trace = engine.telemetry.recorder().register("compactor");
             let mut global = ShardSummary::new(&cfg, usize::MAX);
+            // With durability on, the compactor also folds each shard's
+            // deltas into a per-shard accumulator — the checkpointable
+            // decomposition of `global`. Mergeability makes the double
+            // bookkeeping sound: global == merge(accumulators) under any
+            // arrival order. In-memory engines skip the extra merges.
+            let mut accumulators: Option<Vec<ShardSummary>> = engine.durable.as_ref().map(|_| {
+                (0..cfg.shards)
+                    .map(|s| ShardSummary::new(&cfg, s))
+                    .collect()
+            });
             let mut merge_index = 0u64;
             for msg in rx {
                 match msg {
-                    CompactMsg::Delta(delta) => {
+                    CompactMsg::Delta(shard, delta) => {
                         let stall_ms = cfg.fault_plan.compactor_merge(merge_index);
                         merge_index += 1;
                         if stall_ms > 0 {
@@ -657,6 +1051,11 @@ fn spawn_compactor(
                             std::thread::sleep(std::time::Duration::from_millis(stall_ms));
                         }
                         let mut span = ms_obs::span!(trace, "compact", merge_index = merge_index);
+                        if let Some(accs) = accumulators.as_mut() {
+                            if let Ok(folded) = accs[shard].clone().merge(delta.clone()) {
+                                accs[shard] = folded;
+                            }
+                        }
                         let (merged, micros) = timed(|| global.clone().merge(delta));
                         match merged {
                             Ok(merged) => global = merged,
@@ -677,6 +1076,35 @@ fn spawn_compactor(
                         engine.publish(global.clone());
                         let _ = ack.send(());
                     }
+                    CompactMsg::Checkpoint(ack) => {
+                        engine.publish(global.clone());
+                        let _ = ack.send(accumulators.clone().unwrap_or_default());
+                    }
+                }
+            }
+        })
+}
+
+/// The checkpointer thread: waits for cadence triggers (sent by ingest
+/// every `checkpoint_batches` batches) or explicit
+/// [`Engine::checkpoint_now`] requests, and runs one checkpoint cycle per
+/// trigger. Exits when the trigger channel closes (shutdown/abort).
+fn spawn_checkpointer(
+    engine: Arc<Engine>,
+    rx: Receiver<Option<Sender<()>>>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("ms-checkpointer".to_string())
+        .spawn(move || {
+            for trigger in rx {
+                if let Err(e) = engine.perform_checkpoint() {
+                    // A failed checkpoint is not fatal: the WAL still has
+                    // everything. Record it and keep serving.
+                    engine.telemetry.event("checkpoint_failed", &[]);
+                    let _ = e;
+                }
+                if let Some(ack) = trigger {
+                    let _ = ack.send(());
                 }
             }
         })
@@ -1015,6 +1443,124 @@ mod tests {
         assert!(text.contains("worker_die"), "{text}");
         assert!(text.contains("all_shards_lost"), "{text}");
         engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn temp_data_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ms-engine-dur-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_cfg(dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig::new(SummaryKind::Mg, 0.05)
+            .shards(2)
+            .delta_updates(64)
+            .durability(crate::config::DurabilityConfig::new(dir))
+    }
+
+    #[test]
+    fn durable_shutdown_then_restart_restores_everything() {
+        let dir = temp_data_dir("restart");
+        let engine = Engine::start(durable_cfg(&dir)).unwrap();
+        for i in 0..50u64 {
+            engine.ingest(vec![i % 5; 20]).unwrap();
+        }
+        let before = engine.shutdown().summary.total_weight();
+        assert_eq!(before, 1000);
+
+        let engine = Engine::start(durable_cfg(&dir)).unwrap();
+        let recovery = engine.recovery().expect("durable engine reports recovery");
+        // Clean shutdown wrote a final checkpoint covering the whole WAL.
+        assert_eq!(recovery.checkpoint_seq, 50);
+        assert_eq!(recovery.replayed_records, 0);
+        assert_eq!(recovery.corrupt_records, 0);
+        assert_eq!(recovery.preloaded_weight, 1000);
+        assert_eq!(engine.snapshot().summary.total_weight(), 1000);
+        // Point estimates survive the round trip within the ε·n bound.
+        let snap = engine.snapshot();
+        for item in 0..5u64 {
+            let est = snap.summary.point(item).unwrap();
+            assert!(est <= 200 && 200 - est.min(200) <= (0.05 * 1000.0) as u64);
+        }
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_abort_recovers_from_wal_replay_alone() {
+        let dir = temp_data_dir("abort");
+        let engine = Engine::start(durable_cfg(&dir)).unwrap();
+        for _ in 0..30u64 {
+            engine.ingest(vec![9; 10]).unwrap();
+        }
+        engine.abort();
+        // No checkpoint was ever written: recovery must rebuild the full
+        // stream from the WAL tail (fsync every:64 — but the process did
+        // not die, so the OS page cache has every appended byte).
+        let engine = Engine::start(durable_cfg(&dir)).unwrap();
+        let recovery = engine.recovery().unwrap();
+        assert_eq!(recovery.checkpoint_seq, 0);
+        assert_eq!(recovery.replayed_records, 30);
+        assert_eq!(recovery.replayed_weight, 300);
+        assert_eq!(engine.snapshot().summary.total_weight(), 300);
+        assert_eq!(engine.snapshot().summary.point(9), Some(300));
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_now_prunes_covered_wal_and_speeds_recovery() {
+        let dir = temp_data_dir("ckptnow");
+        let engine = Engine::start(durable_cfg(&dir)).unwrap();
+        for _ in 0..20u64 {
+            engine.ingest(vec![1; 10]).unwrap();
+        }
+        engine.checkpoint_now().unwrap();
+        for _ in 0..7u64 {
+            engine.ingest(vec![2; 10]).unwrap();
+        }
+        engine.abort();
+
+        let engine = Engine::start(durable_cfg(&dir)).unwrap();
+        let recovery = engine.recovery().unwrap();
+        assert_eq!(recovery.checkpoint_seq, 20);
+        assert_eq!(recovery.preloaded_weight, 200);
+        assert_eq!(recovery.replayed_records, 7);
+        assert_eq!(engine.snapshot().summary.total_weight(), 270);
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_engine_exposes_wal_and_checkpoint_telemetry() {
+        let dir = temp_data_dir("telemetry");
+        let engine = Engine::start(durable_cfg(&dir)).unwrap();
+        for _ in 0..10u64 {
+            engine.ingest(vec![4; 8]).unwrap();
+        }
+        engine.checkpoint_now().unwrap();
+        let snap = engine.telemetry_snapshot();
+        assert_eq!(snap.counter("wal_records_total"), Some(10));
+        assert!(snap.counter("wal_bytes_total").unwrap() > 0);
+        assert!(snap.counter("checkpoints_total").unwrap() >= 1);
+        assert_eq!(snap.gauge("wal_last_seq"), Some(10));
+        assert_eq!(snap.gauge("checkpoint_seq"), Some(10));
+        assert!(snap.gauge("checkpoint_age_micros").is_some());
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_with_wrong_kind_is_a_typed_config_error() {
+        let dir = temp_data_dir("kind");
+        let engine = Engine::start(durable_cfg(&dir)).unwrap();
+        engine.ingest(vec![1; 10]).unwrap();
+        engine.shutdown();
+        let wrong = ServiceConfig::new(SummaryKind::CountMin, 0.05)
+            .shards(2)
+            .durability(crate::config::DurabilityConfig::new(&dir));
+        assert!(matches!(Engine::start(wrong), Err(ServiceError::Config(_))));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -35,8 +35,8 @@ pub mod server;
 pub mod summary;
 pub mod telemetry;
 
-pub use config::{ServiceConfig, SummaryKind};
-pub use engine::{Engine, MetricsReport, Snapshot};
+pub use config::{DurabilityConfig, ServiceConfig, SummaryKind};
+pub use engine::{Engine, MetricsReport, RecoveryReport, Snapshot};
 pub use fault::{plan_fn, FaultAction, FaultPlan, NoFaults};
 pub use protocol::{decode_request, Request, Response, REQUEST_TAG, RESPONSE_TAG};
 pub use server::{dispatch, Client, ClientOptions, Server};
@@ -45,3 +45,4 @@ pub use telemetry::{EngineTelemetry, OPCODE_LABELS};
 
 pub use ms_core::ServiceError;
 pub use ms_obs::RegistrySnapshot;
+pub use ms_store::FsyncPolicy;

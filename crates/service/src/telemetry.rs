@@ -62,6 +62,13 @@ pub struct EngineTelemetry {
     /// Wire payload bytes received / sent by the server.
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
+    /// Durability plane: WAL records / bytes appended, fsyncs issued,
+    /// checkpoint sets written. Zero (and never touched) when the engine
+    /// runs without a data directory.
+    wal_records: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    wal_fsyncs: Arc<Counter>,
+    checkpoints: Arc<Counter>,
     /// Shared handle for rare cross-thread events (shard deaths, dumps).
     engine_events: TraceHandle,
     /// First-failure latch: only the first fatal error dumps the recorder.
@@ -99,6 +106,10 @@ impl EngineTelemetry {
                 .collect(),
             bytes_in: registry.counter("server_bytes_in_total"),
             bytes_out: registry.counter("server_bytes_out_total"),
+            wal_records: registry.counter("wal_records_total"),
+            wal_bytes: registry.counter("wal_bytes_total"),
+            wal_fsyncs: registry.counter("wal_fsyncs_total"),
+            checkpoints: registry.counter("checkpoints_total"),
             engine_events,
             registry,
             recorder,
@@ -193,6 +204,25 @@ impl EngineTelemetry {
     pub fn add_bytes_out(&self, n: u64) {
         if self.enabled {
             self.bytes_out.add(n);
+        }
+    }
+
+    /// Record one WAL append: payload bytes written and whether the
+    /// append fsynced the segment.
+    pub fn record_wal_append(&self, bytes: u64, synced: bool) {
+        if self.enabled {
+            self.wal_records.add(1);
+            self.wal_bytes.add(bytes);
+            if synced {
+                self.wal_fsyncs.add(1);
+            }
+        }
+    }
+
+    /// Record one checkpoint set written to disk.
+    pub fn record_checkpoint(&self) {
+        if self.enabled {
+            self.checkpoints.add(1);
         }
     }
 

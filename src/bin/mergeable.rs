@@ -18,9 +18,11 @@
 //! mergeable info all.ms
 //!
 //! mergeable serve --kind mg --epsilon 0.01 --addr 127.0.0.1:7433
+//! mergeable serve --kind mg --epsilon 0.01 --data-dir /var/lib/ms --fsync every:64
 //! mergeable bench-client --addr 127.0.0.1:7433 --items 1000000
 //! mergeable metrics --addr 127.0.0.1:7433          # human-readable
 //! mergeable metrics --addr 127.0.0.1:7433 --prom   # Prometheus text
+//! mergeable store inspect /var/lib/ms              # WAL/checkpoint health
 //! ```
 //!
 //! Input data is one unsigned integer per line (blank lines ignored).
@@ -31,10 +33,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use mergeable_summaries::core::{
-    ItemSummary, Mergeable, Summary, Wire, WireError, WireFrame, WireReader,
+    ItemSummary, Mergeable, Summary, ToJson, Wire, WireError, WireFrame, WireReader,
 };
 use mergeable_summaries::quantiles::RankSummary;
-use mergeable_summaries::service::{Engine, Request, Response, Server, ServiceConfig, SummaryKind};
+use mergeable_summaries::service::{
+    DurabilityConfig, Engine, FsyncPolicy, Request, Response, Server, ServiceConfig, SummaryKind,
+};
 use mergeable_summaries::workloads::StreamKind;
 use mergeable_summaries::{
     BottomKSample, CountMinSketch, HybridQuantile, MgSummary, SpaceSavingSummary,
@@ -172,6 +176,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-client") => cmd_bench_client(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -189,8 +194,10 @@ USAGE:
   mergeable query FILE (--heavy-hitters E | --estimate ITEM | --quantile PHI | --rank X)
   mergeable info FILE
   mergeable serve --kind KIND --epsilon E [--addr A] [--shards N] [--seed S] [--no-telemetry]
+                  [--data-dir DIR] [--fsync always|every:N|never] [--checkpoint-batches N]
   mergeable bench-client --addr A [--items N] [--batch B] [--seed S] [--zipf S]
   mergeable metrics --addr A [--prom]
+  mergeable store inspect DIR [--json]
 
 KINDS:
   mg               Misra-Gries heavy hitters (deterministic, freq error <= eps*n)
@@ -207,6 +214,16 @@ throughput and engine metrics. `metrics` scrapes a live server's
 telemetry plane: per-opcode latency histograms (p50/p95/p99/max),
 per-shard queue-depth gauges and byte counters, as a table or (--prom)
 Prometheus text exposition.
+
+`serve --data-dir DIR` makes the engine crash-safe: every acked batch is
+appended to a write-ahead log and periodically folded into per-shard
+checkpoint files under DIR, and restarting with the same DIR recovers
+the state (newest valid checkpoint set + WAL tail replay) with no error
+growth — summaries merge back losslessly. `--fsync` trades durability
+for throughput (`always` per batch, `every:N` bounded loss window,
+`never` leaves flushing to the OS); `--checkpoint-batches` sets the
+checkpoint cadence. `store inspect` CRC-scans a data directory
+read-only and reports per-segment and per-checkpoint health.
 
 Input data: one unsigned integer per line (stdin unless --input is given).
 ";
@@ -476,11 +493,55 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if take_switch(&mut args, "--no-telemetry") {
         cfg = cfg.telemetry(false);
     }
+    let fsync = take_flag(&mut args, "--fsync");
+    let checkpoint_batches = take_flag(&mut args, "--checkpoint-batches");
+    match take_flag(&mut args, "--data-dir") {
+        Some(dir) => {
+            let mut durability = DurabilityConfig::new(dir);
+            if let Some(policy) = &fsync {
+                durability.fsync = FsyncPolicy::parse(policy).ok_or_else(|| {
+                    format!("bad --fsync '{policy}'; use always, never or every:N")
+                })?;
+            }
+            if let Some(batches) = &checkpoint_batches {
+                durability.checkpoint_batches = batches
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-batches: {e}"))?;
+            }
+            cfg = cfg.durability(durability);
+        }
+        None if fsync.is_some() || checkpoint_batches.is_some() => {
+            return Err("--fsync / --checkpoint-batches require --data-dir".into());
+        }
+        None => {}
+    }
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
     }
 
     let engine = Engine::start(cfg).map_err(|e| format!("cannot start engine: {e}"))?;
+    if let Some(r) = engine.recovery() {
+        println!(
+            "recovered: checkpoint seq {} ({} parts, weight {}), replayed {} WAL \
+             records (weight {}) in {}us",
+            r.checkpoint_seq,
+            r.checkpoint_parts,
+            r.preloaded_weight,
+            r.replayed_records,
+            r.replayed_weight,
+            r.duration_micros
+        );
+        if r.corrupt_records + r.corrupt_checkpoints + r.duplicate_records + r.torn_bytes > 0 {
+            println!(
+                "recovery damage: {} corrupt WAL records, {} torn bytes, {} corrupt \
+                 checkpoint parts, {} duplicates skipped",
+                r.corrupt_records, r.torn_bytes, r.corrupt_checkpoints, r.duplicate_records
+            );
+        }
+        for note in &r.notes {
+            println!("recovery note: {note}");
+        }
+    }
     let server =
         Server::bind(engine, addr.as_str()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
@@ -562,6 +623,74 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     println!("shards lost:      {}", m.shards_lost);
     println!("frames rejected:  {}", m.frames_rejected);
     println!("server retries:   {}", m.retries);
+    Ok(())
+}
+
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("inspect") => cmd_store_inspect(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown store subcommand '{other}'; try: mergeable store inspect DIR [--json]"
+        )),
+        None => Err("usage: mergeable store inspect DIR [--json]".into()),
+    }
+}
+
+fn cmd_store_inspect(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let json = take_switch(&mut args, "--json");
+    let [dir] = args.as_slice() else {
+        return Err("store inspect requires exactly one data directory".into());
+    };
+    let path = std::path::Path::new(dir);
+    if !path.is_dir() {
+        return Err(format!("{dir} is not a directory"));
+    }
+    let report = mergeable_summaries::store::inspect(path)
+        .map_err(|e| format!("cannot inspect {dir}: {e}"))?;
+
+    if json {
+        println!("{}", report.to_json().to_string_pretty());
+        return Ok(());
+    }
+
+    println!("== WAL segments ==");
+    if report.segments.is_empty() {
+        println!("(none)");
+    } else {
+        println!(
+            "{:<28} {:>10} {:>8} {:>10} {:>10} {:>6} {:>10}",
+            "file", "bytes", "records", "first_seq", "last_seq", "spans", "torn_bytes"
+        );
+        for s in &report.segments {
+            println!(
+                "{:<28} {:>10} {:>8} {:>10} {:>10} {:>6} {:>10}",
+                s.file, s.bytes, s.records, s.first_seq, s.last_seq, s.corrupt_spans, s.torn_bytes
+            );
+        }
+    }
+    println!();
+    println!("== checkpoint parts (newest set first) ==");
+    if report.checkpoints.is_empty() {
+        println!("(none)");
+    } else {
+        println!(
+            "{:<34} {:>8} {:>5} {:>3} {:>10} {:>7}  status",
+            "file", "bytes", "shard", "of", "wal_seq", "epoch"
+        );
+        for c in &report.checkpoints {
+            println!(
+                "{:<34} {:>8} {:>5} {:>3} {:>10} {:>7}  {}",
+                c.file, c.bytes, c.shard, c.shards_total, c.wal_seq, c.epoch, c.status
+            );
+        }
+    }
+    println!();
+    println!(
+        "total records: {}   total damage: {}",
+        report.total_records(),
+        report.total_damage()
+    );
     Ok(())
 }
 

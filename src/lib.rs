@@ -18,6 +18,7 @@
 //! | [`sketches`] | Count-Min, Count-Sketch, AMS F₂ | probabilistic | baseline class |
 //! | [`lowerror`] | extension: low-total-error merges | see crate docs | — |
 //! | [`service`] | sharded concurrent aggregation engine + TCP wire protocol | inherits the summary's mergeability bound | — |
+//! | [`store`] | crash-safe durability: segment WAL + checkpoint sets | recovery = checkpoint merge + tail replay, no error growth | — |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use ms_quantiles as quantiles;
 pub use ms_range as range;
 pub use ms_service as service;
 pub use ms_sketches as sketches;
+pub use ms_store as store;
 pub use ms_workloads as workloads;
 
 pub use ms_core::{merge_all, ItemSummary, MergeError, MergeTree, Mergeable, Summary};

@@ -1,0 +1,186 @@
+//! End-to-end durability: the full data-directory lifecycle across
+//! engine restarts. Every test drives the public service API only —
+//! `serve --data-dir` behavior, not store internals — and checks the
+//! paper's invariant that a checkpointed summary merges back with no
+//! error degradation: total weight is *exactly* preserved and point
+//! estimates stay within `ε·n` of an exact oracle on the replayed
+//! stream.
+
+use std::path::PathBuf;
+
+use mergeable_summaries::core::{FrequencyOracle, Summary};
+use mergeable_summaries::service::{DurabilityConfig, Engine, ServiceConfig, SummaryKind};
+
+const EPS: f64 = 0.05;
+const BATCH: usize = 50;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ms-durability-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_cfg(dir: &PathBuf) -> ServiceConfig {
+    ServiceConfig::new(SummaryKind::Mg, EPS)
+        .shards(2)
+        .delta_updates(64)
+        .durability(DurabilityConfig::new(dir).segment_bytes(1024))
+}
+
+/// A deterministic stream of `batches` batches; item `i % 17` keeps a
+/// few items heavy so point estimates are meaningful.
+fn batches(batches: usize) -> Vec<Vec<u64>> {
+    (0..batches)
+        .map(|b| (0..BATCH).map(|i| ((b * BATCH + i) % 17) as u64).collect())
+        .collect()
+}
+
+/// The recovered summary must answer every item within `ε·n` of the
+/// exact counts of the stream it claims to hold.
+fn assert_within_bound(engine: &Engine, stream: &[Vec<u64>]) {
+    let flat: Vec<u64> = stream.iter().flatten().copied().collect();
+    let oracle = FrequencyOracle::from_stream(flat.iter().copied());
+    let snap = engine.snapshot();
+    let bound = EPS * flat.len() as f64 + 1.0;
+    for (item, truth) in oracle.iter() {
+        let est = snap.summary.point(*item).unwrap_or(0);
+        assert!(
+            (est.abs_diff(truth) as f64) <= bound,
+            "item {item}: estimate {est} vs exact {truth} outside eps*n bound {bound:.1}"
+        );
+    }
+}
+
+#[test]
+fn empty_data_dir_starts_fresh() {
+    let dir = tempdir("fresh");
+    let engine = Engine::start(durable_cfg(&dir)).unwrap();
+    let report = engine.recovery().expect("durable engine reports recovery");
+    assert_eq!(report.checkpoint_seq, 0);
+    assert_eq!(report.checkpoint_parts, 0);
+    assert_eq!(report.replayed_records, 0);
+    assert_eq!(report.corrupt_records, 0);
+    assert_eq!(report.corrupt_checkpoints, 0);
+    assert_eq!(engine.snapshot().summary.total_weight(), 0);
+
+    // The fresh directory is immediately usable.
+    engine.ingest(vec![7; 10]).unwrap();
+    engine.flush().unwrap();
+    assert_eq!(engine.snapshot().summary.total_weight(), 10);
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_shutdown_restart_recovers_from_checkpoint_alone() {
+    let dir = tempdir("clean");
+    let stream = batches(40);
+    let engine = Engine::start(durable_cfg(&dir)).unwrap();
+    for batch in &stream {
+        engine.ingest(batch.clone()).unwrap();
+    }
+    // A clean shutdown writes a final checkpoint covering the whole WAL.
+    let weight = engine.shutdown().summary.total_weight();
+    assert_eq!(weight, (40 * BATCH) as u64);
+
+    let engine = Engine::start(durable_cfg(&dir)).unwrap();
+    let report = engine.recovery().unwrap();
+    assert_eq!(
+        report.checkpoint_seq, 40,
+        "final checkpoint covers all batches"
+    );
+    assert_eq!(
+        report.replayed_records, 0,
+        "no WAL tail after a clean shutdown"
+    );
+    assert_eq!(report.preloaded_weight, weight);
+    assert_eq!(engine.snapshot().summary.total_weight(), weight);
+    assert_within_bound(&engine, &stream);
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_with_no_wal_tail_restores_exactly() {
+    let dir = tempdir("ckpt-no-tail");
+    let stream = batches(25);
+    let engine = Engine::start(durable_cfg(&dir)).unwrap();
+    for batch in &stream {
+        engine.ingest(batch.clone()).unwrap();
+    }
+    // Checkpoint explicitly, then die without the shutdown path: the
+    // checkpoint is the only durable state that matters.
+    engine.checkpoint_now().unwrap();
+    engine.abort();
+
+    let engine = Engine::start(durable_cfg(&dir)).unwrap();
+    let report = engine.recovery().unwrap();
+    assert_eq!(report.checkpoint_seq, 25);
+    assert_eq!(report.replayed_records, 0);
+    assert_eq!(
+        engine.snapshot().summary.total_weight(),
+        (25 * BATCH) as u64
+    );
+    assert_within_bound(&engine, &stream);
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_with_no_checkpoint_replays_everything() {
+    let dir = tempdir("wal-only");
+    let stream = batches(30);
+    let engine = Engine::start(durable_cfg(&dir)).unwrap();
+    for batch in &stream {
+        engine.ingest(batch.clone()).unwrap();
+    }
+    // Die before any checkpoint ever runs: the WAL alone must carry the
+    // whole stream across small rotated segments.
+    engine.abort();
+
+    let engine = Engine::start(durable_cfg(&dir)).unwrap();
+    let report = engine.recovery().unwrap();
+    assert_eq!(report.checkpoint_seq, 0);
+    assert_eq!(report.checkpoint_parts, 0);
+    assert_eq!(report.replayed_records, 30);
+    let segments = std::fs::read_dir(dir.join("wal")).unwrap().count();
+    assert!(segments > 1, "1 KiB segments must have rotated");
+    assert_eq!(
+        engine.snapshot().summary.total_weight(),
+        (30 * BATCH) as u64
+    );
+    assert_within_bound(&engine, &stream);
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_is_idempotent_across_repeated_restarts() {
+    let dir = tempdir("idempotent");
+    let stream = batches(20);
+    let engine = Engine::start(durable_cfg(&dir)).unwrap();
+    for (i, batch) in stream.iter().enumerate() {
+        engine.ingest(batch.clone()).unwrap();
+        if i + 1 == 12 {
+            engine.checkpoint_now().unwrap();
+        }
+    }
+    engine.abort();
+
+    // Restart twice, aborting in between so nothing new is written: both
+    // recoveries must read the same state and apply each record exactly
+    // once — replay never inflates weight.
+    let mut weights = Vec::new();
+    for _ in 0..2 {
+        let engine = Engine::start(durable_cfg(&dir)).unwrap();
+        let report = engine.recovery().unwrap();
+        assert_eq!(report.checkpoint_seq, 12);
+        assert_eq!(report.replayed_records, 8);
+        assert_eq!(report.duplicate_records, 0);
+        weights.push(engine.snapshot().summary.total_weight());
+        assert_within_bound(&engine, &stream);
+        engine.abort();
+    }
+    assert_eq!(weights, vec![(20 * BATCH) as u64; 2]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

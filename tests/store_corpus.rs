@@ -1,0 +1,250 @@
+//! Golden corpus of damaged WAL segments.
+//!
+//! Each case is a deliberately damaged segment checked in under
+//! `tests/corpus/wal_*.bin`, paired with the exact shape
+//! [`scan_segment`] must report: which seqs survive, how many interior
+//! corrupt spans were resynchronized over, how many bytes of torn tail
+//! remain, and which error started the terminal damage. The corpus bytes
+//! are also rebuilt programmatically and compared byte-for-byte against
+//! the checked-in files, so an accidental record-format change (resized
+//! trailer, shifted CRC, new tag) shows up as a corpus mismatch instead
+//! of silently re-deriving the goldens from the new — possibly wrong —
+//! behavior.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! REGEN=1 cargo test --test store_corpus
+//! ```
+
+use std::path::PathBuf;
+
+use mergeable_summaries::store::{scan_segment, Store, StoreConfig, WAL_RECORD_TAG};
+use ms_core::{Wire, WireError, WireFrame};
+
+/// One durable WAL record: `(seq, payload)` framed and CRC-trailered,
+/// exactly as [`Wal::append`] lays it down.
+fn record(seq: u64, payload: &[u8]) -> Vec<u8> {
+    WireFrame {
+        tag: WAL_RECORD_TAG,
+        payload: (seq, payload.to_vec()).encode(),
+    }
+    .to_durable_bytes()
+}
+
+/// The payload every reference record carries: 24 distinct bytes, long
+/// enough that damage offsets land in payload, not header.
+fn payload(seq: u64) -> Vec<u8> {
+    vec![0xA0 + seq as u8; 24]
+}
+
+/// A clean four-record segment the damaged cases start from.
+fn clean_segment() -> Vec<u8> {
+    (1..=4u64)
+        .flat_map(|seq| record(seq, &payload(seq)))
+        .collect()
+}
+
+struct Case {
+    /// File name under `tests/corpus/`.
+    name: &'static str,
+    /// The damaged segment bytes.
+    bytes: Vec<u8>,
+    /// Seqs of the records that must survive the scan, in file order.
+    seqs: Vec<u64>,
+    /// Interior damaged spans skipped via magic resynchronization.
+    corrupt_spans: u64,
+    /// Unrecoverable bytes at the end of the file.
+    torn_bytes: u64,
+    /// The error that started the terminal damage, if any.
+    tail_error: Option<WireError>,
+}
+
+fn corpus() -> Vec<Case> {
+    let clean = clean_segment();
+    let rec_len = record(1, &payload(1)).len();
+    vec![
+        Case {
+            name: "wal_clean.bin",
+            bytes: clean.clone(),
+            seqs: vec![1, 2, 3, 4],
+            corrupt_spans: 0,
+            torn_bytes: 0,
+            tail_error: None,
+        },
+        // A crash mid-append: the file ends five bytes short, inside the
+        // last record's trailer. The ordinary torn-write artifact — the
+        // opener truncates it and replay loses exactly that record.
+        Case {
+            name: "wal_torn_tail.bin",
+            bytes: clean[..clean.len() - 5].to_vec(),
+            seqs: vec![1, 2, 3],
+            corrupt_spans: 0,
+            torn_bytes: rec_len as u64 - 5,
+            tail_error: Some(WireError::Truncated),
+        },
+        // One payload bit flipped in the second record: the CRC-32 trailer
+        // catches it (CRC-32 detects every single-bit error) and the
+        // scanner resynchronizes on the third record's magic. The span is
+        // interior damage, not a torn tail, so `tail_error` stays clear.
+        Case {
+            name: "wal_bitflip_interior.bin",
+            bytes: {
+                let mut b = clean.clone();
+                b[rec_len + 21] ^= 0x08;
+                b
+            },
+            seqs: vec![1, 3, 4],
+            corrupt_spans: 1,
+            torn_bytes: 0,
+            tail_error: None,
+        },
+        // A structurally valid, correctly CRC'd frame that is not a WAL
+        // record (foreign tag). It must be skipped and counted, never
+        // replayed as data.
+        Case {
+            name: "wal_bad_tag.bin",
+            bytes: {
+                let mut b = record(1, &payload(1));
+                b.extend(
+                    WireFrame {
+                        tag: WAL_RECORD_TAG + 1,
+                        payload: (2u64, payload(2)).encode(),
+                    }
+                    .to_durable_bytes(),
+                );
+                b.extend(record(3, &payload(3)));
+                b.extend(record(4, &payload(4)));
+                b
+            },
+            seqs: vec![1, 3, 4],
+            corrupt_spans: 1,
+            torn_bytes: 0,
+            tail_error: None,
+        },
+        // The last record's trailer claims the wrong frame length. No
+        // later record exists to resync onto, so the whole record is
+        // terminal damage — truncated, not trusted.
+        Case {
+            name: "wal_trailer_len_mismatch.bin",
+            bytes: {
+                let mut b = clean.clone();
+                let at = b.len() - 8;
+                let stored = u32::from_le_bytes(b[at..at + 4].try_into().unwrap());
+                b[at..at + 4].copy_from_slice(&(stored + 1).to_le_bytes());
+                b
+            },
+            seqs: vec![1, 2, 3],
+            corrupt_spans: 0,
+            torn_bytes: rec_len as u64,
+            tail_error: Some(WireError::Malformed("record trailer length mismatch")),
+        },
+        // A seq written twice (a crash between append and ack, retried on
+        // restart). The scan is mechanical and yields all four records;
+        // deduplication is the recovery layer's job — pinned by
+        // `duplicate_corpus_replays_each_seq_once` below.
+        Case {
+            name: "wal_duplicate_seq.bin",
+            bytes: [1u64, 2, 2, 3]
+                .iter()
+                .flat_map(|&seq| record(seq, &payload(seq)))
+                .collect(),
+            seqs: vec![1, 2, 2, 3],
+            corrupt_spans: 0,
+            torn_bytes: 0,
+            tail_error: None,
+        },
+    ]
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+#[test]
+fn corpus_files_match_their_construction() {
+    let dir = corpus_dir();
+    if std::env::var_os("REGEN").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for case in corpus() {
+            std::fs::write(dir.join(case.name), &case.bytes).unwrap();
+        }
+        return;
+    }
+    for case in corpus() {
+        let path = dir.join(case.name);
+        let on_disk = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e} — run `REGEN=1 cargo test --test store_corpus`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            on_disk, case.bytes,
+            "{}: checked-in bytes diverge from construction — if the WAL \
+             record format changed intentionally, regenerate with REGEN=1",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn every_corpus_entry_scans_to_its_golden_shape() {
+    for case in corpus() {
+        // Scan the *checked-in* bytes when present, else the built ones,
+        // so the goldens really cover what is in the repository.
+        let bytes = std::fs::read(corpus_dir().join(case.name)).unwrap_or(case.bytes);
+        let scan = scan_segment(&bytes);
+        let seqs: Vec<u64> = scan.entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, case.seqs, "{}: surviving seqs", case.name);
+        assert_eq!(
+            scan.corrupt_spans, case.corrupt_spans,
+            "{}: corrupt spans",
+            case.name
+        );
+        assert_eq!(
+            scan.torn_bytes, case.torn_bytes,
+            "{}: torn bytes",
+            case.name
+        );
+        assert_eq!(
+            scan.tail_error, case.tail_error,
+            "{}: tail error",
+            case.name
+        );
+        assert_eq!(
+            scan.valid_end,
+            bytes.len() as u64 - case.torn_bytes,
+            "{}: valid_end is the safe truncation point",
+            case.name
+        );
+        // Every surviving payload is byte-identical to what was written —
+        // damage is detected and excised, never silently altered.
+        for entry in &scan.entries {
+            assert_eq!(entry.payload, payload(entry.seq), "{}: payload", case.name);
+        }
+    }
+}
+
+#[test]
+fn duplicate_corpus_replays_each_seq_once() {
+    let dir = std::env::temp_dir().join(format!("ms-store-corpus-dup-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal_dir = dir.join("wal");
+    std::fs::create_dir_all(&wal_dir).unwrap();
+    let case = corpus().pop().unwrap();
+    assert_eq!(case.name, "wal_duplicate_seq.bin");
+    let bytes = std::fs::read(corpus_dir().join(case.name)).unwrap_or(case.bytes);
+    std::fs::write(wal_dir.join("wal-0000000000000001.seg"), &bytes).unwrap();
+
+    let (_store, recovery) = Store::open(&StoreConfig::new(&dir)).unwrap();
+    assert_eq!(recovery.duplicates, 1, "the repeated seq is counted");
+    assert_eq!(
+        recovery.tail.iter().map(|e| e.seq).collect::<Vec<_>>(),
+        vec![1, 2, 3],
+        "replay applies each seq exactly once"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
