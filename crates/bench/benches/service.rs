@@ -4,6 +4,11 @@
 //!
 //! `MS_BENCH_ITEMS` overrides the stream length (default 1,000,000;
 //! `cargo test` runs this with a small value just to exercise the path).
+//!
+//! `MS_BENCH_GATE=<ratio>` turns the scaling sweep into a CI gate: the
+//! process exits non-zero unless 8-shard throughput is at least `ratio`
+//! times 1-shard throughput. The gate auto-skips on hosts with fewer
+//! than two CPUs, where parallel speedup is physically impossible.
 
 use std::time::Instant;
 
@@ -11,23 +16,38 @@ use ms_core::{Json, Summary, ToJson, Wire};
 use ms_service::{DurabilityConfig, Engine, FsyncPolicy, ServiceConfig, ShardSummary, SummaryKind};
 use ms_workloads::StreamKind;
 
+/// The scaling sweep as recorded before the zero-allocation ingest path
+/// and group-commit WAL landed (same workload, same host class), kept so
+/// the JSON always carries its own before/after comparison.
+const SCALING_BEFORE: [(usize, f64); 4] = [
+    (1, 40_028_936.0),
+    (2, 42_357_166.0),
+    (4, 41_195_066.0),
+    (8, 41_228_164.0),
+];
+
+/// Pre-optimization durable ingest rate under `fsync every:64`.
+const DURABILITY_EVERY64_BEFORE: f64 = 18_390_772.0;
+
 fn main() {
     let n: usize = std::env::var("MS_BENCH_ITEMS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let items = StreamKind::Zipf {
         s: 1.1,
         universe: 1 << 20,
     }
     .generate(n, 42);
 
-    println!("\n== service_ingest ({n} zipf items, mg eps=0.01) ==");
+    println!("\n== service_ingest ({n} zipf items, mg eps=0.01, {host_cpus} cpus) ==");
     println!(
-        "{:<8}{:>16}{:>12}{:>10}",
-        "shards", "updates/sec", "merges", "epochs"
+        "{:<8}{:>16}{:>12}{:>10}{:>12}",
+        "shards", "updates/sec", "merges", "epochs", "pool reuse"
     );
     let mut scaling = Vec::new();
+    let mut rates = Vec::new();
     for shards in [1usize, 2, 4, 8] {
         let cfg = ServiceConfig::new(SummaryKind::Mg, 0.01)
             .shards(shards)
@@ -36,20 +56,50 @@ fn main() {
         let engine = Engine::start(cfg).unwrap();
         let start = Instant::now();
         for chunk in items.chunks(4_096) {
-            engine.ingest(chunk.to_vec()).unwrap();
+            // Steady-state hot path: the batch buffer comes from the
+            // engine's pool and flows back after the worker absorbs it,
+            // so the loop allocates nothing once the pool is primed.
+            let mut batch = engine.ingest_buffer();
+            batch.extend_from_slice(chunk);
+            engine.ingest(batch).unwrap();
         }
         let snapshot = engine.shutdown();
         let secs = start.elapsed().as_secs_f64();
         let m = engine.metrics();
+        let (reuses, misses, _) = engine.pool_stats();
         assert_eq!(snapshot.summary.total_weight(), n as u64);
         let rate = n as f64 / secs;
-        println!("{shards:<8}{rate:>16.0}{:>12}{:>10}", m.merges, m.epoch);
+        let reuse_pct = 100.0 * reuses as f64 / (reuses + misses).max(1) as f64;
+        println!(
+            "{shards:<8}{rate:>16.0}{:>12}{:>10}{reuse_pct:>11.1}%",
+            m.merges, m.epoch
+        );
+        rates.push(rate);
         scaling.push(Json::obj([
             ("shards", shards.to_json()),
             ("updates_per_sec", rate.to_json()),
             ("merges", m.merges.to_json()),
             ("epochs", m.epoch.to_json()),
+            ("pool_reuse_pct", reuse_pct.to_json()),
         ]));
+    }
+
+    // CI scaling gate (see module docs). Checked right after the sweep so
+    // a failing ratio aborts before the slower durability sections.
+    if let Ok(gate) = std::env::var("MS_BENCH_GATE") {
+        let gate: f64 = gate.parse().expect("MS_BENCH_GATE must be a number");
+        let ratio = rates[3] / rates[0];
+        if host_cpus < 2 {
+            println!(
+                "scaling gate SKIPPED: single-CPU host (8-shard/1-shard = {ratio:.2}x, \
+                 gate {gate:.2}x needs parallelism)"
+            );
+        } else if ratio < gate {
+            eprintln!("scaling gate FAILED: 8-shard is {ratio:.2}x 1-shard, required {gate:.2}x");
+            std::process::exit(1);
+        } else {
+            println!("scaling gate passed: 8-shard is {ratio:.2}x 1-shard (gate {gate:.2}x)");
+        }
     }
 
     println!("\n== service_snapshot_bytes (per summary family, 100k items) ==");
@@ -98,7 +148,9 @@ fn main() {
         let engine = Engine::start(cfg).unwrap();
         let start = Instant::now();
         for chunk in items.chunks(4_096) {
-            engine.ingest(chunk.to_vec()).unwrap();
+            let mut batch = engine.ingest_buffer();
+            batch.extend_from_slice(chunk);
+            engine.ingest(batch).unwrap();
         }
         let snapshot = engine.shutdown();
         let secs = start.elapsed().as_secs_f64();
@@ -186,7 +238,9 @@ fn main() {
         let engine = Engine::start(cfg).unwrap();
         let start = Instant::now();
         for chunk in ditems.chunks(4_096) {
-            engine.ingest(chunk.to_vec()).unwrap();
+            let mut batch = engine.ingest_buffer();
+            batch.extend_from_slice(chunk);
+            engine.ingest(batch).unwrap();
         }
         let snapshot = engine.shutdown();
         let secs = start.elapsed().as_secs_f64();
@@ -205,10 +259,25 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    let scaling_before = SCALING_BEFORE
+        .iter()
+        .map(|&(shards, rate)| {
+            Json::obj([
+                ("shards", shards.to_json()),
+                ("updates_per_sec", rate.to_json()),
+            ])
+        })
+        .collect();
     let record = Json::obj([
         ("id", "bench_service".to_json()),
         ("items", n.to_json()),
+        ("host_cpus", host_cpus.to_json()),
         ("scaling", Json::Arr(scaling)),
+        ("scaling_before", Json::Arr(scaling_before)),
+        (
+            "durability_every64_before",
+            DURABILITY_EVERY64_BEFORE.to_json(),
+        ),
         ("snapshot_bytes", Json::Arr(codec)),
         ("telemetry_overhead", telemetry_json),
         ("durability", Json::Arr(durability)),

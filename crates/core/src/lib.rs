@@ -31,8 +31,11 @@ pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod oracle;
+pub mod pool;
+pub mod ring;
 pub mod rng;
 pub mod summary;
+pub mod swap;
 pub mod tree;
 pub mod wire;
 
@@ -42,7 +45,10 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, ToJson};
 pub use metrics::{percentile, BoundCheck, ErrorStats};
 pub use oracle::{FrequencyOracle, RankOracle};
+pub use pool::BufferPool;
+pub use ring::{PushError, Ring};
 pub use rng::Rng64;
 pub use summary::{ItemSummary, Mergeable, Summary};
+pub use swap::SwapCell;
 pub use tree::{merge_all, MergeTree};
 pub use wire::{crc32, Wire, WireError, WireFrame, WireReader};

@@ -1,0 +1,250 @@
+//! Lock-free recycling pool for reusable `Vec` buffers.
+//!
+//! The aggregation service moves one `Vec<u64>` per ingest batch from the
+//! caller through the WAL and a shard queue to a worker thread, which drops
+//! it after absorbing the items. At steady state that is one heap
+//! allocation and one deallocation per batch for a buffer whose capacity
+//! never changes. [`BufferPool`] removes both: workers return spent buffers
+//! with [`BufferPool::put`] and callers fetch them back with
+//! [`BufferPool::get`], so the same handful of allocations circulate for
+//! the life of the engine.
+//!
+//! The pool is a fixed array of slots, each a tiny state machine
+//! (`EMPTY → BUSY → FULL → BUSY → EMPTY`) driven by compare-and-swap — no
+//! locks, no allocation in `get` or `put` themselves. When every slot is
+//! empty, `get` falls back to a plain `Vec::new()` and counts a **miss**;
+//! when every slot is full, `put` drops the buffer and counts a
+//! **discard**. Both counters are exported so an operator can see when the
+//! pool is undersized (misses climb) or oversized (discards climb).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+/// Slot holds no buffer.
+const EMPTY: u8 = 0;
+/// Slot is being written or taken by exactly one thread.
+const BUSY: u8 = 1;
+/// Slot holds a recycled buffer ready for reuse.
+const FULL: u8 = 2;
+
+struct Slot<T> {
+    state: AtomicU8,
+    buf: UnsafeCell<Vec<T>>,
+}
+
+/// A fixed-size, lock-free pool of reusable `Vec<T>` buffers.
+///
+/// `get` and `put` never allocate and never block: each is a short scan of
+/// the slot array with one successful compare-and-swap. Exhaustion
+/// degrades to plain allocation (counted), never to an error.
+pub struct BufferPool<T> {
+    slots: Box<[Slot<T>]>,
+    /// Rotating start index so concurrent callers spread over the array
+    /// instead of all contending on slot 0.
+    hint: AtomicUsize,
+    reuses: AtomicU64,
+    misses: AtomicU64,
+    discards: AtomicU64,
+}
+
+// SAFETY: a slot's `buf` is only touched by the single thread that CASed
+// its state to BUSY; the Acquire/Release pair on `state` orders those
+// accesses across threads.
+unsafe impl<T: Send> Sync for BufferPool<T> {}
+unsafe impl<T: Send> Send for BufferPool<T> {}
+
+impl<T> BufferPool<T> {
+    /// A pool with room for `slots` idle buffers. Zero slots is allowed
+    /// and turns the pool into a pass-through (every `get` is a miss,
+    /// every `put` a discard).
+    pub fn new(slots: usize) -> Self {
+        BufferPool {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    state: AtomicU8::new(EMPTY),
+                    buf: UnsafeCell::new(Vec::new()),
+                })
+                .collect(),
+            hint: AtomicUsize::new(0),
+            reuses: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            discards: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch a cleared buffer, reusing a pooled one when available. On an
+    /// empty pool this returns `Vec::new()` (no reserved capacity — the
+    /// caller's first pushes will allocate) and counts a miss.
+    pub fn get(&self) -> Vec<T> {
+        let n = self.slots.len();
+        if n != 0 {
+            let start = self.hint.load(Ordering::Relaxed);
+            for i in 0..n {
+                let slot = &self.slots[(start + i) % n];
+                if slot.state.load(Ordering::Relaxed) != FULL {
+                    continue;
+                }
+                if slot
+                    .state
+                    .compare_exchange(FULL, BUSY, Ordering::Acquire, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+                // SAFETY: we hold the slot in BUSY, so no other thread
+                // touches `buf` until we release it below.
+                let buf = unsafe { std::mem::take(&mut *slot.buf.get()) };
+                slot.state.store(EMPTY, Ordering::Release);
+                self.hint.store((start + i + 1) % n, Ordering::Relaxed);
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                return buf;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    }
+
+    /// Return a spent buffer to the pool. The buffer is cleared (elements
+    /// dropped, capacity kept); if every slot is already full it is
+    /// dropped and counted as a discard.
+    pub fn put(&self, mut buf: Vec<T>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            // Nothing worth recycling; don't burn a slot on it.
+            return;
+        }
+        let n = self.slots.len();
+        let start = self.hint.load(Ordering::Relaxed);
+        for i in 0..n {
+            let slot = &self.slots[(start + i) % n];
+            if slot.state.load(Ordering::Relaxed) != EMPTY {
+                continue;
+            }
+            if slot
+                .state
+                .compare_exchange(EMPTY, BUSY, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: as in `get` — exclusive access while BUSY.
+            unsafe { *slot.buf.get() = buf };
+            slot.state.store(FULL, Ordering::Release);
+            return;
+        }
+        self.discards.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of `get` calls served from the pool.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Number of `get` calls that fell back to a fresh allocation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of returned buffers dropped because the pool was full.
+    pub fn discards(&self) -> u64 {
+        self.discards.load(Ordering::Relaxed)
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.state.load(Ordering::Relaxed) == FULL)
+            .count()
+    }
+
+    /// Slot capacity the pool was built with.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trip_reuses_capacity() {
+        let pool = BufferPool::new(4);
+        let mut buf: Vec<u64> = pool.get();
+        assert_eq!(pool.misses(), 1);
+        buf.extend(0..1000);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        pool.put(buf);
+        let buf2 = pool.get();
+        assert_eq!(pool.reuses(), 1);
+        assert!(buf2.is_empty());
+        assert_eq!(buf2.capacity(), cap);
+        assert_eq!(buf2.as_ptr(), ptr, "same backing storage came back");
+    }
+
+    #[test]
+    fn exhaustion_falls_back_to_alloc_and_counts() {
+        let pool: BufferPool<u64> = BufferPool::new(2);
+        for _ in 0..5 {
+            let _ = pool.get();
+        }
+        assert_eq!(pool.misses(), 5);
+        assert_eq!(pool.reuses(), 0);
+    }
+
+    #[test]
+    fn overflow_discards() {
+        let pool: BufferPool<u64> = BufferPool::new(1);
+        pool.put(Vec::with_capacity(8));
+        pool.put(Vec::with_capacity(8));
+        assert_eq!(pool.discards(), 1);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_pool_is_a_pass_through() {
+        let pool: BufferPool<u64> = BufferPool::new(0);
+        let b = pool.get();
+        assert!(b.is_empty());
+        pool.put(Vec::with_capacity(8));
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.discards(), 1);
+    }
+
+    #[test]
+    fn empty_returned_buffers_are_not_pooled() {
+        let pool: BufferPool<u64> = BufferPool::new(2);
+        pool.put(Vec::new());
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.discards(), 0);
+    }
+
+    #[test]
+    fn concurrent_get_put_never_duplicates_a_buffer() {
+        let pool = Arc::new(BufferPool::<u64>::new(8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..2000u64 {
+                        let mut buf = pool.get();
+                        assert!(buf.is_empty(), "pooled buffer arrived dirty");
+                        buf.push(t * 10_000 + i);
+                        pool.put(buf);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(
+            pool.reuses() + pool.misses(),
+            8000,
+            "every get was either a reuse or a miss"
+        );
+    }
+}

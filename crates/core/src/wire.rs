@@ -196,6 +196,35 @@ pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+/// Encode a `&[u64]` exactly as `Vec<u64>::encode_into` would — varint
+/// length followed by varint elements — without requiring an owned `Vec`.
+/// The ingest hot path uses this to serialize a borrowed batch into a
+/// reusable scratch buffer instead of cloning it first.
+pub fn encode_u64_slice_into(out: &mut Vec<u8>, items: &[u64]) {
+    put_varint(out, items.len() as u64);
+    for &v in items {
+        put_varint(out, v);
+    }
+}
+
+/// Append a complete frame (header + payload) to `out`, byte-identical
+/// to `WireFrame::to_bytes` but without materialising an intermediate
+/// payload `Vec`. `fill` writes the payload directly after the header;
+/// the length field is backpatched once the payload size is known.
+/// Clients use this to serialize requests into one scratch buffer
+/// reused for the life of a connection.
+pub fn encode_frame_into(out: &mut Vec<u8>, tag: u8, fill: impl FnOnce(&mut Vec<u8>)) {
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(tag);
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    let body_start = out.len();
+    fill(out);
+    let len = (out.len() - body_start) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
 /// A value with a binary wire encoding.
 ///
 /// Implementations come in field order, with collection lengths prefixed;
@@ -559,6 +588,15 @@ impl WireFrame {
     /// Read one frame from a stream. `Ok(None)` on clean EOF at a frame
     /// boundary; mid-frame EOF and malformed headers are errors.
     pub fn read_from(r: &mut impl Read) -> io::Result<Option<Self>> {
+        let mut payload = Vec::new();
+        Ok(Self::read_from_into(r, &mut payload)?.map(|tag| WireFrame { tag, payload }))
+    }
+
+    /// [`WireFrame::read_from`] into a caller-owned payload buffer,
+    /// returning the frame tag. Allocation-free once the buffer's
+    /// capacity covers the frame — streaming clients reuse one buffer
+    /// for every response.
+    pub fn read_from_into(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result<Option<u8>> {
         let mut header = [0u8; FRAME_HEADER_LEN];
         let mut filled = 0;
         while filled < header.len() {
@@ -590,15 +628,43 @@ impl WireFrame {
         if len > MAX_FRAME_LEN {
             return Err(WireError::Malformed("frame length over limit").into());
         }
-        let mut payload = vec![0u8; len as usize];
-        r.read_exact(&mut payload)?;
-        Ok(Some(WireFrame { tag, payload }))
+        payload.clear();
+        payload.resize(len as usize, 0);
+        r.read_exact(payload)?;
+        Ok(Some(tag))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn u64_slice_encoding_is_byte_identical_to_vec_encoding() {
+        for items in [
+            vec![],
+            vec![0u64],
+            vec![1, 127, 128, 300, u64::MAX],
+            (0..1000).collect::<Vec<u64>>(),
+        ] {
+            let mut from_slice = Vec::new();
+            encode_u64_slice_into(&mut from_slice, &items);
+            assert_eq!(from_slice, items.encode());
+            assert_eq!(Vec::<u64>::decode(&from_slice).unwrap(), items);
+        }
+    }
+
+    #[test]
+    fn frame_encoding_into_scratch_is_byte_identical_to_to_bytes() {
+        for items in [vec![], vec![1u64, 127, 128, u64::MAX]] {
+            let frame = WireFrame::from_value(0x10, &items);
+            let mut scratch = vec![0xAA; 3]; // dirty prefix survives untouched
+            let prefix = scratch.len();
+            encode_frame_into(&mut scratch, 0x10, |out| items.encode_into(out));
+            assert_eq!(&scratch[prefix..], frame.to_bytes().as_slice());
+            assert_eq!(&scratch[..prefix], &[0xAA; 3]);
+        }
+    }
 
     fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
         let bytes = value.encode();

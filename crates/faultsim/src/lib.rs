@@ -5,7 +5,7 @@
 //! the degenerate trees a crashing system produces: branches pruned by a
 //! dead shard, merges deferred by a lagging compactor, leaves that never
 //! arrive because a client vanished mid-write. This crate turns that
-//! observation into an executable test: seeded schedules of nine fault
+//! observation into an executable test: seeded schedules of ten fault
 //! classes ([`FaultClass`]) drive a live engine (and, for the wire
 //! classes, a live TCP server), and every schedule ends by asserting the
 //! `ε·n` error bound against an exact oracle on the surviving state, plus

@@ -64,11 +64,14 @@ use crate::transport::{partial_prefix, Corruption};
 /// Summary error parameter every schedule runs at.
 pub const EPS: f64 = 0.02;
 
-/// The nine injected failure modes.
+/// The ten injected failure modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultClass {
     /// Worker threads die mid-stream and are respawned.
     ShardDeath,
+    /// Shard deaths force reroutes while the recycling buffer pool is
+    /// starved, so every batch takes the allocation fallback path.
+    PoolStarve,
     /// Bounded queues saturate; `try_ingest` sheds load.
     Backpressure,
     /// Truncated and bit-flipped frames arrive over TCP.
@@ -92,9 +95,10 @@ pub enum FaultClass {
 
 impl FaultClass {
     /// All classes, in a stable order.
-    pub fn all() -> [FaultClass; 9] {
+    pub fn all() -> [FaultClass; 10] {
         [
             FaultClass::ShardDeath,
+            FaultClass::PoolStarve,
             FaultClass::Backpressure,
             FaultClass::CorruptFrames,
             FaultClass::PartialWrites,
@@ -110,6 +114,7 @@ impl FaultClass {
     pub fn label(&self) -> &'static str {
         match self {
             FaultClass::ShardDeath => "shard-death",
+            FaultClass::PoolStarve => "pool-starve",
             FaultClass::Backpressure => "backpressure",
             FaultClass::CorruptFrames => "corrupt-frames",
             FaultClass::PartialWrites => "partial-writes",
@@ -388,6 +393,7 @@ pub fn run_schedule(
 ) -> Result<ScheduleReport, String> {
     match class {
         FaultClass::ShardDeath => shard_death(kind, seed),
+        FaultClass::PoolStarve => pool_starve(kind, seed),
         FaultClass::Backpressure => backpressure(kind, seed),
         FaultClass::CorruptFrames => corrupt_frames(kind, seed),
         FaultClass::PartialWrites => partial_writes(kind, seed),
@@ -418,6 +424,46 @@ fn shard_death(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
     }
     let snap = engine.shutdown();
     let metrics = engine.metrics();
+    if metrics.shards_lost == 0 || plan.deaths.load(Ordering::Relaxed) == 0 {
+        return Err(h.fail("no shard death was ever triggered"));
+    }
+    if metrics.retries == 0 {
+        return Err(h.fail("no batch was ever rerouted off a dead shard"));
+    }
+    h.finish(&snap.summary, metrics)
+}
+
+/// Class 1b: reroute while the pool is starved. A zero-slot buffer pool
+/// forces every ingest onto the allocation-fallback path (each get a
+/// counted miss, never an error) at the same time as seeded shard deaths
+/// force reroutes — the two degraded paths compose without violating the
+/// loss-slack bound.
+fn pool_starve(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::PoolStarve, kind, seed);
+    let plan = Arc::new(SeededPlan::new(seed).death_every(40));
+    let cfg = base_config(kind, seed)
+        .shards(4)
+        .queue_depth(4)
+        .delta_updates(256)
+        .pool_buffers(0)
+        .fault_plan(Arc::clone(&plan) as Arc<dyn ms_service::FaultPlan>);
+    let engine = Engine::start(cfg).map_err(|e| h.fail(e))?;
+    h.attach(&engine);
+    for batch in stream(40_000, seed).chunks(100) {
+        let mut buf = engine.ingest_buffer();
+        buf.extend_from_slice(batch);
+        engine.ingest(buf).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+    }
+    let snap = engine.shutdown();
+    let metrics = engine.metrics();
+    let (reuses, misses, _) = engine.pool_stats();
+    if misses == 0 {
+        return Err(h.fail("pool was never starved"));
+    }
+    if reuses != 0 {
+        return Err(h.fail("a zero-slot pool cannot serve reuses"));
+    }
     if metrics.shards_lost == 0 || plan.deaths.load(Ordering::Relaxed) == 0 {
         return Err(h.fail("no shard death was ever triggered"));
     }

@@ -34,6 +34,16 @@ fn shard_death_holds_for_every_family() {
 }
 
 #[test]
+fn reroute_while_pool_starved_keeps_the_bound() {
+    let report = run(FaultClass::PoolStarve, SummaryKind::Mg);
+    assert!(report.metrics.shards_lost >= 1, "fault never triggered");
+    assert!(report.metrics.retries >= 1, "no batch was rerouted");
+    // Starvation degrades to allocation, never to data loss beyond what
+    // the dying shards held.
+    assert!(report.surviving_weight > 0);
+}
+
+#[test]
 fn backpressure_sheds_load_without_losing_accepted_data() {
     let report = run(FaultClass::Backpressure, SummaryKind::SpaceSaving);
     assert!(report.metrics.dropped >= 1, "queues never saturated");

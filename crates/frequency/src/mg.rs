@@ -53,6 +53,10 @@ pub struct MgSummary<I> {
     k: usize,
     counters: FxHashMap<I, u64>,
     n: u64,
+    /// Reused sort buffer for [`MgSummary::prune`]; kept empty between
+    /// calls so steady-state merges stop allocating. Never part of the
+    /// logical state (not encoded, not compared).
+    scratch: Vec<u64>,
 }
 
 impl<I: Wire + Eq + Hash> Wire for MgSummary<I> {
@@ -74,7 +78,12 @@ impl<I: Wire + Eq + Hash> Wire for MgSummary<I> {
         if counters.values().sum::<u64>() > n {
             return Err(WireError::Malformed("MG stored weight exceeds n"));
         }
-        Ok(MgSummary { k, counters, n })
+        Ok(MgSummary {
+            k,
+            counters,
+            n,
+            scratch: Vec::new(),
+        })
     }
 }
 
@@ -108,6 +117,7 @@ impl<I: Eq + Hash + Clone> MgSummary<I> {
             k,
             counters: FxHashMap::default(),
             n: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -198,20 +208,43 @@ impl<I: Eq + Hash + Clone> MgSummary<I> {
     pub(crate) fn from_parts(k: usize, counters: FxHashMap<I, u64>, n: u64) -> Self {
         debug_assert!(counters.len() <= k);
         debug_assert!(counters.values().all(|&c| c > 0));
-        MgSummary { k, counters, n }
+        MgSummary {
+            k,
+            counters,
+            n,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// In-place Theorem 1 merge: the same counter-wise combine + prune as
+    /// [`Mergeable::merge`], but mutating `self` instead of consuming and
+    /// reallocating it — the compactor's steady-state path. On error
+    /// (capacity mismatch) `self` is left untouched.
+    pub fn merge_from(&mut self, other: Self) -> Result<()> {
+        ensure_same_capacity("counters (k)", self.k, other.k)?;
+        self.n += other.n;
+        for (item, c) in other.counters {
+            *self.counters.entry(item).or_insert(0) += c;
+        }
+        self.prune();
+        Ok(())
     }
 
     /// Prune to at most `k` counters by subtracting the `(k+1)`-th largest
     /// value from every counter and discarding non-positive ones. No-op if
-    /// at most `k` counters are stored.
+    /// at most `k` counters are stored. Sorts in the reusable `scratch`
+    /// buffer, so repeated prunes allocate nothing.
     fn prune(&mut self) {
         if self.counters.len() <= self.k {
             return;
         }
-        let mut values: Vec<u64> = self.counters.values().copied().collect();
+        let mut values = std::mem::take(&mut self.scratch);
+        values.extend(self.counters.values().copied());
         // (k+1)-th largest = index k of the descending order.
         values.sort_unstable_by(|a, b| b.cmp(a));
         let s = values[self.k];
+        values.clear();
+        self.scratch = values;
         self.counters.retain(|_, c| {
             if *c > s {
                 *c -= s;
@@ -266,14 +299,10 @@ impl<I: Eq + Hash + Clone> ItemSummary<I> for MgSummary<I> {
 
 impl<I: Eq + Hash + Clone> Mergeable for MgSummary<I> {
     /// Theorem 1 merge: counter-wise combine, then prune at the `(k+1)`-th
-    /// largest counter.
+    /// largest counter. Delegates to [`MgSummary::merge_from`] so the
+    /// consuming and in-place forms can never drift apart.
     fn merge(mut self, other: Self) -> Result<Self> {
-        ensure_same_capacity("counters (k)", self.k, other.k)?;
-        self.n += other.n;
-        for (item, c) in other.counters {
-            *self.counters.entry(item).or_insert(0) += c;
-        }
-        self.prune();
+        self.merge_from(other)?;
         Ok(self)
     }
 }
@@ -452,6 +481,42 @@ mod tests {
         assert_eq!(m.estimate(&5), 13);
         assert_eq!(m.estimate(&10), 25);
         assert_eq!(m.estimate(&2), 0);
+    }
+
+    #[test]
+    fn merge_from_is_identical_to_consuming_merge() {
+        use ms_workloads::StreamKind;
+        let items = StreamKind::Zipf {
+            s: 1.2,
+            universe: 500,
+        }
+        .generate(30_000, 11);
+        let build = |range: std::ops::Range<usize>| {
+            let mut mg = MgSummary::new(9);
+            mg.extend_from(items[range].iter().copied());
+            mg
+        };
+        let mut in_place = build(0..10_000);
+        in_place.merge_from(build(10_000..20_000)).unwrap();
+        in_place.merge_from(build(20_000..30_000)).unwrap();
+        let consuming = build(0..10_000)
+            .merge(build(10_000..20_000))
+            .unwrap()
+            .merge(build(20_000..30_000))
+            .unwrap();
+        assert_eq!(in_place.total_weight(), consuming.total_weight());
+        let sorted = |mg: &MgSummary<u64>| {
+            let mut v: Vec<(u64, u64)> = mg.iter().map(|(i, c)| (*i, c)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(&in_place), sorted(&consuming));
+        // Error path leaves self untouched.
+        let mut a = MgSummary::<u64>::new(3);
+        a.update_weighted(1, 5);
+        assert!(a.merge_from(MgSummary::new(4)).is_err());
+        assert_eq!(a.estimate(&1), 5);
+        assert_eq!(a.total_weight(), 5);
     }
 
     #[test]

@@ -130,6 +130,9 @@ pub struct SpaceSavingSummary<I> {
     /// Derived eviction index (streaming representation only); rebuilt on
     /// demand after decoding or cloning from a merged summary.
     index: Option<MinIndex<I>>,
+    /// Reusable sort buffer for the in-place merge's prune step. Kept
+    /// empty between calls; never part of the logical state.
+    scratch: Vec<u64>,
 }
 
 impl<I: Wire + Eq + Hash> Wire for SpaceSavingSummary<I> {
@@ -181,6 +184,7 @@ impl<I: Wire + Eq + Hash> Wire for SpaceSavingSummary<I> {
             n,
             repr,
             index: None,
+            scratch: Vec::new(),
         })
     }
 }
@@ -227,6 +231,7 @@ impl<I: Eq + Hash + Clone> SpaceSavingSummary<I> {
             n: 0,
             repr: Repr::Stream,
             index: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -343,22 +348,67 @@ impl<I: Eq + Hash + Clone> SpaceSavingSummary<I> {
     /// (§3, Lemma 1): subtract the minimum counter from every counter and
     /// drop zeros. A merged-form summary is already MG-form and converts
     /// losslessly.
-    pub fn into_mg(self) -> MgSummary<I> {
-        let k_mg = self.k - 1;
-        match self.repr {
-            Repr::Merged => MgSummary::from_parts(k_mg, self.counters, self.n),
-            Repr::Stream => {
-                let mut counters = self.counters;
-                if counters.len() == self.k {
-                    let m = counters.values().copied().min().unwrap_or(0);
-                    counters.retain(|_, c| {
-                        *c -= m;
-                        *c > 0
-                    });
-                }
-                MgSummary::from_parts(k_mg, counters, self.n)
-            }
+    pub fn into_mg(mut self) -> MgSummary<I> {
+        self.make_merged();
+        MgSummary::from_parts(self.k - 1, self.counters, self.n)
+    }
+
+    /// In-place §3 merge: convert both tables to the MG (`k−1`) form, fold
+    /// `other`'s counters into `self`, and prune — the same result as
+    /// [`Mergeable::merge`] without rebuilding `self`'s counter table. On
+    /// error (capacity mismatch) `self` is left untouched.
+    pub fn merge_from(&mut self, mut other: Self) -> Result<()> {
+        ensure_same_capacity("counters (k)", self.k, other.k)?;
+        self.make_merged();
+        other.make_merged();
+        self.n += other.n;
+        for (item, c) in other.counters {
+            *self.counters.entry(item).or_insert(0) += c;
         }
+        self.prune_merged();
+        Ok(())
+    }
+
+    /// Convert the counter table to the MG (`k−1`) representation in place
+    /// (§3, Lemma 1): when the streaming table is saturated, subtract the
+    /// minimum counter and drop zeros.
+    fn make_merged(&mut self) {
+        if self.repr == Repr::Stream {
+            if self.counters.len() == self.k {
+                let m = self.counters.values().copied().min().unwrap_or(0);
+                self.counters.retain(|_, c| {
+                    *c -= m;
+                    *c > 0
+                });
+            }
+            self.repr = Repr::Merged;
+            self.index = None;
+        }
+    }
+
+    /// MG prune at capacity `k−1`: subtract the `k`-th largest counter
+    /// value from every counter and discard non-positive ones. Sorts in
+    /// the reusable scratch buffer, so repeated prunes allocate nothing.
+    fn prune_merged(&mut self) {
+        let cap = self.k - 1;
+        if self.counters.len() <= cap {
+            return;
+        }
+        let mut values = std::mem::take(&mut self.scratch);
+        values.extend(self.counters.values().copied());
+        values.sort_unstable_by(|a, b| b.cmp(a));
+        let s = values[cap];
+        values.clear();
+        self.scratch = values;
+        self.counters.retain(|_, c| {
+            if *c > s {
+                *c -= s;
+                true
+            } else {
+                false
+            }
+        });
+        debug_assert!(self.counters.len() <= cap);
     }
 
     /// Streaming-representation error: the minimum counter when saturated.
@@ -447,18 +497,9 @@ impl<I: Eq + Hash + Clone> ItemSummary<I> for SpaceSavingSummary<I> {
 impl<I: Eq + Hash + Clone> Mergeable for SpaceSavingSummary<I> {
     /// Merge through the MG isomorphism (§3): `SS(k) ≅ MG(k−1)`, so convert
     /// both, apply Theorem 1, and keep the MG form.
-    fn merge(self, other: Self) -> Result<Self> {
-        ensure_same_capacity("counters (k)", self.k, other.k)?;
-        let k = self.k;
-        let merged = self.into_mg().merge(other.into_mg())?;
-        let n = merged.total_weight();
-        Ok(SpaceSavingSummary {
-            k,
-            counters: merged.into_counters(),
-            n,
-            repr: Repr::Merged,
-            index: None,
-        })
+    fn merge(mut self, other: Self) -> Result<Self> {
+        self.merge_from(other)?;
+        Ok(self)
     }
 }
 
@@ -655,6 +696,38 @@ mod tests {
 
         let oracle = FrequencyOracle::from_stream(items.clone());
         assert_bracket(&merged, &oracle);
+    }
+
+    #[test]
+    fn merge_from_keeps_bracket_and_survives_mismatch() {
+        use ms_workloads::StreamKind;
+        let items = StreamKind::Zipf {
+            s: 1.3,
+            universe: 800,
+        }
+        .generate(30_000, 17);
+        let oracle = FrequencyOracle::from_stream(items.clone());
+        let build = |range: std::ops::Range<usize>| {
+            let mut ss = SpaceSavingSummary::new(12);
+            ss.extend_from(items[range].iter().copied());
+            ss
+        };
+        let mut acc = build(0..10_000);
+        acc.merge_from(build(10_000..20_000)).unwrap();
+        acc.merge_from(build(20_000..30_000)).unwrap();
+        assert_bracket(&acc, &oracle);
+
+        // A capacity mismatch reports the error without touching self.
+        let sorted = |ss: &SpaceSavingSummary<u64>| {
+            let mut v: Vec<(u64, u64)> = ss.iter().map(|(i, c)| (*i, c)).collect();
+            v.sort_unstable();
+            v
+        };
+        let before = sorted(&acc);
+        let err = acc.merge_from(SpaceSavingSummary::new(13));
+        assert!(matches!(err, Err(MergeError::CapacityMismatch { .. })));
+        assert_eq!(sorted(&acc), before);
+        assert_eq!(acc.total_weight(), 30_000);
     }
 
     #[test]

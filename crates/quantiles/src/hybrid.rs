@@ -245,6 +245,38 @@ impl<T: Ord + Clone> HybridQuantile<T> {
         }
     }
 
+    /// In-place §4.3 merge: the same weight alignment, hierarchy absorb
+    /// and partial-block combine as [`Mergeable::merge`], but mutating
+    /// `self` instead of consuming and reallocating it — the compactor's
+    /// steady-state path. On error (mismatched ε or m) `self` is left
+    /// untouched.
+    pub fn merge_from(&mut self, mut other: Self) -> Result<()> {
+        if (self.epsilon - other.epsilon).abs() > f64::EPSILON {
+            return Err(MergeError::EpsilonMismatch {
+                left: self.epsilon,
+                right: other.epsilon,
+            });
+        }
+        ensure_same_capacity("buffer size (m)", self.m, other.m)?;
+        self.rng.absorb(&other.rng);
+        // Align base weights by coarsening the finer summary.
+        let target = self.w.max(other.w);
+        self.coarsen_to(target);
+        other.coarsen_to(target);
+
+        self.n += other.n;
+        self.hierarchy.absorb(other.hierarchy, &mut self.rng);
+        self.enforce_level_cap();
+        for rep in std::mem::take(&mut other.base) {
+            self.push_representative(rep);
+        }
+        if let Some(candidate) = other.block_candidate.take() {
+            self.absorb_block(candidate, other.block_count);
+        }
+        self.enforce_level_cap();
+        Ok(())
+    }
+
     /// All stored points with their weights (the partial block contributes
     /// its candidate at the block's accumulated count).
     fn weighted_points(&self) -> Vec<(T, u64)> {
@@ -330,30 +362,8 @@ impl<T: Ord + Clone> Summary for HybridQuantile<T> {
 }
 
 impl<T: Ord + Clone> Mergeable for HybridQuantile<T> {
-    fn merge(mut self, mut other: Self) -> Result<Self> {
-        if (self.epsilon - other.epsilon).abs() > f64::EPSILON {
-            return Err(MergeError::EpsilonMismatch {
-                left: self.epsilon,
-                right: other.epsilon,
-            });
-        }
-        ensure_same_capacity("buffer size (m)", self.m, other.m)?;
-        self.rng.absorb(&other.rng);
-        // Align base weights by coarsening the finer summary.
-        let target = self.w.max(other.w);
-        self.coarsen_to(target);
-        other.coarsen_to(target);
-
-        self.n += other.n;
-        self.hierarchy.absorb(other.hierarchy, &mut self.rng);
-        self.enforce_level_cap();
-        for rep in std::mem::take(&mut other.base) {
-            self.push_representative(rep);
-        }
-        if let Some(candidate) = other.block_candidate.take() {
-            self.absorb_block(candidate, other.block_count);
-        }
-        self.enforce_level_cap();
+    fn merge(mut self, other: Self) -> Result<Self> {
+        self.merge_from(other)?;
         Ok(self)
     }
 }
@@ -501,6 +511,32 @@ mod tests {
             merged.size(),
             single.size()
         );
+    }
+
+    #[test]
+    fn merge_from_matches_consuming_merge_and_survives_mismatch() {
+        let eps = 0.05;
+        let values = ValueDist::Uniform.generate(40_000, 41);
+        let (left, right) = values.split_at(20_000);
+        let mut in_place = build(left, eps, 5);
+        in_place.merge_from(build(right, eps, 6)).unwrap();
+        let consuming = build(left, eps, 5).merge(build(right, eps, 6)).unwrap();
+        let quantiles = |q: &HybridQuantile<u64>| {
+            (0..=10)
+                .map(|i| q.quantile(i as f64 / 10.0).unwrap())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(in_place.count(), consuming.count());
+        assert_eq!(quantiles(&in_place), quantiles(&consuming));
+
+        // A mismatch reports the error without touching self.
+        let before = quantiles(&in_place);
+        assert!(matches!(
+            in_place.merge_from(HybridQuantile::new(0.2, 0)),
+            Err(MergeError::EpsilonMismatch { .. })
+        ));
+        assert_eq!(quantiles(&in_place), before);
+        assert_eq!(in_place.count(), 40_000);
     }
 
     #[test]

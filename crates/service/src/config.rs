@@ -147,6 +147,11 @@ pub struct ServiceConfig {
     /// Updates a worker absorbs into its delta before handing it to the
     /// compactor and starting a fresh one.
     pub delta_updates: usize,
+    /// Slots in the engine's recycling buffer pool. Workers return each
+    /// absorbed batch's `Vec<u64>` here and [`crate::Engine::ingest_buffer`]
+    /// hands them back out, so a steady-state ingest loop allocates
+    /// nothing. `0` disables recycling (every batch allocates fresh).
+    pub pool_buffers: usize,
     /// Which summary family to maintain.
     pub kind: SummaryKind,
     /// Error parameter ε shared by every shard (merging requires it).
@@ -179,6 +184,7 @@ impl ServiceConfig {
             shards: 4,
             queue_depth: 64,
             delta_updates: 16_384,
+            pool_buffers: 512,
             kind,
             epsilon,
             seed: 0x5E1F,
@@ -204,6 +210,12 @@ impl ServiceConfig {
     /// Set the per-worker delta hand-off threshold.
     pub fn delta_updates(mut self, updates: usize) -> Self {
         self.delta_updates = updates;
+        self
+    }
+
+    /// Set the recycling buffer-pool size (`0` disables recycling).
+    pub fn pool_buffers(mut self, buffers: usize) -> Self {
+        self.pool_buffers = buffers;
         self
     }
 

@@ -31,26 +31,42 @@
 //!
 //! The engine is built to *degrade*, not die. A worker thread that exits
 //! without warning (injected via [`crate::FaultPlan`], or a panic inside a
-//! summary) loses only its un-handed-off delta and whatever batches were
-//! still queued behind it; every delta already merged by the compactor
-//! stays in the published snapshot, which remains a valid `ε·n'` summary of
-//! the `n'` updates that survived — that is the mergeability theorem doing
-//! systems work. Ingest detects the dead shard on the next send, counts it
-//! in [`MetricsReport::shards_lost`], reroutes the batch (counted in
+//! summary) loses only its un-handed-off delta and the batch it was
+//! holding; every delta already merged by the compactor stays in the
+//! published snapshot, which remains a valid `ε·n'` summary of the `n'`
+//! updates that survived — that is the mergeability theorem doing systems
+//! work. Ingest detects the dead shard on the next send, counts it in
+//! [`MetricsReport::shards_lost`], reroutes the batch (counted in
 //! [`MetricsReport::retries`]) and, when `respawn_lost_shards` is set,
-//! restarts the worker with a fresh delta. Fallible operations return
-//! [`ServiceError`] instead of panicking, and internal locks tolerate
-//! poisoning (a panicking worker cannot take queries down with it).
+//! restarts the worker with a fresh delta. Batches still queued on the
+//! shard's ring at the moment of death stay there and are absorbed by the
+//! respawned worker (they are dropped only when the shard is tombstoned).
+//! Fallible operations return [`ServiceError`] instead of panicking, and
+//! internal locks tolerate poisoning (a panicking worker cannot take
+//! queries down with it).
+//!
+//! ## Hot path
+//!
+//! In steady state one `ingest(batch)` call performs **zero heap
+//! allocations and zero shared-lock acquisitions**: the shard table is an
+//! atomically swapped snapshot ([`ms_core::SwapCell`], one `Acquire` load
+//! to read), each shard queue is a bounded lock-free ring
+//! ([`ms_core::Ring`]), batch buffers and WAL encode buffers recycle
+//! through [`ms_core::BufferPool`]s, and durable appends go through
+//! leader–follower group commit ([`ms_store::GroupCommit`]) so the store
+//! mutex is amortized across concurrent callers. See DESIGN.md §Hot path
+//! for the per-operation budget.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use ms_core::{Mergeable, ServiceError, Summary, Wire};
+use ms_core::wire::encode_u64_slice_into;
+use ms_core::{BufferPool, Mergeable, PushError, Ring, ServiceError, Summary, SwapCell, Wire};
 use ms_obs::RegistrySnapshot;
-use ms_store::Store;
+use ms_store::{GroupCommit, Store};
 
 use crate::config::{DurabilityConfig, ServiceConfig};
 use crate::fault::FaultAction;
@@ -145,6 +161,9 @@ struct Durable {
     /// so "appended" and "visible to the flush barrier" stay in lockstep.
     pause: RwLock<()>,
     store: Mutex<Store>,
+    /// Leader–follower group commit over `store`: concurrent appends
+    /// share one store-lock round and at most one fsync per group.
+    group: GroupCommit,
     batches_since_ckpt: AtomicU64,
     /// `None` once the checkpointer stopped. A trigger may carry an ack
     /// sender ([`Engine::checkpoint_now`] waits on it).
@@ -169,14 +188,37 @@ enum CompactMsg {
     /// Request a consistent clone of the per-shard accumulators (empty
     /// when durability is off); also publishes the global summary.
     Checkpoint(Sender<Vec<ShardSummary>>),
+    /// Shut the compactor down. The engine caches a plain `Sender` (no
+    /// lock on the hand-off path), so the channel never disconnects by
+    /// itself; this sentinel is the explicit stop signal.
+    Stop,
 }
 
-/// One ingest shard: its queue sender (None = dead and not respawned) and a
-/// generation counter so concurrent senders agree on *which* incarnation
-/// died (only the first failure against a generation is a death event).
-struct ShardSlot {
+/// One ingest shard in the lock-free table: its bounded ring, a generation
+/// counter so concurrent senders agree on *which* incarnation died (only
+/// the first failure against a generation is a death event), and whether a
+/// worker is currently consuming the ring.
+#[derive(Clone)]
+struct TableSlot {
     gen: u64,
-    tx: Option<SyncSender<WorkerMsg>>,
+    ring: Arc<Ring<WorkerMsg>>,
+    alive: bool,
+}
+
+/// The shard table. Readers get it from a [`SwapCell`] with one atomic
+/// load; topology changes (death, respawn, drain) clone-and-swap a new
+/// table under the engine's `table_write` mutex.
+struct ShardTable {
+    slots: Vec<TableSlot>,
+}
+
+impl ShardTable {
+    /// A copy of this table with `shard` replaced by `slot`.
+    fn with_slot(&self, shard: usize, slot: TableSlot) -> ShardTable {
+        let mut slots = self.slots.clone();
+        slots[shard] = slot;
+        ShardTable { slots }
+    }
 }
 
 /// Lock helpers: a poisoned lock means some thread panicked while holding
@@ -198,11 +240,24 @@ fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 /// `Arc<Engine>`; all public methods take `&self`.
 pub struct Engine {
     cfg: ServiceConfig,
-    shards: RwLock<Vec<ShardSlot>>,
+    /// Lock-free shard-table snapshot: the ingest hot path reads it with
+    /// one `Acquire` load and never takes a lock.
+    table: SwapCell<ShardTable>,
+    /// Serializes table swaps (deaths, respawns, shutdown — all rare).
+    table_write: Mutex<()>,
     /// Cumulative per-shard batch indices, shared with workers so a
     /// respawned worker continues the count (fault plans key off it).
     batch_indices: Arc<Vec<AtomicU64>>,
-    compact_tx: Mutex<Option<Sender<CompactMsg>>>,
+    /// Cached plain sender: cloned per worker spawn, never locked. The
+    /// compactor exits on [`CompactMsg::Stop`], after which sends fail
+    /// with a disconnect the callers map to [`ServiceError::Shutdown`].
+    compact_tx: Sender<CompactMsg>,
+    /// Recycled ingest batch buffers (`Vec<u64>`); workers return each
+    /// absorbed batch here, [`Engine::ingest_buffer`] hands them out.
+    pool: Arc<BufferPool<u64>>,
+    /// Recycled WAL encode buffers (`Vec<u8>`), refilled by the
+    /// group-commit leader once a group is appended.
+    wal_pool: Arc<BufferPool<u8>>,
     snapshot: RwLock<Arc<Snapshot>>,
     counters: Arc<Counters>,
     next_shard: AtomicUsize,
@@ -239,22 +294,32 @@ impl Engine {
                 .collect::<Vec<_>>(),
         );
 
+        let pool = Arc::new(BufferPool::new(cfg.pool_buffers));
+        // WAL encode buffers only circulate on durable engines.
+        let wal_pool = Arc::new(BufferPool::new(if cfg.durability.is_some() {
+            cfg.pool_buffers
+        } else {
+            0
+        }));
+
         let mut slots = Vec::with_capacity(cfg.shards);
         let mut worker_handles = Vec::with_capacity(cfg.shards);
         for shard in 0..cfg.shards {
-            let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(cfg.queue_depth);
+            let ring = Arc::new(Ring::with_capacity(cfg.queue_depth));
             let handle = spawn_worker(
                 shard,
                 cfg.clone(),
-                rx,
+                Arc::clone(&ring),
                 compact_tx.clone(),
                 Arc::clone(&counters),
                 Arc::clone(&batch_indices),
                 Arc::clone(&telemetry),
+                Arc::clone(&pool),
             )?;
-            slots.push(ShardSlot {
+            slots.push(TableSlot {
                 gen: 0,
-                tx: Some(tx),
+                ring,
+                alive: true,
             });
             worker_handles.push(handle);
         }
@@ -268,10 +333,15 @@ impl Engine {
                 .as_ref()
                 .and_then(|r| r.checkpoint.as_ref())
                 .map_or(0, |c| c.wal_seq);
+            let group = {
+                let wal_pool = Arc::clone(&wal_pool);
+                GroupCommit::new().with_recycler(move |buf| wal_pool.put(buf))
+            };
             Durable {
                 cfg: cfg.durability.clone().expect("checked by opened"),
                 pause: RwLock::new(()),
                 store: Mutex::new(store),
+                group,
                 batches_since_ckpt: AtomicU64::new(0),
                 trigger_tx: Mutex::new(None),
                 checkpointer: Mutex::new(None),
@@ -288,9 +358,12 @@ impl Engine {
                 published_at: Instant::now(),
             })),
             cfg: cfg.clone(),
-            shards: RwLock::new(slots),
+            table: SwapCell::new(ShardTable { slots }),
+            table_write: Mutex::new(()),
             batch_indices,
-            compact_tx: Mutex::new(Some(compact_tx)),
+            compact_tx,
+            pool,
+            wal_pool,
             counters,
             next_shard: AtomicUsize::new(0),
             stopped: AtomicBool::new(false),
@@ -360,11 +433,10 @@ impl Engine {
                     })?;
                 parts.push(merged);
             }
-            let guard = lock(&self.compact_tx);
-            let tx = guard.as_ref().ok_or(ServiceError::Shutdown)?;
             for (i, part) in parts.into_iter().enumerate() {
                 report.preloaded_weight += part.total_weight();
-                tx.send(CompactMsg::Delta(i % self.cfg.shards, part))
+                self.compact_tx
+                    .send(CompactMsg::Delta(i % self.cfg.shards, part))
                     .map_err(|_| ServiceError::Shutdown)?;
             }
         }
@@ -392,75 +464,96 @@ impl Engine {
         &self.cfg
     }
 
-    /// Clone the sender for `shard` if it is alive, with its generation.
-    fn shard_sender(&self, shard: usize) -> Option<(u64, SyncSender<WorkerMsg>)> {
-        let shards = read(&self.shards);
-        let slot = &shards[shard];
-        slot.tx.clone().map(|tx| (slot.gen, tx))
+    /// A recycled buffer for building the next [`Engine::ingest`] batch:
+    /// cleared, with its previous capacity intact, when the pool has one
+    /// idle; freshly allocated otherwise. Workers return every absorbed
+    /// batch to the pool, so an ingest loop that takes its buffers from
+    /// here reaches a steady state that allocates nothing at all.
+    pub fn ingest_buffer(&self) -> Vec<u64> {
+        self.pool.get()
     }
 
-    /// True when no shard has a live queue.
+    /// Buffer-pool traffic: `(reuses, misses, discards)` so far.
+    pub fn pool_stats(&self) -> (u64, u64, u64) {
+        (self.pool.reuses(), self.pool.misses(), self.pool.discards())
+    }
+
+    /// True when no shard has a live worker.
     fn all_shards_dead(&self) -> bool {
-        read(&self.shards).iter().all(|s| s.tx.is_none())
+        self.table.load().slots.iter().all(|s| !s.alive)
     }
 
     /// Handle the death of `shard` at generation `gen`: count it once,
     /// respawn (if configured and not shutting down) or tombstone the slot.
     fn note_dead_shard(&self, shard: usize, gen: u64) {
-        let respawn = {
-            let mut shards = write(&self.shards);
-            let slot = &mut shards[shard];
-            if slot.gen != gen {
-                // Another thread already handled this incarnation's death.
-                return;
-            }
-            slot.gen += 1;
-            slot.tx = None;
-            // Release pairs with the Acquire load in `metrics`: a report
-            // that observes engine state derived from this death (e.g. the
-            // retried batch) also observes the incremented counter.
-            self.counters.shards_lost.fetch_add(1, Ordering::Release);
-            self.telemetry
-                .event("shard_death", &[("shard", shard as u64), ("gen", gen)]);
-            // The dead worker's queued batches are gone with its receiver.
-            self.telemetry.queue_reset(shard);
-            self.cfg.respawn_lost_shards && !self.stopped.load(Ordering::Acquire)
-        };
-        if !respawn {
+        let _topology = lock(&self.table_write);
+        let table = self.table.load();
+        let slot = &table.slots[shard];
+        if slot.gen != gen {
+            // Another thread already handled this incarnation's death.
             return;
         }
-        let Some(compact_tx) = lock(&self.compact_tx).clone() else {
-            return; // compactor already closed: shutdown is racing us
-        };
-        let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(self.cfg.queue_depth);
-        match spawn_worker(
-            shard,
-            self.cfg.clone(),
-            rx,
-            compact_tx,
-            Arc::clone(&self.counters),
-            Arc::clone(&self.batch_indices),
-            Arc::clone(&self.telemetry),
-        ) {
-            Ok(handle) => {
-                self.telemetry
-                    .event("shard_respawn", &[("shard", shard as u64)]);
-                let mut shards = write(&self.shards);
-                // Install only if the slot is still vacant AND shutdown has
-                // not started meanwhile: `shutdown` sets `stopped` before
-                // taking this lock, so a worker installed here is guaranteed
-                // to be seen (and joined) by it. Otherwise drop `tx` — the
-                // fresh worker finds its queue closed and exits on its own.
-                if !self.stopped.load(Ordering::Acquire) && shards[shard].tx.is_none() {
-                    shards[shard].tx = Some(tx);
+        let ring = Arc::clone(&slot.ring);
+        // Release pairs with the Acquire load in `metrics`: a report
+        // that observes engine state derived from this death (e.g. the
+        // retried batch) also observes the incremented counter.
+        self.counters.shards_lost.fetch_add(1, Ordering::Release);
+        self.telemetry
+            .event("shard_death", &[("shard", shard as u64), ("gen", gen)]);
+        // `shutdown` sets `stopped` before taking `table_write`, so a
+        // worker spawned under this lock is guaranteed to be seen (and
+        // joined) by the drain.
+        if self.cfg.respawn_lost_shards && !self.stopped.load(Ordering::Acquire) {
+            // Reopen the ring *before* the worker starts: batches queued
+            // at the moment of death stay inside and are absorbed by the
+            // successor instead of being lost. (A dead ring pops its
+            // retained items and then reports drained, so a worker
+            // started first would exit immediately.)
+            ring.revive();
+            match spawn_worker(
+                shard,
+                self.cfg.clone(),
+                Arc::clone(&ring),
+                self.compact_tx.clone(),
+                Arc::clone(&self.counters),
+                Arc::clone(&self.batch_indices),
+                Arc::clone(&self.telemetry),
+                Arc::clone(&self.pool),
+            ) {
+                Ok(handle) => {
+                    self.telemetry
+                        .event("shard_respawn", &[("shard", shard as u64)]);
+                    self.table.swap(table.with_slot(
+                        shard,
+                        TableSlot {
+                            gen: gen + 1,
+                            ring,
+                            alive: true,
+                        },
+                    ));
                     lock(&self.worker_handles).push(handle);
+                    return;
+                }
+                Err(_) => {
+                    // Could not respawn: fall through to the tombstone
+                    // path; ingest keeps rerouting to surviving shards.
+                    ring.mark_dead();
                 }
             }
-            Err(_) => {
-                // Could not respawn: the slot stays tombstoned and ingest
-                // keeps rerouting to the surviving shards.
-            }
         }
+        // Tombstone the slot. Drain the dead ring now: its batches are
+        // lost either way, and a retained `Flush` ack sender would
+        // otherwise keep a flush barrier waiting forever.
+        self.table.swap(table.with_slot(
+            shard,
+            TableSlot {
+                gen: gen + 1,
+                ring: Arc::clone(&ring),
+                alive: false,
+            },
+        ));
+        while ring.try_pop().is_some() {}
+        self.telemetry.queue_reset(shard);
     }
 
     /// Enqueue a batch on the next live shard, blocking while its queue is
@@ -478,17 +571,28 @@ impl Engine {
         self.enqueue(batch)
     }
 
-    /// Append one batch to the WAL and trigger a background checkpoint at
-    /// the configured cadence. No-op for in-memory engines. The caller
-    /// holds the checkpoint pause lock for read, so the append and the
-    /// subsequent enqueue land on the same side of any checkpoint cut.
+    /// Append one batch to the WAL via group commit and trigger a
+    /// background checkpoint at the configured cadence. No-op for
+    /// in-memory engines. The caller holds the checkpoint pause lock for
+    /// read, so the append and the subsequent enqueue land on the same
+    /// side of any checkpoint cut.
+    ///
+    /// The encode buffer comes from (and returns to) `wal_pool`, and the
+    /// batch is encoded in place from the borrowed slice, so the durable
+    /// hot path allocates nothing in steady state either.
     fn append_durable(&self, batch: &[u64]) -> Result<(), ServiceError> {
         let Some(d) = &self.durable else {
             return Ok(());
         };
-        let appended = lock(&d.store).wal.append(&batch.to_vec().encode())?;
-        self.telemetry
-            .record_wal_append(appended.bytes, appended.synced);
+        let mut payload = self.wal_pool.get();
+        encode_u64_slice_into(&mut payload, batch);
+        let outcome = d.group.append(&d.store, payload)?;
+        self.telemetry.record_wal_group(
+            outcome.led.groups,
+            outcome.led.records,
+            outcome.led.bytes,
+            outcome.led.fsyncs,
+        );
         let since = d.batches_since_ckpt.fetch_add(1, Ordering::Relaxed) + 1;
         if since % d.cfg.checkpoint_batches == 0 {
             if let Some(tx) = lock(&d.trigger_tx).as_ref() {
@@ -509,32 +613,32 @@ impl Engine {
             if self.stopped.load(Ordering::Acquire) {
                 return Err(ServiceError::Shutdown);
             }
+            let table = self.table.load();
             let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % shard_count;
-            let Some((gen, tx)) = self.shard_sender(shard) else {
+            let slot = &table.slots[shard];
+            if !slot.alive {
                 failures += 1;
                 if failures >= shard_count && self.all_shards_dead() {
                     return Err(self.all_shards_lost());
                 }
                 continue;
-            };
-            match tx.send(WorkerMsg::Batch(batch, Instant::now())) {
+            }
+            match slot.ring.push(WorkerMsg::Batch(batch, Instant::now())) {
                 Ok(()) => {
                     self.counters.batches.fetch_add(1, Ordering::Relaxed);
                     self.telemetry.queue_pushed(shard);
                     return Ok(());
                 }
-                Err(mpsc::SendError(msg)) => {
-                    let WorkerMsg::Batch(b, _) = msg else {
-                        unreachable!()
-                    };
+                Err(WorkerMsg::Batch(b, _)) => {
                     batch = b;
-                    self.note_dead_shard(shard, gen);
+                    self.note_dead_shard(shard, slot.gen);
                     self.counters.retries.fetch_add(1, Ordering::Release);
                     failures += 1;
                     if failures >= shard_count.saturating_mul(2) && self.all_shards_dead() {
                         return Err(self.all_shards_lost());
                     }
                 }
+                Err(WorkerMsg::Flush(_)) => unreachable!("push hands back what it was given"),
             }
         }
     }
@@ -558,33 +662,35 @@ impl Engine {
         let mut batch = batch;
         let mut attempts = 0usize;
         while attempts < shard_count.saturating_mul(2) {
+            let table = self.table.load();
             let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % shard_count;
-            let Some((gen, tx)) = self.shard_sender(shard) else {
+            let slot = &table.slots[shard];
+            if !slot.alive {
                 attempts += 1;
                 if self.all_shards_dead() {
                     return Err(self.all_shards_lost());
                 }
                 continue;
-            };
-            match tx.try_send(WorkerMsg::Batch(batch, Instant::now())) {
+            }
+            match slot.ring.try_push(WorkerMsg::Batch(batch, Instant::now())) {
                 Ok(()) => {
                     self.counters.batches.fetch_add(1, Ordering::Relaxed);
                     self.telemetry.queue_pushed(shard);
                     return Ok(());
                 }
-                Err(TrySendError::Full(_)) => {
+                Err(PushError::Full(WorkerMsg::Batch(b, _))) => {
                     self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    // The caller handed the buffer over; recycle it.
+                    self.pool.put(b);
                     return Err(ServiceError::Backpressure);
                 }
-                Err(TrySendError::Disconnected(msg)) => {
-                    let WorkerMsg::Batch(b, _) = msg else {
-                        unreachable!()
-                    };
+                Err(PushError::Closed(WorkerMsg::Batch(b, _))) => {
                     batch = b;
-                    self.note_dead_shard(shard, gen);
+                    self.note_dead_shard(shard, slot.gen);
                     self.counters.retries.fetch_add(1, Ordering::Release);
                     attempts += 1;
                 }
+                Err(_) => unreachable!("try_push hands back what it was given"),
             }
         }
         Err(self.all_shards_lost())
@@ -611,19 +717,11 @@ impl Engine {
         }
         self.flush_workers();
         let (pub_tx, pub_rx) = mpsc::channel();
-        let sent = {
-            let guard = lock(&self.compact_tx);
-            match guard.as_ref() {
-                Some(tx) => tx.send(CompactMsg::Publish(pub_tx)).is_ok(),
-                None => false,
-            }
-        };
-        if sent {
-            let _ = pub_rx.recv();
-            Ok(())
-        } else {
-            Err(ServiceError::Shutdown)
+        if self.compact_tx.send(CompactMsg::Publish(pub_tx)).is_err() {
+            return Err(ServiceError::Shutdown);
         }
+        let _ = pub_rx.recv();
+        Ok(())
     }
 
     /// Make every live worker hand its delta to the compactor and wait for
@@ -631,21 +729,42 @@ impl Engine {
     fn flush_workers(&self) {
         let (ack_tx, ack_rx) = mpsc::channel();
         let mut waiting = 0;
-        let targets: Vec<(usize, u64, SyncSender<WorkerMsg>)> = read(&self.shards)
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.tx.clone().map(|tx| (i, s.gen, tx)))
-            .collect();
-        for (shard, gen, tx) in targets {
-            if tx.send(WorkerMsg::Flush(ack_tx.clone())).is_ok() {
-                waiting += 1;
-            } else {
-                self.note_dead_shard(shard, gen);
+        let targets: Vec<(usize, u64, Arc<Ring<WorkerMsg>>)> = {
+            let table = self.table.load();
+            table
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.alive)
+                .map(|(i, s)| (i, s.gen, Arc::clone(&s.ring)))
+                .collect()
+        };
+        for (shard, gen, ring) in targets {
+            match ring.push(WorkerMsg::Flush(ack_tx.clone())) {
+                Ok(()) => waiting += 1,
+                Err(_) => self.note_dead_shard(shard, gen),
             }
         }
         drop(ack_tx);
-        for _ in 0..waiting {
-            let _ = ack_rx.recv();
+        // A worker can die *after* our Flush landed on its ring; the ring
+        // then retains the message (and its ack sender) for a successor.
+        // Poll for unnoticed deaths while waiting so the respawn (which
+        // acks the retained Flush) or the tombstone drain (which drops
+        // it, disconnecting the channel) releases us.
+        let mut received = 0;
+        while received < waiting {
+            match ack_rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                Ok(()) => received += 1,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let table = self.table.load();
+                    for (shard, slot) in table.slots.iter().enumerate() {
+                        if slot.alive && slot.ring.is_dead() {
+                            self.note_dead_shard(shard, slot.gen);
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
         }
     }
 
@@ -688,11 +807,7 @@ impl Engine {
             let cut = lock(&d.store).wal.last_seq();
             self.flush_workers();
             let (tx, rx) = mpsc::channel();
-            let guard = lock(&self.compact_tx);
-            let Some(compact) = guard.as_ref() else {
-                return Err(ServiceError::Shutdown);
-            };
-            if compact.send(CompactMsg::Checkpoint(tx)).is_err() {
+            if self.compact_tx.send(CompactMsg::Checkpoint(tx)).is_err() {
                 return Err(ServiceError::Shutdown);
             }
             (cut, rx)
@@ -782,6 +897,9 @@ impl Engine {
                 ("dropped_total".to_string(), m.dropped),
                 ("frames_rejected_total".to_string(), m.frames_rejected),
                 ("merges_total".to_string(), m.merges),
+                ("pool_discards_total".to_string(), self.pool.discards()),
+                ("pool_misses_total".to_string(), self.pool.misses()),
+                ("pool_reuses_total".to_string(), self.pool.reuses()),
                 ("retries_total".to_string(), m.retries),
                 ("shards_lost_total".to_string(), m.shards_lost),
                 ("updates_total".to_string(), m.updates),
@@ -877,11 +995,7 @@ impl Engine {
             // All deltas are on the compactor queue; the Checkpoint
             // message drains behind them and snapshots the accumulators.
             let (tx, rx) = mpsc::channel();
-            let sent = match lock(&self.compact_tx).as_ref() {
-                Some(compact) => compact.send(CompactMsg::Checkpoint(tx)).is_ok(),
-                None => false,
-            };
-            if sent {
+            if self.compact_tx.send(CompactMsg::Checkpoint(tx)).is_ok() {
                 if let Ok(parts) = rx.recv() {
                     let cut = lock(&d.store).wal.last_seq();
                     if self.write_checkpoint(&parts, cut).is_err() {
@@ -890,13 +1004,12 @@ impl Engine {
                 }
             }
         }
-        // Publish whatever the compactor accumulated, then close its queue.
+        // Publish whatever the compactor accumulated, then stop it.
         let (pub_tx, pub_rx) = mpsc::channel();
-        if let Some(tx) = lock(&self.compact_tx).take() {
-            if tx.send(CompactMsg::Publish(pub_tx)).is_ok() {
-                let _ = pub_rx.recv();
-            }
+        if self.compact_tx.send(CompactMsg::Publish(pub_tx)).is_ok() {
+            let _ = pub_rx.recv();
         }
+        let _ = self.compact_tx.send(CompactMsg::Stop);
         if let Some(handle) = lock(&self.compactor_handle).take() {
             let _ = handle.join();
         }
@@ -916,48 +1029,83 @@ impl Engine {
         }
         self.stop_checkpointer();
         self.drain_workers();
-        // Close the compactor without a final publish: queries keep
+        // Stop the compactor without a final publish: queries keep
         // answering from the last published snapshot, like a real crash
         // survivor's client would have seen.
-        drop(lock(&self.compact_tx).take());
+        let _ = self.compact_tx.send(CompactMsg::Stop);
         if let Some(handle) = lock(&self.compactor_handle).take() {
             let _ = handle.join();
         }
     }
 
-    /// Close every worker queue and join the workers. Each worker drains
-    /// its remaining queued batches and hands off its delta on disconnect.
+    /// Close every worker ring and join the workers. Each worker drains
+    /// its remaining queued batches and hands off its delta when its ring
+    /// reports empty-and-closed.
     fn drain_workers(&self) {
-        let txs: Vec<SyncSender<WorkerMsg>> = {
-            let mut shards = write(&self.shards);
-            shards
-                .iter_mut()
-                .filter_map(|slot| {
-                    slot.gen += 1;
-                    slot.tx.take()
+        let rings: Vec<Arc<Ring<WorkerMsg>>> = {
+            let _topology = lock(&self.table_write);
+            let table = self.table.load();
+            // Bump every generation while closing, so a racing
+            // `note_dead_shard` against the old incarnations mismatches
+            // and does not count shutdown as shard deaths.
+            let slots: Vec<TableSlot> = table
+                .slots
+                .iter()
+                .map(|s| TableSlot {
+                    gen: s.gen + 1,
+                    ring: Arc::clone(&s.ring),
+                    alive: false,
                 })
-                .collect()
+                .collect();
+            let rings = slots.iter().map(|s| Arc::clone(&s.ring)).collect();
+            self.table.swap(ShardTable { slots });
+            rings
         };
-        drop(txs);
+        for ring in &rings {
+            ring.close();
+        }
         for handle in lock(&self.worker_handles).drain(..) {
             let _ = handle.join();
         }
     }
 }
 
+/// Marks the worker's ring dead if the worker exits without finishing a
+/// clean drain — an injected death or a panic inside a summary. Producers
+/// then get `Closed` (and reroute) instead of blocking forever, and the
+/// engine revives the ring for a respawned successor.
+struct RingGuard {
+    ring: Arc<Ring<WorkerMsg>>,
+    clean: bool,
+}
+
+impl Drop for RingGuard {
+    fn drop(&mut self) {
+        if !self.clean {
+            self.ring.mark_dead();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn spawn_worker(
     shard: usize,
     cfg: ServiceConfig,
-    rx: Receiver<WorkerMsg>,
+    ring: Arc<Ring<WorkerMsg>>,
     compact_tx: Sender<CompactMsg>,
     counters: Arc<Counters>,
     batch_indices: Arc<Vec<AtomicU64>>,
     telemetry: Arc<EngineTelemetry>,
+    pool: Arc<BufferPool<u64>>,
 ) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("ms-worker-{shard}"))
         .spawn(move || {
             let trace = telemetry.recorder().register(&format!("worker-{shard}"));
+            let mut sentinel = RingGuard {
+                ring: Arc::clone(&ring),
+                clean: false,
+            };
             let mut delta = ShardSummary::new(&cfg, shard);
             let mut pending = 0usize;
             let hand_off = |delta: &mut ShardSummary, pending: &mut usize| {
@@ -967,7 +1115,7 @@ fn spawn_worker(
                     *pending = 0;
                 }
             };
-            for msg in rx {
+            while let Some(msg) = ring.pop_wait() {
                 match msg {
                     WorkerMsg::Batch(items, enqueued) => {
                         telemetry.queue_popped(shard);
@@ -980,9 +1128,11 @@ fn spawn_worker(
                                 std::thread::sleep(std::time::Duration::from_millis(ms));
                             }
                             FaultAction::Die => {
-                                // Crash semantics: the pending delta and all
-                                // queued batches are lost; deltas already
-                                // handed off survive in the global summary.
+                                // Crash semantics: the pending delta and
+                                // the batch in hand are lost; deltas
+                                // already handed off survive in the global
+                                // summary, and batches still on the ring
+                                // survive for a respawned successor.
                                 trace.event(
                                     "worker_die",
                                     &[("batch_index", index), ("pending", pending as u64)],
@@ -995,10 +1145,13 @@ fn spawn_worker(
                             .fetch_add(items.len() as u64, Ordering::Relaxed);
                         pending += items.len();
                         let (_, micros) = timed(|| {
-                            for item in items {
+                            for &item in &items {
                                 delta.update(item);
                             }
                         });
+                        // The absorbed batch buffer goes back to the pool
+                        // for the next ingest caller.
+                        pool.put(items);
                         telemetry.record_ingest_batch(shard, micros);
                         if pending >= cfg.delta_updates {
                             let handed = pending as u64;
@@ -1012,11 +1165,12 @@ fn spawn_worker(
                     }
                 }
             }
-            // The queue disconnected: every sender — the engine's slot and
-            // any clone a racing ingest held — is gone, so everything that
-            // was ever acked onto this queue has been absorbed above.
-            // Hand off the final delta; shutdown publishes it.
+            // The ring closed and drained: everything that was ever acked
+            // onto this shard — including pushes that were in flight when
+            // the close landed — has been absorbed above. Hand off the
+            // final delta; shutdown publishes it.
             hand_off(&mut delta, &mut pending);
+            sentinel.clean = true;
         })
 }
 
@@ -1052,18 +1206,17 @@ fn spawn_compactor(
                         }
                         let mut span = ms_obs::span!(trace, "compact", merge_index = merge_index);
                         if let Some(accs) = accumulators.as_mut() {
-                            if let Ok(folded) = accs[shard].clone().merge(delta.clone()) {
-                                accs[shard] = folded;
-                            }
+                            let _ = accs[shard].merge_in_place(delta.clone());
                         }
-                        let (merged, micros) = timed(|| global.clone().merge(delta));
-                        match merged {
-                            Ok(merged) => global = merged,
+                        // In-place: the global summary's storage is reused
+                        // across merges instead of being cloned per delta.
+                        let (merged, micros) = timed(|| global.merge_in_place(delta));
+                        if merged.is_err() {
                             // Deltas come from ShardSummary::new under the
                             // same config, so kinds/ε always match; a
-                            // failure here would be an engine bug. Keep the
-                            // previous global rather than poisoning it.
-                            Err(_) => continue,
+                            // failure here would be an engine bug. The
+                            // in-place merge left `global` untouched.
+                            continue;
                         }
                         // The compactor folds deltas left-deep, so the
                         // snapshot's merge tree is `merge_index` deep.
@@ -1080,6 +1233,7 @@ fn spawn_compactor(
                         engine.publish(global.clone());
                         let _ = ack.send(accumulators.clone().unwrap_or_default());
                     }
+                    CompactMsg::Stop => break,
                 }
             }
         })
@@ -1176,6 +1330,54 @@ mod tests {
         assert_eq!(m.dropped, rejected);
         engine.shutdown();
         assert_eq!(engine.metrics().updates, accepted * 512);
+    }
+
+    #[test]
+    fn pool_disabled_degrades_to_plain_allocation_with_counted_misses() {
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.05)
+            .shards(2)
+            .pool_buffers(0);
+        let engine = Engine::start(cfg).unwrap();
+        for _ in 0..50 {
+            let mut batch = engine.ingest_buffer();
+            batch.extend_from_slice(&[7; 100]);
+            engine.ingest(batch).unwrap();
+        }
+        let (reuses, misses, _) = engine.pool_stats();
+        assert_eq!(reuses, 0, "a zero-slot pool cannot serve reuses");
+        assert!(misses >= 50, "every get must be a counted miss");
+        let snap = engine.shutdown();
+        assert_eq!(snap.summary.total_weight(), 5_000);
+    }
+
+    #[test]
+    fn backpressure_recycles_the_rejected_buffer_into_the_pool() {
+        let cfg = ServiceConfig::new(SummaryKind::Mg, 0.1)
+            .shards(1)
+            .queue_depth(1)
+            .pool_buffers(4);
+        let engine = Engine::start(cfg).unwrap();
+        let mut rejected = 0u64;
+        for _ in 0..2_000 {
+            let mut batch = engine.ingest_buffer();
+            batch.extend_from_slice(&[1; 512]);
+            match engine.try_ingest(batch) {
+                Ok(()) => {}
+                Err(ServiceError::Backpressure) => rejected += 1,
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(rejected > 0, "queue never filled");
+        // A rejected batch hands its buffer straight back to the pool, so
+        // nearly every get is a reuse; if rejection dropped buffers on the
+        // floor instead, every get after the bootstrap would be a miss.
+        let (reuses, misses, _) = engine.pool_stats();
+        assert!(
+            misses < 200,
+            "rejected buffers were not recycled (misses={misses}, rejected={rejected})"
+        );
+        assert!(reuses > 1_800, "pool served {reuses} of 2000 gets");
+        engine.shutdown();
     }
 
     #[test]

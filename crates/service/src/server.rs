@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ms_core::wire::FRAME_HEADER_LEN;
+use ms_core::wire::{encode_frame_into, encode_u64_slice_into, FRAME_HEADER_LEN};
 use ms_core::{ServiceError, Wire, WireFrame};
 use ms_obs::RegistrySnapshot;
 
@@ -239,6 +239,12 @@ pub struct Client {
     opts: ClientOptions,
     stream: Option<TcpStream>,
     retries_performed: u64,
+    /// Request-frame scratch reused across [`Client::ingest_slice`] calls
+    /// so a streaming client serializes every batch into the same buffer.
+    scratch: Vec<u8>,
+    /// Response-payload scratch reused across calls: the read side of the
+    /// round-trip stops allocating once it has seen the largest response.
+    resp: Vec<u8>,
 }
 
 impl Client {
@@ -264,6 +270,8 @@ impl Client {
             opts,
             stream: None,
             retries_performed: 0,
+            scratch: Vec::new(),
+            resp: Vec::new(),
         };
         client.reconnect()?;
         Ok(client)
@@ -294,18 +302,17 @@ impl Client {
         }))
     }
 
-    /// One wire round-trip on the current connection.
-    fn call_once(&mut self, request: &Request) -> Result<Response, ServiceError> {
+    /// One wire round-trip on the current connection. `frame` is the
+    /// complete, already-serialized request frame (header + payload).
+    fn call_once(&mut self, frame: &[u8]) -> Result<Response, ServiceError> {
         let timeout_ms = self.opts.read_timeout.as_millis() as u64;
-        let stream = self.stream.as_mut().ok_or(ServiceError::Io {
+        let stream = self.stream.as_mut().ok_or_else(|| ServiceError::Io {
             kind: io::ErrorKind::NotConnected,
             detail: "connection is down".to_string(),
         })?;
-        WireFrame::from_value(REQUEST_TAG, request)
-            .write_to(stream)
-            .map_err(ServiceError::from)?;
-        let frame = match WireFrame::read_from(stream) {
-            Ok(Some(frame)) => frame,
+        stream.write_all(frame).map_err(ServiceError::from)?;
+        let tag = match WireFrame::read_from_into(stream, &mut self.resp) {
+            Ok(Some(tag)) => tag,
             // The server closed the connection between our request and its
             // response: a clean, typed EOF instead of a hang.
             Ok(None) => {
@@ -321,10 +328,10 @@ impl Client {
             }
             Err(e) => return Err(ServiceError::from(e)),
         };
-        if frame.tag != RESPONSE_TAG {
-            return Err(ServiceError::Wire(ms_core::WireError::BadTag(frame.tag)));
+        if tag != RESPONSE_TAG {
+            return Err(ServiceError::Wire(ms_core::WireError::BadTag(tag)));
         }
-        frame.value::<Response>().map_err(ServiceError::from)
+        Response::decode(&self.resp).map_err(ServiceError::from)
     }
 
     /// Send one request and wait for its response, retrying transient
@@ -333,15 +340,22 @@ impl Client {
     /// and re-established, so a late response to a timed-out request can
     /// never be mistaken for the answer to the next one.
     pub fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let frame = WireFrame::from_value(REQUEST_TAG, request).to_bytes();
+        self.call_frame(&frame, request.is_idempotent())
+    }
+
+    /// The retry loop behind [`Client::call`], operating on a serialized
+    /// frame so callers can bring their own (reused) encode buffer.
+    fn call_frame(&mut self, frame: &[u8], idempotent: bool) -> Result<Response, ServiceError> {
         let mut attempt = 0u32;
         loop {
-            let result = self.call_once(request);
+            let result = self.call_once(frame);
             match result {
                 Ok(response) => return Ok(response),
                 Err(e) => {
                     self.stream = None; // never reuse a connection that failed
-                    let retryable = e.is_transient()
-                        && (request.is_idempotent() || self.opts.retry_non_idempotent);
+                    let retryable =
+                        e.is_transient() && (idempotent || self.opts.retry_non_idempotent);
                     if !retryable || attempt >= self.opts.retries {
                         return Err(e);
                     }
@@ -361,6 +375,25 @@ impl Client {
     /// Ingest a batch, erroring on a server-side failure.
     pub fn ingest(&mut self, items: Vec<u64>) -> Result<(), ServiceError> {
         match self.call(&Request::Ingest(items))? {
+            Response::Ok => Ok(()),
+            other => Err(protocol_error(other)),
+        }
+    }
+
+    /// Ingest a borrowed batch without allocating on the send path: the
+    /// request frame is serialized straight into a scratch buffer owned
+    /// by this client and reused across calls. Byte-identical on the
+    /// wire to [`Client::ingest`].
+    pub fn ingest_slice(&mut self, items: &[u64]) -> Result<(), ServiceError> {
+        let mut frame = std::mem::take(&mut self.scratch);
+        frame.clear();
+        encode_frame_into(&mut frame, REQUEST_TAG, |out| {
+            out.push(Request::Ingest(Vec::new()).opcode());
+            encode_u64_slice_into(out, items);
+        });
+        let result = self.call_frame(&frame, false);
+        self.scratch = frame;
+        match result? {
             Response::Ok => Ok(()),
             other => Err(protocol_error(other)),
         }
@@ -395,7 +428,7 @@ impl Client {
     /// uses this to deliver deliberately corrupt frames. Normal callers
     /// never need it.
     pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ServiceError> {
-        let stream = self.stream.as_mut().ok_or(ServiceError::Io {
+        let stream = self.stream.as_mut().ok_or_else(|| ServiceError::Io {
             kind: io::ErrorKind::NotConnected,
             detail: "connection is down".to_string(),
         })?;
@@ -407,7 +440,7 @@ impl Client {
     /// Read one response frame (after [`Client::send_raw`]).
     pub fn read_response(&mut self) -> Result<Response, ServiceError> {
         let timeout_ms = self.opts.read_timeout.as_millis() as u64;
-        let stream = self.stream.as_mut().ok_or(ServiceError::Io {
+        let stream = self.stream.as_mut().ok_or_else(|| ServiceError::Io {
             kind: io::ErrorKind::NotConnected,
             detail: "connection is down".to_string(),
         })?;
@@ -482,6 +515,24 @@ mod tests {
         let m = client.metrics().unwrap();
         assert_eq!(m.updates, 2000);
         assert_eq!(m.snapshot_weight, 2000);
+        assert_eq!(m.frames_rejected, 0);
+        server.stop();
+    }
+
+    #[test]
+    fn ingest_slice_matches_owned_ingest_on_the_wire() {
+        let server = mg_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let batch: Vec<u64> = (0..100).map(|v| v % 5).collect();
+        for _ in 0..10 {
+            client.ingest_slice(&batch).unwrap();
+        }
+        // The scratch frame is reused: same buffer, same bytes each call.
+        assert!(client.scratch.capacity() > 0);
+        client.flush().unwrap();
+        let m = client.metrics().unwrap();
+        assert_eq!(m.updates, 1000);
+        assert_eq!(m.snapshot_weight, 1000);
         assert_eq!(m.frames_rejected, 0);
         server.stop();
     }

@@ -106,6 +106,21 @@ impl ShardSummary {
             _ => None,
         }
     }
+
+    /// In-place merge: fold `other` into `self` without reallocating
+    /// `self`'s storage — the compactor's steady-state path. On error
+    /// (kind or parameter mismatch) `self` is left untouched.
+    pub fn merge_in_place(&mut self, other: ShardSummary) -> ms_core::Result<()> {
+        match (self, other) {
+            (ShardSummary::Mg(a), ShardSummary::Mg(b)) => a.merge_from(b),
+            (ShardSummary::SpaceSaving(a), ShardSummary::SpaceSaving(b)) => a.merge_from(b),
+            (ShardSummary::HybridQuantile(a), ShardSummary::HybridQuantile(b)) => a.merge_from(b),
+            (ShardSummary::CountMin(a), ShardSummary::CountMin(b)) => a.merge_from(b),
+            _ => Err(MergeError::Incompatible(
+                "cannot merge summaries of different kinds",
+            )),
+        }
+    }
 }
 
 impl Summary for ShardSummary {
@@ -129,22 +144,9 @@ impl Summary for ShardSummary {
 }
 
 impl Mergeable for ShardSummary {
-    fn merge(self, other: Self) -> ms_core::Result<Self> {
-        match (self, other) {
-            (ShardSummary::Mg(a), ShardSummary::Mg(b)) => Ok(ShardSummary::Mg(a.merge(b)?)),
-            (ShardSummary::SpaceSaving(a), ShardSummary::SpaceSaving(b)) => {
-                Ok(ShardSummary::SpaceSaving(a.merge(b)?))
-            }
-            (ShardSummary::HybridQuantile(a), ShardSummary::HybridQuantile(b)) => {
-                Ok(ShardSummary::HybridQuantile(a.merge(b)?))
-            }
-            (ShardSummary::CountMin(a), ShardSummary::CountMin(b)) => {
-                Ok(ShardSummary::CountMin(a.merge(b)?))
-            }
-            _ => Err(MergeError::Incompatible(
-                "cannot merge summaries of different kinds",
-            )),
-        }
+    fn merge(mut self, other: Self) -> ms_core::Result<Self> {
+        self.merge_in_place(other)?;
+        Ok(self)
     }
 }
 
@@ -238,6 +240,21 @@ mod tests {
             let merged = filled(kind).merge(filled(kind)).unwrap();
             assert_eq!(merged.total_weight(), 1000, "{}", kind.label());
         }
+    }
+
+    #[test]
+    fn merge_in_place_adds_weight_and_survives_mismatch() {
+        for kind in SummaryKind::all() {
+            let mut acc = filled(kind);
+            acc.merge_in_place(filled(kind)).unwrap();
+            assert_eq!(acc.total_weight(), 1000, "{}", kind.label());
+        }
+        let mut acc = filled(SummaryKind::Mg);
+        let err = acc
+            .merge_in_place(filled(SummaryKind::CountMin))
+            .unwrap_err();
+        assert!(matches!(err, MergeError::Incompatible(_)));
+        assert_eq!(acc.total_weight(), 500, "self untouched on mismatch");
     }
 
     #[test]

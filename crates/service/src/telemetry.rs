@@ -68,6 +68,9 @@ pub struct EngineTelemetry {
     wal_records: Arc<Counter>,
     wal_bytes: Arc<Counter>,
     wal_fsyncs: Arc<Counter>,
+    /// Store-mutex acquisitions by group-commit leaders; the gap between
+    /// this and `wal_records` is the amortization group commit bought.
+    wal_groups: Arc<Counter>,
     checkpoints: Arc<Counter>,
     /// Shared handle for rare cross-thread events (shard deaths, dumps).
     engine_events: TraceHandle,
@@ -109,6 +112,7 @@ impl EngineTelemetry {
             wal_records: registry.counter("wal_records_total"),
             wal_bytes: registry.counter("wal_bytes_total"),
             wal_fsyncs: registry.counter("wal_fsyncs_total"),
+            wal_groups: registry.counter("wal_group_commits_total"),
             checkpoints: registry.counter("checkpoints_total"),
             engine_events,
             registry,
@@ -216,6 +220,20 @@ impl EngineTelemetry {
             if synced {
                 self.wal_fsyncs.add(1);
             }
+        }
+    }
+
+    /// Record the WAL groups a caller *led* through group commit:
+    /// `records` appends across `groups` store-lock rounds with `fsyncs`
+    /// syncs. Followers report all-zero stats, so summed over every
+    /// caller the totals are exact — `wal_records_total` still counts
+    /// each append exactly once.
+    pub fn record_wal_group(&self, groups: u64, records: u64, bytes: u64, fsyncs: u64) {
+        if self.enabled && groups > 0 {
+            self.wal_groups.add(groups);
+            self.wal_records.add(records);
+            self.wal_bytes.add(bytes);
+            self.wal_fsyncs.add(fsyncs);
         }
     }
 

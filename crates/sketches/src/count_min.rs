@@ -145,6 +145,25 @@ impl<I: Hash> CountMinSketch<I> {
             .min()
             .expect("depth >= 1")
     }
+
+    /// In-place cell-wise merge — the same result as [`Mergeable::merge`]
+    /// without moving the table. On error (shape or seed mismatch) `self`
+    /// is left untouched.
+    pub fn merge_from(&mut self, other: Self) -> Result<()> {
+        ensure_same_capacity("width", self.width, other.width)?;
+        ensure_same_capacity("depth", self.depth, other.depth)?;
+        if self.seed != other.seed {
+            return Err(MergeError::SeedMismatch {
+                left: self.seed,
+                right: other.seed,
+            });
+        }
+        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a += b;
+        }
+        self.n += other.n;
+        Ok(())
+    }
 }
 
 impl<I: Hash> Summary for CountMinSketch<I> {
@@ -175,18 +194,7 @@ impl<I: Hash> ItemSummary<I> for CountMinSketch<I> {
 impl<I: Hash> Mergeable for CountMinSketch<I> {
     /// Cell-wise addition. Requires identical shape and hash family.
     fn merge(mut self, other: Self) -> Result<Self> {
-        ensure_same_capacity("width", self.width, other.width)?;
-        ensure_same_capacity("depth", self.depth, other.depth)?;
-        if self.seed != other.seed {
-            return Err(MergeError::SeedMismatch {
-                left: self.seed,
-                right: other.seed,
-            });
-        }
-        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
-            *a += b;
-        }
-        self.n += other.n;
+        self.merge_from(other)?;
         Ok(self)
     }
 }

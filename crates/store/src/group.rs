@@ -1,0 +1,284 @@
+//! Leader–follower group commit over a shared [`Store`].
+//!
+//! Without group commit, N concurrent ingest threads serialize on the
+//! store mutex and (under `fsync always`) pay N fsyncs for N batches.
+//! [`GroupCommit`] collapses that: callers enqueue their encoded payload
+//! under a short state lock; the first caller to arrive becomes the
+//! **leader**, drains everything queued, and appends the whole group via
+//! [`Wal::append_group`] — one store-mutex acquisition and at most one
+//! fsync per group. Everyone else (the **followers**) just waits on a
+//! condvar for its ticket to complete.
+//!
+//! Durability semantics are preserved exactly, not weakened: a caller
+//! does not return until its record is appended (and fsynced when the
+//! policy says so), so "acked ⇒ recoverable" holds record-for-record —
+//! the group only amortizes *cost*, never the guarantee. A write error
+//! is sticky: after the log fails once, every subsequent append fails
+//! fast instead of silently acking into a broken log.
+//!
+//! [`Wal::append_group`]: crate::wal::Wal::append_group
+
+use std::io;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::Store;
+
+/// Recycling hook: the leader hands each appended payload buffer back
+/// (e.g. into a buffer pool) instead of dropping it.
+type Recycler = Box<dyn Fn(Vec<u8>) + Send + Sync>;
+
+/// What one group-commit append reports back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupOutcome {
+    /// True when an fsync at-or-after this record's append has already
+    /// happened (the record survives power loss).
+    pub synced: bool,
+    /// Aggregate of the groups this caller led (all zeros for followers).
+    pub led: LedStats,
+}
+
+/// Work performed while acting as group leader, for telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LedStats {
+    /// Groups appended.
+    pub groups: u64,
+    /// Records appended across those groups.
+    pub records: u64,
+    /// Bytes written across those groups.
+    pub bytes: u64,
+    /// fsyncs issued across those groups.
+    pub fsyncs: u64,
+}
+
+struct GroupState {
+    /// Payloads queued for the next group, in ticket order.
+    queue: Vec<Vec<u8>>,
+    /// A leader is currently appending.
+    leader: bool,
+    /// Tickets handed out (== payloads ever submitted).
+    submitted: u64,
+    /// Tickets whose records are appended.
+    completed: u64,
+    /// Highest ticket covered by an fsync.
+    synced_ticket: u64,
+    /// Sticky failure: the WAL broke; fail every append from now on.
+    failed: Option<(io::ErrorKind, String)>,
+}
+
+/// Batches concurrent WAL appends into single-lock, single-fsync groups.
+pub struct GroupCommit {
+    state: Mutex<GroupState>,
+    done: Condvar,
+    recycle: Option<Recycler>,
+}
+
+fn lock(state: &Mutex<GroupState>) -> MutexGuard<'_, GroupState> {
+    state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn sticky(failed: &(io::ErrorKind, String)) -> io::Error {
+    io::Error::new(failed.0, failed.1.clone())
+}
+
+impl GroupCommit {
+    /// A fresh group-commit coordinator.
+    pub fn new() -> GroupCommit {
+        GroupCommit {
+            state: Mutex::new(GroupState {
+                queue: Vec::new(),
+                leader: false,
+                submitted: 0,
+                completed: 0,
+                synced_ticket: 0,
+                failed: None,
+            }),
+            done: Condvar::new(),
+            recycle: None,
+        }
+    }
+
+    /// Install a hook receiving every appended payload buffer back once
+    /// its group completes (so the hot path can recycle instead of drop).
+    pub fn with_recycler(mut self, f: impl Fn(Vec<u8>) + Send + Sync + 'static) -> GroupCommit {
+        self.recycle = Some(Box::new(f));
+        self
+    }
+
+    /// Append `payload` as one WAL record, batched with whatever other
+    /// appends are in flight. Returns once the record is appended — and
+    /// fsynced, when the store's policy requires it — or with the sticky
+    /// error once the log has failed.
+    pub fn append(&self, store: &Mutex<Store>, payload: Vec<u8>) -> io::Result<GroupOutcome> {
+        let mut st = lock(&self.state);
+        if let Some(failed) = &st.failed {
+            return Err(sticky(failed));
+        }
+        st.queue.push(payload);
+        st.submitted += 1;
+        let ticket = st.submitted;
+
+        if st.leader {
+            // Follower: a leader is already appending and will drain our
+            // payload in its next round.
+            while st.completed < ticket && st.failed.is_none() {
+                st = self.done.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.completed < ticket {
+                let failed = st.failed.as_ref().expect("loop exits on failure");
+                return Err(sticky(failed));
+            }
+            return Ok(GroupOutcome {
+                synced: st.synced_ticket >= ticket,
+                led: LedStats::default(),
+            });
+        }
+
+        // Leader: drain rounds of queued payloads until none are left.
+        st.leader = true;
+        let mut led = LedStats::default();
+        loop {
+            let group = std::mem::take(&mut st.queue);
+            if group.is_empty() {
+                st.leader = false;
+                break;
+            }
+            drop(st);
+            let appended = {
+                let mut store = store.lock().unwrap_or_else(|e| e.into_inner());
+                store.wal.append_group(&group)
+            };
+            st = lock(&self.state);
+            match appended {
+                Ok(g) => {
+                    st.completed += g.records;
+                    if g.synced {
+                        st.synced_ticket = st.completed;
+                    }
+                    led.groups += 1;
+                    led.records += g.records;
+                    led.bytes += g.bytes;
+                    led.fsyncs += u64::from(g.synced);
+                    self.done.notify_all();
+                    if let Some(recycle) = &self.recycle {
+                        for buf in group {
+                            recycle(buf);
+                        }
+                    }
+                }
+                Err(e) => {
+                    st.failed = Some((e.kind(), e.to_string()));
+                    st.leader = false;
+                    self.done.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+        let synced = st.synced_ticket >= ticket;
+        drop(st);
+        Ok(GroupOutcome { synced, led })
+    }
+
+    /// Tickets completed so far (test/telemetry hook).
+    pub fn completed(&self) -> u64 {
+        lock(&self.state).completed
+    }
+}
+
+impl Default for GroupCommit {
+    fn default() -> Self {
+        GroupCommit::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FsyncPolicy, StoreConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn temp_store(tag: &str, fsync: FsyncPolicy) -> (Mutex<Store>, StoreConfig) {
+        let dir = std::env::temp_dir().join(format!("ms-store-group-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = StoreConfig::new(dir).fsync(fsync);
+        let (store, _) = Store::open(&cfg).unwrap();
+        (Mutex::new(store), cfg)
+    }
+
+    #[test]
+    fn single_caller_appends_and_syncs() {
+        let (store, cfg) = temp_store("single", FsyncPolicy::Always);
+        let gc = GroupCommit::new();
+        let outcome = gc.append(&store, vec![1, 2, 3]).unwrap();
+        assert!(outcome.synced);
+        assert_eq!(outcome.led.groups, 1);
+        assert_eq!(outcome.led.records, 1);
+        assert_eq!(outcome.led.fsyncs, 1);
+        assert_eq!(gc.completed(), 1);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn concurrent_appends_all_land_with_fewer_lock_rounds() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 50;
+        let (store, cfg) = temp_store("concurrent", FsyncPolicy::Always);
+        let store = Arc::new(store);
+        let gc = Arc::new(GroupCommit::new());
+        let groups = Arc::new(AtomicU64::new(0));
+        let fsyncs = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let (store, gc) = (Arc::clone(&store), Arc::clone(&gc));
+                let (groups, fsyncs) = (Arc::clone(&groups), Arc::clone(&fsyncs));
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let outcome = gc.append(&store, vec![t as u8, i as u8]).unwrap();
+                        assert!(outcome.synced, "always-policy append must be synced");
+                        groups.fetch_add(outcome.led.groups, Ordering::Relaxed);
+                        fsyncs.fetch_add(outcome.led.fsyncs, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = THREADS * PER_THREAD;
+        assert_eq!(gc.completed(), total);
+        assert_eq!(
+            store.lock().unwrap().wal.last_seq(),
+            total,
+            "every record appended exactly once"
+        );
+        assert!(groups.load(Ordering::Relaxed) <= total);
+        assert_eq!(
+            fsyncs.load(Ordering::Relaxed),
+            groups.load(Ordering::Relaxed),
+            "always-policy: exactly one fsync per group"
+        );
+        // Everything is on disk and verifies.
+        drop(store);
+        let (_, recovery) = Store::open(&cfg).unwrap();
+        assert_eq!(recovery.tail.len() as u64, total);
+        assert_eq!(recovery.corrupt_records, 0);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn recycler_gets_every_payload_buffer_back() {
+        let (store, cfg) = temp_store("recycle", FsyncPolicy::Never);
+        let returned = Arc::new(AtomicU64::new(0));
+        let gc = {
+            let returned = Arc::clone(&returned);
+            GroupCommit::new().with_recycler(move |buf| {
+                returned.fetch_add(buf.capacity() as u64, Ordering::Relaxed);
+            })
+        };
+        for _ in 0..5 {
+            gc.append(&store, Vec::with_capacity(64)).unwrap();
+        }
+        assert!(returned.load(Ordering::Relaxed) >= 5 * 64);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+}

@@ -32,12 +32,14 @@ use std::io;
 use std::path::PathBuf;
 
 pub mod checkpoint;
+pub mod group;
 pub mod inspect;
 pub mod wal;
 
 pub use checkpoint::{CheckpointRecord, CheckpointSet, CheckpointStore, CHECKPOINT_TAG};
+pub use group::{GroupCommit, GroupOutcome, LedStats};
 pub use inspect::{inspect, CheckpointInfo, InspectReport, SegmentInfo};
-pub use wal::{scan_segment, SegmentScan, Wal, WalEntry, WAL_RECORD_TAG};
+pub use wal::{scan_segment, GroupAppend, SegmentScan, Wal, WalEntry, WAL_RECORD_TAG};
 
 /// When the WAL fsyncs its segment file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
