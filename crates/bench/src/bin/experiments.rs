@@ -64,6 +64,7 @@ fn main() {
     }
     if want("e10") {
         e10_network_cost();
+        e10_cluster_bytes();
     }
     if want("e11") {
         e11_buffer_ablation();
@@ -936,6 +937,110 @@ fn e10_network_cost() {
             .collect();
         let (_, stats) = aggregate(cm_leaves, topology).unwrap();
         push("count-min", topology, &stats);
+    }
+    table.emit();
+}
+
+// E10b — the same accounting measured on a *live* federation: a
+// coordinator scatter/gathering over three real TCP backend nodes, with
+// the coordinator's own byte counters (scatter = request frames shipped
+// to backends, gather = summary response frames shipped back) read per
+// phase. This is the fanout topology of the first table, priced by the
+// actual wire protocol instead of the abstract merge schedule.
+fn e10_cluster_bytes() {
+    use ms_cluster::{ClusterConfig, Coordinator};
+    use ms_service::{Engine, Request, Response, Server, Service, ServiceConfig, SummaryKind};
+    use std::sync::Arc;
+
+    let nodes = 3usize;
+    let per_node = 16_384usize;
+    let n = nodes * per_node;
+    let eps = 0.01;
+    let items = StreamKind::Zipf {
+        s: 1.1,
+        universe: 1 << 22,
+    }
+    .generate(n, 91);
+
+    let mut table = Table::new(
+        "e10-cluster",
+        &format!(
+            "live coordinator scatter/gather wire traffic, {nodes}-node cluster, \
+             {n} items ingested in 512-item batches, eps = {eps}; scatter bytes = \
+             request frames shipped to backends, gather bytes = summary frames \
+             merged back (non-summary responses are not counted); per phase, \
+             from the coordinator's own byte counters"
+        ),
+        &["kind", "phase", "scatter bytes", "gather bytes"],
+    );
+
+    for kind in [SummaryKind::Mg, SummaryKind::HybridQuantile] {
+        let backends: Vec<(Arc<Engine>, Server)> = (0..nodes)
+            .map(|i| {
+                let cfg = ServiceConfig::new(kind, eps).seed(0x10C0_FFEE + i as u64);
+                let engine = Engine::start(cfg).expect("backend engine");
+                let server =
+                    Server::bind(Arc::clone(&engine), "127.0.0.1:0").expect("backend server");
+                (engine, server)
+            })
+            .collect();
+        let addrs: Vec<String> = backends
+            .iter()
+            .map(|(_, server)| server.local_addr().to_string())
+            .collect();
+        let coordinator =
+            Coordinator::start(ClusterConfig::new(addrs).ping_interval(None)).expect("coordinator");
+
+        let counter = |name: &str| -> u64 {
+            coordinator
+                .telemetry()
+                .snapshot()
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| *v)
+        };
+        let mut account = |phase: &str, run: &mut dyn FnMut()| {
+            let scatter0 = counter("scatter_bytes_total");
+            let gather0 = counter("gather_bytes_total");
+            run();
+            table.row(vec![
+                kind.label().to_string(),
+                phase.to_string(),
+                (counter("scatter_bytes_total") - scatter0).to_string(),
+                (counter("gather_bytes_total") - gather0).to_string(),
+            ]);
+        };
+
+        account(&format!("ingest ({n} items)"), &mut || {
+            for chunk in items.chunks(512) {
+                coordinator.ingest(chunk).expect("cluster ingest");
+            }
+            coordinator.flush().expect("cluster flush");
+        });
+        let query = match kind {
+            SummaryKind::Mg => ("heavy-hitters(0.01)", Request::HeavyHitters(0.01)),
+            _ => ("quantile(0.5)", Request::Quantile(0.5)),
+        };
+        for (phase, request) in [
+            query,
+            ("summary (one-shot merge)", Request::Summary),
+            ("metrics (merged)", Request::Metrics),
+            ("telemetry (merged)", Request::Telemetry),
+        ] {
+            account(phase, &mut || {
+                let response = coordinator.handle(request.clone());
+                assert!(
+                    !matches!(response, Response::Error(_)),
+                    "{phase} failed: {response:?}"
+                );
+            });
+        }
+
+        coordinator.shutdown();
+        for (_, server) in backends {
+            server.stop();
+        }
     }
     table.emit();
 }

@@ -1,0 +1,782 @@
+//! The coordinator: N independent `ms-service` nodes behind one
+//! [`Service`].
+//!
+//! Ingest batches are consistent-hash routed across backends
+//! ([`HashRing`]); queries scatter to every live node, gather per-node
+//! summaries, and merge them **one-shot** — by the paper's Definition 1
+//! the merged answer carries the same `εn` bound as a single node that
+//! saw the whole stream, so federation costs no accuracy. Membership
+//! ([`NodeHealth`]) turns request outcomes and periodic pings into
+//! alive/suspect/dead states; a dead node's key range drains to the
+//! survivors through the ring's liveness-aware routing and returns the
+//! moment the node rejoins.
+//!
+//! With `replicas` on, consecutive nodes form **pairs** that both
+//! receive every write for their slot. On read the coordinator takes
+//! exactly **one** member per slot (the heavier): summary merge is
+//! additive, not idempotent, so merging both replicas would double-count
+//! the range. The pair exists so a single death never blanks a slot, not
+//! to add read quorum.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ms_core::wire::FRAME_HEADER_LEN;
+use ms_core::{ServiceError, Summary, Wire};
+use ms_obs::{Counter, Gauge, Histogram, RegistrySnapshot};
+use ms_service::telemetry::timed;
+use ms_service::{
+    check_phi, Client, ClientOptions, ClusterInfo, EngineTelemetry, MetricsReport, NodeInfo,
+    Request, Response, Service, ShardSummary,
+};
+
+use crate::membership::NodeHealth;
+use crate::ring::HashRing;
+
+/// How a coordinator is built: the backend set and the knobs on routing,
+/// health, and transport.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Backend addresses (`host:port`). With [`ClusterConfig::replicas`]
+    /// the count must be even; consecutive addresses pair up.
+    pub nodes: Vec<String>,
+    /// Pair consecutive nodes as replicas: writes go to both members,
+    /// reads take the heavier one.
+    pub replicas: bool,
+    /// Virtual nodes per ring slot.
+    pub vnodes: usize,
+    /// Consecutive failures before a node is suspect.
+    pub suspect_after: u32,
+    /// Consecutive failures before a node is dead (routed around).
+    pub dead_after: u32,
+    /// Transport options for every backend client.
+    pub client: ClientOptions,
+    /// Ping cadence for the background prober; `None` disables it (tests
+    /// drive health through request outcomes alone).
+    pub ping_interval: Option<Duration>,
+    /// Record coordinator telemetry.
+    pub telemetry: bool,
+}
+
+impl ClusterConfig {
+    /// Defaults: no replicas, 64 vnodes, suspect after 1 failure, dead
+    /// after 3, default client transport, 1s pings, telemetry on.
+    pub fn new<S: Into<String>>(nodes: impl IntoIterator<Item = S>) -> ClusterConfig {
+        ClusterConfig {
+            nodes: nodes.into_iter().map(Into::into).collect(),
+            replicas: false,
+            vnodes: 64,
+            suspect_after: 1,
+            dead_after: 3,
+            client: ClientOptions::default(),
+            ping_interval: Some(Duration::from_secs(1)),
+            telemetry: true,
+        }
+    }
+
+    /// Enable replica pairs.
+    pub fn replicas(mut self, on: bool) -> Self {
+        self.replicas = on;
+        self
+    }
+
+    /// Override the transport options.
+    pub fn client_options(mut self, opts: ClientOptions) -> Self {
+        self.client = opts;
+        self
+    }
+
+    /// Override (or disable) the background ping cadence.
+    pub fn ping_interval(mut self, interval: Option<Duration>) -> Self {
+        self.ping_interval = interval;
+        self
+    }
+
+    /// Override the failure thresholds.
+    pub fn thresholds(mut self, suspect_after: u32, dead_after: u32) -> Self {
+        self.suspect_after = suspect_after;
+        self.dead_after = dead_after;
+        self
+    }
+}
+
+/// One backend node as the coordinator sees it.
+struct Node {
+    addr: Mutex<String>,
+    /// Lazily-connected client; dropped on any transport failure so a
+    /// poisoned connection is never reused.
+    client: Mutex<Option<Client>>,
+    health: NodeHealth,
+    requests: AtomicU64,
+    failures: AtomicU64,
+    /// Total weight of this node's summary at the last gather.
+    last_weight: AtomicU64,
+}
+
+/// Coordinator-plane instruments, registered on the same registry the
+/// server's request-latency and byte counters live in, so one
+/// `Telemetry` scrape sees the whole plane.
+struct Instruments {
+    node_latency: Vec<Arc<Histogram>>,
+    node_state: Vec<Arc<Gauge>>,
+    node_failures: Vec<Arc<Counter>>,
+    /// Backend requests issued per gather (the fan-out depth).
+    gather_fanout: Arc<Histogram>,
+    /// Request bytes shipped to backends.
+    scatter_bytes: Arc<Counter>,
+    /// Response bytes shipped back from backends.
+    gather_bytes: Arc<Counter>,
+    rebalances: Arc<Counter>,
+}
+
+/// What one scatter/gather produced.
+pub struct GatherReport {
+    /// The one-shot merged summary; `None` when no slot answered.
+    pub summary: Option<ShardSummary>,
+    /// Backend nodes that contributed a summary.
+    pub answered: usize,
+    /// Slots with no live member — their range is missing from the
+    /// merged summary (the loss-slack bound covers the gap).
+    pub dark_slots: usize,
+    /// Backend requests issued.
+    pub fanout: usize,
+    /// Response bytes gathered.
+    pub bytes: u64,
+}
+
+/// A federation coordinator over N backend `ms-service` nodes.
+pub struct Coordinator {
+    nodes: Vec<Node>,
+    /// Slot → member node indices (one, or two with replicas).
+    slots: Vec<Vec<usize>>,
+    ring: HashRing,
+    client_opts: ClientOptions,
+    replicas: bool,
+    telemetry: Arc<EngineTelemetry>,
+    instruments: Instruments,
+    rebalanced_batches: AtomicU64,
+    stopped: AtomicBool,
+    /// Pinger wake/stop signal: the bool is "stop requested".
+    ping_stop: Arc<(Mutex<bool>, Condvar)>,
+    pinger: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Coordinator {
+    /// Build a coordinator over `cfg.nodes`. Connections are lazy: a
+    /// backend that is down at start is discovered by the first request
+    /// (or ping) that touches it, not at construction.
+    pub fn start(cfg: ClusterConfig) -> Result<Arc<Coordinator>, ServiceError> {
+        if cfg.nodes.is_empty() {
+            return Err(ServiceError::Config("cluster needs at least one node"));
+        }
+        if cfg.replicas && !cfg.nodes.len().is_multiple_of(2) {
+            return Err(ServiceError::Config(
+                "replica pairs need an even node count",
+            ));
+        }
+        let slots: Vec<Vec<usize>> = if cfg.replicas {
+            (0..cfg.nodes.len() / 2)
+                .map(|s| vec![2 * s, 2 * s + 1])
+                .collect()
+        } else {
+            (0..cfg.nodes.len()).map(|n| vec![n]).collect()
+        };
+        let ring = HashRing::new(slots.len(), cfg.vnodes.max(1));
+        let telemetry = Arc::new(EngineTelemetry::new(0, cfg.telemetry));
+        let registry = telemetry.registry();
+        let instruments = Instruments {
+            node_latency: (0..cfg.nodes.len())
+                .map(|n| registry.histogram(&format!("node_request_micros{{node=\"{n}\"}}")))
+                .collect(),
+            node_state: (0..cfg.nodes.len())
+                .map(|n| registry.gauge(&format!("node_state{{node=\"{n}\"}}")))
+                .collect(),
+            node_failures: (0..cfg.nodes.len())
+                .map(|n| registry.counter(&format!("node_failures_total{{node=\"{n}\"}}")))
+                .collect(),
+            gather_fanout: registry.histogram("gather_fanout"),
+            scatter_bytes: registry.counter("scatter_bytes_total"),
+            gather_bytes: registry.counter("gather_bytes_total"),
+            rebalances: registry.counter("ring_rebalances_total"),
+        };
+        let nodes = cfg
+            .nodes
+            .iter()
+            .map(|addr| Node {
+                addr: Mutex::new(addr.clone()),
+                client: Mutex::new(None),
+                health: NodeHealth::new(cfg.suspect_after, cfg.dead_after),
+                requests: AtomicU64::new(0),
+                failures: AtomicU64::new(0),
+                last_weight: AtomicU64::new(0),
+            })
+            .collect();
+        let coordinator = Arc::new(Coordinator {
+            nodes,
+            slots,
+            ring,
+            client_opts: cfg.client.clone(),
+            replicas: cfg.replicas,
+            telemetry,
+            instruments,
+            rebalanced_batches: AtomicU64::new(0),
+            stopped: AtomicBool::new(false),
+            ping_stop: Arc::new((Mutex::new(false), Condvar::new())),
+            pinger: Mutex::new(None),
+        });
+        if let Some(interval) = cfg.ping_interval {
+            let weak = Arc::downgrade(&coordinator);
+            let signal = Arc::clone(&coordinator.ping_stop);
+            let handle = std::thread::Builder::new()
+                .name("ms-pinger".to_string())
+                .spawn(move || ping_loop(weak, signal, interval))?;
+            *lock(&coordinator.pinger) = Some(handle);
+        }
+        Ok(coordinator)
+    }
+
+    /// The coordinator's telemetry plane.
+    pub fn telemetry(&self) -> &Arc<EngineTelemetry> {
+        &self.telemetry
+    }
+
+    /// Number of backend nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Stop the pinger. Backend nodes are *not* shut down: the
+    /// coordinator federates processes it does not own.
+    pub fn shutdown(&self) {
+        if self.stopped.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let (stop, cvar) = &*self.ping_stop;
+        *lock(stop) = true;
+        cvar.notify_all();
+        if let Some(handle) = lock(&self.pinger).take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Route `items` across the cluster. Each item goes to the live slot
+    /// owning its hash; with replicas every live member of the slot
+    /// receives the batch (delivery succeeds when at least one member
+    /// takes it). A bucket whose every member fails mid-send is rerouted
+    /// to the next live slot on the ring — counted as a rebalance — so a
+    /// node death during ingest loses at most the in-flight frames the
+    /// retry layer could not confirm.
+    pub fn ingest(&self, items: &[u64]) -> Result<(), ServiceError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); self.slots.len()];
+        let mut saw_dead_slot = false;
+        for &item in items {
+            let slot = self
+                .ring
+                .route(item, |s| self.slot_dead(s))
+                .ok_or_else(no_live_backend)?;
+            if self.slot_dead(self.ring.slot_of(item)) {
+                saw_dead_slot = true;
+            }
+            buckets[slot].push(item);
+        }
+        if saw_dead_slot {
+            self.rebalanced_batches.fetch_add(1, Ordering::Relaxed);
+            self.instruments.rebalances.add(1);
+        }
+        for (slot, bucket) in buckets.iter_mut().enumerate() {
+            let mut bucket = std::mem::take(bucket);
+            if bucket.is_empty() {
+                continue;
+            }
+            // Walk slots until one accepts the bucket; every hop past a
+            // freshly-dead slot is a rebalance.
+            let mut target = slot;
+            let mut attempts = 0usize;
+            loop {
+                if self.send_bucket(target, &bucket)? {
+                    break;
+                }
+                attempts += 1;
+                if attempts >= self.slots.len() {
+                    return Err(no_live_backend());
+                }
+                target = self
+                    .ring
+                    .route(bucket[0], |s| self.slot_dead(s))
+                    .ok_or_else(no_live_backend)?;
+                self.rebalanced_batches.fetch_add(1, Ordering::Relaxed);
+                self.instruments.rebalances.add(1);
+            }
+            bucket.clear();
+        }
+        Ok(())
+    }
+
+    /// Send one bucket to every live member of `slot`. Returns whether
+    /// at least one member accepted it; transport failures mark the
+    /// member's health and are otherwise swallowed here (the caller
+    /// reroutes).
+    fn send_bucket(&self, slot: usize, bucket: &[u64]) -> Result<bool, ServiceError> {
+        let frame_bytes = ingest_frame_bytes(bucket);
+        let mut delivered = false;
+        let mut last_err: Option<ServiceError> = None;
+        for &member in &self.slots[slot] {
+            if self.nodes[member].health.is_dead() {
+                continue;
+            }
+            self.instruments.scatter_bytes.add(frame_bytes);
+            match self.with_node(member, |c| c.ingest_slice(bucket)) {
+                Ok(()) => delivered = true,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match (delivered, last_err) {
+            (true, _) => Ok(true),
+            (false, Some(e)) if e.is_transient() => Ok(false), // reroute
+            (false, Some(e)) => Err(e),                        // the backend answered and refused
+            (false, None) => Ok(false),                        // every member already dead
+        }
+    }
+
+    /// Flush every live node so gathers see all prior ingests.
+    pub fn flush(&self) -> Result<(), ServiceError> {
+        let mut flushed = 0usize;
+        for idx in 0..self.nodes.len() {
+            if self.nodes[idx].health.is_dead() {
+                continue;
+            }
+            if self.scatter_call(idx, &Request::Flush).is_ok() {
+                flushed += 1;
+            }
+        }
+        if flushed == 0 {
+            return Err(no_live_backend());
+        }
+        Ok(())
+    }
+
+    /// Scatter a summary request to every slot, gather the per-node
+    /// summaries, and merge them one-shot. Per slot exactly one member's
+    /// summary enters the merge (the heavier, when replicas diverge);
+    /// a slot with no live answer is reported dark, not an error — the
+    /// merged summary is then a valid summary of the surviving updates.
+    pub fn gather(&self) -> Result<GatherReport, ServiceError> {
+        let mut merged: Option<ShardSummary> = None;
+        let mut answered = 0usize;
+        let mut dark_slots = 0usize;
+        let mut fanout = 0usize;
+        let mut bytes = 0u64;
+        for members in &self.slots {
+            let mut best: Option<ShardSummary> = None;
+            for &member in members {
+                if self.nodes[member].health.is_dead() {
+                    continue;
+                }
+                fanout += 1;
+                let response = match self.scatter_call(member, &Request::Summary) {
+                    Ok(r) => r,
+                    Err(_) => continue,
+                };
+                let Response::Summary(raw) = response else {
+                    continue;
+                };
+                bytes +=
+                    (FRAME_HEADER_LEN + 1) as u64 + varint_len(raw.len() as u64) + raw.len() as u64;
+                let summary = ShardSummary::decode(&raw)
+                    .map_err(|e| ServiceError::Protocol(format!("bad node summary: {e}")))?;
+                self.nodes[member]
+                    .last_weight
+                    .store(summary.total_weight(), Ordering::Relaxed);
+                // Read-one replica semantics: merge is additive, so
+                // folding both members would double-count the slot.
+                // Keep the heavier member — it saw every write the
+                // lighter one saw, plus the ones delivered while the
+                // lighter one was down.
+                best = match best {
+                    Some(prev) if prev.total_weight() >= summary.total_weight() => Some(prev),
+                    _ => Some(summary),
+                };
+            }
+            match best {
+                Some(summary) => {
+                    answered += 1;
+                    match &mut merged {
+                        None => merged = Some(summary),
+                        Some(acc) => acc
+                            .merge_in_place(summary)
+                            .map_err(|e| ServiceError::Protocol(format!("gather merge: {e}")))?,
+                    }
+                }
+                None => dark_slots += 1,
+            }
+        }
+        self.instruments.gather_fanout.record(fanout as u64);
+        self.instruments.gather_bytes.add(bytes);
+        Ok(GatherReport {
+            summary: merged,
+            answered,
+            dark_slots,
+            fanout,
+            bytes,
+        })
+    }
+
+    /// Merge every live node's [`MetricsReport`] into one cluster-wide
+    /// report (work counters sum, per-node gauges take the max).
+    pub fn metrics(&self) -> Result<MetricsReport, ServiceError> {
+        let mut merged: Option<MetricsReport> = None;
+        for idx in 0..self.nodes.len() {
+            if self.nodes[idx].health.is_dead() {
+                continue;
+            }
+            let Ok(Response::Metrics(report)) = self.scatter_call(idx, &Request::Metrics) else {
+                continue;
+            };
+            match &mut merged {
+                None => merged = Some(report),
+                Some(acc) => acc.merge_from(&report),
+            }
+        }
+        merged.ok_or_else(no_live_backend)
+    }
+
+    /// The coordinator's own registry merged with every live backend's —
+    /// the telemetry plane is itself mergeable (counters add, histograms
+    /// merge bucket-wise).
+    pub fn telemetry_merged(&self) -> RegistrySnapshot {
+        let mut merged = self.telemetry.snapshot();
+        for idx in 0..self.nodes.len() {
+            if self.nodes[idx].health.is_dead() {
+                continue;
+            }
+            if let Ok(Response::Telemetry(snapshot)) = self.scatter_call(idx, &Request::Telemetry) {
+                merged = merged.merge(&snapshot);
+            }
+        }
+        merged
+    }
+
+    /// Membership and routing state, as served to `ClusterInfo` queries.
+    pub fn cluster_info(&self) -> ClusterInfo {
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(idx, node)| NodeInfo {
+                index: idx as u32,
+                addr: lock(&node.addr).clone(),
+                state: node.health.state(),
+                consecutive_failures: node.health.consecutive_failures(),
+                requests: node.requests.load(Ordering::Relaxed),
+                failures: node.failures.load(Ordering::Relaxed),
+                last_weight: node.last_weight.load(Ordering::Relaxed),
+            })
+            .collect();
+        ClusterInfo {
+            nodes,
+            replicas: self.replicas,
+            slots: self.slots.len() as u32,
+            vnodes: self.ring.vnodes() as u32,
+            rebalanced_batches: self.rebalanced_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One node's raw summary bytes (the `NodeSummary` opcode).
+    pub fn node_summary(&self, idx: u32) -> Result<Vec<u8>, ServiceError> {
+        let idx = idx as usize;
+        if idx >= self.nodes.len() {
+            return Err(ServiceError::Protocol(format!(
+                "node index {idx} out of range ({} nodes)",
+                self.nodes.len()
+            )));
+        }
+        match self.scatter_call(idx, &Request::Summary)? {
+            Response::Summary(raw) => Ok(raw),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Bring a node back: optionally update its address (a restarted
+    /// process rarely keeps its port), drop any stale connection, and
+    /// ping it. On success the node is alive and the ring routes to it
+    /// again — its WAL/checkpoint recovery already happened inside the
+    /// node before it started listening.
+    pub fn rejoin(&self, idx: usize, addr: Option<&str>) -> Result<(), ServiceError> {
+        let node = self
+            .nodes
+            .get(idx)
+            .ok_or(ServiceError::Config("rejoin index out of range"))?;
+        if let Some(addr) = addr {
+            *lock(&node.addr) = addr.to_string();
+        }
+        *lock(&node.client) = None;
+        match self.scatter_call(idx, &Request::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected ping response {other:?}"
+            ))),
+        }
+    }
+
+    /// Is every member of `slot` dead?
+    fn slot_dead(&self, slot: usize) -> bool {
+        self.slots[slot]
+            .iter()
+            .all(|&m| self.nodes[m].health.is_dead())
+    }
+
+    /// One request/response round-trip to node `idx`, with scatter-byte
+    /// accounting on top of [`Coordinator::with_node`]'s health and
+    /// latency bookkeeping.
+    fn scatter_call(&self, idx: usize, request: &Request) -> Result<Response, ServiceError> {
+        self.instruments
+            .scatter_bytes
+            .add((FRAME_HEADER_LEN + request.wire_len()) as u64);
+        self.with_node(idx, |client| client.call(request))
+    }
+
+    /// Run `f` against node `idx`'s client (connecting lazily), recording
+    /// latency and translating the outcome into health state. Transport
+    /// failures drop the connection and count toward death; a refused
+    /// connect kills the node immediately (the process is gone, no
+    /// three-strikes grace needed). Protocol-level errors mean the node
+    /// answered, which is a liveness *success*.
+    fn with_node<T>(
+        &self,
+        idx: usize,
+        f: impl FnOnce(&mut Client) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        let node = &self.nodes[idx];
+        let mut guard = lock(&node.client);
+        if guard.is_none() {
+            let addr = lock(&node.addr).clone();
+            match Client::connect_with(addr.as_str(), self.client_opts.clone()) {
+                Ok(client) => *guard = Some(client),
+                Err(e) => {
+                    drop(guard);
+                    node.failures.fetch_add(1, Ordering::Relaxed);
+                    self.instruments.node_failures[idx].add(1);
+                    if node.health.mark_dead() {
+                        self.telemetry.event("node-dead", &[("node", idx as u64)]);
+                    }
+                    self.sync_state_gauge(idx);
+                    return Err(e);
+                }
+            }
+        }
+        let client = guard.as_mut().expect("client connected above");
+        let (result, micros) = timed(|| f(client));
+        let transport_failure = matches!(
+            &result,
+            Err(ServiceError::Io { .. } | ServiceError::Timeout { .. } | ServiceError::Wire(_))
+        );
+        if transport_failure {
+            *guard = None;
+        }
+        drop(guard);
+        self.instruments.node_latency[idx].record(micros);
+        if transport_failure {
+            node.failures.fetch_add(1, Ordering::Relaxed);
+            self.instruments.node_failures[idx].add(1);
+            if node.health.failure() {
+                self.telemetry.event("node-dead", &[("node", idx as u64)]);
+            }
+        } else {
+            node.requests.fetch_add(1, Ordering::Relaxed);
+            if node.health.success() {
+                self.telemetry.event("node-rejoin", &[("node", idx as u64)]);
+            }
+        }
+        self.sync_state_gauge(idx);
+        result
+    }
+
+    fn sync_state_gauge(&self, idx: usize) {
+        self.instruments.node_state[idx].set(self.nodes[idx].health.state() as i64);
+    }
+}
+
+impl Service for Coordinator {
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Ok,
+            Request::Ingest(items) => match self.ingest(&items) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Flush => match self.flush() {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Point(item) => self.query(|s| s.point(item).map(Response::Count), "point"),
+            Request::HeavyHitters(phi) => match check_phi(phi) {
+                Err(e) => Response::Error(e),
+                Ok(()) => self.query(
+                    |s| s.heavy_hitters(phi).map(Response::Items),
+                    "heavy-hitters",
+                ),
+            },
+            Request::Rank(x) => self.query(|s| s.rank(x).map(Response::Count), "rank"),
+            Request::Quantile(phi) => match check_phi(phi) {
+                Err(e) => Response::Error(e),
+                Ok(()) => self.query(|s| s.quantile(phi).map(Response::Value), "quantile"),
+            },
+            Request::Metrics => match self.metrics() {
+                Ok(report) => Response::Metrics(report),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Summary => match self.gather() {
+                Ok(GatherReport {
+                    summary: Some(s), ..
+                }) => Response::Summary(s.encode()),
+                Ok(_) => Response::Error("no live backend answered".to_string()),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Telemetry => Response::Telemetry(self.telemetry_merged()),
+            Request::ClusterInfo => Response::Cluster(self.cluster_info()),
+            Request::NodeSummary(idx) => match self.node_summary(idx) {
+                Ok(raw) => Response::Summary(raw),
+                Err(e) => Response::Error(e.to_string()),
+            },
+        }
+    }
+
+    fn telemetry(&self) -> &Arc<EngineTelemetry> {
+        &self.telemetry
+    }
+
+    fn record_rejected_frame(&self) {
+        self.telemetry.event("frame-rejected", &[]);
+    }
+
+    fn shutdown(&self) {
+        Coordinator::shutdown(self);
+    }
+
+    fn abort(&self) {
+        // The coordinator holds no durable state of its own: abort and
+        // graceful shutdown both just stop the pinger.
+        Coordinator::shutdown(self);
+    }
+}
+
+impl Coordinator {
+    /// Gather, then answer a query on the merged summary.
+    fn query(&self, f: impl FnOnce(&ShardSummary) -> Option<Response>, what: &str) -> Response {
+        match self.gather() {
+            Ok(GatherReport {
+                summary: Some(s), ..
+            }) => match f(&s) {
+                Some(response) => response,
+                None => Response::Error(format!(
+                    "{what} queries are not supported by this summary kind"
+                )),
+            },
+            Ok(_) => Response::Error("no live backend answered".to_string()),
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn ping_loop(
+    coordinator: Weak<Coordinator>,
+    signal: Arc<(Mutex<bool>, Condvar)>,
+    interval: Duration,
+) {
+    let (stop, cvar) = &*signal;
+    loop {
+        {
+            let guard = lock(stop);
+            let (guard, _) = cvar
+                .wait_timeout(guard, interval)
+                .unwrap_or_else(|p| p.into_inner());
+            if *guard {
+                return;
+            }
+        }
+        let Some(coordinator) = coordinator.upgrade() else {
+            return;
+        };
+        for idx in 0..coordinator.nodes.len() {
+            // Ping everyone, dead nodes included: a successful ping is
+            // exactly how a silently-restarted node rejoins.
+            let _ = coordinator.scatter_call(idx, &Request::Ping);
+        }
+    }
+}
+
+fn no_live_backend() -> ServiceError {
+    ServiceError::Io {
+        kind: std::io::ErrorKind::NotConnected,
+        detail: "no live backend node".to_string(),
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Exact wire size of an `Ingest` request frame for `items`, matching
+/// `Client::ingest_slice`'s encoding without re-serializing the batch.
+fn ingest_frame_bytes(items: &[u64]) -> u64 {
+    let mut n = (FRAME_HEADER_LEN + 1) as u64 + varint_len(items.len() as u64);
+    for &item in items {
+        n += varint_len(item);
+    }
+    n
+}
+
+/// Encoded length of one LEB128 varint.
+fn varint_len(v: u64) -> u64 {
+    u64::from(64 - (v | 1).leading_zeros()).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_len_matches_encoder() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            ms_core::wire::put_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len() as u64, "v={v}");
+        }
+    }
+
+    #[test]
+    fn ingest_frame_bytes_matches_wire_encoding() {
+        let items = [0u64, 1, 300, 1 << 20, u64::MAX];
+        let frame = ms_core::WireFrame::from_value(
+            ms_service::REQUEST_TAG,
+            &Request::Ingest(items.to_vec()),
+        )
+        .to_bytes();
+        assert_eq!(ingest_frame_bytes(&items), frame.len() as u64);
+    }
+
+    #[test]
+    fn config_rejects_odd_replica_count() {
+        let cfg = ClusterConfig::new(["a:1", "b:2", "c:3"]).replicas(true);
+        assert!(Coordinator::start(cfg).is_err());
+    }
+
+    #[test]
+    fn config_rejects_empty_node_list() {
+        let cfg = ClusterConfig::new(Vec::<String>::new());
+        assert!(Coordinator::start(cfg).is_err());
+    }
+}

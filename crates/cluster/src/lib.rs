@@ -1,0 +1,26 @@
+//! Federation of `ms-service` nodes into one logical service.
+//!
+//! The paper's mergeability guarantee (PODS'12, Definition 1) is a
+//! *distributed-systems* property: summaries built independently at N
+//! sites merge — in any order, in one shot — into a summary whose `εn`
+//! error bound is the same as if one site had seen the whole stream.
+//! This crate cashes that in. A [`Coordinator`] consistent-hash-routes
+//! ingest across backend nodes ([`HashRing`]), answers queries by
+//! scatter/gather + one-shot merge, tracks per-node health
+//! ([`NodeHealth`]: alive → suspect → dead → rejoin), reroutes a dead
+//! node's key range to the survivors, and optionally writes each slot to
+//! a **replica pair** read-one-of-two so a single death never blanks a
+//! range.
+//!
+//! The coordinator implements the same [`ms_service::Service`] trait
+//! (and wire protocol) as a single engine, so `mergeable serve
+//! --coordinator` is byte-compatible with every existing client —
+//! including another coordinator's.
+
+pub mod coordinator;
+pub mod membership;
+pub mod ring;
+
+pub use coordinator::{ClusterConfig, Coordinator, GatherReport};
+pub use membership::NodeHealth;
+pub use ring::HashRing;

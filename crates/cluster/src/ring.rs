@@ -1,0 +1,150 @@
+//! Consistent-hash ring over cluster slots.
+//!
+//! Each **slot** (one backend node, or one replica pair) owns `vnodes`
+//! points on a 64-bit ring; an item routes to the slot owning the first
+//! point at or after its hash. Virtual nodes keep the load split within
+//! a few percent of uniform, and — the property the failure story leans
+//! on — removing a slot moves only that slot's keys, scattering them
+//! across *all* survivors instead of dumping them on one neighbor.
+//!
+//! The ring itself is immutable after construction; liveness is a
+//! per-lookup concern. [`HashRing::route`] takes a `dead` predicate and
+//! walks past points whose slot is currently dead, which is exactly the
+//! rebalance-on-death behavior: the moment a node dies its key range
+//! drains to the survivors, and the moment it rejoins (predicate flips
+//! back) the original routing resumes with no ring rebuild.
+
+/// Fixed-key splitmix64 finalizer: cheap, statistically solid mixing for
+/// routing (not security). Point placement and item routing share it so
+/// the ring is deterministic across coordinator restarts.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An immutable consistent-hash ring mapping `u64` items to slot indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, slot)` sorted by position.
+    points: Vec<(u64, usize)>,
+    slots: usize,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Build a ring of `slots` slots with `vnodes` points each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `vnodes` is zero.
+    pub fn new(slots: usize, vnodes: usize) -> HashRing {
+        assert!(slots > 0, "ring needs at least one slot");
+        assert!(vnodes > 0, "ring needs at least one vnode per slot");
+        let mut points = Vec::with_capacity(slots * vnodes);
+        for slot in 0..slots {
+            for v in 0..vnodes {
+                let pos = mix64(((slot as u64) << 32) | v as u64);
+                points.push((pos, slot));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            slots,
+            vnodes,
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Virtual nodes per slot.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// The slot owning `item`, ignoring liveness.
+    pub fn slot_of(&self, item: u64) -> usize {
+        self.route(item, |_| false)
+            .expect("ring with no dead slots always routes")
+    }
+
+    /// The first slot at or after `item`'s ring position for which
+    /// `dead` is false, wrapping around; `None` when every slot is dead.
+    pub fn route(&self, item: u64, dead: impl Fn(usize) -> bool) -> Option<usize> {
+        let pos = mix64(item);
+        let start = self.points.partition_point(|&(p, _)| p < pos);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, slot) = self.points[(start + i) % n];
+            if !dead(slot) {
+                return Some(slot);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let ring = HashRing::new(5, 64);
+        for item in 0..10_000u64 {
+            let slot = ring.slot_of(item);
+            assert!(slot < 5);
+            assert_eq!(slot, ring.slot_of(item));
+        }
+    }
+
+    #[test]
+    fn vnodes_spread_load_roughly_evenly() {
+        let ring = HashRing::new(4, 64);
+        let mut counts = [0usize; 4];
+        for item in 0..40_000u64 {
+            counts[ring.slot_of(item)] += 1;
+        }
+        for &c in &counts {
+            // 4 slots x 64 vnodes: every slot within 2x of fair share.
+            assert!(c > 5_000 && c < 20_000, "skewed split: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn dead_slot_keys_scatter_across_survivors() {
+        let ring = HashRing::new(4, 64);
+        let mut rerouted = [0usize; 4];
+        let mut moved = 0usize;
+        for item in 0..40_000u64 {
+            let home = ring.slot_of(item);
+            let alive = ring.route(item, |s| s == 2).unwrap();
+            assert_ne!(alive, 2);
+            if home == 2 {
+                moved += 1;
+                rerouted[alive] += 1;
+            } else {
+                // Keys not owned by the dead slot must not move.
+                assert_eq!(alive, home);
+            }
+        }
+        // The dead slot's share lands on every survivor, not one neighbor.
+        assert!(moved > 5_000);
+        for (slot, &c) in rerouted.iter().enumerate() {
+            if slot != 2 {
+                assert!(c > 0, "survivor {slot} got no rerouted keys");
+            }
+        }
+    }
+
+    #[test]
+    fn all_dead_routes_none() {
+        let ring = HashRing::new(3, 8);
+        assert_eq!(ring.route(7, |_| true), None);
+    }
+}

@@ -5,8 +5,8 @@
 //! the degenerate trees a crashing system produces: branches pruned by a
 //! dead shard, merges deferred by a lagging compactor, leaves that never
 //! arrive because a client vanished mid-write. This crate turns that
-//! observation into an executable test: seeded schedules of ten fault
-//! classes ([`FaultClass`]) drive a live engine (and, for the wire
+//! observation into an executable test: seeded schedules of fourteen
+//! fault classes ([`FaultClass`]) drive a live engine (and, for the wire
 //! classes, a live TCP server), and every schedule ends by asserting the
 //! `ε·n` error bound against an exact oracle on the surviving state, plus
 //! a byte-identical codec round-trip.
@@ -16,6 +16,12 @@
 //! with no shutdown path, damage its WAL segments and checkpoint parts
 //! the way a real crash does, and require recovery to account for every
 //! surviving batch exactly.
+//!
+//! The four whole-node classes (`node-kill`, `gather-kill`,
+//! `rejoin-rebalance`, `replica-divergence`) lift the verdict to a
+//! federated cluster: an `ms-cluster` coordinator over three or four real
+//! TCP nodes, with seeded node kills, ring rebalances, WAL-backed rejoins
+//! and replica pairs, checked against the same exact oracles.
 //!
 //! Everything is reproducible from a printed u64 seed:
 //!
@@ -29,6 +35,7 @@
 //! The `fault-suite` binary runs the full class × family matrix over a
 //! list of seeds (CI pins three) and exits nonzero on any violation.
 
+pub mod cluster;
 pub mod plan;
 pub mod schedule;
 pub mod transport;

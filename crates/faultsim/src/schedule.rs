@@ -64,7 +64,8 @@ use crate::transport::{partial_prefix, Corruption};
 /// Summary error parameter every schedule runs at.
 pub const EPS: f64 = 0.02;
 
-/// The ten injected failure modes.
+/// The fourteen injected failure modes: ten in-process/wire classes and
+/// four whole-node cluster classes (see [`crate::cluster`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultClass {
     /// Worker threads die mid-stream and are respawned.
@@ -91,11 +92,24 @@ pub enum FaultClass {
     /// A single bit flips in a WAL segment or checkpoint part; recovery
     /// must detect it and account for every surviving batch.
     BitFlip,
+    /// A whole backend node is killed mid-ingest; the ring rebalances its
+    /// range to the survivors and the lost weight widens the slack.
+    NodeKill,
+    /// A node is killed between ingest and query, so the coordinator
+    /// discovers the death during the gather itself.
+    GatherKill,
+    /// A durable node is killed mid-stream, traffic rebalances, then the
+    /// node restarts from its WAL and rejoins — no acked weight may be
+    /// lost (strict zero-slack bound).
+    RejoinRebalance,
+    /// One member of a replica pair dies and rejoins empty; its partner
+    /// carries the slot and read-one gathers must not double-count.
+    ReplicaDivergence,
 }
 
 impl FaultClass {
     /// All classes, in a stable order.
-    pub fn all() -> [FaultClass; 10] {
+    pub fn all() -> [FaultClass; 14] {
         [
             FaultClass::ShardDeath,
             FaultClass::PoolStarve,
@@ -107,6 +121,10 @@ impl FaultClass {
             FaultClass::CrashPoint,
             FaultClass::TornWrite,
             FaultClass::BitFlip,
+            FaultClass::NodeKill,
+            FaultClass::GatherKill,
+            FaultClass::RejoinRebalance,
+            FaultClass::ReplicaDivergence,
         ]
     }
 
@@ -123,6 +141,10 @@ impl FaultClass {
             FaultClass::CrashPoint => "crash-point",
             FaultClass::TornWrite => "torn-write",
             FaultClass::BitFlip => "bit-flip",
+            FaultClass::NodeKill => "node-kill",
+            FaultClass::GatherKill => "gather-kill",
+            FaultClass::RejoinRebalance => "rejoin-rebalance",
+            FaultClass::ReplicaDivergence => "replica-divergence",
         }
     }
 
@@ -190,19 +212,19 @@ impl fmt::Display for ScheduleReport {
 }
 
 /// Everything a schedule accumulates while driving faults.
-struct Harness {
-    class: FaultClass,
-    kind: SummaryKind,
-    seed: u64,
-    accepted: Vec<u64>,
-    unacked_weight: u64,
+pub(crate) struct Harness {
+    pub(crate) class: FaultClass,
+    pub(crate) kind: SummaryKind,
+    pub(crate) seed: u64,
+    pub(crate) accepted: Vec<u64>,
+    pub(crate) unacked_weight: u64,
     /// The engine's telemetry plane, attached after `Engine::start` so a
     /// failing verdict can dump the flight recorder for forensics.
     telemetry: Option<Arc<EngineTelemetry>>,
 }
 
 impl Harness {
-    fn new(class: FaultClass, kind: SummaryKind, seed: u64) -> Self {
+    pub(crate) fn new(class: FaultClass, kind: SummaryKind, seed: u64) -> Self {
         Harness {
             class,
             kind,
@@ -216,13 +238,19 @@ impl Harness {
     /// Hold onto the engine's telemetry so [`Harness::fail`] can dump the
     /// flight recorder when a schedule's verdict fails.
     fn attach(&mut self, engine: &Arc<Engine>) {
-        self.telemetry = Some(Arc::clone(engine.telemetry()));
+        self.attach_telemetry(engine.telemetry());
+    }
+
+    /// Hold onto any telemetry plane (a coordinator's, for the
+    /// whole-node classes) for failure-time flight dumps.
+    pub(crate) fn attach_telemetry(&mut self, telemetry: &Arc<EngineTelemetry>) {
+        self.telemetry = Some(Arc::clone(telemetry));
     }
 
     /// Build a failure message carrying the reproducing seed. If the
     /// engine's flight recorder is attached, dump it seed-stamped (first
     /// failure only) and cite the file in the message.
-    fn fail(&self, msg: impl fmt::Display) -> String {
+    pub(crate) fn fail(&self, msg: impl fmt::Display) -> String {
         let mut text = format!(
             "[{} {} seed=0x{:X}] {msg}",
             self.class.label(),
@@ -239,7 +267,7 @@ impl Harness {
 
     /// Final verdict: codec round-trip plus the loss-slack error bound on
     /// every query family the summary supports.
-    fn finish(
+    pub(crate) fn finish(
         self,
         summary: &ShardSummary,
         metrics: ms_service::MetricsReport,
@@ -357,9 +385,9 @@ impl Harness {
     }
 }
 
-const UNIVERSE: u64 = 1 << 14;
+pub(crate) const UNIVERSE: u64 = 1 << 14;
 
-fn stream(n: usize, seed: u64) -> Vec<u64> {
+pub(crate) fn stream(n: usize, seed: u64) -> Vec<u64> {
     StreamKind::Zipf {
         s: 1.2,
         universe: UNIVERSE,
@@ -367,7 +395,7 @@ fn stream(n: usize, seed: u64) -> Vec<u64> {
     .generate(n, seed)
 }
 
-fn base_config(kind: SummaryKind, seed: u64) -> ServiceConfig {
+pub(crate) fn base_config(kind: SummaryKind, seed: u64) -> ServiceConfig {
     ServiceConfig::new(kind, EPS).seed(seed ^ 0xD15EA5E)
 }
 
@@ -402,6 +430,10 @@ pub fn run_schedule(
         FaultClass::CrashPoint => crash_point(kind, seed),
         FaultClass::TornWrite => torn_write(kind, seed),
         FaultClass::BitFlip => bit_flip(kind, seed),
+        FaultClass::NodeKill => crate::cluster::node_kill(kind, seed),
+        FaultClass::GatherKill => crate::cluster::gather_kill(kind, seed),
+        FaultClass::RejoinRebalance => crate::cluster::rejoin_rebalance(kind, seed),
+        FaultClass::ReplicaDivergence => crate::cluster::replica_divergence(kind, seed),
     }
 }
 
@@ -717,7 +749,7 @@ fn client_disconnect(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, Str
 
 /// Fresh scratch data directory for one durable schedule, named by the
 /// run's coordinates so concurrent suites never collide.
-fn scratch_dir(class: FaultClass, kind: SummaryKind, seed: u64) -> PathBuf {
+pub(crate) fn scratch_dir(class: FaultClass, kind: SummaryKind, seed: u64) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "ms-faultsim-{}-{}-{seed:x}-{}",
         class.label(),
@@ -731,7 +763,12 @@ fn scratch_dir(class: FaultClass, kind: SummaryKind, seed: u64) -> PathBuf {
 /// A durable engine config for the crash classes: small segments so a
 /// short stream spans several files, manual checkpoints only (the
 /// schedules place them at seeded indices).
-fn durable_config(kind: SummaryKind, seed: u64, dir: &Path, fsync: FsyncPolicy) -> ServiceConfig {
+pub(crate) fn durable_config(
+    kind: SummaryKind,
+    seed: u64,
+    dir: &Path,
+    fsync: FsyncPolicy,
+) -> ServiceConfig {
     base_config(kind, seed)
         .shards(2)
         .delta_updates(64)

@@ -44,6 +44,16 @@ pub enum Topology {
         /// Number of first-level groups.
         fan: usize,
     },
+    /// Coordinator fan-out: backends star into `groups` group heads
+    /// (level 1, one scatter/gather each), then the heads star into the
+    /// root coordinator (level 2). This is the merge schedule an
+    /// `ms-cluster` coordinator tree induces: every query is answered in
+    /// two hop levels regardless of backend count, and each link carries
+    /// exactly one summary.
+    Fanout {
+        /// Number of first-level coordinator groups.
+        groups: usize,
+    },
 }
 
 impl Topology {
@@ -122,6 +132,35 @@ impl Topology {
                 }
                 steps
             }
+            Topology::Fanout { groups } => {
+                let groups = groups.max(1);
+                let group = sites.div_ceil(groups).max(1);
+                let mut steps = Vec::with_capacity(sites.saturating_sub(1));
+                let mut heads = Vec::new();
+                let mut start = 0;
+                while start < sites {
+                    let end = (start + group).min(sites);
+                    // Group members star into the group head: one gather.
+                    for src in (start + 1)..end {
+                        steps.push(MergeStep {
+                            src,
+                            dst: start,
+                            level: 1,
+                        });
+                    }
+                    heads.push(start);
+                    start = end;
+                }
+                // Group heads star into the root coordinator.
+                for head in heads.iter().skip(1) {
+                    steps.push(MergeStep {
+                        src: *head,
+                        dst: heads[0],
+                        level: 2,
+                    });
+                }
+                steps
+            }
         }
     }
 
@@ -136,6 +175,7 @@ impl Topology {
                 let group = sites.div_ceil(fan).max(1);
                 group.min(sites) - 1
             }
+            Topology::Fanout { .. } => 0,
         }
     }
 
@@ -146,16 +186,18 @@ impl Topology {
             Topology::Chain => "chain",
             Topology::BalancedTree => "balanced-tree",
             Topology::TwoLevel { .. } => "two-level",
+            Topology::Fanout { .. } => "fanout",
         }
     }
 
     /// The topologies swept by experiment E10.
-    pub fn canonical() -> [Topology; 4] {
+    pub fn canonical() -> [Topology; 5] {
         [
             Topology::Star,
             Topology::Chain,
             Topology::BalancedTree,
             Topology::TwoLevel { fan: 8 },
+            Topology::Fanout { groups: 4 },
         ]
     }
 }
@@ -209,6 +251,18 @@ mod tests {
         let steps = Topology::BalancedTree.schedule(64);
         let max_level = steps.iter().map(|s| s.level).max().unwrap();
         assert_eq!(max_level, 6);
+    }
+
+    #[test]
+    fn fanout_is_two_hop_levels() {
+        let steps = Topology::Fanout { groups: 4 }.schedule(16);
+        assert!(steps.iter().all(|s| s.level <= 2));
+        assert_eq!(steps.iter().filter(|s| s.level == 2).count(), 3);
+        // Level-1 gathers land on group heads, level-2 gathers on the root.
+        assert!(steps
+            .iter()
+            .filter(|s| s.level == 2)
+            .all(|s| s.dst == 0 && s.src % 4 == 0));
     }
 
     #[test]

@@ -109,6 +109,30 @@ pub struct MetricsReport {
     pub retries: u64,
 }
 
+impl MetricsReport {
+    /// Fold another node's report into this one, cluster-wide.
+    ///
+    /// Work counters (updates, batches, merges, weights, losses) sum:
+    /// each node did its share and the totals are exact. `epoch` and
+    /// `snapshot_age_micros` are per-node gauges, not work: epochs
+    /// advance independently per engine (a sum would fabricate an epoch
+    /// no node ever published), so the merged report keeps the highest
+    /// epoch and the *stalest* snapshot age — a federated answer is only
+    /// as fresh as its stalest contributor.
+    pub fn merge_from(&mut self, other: &MetricsReport) {
+        self.updates += other.updates;
+        self.batches += other.batches;
+        self.dropped += other.dropped;
+        self.merges += other.merges;
+        self.epoch = self.epoch.max(other.epoch);
+        self.snapshot_age_micros = self.snapshot_age_micros.max(other.snapshot_age_micros);
+        self.snapshot_weight += other.snapshot_weight;
+        self.shards_lost += other.shards_lost;
+        self.frames_rejected += other.frames_rejected;
+        self.retries += other.retries;
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     updates: AtomicU64,

@@ -38,8 +38,10 @@ pub mod telemetry;
 pub use config::{DurabilityConfig, ServiceConfig, SummaryKind};
 pub use engine::{Engine, MetricsReport, RecoveryReport, Snapshot};
 pub use fault::{plan_fn, FaultAction, FaultPlan, NoFaults};
-pub use protocol::{decode_request, Request, Response, REQUEST_TAG, RESPONSE_TAG};
-pub use server::{dispatch, Client, ClientOptions, Server};
+pub use protocol::{
+    decode_request, ClusterInfo, NodeInfo, NodeState, Request, Response, REQUEST_TAG, RESPONSE_TAG,
+};
+pub use server::{check_phi, dispatch, Client, ClientOptions, Server, Service};
 pub use summary::ShardSummary;
 pub use telemetry::{EngineTelemetry, OPCODE_LABELS};
 

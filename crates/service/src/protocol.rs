@@ -42,6 +42,14 @@ pub enum Request {
     /// queue-depth gauges, byte counters (see
     /// [`crate::Engine::telemetry_snapshot`]).
     Telemetry,
+    /// Cluster membership and hash-ring state. Answered with
+    /// [`Response::Cluster`] by a coordinator; a plain engine answers
+    /// with [`Response::Error`].
+    ClusterInfo,
+    /// The summary held by one backend node, by node index. Answered
+    /// with [`Response::Summary`] by a coordinator (which fetches it from
+    /// the backend); a plain engine answers with [`Response::Error`].
+    NodeSummary(u32),
 }
 
 impl Request {
@@ -67,6 +75,8 @@ impl Request {
             Request::Metrics => 7,
             Request::Summary => 8,
             Request::Telemetry => 9,
+            Request::ClusterInfo => 10,
+            Request::NodeSummary(_) => 11,
         }
     }
 }
@@ -88,11 +98,13 @@ impl Wire for Request {
             Request::Point(item) => item.encode_into(out),
             Request::HeavyHitters(phi) | Request::Quantile(phi) => phi.encode_into(out),
             Request::Rank(x) => x.encode_into(out),
+            Request::NodeSummary(node) => node.encode_into(out),
             Request::Ping
             | Request::Flush
             | Request::Metrics
             | Request::Summary
-            | Request::Telemetry => {}
+            | Request::Telemetry
+            | Request::ClusterInfo => {}
         }
     }
 
@@ -108,6 +120,8 @@ impl Wire for Request {
             7 => Request::Metrics,
             8 => Request::Summary,
             9 => Request::Telemetry,
+            10 => Request::ClusterInfo,
+            11 => Request::NodeSummary(u32::decode_from(r)?),
             _ => return Err(WireError::Malformed("unknown request opcode")),
         })
     }
@@ -133,6 +147,131 @@ pub enum Response {
     Error(String),
     /// The telemetry registry snapshot.
     Telemetry(RegistrySnapshot),
+    /// Cluster membership and hash-ring state (coordinator only).
+    Cluster(ClusterInfo),
+}
+
+/// Liveness of one backend node, as judged by a coordinator from request
+/// outcomes and periodic pings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Serving requests normally.
+    Alive,
+    /// At least one recent failure; still routed to, watched closely.
+    Suspect,
+    /// Enough consecutive failures that the hash ring routes around it
+    /// until a ping or an explicit rejoin revives it.
+    Dead,
+}
+
+impl NodeState {
+    /// Stable display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NodeState::Alive => "alive",
+            NodeState::Suspect => "suspect",
+            NodeState::Dead => "dead",
+        }
+    }
+}
+
+impl Wire for NodeState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            NodeState::Alive => 0,
+            NodeState::Suspect => 1,
+            NodeState::Dead => 2,
+        });
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(match r.byte()? {
+            0 => NodeState::Alive,
+            1 => NodeState::Suspect,
+            2 => NodeState::Dead,
+            _ => return Err(WireError::Malformed("unknown node state")),
+        })
+    }
+}
+
+/// One backend node as seen from the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInfo {
+    /// Position in the coordinator's node list (also the
+    /// [`Request::NodeSummary`] index).
+    pub index: u32,
+    /// The node's current address (rejoin may move it).
+    pub addr: String,
+    /// Membership state.
+    pub state: NodeState,
+    /// Consecutive failed requests since the last success.
+    pub consecutive_failures: u32,
+    /// Requests the coordinator has sent this node.
+    pub requests: u64,
+    /// Requests that failed (transport or engine error).
+    pub failures: u64,
+    /// Snapshot weight last observed on this node (0 until first seen).
+    pub last_weight: u64,
+}
+
+impl Wire for NodeInfo {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.index.encode_into(out);
+        self.addr.encode_into(out);
+        self.state.encode_into(out);
+        self.consecutive_failures.encode_into(out);
+        self.requests.encode_into(out);
+        self.failures.encode_into(out);
+        self.last_weight.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(NodeInfo {
+            index: u32::decode_from(r)?,
+            addr: String::decode_from(r)?,
+            state: NodeState::decode_from(r)?,
+            consecutive_failures: u32::decode_from(r)?,
+            requests: u64::decode_from(r)?,
+            failures: u64::decode_from(r)?,
+            last_weight: u64::decode_from(r)?,
+        })
+    }
+}
+
+/// Cluster membership + routing state served by [`Request::ClusterInfo`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInfo {
+    /// Every backend node, in index order.
+    pub nodes: Vec<NodeInfo>,
+    /// Whether nodes are paired into replica slots.
+    pub replicas: bool,
+    /// Hash-ring slots (node pairs when replicated, else one per node).
+    pub slots: u32,
+    /// Virtual nodes per slot on the ring.
+    pub vnodes: u32,
+    /// Ingest buckets delivered to a slot other than their home slot
+    /// because the home slot was entirely dead (ring rebalances).
+    pub rebalanced_batches: u64,
+}
+
+impl Wire for ClusterInfo {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.nodes.encode_into(out);
+        self.replicas.encode_into(out);
+        self.slots.encode_into(out);
+        self.vnodes.encode_into(out);
+        self.rebalanced_batches.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(ClusterInfo {
+            nodes: Vec::decode_from(r)?,
+            replicas: bool::decode_from(r)?,
+            slots: u32::decode_from(r)?,
+            vnodes: u32::decode_from(r)?,
+            rebalanced_batches: u64::decode_from(r)?,
+        })
+    }
 }
 
 impl Wire for Response {
@@ -167,6 +306,10 @@ impl Wire for Response {
                 out.push(7);
                 snapshot.encode_into(out);
             }
+            Response::Cluster(info) => {
+                out.push(8);
+                info.encode_into(out);
+            }
         }
     }
 
@@ -180,6 +323,7 @@ impl Wire for Response {
             5 => Response::Summary(Vec::decode_from(r)?),
             6 => Response::Error(String::decode_from(r)?),
             7 => Response::Telemetry(RegistrySnapshot::decode_from(r)?),
+            8 => Response::Cluster(ClusterInfo::decode_from(r)?),
             _ => return Err(WireError::Malformed("unknown response opcode")),
         })
     }
@@ -232,6 +376,9 @@ mod tests {
             Request::Metrics,
             Request::Summary,
             Request::Telemetry,
+            Request::ClusterInfo,
+            Request::NodeSummary(0),
+            Request::NodeSummary(u32::MAX),
         ];
         for req in cases {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -261,6 +408,32 @@ mod tests {
             Response::Summary(vec![0xAB; 16]),
             Response::Error("nope".into()),
             Response::Telemetry(RegistrySnapshot::default()),
+            Response::Cluster(ClusterInfo {
+                nodes: vec![
+                    NodeInfo {
+                        index: 0,
+                        addr: "127.0.0.1:7433".into(),
+                        state: NodeState::Alive,
+                        consecutive_failures: 0,
+                        requests: 100,
+                        failures: 0,
+                        last_weight: 42_000,
+                    },
+                    NodeInfo {
+                        index: 1,
+                        addr: "10.0.0.2:7433".into(),
+                        state: NodeState::Dead,
+                        consecutive_failures: u32::MAX,
+                        requests: u64::MAX,
+                        failures: u64::MAX,
+                        last_weight: 0,
+                    },
+                ],
+                replicas: true,
+                slots: 1,
+                vnodes: 64,
+                rebalanced_batches: 7,
+            }),
         ];
         for resp in cases {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
@@ -320,9 +493,59 @@ mod tests {
             Request::Metrics,
             Request::Summary,
             Request::Telemetry,
+            Request::ClusterInfo,
+            Request::NodeSummary(2),
         ] {
             assert!(req.is_idempotent(), "{req:?}");
         }
+    }
+
+    #[test]
+    fn node_state_rejects_unknown_discriminant() {
+        assert!(NodeState::decode(&[3]).is_err());
+    }
+
+    #[test]
+    fn metrics_report_merge_sums_counters_and_maxes_gauges() {
+        let a = MetricsReport {
+            updates: 100,
+            batches: 10,
+            dropped: 1,
+            merges: 5,
+            epoch: 9,
+            snapshot_age_micros: 50,
+            snapshot_weight: 100,
+            shards_lost: 0,
+            frames_rejected: 2,
+            retries: 3,
+        };
+        let mut m = a;
+        m.merge_from(&MetricsReport {
+            updates: 200,
+            batches: 20,
+            dropped: 0,
+            merges: 7,
+            epoch: 4,
+            snapshot_age_micros: 900,
+            snapshot_weight: 200,
+            shards_lost: 1,
+            frames_rejected: 0,
+            retries: 1,
+        });
+        // Work counters sum across nodes...
+        assert_eq!(m.updates, 300);
+        assert_eq!(m.batches, 30);
+        assert_eq!(m.dropped, 1);
+        assert_eq!(m.merges, 12);
+        assert_eq!(m.snapshot_weight, 300);
+        assert_eq!(m.shards_lost, 1);
+        assert_eq!(m.frames_rejected, 2);
+        assert_eq!(m.retries, 4);
+        // ...but per-node gauges do not: epochs advance independently, so
+        // a sum would fabricate an epoch no node ever published, and the
+        // cluster's snapshot is only as fresh as its stalest member.
+        assert_eq!(m.epoch, 9);
+        assert_eq!(m.snapshot_age_micros, 900);
     }
 
     #[test]

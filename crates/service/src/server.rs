@@ -14,7 +14,7 @@
 use std::io::{self, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -24,25 +24,89 @@ use ms_obs::RegistrySnapshot;
 
 use crate::engine::{Engine, MetricsReport};
 use crate::protocol::{decode_request, Request, Response, REQUEST_TAG, RESPONSE_TAG};
-use crate::telemetry::timed;
+use crate::telemetry::{timed, EngineTelemetry};
 
-/// A running TCP front-end over an [`Engine`].
+/// Anything a [`Server`] can front: one request in, one response out,
+/// plus the telemetry plane the connection loop records into. The
+/// [`Engine`] is the single-node implementation; a cluster coordinator
+/// implements the same trait to serve the identical wire protocol by
+/// scatter/gather over backend nodes.
+pub trait Service: Send + Sync + 'static {
+    /// Serve one decoded request.
+    fn handle(&self, request: Request) -> Response;
+
+    /// The telemetry plane (per-opcode latency, byte counters).
+    fn telemetry(&self) -> &Arc<EngineTelemetry>;
+
+    /// Count one malformed wire frame.
+    fn record_rejected_frame(&self);
+
+    /// Graceful shutdown: drain and publish before stopping.
+    fn shutdown(&self);
+
+    /// Hard stop with no final drain (simulated `kill -9`).
+    fn abort(&self);
+}
+
+impl Service for Engine {
+    fn handle(&self, request: Request) -> Response {
+        dispatch(self, request)
+    }
+
+    fn telemetry(&self) -> &Arc<EngineTelemetry> {
+        Engine::telemetry(self)
+    }
+
+    fn record_rejected_frame(&self) {
+        Engine::record_rejected_frame(self);
+    }
+
+    fn shutdown(&self) {
+        Engine::shutdown(self);
+    }
+
+    fn abort(&self) {
+        Engine::abort(self);
+    }
+}
+
+/// A running TCP front-end over a [`Service`] (an [`Engine`] or a
+/// cluster coordinator).
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
-    engine: Arc<Engine>,
+    service: Arc<dyn Service>,
+    /// Set only by [`Server::bind`]; [`Server::engine`] needs it.
+    engine: Option<Arc<Engine>>,
+    /// One cloned handle per accepted connection, so [`Server::kill`]
+    /// can sever live peers the way a dying process severs them.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
     /// accepting connections, each served by its own thread.
     pub fn bind(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> Result<Server, ServiceError> {
+        let mut server = Self::bind_service(Arc::clone(&engine) as Arc<dyn Service>, addr)?;
+        server.engine = Some(engine);
+        Ok(server)
+    }
+
+    /// Bind `addr` over any [`Service`] implementation. The front-end is
+    /// byte-identical to [`Server::bind`]; only [`Server::engine`] is
+    /// unavailable.
+    pub fn bind_service(
+        service: Arc<dyn Service>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Server, ServiceError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_stop = Arc::clone(&stop);
-        let accept_engine = Arc::clone(&engine);
+        let accept_service = Arc::clone(&service);
+        let accept_conns = Arc::clone(&conns);
         let accept_handle = std::thread::Builder::new()
             .name("ms-accept".to_string())
             .spawn(move || {
@@ -51,17 +115,22 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
-                    let engine = Arc::clone(&accept_engine);
+                    if let Ok(clone) = stream.try_clone() {
+                        lock(&accept_conns).push(clone);
+                    }
+                    let service = Arc::clone(&accept_service);
                     let _ = std::thread::Builder::new()
                         .name("ms-conn".to_string())
-                        .spawn(move || serve_connection(stream, engine));
+                        .spawn(move || serve_connection(stream, service));
                 }
             })?;
         Ok(Server {
             addr,
             stop,
             accept_handle: Some(accept_handle),
-            engine,
+            service,
+            engine: None,
+            conns,
         })
     }
 
@@ -71,13 +140,25 @@ impl Server {
     }
 
     /// The engine behind this server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was built with [`Server::bind_service`] over
+    /// a non-engine service; use [`Server::service`] there.
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+        self.engine
+            .as_ref()
+            .expect("server was bound with bind_service; it has no Engine")
     }
 
-    /// Stop accepting connections and shut the engine down. In-flight
-    /// connection threads finish their current request and exit when the
-    /// peer closes.
+    /// The service behind this server.
+    pub fn service(&self) -> &Arc<dyn Service> {
+        &self.service
+    }
+
+    /// Stop accepting connections and shut the service down gracefully.
+    /// In-flight connection threads finish their current request and exit
+    /// when the peer closes.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::Release);
         // Wake the blocking accept with a throw-away connection.
@@ -85,13 +166,33 @@ impl Server {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
-        self.engine.shutdown();
+        self.service.shutdown();
+    }
+
+    /// Kill the node the way `kill -9` does: abort the service with no
+    /// final drain and sever every live connection, so peers observe a
+    /// connection reset rather than a graceful EOF. The whole-node fault
+    /// schedules drive this.
+    pub fn kill(mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.service.abort();
+        for conn in lock(&self.conns).drain(..) {
+            let _ = conn.shutdown(NetShutdown::Both);
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
-fn serve_connection(mut stream: TcpStream, engine: Arc<Engine>) {
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn serve_connection(mut stream: TcpStream, service: Arc<dyn Service>) {
     let _ = stream.set_nodelay(true);
-    let telemetry = Arc::clone(engine.telemetry());
+    let telemetry = Arc::clone(service.telemetry());
     loop {
         let frame = match WireFrame::read_from(&mut stream) {
             Ok(Some(frame)) => frame,
@@ -102,7 +203,7 @@ fn serve_connection(mut stream: TcpStream, engine: Arc<Engine>) {
             // there, and close — framing cannot be resynchronized.
             Err(e) => {
                 if is_frame_rejection(&e) {
-                    engine.record_rejected_frame();
+                    service.record_rejected_frame();
                     let msg = Response::Error(format!("bad frame: {e}"));
                     let _ = WireFrame::from_value(RESPONSE_TAG, &msg).write_to(&mut stream);
                     let _ = stream.shutdown(NetShutdown::Both);
@@ -116,12 +217,12 @@ fn serve_connection(mut stream: TcpStream, engine: Arc<Engine>) {
         let response = match decode_request(&frame) {
             Ok(request) => {
                 let opcode = request.opcode();
-                let (response, micros) = timed(|| dispatch(&engine, request));
+                let (response, micros) = timed(|| service.handle(request));
                 telemetry.record_request(opcode, micros);
                 response
             }
             Err(e) => {
-                engine.record_rejected_frame();
+                service.record_rejected_frame();
                 Response::Error(format!("bad request: {e}"))
             }
         };
@@ -180,12 +281,15 @@ pub fn dispatch(engine: &Engine, request: Request) -> Response {
         Request::Metrics => Response::Metrics(engine.metrics()),
         Request::Summary => Response::Summary(engine.snapshot().summary.encode()),
         Request::Telemetry => Response::Telemetry(engine.telemetry_snapshot()),
+        Request::ClusterInfo | Request::NodeSummary(_) => {
+            Response::Error("cluster queries are only answered by a coordinator node".to_string())
+        }
     }
 }
 
 /// φ parameters arrive as raw `f64` bits off the wire; reject NaN,
 /// infinities and out-of-range values before they reach a summary.
-fn check_phi(phi: f64) -> Result<(), String> {
+pub fn check_phi(phi: f64) -> Result<(), String> {
     if phi.is_finite() && (0.0..=1.0).contains(&phi) {
         Ok(())
     } else {

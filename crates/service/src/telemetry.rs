@@ -25,7 +25,7 @@ const FLIGHT_RING_CAPACITY: usize = 256;
 /// Opcode labels, indexed by the request opcode byte (see
 /// [`crate::protocol::Request`]). Kept in wire-opcode order so the server
 /// can index by opcode without a match.
-pub const OPCODE_LABELS: [&str; 10] = [
+pub const OPCODE_LABELS: [&str; 12] = [
     "ping",
     "ingest",
     "flush",
@@ -36,6 +36,8 @@ pub const OPCODE_LABELS: [&str; 10] = [
     "metrics",
     "summary",
     "telemetry",
+    "cluster_info",
+    "node_summary",
 ];
 
 /// Pre-registered instruments for one engine (and the server wrapping it).

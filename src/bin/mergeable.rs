@@ -32,6 +32,7 @@ use std::io::{BufRead, BufReader, Read};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use mergeable_summaries::cluster::{ClusterConfig, Coordinator};
 use mergeable_summaries::core::{
     ItemSummary, Mergeable, Summary, ToJson, Wire, WireError, WireFrame, WireReader,
 };
@@ -247,8 +248,11 @@ USAGE:
   mergeable info FILE
   mergeable serve --kind KIND --epsilon E [--addr A] [--shards N] [--seed S] [--no-telemetry]
                   [--data-dir DIR] [--fsync always|every:N|never] [--checkpoint-batches N]
+  mergeable serve --coordinator --nodes H:P,H:P,... [--addr A] [--replicas]
+                  [--ping-interval-ms N]
   mergeable bench-client --addr A [--items N] [--batch B] [--seed S] [--zipf S]
   mergeable metrics --addr A [--prom]
+  mergeable metrics --cluster --nodes H:P,H:P,... [--prom]
   mergeable store inspect DIR [--json]
 
 KINDS:
@@ -266,6 +270,15 @@ throughput and engine metrics. `metrics` scrapes a live server's
 telemetry plane: per-opcode latency histograms (p50/p95/p99/max),
 per-shard queue-depth gauges and byte counters, as a table or (--prom)
 Prometheus text exposition.
+
+`serve --coordinator` federates N already-running `serve` backends into
+one logical service: ingest batches are consistent-hash routed across
+the nodes (with automatic rebalance around dead ones), queries are
+answered by scatter/gather plus a one-shot merge — the same eps*n bound
+as a single node — and `--replicas` pairs consecutive nodes for
+redundancy. `metrics --cluster` scrapes every node directly and merges
+their metric planes client-side (work counters sum, gauges take max,
+latency histograms merge bucket-wise).
 
 `serve --data-dir DIR` makes the engine crash-safe: every acked batch is
 appended to a write-ahead log and periodically folded into per-shard
@@ -526,6 +539,9 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
+    if take_switch(&mut args, "--coordinator") {
+        return cmd_serve_coordinator(args);
+    }
     let kind = take_flag(&mut args, "--kind").ok_or("serve requires --kind")?;
     let kind = SummaryKind::parse(&kind).ok_or_else(|| {
         format!(
@@ -608,6 +624,54 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let _ = std::io::stdin().lock().read_to_end(&mut sink);
     server.stop();
     eprintln!("server stopped");
+    Ok(())
+}
+
+/// `serve --coordinator --nodes host:port,...`: a federation coordinator
+/// speaking the same wire protocol as a single node, routing ingest by
+/// consistent hash and answering queries by scatter/gather + one-shot
+/// merge.
+fn cmd_serve_coordinator(mut args: Vec<String>) -> Result<(), String> {
+    let nodes = take_flag(&mut args, "--nodes")
+        .ok_or("serve --coordinator requires --nodes host:port,...")?;
+    let nodes: Vec<String> = nodes
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7433".to_string());
+    let mut cfg = ClusterConfig::new(nodes);
+    if take_switch(&mut args, "--replicas") {
+        cfg = cfg.replicas(true);
+    }
+    if let Some(millis) = take_flag(&mut args, "--ping-interval-ms") {
+        let millis: u64 = millis
+            .parse()
+            .map_err(|e| format!("bad --ping-interval-ms: {e}"))?;
+        cfg = cfg.ping_interval((millis > 0).then(|| std::time::Duration::from_millis(millis)));
+    }
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    let replicas = cfg.replicas;
+    let backends = cfg.nodes.len();
+    let coordinator =
+        Coordinator::start(cfg).map_err(|e| format!("cannot start coordinator: {e}"))?;
+    let server = Server::bind_service(coordinator, addr.as_str())
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "coordinating {} backend node{} on {}{}; close stdin to stop",
+        backends,
+        if backends == 1 { "" } else { "s" },
+        server.local_addr(),
+        if replicas { " (replica pairs)" } else { "" },
+    );
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().lock().read_to_end(&mut sink);
+    server.stop();
+    eprintln!("coordinator stopped");
     Ok(())
 }
 
@@ -761,8 +825,12 @@ fn cmd_store_inspect(args: &[String]) -> Result<(), String> {
 
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
-    let addr = take_flag(&mut args, "--addr").ok_or("metrics requires --addr")?;
     let prom = take_switch(&mut args, "--prom");
+    let cluster = take_switch(&mut args, "--cluster");
+    if cluster {
+        return cmd_metrics_cluster(args, prom);
+    }
+    let addr = take_flag(&mut args, "--addr").ok_or("metrics requires --addr")?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
     }
@@ -777,7 +845,85 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
         print!("{}", mergeable_summaries::obs::render_prometheus(&snap));
         return Ok(());
     }
+    print_registry(&snap);
+    Ok(())
+}
 
+/// `metrics --cluster --nodes a,b,c`: scrape every node and merge the
+/// planes client-side — `MetricsReport`s fold with the same
+/// sum-the-work / max-the-gauges rule the coordinator uses, registry
+/// snapshots merge counter-by-counter and histogram-bucket-wise.
+fn cmd_metrics_cluster(mut args: Vec<String>, prom: bool) -> Result<(), String> {
+    let nodes = take_flag(&mut args, "--nodes")
+        .ok_or("metrics --cluster requires --nodes host:port,...")?;
+    let nodes: Vec<String> = nodes
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if nodes.is_empty() {
+        return Err("metrics --cluster requires at least one node".into());
+    }
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    let mut merged_report: Option<mergeable_summaries::service::MetricsReport> = None;
+    let mut merged_snap: Option<mergeable_summaries::obs::RegistrySnapshot> = None;
+    let mut scraped = 0usize;
+    for addr in &nodes {
+        let mut client = match mergeable_summaries::service::Client::connect(addr.as_str()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("warning: skipping {addr}: {e}");
+                continue;
+            }
+        };
+        let report = client
+            .metrics()
+            .map_err(|e| format!("{addr}: metrics scrape failed: {e}"))?;
+        let snap = client
+            .telemetry()
+            .map_err(|e| format!("{addr}: telemetry scrape failed: {e}"))?;
+        match &mut merged_report {
+            None => merged_report = Some(report),
+            Some(acc) => acc.merge_from(&report),
+        }
+        merged_snap = Some(match merged_snap.take() {
+            None => snap,
+            Some(acc) => acc.merge(&snap),
+        });
+        scraped += 1;
+    }
+    let (report, snap) = merged_report
+        .zip(merged_snap)
+        .ok_or("no node could be scraped")?;
+
+    if prom {
+        print!("{}", mergeable_summaries::obs::render_prometheus(&snap));
+        return Ok(());
+    }
+    println!("== cluster ({scraped} of {} nodes scraped) ==", nodes.len());
+    println!("{:<44} {}", "updates", report.updates);
+    println!("{:<44} {}", "batches", report.batches);
+    println!("{:<44} {}", "dropped", report.dropped);
+    println!("{:<44} {}", "merges", report.merges);
+    println!("{:<44} {}", "snapshot_weight", report.snapshot_weight);
+    println!("{:<44} {}", "epoch (max)", report.epoch);
+    println!(
+        "{:<44} {}",
+        "snapshot_age_micros (max)", report.snapshot_age_micros
+    );
+    println!("{:<44} {}", "shards_lost", report.shards_lost);
+    println!("{:<44} {}", "frames_rejected", report.frames_rejected);
+    println!("{:<44} {}", "retries", report.retries);
+    println!();
+    print_registry(&snap);
+    Ok(())
+}
+
+fn print_registry(snap: &mergeable_summaries::obs::RegistrySnapshot) {
     if !snap.counters.is_empty() {
         println!("== counters ==");
         for (name, value) in &snap.counters {
@@ -808,5 +954,4 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
             );
         }
     }
-    Ok(())
 }

@@ -44,6 +44,7 @@
 //! assert!(merged.estimate(&"popular") <= 10);
 //! ```
 
+pub use ms_cluster as cluster;
 pub use ms_core as core;
 pub use ms_frequency as frequency;
 pub use ms_kernels as kernels;

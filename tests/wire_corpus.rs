@@ -147,6 +147,51 @@ fn corpus() -> Vec<Case> {
             .to_bytes(),
             expect: Expect::Request(WireError::Trailing(1)),
         },
+        // The cluster opcodes (10 ClusterInfo, 11 NodeSummary) and the
+        // coordinator's liveness probe ride the same codec; pin each
+        // opcode's exact frame bytes plus its rejection modes.
+        Case {
+            name: "ping_request.bin",
+            bytes: WireFrame::from_value(REQUEST_TAG, &Request::Ping).to_bytes(),
+            expect: Expect::Decodes(Request::Ping),
+        },
+        Case {
+            name: "cluster_info_request.bin",
+            bytes: WireFrame::from_value(REQUEST_TAG, &Request::ClusterInfo).to_bytes(),
+            expect: Expect::Decodes(Request::ClusterInfo),
+        },
+        Case {
+            name: "node_summary_request.bin",
+            bytes: WireFrame::from_value(REQUEST_TAG, &Request::NodeSummary(2)).to_bytes(),
+            expect: Expect::Decodes(Request::NodeSummary(2)),
+        },
+        Case {
+            name: "cluster_info_trailing.bin",
+            bytes: WireFrame {
+                tag: REQUEST_TAG,
+                payload: vec![10, 0x00],
+            }
+            .to_bytes(),
+            expect: Expect::Request(WireError::Trailing(1)),
+        },
+        Case {
+            name: "node_summary_truncated.bin",
+            bytes: WireFrame {
+                tag: REQUEST_TAG,
+                payload: vec![11],
+            }
+            .to_bytes(),
+            expect: Expect::Request(WireError::Truncated),
+        },
+        Case {
+            name: "node_summary_trailing.bin",
+            bytes: WireFrame {
+                tag: REQUEST_TAG,
+                payload: vec![11, 0x02, 0xFF],
+            }
+            .to_bytes(),
+            expect: Expect::Request(WireError::Trailing(1)),
+        },
     ]
 }
 
