@@ -72,6 +72,9 @@ fn main() {
     if want("e12") {
         e12_service_scaling();
     }
+    if want("e13") {
+        e13_segment_merge_error();
+    }
     if want("x1") {
         x1_low_error_golden();
     }
@@ -1109,6 +1112,107 @@ fn e12_service_scaling() {
             (max_err <= bound).to_string(),
             snapshot.summary.wire_len().to_string(),
             snapshot.summary.json_len().to_string(),
+        ]);
+    }
+    table.emit();
+}
+
+// ---------------------------------------------------------------------------
+// E13 — error vs. number of merged segments (the segment cube's range path)
+
+/// The paper's mergeability guarantee (Definition 1) applied to the
+/// segment cube: slicing one stream into S time segments, summarizing
+/// each independently, and one-shot merging all S to answer a range
+/// query must cost the *same* `ε·n` bound at every S — error must not
+/// grow with the number of merged segments.
+fn e13_segment_merge_error() {
+    use ms_service::{SegmentConfig, SegmentCube, SummaryKind};
+    use std::sync::Arc;
+
+    let n = 1 << 17;
+    let eps = 0.01;
+    let batches = 256usize;
+    let batch = n / batches;
+    let items = StreamKind::Zipf {
+        s: 1.1,
+        universe: 1 << 16,
+    }
+    .generate(n, 131);
+    let freq = FrequencyOracle::from_stream(items.iter().copied());
+    let rank = RankOracle::from_stream(items.iter().copied());
+    let bound = (eps * n as f64).ceil() as u64;
+
+    let mut table = Table::new(
+        "e13-segments",
+        &format!(
+            "segment cube range merge (eps = {eps}), {n} zipf items in {batches} \
+             batches sliced into S segments; the full-range one-shot merge of \
+             all S must keep every family within eps*n = {bound} regardless of S \
+             (Definition 1: merging does not degrade the bound)"
+        ),
+        &[
+            "segments",
+            "mg max err",
+            "ss max err",
+            "cm max err",
+            "rank max err",
+            "eps*n",
+            "within eps*n",
+        ],
+    );
+
+    for segs in [1usize, 2, 4, 8, 16, 32, 64] {
+        // A frozen manual clock: only the batch-count boundary seals, so
+        // the cube holds exactly `segs` sealed segments after ingest.
+        let clock = Arc::new(ms_service::ManualClock::new(1));
+        let cube = SegmentCube::new(
+            eps,
+            131,
+            SegmentConfig::new()
+                .seal_batches((batches / segs) as u64)
+                .seal_micros(1 << 40)
+                .clock(clock as Arc<dyn ms_service::CubeClock>),
+        );
+        for chunk in items.chunks(batch) {
+            cube.record_with(chunk, || Ok::<(), ()>(())).unwrap();
+        }
+
+        let mut errs = [0u64; 4];
+        let kinds = [
+            SummaryKind::Mg,
+            SummaryKind::SpaceSaving,
+            SummaryKind::CountMin,
+            SummaryKind::HybridQuantile,
+        ];
+        for (slot, kind) in kinds.into_iter().enumerate() {
+            let (meta, merged) = cube.query(0, u64::MAX, kind);
+            assert_eq!(meta.segments_merged as usize, segs, "covering set is all S");
+            assert_eq!(
+                meta.covered_weight, n as u64,
+                "full range covers the stream"
+            );
+            let merged = merged.unwrap();
+            errs[slot] = match kind {
+                SummaryKind::HybridQuantile => (0..=100)
+                    .filter_map(|i| rank.quantile(i as f64 / 100.0).copied())
+                    .map(|x| rank.rank_error(&x, merged.rank(x).unwrap()))
+                    .max()
+                    .unwrap_or(0),
+                _ => freq
+                    .iter()
+                    .map(|(item, truth)| merged.point(*item).unwrap().abs_diff(truth))
+                    .max()
+                    .unwrap_or(0),
+            };
+        }
+        table.row(vec![
+            segs.to_string(),
+            errs[0].to_string(),
+            errs[1].to_string(),
+            errs[2].to_string(),
+            errs[3].to_string(),
+            bound.to_string(),
+            errs.iter().all(|&e| e <= bound).to_string(),
         ]);
     }
     table.emit();

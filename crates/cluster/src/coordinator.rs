@@ -29,7 +29,7 @@ use ms_obs::{Counter, Gauge, Histogram, RegistrySnapshot};
 use ms_service::telemetry::timed;
 use ms_service::{
     check_phi, Client, ClientOptions, ClusterInfo, EngineTelemetry, MetricsReport, NodeInfo,
-    Request, Response, Service, ShardSummary,
+    RangeAnswer, RangeMeta, Request, Response, SegmentReport, Service, ShardSummary,
 };
 
 use crate::membership::NodeHealth;
@@ -525,6 +525,117 @@ impl Coordinator {
         }
     }
 
+    /// Scatter a range request to every slot and merge the per-node
+    /// range summaries one-shot. Per slot exactly one member's answer
+    /// enters the merge — the one covering more weight, mirroring the
+    /// read-one replica rule — because range summaries are additive, not
+    /// idempotent. The merged summary carries the same `ε·(covered
+    /// weight)` bound as a single node that held every covering segment
+    /// (Definition 1), so the caller recomputes the final answer from it
+    /// instead of averaging per-node scalars.
+    pub fn range_gather(
+        &self,
+        request: &Request,
+    ) -> Result<(RangeMeta, Option<ShardSummary>), ServiceError> {
+        let (start_micros, end_micros) = match request {
+            Request::RangeQuantile {
+                start_micros,
+                end_micros,
+                ..
+            }
+            | Request::RangeHeavyHitters {
+                start_micros,
+                end_micros,
+                ..
+            } => (*start_micros, *end_micros),
+            _ => return Err(ServiceError::Config("not a range request")),
+        };
+        let mut merged: Option<ShardSummary> = None;
+        let mut meta = RangeMeta {
+            start_micros,
+            end_micros,
+            segments_merged: 0,
+            open_included: false,
+            covered_weight: 0,
+            start_seq: 0,
+            end_seq: 0,
+        };
+        let mut answered = 0usize;
+        for members in &self.slots {
+            let mut best: Option<RangeAnswer> = None;
+            for &member in members {
+                if self.nodes[member].health.is_dead() {
+                    continue;
+                }
+                let response = match self.scatter_call(member, request) {
+                    Ok(r) => r,
+                    Err(_) => continue,
+                };
+                let Response::Range(answer) = response else {
+                    continue;
+                };
+                best = match best {
+                    Some(prev) if prev.meta.covered_weight >= answer.meta.covered_weight => {
+                        Some(prev)
+                    }
+                    _ => Some(answer),
+                };
+            }
+            let Some(answer) = best else {
+                continue;
+            };
+            answered += 1;
+            if answer.summary.is_empty() {
+                // The node is live but no segment overlaps the window.
+                continue;
+            }
+            let summary = ShardSummary::decode(&answer.summary)
+                .map_err(|e| ServiceError::Protocol(format!("bad range summary: {e}")))?;
+            meta.segments_merged += answer.meta.segments_merged;
+            meta.open_included |= answer.meta.open_included;
+            meta.covered_weight += answer.meta.covered_weight;
+            meta.start_seq = match meta.start_seq {
+                0 => answer.meta.start_seq,
+                s => s.min(answer.meta.start_seq),
+            };
+            meta.end_seq = meta.end_seq.max(answer.meta.end_seq);
+            match &mut merged {
+                None => merged = Some(summary),
+                Some(acc) => acc
+                    .merge_in_place(summary)
+                    .map_err(|e| ServiceError::Protocol(format!("range merge: {e}")))?,
+            }
+        }
+        if answered == 0 {
+            return Err(no_live_backend());
+        }
+        Ok((meta, merged))
+    }
+
+    /// Concatenate every live node's segment report. Node-local segment
+    /// ids collide across backends, so entries keep their per-node ids
+    /// and `now_micros` takes the max over answering nodes.
+    pub fn segment_report(&self) -> Result<SegmentReport, ServiceError> {
+        let mut merged: Option<SegmentReport> = None;
+        for idx in 0..self.nodes.len() {
+            if self.nodes[idx].health.is_dead() {
+                continue;
+            }
+            let Ok(Response::Segments(report)) = self.scatter_call(idx, &Request::SegmentInfo)
+            else {
+                continue;
+            };
+            match &mut merged {
+                None => merged = Some(report),
+                Some(acc) => {
+                    acc.now_micros = acc.now_micros.max(report.now_micros);
+                    acc.segments.extend(report.segments);
+                }
+            }
+        }
+        merged.ok_or_else(no_live_backend)
+    }
+
     /// Is every member of `slot` dead?
     fn slot_dead(&self, slot: usize) -> bool {
         self.slots[slot]
@@ -643,6 +754,37 @@ impl Service for Coordinator {
             Request::ClusterInfo => Response::Cluster(self.cluster_info()),
             Request::NodeSummary(idx) => match self.node_summary(idx) {
                 Ok(raw) => Response::Summary(raw),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            ref request @ Request::RangeQuantile { phi, .. } => match check_phi(phi) {
+                Err(e) => Response::Error(e),
+                Ok(()) => match self.range_gather(request) {
+                    Ok((meta, merged)) => Response::Range(RangeAnswer {
+                        meta,
+                        value: merged.as_ref().and_then(|s| s.quantile(phi)).flatten(),
+                        items: Vec::new(),
+                        summary: merged.map(|s| s.encode()).unwrap_or_default(),
+                    }),
+                    Err(e) => Response::Error(e.to_string()),
+                },
+            },
+            ref request @ Request::RangeHeavyHitters { phi, .. } => match check_phi(phi) {
+                Err(e) => Response::Error(e),
+                Ok(()) => match self.range_gather(request) {
+                    Ok((meta, merged)) => Response::Range(RangeAnswer {
+                        meta,
+                        value: None,
+                        items: merged
+                            .as_ref()
+                            .and_then(|s| s.heavy_hitters(phi))
+                            .unwrap_or_default(),
+                        summary: merged.map(|s| s.encode()).unwrap_or_default(),
+                    }),
+                    Err(e) => Response::Error(e.to_string()),
+                },
+            },
+            Request::SegmentInfo => match self.segment_report() {
+                Ok(report) => Response::Segments(report),
                 Err(e) => Response::Error(e.to_string()),
             },
         }

@@ -53,8 +53,9 @@ use ms_core::{
     BoundCheck, FrequencyOracle, RankOracle, Rng64, ServiceError, Summary, Wire, WireFrame,
 };
 use ms_service::{
-    Client, ClientOptions, DurabilityConfig, Engine, EngineTelemetry, FsyncPolicy, Request, Server,
-    ServiceConfig, ShardSummary, SummaryKind, REQUEST_TAG,
+    Client, ClientOptions, CubeClock, DurabilityConfig, Engine, EngineTelemetry, FsyncPolicy,
+    ManualClock, Request, SegmentConfig, Server, ServiceConfig, ShardSummary, SummaryKind,
+    REQUEST_TAG,
 };
 use ms_workloads::StreamKind;
 
@@ -64,7 +65,7 @@ use crate::transport::{partial_prefix, Corruption};
 /// Summary error parameter every schedule runs at.
 pub const EPS: f64 = 0.02;
 
-/// The fourteen injected failure modes: ten in-process/wire classes and
+/// The fifteen injected failure modes: eleven in-process/wire classes and
 /// four whole-node cluster classes (see [`crate::cluster`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultClass {
@@ -105,11 +106,16 @@ pub enum FaultClass {
     /// One member of a replica pair dies and rejoins empty; its partner
     /// carries the slot and read-one gathers must not double-count.
     ReplicaDivergence,
+    /// The process dies right after the cube seals a segment — possibly
+    /// before the segment file is durably on disk — and restart must
+    /// rebuild full range coverage from the WAL; windows straddling the
+    /// crash point must stay within ε·(covered weight).
+    SegmentCrash,
 }
 
 impl FaultClass {
     /// All classes, in a stable order.
-    pub fn all() -> [FaultClass; 14] {
+    pub fn all() -> [FaultClass; 15] {
         [
             FaultClass::ShardDeath,
             FaultClass::PoolStarve,
@@ -125,6 +131,7 @@ impl FaultClass {
             FaultClass::GatherKill,
             FaultClass::RejoinRebalance,
             FaultClass::ReplicaDivergence,
+            FaultClass::SegmentCrash,
         ]
     }
 
@@ -145,6 +152,7 @@ impl FaultClass {
             FaultClass::GatherKill => "gather-kill",
             FaultClass::RejoinRebalance => "rejoin-rebalance",
             FaultClass::ReplicaDivergence => "replica-divergence",
+            FaultClass::SegmentCrash => "segment-crash",
         }
     }
 
@@ -434,6 +442,7 @@ pub fn run_schedule(
         FaultClass::GatherKill => crate::cluster::gather_kill(kind, seed),
         FaultClass::RejoinRebalance => crate::cluster::rejoin_rebalance(kind, seed),
         FaultClass::ReplicaDivergence => crate::cluster::replica_divergence(kind, seed),
+        FaultClass::SegmentCrash => segment_crash(kind, seed),
     }
 }
 
@@ -1079,6 +1088,220 @@ fn bit_flip(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
         return Err(h.fail(format!(
             "recovery accounting mismatch: preloaded {} + replayed {} != surviving {surviving}",
             report.preloaded_weight, report.replayed_weight
+        )));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    h.finish(&snap.summary, metrics)
+}
+
+/// Verify one range query against an exact oracle over the covered
+/// sequence span. The cube's covering rule reports exactly which batch
+/// seqs the merged summary holds (`meta.start_seq ..= meta.end_seq`), so
+/// the oracle is the corresponding slice of the original stream and the
+/// bound is the strict `ε·(covered weight) + 1` — no slack: segments are
+/// rebuilt from the WAL, so a crash may shift *which* span a window
+/// covers but must never blur the answer over the span it claims.
+fn check_range(
+    h: &Harness,
+    engine: &Arc<Engine>,
+    items: &[u64],
+    start_micros: u64,
+) -> Result<(), String> {
+    for qkind in [SummaryKind::Mg, SummaryKind::HybridQuantile] {
+        let (meta, merged) = engine
+            .range_query(start_micros, u64::MAX, qkind)
+            .map_err(|e| h.fail(e))?;
+        let merged =
+            merged.ok_or_else(|| h.fail("range query over live data found no coverage"))?;
+        if meta.start_seq == 0 || (meta.end_seq as usize) * 100 > items.len() {
+            return Err(h.fail(format!(
+                "range meta claims seqs {}..={} outside the {}-batch stream",
+                meta.start_seq,
+                meta.end_seq,
+                items.len() / 100
+            )));
+        }
+        let span = &items[((meta.start_seq - 1) * 100) as usize..(meta.end_seq * 100) as usize];
+        if meta.covered_weight != span.len() as u64 || merged.total_weight() != meta.covered_weight
+        {
+            return Err(h.fail(format!(
+                "range meta covers weight {} but the seq span holds {} and the summary {}",
+                meta.covered_weight,
+                span.len(),
+                merged.total_weight()
+            )));
+        }
+        let bound = EPS * meta.covered_weight as f64 + 1.0;
+        match qkind {
+            SummaryKind::HybridQuantile => {
+                let oracle = RankOracle::from_stream(span.iter().copied());
+                let mut errors: Vec<u64> = Vec::new();
+                for i in 0..=16u64 {
+                    let x = i * UNIVERSE / 16;
+                    if let Some(est) = merged.rank(x) {
+                        errors.push(oracle.rank_error(&x, est));
+                    }
+                }
+                let check = BoundCheck::from_u64(&errors, bound);
+                if !check.ok() {
+                    return Err(h.fail(format!(
+                        "range rank error {:.1} exceeds ε·covered bound {:.1}",
+                        check.stats.max, check.bound
+                    )));
+                }
+            }
+            _ => {
+                let oracle = FrequencyOracle::from_stream(span.iter().copied());
+                let errors: Vec<u64> = oracle
+                    .iter()
+                    .map(|(item, truth)| merged.point(*item).unwrap_or(0).abs_diff(truth))
+                    .collect();
+                let check = BoundCheck::from_u64(&errors, bound);
+                if !check.ok() {
+                    return Err(h.fail(format!(
+                        "range point error {:.1} exceeds ε·covered bound {:.1}",
+                        check.stats.max, check.bound
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Class 15: the process dies right after the cube seals segments,
+/// possibly leaving the newest sealed-segment file missing or torn — the
+/// window a real crash leaves between the in-memory seal and the
+/// segment's durable rename. Restart must rebuild full range coverage
+/// from the WAL (sealed prefix adopted from disk, the rest re-folded
+/// from the tail), and range queries straddling the crash point — before
+/// and after fresh post-restart ingest — must stay within the strict
+/// `ε·(covered weight)` bound against an exact oracle. The schedule's
+/// clock is a shared [`ManualClock`]: every seal boundary is seeded,
+/// never slept for.
+fn segment_crash(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::SegmentCrash, kind, seed);
+    let mut rng = Rng64::new(seed ^ 0x5E67_C4A5);
+    let dir = scratch_dir(FaultClass::SegmentCrash, kind, seed);
+    let clock = Arc::new(ManualClock::new(1));
+    let seg_cfg = SegmentConfig::new()
+        .seal_batches(8)
+        .seal_micros(5_000)
+        .clock(Arc::clone(&clock) as Arc<dyn CubeClock>);
+    let config =
+        |seg: SegmentConfig| durable_config(kind, seed, &dir, FsyncPolicy::EveryN(4)).segments(seg);
+
+    let k1 = 40 + rng.below(40) as usize; // pre-crash batches
+    let k2 = 20 + rng.below(20) as usize; // post-restart batches
+    let c1 = 10 + rng.below((k1 - 15) as u64) as usize; // seeded checkpoint
+    let items = stream((k1 + k2) * 100, seed);
+    // Cube time at which each batch seq was recorded (window anchors).
+    let mut batch_time = vec![0u64; k1 + k2 + 1];
+
+    let engine = Engine::start(config(seg_cfg.clone())).map_err(|e| h.fail(e))?;
+    h.attach(&engine);
+    for (i, batch) in items[..k1 * 100].chunks(100).enumerate() {
+        // Seeded clock steps; the occasional jump past `seal_micros`
+        // forces a wall-clock seal mid-count.
+        let step = if rng.below(10) == 0 {
+            6_000
+        } else {
+            rng.below(1_500)
+        };
+        batch_time[i + 1] = clock.advance(step);
+        engine.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+        if i + 1 == c1 {
+            engine.checkpoint_now().map_err(|e| h.fail(e))?;
+        }
+    }
+    let sealed_before = engine
+        .segment_report()
+        .map_err(|e| h.fail(e))?
+        .segments
+        .iter()
+        .filter(|s| s.sealed)
+        .count();
+    if sealed_before == 0 {
+        return Err(h.fail("no segment was ever sealed before the crash"));
+    }
+    engine.abort();
+
+    // Seeded crash damage to the newest sealed-segment file: exactly the
+    // file a crash between seal and fsync leaves missing or torn.
+    let mode = rng.below(3);
+    if mode > 0 {
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(dir.join("seg"))
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        segs.sort();
+        let victim = segs
+            .last()
+            .ok_or_else(|| h.fail("no segment files on disk to damage"))?;
+        if mode == 1 {
+            std::fs::remove_file(victim).map_err(|e| h.fail(e))?;
+        } else {
+            let len = std::fs::metadata(victim).map_err(|e| h.fail(e))?.len();
+            truncate_file(victim, len / 2).map_err(|e| h.fail(e))?;
+        }
+    }
+
+    let engine = Engine::start(config(seg_cfg)).map_err(|e| h.fail(e))?;
+    h.attach(&engine);
+    let report = engine
+        .recovery()
+        .ok_or_else(|| h.fail("restarted engine has no recovery report"))?;
+    if mode == 0 && report.cube_segments_adopted == 0 {
+        return Err(h.fail("no sealed segment survived a damage-free crash"));
+    }
+    if mode == 2 && report.corrupt_cube_segments == 0 {
+        return Err(h.fail("torn segment file was not detected"));
+    }
+
+    // Full coverage must be back: every pre-crash batch in some segment.
+    let rep = engine.segment_report().map_err(|e| h.fail(e))?;
+    let covered: u64 = rep.segments.iter().map(|s| s.weight).sum();
+    let max_seq = rep.segments.iter().map(|s| s.end_seq).max().unwrap_or(0);
+    if covered != (k1 * 100) as u64 || max_seq != k1 as u64 {
+        return Err(h.fail(format!(
+            "cube lost coverage across the crash: weight {covered} of {}, max seq {max_seq} of {k1}",
+            k1 * 100
+        )));
+    }
+
+    // Windows spanning the crash point, against the exact oracle.
+    check_range(&h, &engine, &items, 0)?;
+    check_range(&h, &engine, &items, batch_time[k1 / 2])?;
+
+    // Keep ingesting: post-restart seqs continue the WAL's numbering and
+    // a straddling window now merges pre-crash and post-restart segments.
+    for (i, batch) in items[k1 * 100..].chunks(100).enumerate() {
+        let step = if rng.below(10) == 0 {
+            6_000
+        } else {
+            rng.below(1_500)
+        };
+        batch_time[k1 + i + 1] = clock.advance(step);
+        engine.ingest(batch.to_vec()).map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(batch);
+    }
+    check_range(&h, &engine, &items, batch_time[k1 / 2])?;
+    check_range(&h, &engine, &items, batch_time[k1 + k2 / 2])?;
+
+    engine.flush().map_err(|e| h.fail(e))?;
+    let snap = engine.shutdown();
+    let metrics = engine.metrics();
+    if snap.summary.total_weight() != ((k1 + k2) * 100) as u64 {
+        return Err(h.fail(format!(
+            "crash lost acknowledged data: {} of {} items survived",
+            snap.summary.total_weight(),
+            (k1 + k2) * 100
         )));
     }
     let _ = std::fs::remove_dir_all(&dir);

@@ -85,6 +85,23 @@ fn client_disconnects_leave_acked_data_intact() {
 }
 
 #[test]
+fn segment_crash_rebuilds_range_coverage() {
+    let report = run(FaultClass::SegmentCrash, SummaryKind::Mg);
+    // Segments rebuild from the WAL: acked weight survives the crash
+    // exactly, and range windows straddling the crash point were checked
+    // inside the schedule under the strict zero-slack bound.
+    assert_eq!(report.surviving_weight, report.accepted_weight);
+    assert_eq!(report.slack, 0);
+}
+
+#[test]
+fn segment_crash_holds_for_the_quantile_family() {
+    let report = run(FaultClass::SegmentCrash, SummaryKind::HybridQuantile);
+    assert_eq!(report.surviving_weight, report.accepted_weight);
+    assert!(report.rank_check.is_some(), "rank bound was not checked");
+}
+
+#[test]
 fn quantile_family_survives_wire_faults() {
     let report = run(FaultClass::CorruptFrames, SummaryKind::HybridQuantile);
     assert!(report.metrics.frames_rejected >= 1);

@@ -135,6 +135,120 @@ impl DurabilityConfig {
     }
 }
 
+/// The segment cube's time source. Injectable so tests drive wall-clock
+/// sealing deterministically (a [`ManualClock`] advanced by the test)
+/// instead of sleeping — new tests must never synchronize on `sleep`.
+pub trait CubeClock: Send + Sync + std::fmt::Debug {
+    /// Monotone-ish microseconds; the cube clamps regressions itself.
+    fn now_micros(&self) -> u64;
+}
+
+/// Production clock: microseconds since the clock was created.
+#[derive(Debug)]
+pub struct SystemClock {
+    base: std::time::Instant,
+}
+
+impl SystemClock {
+    /// A clock starting at 0 now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> SystemClock {
+        SystemClock {
+            base: std::time::Instant::now(),
+        }
+    }
+}
+
+impl CubeClock for SystemClock {
+    fn now_micros(&self) -> u64 {
+        self.base.elapsed().as_micros() as u64
+    }
+}
+
+/// Test clock: reads an atomic the test sets or advances explicitly.
+#[derive(Debug, Default)]
+pub struct ManualClock(std::sync::atomic::AtomicU64);
+
+impl ManualClock {
+    /// A clock frozen at `micros`.
+    pub fn new(micros: u64) -> ManualClock {
+        ManualClock(std::sync::atomic::AtomicU64::new(micros))
+    }
+
+    /// Jump to an absolute time.
+    pub fn set(&self, micros: u64) {
+        self.0.store(micros, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Advance by `micros` and return the new time.
+    pub fn advance(&self, micros: u64) -> u64 {
+        self.0
+            .fetch_add(micros, std::sync::atomic::Ordering::AcqRel)
+            + micros
+    }
+}
+
+impl CubeClock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+/// Segmented-ingest (segment cube) settings: when the open segment seals
+/// and how much history stays queryable. `None` on [`ServiceConfig`]
+/// keeps the engine cube-free (the pre-range-query behavior).
+#[derive(Debug, Clone)]
+pub struct SegmentConfig {
+    /// Seal the open segment once it holds this many batches.
+    pub seal_batches: u64,
+    /// Also seal once the open segment spans this much wall-clock time
+    /// (checked on the next ingest; an idle engine seals lazily).
+    pub seal_micros: u64,
+    /// Sealed segments kept queryable (and on disk); the oldest are
+    /// evicted past this.
+    pub max_sealed: usize,
+    /// Time source for segment boundaries and range selection.
+    pub clock: Arc<dyn CubeClock>,
+}
+
+impl SegmentConfig {
+    /// Defaults: seal every 64 batches or 60 s, keep 1024 segments, on
+    /// the system clock.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> SegmentConfig {
+        SegmentConfig {
+            seal_batches: 64,
+            seal_micros: 60_000_000,
+            max_sealed: 1024,
+            clock: Arc::new(SystemClock::new()),
+        }
+    }
+
+    /// Set the batch-count seal boundary.
+    pub fn seal_batches(mut self, batches: u64) -> SegmentConfig {
+        self.seal_batches = batches;
+        self
+    }
+
+    /// Set the wall-clock seal boundary in microseconds.
+    pub fn seal_micros(mut self, micros: u64) -> SegmentConfig {
+        self.seal_micros = micros;
+        self
+    }
+
+    /// Set the sealed-segment retention cap.
+    pub fn max_sealed(mut self, segments: usize) -> SegmentConfig {
+        self.max_sealed = segments;
+        self
+    }
+
+    /// Install a time source (tests inject a [`ManualClock`]).
+    pub fn clock(mut self, clock: Arc<dyn CubeClock>) -> SegmentConfig {
+        self.clock = clock;
+        self
+    }
+}
+
 /// Sizing and summary parameters for an [`crate::Engine`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -175,6 +289,9 @@ pub struct ServiceConfig {
     /// Crash-safe durability (WAL + checkpoints under a data directory).
     /// `None` (the default) keeps the engine purely in-memory.
     pub durability: Option<DurabilityConfig>,
+    /// Segmented ingest (the segment cube) for time-windowed range
+    /// queries. `None` (the default) answers only "everything so far".
+    pub segments: Option<SegmentConfig>,
 }
 
 impl ServiceConfig {
@@ -192,6 +309,7 @@ impl ServiceConfig {
             fault_plan: Arc::new(NoFaults),
             telemetry: true,
             durability: None,
+            segments: None,
         }
     }
 
@@ -249,6 +367,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Enable the segment cube (time-windowed range queries).
+    pub fn segments(mut self, segments: SegmentConfig) -> Self {
+        self.segments = Some(segments);
+        self
+    }
+
     /// Validate the sizing parameters.
     pub fn check(&self) -> std::result::Result<(), ServiceError> {
         if self.shards == 0 {
@@ -274,6 +398,17 @@ impl ServiceConfig {
             }
             if d.keep_checkpoints == 0 {
                 return Err(ServiceError::Config("keep_checkpoints must be at least 1"));
+            }
+        }
+        if let Some(s) = &self.segments {
+            if s.seal_batches == 0 {
+                return Err(ServiceError::Config("seal_batches must be at least 1"));
+            }
+            if s.seal_micros == 0 {
+                return Err(ServiceError::Config("seal_micros must be at least 1"));
+            }
+            if s.max_sealed == 0 {
+                return Err(ServiceError::Config("max_sealed must be at least 1"));
             }
         }
         Ok(())
@@ -313,6 +448,31 @@ mod tests {
         let mut bad_eps = good.clone();
         bad_eps.epsilon = 1.5;
         assert!(bad_eps.check().is_err());
+    }
+
+    #[test]
+    fn config_checks_segment_sizing() {
+        let good = ServiceConfig::new(SummaryKind::Mg, 0.01).segments(SegmentConfig::new());
+        assert!(good.check().is_ok());
+        let zero_batches = ServiceConfig::new(SummaryKind::Mg, 0.01)
+            .segments(SegmentConfig::new().seal_batches(0));
+        assert!(zero_batches.check().is_err());
+        let zero_micros =
+            ServiceConfig::new(SummaryKind::Mg, 0.01).segments(SegmentConfig::new().seal_micros(0));
+        assert!(zero_micros.check().is_err());
+        let zero_sealed =
+            ServiceConfig::new(SummaryKind::Mg, 0.01).segments(SegmentConfig::new().max_sealed(0));
+        assert!(zero_sealed.check().is_err());
+    }
+
+    #[test]
+    fn manual_clock_sets_and_advances() {
+        let clock = ManualClock::new(10);
+        assert_eq!(clock.now_micros(), 10);
+        assert_eq!(clock.advance(5), 15);
+        assert_eq!(clock.now_micros(), 15);
+        clock.set(3);
+        assert_eq!(clock.now_micros(), 3);
     }
 
     #[test]

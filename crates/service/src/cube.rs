@@ -1,0 +1,605 @@
+//! The segment cube: time-segmented ingest answering range queries.
+//!
+//! The paper's mergeability guarantee (Definition 1) says a summary of a
+//! union can be built from summaries of the parts at the same eps·n
+//! bound. The cube exploits that in the time dimension: ingest is
+//! partitioned into *segments* (sealed on a batch-count or wall-clock
+//! boundary), each sealed segment carries one precomputed summary per
+//! family, and an arbitrary time window is answered by one-shot merging
+//! the covering segments — error stays eps·(window weight), not
+//! eps·(total stream).
+//!
+//! Concurrency contract: when the cube is on, the engine routes every
+//! ingest through [`SegmentCube::record_with`], which runs the WAL
+//! append *inside* the cube's state lock. That serialization is what
+//! lets the cube assign its own dense seq counter and have it equal the
+//! WAL seq without the WAL reporting seqs back — recovery then aligns
+//! sealed segments against WAL records by seq alone.
+//!
+//! Crash safety: sealed segments are persisted by the engine via
+//! [`ms_store::SegmentStore`]; the WAL is never pruned past the last
+//! *persisted* segment ([`SegmentCube::persisted_floor`]), so any
+//! segment lost between seal and fsync is rebuilt by replaying the WAL
+//! tail through [`SegmentCube::record_at`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use ms_core::{Wire, WireError};
+use ms_store::SegmentRecord;
+
+use crate::config::{SegmentConfig, ServiceConfig, SummaryKind};
+use crate::protocol::{RangeMeta, SegmentMeta, SegmentReport};
+use crate::summary::ShardSummary;
+
+/// Lock that survives a poisoned mutex (a panicking summary must not
+/// wedge every later query).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Index of `kind`'s summary in a segment's family array
+/// (`SummaryKind::all()` order, also the on-disk order).
+fn family_index(kind: SummaryKind) -> usize {
+    match kind {
+        SummaryKind::Mg => 0,
+        SummaryKind::SpaceSaving => 1,
+        SummaryKind::HybridQuantile => 2,
+        SummaryKind::CountMin => 3,
+    }
+}
+
+/// What recording one batch did to the cube.
+#[derive(Debug, Default)]
+pub struct CubeOutcome {
+    /// Seq assigned to the batch (equals the WAL seq; see module doc).
+    pub seq: u64,
+    /// Segments sealed by this batch — up to two: a wall-clock seal of
+    /// the aged open segment, then a count seal of the new one. The
+    /// caller persists these.
+    pub sealed: Vec<SegmentRecord>,
+    /// Segment ids evicted past `max_sealed`; their files can go.
+    pub evicted: Vec<u64>,
+}
+
+/// What adopting recovered segment records did.
+#[derive(Debug, Default)]
+pub struct AdoptOutcome {
+    /// Records reconstructed into queryable sealed segments.
+    pub adopted: usize,
+    /// Records dropped (undecodable summary — version skew; everything
+    /// after the first bad one goes too, preserving contiguity).
+    pub dropped: usize,
+    /// Segment ids evicted past `max_sealed` during adoption.
+    pub evicted: Vec<u64>,
+    /// Human-readable notes about drops.
+    pub notes: Vec<String>,
+}
+
+/// One segment: its coordinates plus a live summary per family.
+struct Segment {
+    id: u64,
+    start_seq: u64,
+    end_seq: u64,
+    start_micros: u64,
+    end_micros: u64,
+    weight: u64,
+    batches: u64,
+    fams: [ShardSummary; 4],
+}
+
+impl Segment {
+    fn meta(&self, sealed: bool) -> SegmentMeta {
+        SegmentMeta {
+            id: self.id,
+            start_seq: self.start_seq,
+            end_seq: self.end_seq,
+            start_micros: self.start_micros,
+            end_micros: self.end_micros,
+            weight: self.weight,
+            batches: self.batches,
+            sealed,
+        }
+    }
+
+    fn to_record(&self) -> SegmentRecord {
+        SegmentRecord {
+            id: self.id,
+            start_seq: self.start_seq,
+            end_seq: self.end_seq,
+            start_micros: self.start_micros,
+            end_micros: self.end_micros,
+            weight: self.weight,
+            batches: self.batches,
+            summaries: self.fams.iter().map(|f| f.encode()).collect(),
+        }
+    }
+
+    fn from_record(rec: &SegmentRecord) -> Result<Segment, WireError> {
+        if rec.summaries.len() != SummaryKind::all().len() {
+            return Err(WireError::Malformed("segment record family count"));
+        }
+        let mut fams = Vec::with_capacity(rec.summaries.len());
+        for (bytes, kind) in rec.summaries.iter().zip(SummaryKind::all()) {
+            let fam = ShardSummary::decode(bytes)?;
+            if fam.kind() != kind {
+                return Err(WireError::Malformed("segment family out of order"));
+            }
+            fams.push(fam);
+        }
+        let fams: [ShardSummary; 4] = fams
+            .try_into()
+            .map_err(|_| WireError::Malformed("segment record family count"))?;
+        Ok(Segment {
+            id: rec.id,
+            start_seq: rec.start_seq,
+            end_seq: rec.end_seq,
+            start_micros: rec.start_micros,
+            end_micros: rec.end_micros,
+            weight: rec.weight,
+            batches: rec.batches,
+            fams,
+        })
+    }
+}
+
+struct CubeState {
+    /// Highest batch seq recorded (== WAL last seq while running).
+    last_seq: u64,
+    /// Monotone clamp over the injected clock: segment times never
+    /// regress even if the clock does.
+    last_micros: u64,
+    /// Id the next opened segment gets.
+    next_id: u64,
+    open: Option<Segment>,
+    sealed: VecDeque<Segment>,
+}
+
+/// The engine's segment cube. All methods are `&self`; internal state
+/// is one mutex plus the persisted-floor atomic.
+pub struct SegmentCube {
+    epsilon: f64,
+    seed: u64,
+    cfg: SegmentConfig,
+    state: Mutex<CubeState>,
+    /// End seq of the newest segment known durable on disk; the WAL
+    /// must never be pruned past it (0 = no segment persisted, keep
+    /// everything).
+    persisted_floor: AtomicU64,
+}
+
+impl SegmentCube {
+    /// An empty cube. `epsilon`/`seed` size the per-segment families —
+    /// they must match the engine's so per-segment linear sketches stay
+    /// mergeable across nodes.
+    pub fn new(epsilon: f64, seed: u64, cfg: SegmentConfig) -> SegmentCube {
+        SegmentCube {
+            epsilon,
+            seed,
+            cfg,
+            state: Mutex::new(CubeState {
+                last_seq: 0,
+                last_micros: 0,
+                next_id: 0,
+                open: None,
+                sealed: VecDeque::new(),
+            }),
+            persisted_floor: AtomicU64::new(0),
+        }
+    }
+
+    fn fresh_fams(&self) -> [ShardSummary; 4] {
+        SummaryKind::all().map(|kind| {
+            ShardSummary::new(&ServiceConfig::new(kind, self.epsilon).seed(self.seed), 0)
+        })
+    }
+
+    /// Read the clock, clamped monotone against everything recorded.
+    fn now(&self, s: &mut CubeState) -> u64 {
+        let now = self.cfg.clock.now_micros().max(s.last_micros);
+        s.last_micros = now;
+        now
+    }
+
+    fn seal(&self, s: &mut CubeState, sealed: &mut Vec<SegmentRecord>, evicted: &mut Vec<u64>) {
+        if let Some(seg) = s.open.take() {
+            sealed.push(seg.to_record());
+            s.sealed.push_back(seg);
+            while s.sealed.len() > self.cfg.max_sealed {
+                let old = s.sealed.pop_front().expect("non-empty past cap");
+                evicted.push(old.id);
+            }
+        }
+    }
+
+    fn fold(&self, s: &mut CubeState, seq: u64, now: u64, batch: &[u64]) -> CubeOutcome {
+        let mut out = CubeOutcome {
+            seq,
+            ..CubeOutcome::default()
+        };
+        // Wall-clock boundary first: an aged open segment seals *before*
+        // this batch, which then opens the next segment.
+        if s.open
+            .as_ref()
+            .is_some_and(|o| now.saturating_sub(o.start_micros) >= self.cfg.seal_micros)
+        {
+            self.seal(s, &mut out.sealed, &mut out.evicted);
+        }
+        if s.open.is_none() {
+            let seg = Segment {
+                id: s.next_id,
+                start_seq: seq,
+                end_seq: seq,
+                start_micros: now,
+                end_micros: now,
+                weight: 0,
+                batches: 0,
+                fams: self.fresh_fams(),
+            };
+            s.next_id += 1;
+            s.open = Some(seg);
+        }
+        let open = s.open.as_mut().expect("open segment just ensured");
+        open.end_seq = seq;
+        open.end_micros = now;
+        open.batches += 1;
+        open.weight += batch.len() as u64;
+        for &item in batch {
+            for fam in open.fams.iter_mut() {
+                fam.update(item);
+            }
+        }
+        if open.batches >= self.cfg.seal_batches {
+            self.seal(s, &mut out.sealed, &mut out.evicted);
+        }
+        out
+    }
+
+    /// Record one live batch, running `append` (the WAL append) inside
+    /// the cube lock so the seq this assigns equals the WAL's. On append
+    /// error nothing is recorded.
+    pub fn record_with<E>(
+        &self,
+        batch: &[u64],
+        append: impl FnOnce() -> Result<(), E>,
+    ) -> Result<CubeOutcome, E> {
+        let mut s = lock(&self.state);
+        append()?;
+        let now = self.now(&mut s);
+        let seq = s.last_seq + 1;
+        s.last_seq = seq;
+        Ok(self.fold(&mut s, seq, now, batch))
+    }
+
+    /// Replay one recovered WAL batch at its original seq (recovery
+    /// path — rebuilds segments lost between seal and fsync, and the
+    /// open segment). Seqs at or below the cube's floor are ignored.
+    pub fn record_at(&self, seq: u64, batch: &[u64]) -> CubeOutcome {
+        let mut s = lock(&self.state);
+        if seq <= s.last_seq {
+            return CubeOutcome::default();
+        }
+        let now = self.now(&mut s);
+        s.last_seq = seq;
+        self.fold(&mut s, seq, now, batch)
+    }
+
+    /// Adopt sealed segments recovered from disk (called once at
+    /// startup, before any replay). Stops at the first record whose
+    /// summaries do not decode, preserving contiguity; the rest is
+    /// rebuilt from the WAL.
+    pub fn adopt(&self, records: &[SegmentRecord]) -> AdoptOutcome {
+        let mut s = lock(&self.state);
+        let mut out = AdoptOutcome::default();
+        for rec in records {
+            match Segment::from_record(rec) {
+                Ok(seg) => {
+                    s.last_seq = seg.end_seq;
+                    s.last_micros = s.last_micros.max(seg.end_micros);
+                    s.next_id = seg.id + 1;
+                    s.sealed.push_back(seg);
+                    out.adopted += 1;
+                }
+                Err(why) => {
+                    out.dropped = records.len() - out.adopted;
+                    out.notes.push(format!(
+                        "segment {}: summaries undecodable ({why}); it and {} later \
+                         segment(s) rebuilt from the WAL",
+                        rec.id,
+                        out.dropped - 1
+                    ));
+                    break;
+                }
+            }
+        }
+        while s.sealed.len() > self.cfg.max_sealed {
+            let old = s.sealed.pop_front().expect("non-empty past cap");
+            out.evicted.push(old.id);
+        }
+        self.persisted_floor.store(s.last_seq, Ordering::Release);
+        out
+    }
+
+    /// Mark a sealed segment durable through `end_seq` (called after a
+    /// successful [`ms_store::SegmentStore::write`]).
+    pub fn note_persisted(&self, end_seq: u64) {
+        self.persisted_floor.fetch_max(end_seq, Ordering::AcqRel);
+    }
+
+    /// Highest batch seq covered by a segment known durable on disk.
+    /// WAL pruning must stay at or below this.
+    pub fn persisted_floor(&self) -> u64 {
+        self.persisted_floor.load(Ordering::Acquire)
+    }
+
+    /// Highest batch seq the cube has recorded.
+    pub fn last_seq(&self) -> u64 {
+        lock(&self.state).last_seq
+    }
+
+    /// Answer a time-window query from `kind`'s family: merge the
+    /// summaries of every segment intersecting `[start, end]` micros
+    /// (inclusive; the open segment included live). Returns `None` when
+    /// no segment intersects. Segment times are monotone, so the
+    /// covering set is the minimal contiguous run of segments whose
+    /// spans intersect the window — exactly the segments whose batches
+    /// a per-range oracle must replay.
+    pub fn query(
+        &self,
+        start_micros: u64,
+        end_micros: u64,
+        kind: SummaryKind,
+    ) -> (RangeMeta, Option<ShardSummary>) {
+        let idx = family_index(kind);
+        let s = lock(&self.state);
+        let mut meta = RangeMeta {
+            start_micros,
+            end_micros,
+            segments_merged: 0,
+            open_included: false,
+            covered_weight: 0,
+            start_seq: 0,
+            end_seq: 0,
+        };
+        let mut merged: Option<ShardSummary> = None;
+        let all = s
+            .sealed
+            .iter()
+            .map(|seg| (seg, false))
+            .chain(s.open.iter().map(|seg| (seg, true)));
+        for (seg, open) in all {
+            if seg.batches == 0 || seg.start_micros > end_micros || seg.end_micros < start_micros {
+                continue;
+            }
+            meta.segments_merged += 1;
+            meta.open_included |= open;
+            meta.covered_weight += seg.weight;
+            if meta.segments_merged == 1 {
+                meta.start_seq = seg.start_seq;
+            }
+            meta.end_seq = seg.end_seq;
+            let part = seg.fams[idx].clone();
+            merged = Some(match merged.take() {
+                None => part,
+                Some(mut acc) => {
+                    acc.merge_in_place(part)
+                        .expect("same-family segment summaries always merge");
+                    acc
+                }
+            });
+        }
+        (meta, merged)
+    }
+
+    /// The cube's index: sealed segments in id order, then the open one.
+    pub fn report(&self) -> SegmentReport {
+        let mut s = lock(&self.state);
+        let now = self.now(&mut s);
+        let mut segments: Vec<SegmentMeta> = s.sealed.iter().map(|seg| seg.meta(true)).collect();
+        segments.extend(s.open.iter().map(|seg| seg.meta(false)));
+        SegmentReport {
+            now_micros: now,
+            segments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ManualClock;
+    use std::sync::Arc;
+
+    const EPS: f64 = 0.02;
+
+    fn cube(cfg: SegmentConfig) -> SegmentCube {
+        SegmentCube::new(EPS, 42, cfg)
+    }
+
+    fn ok(cube: &SegmentCube, batch: &[u64]) -> CubeOutcome {
+        cube.record_with::<()>(batch, || Ok(())).unwrap()
+    }
+
+    #[test]
+    fn count_boundary_seals_and_seqs_are_dense() {
+        let c = cube(
+            SegmentConfig::new()
+                .seal_batches(2)
+                .clock(Arc::new(ManualClock::new(0))),
+        );
+        let mut sealed = Vec::new();
+        for i in 0..5u64 {
+            let out = ok(&c, &[i, i, i]);
+            assert_eq!(out.seq, i + 1);
+            sealed.extend(out.sealed);
+        }
+        // 5 batches at 2/segment: segments [1,2] and [3,4] sealed, batch 5 open.
+        assert_eq!(sealed.len(), 2);
+        assert_eq!((sealed[0].start_seq, sealed[0].end_seq), (1, 2));
+        assert_eq!((sealed[1].start_seq, sealed[1].end_seq), (3, 4));
+        assert_eq!(sealed[1].id, 1);
+        assert_eq!(sealed[0].weight, 6);
+        let report = c.report();
+        assert_eq!(report.segments.len(), 3);
+        assert!(!report.segments[2].sealed);
+        assert_eq!(report.segments[2].start_seq, 5);
+    }
+
+    #[test]
+    fn wall_clock_boundary_seals_via_injected_clock() {
+        let clock = Arc::new(ManualClock::new(0));
+        let c = cube(
+            SegmentConfig::new()
+                .seal_batches(u64::MAX)
+                .seal_micros(1_000)
+                .clock(clock.clone()),
+        );
+        assert!(ok(&c, &[1]).sealed.is_empty());
+        clock.advance(999);
+        assert!(ok(&c, &[2]).sealed.is_empty(), "window not yet spanned");
+        clock.advance(1);
+        let out = ok(&c, &[3]);
+        // The aged segment seals *before* batch 3, which opens segment 1.
+        assert_eq!(out.sealed.len(), 1);
+        assert_eq!((out.sealed[0].start_seq, out.sealed[0].end_seq), (1, 2));
+        let report = c.report();
+        assert_eq!(report.segments.last().unwrap().start_seq, 3);
+    }
+
+    #[test]
+    fn clock_regression_is_clamped() {
+        let clock = Arc::new(ManualClock::new(500));
+        let c = cube(SegmentConfig::new().clock(clock.clone()));
+        ok(&c, &[1]);
+        clock.set(100);
+        ok(&c, &[2]);
+        let report = c.report();
+        assert_eq!(report.segments[0].start_micros, 500);
+        assert_eq!(report.segments[0].end_micros, 500, "never regresses");
+        assert!(report.now_micros >= 500);
+    }
+
+    #[test]
+    fn eviction_past_cap_reports_ids() {
+        let c = cube(
+            SegmentConfig::new()
+                .seal_batches(1)
+                .max_sealed(2)
+                .clock(Arc::new(ManualClock::new(0))),
+        );
+        let mut evicted = Vec::new();
+        for i in 0..5u64 {
+            evicted.extend(ok(&c, &[i]).evicted);
+        }
+        assert_eq!(evicted, vec![0, 1, 2]);
+        assert_eq!(c.report().segments.len(), 2);
+    }
+
+    #[test]
+    fn query_merges_covering_segments_with_exact_weight() {
+        let clock = Arc::new(ManualClock::new(0));
+        let c = cube(SegmentConfig::new().seal_batches(2).clock(clock.clone()));
+        // Segment 0 at t=[0,10], segment 1 at t=[20,30], open at t=40.
+        ok(&c, &[1, 1]);
+        clock.set(10);
+        ok(&c, &[2, 2]);
+        clock.set(20);
+        ok(&c, &[3, 3]);
+        clock.set(30);
+        ok(&c, &[4, 4]);
+        clock.set(40);
+        ok(&c, &[5, 5]);
+
+        let (meta, merged) = c.query(15, 35, SummaryKind::Mg);
+        assert_eq!(meta.segments_merged, 1);
+        assert!(!meta.open_included);
+        assert_eq!(meta.covered_weight, 4);
+        assert_eq!((meta.start_seq, meta.end_seq), (3, 4));
+        let hh = merged.unwrap().heavy_hitters(0.3).unwrap();
+        assert!(hh.iter().any(|&(item, _)| item == 3));
+
+        let (meta, merged) = c.query(5, u64::MAX, SummaryKind::HybridQuantile);
+        assert_eq!(meta.segments_merged, 3);
+        assert!(meta.open_included);
+        assert_eq!(meta.covered_weight, 10);
+        assert!(merged.unwrap().quantile(0.5).unwrap().is_some());
+
+        let (meta, merged) = c.query(100, 200, SummaryKind::Mg);
+        assert_eq!(meta.segments_merged, 0);
+        assert!(merged.is_none());
+        assert_eq!(meta.covered_weight, 0);
+    }
+
+    #[test]
+    fn replay_reproduces_the_same_segments() {
+        let live = cube(
+            SegmentConfig::new()
+                .seal_batches(3)
+                .clock(Arc::new(ManualClock::new(7))),
+        );
+        let replayed = cube(
+            SegmentConfig::new()
+                .seal_batches(3)
+                .clock(Arc::new(ManualClock::new(7))),
+        );
+        let batches: Vec<Vec<u64>> = (0..10u64).map(|i| vec![i % 4; 5]).collect();
+        for (i, b) in batches.iter().enumerate() {
+            ok(&live, b);
+            replayed.record_at(i as u64 + 1, b);
+        }
+        let (a, b) = (live.report(), replayed.report());
+        assert_eq!(a.segments, b.segments);
+        assert_eq!(live.last_seq(), replayed.last_seq());
+    }
+
+    #[test]
+    fn adopt_restores_counters_and_floor() {
+        let clock = Arc::new(ManualClock::new(0));
+        let c = cube(SegmentConfig::new().seal_batches(2).clock(clock.clone()));
+        let mut sealed = Vec::new();
+        for i in 0..6u64 {
+            clock.advance(5);
+            sealed.extend(ok(&c, &[i; 4]).sealed);
+        }
+        assert_eq!(sealed.len(), 3);
+
+        let fresh = cube(SegmentConfig::new().seal_batches(2).clock(clock.clone()));
+        let out = fresh.adopt(&sealed);
+        assert_eq!(out.adopted, 3);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(fresh.last_seq(), 6);
+        assert_eq!(fresh.persisted_floor(), 6);
+        // Continue ingesting: the next segment gets the next dense id.
+        let out = ok(&fresh, &[9]);
+        assert_eq!(out.seq, 7);
+        assert_eq!(fresh.report().segments.last().unwrap().id, 3);
+        // And a full-range query sees everything.
+        let (meta, _) = fresh.query(0, u64::MAX, SummaryKind::CountMin);
+        assert_eq!(meta.covered_weight, 25);
+    }
+
+    #[test]
+    fn adopt_stops_at_undecodable_summaries() {
+        let c = cube(
+            SegmentConfig::new()
+                .seal_batches(1)
+                .clock(Arc::new(ManualClock::new(0))),
+        );
+        let mut sealed = Vec::new();
+        for i in 0..3u64 {
+            sealed.extend(ok(&c, &[i]).sealed);
+        }
+        sealed[1].summaries[2] = vec![0xFF; 3];
+        let fresh = cube(
+            SegmentConfig::new()
+                .seal_batches(1)
+                .clock(Arc::new(ManualClock::new(0))),
+        );
+        let out = fresh.adopt(&sealed);
+        assert_eq!(out.adopted, 1);
+        assert_eq!(out.dropped, 2);
+        assert_eq!(fresh.last_seq(), 1, "floor stops at the last good record");
+        assert!(out.notes[0].contains("rebuilt from the WAL"));
+    }
+}

@@ -66,10 +66,12 @@ use std::time::Instant;
 use ms_core::wire::encode_u64_slice_into;
 use ms_core::{BufferPool, Mergeable, PushError, Ring, ServiceError, Summary, SwapCell, Wire};
 use ms_obs::RegistrySnapshot;
-use ms_store::{GroupCommit, Store};
+use ms_store::{GroupCommit, SegmentRecord, Store};
 
-use crate::config::{DurabilityConfig, ServiceConfig};
+use crate::config::{DurabilityConfig, ServiceConfig, SummaryKind};
+use crate::cube::SegmentCube;
 use crate::fault::FaultAction;
+use crate::protocol::{RangeMeta, SegmentReport};
 use crate::summary::ShardSummary;
 use crate::telemetry::{timed, EngineTelemetry};
 
@@ -170,6 +172,11 @@ pub struct RecoveryReport {
     pub duplicate_records: u64,
     /// Highest valid WAL seq found on disk.
     pub wal_last_seq: u64,
+    /// Sealed cube segments adopted from disk (0 when the cube is off).
+    pub cube_segments_adopted: u64,
+    /// Cube segment files discarded as damaged or non-contiguous; the
+    /// batches they covered were rebuilt from the WAL tail.
+    pub corrupt_cube_segments: u64,
     /// Wall-clock cost of the whole recovery (scan + merge + replay).
     pub duration_micros: u64,
     /// Human-readable damage notes from the store scan.
@@ -294,6 +301,9 @@ pub struct Engine {
     telemetry: Arc<EngineTelemetry>,
     /// WAL + checkpoints; `None` for a purely in-memory engine.
     durable: Option<Durable>,
+    /// The segment cube (time-windowed range queries); `None` unless
+    /// [`ServiceConfig::segments`] is set.
+    cube: Option<Arc<SegmentCube>>,
 }
 
 impl Engine {
@@ -307,8 +317,13 @@ impl Engine {
         // state is preloaded below once workers exist to receive it.
         let mut opened = None;
         if let Some(dcfg) = &cfg.durability {
-            opened = Some(Store::open(&dcfg.store_config())?);
+            let store_cfg = dcfg.store_config().cube_segments(cfg.segments.is_some());
+            opened = Some(Store::open(&store_cfg)?);
         }
+        let cube = cfg
+            .segments
+            .clone()
+            .map(|scfg| Arc::new(SegmentCube::new(cfg.epsilon, cfg.seed, scfg)));
         let counters = Arc::new(Counters::default());
         let telemetry = Arc::new(EngineTelemetry::new(cfg.shards, cfg.telemetry));
         let (compact_tx, compact_rx) = mpsc::channel::<CompactMsg>();
@@ -396,6 +411,7 @@ impl Engine {
             compactor_handle: Mutex::new(None),
             telemetry,
             durable,
+            cube,
         });
 
         let compactor = spawn_compactor(Arc::clone(&engine), compact_rx)?;
@@ -437,9 +453,17 @@ impl Engine {
             torn_bytes: recovery.torn_bytes,
             duplicate_records: recovery.duplicates,
             wal_last_seq: recovery.last_seq,
+            corrupt_cube_segments: recovery.corrupt_cube_segments,
             notes: recovery.notes,
             ..RecoveryReport::default()
         };
+        if let Some(cube) = &self.cube {
+            let adopt = cube.adopt(&recovery.cube);
+            report.cube_segments_adopted = adopt.adopted as u64;
+            report.corrupt_cube_segments += adopt.dropped as u64;
+            report.notes.extend(adopt.notes);
+            self.persist_sealed(&[], &adopt.evicted)?;
+        }
         if let Some(set) = recovery.checkpoint {
             report.checkpoint_seq = set.wal_seq;
             report.checkpoint_parts = set.parts.len();
@@ -464,13 +488,23 @@ impl Engine {
                     .map_err(|_| ServiceError::Shutdown)?;
             }
         }
+        // The tail reaches back to min(checkpoint cut, cube floor): the
+        // cube replays every record above *its* floor to rebuild lost or
+        // unsealed segments, while the global summary only re-applies
+        // records the checkpoint has not already restored.
         for entry in &recovery.tail {
             let batch = Vec::<u64>::decode(&entry.payload).map_err(|_| {
                 ServiceError::Config("WAL record does not decode as an ingest batch")
             })?;
-            report.replayed_records += 1;
-            report.replayed_weight += batch.len() as u64;
-            self.enqueue(batch)?;
+            if let Some(cube) = &self.cube {
+                let out = cube.record_at(entry.seq, &batch);
+                self.persist_sealed(&out.sealed, &out.evicted)?;
+            }
+            if entry.seq > report.checkpoint_seq {
+                report.replayed_records += 1;
+                report.replayed_weight += batch.len() as u64;
+                self.enqueue(batch)?;
+            }
         }
         self.flush()?;
         report.duration_micros = started.elapsed().as_micros() as u64;
@@ -591,8 +625,55 @@ impl Engine {
             return Ok(());
         }
         let _pause = self.durable.as_ref().map(|d| read(&d.pause));
-        self.append_durable(&batch)?;
+        self.record_and_append(&batch)?;
         self.enqueue(batch)
+    }
+
+    /// The durable front half of ingest. With the cube enabled, the WAL
+    /// append runs inside the cube lock ([`SegmentCube::record_with`])
+    /// so the cube's seq counter tracks the WAL seq exactly; segments
+    /// sealed by this batch are persisted before the batch is enqueued.
+    /// Without a cube this is a plain [`Engine::append_durable`].
+    fn record_and_append(&self, batch: &[u64]) -> Result<(), ServiceError> {
+        match &self.cube {
+            Some(cube) => {
+                let out = cube.record_with(batch, || self.append_durable(batch))?;
+                self.persist_sealed(&out.sealed, &out.evicted)
+            }
+            None => self.append_durable(batch),
+        }
+    }
+
+    /// Persist freshly sealed segments and delete evicted ones. No-op on
+    /// engines without durability (the cube then lives purely in memory).
+    fn persist_sealed(
+        &self,
+        sealed: &[SegmentRecord],
+        evicted: &[u64],
+    ) -> Result<(), ServiceError> {
+        if sealed.is_empty() && evicted.is_empty() {
+            return Ok(());
+        }
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        let cube = self.cube.as_ref().expect("sealed segments imply a cube");
+        let store = lock(&d.store);
+        let Some(segs) = &store.segments else {
+            return Ok(());
+        };
+        for rec in sealed {
+            segs.write(rec)?;
+            cube.note_persisted(rec.end_seq);
+            self.telemetry.event(
+                "segment_sealed",
+                &[("id", rec.id), ("end_seq", rec.end_seq)],
+            );
+        }
+        for &id in evicted {
+            segs.remove(id)?;
+        }
+        Ok(())
     }
 
     /// Append one batch to the WAL via group commit and trigger a
@@ -681,7 +762,7 @@ impl Engine {
             return Err(ServiceError::Shutdown);
         }
         let _pause = self.durable.as_ref().map(|d| read(&d.pause));
-        self.append_durable(&batch)?;
+        self.record_and_append(&batch)?;
         let shard_count = self.cfg.shards;
         let mut batch = batch;
         let mut attempts = 0usize;
@@ -854,6 +935,13 @@ impl Engine {
             store.wal.sync()?;
             store.checkpoints.write_set(cut, epoch, &encoded)?;
             if let Some(floor) = store.checkpoints.prune_keep(d.cfg.keep_checkpoints)? {
+                // The cube rebuilds lost segments from the WAL, so never
+                // prune past the last *persisted* segment. A floor of 0
+                // (no segment persisted yet) retains everything.
+                let floor = match &self.cube {
+                    Some(cube) => floor.min(cube.persisted_floor()),
+                    None => floor,
+                };
                 store.wal.prune_covered(floor)?;
             }
         }
@@ -880,6 +968,36 @@ impl Engine {
     /// Always answers, even after shutdown or a worker panic.
     pub fn snapshot(&self) -> Arc<Snapshot> {
         Arc::clone(&read(&self.snapshot))
+    }
+
+    /// Answer a time-range query from the segment cube: merge the minimal
+    /// covering segment set (open segment included when it overlaps) into
+    /// one summary of family `kind`, per Definition 1. Returns the range
+    /// metadata plus the merged summary, or `None` when no segment
+    /// overlaps the window.
+    pub fn range_query(
+        &self,
+        start_micros: u64,
+        end_micros: u64,
+        kind: SummaryKind,
+    ) -> Result<(RangeMeta, Option<ShardSummary>), ServiceError> {
+        let Some(cube) = &self.cube else {
+            return Err(ServiceError::Config("segment cube is not enabled"));
+        };
+        Ok(cube.query(start_micros, end_micros, kind))
+    }
+
+    /// Describe the cube's current segments (sealed and open).
+    pub fn segment_report(&self) -> Result<SegmentReport, ServiceError> {
+        let Some(cube) = &self.cube else {
+            return Err(ServiceError::Config("segment cube is not enabled"));
+        };
+        Ok(cube.report())
+    }
+
+    /// The segment cube, when enabled — test and experiment seam.
+    pub fn cube(&self) -> Option<&Arc<SegmentCube>> {
+        self.cube.as_ref()
     }
 
     fn publish(&self, summary: ShardSummary) {

@@ -28,6 +28,7 @@
 //! [`Wire`]: ms_core::Wire
 
 pub mod config;
+pub mod cube;
 pub mod engine;
 pub mod fault;
 pub mod protocol;
@@ -35,11 +36,16 @@ pub mod server;
 pub mod summary;
 pub mod telemetry;
 
-pub use config::{DurabilityConfig, ServiceConfig, SummaryKind};
+pub use config::{
+    CubeClock, DurabilityConfig, ManualClock, SegmentConfig, ServiceConfig, SummaryKind,
+    SystemClock,
+};
+pub use cube::{AdoptOutcome, CubeOutcome, SegmentCube};
 pub use engine::{Engine, MetricsReport, RecoveryReport, Snapshot};
 pub use fault::{plan_fn, FaultAction, FaultPlan, NoFaults};
 pub use protocol::{
-    decode_request, ClusterInfo, NodeInfo, NodeState, Request, Response, REQUEST_TAG, RESPONSE_TAG,
+    decode_request, ClusterInfo, NodeInfo, NodeState, RangeAnswer, RangeMeta, Request, Response,
+    SegmentMeta, SegmentReport, REQUEST_TAG, RESPONSE_TAG,
 };
 pub use server::{check_phi, dispatch, Client, ClientOptions, Server, Service};
 pub use summary::ShardSummary;

@@ -50,6 +50,31 @@ pub enum Request {
     /// with [`Response::Summary`] by a coordinator (which fetches it from
     /// the backend); a plain engine answers with [`Response::Error`].
     NodeSummary(u32),
+    /// Estimated φ-quantile over the time window `[start, end]` (engine
+    /// clock micros, inclusive), merged from the covering segments.
+    /// Answered with [`Response::Range`]; requires the segment cube.
+    RangeQuantile {
+        /// Window start in engine-clock microseconds (inclusive).
+        start_micros: u64,
+        /// Window end in engine-clock microseconds (inclusive).
+        end_micros: u64,
+        /// Quantile rank φ in [0, 1].
+        phi: f64,
+    },
+    /// Items with estimated frequency ≥ φ·w over the time window, where
+    /// w is the window's covered weight. Answered with
+    /// [`Response::Range`]; requires the segment cube.
+    RangeHeavyHitters {
+        /// Window start in engine-clock microseconds (inclusive).
+        start_micros: u64,
+        /// Window end in engine-clock microseconds (inclusive).
+        end_micros: u64,
+        /// Frequency threshold φ in [0, 1].
+        phi: f64,
+    },
+    /// The segment cube's index: every sealed segment plus the open one.
+    /// Answered with [`Response::Segments`]; requires the segment cube.
+    SegmentInfo,
 }
 
 impl Request {
@@ -77,6 +102,9 @@ impl Request {
             Request::Telemetry => 9,
             Request::ClusterInfo => 10,
             Request::NodeSummary(_) => 11,
+            Request::RangeQuantile { .. } => 12,
+            Request::RangeHeavyHitters { .. } => 13,
+            Request::SegmentInfo => 14,
         }
     }
 }
@@ -99,12 +127,27 @@ impl Wire for Request {
             Request::HeavyHitters(phi) | Request::Quantile(phi) => phi.encode_into(out),
             Request::Rank(x) => x.encode_into(out),
             Request::NodeSummary(node) => node.encode_into(out),
+            Request::RangeQuantile {
+                start_micros,
+                end_micros,
+                phi,
+            }
+            | Request::RangeHeavyHitters {
+                start_micros,
+                end_micros,
+                phi,
+            } => {
+                start_micros.encode_into(out);
+                end_micros.encode_into(out);
+                phi.encode_into(out);
+            }
             Request::Ping
             | Request::Flush
             | Request::Metrics
             | Request::Summary
             | Request::Telemetry
-            | Request::ClusterInfo => {}
+            | Request::ClusterInfo
+            | Request::SegmentInfo => {}
         }
     }
 
@@ -122,6 +165,17 @@ impl Wire for Request {
             9 => Request::Telemetry,
             10 => Request::ClusterInfo,
             11 => Request::NodeSummary(u32::decode_from(r)?),
+            12 => Request::RangeQuantile {
+                start_micros: u64::decode_from(r)?,
+                end_micros: u64::decode_from(r)?,
+                phi: f64::decode_from(r)?,
+            },
+            13 => Request::RangeHeavyHitters {
+                start_micros: u64::decode_from(r)?,
+                end_micros: u64::decode_from(r)?,
+                phi: f64::decode_from(r)?,
+            },
+            14 => Request::SegmentInfo,
             _ => return Err(WireError::Malformed("unknown request opcode")),
         })
     }
@@ -149,6 +203,164 @@ pub enum Response {
     Telemetry(RegistrySnapshot),
     /// Cluster membership and hash-ring state (coordinator only).
     Cluster(ClusterInfo),
+    /// A range-query answer with its coverage metadata.
+    Range(RangeAnswer),
+    /// The segment cube's index.
+    Segments(SegmentReport),
+}
+
+/// What a range query actually covered. Segment boundaries are batch
+/// boundaries, so the answered range snaps outward to whole segments;
+/// the caller reads here how far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeMeta {
+    /// Requested window start (engine-clock micros, inclusive).
+    pub start_micros: u64,
+    /// Requested window end (engine-clock micros, inclusive).
+    pub end_micros: u64,
+    /// Segments merged to answer (including the open one when covered).
+    pub segments_merged: u32,
+    /// True when the open (still-ingesting) segment was snapshotted in.
+    pub open_included: bool,
+    /// Exact total item weight of the merged segments — the `n` the
+    /// eps·n error bound applies to.
+    pub covered_weight: u64,
+    /// First batch seq covered (0 when the window covered nothing).
+    pub start_seq: u64,
+    /// Last batch seq covered (0 when the window covered nothing).
+    pub end_seq: u64,
+}
+
+impl Wire for RangeMeta {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.start_micros.encode_into(out);
+        self.end_micros.encode_into(out);
+        self.segments_merged.encode_into(out);
+        self.open_included.encode_into(out);
+        self.covered_weight.encode_into(out);
+        self.start_seq.encode_into(out);
+        self.end_seq.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(RangeMeta {
+            start_micros: u64::decode_from(r)?,
+            end_micros: u64::decode_from(r)?,
+            segments_merged: u32::decode_from(r)?,
+            open_included: bool::decode_from(r)?,
+            covered_weight: u64::decode_from(r)?,
+            start_seq: u64::decode_from(r)?,
+            end_seq: u64::decode_from(r)?,
+        })
+    }
+}
+
+/// A served range query: the scalar answer plus the merged summary it
+/// was computed from, so a coordinator can merge answers from many
+/// nodes (Definition 1) and recompute instead of averaging scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeAnswer {
+    /// Coverage metadata.
+    pub meta: RangeMeta,
+    /// Quantile value ([`Request::RangeQuantile`]); `None` when the
+    /// window covered no weight or for heavy-hitter queries.
+    pub value: Option<u64>,
+    /// Heavy hitters ([`Request::RangeHeavyHitters`]); empty for
+    /// quantile queries.
+    pub items: Vec<(u64, u64)>,
+    /// The merged per-window summary, `ShardSummary`-encoded.
+    pub summary: Vec<u8>,
+}
+
+impl Wire for RangeAnswer {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.meta.encode_into(out);
+        self.value.encode_into(out);
+        self.items.encode_into(out);
+        self.summary.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(RangeAnswer {
+            meta: RangeMeta::decode_from(r)?,
+            value: Option::decode_from(r)?,
+            items: Vec::decode_from(r)?,
+            summary: Vec::decode_from(r)?,
+        })
+    }
+}
+
+/// One segment in a [`SegmentReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Segment id (dense, increasing; the open segment is next_id).
+    pub id: u64,
+    /// First batch seq in the segment.
+    pub start_seq: u64,
+    /// Last batch seq in the segment (≥ start_seq when non-empty).
+    pub end_seq: u64,
+    /// Engine-clock micros when the segment opened.
+    pub start_micros: u64,
+    /// Engine-clock micros of the last batch (still moving while open).
+    pub end_micros: u64,
+    /// Total item weight in the segment.
+    pub weight: u64,
+    /// Batches in the segment.
+    pub batches: u64,
+    /// False only for the trailing open segment.
+    pub sealed: bool,
+}
+
+impl Wire for SegmentMeta {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.id.encode_into(out);
+        self.start_seq.encode_into(out);
+        self.end_seq.encode_into(out);
+        self.start_micros.encode_into(out);
+        self.end_micros.encode_into(out);
+        self.weight.encode_into(out);
+        self.batches.encode_into(out);
+        self.sealed.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(SegmentMeta {
+            id: u64::decode_from(r)?,
+            start_seq: u64::decode_from(r)?,
+            end_seq: u64::decode_from(r)?,
+            start_micros: u64::decode_from(r)?,
+            end_micros: u64::decode_from(r)?,
+            weight: u64::decode_from(r)?,
+            batches: u64::decode_from(r)?,
+            sealed: bool::decode_from(r)?,
+        })
+    }
+}
+
+/// The segment cube's index served by [`Request::SegmentInfo`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentReport {
+    /// The engine clock's current reading, so callers can compute
+    /// "last 5 minutes" windows against the same clock that stamped
+    /// the segments.
+    pub now_micros: u64,
+    /// Sealed segments in id order, then the open segment (if any
+    /// batches have arrived since the last seal).
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Wire for SegmentReport {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.now_micros.encode_into(out);
+        self.segments.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(SegmentReport {
+            now_micros: u64::decode_from(r)?,
+            segments: Vec::decode_from(r)?,
+        })
+    }
 }
 
 /// Liveness of one backend node, as judged by a coordinator from request
@@ -310,6 +522,14 @@ impl Wire for Response {
                 out.push(8);
                 info.encode_into(out);
             }
+            Response::Range(answer) => {
+                out.push(9);
+                answer.encode_into(out);
+            }
+            Response::Segments(report) => {
+                out.push(10);
+                report.encode_into(out);
+            }
         }
     }
 
@@ -324,6 +544,8 @@ impl Wire for Response {
             6 => Response::Error(String::decode_from(r)?),
             7 => Response::Telemetry(RegistrySnapshot::decode_from(r)?),
             8 => Response::Cluster(ClusterInfo::decode_from(r)?),
+            9 => Response::Range(RangeAnswer::decode_from(r)?),
+            10 => Response::Segments(SegmentReport::decode_from(r)?),
             _ => return Err(WireError::Malformed("unknown response opcode")),
         })
     }
@@ -379,6 +601,17 @@ mod tests {
             Request::ClusterInfo,
             Request::NodeSummary(0),
             Request::NodeSummary(u32::MAX),
+            Request::RangeQuantile {
+                start_micros: 0,
+                end_micros: u64::MAX,
+                phi: 0.99,
+            },
+            Request::RangeHeavyHitters {
+                start_micros: 1_000_000,
+                end_micros: 2_000_000,
+                phi: 0.01,
+            },
+            Request::SegmentInfo,
         ];
         for req in cases {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -433,6 +666,45 @@ mod tests {
                 slots: 1,
                 vnodes: 64,
                 rebalanced_batches: 7,
+            }),
+            Response::Range(RangeAnswer {
+                meta: RangeMeta {
+                    start_micros: 5,
+                    end_micros: u64::MAX,
+                    segments_merged: 3,
+                    open_included: true,
+                    covered_weight: 12_345,
+                    start_seq: 1,
+                    end_seq: 190,
+                },
+                value: Some(77),
+                items: vec![(9, 900), (4, 400)],
+                summary: vec![0xCD; 24],
+            }),
+            Response::Segments(SegmentReport {
+                now_micros: 99,
+                segments: vec![
+                    SegmentMeta {
+                        id: 0,
+                        start_seq: 1,
+                        end_seq: 64,
+                        start_micros: 0,
+                        end_micros: 10,
+                        weight: 6_400,
+                        batches: 64,
+                        sealed: true,
+                    },
+                    SegmentMeta {
+                        id: 1,
+                        start_seq: 65,
+                        end_seq: 70,
+                        start_micros: 11,
+                        end_micros: 99,
+                        weight: 600,
+                        batches: 6,
+                        sealed: false,
+                    },
+                ],
             }),
         ];
         for resp in cases {
@@ -495,6 +767,17 @@ mod tests {
             Request::Telemetry,
             Request::ClusterInfo,
             Request::NodeSummary(2),
+            Request::RangeQuantile {
+                start_micros: 0,
+                end_micros: 1,
+                phi: 0.5,
+            },
+            Request::RangeHeavyHitters {
+                start_micros: 0,
+                end_micros: 1,
+                phi: 0.1,
+            },
+            Request::SegmentInfo,
         ] {
             assert!(req.is_idempotent(), "{req:?}");
         }

@@ -22,8 +22,11 @@ use ms_core::wire::{encode_frame_into, encode_u64_slice_into, FRAME_HEADER_LEN};
 use ms_core::{ServiceError, Wire, WireFrame};
 use ms_obs::RegistrySnapshot;
 
+use crate::config::SummaryKind;
 use crate::engine::{Engine, MetricsReport};
-use crate::protocol::{decode_request, Request, Response, REQUEST_TAG, RESPONSE_TAG};
+use crate::protocol::{
+    decode_request, RangeAnswer, Request, Response, SegmentReport, REQUEST_TAG, RESPONSE_TAG,
+};
 use crate::telemetry::{timed, EngineTelemetry};
 
 /// Anything a [`Server`] can front: one request in, one response out,
@@ -284,6 +287,50 @@ pub fn dispatch(engine: &Engine, request: Request) -> Response {
         Request::ClusterInfo | Request::NodeSummary(_) => {
             Response::Error("cluster queries are only answered by a coordinator node".to_string())
         }
+        Request::RangeQuantile {
+            start_micros,
+            end_micros,
+            phi,
+        } => match check_phi(phi) {
+            Err(e) => Response::Error(e),
+            // Quantiles always come from the cube's hybrid-quantile
+            // family, whatever the engine's global kind is.
+            Ok(()) => {
+                match engine.range_query(start_micros, end_micros, SummaryKind::HybridQuantile) {
+                    Err(e) => Response::Error(e.to_string()),
+                    Ok((meta, merged)) => Response::Range(RangeAnswer {
+                        meta,
+                        value: merged.as_ref().and_then(|s| s.quantile(phi)).flatten(),
+                        items: Vec::new(),
+                        summary: merged.map(|s| s.encode()).unwrap_or_default(),
+                    }),
+                }
+            }
+        },
+        Request::RangeHeavyHitters {
+            start_micros,
+            end_micros,
+            phi,
+        } => match check_phi(phi) {
+            Err(e) => Response::Error(e),
+            // Heavy hitters come from the cube's MG family.
+            Ok(()) => match engine.range_query(start_micros, end_micros, SummaryKind::Mg) {
+                Err(e) => Response::Error(e.to_string()),
+                Ok((meta, merged)) => Response::Range(RangeAnswer {
+                    meta,
+                    value: None,
+                    items: merged
+                        .as_ref()
+                        .and_then(|s| s.heavy_hitters(phi))
+                        .unwrap_or_default(),
+                    summary: merged.map(|s| s.encode()).unwrap_or_default(),
+                }),
+            },
+        },
+        Request::SegmentInfo => match engine.segment_report() {
+            Ok(report) => Response::Segments(report),
+            Err(e) => Response::Error(e.to_string()),
+        },
     }
 }
 
@@ -524,6 +571,48 @@ impl Client {
     pub fn telemetry(&mut self) -> Result<RegistrySnapshot, ServiceError> {
         match self.call(&Request::Telemetry)? {
             Response::Telemetry(snapshot) => Ok(snapshot),
+            other => Err(protocol_error(other)),
+        }
+    }
+
+    /// Estimated φ-quantile over the time window `[start, end]` micros.
+    pub fn range_quantile(
+        &mut self,
+        start_micros: u64,
+        end_micros: u64,
+        phi: f64,
+    ) -> Result<RangeAnswer, ServiceError> {
+        match self.call(&Request::RangeQuantile {
+            start_micros,
+            end_micros,
+            phi,
+        })? {
+            Response::Range(answer) => Ok(answer),
+            other => Err(protocol_error(other)),
+        }
+    }
+
+    /// Heavy hitters over the time window `[start, end]` micros.
+    pub fn range_heavy_hitters(
+        &mut self,
+        start_micros: u64,
+        end_micros: u64,
+        phi: f64,
+    ) -> Result<RangeAnswer, ServiceError> {
+        match self.call(&Request::RangeHeavyHitters {
+            start_micros,
+            end_micros,
+            phi,
+        })? {
+            Response::Range(answer) => Ok(answer),
+            other => Err(protocol_error(other)),
+        }
+    }
+
+    /// Fetch the segment cube's index.
+    pub fn segments(&mut self) -> Result<SegmentReport, ServiceError> {
+        match self.call(&Request::SegmentInfo)? {
+            Response::Segments(report) => Ok(report),
             other => Err(protocol_error(other)),
         }
     }

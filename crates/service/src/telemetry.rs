@@ -25,7 +25,7 @@ const FLIGHT_RING_CAPACITY: usize = 256;
 /// Opcode labels, indexed by the request opcode byte (see
 /// [`crate::protocol::Request`]). Kept in wire-opcode order so the server
 /// can index by opcode without a match.
-pub const OPCODE_LABELS: [&str; 12] = [
+pub const OPCODE_LABELS: [&str; 15] = [
     "ping",
     "ingest",
     "flush",
@@ -38,6 +38,9 @@ pub const OPCODE_LABELS: [&str; 12] = [
     "telemetry",
     "cluster_info",
     "node_summary",
+    "range_quantile",
+    "range_heavy_hitters",
+    "segment_info",
 ];
 
 /// Pre-registered instruments for one engine (and the server wrapping it).

@@ -12,6 +12,7 @@
 //! <data-dir>/
 //!   wal/wal-<first-seq:016x>.seg     append-only ingest-batch records
 //!   ckpt/ckpt-<wal-seq:016x>-<shard:04x>.ckpt   per-shard summary files
+//!   seg/seg-<id:016x>.seg            sealed cube segments (cube only)
 //! ```
 //!
 //! Every record — WAL batch or checkpoint — is an `ms_core::wire` frame
@@ -34,11 +35,13 @@ use std::path::PathBuf;
 pub mod checkpoint;
 pub mod group;
 pub mod inspect;
+pub mod segment;
 pub mod wal;
 
 pub use checkpoint::{CheckpointRecord, CheckpointSet, CheckpointStore, CHECKPOINT_TAG};
 pub use group::{GroupCommit, GroupOutcome, LedStats};
 pub use inspect::{inspect, CheckpointInfo, InspectReport, SegmentInfo};
+pub use segment::{LoadedSegments, SegmentRecord, SegmentStore, SEGMENT_TAG};
 pub use wal::{scan_segment, GroupAppend, SegmentScan, Wal, WalEntry, WAL_RECORD_TAG};
 
 /// When the WAL fsyncs its segment file.
@@ -93,6 +96,9 @@ pub struct StoreConfig {
     pub segment_bytes: u64,
     /// When the WAL fsyncs.
     pub fsync: FsyncPolicy,
+    /// Also open `seg/` and recover sealed cube segments (the segment
+    /// cube; see [`segment`]). Off for engines without segmented ingest.
+    pub cube_segments: bool,
 }
 
 impl StoreConfig {
@@ -102,6 +108,7 @@ impl StoreConfig {
             dir: dir.into(),
             segment_bytes: 4 << 20,
             fsync: FsyncPolicy::EveryN(64),
+            cube_segments: false,
         }
     }
 
@@ -114,6 +121,12 @@ impl StoreConfig {
     /// Set the fsync policy.
     pub fn fsync(mut self, policy: FsyncPolicy) -> StoreConfig {
         self.fsync = policy;
+        self
+    }
+
+    /// Enable (or disable) sealed cube-segment recovery under `seg/`.
+    pub fn cube_segments(mut self, enabled: bool) -> StoreConfig {
+        self.cube_segments = enabled;
         self
     }
 }
@@ -144,16 +157,29 @@ pub struct Recovery {
     pub wal_bytes: u64,
     /// Highest valid seq seen anywhere in the WAL (0 when empty).
     pub last_seq: u64,
+    /// Intact sealed cube segments, a contiguous seq prefix in id order
+    /// (empty unless [`StoreConfig::cube_segments`] is on).
+    pub cube: Vec<SegmentRecord>,
+    /// Cube segment files discarded (CRC failure, id mismatch, or lost
+    /// past a contiguity gap).
+    pub corrupt_cube_segments: u64,
+    /// Highest batch seq covered by an intact sealed cube segment (0
+    /// when none): the WAL tail above this floor rebuilds the open
+    /// segment and any sealed-but-lost ones.
+    pub cube_floor: u64,
     /// Human-readable notes about damage and fallbacks, for logs.
     pub notes: Vec<String>,
 }
 
-/// An open data directory: the live WAL plus its checkpoint store.
+/// An open data directory: the live WAL plus its checkpoint store (and,
+/// when the segment cube is enabled, the sealed-segment store).
 pub struct Store {
     /// Append-only ingest-batch log.
     pub wal: Wal,
     /// Per-shard checkpoint files.
     pub checkpoints: CheckpointStore,
+    /// Sealed cube segments; `None` unless [`StoreConfig::cube_segments`].
+    pub segments: Option<SegmentStore>,
 }
 
 impl Store {
@@ -170,6 +196,22 @@ impl Store {
         recovery.notes.extend(loaded.notes);
         let ckpt_seq = loaded.newest.as_ref().map_or(0, |s| s.wal_seq);
         recovery.checkpoint = loaded.newest;
+
+        // With the cube on, the WAL tail must also reach back past the
+        // checkpoint cut to the last persisted segment, so lost or
+        // unsealed segments can be rebuilt by replay.
+        let mut segments = None;
+        let mut tail_floor = ckpt_seq;
+        if cfg.cube_segments {
+            let store = SegmentStore::open(cfg.dir.join("seg"), cfg.fsync.syncs())?;
+            let loaded = store.load_all()?;
+            recovery.corrupt_cube_segments = loaded.discarded;
+            recovery.notes.extend(loaded.notes);
+            recovery.cube_floor = loaded.records.last().map_or(0, |r| r.end_seq);
+            recovery.cube = loaded.records;
+            tail_floor = tail_floor.min(recovery.cube_floor);
+            segments = Some(store);
+        }
 
         let (wal, scans) = Wal::open(cfg)?;
         recovery.segments = scans.len();
@@ -196,13 +238,20 @@ impl Store {
                     continue;
                 }
                 last_seq = entry.seq;
-                if entry.seq > ckpt_seq {
+                if entry.seq > tail_floor {
                     recovery.tail.push(entry.clone());
                 }
             }
         }
         recovery.last_seq = last_seq;
-        Ok((Store { wal, checkpoints }, recovery))
+        Ok((
+            Store {
+                wal,
+                checkpoints,
+                segments,
+            },
+            recovery,
+        ))
     }
 }
 

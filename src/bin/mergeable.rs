@@ -38,7 +38,8 @@ use mergeable_summaries::core::{
 };
 use mergeable_summaries::quantiles::RankSummary;
 use mergeable_summaries::service::{
-    DurabilityConfig, Engine, FsyncPolicy, Request, Response, Server, ServiceConfig, SummaryKind,
+    DurabilityConfig, Engine, FsyncPolicy, Request, Response, SegmentConfig, Server, ServiceConfig,
+    SummaryKind,
 };
 use mergeable_summaries::workloads::StreamKind;
 use mergeable_summaries::{
@@ -245,9 +246,11 @@ USAGE:
   mergeable build --kind KIND --epsilon E [--seed S] [--input FILE] --out FILE
   mergeable merge FILE... --out FILE
   mergeable query FILE (--heavy-hitters E | --estimate ITEM | --quantile PHI | --rank X)
+  mergeable query --addr A (--window W (--quantile PHI | --heavy-hitters PHI) | --segments)
   mergeable info FILE
   mergeable serve --kind KIND --epsilon E [--addr A] [--shards N] [--seed S] [--no-telemetry]
                   [--data-dir DIR] [--fsync always|every:N|never] [--checkpoint-batches N]
+                  [--segment-batches N] [--segment-secs N]
   mergeable serve --coordinator --nodes H:P,H:P,... [--addr A] [--replicas]
                   [--ping-interval-ms N]
   mergeable bench-client --addr A [--items N] [--batch B] [--seed S] [--zipf S]
@@ -289,6 +292,17 @@ for throughput (`always` per batch, `every:N` bounded loss window,
 `never` leaves flushing to the OS); `--checkpoint-batches` sets the
 checkpoint cadence. `store inspect` CRC-scans a data directory
 read-only and reports per-segment and per-checkpoint health.
+
+`serve --segment-batches N` / `--segment-secs S` turn on the **segment
+cube**: ingest is split into time/sequence segments (sealed every N
+batches or S seconds), each sealed segment carrying a precomputed
+summary of every family. `query --addr A --window 5m --quantile 0.5`
+then answers over just the last five minutes by one-shot-merging the
+minimal covering segment set (open segment included), at the same eps*n
+bound on the queried range (Definition 1). `--window` accepts `90s`,
+`5m`, `2h` or plain seconds; `--segments` lists the cube's segments.
+With `--data-dir` sealed segments persist beside the checkpoints and
+survive restarts.
 
 Input data: one unsigned integer per line (stdin unless --input is given).
 ";
@@ -444,8 +458,121 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a `--window` duration (`90s`, `5m`, `2h`, or plain seconds)
+/// into microseconds.
+fn parse_window(value: &str) -> Result<u64, String> {
+    let (number, scale) = match value.as_bytes().last() {
+        Some(b's') => (&value[..value.len() - 1], 1_000_000u64),
+        Some(b'm') => (&value[..value.len() - 1], 60_000_000),
+        Some(b'h') => (&value[..value.len() - 1], 3_600_000_000),
+        _ => (value, 1_000_000),
+    };
+    let n: u64 = number
+        .parse()
+        .map_err(|e| format!("bad --window '{value}': {e}"))?;
+    n.checked_mul(scale)
+        .ok_or_else(|| format!("--window '{value}' overflows"))
+}
+
+/// `query --addr A --window W`: time-range queries against a live
+/// server's segment cube. The window is anchored at the server's own
+/// clock (from `SegmentInfo`) so the client and server need no shared
+/// notion of time: the queried range is `[now - W, +inf)`, which always
+/// includes the open segment.
+fn cmd_query_live(mut args: Vec<String>, addr: String) -> Result<(), String> {
+    let window = take_flag(&mut args, "--window");
+    let quant = take_flag(&mut args, "--quantile");
+    let hh = take_flag(&mut args, "--heavy-hitters");
+    let segments = take_switch(&mut args, "--segments");
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let mut client = mergeable_summaries::service::Client::connect(addr.as_str())
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    if segments {
+        let report = client
+            .segments()
+            .map_err(|e| format!("segment-info failed: {e}"))?;
+        println!(
+            "{:>6} {:>12} {:>12} {:>16} {:>16} {:>12} {:>8}  state",
+            "id", "start_seq", "end_seq", "start_micros", "end_micros", "weight", "batches"
+        );
+        for s in &report.segments {
+            println!(
+                "{:>6} {:>12} {:>12} {:>16} {:>16} {:>12} {:>8}  {}",
+                s.id,
+                s.start_seq,
+                s.end_seq,
+                s.start_micros,
+                s.end_micros,
+                s.weight,
+                s.batches,
+                if s.sealed { "sealed" } else { "open" }
+            );
+        }
+        println!("server clock: {}us", report.now_micros);
+        return Ok(());
+    }
+
+    let window = parse_window(&window.ok_or("query --addr needs --window (or --segments)")?)?;
+    let report = client
+        .segments()
+        .map_err(|e| format!("segment-info failed: {e}"))?;
+    let start = report.now_micros.saturating_sub(window);
+    let end = u64::MAX;
+
+    if let Some(phi) = quant {
+        let phi: f64 = phi.parse().map_err(|e| format!("bad --quantile: {e}"))?;
+        let answer = client
+            .range_quantile(start, end, phi)
+            .map_err(|e| format!("range-quantile failed: {e}"))?;
+        match answer.value {
+            Some(v) => println!("{v}"),
+            None => return Err("no data in the queried window".into()),
+        }
+        eprintln!(
+            "window [{start}, now] covered by {} segment(s){}, weight {}",
+            answer.meta.segments_merged,
+            if answer.meta.open_included {
+                " + open"
+            } else {
+                ""
+            },
+            answer.meta.covered_weight
+        );
+        return Ok(());
+    }
+    if let Some(phi) = hh {
+        let phi: f64 = phi
+            .parse()
+            .map_err(|e| format!("bad --heavy-hitters: {e}"))?;
+        let answer = client
+            .range_heavy_hitters(start, end, phi)
+            .map_err(|e| format!("range-heavy-hitters failed: {e}"))?;
+        for (item, count) in &answer.items {
+            println!("{item}\t{count}");
+        }
+        eprintln!(
+            "window [{start}, now] covered by {} segment(s){}, weight {}",
+            answer.meta.segments_merged,
+            if answer.meta.open_included {
+                " + open"
+            } else {
+                ""
+            },
+            answer.meta.covered_weight
+        );
+        return Ok(());
+    }
+    Err("query --addr needs one of --quantile / --heavy-hitters / --segments".into())
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
+    if let Some(addr) = take_flag(&mut args, "--addr") {
+        return cmd_query_live(args, addr);
+    }
     let hh = take_flag(&mut args, "--heavy-hitters");
     let est = take_flag(&mut args, "--estimate");
     let quant = take_flag(&mut args, "--quantile");
@@ -561,6 +688,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if take_switch(&mut args, "--no-telemetry") {
         cfg = cfg.telemetry(false);
     }
+    let segment_batches = take_flag(&mut args, "--segment-batches");
+    let segment_secs = take_flag(&mut args, "--segment-secs");
+    if segment_batches.is_some() || segment_secs.is_some() {
+        let mut scfg = SegmentConfig::new();
+        if let Some(batches) = &segment_batches {
+            scfg = scfg.seal_batches(
+                batches
+                    .parse()
+                    .map_err(|e| format!("bad --segment-batches: {e}"))?,
+            );
+        }
+        if let Some(secs) = &segment_secs {
+            let secs: u64 = secs
+                .parse()
+                .map_err(|e| format!("bad --segment-secs: {e}"))?;
+            let micros = secs
+                .checked_mul(1_000_000)
+                .ok_or("--segment-secs overflows")?;
+            scfg = scfg.seal_micros(micros);
+        }
+        cfg = cfg.segments(scfg);
+    }
     let fsync = take_flag(&mut args, "--fsync");
     let checkpoint_batches = take_flag(&mut args, "--checkpoint-batches");
     match take_flag(&mut args, "--data-dir") {
@@ -604,6 +753,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 "recovery damage: {} corrupt WAL records, {} torn bytes, {} corrupt \
                  checkpoint parts, {} duplicates skipped",
                 r.corrupt_records, r.torn_bytes, r.corrupt_checkpoints, r.duplicate_records
+            );
+        }
+        if r.cube_segments_adopted + r.corrupt_cube_segments > 0 {
+            println!(
+                "segment cube: {} sealed segment(s) adopted, {} dropped",
+                r.cube_segments_adopted, r.corrupt_cube_segments
             );
         }
         for note in &r.notes {

@@ -321,3 +321,189 @@ fn known_n_rank_error_bounded() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Segment cube: partition invariants, covering-set minimality, merge-order
+// invariance (PR 7). The cube is driven with a ManualClock, so every seal
+// boundary — count and wall-clock alike — is seeded and instantaneous.
+// ---------------------------------------------------------------------------
+
+use mergeable_summaries::service::{
+    CubeClock, ManualClock, SegmentConfig, SegmentCube, ServiceConfig, ShardSummary, SummaryKind,
+};
+use std::sync::Arc;
+
+const CUBE_EPS: f64 = 0.05;
+
+/// A seeded cube fed seeded batches under seeded clock steps, plus the
+/// batches themselves (the oracle's raw material).
+fn seeded_cube(rng: &mut Rng64) -> (SegmentCube, u64, Vec<Vec<u64>>) {
+    let clock = Arc::new(ManualClock::new(1));
+    let cfg = SegmentConfig::new()
+        .seal_batches(1 + rng.below(10))
+        .seal_micros(500 + rng.below(4_000))
+        .clock(Arc::clone(&clock) as Arc<dyn CubeClock>);
+    let seed = rng.next_u64();
+    let cube = SegmentCube::new(CUBE_EPS, seed, cfg);
+    let batches: Vec<Vec<u64>> = (0..5 + rng.below_usize(40))
+        .map(|_| {
+            (0..1 + rng.below_usize(80))
+                .map(|_| rng.below(64))
+                .collect()
+        })
+        .collect();
+    for batch in &batches {
+        clock.advance(rng.below(1_200));
+        cube.record_with(batch, || Ok::<(), ()>(()))
+            .expect("in-memory append cannot fail");
+    }
+    (cube, seed, batches)
+}
+
+/// The segments partition the ingested sequence: dense ids, contiguous
+/// seq ranges starting at 1, monotone non-overlapping time spans, and
+/// per-segment weight/batch counts that match the raw batches exactly.
+/// Quantified over seal configs, batch shapes, and clock schedules.
+#[test]
+fn cube_segments_partition_the_stream() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xC0BE_0001 + case);
+        let (cube, _, batches) = seeded_cube(&mut rng);
+        let report = cube.report();
+        let segs = &report.segments;
+        assert!(!segs.is_empty(), "case {case}");
+        // The open segment, when present, is last and unique.
+        let open_count = segs.iter().filter(|s| !s.sealed).count();
+        assert!(open_count <= 1, "case {case}");
+        if open_count == 1 {
+            assert!(!segs.last().unwrap().sealed, "case {case}");
+        }
+        assert_eq!(segs[0].start_seq, 1, "case {case}");
+        assert_eq!(
+            segs.last().unwrap().end_seq,
+            batches.len() as u64,
+            "case {case}"
+        );
+        for (i, s) in segs.iter().enumerate() {
+            assert!(s.start_seq <= s.end_seq, "case {case} seg {i}");
+            assert!(s.start_micros <= s.end_micros, "case {case} seg {i}");
+            assert_eq!(
+                s.batches,
+                s.end_seq - s.start_seq + 1,
+                "case {case} seg {i}"
+            );
+            let span: u64 = batches[(s.start_seq - 1) as usize..s.end_seq as usize]
+                .iter()
+                .map(|b| b.len() as u64)
+                .sum();
+            assert_eq!(s.weight, span, "case {case} seg {i}");
+            if i > 0 {
+                // Dense ids, contiguous seqs, never-overlapping times.
+                assert_eq!(s.id, segs[i - 1].id + 1, "case {case} seg {i}");
+                assert_eq!(s.start_seq, segs[i - 1].end_seq + 1, "case {case} seg {i}");
+                assert!(
+                    s.start_micros >= segs[i - 1].end_micros,
+                    "case {case} seg {i}"
+                );
+            }
+        }
+    }
+}
+
+/// The covering set is minimal and exact: a query's merged segment count
+/// equals a brute-force scan of the report for window-intersecting
+/// segments — nothing extra merged, nothing intersecting skipped — and
+/// the covered weight/seq span are exactly those segments' union.
+#[test]
+fn cube_covering_set_matches_brute_force() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xC0BE_0002 + case);
+        let (cube, _, _) = seeded_cube(&mut rng);
+        let report = cube.report();
+        let horizon = report.segments.last().unwrap().end_micros + 2_000;
+        for _ in 0..20 {
+            let ws = rng.below(horizon);
+            let we = ws + rng.below(horizon);
+            let (meta, merged) = cube.query(ws, we, SummaryKind::Mg);
+            let covering: Vec<_> = report
+                .segments
+                .iter()
+                .filter(|s| s.start_micros <= we && s.end_micros >= ws)
+                .collect();
+            let brute_open = covering.iter().any(|s| !s.sealed);
+            assert_eq!(
+                meta.segments_merged,
+                covering.len() as u32,
+                "case {case} [{ws},{we}]"
+            );
+            assert_eq!(meta.open_included, brute_open, "case {case} [{ws},{we}]");
+            let brute_weight: u64 = covering.iter().map(|s| s.weight).sum();
+            assert_eq!(meta.covered_weight, brute_weight, "case {case} [{ws},{we}]");
+            match merged {
+                None => assert!(covering.is_empty(), "case {case} [{ws},{we}]"),
+                Some(summary) => {
+                    assert_eq!(
+                        summary.total_weight(),
+                        brute_weight,
+                        "case {case} [{ws},{we}]"
+                    );
+                    let lo = covering.iter().map(|s| s.start_seq).min().unwrap();
+                    let hi = covering.iter().map(|s| s.end_seq).max().unwrap();
+                    assert_eq!((meta.start_seq, meta.end_seq), (lo, hi), "case {case}");
+                }
+            }
+        }
+    }
+}
+
+/// Definition 1 commutativity on the cube's per-segment summaries: the
+/// segment summaries merged in *any* shuffled order answer identically
+/// to the cube's own time-ordered merge. Count-Min is linear, so the
+/// check is exact equality of every point estimate; total weight is
+/// exact for every family.
+#[test]
+fn cube_merge_order_does_not_change_the_answer() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xC0BE_0003 + case);
+        let (cube, seed, batches) = seeded_cube(&mut rng);
+        let report = cube.report();
+        let (_, reference) = cube.query(0, u64::MAX, SummaryKind::CountMin);
+        let reference = reference.expect("full window always covers");
+        // Rebuild each segment's Count-Min summary from the raw batches
+        // (same seed, same shard 0 construction as the cube's families).
+        let scfg = ServiceConfig::new(SummaryKind::CountMin, CUBE_EPS).seed(seed);
+        let parts: Vec<ShardSummary> = report
+            .segments
+            .iter()
+            .map(|s| {
+                let mut part = ShardSummary::new(&scfg, 0);
+                for batch in &batches[(s.start_seq - 1) as usize..s.end_seq as usize] {
+                    for &v in batch {
+                        part.update(v);
+                    }
+                }
+                part
+            })
+            .collect();
+        for _ in 0..4 {
+            let mut order: Vec<usize> = (0..parts.len()).collect();
+            rng.shuffle(&mut order);
+            let mut acc: Option<ShardSummary> = None;
+            for &i in &order {
+                match &mut acc {
+                    None => acc = Some(parts[i].clone()),
+                    Some(a) => a.merge_in_place(parts[i].clone()).unwrap(),
+                }
+            }
+            let acc = acc.unwrap();
+            assert_eq!(acc.total_weight(), reference.total_weight(), "case {case}");
+            for item in 0..64 {
+                assert_eq!(
+                    acc.point(item),
+                    reference.point(item),
+                    "case {case}: item {item} (order {order:?})"
+                );
+            }
+        }
+    }
+}

@@ -192,6 +192,124 @@ fn corpus() -> Vec<Case> {
             .to_bytes(),
             expect: Expect::Request(WireError::Trailing(1)),
         },
+        // The segment-cube range opcodes (12 RangeQuantile,
+        // 13 RangeHeavyHitters, 14 SegmentInfo): pin each opcode's exact
+        // frame bytes, plus truncation, trailing bytes, and a corrupted
+        // frame envelope.
+        Case {
+            name: "range_quantile_request.bin",
+            bytes: WireFrame::from_value(
+                REQUEST_TAG,
+                &Request::RangeQuantile {
+                    start_micros: 1_000,
+                    end_micros: 5_000_000,
+                    phi: 0.5,
+                },
+            )
+            .to_bytes(),
+            expect: Expect::Decodes(Request::RangeQuantile {
+                start_micros: 1_000,
+                end_micros: 5_000_000,
+                phi: 0.5,
+            }),
+        },
+        Case {
+            name: "range_heavy_hitters_request.bin",
+            bytes: WireFrame::from_value(
+                REQUEST_TAG,
+                &Request::RangeHeavyHitters {
+                    start_micros: 0,
+                    end_micros: u64::MAX,
+                    phi: 0.01,
+                },
+            )
+            .to_bytes(),
+            expect: Expect::Decodes(Request::RangeHeavyHitters {
+                start_micros: 0,
+                end_micros: u64::MAX,
+                phi: 0.01,
+            }),
+        },
+        Case {
+            name: "segment_info_request.bin",
+            bytes: WireFrame::from_value(REQUEST_TAG, &Request::SegmentInfo).to_bytes(),
+            expect: Expect::Decodes(Request::SegmentInfo),
+        },
+        Case {
+            name: "range_quantile_truncated.bin",
+            bytes: {
+                let mut frame = WireFrame::from_value(
+                    REQUEST_TAG,
+                    &Request::RangeQuantile {
+                        start_micros: 1_000,
+                        end_micros: 5_000_000,
+                        phi: 0.5,
+                    },
+                );
+                frame.payload.truncate(frame.payload.len() - 2);
+                frame.to_bytes()
+            },
+            expect: Expect::Request(WireError::Truncated),
+        },
+        Case {
+            name: "range_heavy_hitters_trailing.bin",
+            bytes: {
+                let mut frame = WireFrame::from_value(
+                    REQUEST_TAG,
+                    &Request::RangeHeavyHitters {
+                        start_micros: 0,
+                        end_micros: u64::MAX,
+                        phi: 0.01,
+                    },
+                );
+                frame.payload.push(0xAB);
+                frame.to_bytes()
+            },
+            expect: Expect::Request(WireError::Trailing(1)),
+        },
+        Case {
+            name: "segment_info_trailing.bin",
+            bytes: WireFrame {
+                tag: REQUEST_TAG,
+                payload: vec![14, 0x00],
+            }
+            .to_bytes(),
+            expect: Expect::Request(WireError::Trailing(1)),
+        },
+        Case {
+            name: "range_quantile_bad_magic.bin",
+            bytes: {
+                let mut b = WireFrame::from_value(
+                    REQUEST_TAG,
+                    &Request::RangeQuantile {
+                        start_micros: 1_000,
+                        end_micros: 5_000_000,
+                        phi: 0.5,
+                    },
+                )
+                .to_bytes();
+                b[0] = b'Q';
+                b[1] = b'R';
+                b
+            },
+            expect: Expect::Frame(WireError::BadMagic([b'Q', b'R'])),
+        },
+        Case {
+            name: "range_quantile_cut_frame.bin",
+            bytes: {
+                let b = WireFrame::from_value(
+                    REQUEST_TAG,
+                    &Request::RangeQuantile {
+                        start_micros: 1_000,
+                        end_micros: 5_000_000,
+                        phi: 0.5,
+                    },
+                )
+                .to_bytes();
+                b[..b.len() - 3].to_vec()
+            },
+            expect: Expect::Frame(WireError::Truncated),
+        },
     ]
 }
 
