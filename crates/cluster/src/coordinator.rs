@@ -25,11 +25,13 @@ use std::time::Duration;
 
 use ms_core::wire::FRAME_HEADER_LEN;
 use ms_core::{ServiceError, Summary, Wire};
-use ms_obs::{Counter, Gauge, Histogram, RegistrySnapshot};
+use ms_obs::{Counter, Gauge, Histogram, RegistrySnapshot, TraceHandle};
 use ms_service::telemetry::timed;
+use ms_service::tracectx::{self, FIELD_PARENT, FIELD_SPAN, FIELD_TRACE};
 use ms_service::{
-    check_phi, Client, ClientOptions, ClusterInfo, EngineTelemetry, MetricsReport, NodeInfo,
-    RangeAnswer, RangeMeta, Request, Response, SegmentReport, Service, ShardSummary,
+    check_phi, AccuracyAudit, Client, ClientOptions, ClusterInfo, EngineTelemetry, MetricsReport,
+    NodeInfo, RangeAnswer, RangeMeta, Request, Response, SegmentReport, Service, ShardSummary,
+    TraceContext,
 };
 
 use crate::membership::NodeHealth;
@@ -58,6 +60,10 @@ pub struct ClusterConfig {
     pub ping_interval: Option<Duration>,
     /// Record coordinator telemetry.
     pub telemetry: bool,
+    /// Seed for deterministic trace/span ids (and anything else the
+    /// coordinator derives randomness from). Two coordinators with
+    /// different seeds can never mint colliding trace ids.
+    pub seed: u64,
 }
 
 impl ClusterConfig {
@@ -73,7 +79,14 @@ impl ClusterConfig {
             client: ClientOptions::default(),
             ping_interval: Some(Duration::from_secs(1)),
             telemetry: true,
+            seed: 0x0C00_D1E5,
         }
+    }
+
+    /// Override the trace-id seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// Enable replica pairs.
@@ -155,6 +168,9 @@ pub struct Coordinator {
     client_opts: ClientOptions,
     replicas: bool,
     telemetry: Arc<EngineTelemetry>,
+    /// Flight-recorder ring the scatter legs record into; one leg span
+    /// per backend request issued under a live trace context.
+    scatter_ring: TraceHandle,
     instruments: Instruments,
     rebalanced_batches: AtomicU64,
     stopped: AtomicBool,
@@ -184,7 +200,8 @@ impl Coordinator {
             (0..cfg.nodes.len()).map(|n| vec![n]).collect()
         };
         let ring = HashRing::new(slots.len(), cfg.vnodes.max(1));
-        let telemetry = Arc::new(EngineTelemetry::new(0, cfg.telemetry));
+        let telemetry = Arc::new(EngineTelemetry::new(0, cfg.telemetry, cfg.seed));
+        let scatter_ring = telemetry.recorder().register("scatter");
         let registry = telemetry.registry();
         let instruments = Instruments {
             node_latency: (0..cfg.nodes.len())
@@ -220,6 +237,7 @@ impl Coordinator {
             client_opts: cfg.client.clone(),
             replicas: cfg.replicas,
             telemetry,
+            scatter_ring,
             instruments,
             rebalanced_batches: AtomicU64::new(0),
             stopped: AtomicBool::new(false),
@@ -330,7 +348,26 @@ impl Coordinator {
                 continue;
             }
             self.instruments.scatter_bytes.add(frame_bytes);
-            match self.with_node(member, |c| c.ingest_slice(bucket)) {
+            // Ingest legs join the live trace the same way query legs
+            // do, so one traced ingest stitches coordinator → node.
+            let result = match tracectx::current() {
+                Some(ctx) => {
+                    let leg = self.telemetry.next_span(ctx);
+                    let mut span = self.scatter_ring.span("scatter");
+                    span.field(FIELD_TRACE, ctx.trace_id);
+                    span.field(FIELD_SPAN, leg);
+                    span.field(FIELD_PARENT, ctx.parent_span);
+                    span.field("node", member as u64);
+                    span.field("op", Request::Ingest(Vec::new()).opcode() as u64);
+                    let child = TraceContext {
+                        trace_id: ctx.trace_id,
+                        parent_span: leg,
+                    };
+                    self.with_node(member, |c| c.ingest_slice_traced(child, bucket))
+                }
+                None => self.with_node(member, |c| c.ingest_slice(bucket)),
+            };
+            match result {
                 Ok(()) => delivered = true,
                 Err(e) => last_err = Some(e),
             }
@@ -636,6 +673,41 @@ impl Coordinator {
         merged.ok_or_else(no_live_backend)
     }
 
+    /// Gather every slot's accuracy audit and merge them like summaries:
+    /// one member per slot (the heavier, mirroring the read-one replica
+    /// rule — both replicas audited the same writes, so folding both
+    /// would double-count), weights and envelopes adding, observed error
+    /// taking the worst. The merged report's `within_bound` holds only
+    /// if every contributing node held its own bound — exactly the
+    /// paper's claim that merging costs no accuracy.
+    pub fn accuracy_merged(&self) -> Result<AccuracyAudit, ServiceError> {
+        let mut merged: Option<AccuracyAudit> = None;
+        for members in &self.slots {
+            let mut best: Option<AccuracyAudit> = None;
+            for &member in members {
+                if self.nodes[member].health.is_dead() {
+                    continue;
+                }
+                let Ok(Response::Accuracy(audit)) =
+                    self.scatter_call(member, &Request::AccuracyReport)
+                else {
+                    continue;
+                };
+                best = match best {
+                    Some(prev) if prev.weight >= audit.weight => Some(prev),
+                    _ => Some(audit),
+                };
+            }
+            if let Some(audit) = best {
+                match &mut merged {
+                    None => merged = Some(audit),
+                    Some(acc) => acc.merge_from(&audit),
+                }
+            }
+        }
+        merged.ok_or_else(no_live_backend)
+    }
+
     /// Is every member of `slot` dead?
     fn slot_dead(&self, slot: usize) -> bool {
         self.slots[slot]
@@ -650,7 +722,25 @@ impl Coordinator {
         self.instruments
             .scatter_bytes
             .add((FRAME_HEADER_LEN + request.wire_len()) as u64);
-        self.with_node(idx, |client| client.call(request))
+        // Under a live trace (the server put one up before calling
+        // `handle`), every leg gets its own span and ships the context to
+        // the backend, whose request span then parents under this leg.
+        // Pings and other context-free calls stay plain `REQUEST_TAG`.
+        let Some(ctx) = tracectx::current() else {
+            return self.with_node(idx, |client| client.call(request));
+        };
+        let leg = self.telemetry.next_span(ctx);
+        let mut span = self.scatter_ring.span("scatter");
+        span.field(FIELD_TRACE, ctx.trace_id);
+        span.field(FIELD_SPAN, leg);
+        span.field(FIELD_PARENT, ctx.parent_span);
+        span.field("node", idx as u64);
+        span.field("op", request.opcode() as u64);
+        let child = TraceContext {
+            trace_id: ctx.trace_id,
+            parent_span: leg,
+        };
+        self.with_node(idx, |client| client.call_traced(child, request))
     }
 
     /// Run `f` against node `idx`'s client (connecting lazily), recording
@@ -785,6 +875,14 @@ impl Service for Coordinator {
             },
             Request::SegmentInfo => match self.segment_report() {
                 Ok(report) => Response::Segments(report),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            // The coordinator answers with its *own* rings (request and
+            // scatter spans); tooling pulls each backend's rings directly
+            // and stitches the processes together by trace id.
+            Request::TraceDump => Response::Trace(self.telemetry.trace_report()),
+            Request::AccuracyReport => match self.accuracy_merged() {
+                Ok(audit) => Response::Accuracy(audit),
                 Err(e) => Response::Error(e.to_string()),
             },
         }

@@ -1,0 +1,154 @@
+//! Accuracy self-audit primitives: a deterministic reservoir sample of
+//! raw stream items.
+//!
+//! The paper (PODS'12, Definition 1) promises that a merged summary's
+//! error stays within `ε·n` under *any* merge tree — but nothing in the
+//! serving stack observes that promise. The audit plane closes the loop:
+//! the engine keeps a small seeded [`Reservoir`] of raw items alongside
+//! the summary, and on demand compares the summary's answers against the
+//! sample (empirical ranks for quantile summaries) or against exact
+//! counts of a hash-chosen subset of items (frequency summaries, tracked
+//! by the engine itself). Everything is seeded and allocation-free at
+//! steady state, so an audit run is reproducible from the printed seed
+//! and safe to leave enabled on a live server.
+
+use ms_core::rng::splitmix64;
+
+/// Uniform reservoir sample (Algorithm R) over a `u64` stream, driven by
+/// a seeded splitmix64 stream so the kept sample is a pure function of
+/// `(seed, insertion order)` — no global RNG, fully reproducible.
+#[derive(Debug)]
+pub struct Reservoir {
+    items: Vec<u64>,
+    capacity: usize,
+    /// Items observed so far (the sample is uniform over all of them).
+    observed: u64,
+    /// splitmix64 state, advanced once per observation past capacity.
+    rng: u64,
+}
+
+impl Reservoir {
+    /// An empty reservoir keeping at most `capacity` items.
+    pub fn new(capacity: usize, seed: u64) -> Reservoir {
+        Reservoir {
+            items: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            observed: 0,
+            rng: seed ^ 0xA076_1D64_78BD_642F,
+        }
+    }
+
+    /// Observe one stream item. O(1), allocation-free once the backing
+    /// vector reached capacity (it is pre-reserved at construction).
+    pub fn observe(&mut self, item: u64) {
+        self.observed += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        // Classic Algorithm R: keep with probability capacity/observed.
+        let j = splitmix64(&mut self.rng) % self.observed;
+        if (j as usize) < self.capacity {
+            self.items[j as usize] = item;
+        }
+    }
+
+    /// Observe a whole batch.
+    pub fn observe_slice(&mut self, items: &[u64]) {
+        for &item in items {
+            self.observe(item);
+        }
+    }
+
+    /// The current sample (unordered).
+    pub fn sample(&self) -> &[u64] {
+        &self.items
+    }
+
+    /// Items currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the sample empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total items observed (the `n` the sample is uniform over).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Empirical rank of `x` scaled to the observed stream: the number of
+    /// sampled items strictly below `x`, times `observed / len`. The
+    /// estimator's sampling error is O(n/√len) with high probability —
+    /// callers must budget that slack on top of the summary's own `ε·n`.
+    pub fn scaled_rank(&self, x: u64) -> u64 {
+        if self.items.is_empty() {
+            return 0;
+        }
+        let below = self.items.iter().filter(|&&v| v < x).count() as u64;
+        // Multiply before dividing in u128 so large n cannot overflow.
+        ((below as u128 * self.observed as u128) / self.items.len() as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_is_deterministic_for_a_seed() {
+        let stream: Vec<u64> = (0..10_000).map(|i| i * 7 % 997).collect();
+        let mut a = Reservoir::new(64, 0xF417_5EED);
+        let mut b = Reservoir::new(64, 0xF417_5EED);
+        a.observe_slice(&stream);
+        b.observe_slice(&stream);
+        assert_eq!(a.sample(), b.sample());
+        assert_eq!(a.observed(), 10_000);
+
+        let mut c = Reservoir::new(64, 0xB0B5_CAFE);
+        c.observe_slice(&stream);
+        assert_ne!(a.sample(), c.sample(), "different seeds, different keeps");
+    }
+
+    #[test]
+    fn reservoir_fills_then_stays_bounded() {
+        let mut r = Reservoir::new(16, 1);
+        for i in 0..8u64 {
+            r.observe(i);
+        }
+        assert_eq!(r.len(), 8);
+        for i in 8..10_000u64 {
+            r.observe(i);
+        }
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.observed(), 10_000);
+    }
+
+    #[test]
+    fn scaled_rank_tracks_the_uniform_stream() {
+        // Uniform 0..1000, 100k observations: the scaled empirical rank of
+        // the median must land near n/2 well within the O(n/√len) slack.
+        let mut r = Reservoir::new(4096, 42);
+        let mut state = 42u64;
+        let n = 100_000u64;
+        for _ in 0..n {
+            r.observe(splitmix64(&mut state) % 1000);
+        }
+        let est = r.scaled_rank(500);
+        let slack = 4.0 * n as f64 / (r.len() as f64).sqrt();
+        assert!(
+            (est as f64 - n as f64 / 2.0).abs() <= slack,
+            "median rank estimate {est} strayed past {slack}"
+        );
+    }
+
+    #[test]
+    fn empty_reservoir_answers_zero() {
+        let r = Reservoir::new(8, 0);
+        assert!(r.is_empty());
+        assert_eq!(r.scaled_rank(123), 0);
+    }
+}

@@ -22,15 +22,17 @@
 //! * [`render_prometheus`] — the registry snapshot as Prometheus text
 //!   exposition, served by the `mergeable metrics` CLI.
 
+pub mod audit;
 pub mod hist;
 pub mod prom;
 pub mod registry;
 pub mod trace;
 
+pub use audit::Reservoir;
 pub use hist::{bucket_upper, Histogram, HistogramSnapshot, HIST_BUCKETS};
 pub use prom::render_prometheus;
 pub use registry::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
-pub use trace::{FlightRecorder, SpanGuard, TraceEvent, TraceHandle};
+pub use trace::{FlightRecorder, SpanGuard, ThreadExport, TraceEvent, TraceHandle};
 
 /// Open a span on a [`TraceHandle`], recording named `u64` fields and the
 /// span's duration into the thread's flight-recorder ring when the guard

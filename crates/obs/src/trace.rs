@@ -91,6 +91,20 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// One ring's surviving events plus how much history the ring lost, as
+/// returned by [`FlightRecorder::export`]. This is the structured twin of
+/// the JSON dump: the `TraceDump` wire opcode ships these across the
+/// cluster so a coordinator-side CLI can stitch rings from every node.
+#[derive(Debug, Clone)]
+pub struct ThreadExport {
+    /// Ring label (`worker-0`, `compactor`, `conn`, …).
+    pub label: String,
+    /// Events this ring overwrote — the dump's blind spot.
+    pub evicted: u64,
+    /// Surviving events in recording order (oldest first).
+    pub events: Vec<TraceEvent>,
+}
+
 /// The flight recorder: a registry of per-thread rings plus the shared
 /// clock origin. Cheap to share as `Arc<FlightRecorder>`.
 #[derive(Debug)]
@@ -152,15 +166,48 @@ impl FlightRecorder {
             .sum()
     }
 
-    /// Serialize every ring, stamped with the reproduction `seed`.
+    /// Snapshot every ring into owned [`ThreadExport`]s (label, evicted
+    /// count, surviving events oldest-first). The wire-facing counterpart
+    /// of [`FlightRecorder::dump_json`].
+    pub fn export(&self) -> Vec<ThreadExport> {
+        lock(&self.rings)
+            .iter()
+            .map(|t| {
+                let ring = lock(&t.ring);
+                ThreadExport {
+                    label: t.label.clone(),
+                    evicted: ring.overwritten,
+                    events: ring.ordered(),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-thread ring capacity this recorder was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Microseconds captured since the recorder was created (its clock
+    /// origin; every event's `start_micros` is an offset from it).
+    pub fn captured_micros(&self) -> u64 {
+        self.now_micros()
+    }
+
+    /// Serialize every ring, stamped with the reproduction `seed`. The
+    /// header carries `evicted_total` — the events lost across all rings —
+    /// and each ring its own `evicted` count, so a dump states exactly
+    /// how much history it is missing.
     pub fn dump_json(&self, seed: u64) -> Json {
+        let mut evicted_total = 0u64;
         let threads: Vec<Json> = lock(&self.rings)
             .iter()
             .map(|t| {
                 let ring = lock(&t.ring);
+                evicted_total += ring.overwritten;
                 Json::obj([
                     ("thread", Json::Str(t.label.clone())),
-                    ("overwritten", Json::U64(ring.overwritten)),
+                    ("evicted", Json::U64(ring.overwritten)),
                     (
                         "events",
                         Json::Arr(ring.ordered().iter().map(ToJson::to_json).collect()),
@@ -171,6 +218,7 @@ impl FlightRecorder {
         Json::obj([
             ("seed", Json::Str(format!("{seed:#x}"))),
             ("ring_capacity", Json::U64(self.capacity as u64)),
+            ("evicted_total", Json::U64(evicted_total)),
             (
                 "captured_micros",
                 Json::U64(self.origin.elapsed().as_micros() as u64),
@@ -299,6 +347,35 @@ mod tests {
         assert_eq!(ring.overwritten, 6);
         let order: Vec<u64> = ring.ordered().iter().map(|e| e.fields[0].1).collect();
         assert_eq!(order, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn dump_header_pins_evicted_counts() {
+        // 10 events into a capacity-4 ring: exactly 6 evictions, stated
+        // per ring and summed in the header so a dump declares its blind
+        // spot. A second, underfull ring must report 0.
+        let rec = Arc::new(FlightRecorder::new(4));
+        let busy = rec.register("busy");
+        for i in 0..10u64 {
+            busy.event("e", &[("i", i)]);
+        }
+        let quiet = rec.register("quiet");
+        quiet.event("q", &[]);
+        let json = rec.dump_json(0x5EED).to_string();
+        assert!(json.contains("\"evicted_total\":6"), "{json}");
+        assert!(json.contains("\"evicted\":6"), "{json}");
+        assert!(json.contains("\"evicted\":0"), "{json}");
+
+        let export = rec.export();
+        assert_eq!(export.len(), 2);
+        assert_eq!(export[0].label, "busy");
+        assert_eq!(export[0].evicted, 6);
+        assert_eq!(export[0].events.len(), 4);
+        // Recording order survives the export: oldest surviving first.
+        let order: Vec<u64> = export[0].events.iter().map(|e| e.fields[0].1).collect();
+        assert_eq!(order, vec![6, 7, 8, 9]);
+        assert_eq!(export[1].evicted, 0);
+        assert_eq!(export[1].events.len(), 1);
     }
 
     #[test]

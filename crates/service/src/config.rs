@@ -286,6 +286,12 @@ pub struct ServiceConfig {
     /// measure the instrumentation's own overhead (`serve
     /// --no-telemetry`, `MS_BENCH_TELEMETRY=0`).
     pub telemetry: bool,
+    /// Accuracy self-audit: keep a seeded reservoir of raw items plus
+    /// exact counts of a hash-chosen 1/16 of the item space, so
+    /// [`crate::Request::AccuracyReport`] can compare the summary's
+    /// answers against ground truth live. Off by default — the audit
+    /// adds per-batch work on the ingest path (`serve --audit`).
+    pub audit: bool,
     /// Crash-safe durability (WAL + checkpoints under a data directory).
     /// `None` (the default) keeps the engine purely in-memory.
     pub durability: Option<DurabilityConfig>,
@@ -308,6 +314,7 @@ impl ServiceConfig {
             respawn_lost_shards: true,
             fault_plan: Arc::new(NoFaults),
             telemetry: true,
+            audit: false,
             durability: None,
             segments: None,
         }
@@ -358,6 +365,12 @@ impl ServiceConfig {
     /// Enable or disable telemetry recording.
     pub fn telemetry(mut self, enabled: bool) -> Self {
         self.telemetry = enabled;
+        self
+    }
+
+    /// Enable or disable the accuracy self-audit plane.
+    pub fn audit(mut self, enabled: bool) -> Self {
+        self.audit = enabled;
         self
     }
 

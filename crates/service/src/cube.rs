@@ -77,6 +77,22 @@ pub struct AdoptOutcome {
     pub notes: Vec<String>,
 }
 
+/// Point-in-time cube health gauges, rendered into the Prometheus
+/// exposition by [`crate::Engine::telemetry_snapshot`]: how much sealed
+/// precomputation exists, and how stale/heavy the open segment is. A
+/// fast-growing `open_age_micros` under a wall-clock seal policy means
+/// sealing has stalled; `open_weight` bounds how much of a range answer
+/// comes from the unsealed (still-moving) segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CubeHealth {
+    /// Sealed segments currently queryable.
+    pub sealed: u64,
+    /// Age of the open segment (micros since it opened; 0 when none).
+    pub open_age_micros: u64,
+    /// Item weight accumulated in the open segment (0 when none).
+    pub open_weight: u64,
+}
+
 /// One segment: its coordinates plus a live summary per family.
 struct Segment {
     id: u64,
@@ -392,6 +408,23 @@ impl SegmentCube {
         (meta, merged)
     }
 
+    /// Current health gauges (sealed count, open-segment age/weight),
+    /// read against the same monotone-clamped clock that stamps
+    /// segments.
+    pub fn health(&self) -> CubeHealth {
+        let mut s = lock(&self.state);
+        let now = self.now(&mut s);
+        let (open_age_micros, open_weight) = match &s.open {
+            Some(seg) => (now.saturating_sub(seg.start_micros), seg.weight),
+            None => (0, 0),
+        };
+        CubeHealth {
+            sealed: s.sealed.len() as u64,
+            open_age_micros,
+            open_weight,
+        }
+    }
+
     /// The cube's index: sealed segments in id order, then the open one.
     pub fn report(&self) -> SegmentReport {
         let mut s = lock(&self.state);
@@ -601,5 +634,27 @@ mod tests {
         assert_eq!(out.dropped, 2);
         assert_eq!(fresh.last_seq(), 1, "floor stops at the last good record");
         assert!(out.notes[0].contains("rebuilt from the WAL"));
+    }
+
+    #[test]
+    fn health_tracks_sealed_count_and_open_segment_age() {
+        let clock = Arc::new(ManualClock::new(0));
+        let c = cube(SegmentConfig::new().seal_batches(2).clock(clock.clone()));
+        assert_eq!(c.health(), CubeHealth::default(), "empty cube is all-zero");
+
+        ok(&c, &[1, 2, 3]);
+        clock.advance(40);
+        let h = c.health();
+        assert_eq!(h.sealed, 0);
+        assert_eq!(h.open_age_micros, 40, "age reads the injected clock");
+        assert_eq!(h.open_weight, 3);
+
+        // Second batch hits the count boundary: the segment seals, the
+        // open gauges reset to zero until the next batch arrives.
+        ok(&c, &[4]);
+        let h = c.health();
+        assert_eq!(h.sealed, 1);
+        assert_eq!(h.open_age_micros, 0);
+        assert_eq!(h.open_weight, 0);
     }
 }

@@ -63,16 +63,19 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuar
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use ms_core::rng::splitmix64;
 use ms_core::wire::encode_u64_slice_into;
-use ms_core::{BufferPool, Mergeable, PushError, Ring, ServiceError, Summary, SwapCell, Wire};
-use ms_obs::RegistrySnapshot;
+use ms_core::{
+    BufferPool, FxHashMap, Mergeable, PushError, Ring, ServiceError, Summary, SwapCell, Wire,
+};
+use ms_obs::{RegistrySnapshot, Reservoir};
 use ms_store::{GroupCommit, SegmentRecord, Store};
 
 use crate::config::{DurabilityConfig, ServiceConfig, SummaryKind};
 use crate::cube::SegmentCube;
 use crate::fault::FaultAction;
-use crate::protocol::{RangeMeta, SegmentReport};
-use crate::summary::ShardSummary;
+use crate::protocol::{AccuracyAudit, RangeMeta, SegmentReport, TraceDumpReport};
+use crate::summary::{MergeLineage, ShardSummary};
 use crate::telemetry::{timed, EngineTelemetry};
 
 /// An immutable published view of the global summary.
@@ -82,6 +85,9 @@ pub struct Snapshot {
     pub epoch: u64,
     /// The merged global summary as of this epoch.
     pub summary: ShardSummary,
+    /// The merge tree that built `summary` and the weight its `ε·n`
+    /// envelope applies to.
+    pub lineage: MergeLineage,
     /// When this snapshot was published.
     pub published_at: Instant,
 }
@@ -132,6 +138,78 @@ impl MetricsReport {
         self.shards_lost += other.shards_lost;
         self.frames_rejected += other.frames_rejected;
         self.retries += other.retries;
+    }
+}
+
+/// Raw items the audit reservoir holds for quantile audits.
+const AUDIT_RESERVOIR: usize = 4096;
+/// An item's exact count is tracked iff its seeded hash lands in this
+/// mask's zero class — 1/16 of the item space, chosen by hash so the
+/// audited set is adversary- and distribution-independent.
+const AUDIT_SAMPLE_MASK: u64 = 0xF;
+
+/// Ground truth for the accuracy self-audit, filled by workers as they
+/// absorb batches.
+struct AuditState {
+    /// Seeded uniform sample of raw items (quantile audits).
+    reservoir: Reservoir,
+    /// Exact counts of the hash-chosen item subset (frequency audits).
+    exact: FxHashMap<u64, u64>,
+    /// Total item weight the audit observed.
+    weight: u64,
+}
+
+/// The engine's audit plane: `None` inside unless [`ServiceConfig::audit`]
+/// is set, so the default ingest path pays one branch per *batch* and
+/// nothing per item. Workers call [`AuditPlane::observe`] on every batch
+/// they absorb — observing at absorption (not admission) keeps the
+/// ground truth aligned with what the summary actually saw: dropped and
+/// rerouted batches never reach either.
+struct AuditPlane {
+    seed: u64,
+    /// Quantile kinds sample ranks; frequency kinds count exactly.
+    quantile: bool,
+    state: Option<Mutex<AuditState>>,
+}
+
+impl AuditPlane {
+    fn new(cfg: &ServiceConfig) -> AuditPlane {
+        AuditPlane {
+            seed: cfg.seed,
+            quantile: cfg.kind == SummaryKind::HybridQuantile,
+            state: cfg.audit.then(|| {
+                Mutex::new(AuditState {
+                    reservoir: Reservoir::new(AUDIT_RESERVOIR, cfg.seed),
+                    exact: FxHashMap::default(),
+                    weight: 0,
+                })
+            }),
+        }
+    }
+
+    /// Is `item` in the exactly-counted audit subset for `seed`?
+    fn audited(seed: u64, item: u64) -> bool {
+        let mut s = seed ^ item;
+        splitmix64(&mut s) & AUDIT_SAMPLE_MASK == 0
+    }
+
+    /// Observe one absorbed batch: one lock round per batch, no-op (a
+    /// single branch) when the audit is disabled.
+    fn observe(&self, items: &[u64]) {
+        let Some(state) = &self.state else {
+            return;
+        };
+        let mut s = lock(state);
+        s.weight += items.len() as u64;
+        if self.quantile {
+            s.reservoir.observe_slice(items);
+        } else {
+            for &item in items {
+                if AuditPlane::audited(self.seed, item) {
+                    *s.exact.entry(item).or_insert(0) += 1;
+                }
+            }
+        }
     }
 }
 
@@ -299,6 +377,8 @@ pub struct Engine {
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
     compactor_handle: Mutex<Option<JoinHandle<()>>>,
     telemetry: Arc<EngineTelemetry>,
+    /// Accuracy self-audit ground truth (inert unless `cfg.audit`).
+    audit: Arc<AuditPlane>,
     /// WAL + checkpoints; `None` for a purely in-memory engine.
     durable: Option<Durable>,
     /// The segment cube (time-windowed range queries); `None` unless
@@ -325,7 +405,8 @@ impl Engine {
             .clone()
             .map(|scfg| Arc::new(SegmentCube::new(cfg.epsilon, cfg.seed, scfg)));
         let counters = Arc::new(Counters::default());
-        let telemetry = Arc::new(EngineTelemetry::new(cfg.shards, cfg.telemetry));
+        let telemetry = Arc::new(EngineTelemetry::new(cfg.shards, cfg.telemetry, cfg.seed));
+        let audit = Arc::new(AuditPlane::new(&cfg));
         let (compact_tx, compact_rx) = mpsc::channel::<CompactMsg>();
         let batch_indices = Arc::new(
             (0..cfg.shards)
@@ -354,6 +435,7 @@ impl Engine {
                 Arc::clone(&batch_indices),
                 Arc::clone(&telemetry),
                 Arc::clone(&pool),
+                Arc::clone(&audit),
             )?;
             slots.push(TableSlot {
                 gen: 0,
@@ -394,6 +476,7 @@ impl Engine {
             snapshot: RwLock::new(Arc::new(Snapshot {
                 epoch: 0,
                 summary: ShardSummary::new(&cfg, usize::MAX),
+                lineage: MergeLineage::default(),
                 published_at: Instant::now(),
             })),
             cfg: cfg.clone(),
@@ -410,6 +493,7 @@ impl Engine {
             worker_handles: Mutex::new(worker_handles),
             compactor_handle: Mutex::new(None),
             telemetry,
+            audit,
             durable,
             cube,
         });
@@ -577,6 +661,7 @@ impl Engine {
                 Arc::clone(&self.batch_indices),
                 Arc::clone(&self.telemetry),
                 Arc::clone(&self.pool),
+                Arc::clone(&self.audit),
             ) {
                 Ok(handle) => {
                     self.telemetry
@@ -984,7 +1069,10 @@ impl Engine {
         let Some(cube) = &self.cube else {
             return Err(ServiceError::Config("segment cube is not enabled"));
         };
-        Ok(cube.query(start_micros, end_micros, kind))
+        let (meta, summary) = cube.query(start_micros, end_micros, kind);
+        self.telemetry
+            .record_range_covering(meta.segments_merged as u64);
+        Ok((meta, summary))
     }
 
     /// Describe the cube's current segments (sealed and open).
@@ -1000,13 +1088,14 @@ impl Engine {
         self.cube.as_ref()
     }
 
-    fn publish(&self, summary: ShardSummary) {
+    fn publish(&self, summary: ShardSummary, lineage: MergeLineage) {
         let mut guard = write(&self.snapshot);
         let epoch = guard.epoch + 1;
         let since_last = guard.published_at.elapsed().as_micros() as u64;
         *guard = Arc::new(Snapshot {
             epoch,
             summary,
+            lineage,
             published_at: Instant::now(),
         });
         drop(guard);
@@ -1084,7 +1173,94 @@ impl Engine {
                 ),
             ]);
         }
+        if let Some(cube) = &self.cube {
+            let health = cube.health();
+            self.telemetry.set_cube_health(
+                health.sealed,
+                health.open_age_micros,
+                health.open_weight,
+            );
+        }
         self.telemetry.snapshot().merge(&engine)
+    }
+
+    /// The engine's flight-recorder rings as a wire-ready report — the
+    /// payload served for [`crate::Request::TraceDump`].
+    pub fn trace_dump(&self) -> TraceDumpReport {
+        self.telemetry.trace_report()
+    }
+
+    /// Compare the published summary against the audit plane's ground
+    /// truth and report the observed error next to the `eps·n` envelope
+    /// the paper's Definition 1 promises. Requires
+    /// [`ServiceConfig::audit`]; without it the report carries lineage
+    /// only (`audit_weight == 0`, trivially within bound).
+    ///
+    /// Frequency families keep *exact* counts for a deterministic
+    /// hash-chosen 1-in-16 subset of the key space, so the observed
+    /// error there is a true point-query error and must sit inside
+    /// `eps·n`. The quantile family keeps a seeded reservoir; its rank
+    /// comparison is itself an estimate, so the report adds a
+    /// `sampling_slack` term (`3n/sqrt(len)`) and checks the bound
+    /// against envelope + slack. Both kinds also add any weight the
+    /// audit plane never saw (checkpoint preload, lost shards) as
+    /// slack, since those items reached only one side of the
+    /// comparison.
+    pub fn accuracy_audit(&self) -> AccuracyAudit {
+        let snap = self.snapshot();
+        let lineage = snap.lineage;
+        let eps = self.cfg.epsilon;
+        let mut report = AccuracyAudit {
+            kind: self.cfg.kind.label().to_string(),
+            epsilon: eps,
+            weight: lineage.weight,
+            envelope: lineage.envelope(eps),
+            merges: lineage.merges,
+            depth: lineage.depth,
+            audit_weight: 0,
+            audited_items: 0,
+            reservoir_len: 0,
+            observed_error: 0.0,
+            sampling_slack: 0.0,
+            within_bound: true,
+            nodes: 1,
+        };
+        let Some(state) = &self.audit.state else {
+            return report;
+        };
+        let state = lock(state);
+        report.audit_weight = state.weight;
+        // Weight that reached the summary but not the audit plane (or
+        // vice versa) — checkpoint preload, recovered WAL, lost shards —
+        // can legitimately move the comparison by up to eps·|delta| plus
+        // the raw delta itself for exact-count keys.
+        let unseen = lineage.weight.abs_diff(state.weight) as f64;
+        if self.cfg.kind == SummaryKind::HybridQuantile {
+            report.reservoir_len = state.reservoir.len() as u64;
+            let sample = state.reservoir.sample();
+            let mut worst = 0.0f64;
+            for &v in sample {
+                let est = snap.summary.rank(v).unwrap_or(0) as f64;
+                let truth = state.reservoir.scaled_rank(v) as f64;
+                worst = worst.max((est - truth).abs());
+            }
+            report.observed_error = worst;
+            if !sample.is_empty() {
+                report.sampling_slack = 3.0 * state.weight as f64 / (sample.len() as f64).sqrt();
+            }
+            report.sampling_slack += unseen;
+        } else {
+            report.audited_items = state.exact.len() as u64;
+            let mut worst = 0.0f64;
+            for (&item, &count) in state.exact.iter() {
+                let est = snap.summary.point(item).unwrap_or(0) as f64;
+                worst = worst.max((est - count as f64).abs());
+            }
+            report.observed_error = worst;
+            report.sampling_slack = unseen;
+        }
+        report.within_bound = report.observed_error <= report.envelope + report.sampling_slack;
+        report
     }
 
     /// Current counters plus snapshot-derived gauges.
@@ -1239,6 +1415,7 @@ fn spawn_worker(
     batch_indices: Arc<Vec<AtomicU64>>,
     telemetry: Arc<EngineTelemetry>,
     pool: Arc<BufferPool<u64>>,
+    audit: Arc<AuditPlane>,
 ) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("ms-worker-{shard}"))
@@ -1285,6 +1462,10 @@ fn spawn_worker(
                         counters
                             .updates
                             .fetch_add(items.len() as u64, Ordering::Relaxed);
+                        // Ground truth observes exactly what the delta
+                        // absorbs: dropped or fault-killed batches reach
+                        // neither side of the accuracy comparison.
+                        audit.observe(&items);
                         pending += items.len();
                         let (_, micros) = timed(|| {
                             for &item in &items {
@@ -1337,6 +1518,9 @@ fn spawn_compactor(
                     .collect()
             });
             let mut merge_index = 0u64;
+            // Lineage mirrors the left-deep fold below: after k deltas,
+            // merges == depth == k and weight == global.total_weight().
+            let mut lineage = MergeLineage::leaf(global.total_weight());
             for msg in rx {
                 match msg {
                     CompactMsg::Delta(shard, delta) => {
@@ -1352,6 +1536,7 @@ fn spawn_compactor(
                         }
                         // In-place: the global summary's storage is reused
                         // across merges instead of being cloned per delta.
+                        let leaf = MergeLineage::leaf(delta.total_weight());
                         let (merged, micros) = timed(|| global.merge_in_place(delta));
                         if merged.is_err() {
                             // Deltas come from ShardSummary::new under the
@@ -1360,19 +1545,20 @@ fn spawn_compactor(
                             // in-place merge left `global` untouched.
                             continue;
                         }
+                        lineage.absorb(leaf);
                         // The compactor folds deltas left-deep, so the
                         // snapshot's merge tree is `merge_index` deep.
                         engine.telemetry.record_compact_merge(micros, merge_index);
                         engine.counters.merges.fetch_add(1, Ordering::Relaxed);
-                        engine.publish(global.clone());
+                        engine.publish(global.clone(), lineage);
                         span.field("epoch", engine.snapshot().epoch);
                     }
                     CompactMsg::Publish(ack) => {
-                        engine.publish(global.clone());
+                        engine.publish(global.clone(), lineage);
                         let _ = ack.send(());
                     }
                     CompactMsg::Checkpoint(ack) => {
-                        engine.publish(global.clone());
+                        engine.publish(global.clone(), lineage);
                         let _ = ack.send(accumulators.clone().unwrap_or_default());
                     }
                     CompactMsg::Stop => break,
@@ -1746,6 +1932,91 @@ mod tests {
                 Some(0)
             );
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn accuracy_audit_stays_inside_the_envelope() {
+        let engine = Engine::start(
+            ServiceConfig::new(SummaryKind::Mg, 0.01)
+                .shards(4)
+                .audit(true)
+                .seed(0xF417_5EED),
+        )
+        .unwrap();
+        // Zipf-ish skew: heavy keys plus a long tail, 100k updates.
+        for round in 0..100u64 {
+            let mut batch = Vec::with_capacity(1000);
+            for i in 0..1000u64 {
+                let item = if i % 4 == 0 { i % 16 } else { round * 1000 + i };
+                batch.push(item);
+            }
+            engine.ingest(batch).unwrap();
+        }
+        engine.flush().unwrap();
+        let audit = engine.accuracy_audit();
+        assert_eq!(audit.kind, "mg");
+        assert_eq!(audit.weight, 100_000);
+        assert_eq!(audit.audit_weight, 100_000, "audit saw every absorbed item");
+        assert!(audit.audited_items > 0, "1-in-16 hash sample is non-empty");
+        assert!((audit.envelope - 0.01 * 100_000.0).abs() < 1e-6);
+        assert!(
+            audit.within_bound,
+            "observed {} > envelope {} + slack {}",
+            audit.observed_error, audit.envelope, audit.sampling_slack
+        );
+        assert!(audit.observed_error <= audit.envelope);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn accuracy_audit_quantile_uses_reservoir_with_slack() {
+        let engine = Engine::start(
+            ServiceConfig::new(SummaryKind::HybridQuantile, 0.02)
+                .shards(2)
+                .audit(true)
+                .seed(0xB0B5_CAFE),
+        )
+        .unwrap();
+        for round in 0..50u64 {
+            engine
+                .ingest(
+                    (0..1000u64)
+                        .map(|i| (round * 7 + i * 13) % 10_000)
+                        .collect(),
+                )
+                .unwrap();
+        }
+        engine.flush().unwrap();
+        let audit = engine.accuracy_audit();
+        assert_eq!(audit.weight, 50_000);
+        assert_eq!(audit.audit_weight, 50_000);
+        assert_eq!(audit.reservoir_len, 4096);
+        assert!(audit.sampling_slack > 0.0);
+        assert!(
+            audit.within_bound,
+            "observed {} > envelope {} + slack {}",
+            audit.observed_error, audit.envelope, audit.sampling_slack
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn audit_disabled_reports_lineage_only() {
+        let engine = Engine::start(ServiceConfig::new(SummaryKind::Mg, 0.05).shards(2)).unwrap();
+        engine.ingest(vec![1; 500]).unwrap();
+        engine.flush().unwrap();
+        let audit = engine.accuracy_audit();
+        assert_eq!(audit.weight, 500);
+        assert_eq!(audit.audit_weight, 0);
+        assert_eq!(audit.audited_items, 0);
+        assert_eq!(audit.observed_error, 0.0);
+        assert!(audit.within_bound);
+        // Lineage rides on the snapshot too.
+        let snap = engine.snapshot();
+        assert_eq!(snap.lineage.weight, 500);
+        assert!(snap.lineage.merges >= 1);
+        assert_eq!(snap.lineage.envelope(0.05), 0.05 * 500.0);
         engine.shutdown();
     }
 

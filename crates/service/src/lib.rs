@@ -35,6 +35,7 @@ pub mod protocol;
 pub mod server;
 pub mod summary;
 pub mod telemetry;
+pub mod tracectx;
 
 pub use config::{
     CubeClock, DurabilityConfig, ManualClock, SegmentConfig, ServiceConfig, SummaryKind,
@@ -44,12 +45,14 @@ pub use cube::{AdoptOutcome, CubeOutcome, SegmentCube};
 pub use engine::{Engine, MetricsReport, RecoveryReport, Snapshot};
 pub use fault::{plan_fn, FaultAction, FaultPlan, NoFaults};
 pub use protocol::{
-    decode_request, ClusterInfo, NodeInfo, NodeState, RangeAnswer, RangeMeta, Request, Response,
-    SegmentMeta, SegmentReport, REQUEST_TAG, RESPONSE_TAG,
+    decode_request, decode_traced_request, traced_frame, AccuracyAudit, ClusterInfo, NodeInfo,
+    NodeState, RangeAnswer, RangeMeta, Request, Response, SegmentMeta, SegmentReport, ThreadTrace,
+    TraceDumpReport, TraceEventRecord, REQUEST_TAG, RESPONSE_TAG, TRACED_REQUEST_TAG,
 };
 pub use server::{check_phi, dispatch, Client, ClientOptions, Server, Service};
-pub use summary::ShardSummary;
+pub use summary::{MergeLineage, ShardSummary};
 pub use telemetry::{EngineTelemetry, OPCODE_LABELS};
+pub use tracectx::{stitch, StitchedSpan, TraceContext};
 
 pub use ms_core::ServiceError;
 pub use ms_obs::RegistrySnapshot;

@@ -11,11 +11,18 @@ use ms_core::{Wire, WireError, WireFrame, WireReader};
 use ms_obs::RegistrySnapshot;
 
 use crate::engine::MetricsReport;
+use crate::tracectx::TraceContext;
 
 /// Frame tag for client→server messages.
 pub const REQUEST_TAG: u8 = 0x10;
 /// Frame tag for server→client messages.
 pub const RESPONSE_TAG: u8 = 0x11;
+/// Frame tag for client→server messages carrying a distributed-trace
+/// context: the payload is a [`TraceContext`] (varint trace id + varint
+/// parent span id) immediately followed by the [`Request`] encoding.
+/// Servers accept both tags ([`decode_traced_request`]); old clients and
+/// every golden corpus frame keep their exact bytes.
+pub const TRACED_REQUEST_TAG: u8 = 0x12;
 
 /// One client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +82,15 @@ pub enum Request {
     /// The segment cube's index: every sealed segment plus the open one.
     /// Answered with [`Response::Segments`]; requires the segment cube.
     SegmentInfo,
+    /// Pull this process's flight-recorder rings over the wire. Answered
+    /// with [`Response::Trace`]; the `mergeable trace` CLI merges dumps
+    /// from the coordinator and every node into one stitched timeline.
+    TraceDump,
+    /// The accuracy self-audit: merge lineage, the live eps·n envelope
+    /// and (when the audit plane is enabled) observed-vs-bound error.
+    /// Answered with [`Response::Accuracy`]; a coordinator gathers and
+    /// merges per-node audits.
+    AccuracyReport,
 }
 
 impl Request {
@@ -105,6 +121,8 @@ impl Request {
             Request::RangeQuantile { .. } => 12,
             Request::RangeHeavyHitters { .. } => 13,
             Request::SegmentInfo => 14,
+            Request::TraceDump => 15,
+            Request::AccuracyReport => 16,
         }
     }
 }
@@ -116,6 +134,36 @@ pub fn decode_request(frame: &WireFrame) -> Result<Request, WireError> {
         return Err(WireError::BadTag(frame.tag));
     }
     frame.value::<Request>()
+}
+
+/// Decode a request frame that may carry a trace context: a plain
+/// [`REQUEST_TAG`] frame yields `(request, None)`, a
+/// [`TRACED_REQUEST_TAG`] frame yields the context prepended to the
+/// request. Any other tag is rejected, and both forms enforce
+/// no-trailing-bytes like [`decode_request`].
+pub fn decode_traced_request(
+    frame: &WireFrame,
+) -> Result<(Request, Option<TraceContext>), WireError> {
+    match frame.tag {
+        REQUEST_TAG => Ok((frame.value::<Request>()?, None)),
+        TRACED_REQUEST_TAG => {
+            let (ctx, req) = frame.value::<(TraceContext, Request)>()?;
+            Ok((req, Some(ctx)))
+        }
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+/// Build the wire frame for `req` carrying trace context `ctx`
+/// (tag [`TRACED_REQUEST_TAG`]).
+pub fn traced_frame(ctx: TraceContext, req: &Request) -> WireFrame {
+    let mut payload = Vec::with_capacity(ctx.wire_len() + req.wire_len());
+    ctx.encode_into(&mut payload);
+    req.encode_into(&mut payload);
+    WireFrame {
+        tag: TRACED_REQUEST_TAG,
+        payload,
+    }
 }
 
 impl Wire for Request {
@@ -147,7 +195,9 @@ impl Wire for Request {
             | Request::Summary
             | Request::Telemetry
             | Request::ClusterInfo
-            | Request::SegmentInfo => {}
+            | Request::SegmentInfo
+            | Request::TraceDump
+            | Request::AccuracyReport => {}
         }
     }
 
@@ -176,6 +226,8 @@ impl Wire for Request {
                 phi: f64::decode_from(r)?,
             },
             14 => Request::SegmentInfo,
+            15 => Request::TraceDump,
+            16 => Request::AccuracyReport,
             _ => return Err(WireError::Malformed("unknown request opcode")),
         })
     }
@@ -207,6 +259,197 @@ pub enum Response {
     Range(RangeAnswer),
     /// The segment cube's index.
     Segments(SegmentReport),
+    /// This process's flight-recorder rings ([`Request::TraceDump`]).
+    Trace(TraceDumpReport),
+    /// The accuracy self-audit ([`Request::AccuracyReport`]).
+    Accuracy(AccuracyAudit),
+}
+
+/// One recorded flight-recorder event, wire-encodable (the in-memory
+/// [`ms_obs::TraceEvent`] uses `&'static str` names; crossing the wire
+/// requires owned strings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEventRecord {
+    /// Span/event name.
+    pub name: String,
+    /// Start offset in the recording process's flight clock (micros).
+    pub start_micros: u64,
+    /// Duration in micros (0 for instant events).
+    pub duration_micros: u64,
+    /// Named `u64` fields; trace identity rides here under
+    /// [`crate::tracectx::FIELD_TRACE`] / `FIELD_SPAN` / `FIELD_PARENT`.
+    pub fields: Vec<(String, u64)>,
+}
+
+impl Wire for TraceEventRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.name.encode_into(out);
+        self.start_micros.encode_into(out);
+        self.duration_micros.encode_into(out);
+        self.fields.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(TraceEventRecord {
+            name: String::decode_from(r)?,
+            start_micros: u64::decode_from(r)?,
+            duration_micros: u64::decode_from(r)?,
+            fields: Vec::decode_from(r)?,
+        })
+    }
+}
+
+/// One per-thread ring in a [`TraceDumpReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadTrace {
+    /// Ring label (`"conn"`, `"worker3"`, `"engine"` …).
+    pub label: String,
+    /// Events overwritten since the ring was registered — how much
+    /// history this dump has already lost.
+    pub evicted: u64,
+    /// Surviving events, oldest first.
+    pub events: Vec<TraceEventRecord>,
+}
+
+impl Wire for ThreadTrace {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.label.encode_into(out);
+        self.evicted.encode_into(out);
+        self.events.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(ThreadTrace {
+            label: String::decode_from(r)?,
+            evicted: u64::decode_from(r)?,
+            events: Vec::decode_from(r)?,
+        })
+    }
+}
+
+/// A process's flight-recorder contents served by
+/// [`Request::TraceDump`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDumpReport {
+    /// The process's telemetry seed (trace ids derive from it).
+    pub seed: u64,
+    /// Per-thread ring capacity in events.
+    pub ring_capacity: u64,
+    /// Flight-clock reading when the dump was taken.
+    pub captured_micros: u64,
+    /// Every registered ring.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl Wire for TraceDumpReport {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.seed.encode_into(out);
+        self.ring_capacity.encode_into(out);
+        self.captured_micros.encode_into(out);
+        self.threads.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(TraceDumpReport {
+            seed: u64::decode_from(r)?,
+            ring_capacity: u64::decode_from(r)?,
+            captured_micros: u64::decode_from(r)?,
+            threads: Vec::decode_from(r)?,
+        })
+    }
+}
+
+/// The accuracy self-audit served by [`Request::AccuracyReport`]: merge
+/// lineage plus observed-vs-bound error, mergeable across nodes the
+/// same way the summaries themselves are.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyAudit {
+    /// Summary kind label (`"mg"`, `"gk"`, …).
+    pub kind: String,
+    /// Configured error parameter ε.
+    pub epsilon: f64,
+    /// Total stream weight n the summary covers.
+    pub weight: u64,
+    /// The bound the paper promises: ε·n at the current weight.
+    pub envelope: f64,
+    /// Merge operations the summary lineage has absorbed.
+    pub merges: u64,
+    /// Depth of the deepest merge tree in the lineage.
+    pub depth: u64,
+    /// Stream weight the audit plane actually observed (0 when the
+    /// audit is disabled; may trail `weight` when a checkpoint preloaded
+    /// state the audit never saw).
+    pub audit_weight: u64,
+    /// Distinct items tracked exactly (frequency audit) — 0 for
+    /// quantile audits, which sample instead.
+    pub audited_items: u64,
+    /// Raw items held in the audit reservoir (quantile audit).
+    pub reservoir_len: u64,
+    /// Largest observed |estimate − reference| across the audited set.
+    pub observed_error: f64,
+    /// Extra error budget attributable to the audit's own sampling
+    /// (0 for the exact frequency audit).
+    pub sampling_slack: f64,
+    /// `observed_error ≤ envelope + sampling_slack` at audit time.
+    pub within_bound: bool,
+    /// Nodes merged into this report (1 for a single engine).
+    pub nodes: u32,
+}
+
+impl AccuracyAudit {
+    /// Fold another node's audit into this one, mirroring how the
+    /// summaries merge: weights, envelopes and audited sets add; the
+    /// observed error, depth and slack of the merged report are the
+    /// worst across members; the bound holds only if it held everywhere.
+    pub fn merge_from(&mut self, other: &AccuracyAudit) {
+        self.weight += other.weight;
+        self.envelope += other.envelope;
+        self.merges += other.merges;
+        self.depth = self.depth.max(other.depth);
+        self.audit_weight += other.audit_weight;
+        self.audited_items += other.audited_items;
+        self.reservoir_len += other.reservoir_len;
+        self.observed_error = self.observed_error.max(other.observed_error);
+        self.sampling_slack = self.sampling_slack.max(other.sampling_slack);
+        self.within_bound = self.within_bound && other.within_bound;
+        self.nodes += other.nodes;
+    }
+}
+
+impl Wire for AccuracyAudit {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.kind.encode_into(out);
+        self.epsilon.encode_into(out);
+        self.weight.encode_into(out);
+        self.envelope.encode_into(out);
+        self.merges.encode_into(out);
+        self.depth.encode_into(out);
+        self.audit_weight.encode_into(out);
+        self.audited_items.encode_into(out);
+        self.reservoir_len.encode_into(out);
+        self.observed_error.encode_into(out);
+        self.sampling_slack.encode_into(out);
+        self.within_bound.encode_into(out);
+        self.nodes.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
+        Ok(AccuracyAudit {
+            kind: String::decode_from(r)?,
+            epsilon: f64::decode_from(r)?,
+            weight: u64::decode_from(r)?,
+            envelope: f64::decode_from(r)?,
+            merges: u64::decode_from(r)?,
+            depth: u64::decode_from(r)?,
+            audit_weight: u64::decode_from(r)?,
+            audited_items: u64::decode_from(r)?,
+            reservoir_len: u64::decode_from(r)?,
+            observed_error: f64::decode_from(r)?,
+            sampling_slack: f64::decode_from(r)?,
+            within_bound: bool::decode_from(r)?,
+            nodes: u32::decode_from(r)?,
+        })
+    }
 }
 
 /// What a range query actually covered. Segment boundaries are batch
@@ -530,6 +773,14 @@ impl Wire for Response {
                 out.push(10);
                 report.encode_into(out);
             }
+            Response::Trace(dump) => {
+                out.push(11);
+                dump.encode_into(out);
+            }
+            Response::Accuracy(audit) => {
+                out.push(12);
+                audit.encode_into(out);
+            }
         }
     }
 
@@ -546,6 +797,8 @@ impl Wire for Response {
             8 => Response::Cluster(ClusterInfo::decode_from(r)?),
             9 => Response::Range(RangeAnswer::decode_from(r)?),
             10 => Response::Segments(SegmentReport::decode_from(r)?),
+            11 => Response::Trace(TraceDumpReport::decode_from(r)?),
+            12 => Response::Accuracy(AccuracyAudit::decode_from(r)?),
             _ => return Err(WireError::Malformed("unknown response opcode")),
         })
     }
@@ -612,6 +865,8 @@ mod tests {
                 phi: 0.01,
             },
             Request::SegmentInfo,
+            Request::TraceDump,
+            Request::AccuracyReport,
         ];
         for req in cases {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -706,6 +961,47 @@ mod tests {
                     },
                 ],
             }),
+            Response::Trace(TraceDumpReport {
+                seed: 0xF417_5EED,
+                ring_capacity: 256,
+                captured_micros: 1_000_000,
+                threads: vec![
+                    ThreadTrace {
+                        label: "conn".into(),
+                        evicted: 42,
+                        events: vec![TraceEventRecord {
+                            name: "request".into(),
+                            start_micros: 5,
+                            duration_micros: 17,
+                            fields: vec![
+                                ("trace".into(), u64::MAX),
+                                ("span".into(), 9),
+                                ("parent".into(), 0),
+                            ],
+                        }],
+                    },
+                    ThreadTrace {
+                        label: "worker0".into(),
+                        evicted: 0,
+                        events: vec![],
+                    },
+                ],
+            }),
+            Response::Accuracy(AccuracyAudit {
+                kind: "mg".into(),
+                epsilon: 0.01,
+                weight: 1_000_000,
+                envelope: 10_000.0,
+                merges: 37,
+                depth: 6,
+                audit_weight: 1_000_000,
+                audited_items: 61,
+                reservoir_len: 4096,
+                observed_error: 42.5,
+                sampling_slack: 0.0,
+                within_bound: true,
+                nodes: 3,
+            }),
         ];
         for resp in cases {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
@@ -778,6 +1074,10 @@ mod tests {
                 phi: 0.1,
             },
             Request::SegmentInfo,
+            // Both observability pulls are pure reads: retrying after a
+            // transport failure can only re-dump rings / re-run the audit.
+            Request::TraceDump,
+            Request::AccuracyReport,
         ] {
             assert!(req.is_idempotent(), "{req:?}");
         }
@@ -857,5 +1157,110 @@ mod tests {
             decode_request(&truncated).unwrap_err(),
             WireError::Truncated
         );
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_and_plain_frames_still_decode() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            parent_span: 77,
+        };
+        let req = Request::Quantile(0.5);
+        let frame = traced_frame(ctx, &req);
+        assert_eq!(frame.tag, TRACED_REQUEST_TAG);
+        assert_eq!(decode_traced_request(&frame).unwrap(), (req, Some(ctx)));
+
+        // A plain frame decodes through the same entry point, context-free.
+        let plain = WireFrame::from_value(REQUEST_TAG, &Request::Ping);
+        assert_eq!(
+            decode_traced_request(&plain).unwrap(),
+            (Request::Ping, None)
+        );
+
+        // But decode_request (old entry point) rejects the traced tag, so
+        // a component that never learned about tracing fails loudly
+        // instead of misparsing the context bytes as an opcode.
+        assert_eq!(
+            decode_request(&frame).unwrap_err(),
+            WireError::BadTag(TRACED_REQUEST_TAG)
+        );
+    }
+
+    #[test]
+    fn traced_decode_rejects_truncation_trailing_and_bad_tags() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span: 0,
+        };
+        let good = traced_frame(ctx, &Request::Flush);
+
+        let mut trailing = good.clone();
+        trailing.payload.push(0xAB);
+        assert_eq!(
+            decode_traced_request(&trailing).unwrap_err(),
+            WireError::Trailing(1)
+        );
+
+        // Context present, request missing.
+        let mut cut = good.clone();
+        cut.payload.truncate(ctx.wire_len());
+        assert_eq!(
+            decode_traced_request(&cut).unwrap_err(),
+            WireError::Truncated
+        );
+
+        let response_tag = WireFrame::from_value(RESPONSE_TAG, &Request::Ping);
+        assert_eq!(
+            decode_traced_request(&response_tag).unwrap_err(),
+            WireError::BadTag(RESPONSE_TAG)
+        );
+    }
+
+    #[test]
+    fn accuracy_audit_merges_like_a_summary() {
+        let mut a = AccuracyAudit {
+            kind: "mg".into(),
+            epsilon: 0.01,
+            weight: 100,
+            envelope: 1.0,
+            merges: 4,
+            depth: 2,
+            audit_weight: 100,
+            audited_items: 7,
+            reservoir_len: 64,
+            observed_error: 0.5,
+            sampling_slack: 0.0,
+            within_bound: true,
+            nodes: 1,
+        };
+        let b = AccuracyAudit {
+            kind: "mg".into(),
+            epsilon: 0.01,
+            weight: 300,
+            envelope: 3.0,
+            merges: 9,
+            depth: 5,
+            audit_weight: 250,
+            audited_items: 11,
+            reservoir_len: 64,
+            observed_error: 2.0,
+            sampling_slack: 0.25,
+            within_bound: false,
+            nodes: 2,
+        };
+        a.merge_from(&b);
+        // Additive like n itself...
+        assert_eq!(a.weight, 400);
+        assert_eq!(a.envelope, 4.0);
+        assert_eq!(a.merges, 13);
+        assert_eq!(a.audit_weight, 350);
+        assert_eq!(a.audited_items, 18);
+        assert_eq!(a.reservoir_len, 128);
+        assert_eq!(a.nodes, 3);
+        // ...worst-case for the bound-facing fields.
+        assert_eq!(a.depth, 5);
+        assert_eq!(a.observed_error, 2.0);
+        assert_eq!(a.sampling_slack, 0.25);
+        assert!(!a.within_bound, "one violating node taints the cluster");
     }
 }

@@ -25,9 +25,11 @@ use ms_obs::RegistrySnapshot;
 use crate::config::SummaryKind;
 use crate::engine::{Engine, MetricsReport};
 use crate::protocol::{
-    decode_request, RangeAnswer, Request, Response, SegmentReport, REQUEST_TAG, RESPONSE_TAG,
+    decode_traced_request, traced_frame, AccuracyAudit, RangeAnswer, Request, Response,
+    SegmentReport, TraceDumpReport, REQUEST_TAG, RESPONSE_TAG, TRACED_REQUEST_TAG,
 };
 use crate::telemetry::{timed, EngineTelemetry};
+use crate::tracectx::{self, TraceContext, FIELD_PARENT, FIELD_SPAN, FIELD_TRACE};
 
 /// Anything a [`Server`] can front: one request in, one response out,
 /// plus the telemetry plane the connection loop records into. The
@@ -196,6 +198,10 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 fn serve_connection(mut stream: TcpStream, service: Arc<dyn Service>) {
     let _ = stream.set_nodelay(true);
     let telemetry = Arc::clone(service.telemetry());
+    // Every connection thread gets its own flight-recorder ring; the
+    // per-request spans it records carry the trace context, so a
+    // `TraceDump` from this process stitches into the cluster-wide tree.
+    let trace_ring = telemetry.recorder().register("conn");
     loop {
         let frame = match WireFrame::read_from(&mut stream) {
             Ok(Some(frame)) => frame,
@@ -217,10 +223,28 @@ fn serve_connection(mut stream: TcpStream, service: Arc<dyn Service>) {
         telemetry.add_bytes_in((FRAME_HEADER_LEN + frame.payload.len()) as u64);
         // The frame itself was well-formed; a payload that fails to decode
         // is a protocol error worth answering, and the connection lives on.
-        let response = match decode_request(&frame) {
-            Ok(request) => {
+        let response = match decode_traced_request(&frame) {
+            Ok((request, ctx)) => {
                 let opcode = request.opcode();
-                let (response, micros) = timed(|| service.handle(request));
+                // Untraced (plain `REQUEST_TAG`) frames root a fresh
+                // trace here, so every request belongs to exactly one
+                // trace whether or not the caller propagates context.
+                let ctx = ctx.unwrap_or_else(|| telemetry.root_context());
+                let span_id = telemetry.next_span(ctx);
+                let mut span = trace_ring.span("request");
+                span.field(FIELD_TRACE, ctx.trace_id);
+                span.field(FIELD_SPAN, span_id);
+                span.field(FIELD_PARENT, ctx.parent_span);
+                span.field("op", opcode as u64);
+                // Whatever the handler does downstream (scatter to
+                // backend nodes, engine events) parents under this span.
+                let child = TraceContext {
+                    trace_id: ctx.trace_id,
+                    parent_span: span_id,
+                };
+                let (response, micros) =
+                    timed(|| tracectx::with_current(child, || service.handle(request)));
+                drop(span);
                 telemetry.record_request(opcode, micros);
                 response
             }
@@ -251,10 +275,21 @@ fn is_frame_rejection(e: &io::Error) -> bool {
 pub fn dispatch(engine: &Engine, request: Request) -> Response {
     match request {
         Request::Ping => Response::Ok,
-        Request::Ingest(items) => match engine.ingest(items) {
-            Ok(()) => Response::Ok,
-            Err(e) => Response::Error(e.to_string()),
-        },
+        Request::Ingest(items) => {
+            // The engine's own ring notes the admission under the live
+            // trace; worker/compactor spans for the same data then sit in
+            // the same dump as this event's trace id.
+            if let Some(ctx) = tracectx::current() {
+                engine.telemetry().event(
+                    "ingest_admit",
+                    &[(FIELD_TRACE, ctx.trace_id), (FIELD_PARENT, ctx.parent_span)],
+                );
+            }
+            match engine.ingest(items) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
         Request::Flush => match engine.flush() {
             Ok(()) => Response::Ok,
             Err(e) => Response::Error(e.to_string()),
@@ -331,6 +366,8 @@ pub fn dispatch(engine: &Engine, request: Request) -> Response {
             Ok(report) => Response::Segments(report),
             Err(e) => Response::Error(e.to_string()),
         },
+        Request::TraceDump => Response::Trace(engine.trace_dump()),
+        Request::AccuracyReport => Response::Accuracy(engine.accuracy_audit()),
     }
 }
 
@@ -495,6 +532,37 @@ impl Client {
         self.call_frame(&frame, request.is_idempotent())
     }
 
+    /// Like [`Client::call`], but the request travels in a
+    /// `TRACED_REQUEST_TAG` envelope carrying `ctx` — the server adopts
+    /// the trace instead of rooting a fresh one. The coordinator uses
+    /// this for every scatter leg; tooling can use it to follow one
+    /// request across the cluster.
+    pub fn call_traced(
+        &mut self,
+        ctx: TraceContext,
+        request: &Request,
+    ) -> Result<Response, ServiceError> {
+        let frame = traced_frame(ctx, request).to_bytes();
+        self.call_frame(&frame, request.is_idempotent())
+    }
+
+    /// Pull the server's flight-recorder rings (trace spans and events).
+    pub fn trace_dump(&mut self) -> Result<TraceDumpReport, ServiceError> {
+        match self.call(&Request::TraceDump)? {
+            Response::Trace(report) => Ok(report),
+            other => Err(protocol_error(other)),
+        }
+    }
+
+    /// Fetch the accuracy self-audit: merge lineage, the `ε·n` envelope,
+    /// and the observed error against the audit plane's ground truth.
+    pub fn accuracy(&mut self) -> Result<AccuracyAudit, ServiceError> {
+        match self.call(&Request::AccuracyReport)? {
+            Response::Accuracy(report) => Ok(report),
+            other => Err(protocol_error(other)),
+        }
+    }
+
     /// The retry loop behind [`Client::call`], operating on a serialized
     /// frame so callers can bring their own (reused) encode buffer.
     fn call_frame(&mut self, frame: &[u8], idempotent: bool) -> Result<Response, ServiceError> {
@@ -539,6 +607,29 @@ impl Client {
         let mut frame = std::mem::take(&mut self.scratch);
         frame.clear();
         encode_frame_into(&mut frame, REQUEST_TAG, |out| {
+            out.push(Request::Ingest(Vec::new()).opcode());
+            encode_u64_slice_into(out, items);
+        });
+        let result = self.call_frame(&frame, false);
+        self.scratch = frame;
+        match result? {
+            Response::Ok => Ok(()),
+            other => Err(protocol_error(other)),
+        }
+    }
+
+    /// [`Client::ingest_slice`] inside a traced envelope: same reused
+    /// scratch buffer, but the frame carries `ctx` so the receiving
+    /// node's request span joins the caller's trace.
+    pub fn ingest_slice_traced(
+        &mut self,
+        ctx: TraceContext,
+        items: &[u64],
+    ) -> Result<(), ServiceError> {
+        let mut frame = std::mem::take(&mut self.scratch);
+        frame.clear();
+        encode_frame_into(&mut frame, TRACED_REQUEST_TAG, |out| {
+            ctx.encode_into(out);
             out.push(Request::Ingest(Vec::new()).opcode());
             encode_u64_slice_into(out, items);
         });
@@ -950,6 +1041,89 @@ mod tests {
         assert_eq!(snap.counter("server_bytes_in_total"), Some(0));
         // ...while the engine's own counters still work.
         assert_eq!(snap.counter("updates_total"), Some(100));
+        server.stop();
+    }
+
+    #[test]
+    fn traced_requests_adopt_context_and_plain_requests_root_fresh_traces() {
+        let server = mg_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let ctx = TraceContext {
+            trace_id: 0xABCD_EF01,
+            parent_span: 7,
+        };
+        assert_eq!(
+            client.call_traced(ctx, &Request::Ping).unwrap(),
+            Response::Ok
+        );
+        client.ingest(vec![3; 100]).unwrap();
+        client.flush().unwrap();
+        let report = client.trace_dump().unwrap();
+        assert!(report.ring_capacity > 0);
+        let conn: Vec<_> = report
+            .threads
+            .iter()
+            .filter(|t| t.label == "conn")
+            .collect();
+        assert!(!conn.is_empty(), "connection threads register trace rings");
+        let request_spans: Vec<_> = conn
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.name == "request")
+            .collect();
+        // Ping + ingest + flush (+ the trace_dump request itself may or
+        // may not have landed in the ring before the dump was cut).
+        assert!(request_spans.len() >= 3, "{}", request_spans.len());
+        let field = |e: &crate::protocol::TraceEventRecord, k: &str| {
+            e.fields.iter().find(|(n, _)| n == k).map(|&(_, v)| v)
+        };
+        let adopted = request_spans
+            .iter()
+            .find(|e| field(e, "trace") == Some(0xABCD_EF01))
+            .expect("the traced ping adopted the caller's trace id");
+        assert_eq!(field(adopted, "parent"), Some(7));
+        assert!(field(adopted, "span").unwrap() != 0);
+        // The plain requests each rooted a distinct fresh trace.
+        let roots: std::collections::BTreeSet<u64> = request_spans
+            .iter()
+            .filter(|e| field(e, "parent") == Some(0))
+            .filter_map(|e| field(e, "trace"))
+            .collect();
+        assert!(roots.len() >= 2);
+        // The engine ring saw the ingest admission under some trace.
+        let admits: Vec<_> = report
+            .threads
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.name == "ingest_admit")
+            .collect();
+        assert_eq!(admits.len(), 1);
+        assert!(field(admits[0], "trace").unwrap() != 0);
+        // The whole report stitches: every request span is a root or a
+        // child in the forest.
+        let spans = tracectx::stitch(&[("node".to_string(), report.clone())]);
+        assert!(spans.iter().any(|s| s.trace_id == 0xABCD_EF01));
+        server.stop();
+    }
+
+    #[test]
+    fn accuracy_report_travels_the_wire() {
+        let engine = Engine::start(
+            ServiceConfig::new(SummaryKind::Mg, 0.02)
+                .shards(2)
+                .audit(true),
+        )
+        .unwrap();
+        let server = Server::bind(engine, "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.ingest((0..1000).map(|v| v % 50).collect()).unwrap();
+        client.flush().unwrap();
+        let audit = client.accuracy().unwrap();
+        assert_eq!(audit.kind, "mg");
+        assert_eq!(audit.weight, 1000);
+        assert_eq!(audit.audit_weight, 1000);
+        assert!(audit.within_bound);
+        assert!(audit.merges >= 1);
         server.stop();
     }
 

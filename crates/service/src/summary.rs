@@ -11,6 +11,52 @@ use ms_sketches::CountMinSketch;
 
 use crate::config::{ServiceConfig, SummaryKind};
 
+/// Merge lineage of a published summary: how the `ε·n` promise was
+/// earned. The paper guarantees the bound under *any* merge tree
+/// (PODS'12, Definition 1); the lineage records which tree this summary
+/// actually came from — merge operations absorbed, depth of the deepest
+/// path, and the total weight `n` the envelope applies to — so the
+/// accuracy audit can report "observed error X against an ε·n envelope
+/// of Y after M merges at depth D" instead of an unanchored number.
+///
+/// Lineage lives *beside* the summary (engine snapshots, audit reports),
+/// never inside its wire encoding: `ShardSummary` bytes on disk and in
+/// the golden corpus stay exactly as they were.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeLineage {
+    /// Merge operations folded into this summary since birth.
+    pub merges: u64,
+    /// Depth of the deepest merge path (0 = never merged).
+    pub depth: u64,
+    /// Total stream weight `n` the summary covers.
+    pub weight: u64,
+}
+
+impl MergeLineage {
+    /// Lineage of an unmerged summary covering `weight` items.
+    pub fn leaf(weight: u64) -> MergeLineage {
+        MergeLineage {
+            merges: 0,
+            depth: 0,
+            weight,
+        }
+    }
+
+    /// Account for merging `other`'s summary into this one: one more
+    /// merge op, a tree one level deeper than the deeper input, weights
+    /// additive — exactly mirroring the summary merge it describes.
+    pub fn absorb(&mut self, other: MergeLineage) {
+        self.merges = self.merges + other.merges + 1;
+        self.depth = self.depth.max(other.depth) + 1;
+        self.weight += other.weight;
+    }
+
+    /// The live error envelope: `ε · n` at the lineage's current weight.
+    pub fn envelope(&self, epsilon: f64) -> f64 {
+        epsilon * self.weight as f64
+    }
+}
+
 /// A summary of one of the engine's four families, over `u64` items.
 #[derive(Debug, Clone)]
 pub enum ShardSummary {
@@ -203,6 +249,33 @@ mod tests {
             s.update(i % 7);
         }
         s
+    }
+
+    #[test]
+    fn lineage_mirrors_the_merge_tree() {
+        // A left-deep fold of four leaves: 3 merges, depth 3, weights add.
+        let mut acc = MergeLineage::leaf(100);
+        for _ in 0..3 {
+            acc.absorb(MergeLineage::leaf(100));
+        }
+        assert_eq!(acc.merges, 3);
+        assert_eq!(acc.depth, 3);
+        assert_eq!(acc.weight, 400);
+
+        // A balanced tree of the same four leaves: same merges and
+        // weight (the bound only depends on those), shallower depth.
+        let mut left = MergeLineage::leaf(100);
+        left.absorb(MergeLineage::leaf(100));
+        let mut right = MergeLineage::leaf(100);
+        right.absorb(MergeLineage::leaf(100));
+        let mut balanced = left;
+        balanced.absorb(right);
+        assert_eq!(balanced.merges, 3);
+        assert_eq!(balanced.depth, 2);
+        assert_eq!(balanced.weight, 400);
+
+        assert_eq!(balanced.envelope(0.01), 4.0);
+        assert_eq!(MergeLineage::default().envelope(0.5), 0.0);
     }
 
     #[test]

@@ -11,13 +11,17 @@
 //! All durations are recorded in microseconds.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use ms_core::rng::splitmix64;
 use ms_obs::{
     Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, RegistrySnapshot, TraceHandle,
 };
+
+use crate::protocol::{ThreadTrace, TraceDumpReport, TraceEventRecord};
+use crate::tracectx::{derive_span, TraceContext};
 
 /// Events each per-thread flight-recorder ring retains.
 const FLIGHT_RING_CAPACITY: usize = 256;
@@ -25,7 +29,7 @@ const FLIGHT_RING_CAPACITY: usize = 256;
 /// Opcode labels, indexed by the request opcode byte (see
 /// [`crate::protocol::Request`]). Kept in wire-opcode order so the server
 /// can index by opcode without a match.
-pub const OPCODE_LABELS: [&str; 15] = [
+pub const OPCODE_LABELS: [&str; 17] = [
     "ping",
     "ingest",
     "flush",
@@ -41,6 +45,8 @@ pub const OPCODE_LABELS: [&str; 15] = [
     "range_quantile",
     "range_heavy_hitters",
     "segment_info",
+    "trace_dump",
+    "accuracy_report",
 ];
 
 /// Pre-registered instruments for one engine (and the server wrapping it).
@@ -77,17 +83,29 @@ pub struct EngineTelemetry {
     /// this and `wal_records` is the amortization group commit bought.
     wal_groups: Arc<Counter>,
     checkpoints: Arc<Counter>,
+    /// Segments merged per range query (covering-set size).
+    range_covering: Arc<Histogram>,
+    /// Segment-cube health: sealed segments, open-segment age/weight.
+    cube_sealed: Arc<Gauge>,
+    cube_open_age: Arc<Gauge>,
+    cube_open_weight: Arc<Gauge>,
     /// Shared handle for rare cross-thread events (shard deaths, dumps).
     engine_events: TraceHandle,
     /// First-failure latch: only the first fatal error dumps the recorder.
     flight_dumped: AtomicBool,
+    /// Seed trace ids derive from (the engine / coordinator seed).
+    seed: u64,
+    /// Monotonic counter feeding deterministic trace and span ids.
+    span_counter: AtomicU64,
 }
 
 impl EngineTelemetry {
     /// Build the instrument set for `shards` ingest shards. When
     /// `enabled` is false every instrument still exists (snapshots stay
-    /// well-formed) but nothing records.
-    pub fn new(shards: usize, enabled: bool) -> EngineTelemetry {
+    /// well-formed) but nothing records. `seed` feeds deterministic trace
+    /// ids ([`EngineTelemetry::root_context`]), so a replayed run mints
+    /// the same trace tree.
+    pub fn new(shards: usize, enabled: bool, seed: u64) -> EngineTelemetry {
         let registry = Arc::new(MetricsRegistry::new());
         let recorder = Arc::new(FlightRecorder::new(FLIGHT_RING_CAPACITY));
         recorder.set_enabled(enabled);
@@ -119,10 +137,16 @@ impl EngineTelemetry {
             wal_fsyncs: registry.counter("wal_fsyncs_total"),
             wal_groups: registry.counter("wal_group_commits_total"),
             checkpoints: registry.counter("checkpoints_total"),
+            range_covering: registry.histogram("range_covering_segments"),
+            cube_sealed: registry.gauge("cube_segments_sealed"),
+            cube_open_age: registry.gauge("cube_open_age_micros"),
+            cube_open_weight: registry.gauge("cube_open_weight"),
             engine_events,
             registry,
             recorder,
             flight_dumped: AtomicBool::new(false),
+            seed,
+            span_counter: AtomicU64::new(0),
         }
     }
 
@@ -139,6 +163,70 @@ impl EngineTelemetry {
     /// The flight recorder, for registering per-thread trace handles.
     pub fn recorder(&self) -> &Arc<FlightRecorder> {
         &self.recorder
+    }
+
+    /// The seed trace ids derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Mint a fresh root [`TraceContext`] — a pure function of
+    /// `(seed, requests rooted so far)`, so a replayed run yields the
+    /// same trace ids in the same order. Minted even when telemetry is
+    /// disabled: downstream nodes may be recording even if this process
+    /// is not.
+    pub fn root_context(&self) -> TraceContext {
+        let n = self.span_counter.fetch_add(1, Ordering::Relaxed);
+        let mut state = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(n.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let id = splitmix64(&mut state);
+        TraceContext {
+            trace_id: if id == 0 { 1 } else { id },
+            parent_span: 0,
+        }
+    }
+
+    /// Derive a fresh child span id under `ctx` (deterministic, unique
+    /// per process even when every node shares one seed — the parent
+    /// span and the local counter both feed the mix).
+    pub fn next_span(&self, ctx: TraceContext) -> u64 {
+        let n = self.span_counter.fetch_add(1, Ordering::Relaxed);
+        derive_span(ctx.trace_id, ctx.parent_span, self.seed ^ n)
+    }
+
+    /// Export the flight recorder as a wire-encodable
+    /// [`TraceDumpReport`] for the `TraceDump` opcode.
+    pub fn trace_report(&self) -> TraceDumpReport {
+        TraceDumpReport {
+            seed: self.seed,
+            ring_capacity: self.recorder.capacity() as u64,
+            captured_micros: self.recorder.captured_micros(),
+            threads: self
+                .recorder
+                .export()
+                .into_iter()
+                .map(|t| ThreadTrace {
+                    label: t.label,
+                    evicted: t.evicted,
+                    events: t
+                        .events
+                        .into_iter()
+                        .map(|e| TraceEventRecord {
+                            name: e.name.to_string(),
+                            start_micros: e.start_micros,
+                            duration_micros: e.duration_micros,
+                            fields: e
+                                .fields
+                                .into_iter()
+                                .map(|(k, v)| (k.to_string(), v))
+                                .collect(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
     }
 
     /// Record one absorbed batch on `shard`.
@@ -246,6 +334,24 @@ impl EngineTelemetry {
     pub fn record_checkpoint(&self) {
         if self.enabled {
             self.checkpoints.add(1);
+        }
+    }
+
+    /// Record the covering-set size of one range query (segments merged
+    /// to answer it).
+    pub fn record_range_covering(&self, segments: u64) {
+        if self.enabled {
+            self.range_covering.record(segments);
+        }
+    }
+
+    /// Refresh the segment-cube health gauges (called at snapshot time,
+    /// not on the ingest path).
+    pub fn set_cube_health(&self, sealed: u64, open_age_micros: u64, open_weight: u64) {
+        if self.enabled {
+            self.cube_sealed.set(sealed as i64);
+            self.cube_open_age.set(open_age_micros as i64);
+            self.cube_open_weight.set(open_weight as i64);
         }
     }
 

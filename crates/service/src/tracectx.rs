@@ -1,0 +1,383 @@
+//! Distributed trace context: deterministic ids carried on the wire and
+//! stitched back into one causal tree.
+//!
+//! A trace is born at whichever process first sees a request without a
+//! context (normally the coordinator), as a pure function of that
+//! process's telemetry seed and a per-process counter — so a failing
+//! cluster run replays with the *same* trace ids. Every scatter leg the
+//! coordinator fans out re-wraps the request in a
+//! [`TRACED_REQUEST_TAG`](crate::protocol::TRACED_REQUEST_TAG) frame
+//! carrying `(trace_id, parent_span)`; each hop records its spans into
+//! its local [`FlightRecorder`](ms_obs::FlightRecorder) with the ids as
+//! plain `u64` fields. Nothing here needs synchronized clocks:
+//! [`stitch`] orders the merged timeline by parent links (causality),
+//! using timestamps only to order *siblings* recorded by the same
+//! process.
+
+use std::cell::Cell;
+
+use ms_core::rng::splitmix64;
+use ms_core::{Wire, WireError, WireReader};
+
+use crate::protocol::TraceDumpReport;
+
+/// Field names under which spans record their trace identity. Kept as
+/// constants so the recorder, the coordinator and [`stitch`] cannot
+/// drift apart.
+pub const FIELD_TRACE: &str = "trace";
+/// Span's own id field.
+pub const FIELD_SPAN: &str = "span";
+/// Span's parent id field (0 = root).
+pub const FIELD_PARENT: &str = "parent";
+
+/// The trace identity carried by a [`TRACED_REQUEST_TAG`] frame: which
+/// request tree this hop belongs to, and which span caused it.
+///
+/// [`TRACED_REQUEST_TAG`]: crate::protocol::TRACED_REQUEST_TAG
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id shared by every span in the stitched tree (never 0).
+    pub trace_id: u64,
+    /// Span id of the caller's span; 0 when this hop is the root.
+    pub parent_span: u64,
+}
+
+impl Wire for TraceContext {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.trace_id.encode_into(out);
+        self.parent_span.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(TraceContext {
+            trace_id: u64::decode_from(r)?,
+            parent_span: u64::decode_from(r)?,
+        })
+    }
+}
+
+thread_local! {
+    /// The context adopted by the connection thread currently handling a
+    /// request; engine / coordinator spans read it to tag themselves.
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// Run `f` with `ctx` installed as the thread's current trace context,
+/// restoring the previous one afterwards (spans record across nested
+/// dispatch, e.g. a coordinator serving a gather inside a request).
+pub fn with_current<T>(ctx: TraceContext, f: impl FnOnce() -> T) -> T {
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+    let out = f();
+    CURRENT.with(|c| c.set(prev));
+    out
+}
+
+/// The trace context installed on this thread, if any.
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Derive a child span id deterministically from the trace, the parent
+/// span and a per-process salt (seed ⊕ counter). Mixing the parent in
+/// keeps ids collision-free even when every node was started with the
+/// same telemetry seed. Never returns 0 (0 means "no parent").
+pub fn derive_span(trace_id: u64, parent_span: u64, salt: u64) -> u64 {
+    let mut state = trace_id ^ parent_span.rotate_left(17) ^ salt.rotate_left(31);
+    let id = splitmix64(&mut state);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// One span in a stitched cross-process timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StitchedSpan {
+    /// Which dump the span came from (CLI uses the node address).
+    pub source: String,
+    /// The flight-recorder ring (thread) that recorded it.
+    pub thread: String,
+    /// Span name as recorded.
+    pub name: String,
+    /// Trace the span belongs to.
+    pub trace_id: u64,
+    /// The span's own id.
+    pub span_id: u64,
+    /// Parent span id (0 for roots).
+    pub parent_span: u64,
+    /// Start in the *recording process's* clock — comparable only to
+    /// spans from the same source.
+    pub start_micros: u64,
+    /// Span duration.
+    pub duration_micros: u64,
+    /// Depth in the stitched tree (roots at 0).
+    pub depth: usize,
+    /// Remaining recorded fields (trace identity stripped).
+    pub fields: Vec<(String, u64)>,
+}
+
+struct RawSpan {
+    source: usize,
+    thread: String,
+    name: String,
+    trace: u64,
+    span: u64,
+    parent: u64,
+    start: u64,
+    dur: u64,
+    fields: Vec<(String, u64)>,
+}
+
+/// Merge flight-recorder dumps from many processes into one causally
+/// ordered timeline: a DFS-flattened forest where every span appears
+/// after its parent, traces in ascending id order, siblings ordered by
+/// their recorded start time (same-process siblings share a clock; a
+/// cross-process tie is broken by span id for determinism). Events that
+/// carry no trace identity (compactor housekeeping, etc.) are skipped.
+pub fn stitch(sources: &[(String, TraceDumpReport)]) -> Vec<StitchedSpan> {
+    let mut raw: Vec<RawSpan> = Vec::new();
+    for (src_idx, (_, report)) in sources.iter().enumerate() {
+        for thread in &report.threads {
+            for ev in &thread.events {
+                let find = |key: &str| ev.fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+                let (Some(trace), Some(span)) = (find(FIELD_TRACE), find(FIELD_SPAN)) else {
+                    continue;
+                };
+                if trace == 0 || span == 0 {
+                    continue;
+                }
+                raw.push(RawSpan {
+                    source: src_idx,
+                    thread: thread.label.clone(),
+                    name: ev.name.clone(),
+                    trace,
+                    span,
+                    parent: find(FIELD_PARENT).unwrap_or(0),
+                    start: ev.start_micros,
+                    dur: ev.duration_micros,
+                    fields: ev
+                        .fields
+                        .iter()
+                        .filter(|(k, _)| k != FIELD_TRACE && k != FIELD_SPAN && k != FIELD_PARENT)
+                        .cloned()
+                        .collect(),
+                });
+            }
+        }
+    }
+
+    // Group span indices by trace, then index spans by id within each.
+    let mut traces: std::collections::BTreeMap<u64, Vec<usize>> = std::collections::BTreeMap::new();
+    for (i, s) in raw.iter().enumerate() {
+        traces.entry(s.trace).or_default().push(i);
+    }
+
+    let mut out = Vec::with_capacity(raw.len());
+    for (_, members) in traces {
+        let mut children: std::collections::BTreeMap<u64, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        let known: std::collections::BTreeSet<u64> = members.iter().map(|&i| raw[i].span).collect();
+        let mut roots: Vec<usize> = Vec::new();
+        for &i in &members {
+            let s = &raw[i];
+            // A span whose parent never made it into any dump (evicted
+            // ring, node not queried) is promoted to a root rather than
+            // silently dropped.
+            if s.parent == 0 || !known.contains(&s.parent) || s.parent == s.span {
+                roots.push(i);
+            } else {
+                children.entry(s.parent).or_default().push(i);
+            }
+        }
+        let by_time = |a: &usize, b: &usize| {
+            (raw[*a].start, raw[*a].span).cmp(&(raw[*b].start, raw[*b].span))
+        };
+        roots.sort_by(by_time);
+        for list in children.values_mut() {
+            list.sort_by(by_time);
+        }
+        // Iterative DFS; the visited set guards against malformed dumps
+        // with duplicated span ids forming cycles.
+        let mut visited: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            if !visited.insert(i) {
+                continue;
+            }
+            let s = &raw[i];
+            out.push(StitchedSpan {
+                source: sources[s.source].0.clone(),
+                thread: s.thread.clone(),
+                name: s.name.clone(),
+                trace_id: s.trace,
+                span_id: s.span,
+                parent_span: s.parent,
+                start_micros: s.start,
+                duration_micros: s.dur,
+                depth,
+                fields: s.fields.clone(),
+            });
+            if let Some(kids) = children.get(&s.span) {
+                for &k in kids.iter().rev() {
+                    stack.push((k, depth + 1));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ThreadTrace, TraceEventRecord};
+
+    fn ev(name: &str, start: u64, trace: u64, span: u64, parent: u64) -> TraceEventRecord {
+        TraceEventRecord {
+            name: name.to_string(),
+            start_micros: start,
+            duration_micros: 5,
+            fields: vec![
+                (FIELD_TRACE.to_string(), trace),
+                (FIELD_SPAN.to_string(), span),
+                (FIELD_PARENT.to_string(), parent),
+            ],
+        }
+    }
+
+    fn report(threads: Vec<ThreadTrace>) -> TraceDumpReport {
+        TraceDumpReport {
+            seed: 0,
+            ring_capacity: 256,
+            captured_micros: 0,
+            threads,
+        }
+    }
+
+    #[test]
+    fn context_roundtrips_on_the_wire() {
+        let ctx = TraceContext {
+            trace_id: u64::MAX,
+            parent_span: 12345,
+        };
+        assert_eq!(TraceContext::decode(&ctx.encode()).unwrap(), ctx);
+    }
+
+    #[test]
+    fn with_current_nests_and_restores() {
+        assert_eq!(current(), None);
+        let outer = TraceContext {
+            trace_id: 1,
+            parent_span: 2,
+        };
+        let inner = TraceContext {
+            trace_id: 3,
+            parent_span: 4,
+        };
+        with_current(outer, || {
+            assert_eq!(current(), Some(outer));
+            with_current(inner, || assert_eq!(current(), Some(inner)));
+            assert_eq!(current(), Some(outer));
+        });
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn derive_span_is_deterministic_and_parent_sensitive() {
+        let a = derive_span(7, 0, 0x5E1F);
+        assert_eq!(a, derive_span(7, 0, 0x5E1F), "pure function of inputs");
+        assert_ne!(a, 0, "0 is reserved for 'no parent'");
+        // Same seed on two nodes, different parent spans: the derived
+        // child ids still differ, so equal-seeded clusters don't collide.
+        assert_ne!(derive_span(7, 11, 0x5E1F), derive_span(7, 12, 0x5E1F));
+        assert_ne!(derive_span(7, 0, 1), derive_span(7, 0, 2));
+    }
+
+    #[test]
+    fn stitch_orders_children_after_parents_across_processes() {
+        // Coordinator recorded the root and two scatter legs; each node
+        // recorded its own request span as a child of its leg. Node
+        // clocks are wildly different from the coordinator's — stitching
+        // must not care.
+        let coord = report(vec![ThreadTrace {
+            label: "conn".into(),
+            evicted: 0,
+            events: vec![
+                ev("request", 100, 7, 10, 0),
+                ev("scatter", 101, 7, 11, 10),
+                ev("scatter", 102, 7, 12, 10),
+            ],
+        }]);
+        let node_a = report(vec![ThreadTrace {
+            label: "conn".into(),
+            evicted: 0,
+            events: vec![ev("request", 999_999, 7, 21, 11)],
+        }]);
+        let node_b = report(vec![ThreadTrace {
+            label: "conn".into(),
+            evicted: 0,
+            events: vec![ev("request", 3, 7, 22, 12)],
+        }]);
+        let spans = stitch(&[
+            ("coord".into(), coord),
+            ("a".into(), node_a),
+            ("b".into(), node_b),
+        ]);
+        assert_eq!(spans.len(), 5);
+        // Causal order: every span's parent appears strictly earlier.
+        for (i, s) in spans.iter().enumerate() {
+            if s.parent_span != 0 {
+                let parent_pos = spans.iter().position(|p| p.span_id == s.parent_span);
+                assert!(
+                    parent_pos.expect("parent present") < i,
+                    "span {i} before parent"
+                );
+            }
+        }
+        assert_eq!(spans[0].span_id, 10);
+        assert_eq!(spans[0].depth, 0);
+        // Leg 11's subtree (including node a's span 21) fully precedes
+        // leg 12's, because leg 11 started first on the coordinator.
+        let pos = |id: u64| spans.iter().position(|s| s.span_id == id).unwrap();
+        assert!(pos(11) < pos(21), "leg before its node span");
+        assert!(pos(21) < pos(12), "DFS keeps subtrees contiguous");
+        assert_eq!(spans[pos(21)].depth, 2);
+        assert_eq!(spans[pos(21)].source, "a");
+    }
+
+    #[test]
+    fn stitch_promotes_orphans_and_skips_untraced_events() {
+        let dump = report(vec![ThreadTrace {
+            label: "worker0".into(),
+            evicted: 3,
+            events: vec![
+                // Housekeeping event with no trace identity: skipped.
+                TraceEventRecord {
+                    name: "compact".into(),
+                    start_micros: 1,
+                    duration_micros: 2,
+                    fields: vec![("epoch".into(), 9)],
+                },
+                // Parent span was evicted from the ring: still shown.
+                ev("engine", 50, 5, 99, 42),
+            ],
+        }]);
+        let spans = stitch(&[("n".into(), dump)]);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].span_id, 99);
+        assert_eq!(spans[0].depth, 0, "orphan promoted to root");
+    }
+
+    #[test]
+    fn stitch_survives_self_parenting_spans() {
+        let dump = report(vec![ThreadTrace {
+            label: "conn".into(),
+            evicted: 0,
+            events: vec![ev("loop", 1, 9, 33, 33)],
+        }]);
+        let spans = stitch(&[("n".into(), dump)]);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].depth, 0);
+    }
+}

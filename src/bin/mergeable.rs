@@ -230,6 +230,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-client") => cmd_bench_client(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -249,13 +250,14 @@ USAGE:
   mergeable query --addr A (--window W (--quantile PHI | --heavy-hitters PHI) | --segments)
   mergeable info FILE
   mergeable serve --kind KIND --epsilon E [--addr A] [--shards N] [--seed S] [--no-telemetry]
-                  [--data-dir DIR] [--fsync always|every:N|never] [--checkpoint-batches N]
-                  [--segment-batches N] [--segment-secs N]
+                  [--audit] [--data-dir DIR] [--fsync always|every:N|never]
+                  [--checkpoint-batches N] [--segment-batches N] [--segment-secs N]
   mergeable serve --coordinator --nodes H:P,H:P,... [--addr A] [--replicas]
-                  [--ping-interval-ms N]
+                  [--ping-interval-ms N] [--seed S]
   mergeable bench-client --addr A [--items N] [--batch B] [--seed S] [--zipf S]
-  mergeable metrics --addr A [--prom]
+  mergeable metrics --addr A [--prom | --accuracy]
   mergeable metrics --cluster --nodes H:P,H:P,... [--prom]
+  mergeable trace --addr A [--nodes H:P,H:P,...] [--json]
   mergeable store inspect DIR [--json]
 
 KINDS:
@@ -303,6 +305,20 @@ bound on the queried range (Definition 1). `--window` accepts `90s`,
 `5m`, `2h` or plain seconds; `--segments` lists the cube's segments.
 With `--data-dir` sealed segments persist beside the checkpoints and
 survive restarts.
+
+`trace --addr A` pulls the flight-recorder rings of a live server (and,
+with `--nodes`, of every listed backend), stitches the spans into one
+causally-ordered trace tree per request — coordinator request, scatter
+legs, backend node requests — and prints it as an indented timeline (or
+`--json`). Requests carry a deterministic trace context on the wire
+(seeded ids, parent-span links), so a single query through
+`serve --coordinator` shows up as one tree across every process it
+touched. `serve --audit` turns on the accuracy self-audit: the engine
+keeps deterministic ground truth beside the summary (exact counts for a
+hash-chosen 1-in-16 key subset, or a seeded reservoir for quantiles) and
+`metrics --accuracy` reports the observed error next to the eps*n
+envelope the paper guarantees — merge lineage (merge count, tree depth,
+total weight) included.
 
 Input data: one unsigned integer per line (stdin unless --input is given).
 ";
@@ -688,6 +704,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if take_switch(&mut args, "--no-telemetry") {
         cfg = cfg.telemetry(false);
     }
+    if take_switch(&mut args, "--audit") {
+        cfg = cfg.audit(true);
+    }
     let segment_batches = take_flag(&mut args, "--segment-batches");
     let segment_secs = take_flag(&mut args, "--segment-secs");
     if segment_batches.is_some() || segment_secs.is_some() {
@@ -805,6 +824,9 @@ fn cmd_serve_coordinator(mut args: Vec<String>) -> Result<(), String> {
             .parse()
             .map_err(|e| format!("bad --ping-interval-ms: {e}"))?;
         cfg = cfg.ping_interval((millis > 0).then(|| std::time::Duration::from_millis(millis)));
+    }
+    if let Some(seed) = take_flag(&mut args, "--seed") {
+        cfg = cfg.seed(seed.parse().map_err(|e| format!("bad --seed: {e}"))?);
     }
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
@@ -981,6 +1003,7 @@ fn cmd_store_inspect(args: &[String]) -> Result<(), String> {
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let prom = take_switch(&mut args, "--prom");
+    let accuracy = take_switch(&mut args, "--accuracy");
     let cluster = take_switch(&mut args, "--cluster");
     if cluster {
         return cmd_metrics_cluster(args, prom);
@@ -992,6 +1015,13 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
 
     let mut client = mergeable_summaries::service::Client::connect(addr.as_str())
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if accuracy {
+        let audit = client
+            .accuracy()
+            .map_err(|e| format!("accuracy scrape failed: {e}"))?;
+        print_accuracy(&audit);
+        return Ok(());
+    }
     let snap = client
         .telemetry()
         .map_err(|e| format!("telemetry scrape failed: {e}"))?;
@@ -1076,6 +1106,154 @@ fn cmd_metrics_cluster(mut args: Vec<String>, prom: bool) -> Result<(), String> 
     println!();
     print_registry(&snap);
     Ok(())
+}
+
+/// `metrics --accuracy`: the audit plane's live comparison of the
+/// served summary against its deterministic ground truth.
+fn print_accuracy(audit: &mergeable_summaries::service::AccuracyAudit) {
+    println!("== accuracy audit ==");
+    println!("{:<24} {}", "kind", audit.kind);
+    println!("{:<24} {}", "epsilon", audit.epsilon);
+    println!("{:<24} {}", "weight (n)", audit.weight);
+    println!("{:<24} {:.1}", "envelope (eps*n)", audit.envelope);
+    println!("{:<24} {}", "merges", audit.merges);
+    println!("{:<24} {}", "merge tree depth", audit.depth);
+    println!("{:<24} {}", "nodes", audit.nodes);
+    println!("{:<24} {}", "audit weight", audit.audit_weight);
+    if audit.reservoir_len > 0 {
+        println!("{:<24} {}", "reservoir size", audit.reservoir_len);
+    } else {
+        println!("{:<24} {}", "audited keys", audit.audited_items);
+    }
+    println!("{:<24} {:.1}", "observed error", audit.observed_error);
+    println!("{:<24} {:.1}", "sampling slack", audit.sampling_slack);
+    println!(
+        "{:<24} {}",
+        "within bound",
+        if audit.within_bound {
+            "yes (observed <= envelope + slack)"
+        } else {
+            "NO — bound violated"
+        }
+    );
+    if audit.audit_weight == 0 {
+        println!("note: audit plane is off; start the server with --audit for observed error");
+    }
+}
+
+/// `trace --addr A [--nodes ...]`: pull every process's flight-recorder
+/// rings and stitch them into causally-ordered trace trees. Ordering
+/// comes from the parent-span links, never from clocks — each process
+/// stamps events against its own monotonic origin.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr = take_flag(&mut args, "--addr").ok_or("trace requires --addr")?;
+    let json = take_switch(&mut args, "--json");
+    let nodes: Vec<String> = take_flag(&mut args, "--nodes")
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    let mut sources = Vec::new();
+    let mut client = mergeable_summaries::service::Client::connect(addr.as_str())
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let dump = client
+        .trace_dump()
+        .map_err(|e| format!("{addr}: trace dump failed: {e}"))?;
+    sources.push((addr.clone(), dump));
+    for node in &nodes {
+        let mut client = match mergeable_summaries::service::Client::connect(node.as_str()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("warning: skipping {node}: {e}");
+                continue;
+            }
+        };
+        match client.trace_dump() {
+            Ok(dump) => sources.push((node.clone(), dump)),
+            Err(e) => eprintln!("warning: skipping {node}: {e}"),
+        }
+    }
+
+    let spans = mergeable_summaries::service::stitch(&sources);
+    if json {
+        print_trace_json(&spans);
+        return Ok(());
+    }
+    if spans.is_empty() {
+        println!("(no traced spans recorded — is telemetry enabled?)");
+        return Ok(());
+    }
+    let mut current_trace = 0u64;
+    let mut trace_count = 0usize;
+    for span in &spans {
+        if span.trace_id != current_trace {
+            current_trace = span.trace_id;
+            trace_count += 1;
+            println!("trace {:016x}", span.trace_id);
+        }
+        let extras: String = span
+            .fields
+            .iter()
+            .filter(|(k, _)| k != "trace" && k != "span" && k != "parent")
+            .map(|(k, v)| format!(" {k}={v}"))
+            .collect();
+        println!(
+            "  {:indent$}{} [{}/{}] {}us span={:x}{}",
+            "",
+            span.name,
+            span.source,
+            span.thread,
+            span.duration_micros,
+            span.span_id,
+            extras,
+            indent = 2 * span.depth,
+        );
+    }
+    eprintln!(
+        "{} span(s) in {} trace(s) across {} process(es)",
+        spans.len(),
+        trace_count,
+        sources.len()
+    );
+    Ok(())
+}
+
+fn print_trace_json(spans: &[mergeable_summaries::service::StitchedSpan]) {
+    println!("[");
+    for (i, span) in spans.iter().enumerate() {
+        let fields: String = span
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "  {{\"trace\": \"{:016x}\", \"span\": \"{:x}\", \"parent\": \"{:x}\", \
+             \"depth\": {}, \"source\": \"{}\", \"thread\": \"{}\", \"name\": \"{}\", \
+             \"start_micros\": {}, \"duration_micros\": {}, \"fields\": {{{}}}}}{}",
+            span.trace_id,
+            span.span_id,
+            span.parent_span,
+            span.depth,
+            span.source,
+            span.thread,
+            span.name,
+            span.start_micros,
+            span.duration_micros,
+            fields,
+            if i + 1 == spans.len() { "" } else { "," }
+        );
+    }
+    println!("]");
 }
 
 fn print_registry(snap: &mergeable_summaries::obs::RegistrySnapshot) {

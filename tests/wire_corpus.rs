@@ -16,7 +16,11 @@
 
 use std::path::PathBuf;
 
-use mergeable_summaries::service::protocol::{decode_request, Request, REQUEST_TAG, RESPONSE_TAG};
+use mergeable_summaries::service::protocol::{
+    decode_request, decode_traced_request, traced_frame, Request, REQUEST_TAG, RESPONSE_TAG,
+    TRACED_REQUEST_TAG,
+};
+use mergeable_summaries::service::TraceContext;
 use ms_core::wire::{FRAME_HEADER_LEN, MAX_FRAME_LEN, WIRE_VERSION};
 use ms_core::{WireError, WireFrame};
 
@@ -29,6 +33,14 @@ enum Expect {
     /// The frame parses and decodes to exactly this request — pinning the
     /// on-wire encoding of an opcode, not just its failure modes.
     Decodes(Request),
+    /// The frame parses, `decode_traced_request` yields exactly this
+    /// request + context — and, for a `TRACED_REQUEST_TAG` frame, the
+    /// trace-unaware `decode_request` must refuse it with `BadTag`, so
+    /// old components fail loudly instead of misparsing the envelope.
+    Traced(Request, Option<TraceContext>),
+    /// The frame parses, but `decode_traced_request` fails with exactly
+    /// this error.
+    TracedErr(WireError),
 }
 
 struct Case {
@@ -310,6 +322,113 @@ fn corpus() -> Vec<Case> {
             },
             expect: Expect::Frame(WireError::Truncated),
         },
+        // The observability opcodes (15 TraceDump, 16 AccuracyReport) are
+        // payload-free like Telemetry; pin their exact frame bytes plus
+        // trailing-byte, bad-magic, and cut-frame rejections.
+        Case {
+            name: "trace_dump_request.bin",
+            bytes: WireFrame::from_value(REQUEST_TAG, &Request::TraceDump).to_bytes(),
+            expect: Expect::Decodes(Request::TraceDump),
+        },
+        Case {
+            name: "accuracy_report_request.bin",
+            bytes: WireFrame::from_value(REQUEST_TAG, &Request::AccuracyReport).to_bytes(),
+            expect: Expect::Decodes(Request::AccuracyReport),
+        },
+        Case {
+            name: "trace_dump_trailing.bin",
+            bytes: WireFrame {
+                tag: REQUEST_TAG,
+                payload: vec![15, 0x00],
+            }
+            .to_bytes(),
+            expect: Expect::Request(WireError::Trailing(1)),
+        },
+        Case {
+            name: "accuracy_report_trailing.bin",
+            bytes: WireFrame {
+                tag: REQUEST_TAG,
+                payload: vec![16, 0xAB],
+            }
+            .to_bytes(),
+            expect: Expect::Request(WireError::Trailing(1)),
+        },
+        Case {
+            name: "trace_dump_bad_magic.bin",
+            bytes: {
+                let mut b = WireFrame::from_value(REQUEST_TAG, &Request::TraceDump).to_bytes();
+                b[0] = b'T';
+                b[1] = b'D';
+                b
+            },
+            expect: Expect::Frame(WireError::BadMagic([b'T', b'D'])),
+        },
+        Case {
+            name: "accuracy_report_cut_frame.bin",
+            bytes: {
+                let b = WireFrame::from_value(REQUEST_TAG, &Request::AccuracyReport).to_bytes();
+                b[..b.len() - 1].to_vec()
+            },
+            expect: Expect::Frame(WireError::Truncated),
+        },
+        // The traced-request envelope (tag 0x12: trace context varints,
+        // then the plain request encoding). Pin the exact bytes the
+        // coordinator puts on the wire, the plain-frame fallback, and the
+        // failure modes of a damaged context prefix.
+        Case {
+            name: "traced_query_request.bin",
+            bytes: traced_frame(
+                TraceContext {
+                    trace_id: 0x1122_3344_5566_7788,
+                    parent_span: 0x0000_9876_5432_10AB,
+                },
+                &Request::Quantile(0.5),
+            )
+            .to_bytes(),
+            expect: Expect::Traced(
+                Request::Quantile(0.5),
+                Some(TraceContext {
+                    trace_id: 0x1122_3344_5566_7788,
+                    parent_span: 0x0000_9876_5432_10AB,
+                }),
+            ),
+        },
+        Case {
+            name: "traced_plain_fallback.bin",
+            bytes: WireFrame::from_value(REQUEST_TAG, &Request::Ping).to_bytes(),
+            expect: Expect::Traced(Request::Ping, None),
+        },
+        Case {
+            name: "traced_ctx_truncated.bin",
+            bytes: {
+                let mut frame = traced_frame(
+                    TraceContext {
+                        trace_id: 0x1122_3344_5566_7788,
+                        parent_span: 0x0000_9876_5432_10AB,
+                    },
+                    &Request::Ping,
+                );
+                // Cut inside the varint trace context, before the request.
+                frame.payload.truncate(1);
+                frame.to_bytes()
+            },
+            expect: Expect::TracedErr(WireError::Truncated),
+        },
+        Case {
+            name: "traced_trailing.bin",
+            bytes: {
+                let mut frame = traced_frame(
+                    TraceContext {
+                        trace_id: 0x1122_3344_5566_7788,
+                        parent_span: 0x0000_9876_5432_10AB,
+                    },
+                    &Request::Ping,
+                );
+                frame.payload.push(0xFF);
+                frame.to_bytes()
+            },
+            expect: Expect::TracedErr(WireError::Trailing(1)),
+        },
     ]
 }
 
@@ -371,6 +490,34 @@ fn every_corpus_entry_fails_with_its_golden_error() {
                 let req = decode_request(&frame)
                     .unwrap_or_else(|e| panic!("{}: request should decode, got {e}", case.name));
                 assert_eq!(req, golden, "{}", case.name);
+                // A plain frame must decode identically through the
+                // trace-aware path, with no context attached.
+                let (req, ctx) = decode_traced_request(&frame)
+                    .unwrap_or_else(|e| panic!("{}: traced decode failed, got {e}", case.name));
+                assert_eq!(req, golden, "{}", case.name);
+                assert_eq!(ctx, None, "{}", case.name);
+            }
+            Expect::Traced(golden_req, golden_ctx) => {
+                let frame = WireFrame::from_bytes(&bytes)
+                    .unwrap_or_else(|e| panic!("{}: frame should parse, got {e}", case.name));
+                let (req, ctx) = decode_traced_request(&frame)
+                    .unwrap_or_else(|e| panic!("{}: traced decode failed, got {e}", case.name));
+                assert_eq!(req, golden_req, "{}", case.name);
+                assert_eq!(ctx, golden_ctx, "{}", case.name);
+                if frame.tag == TRACED_REQUEST_TAG {
+                    let err = decode_request(&frame).expect_err(&format!(
+                        "{}: trace-unaware decode accepted a traced frame",
+                        case.name
+                    ));
+                    assert_eq!(err, WireError::BadTag(TRACED_REQUEST_TAG), "{}", case.name);
+                }
+            }
+            Expect::TracedErr(golden) => {
+                let frame = WireFrame::from_bytes(&bytes)
+                    .unwrap_or_else(|e| panic!("{}: frame should parse, got {e}", case.name));
+                let err = decode_traced_request(&frame)
+                    .expect_err(&format!("{}: traced request decoded", case.name));
+                assert_eq!(err, golden, "{}", case.name);
             }
         }
     }
