@@ -13,7 +13,10 @@
 use std::time::Instant;
 
 use ms_core::{Json, Summary, ToJson, Wire};
-use ms_service::{DurabilityConfig, Engine, FsyncPolicy, ServiceConfig, ShardSummary, SummaryKind};
+use ms_service::{
+    Client, DurabilityConfig, Engine, FsyncPolicy, OverloadConfig, Server, ServiceConfig,
+    ShardSummary, SummaryKind,
+};
 use ms_workloads::StreamKind;
 
 /// The scaling sweep as recorded before the zero-allocation ingest path
@@ -259,6 +262,102 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // Overload before/after: the same seeded storm — four TCP clients
+    // flooding a deliberately small server (one slow shard, two-deep
+    // queues) — with the admission plane off and on. Off, every batch
+    // queues behind the slow shard and the clients block until the whole
+    // backlog drains (no signal, no choice). On, pressure past the
+    // watermark is refused immediately with a typed `Overloaded` answer,
+    // so the storm resolves in a fraction of the time and every client
+    // knows which batches were refused.
+    println!("\n== service_overload (4 clients, 1 slow shard, 2-deep queues) ==");
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>12}",
+        "admission", "wall secs", "acked", "shed reqs", "resolved/s"
+    );
+    let storm_items = &items[..40_000.min(n)];
+    let run_storm = |admission: bool| {
+        let mut cfg = ServiceConfig::new(SummaryKind::Mg, 0.01)
+            .shards(1)
+            .queue_depth(2)
+            .delta_updates(256)
+            .seed(7)
+            .fault_plan(ms_service::plan_fn(|_, idx| {
+                if idx % 4 == 0 {
+                    ms_service::FaultAction::StallMs(1)
+                } else {
+                    ms_service::FaultAction::Continue
+                }
+            }));
+        if admission {
+            cfg = cfg.overload(
+                OverloadConfig::default()
+                    .max_inflight(8)
+                    .shed_watermark(0.5)
+                    .ingest_watermark(0.5)
+                    .retry_after_micros(5_000),
+            );
+        }
+        let engine = Engine::start(cfg).unwrap();
+        let server = Server::bind(std::sync::Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let start = Instant::now();
+        let workers: Vec<_> = storm_items
+            .chunks(storm_items.len().div_ceil(4).max(1))
+            .map(|slice| {
+                let slice = slice.to_vec();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut acked = 0u64;
+                    let mut sheds = 0u64;
+                    for batch in slice.chunks(100) {
+                        match client.ingest(batch.to_vec()) {
+                            Ok(()) => acked += batch.len() as u64,
+                            Err(ms_core::ServiceError::Overloaded { .. }) => sheds += 1,
+                            Err(e) => panic!("storm client failed: {e}"),
+                        }
+                    }
+                    (acked, sheds)
+                })
+            })
+            .collect();
+        let (mut acked, mut sheds) = (0u64, 0u64);
+        for w in workers {
+            let (a, s) = w.join().unwrap();
+            acked += a;
+            sheds += s;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        server.stop();
+        let resolved = storm_items.len().div_ceil(100) as f64 / secs;
+        let label = if admission { "on" } else { "off" };
+        println!("{label:<12}{secs:>12.3}{acked:>12}{sheds:>12}{resolved:>12.0}");
+        (secs, acked, sheds)
+    };
+    let (before_secs, before_acked, before_sheds) = run_storm(false);
+    let (after_secs, after_acked, after_sheds) = run_storm(true);
+    let overload_json = Json::obj([
+        ("offered_items", storm_items.len().to_json()),
+        ("clients", 4usize.to_json()),
+        (
+            "before",
+            Json::obj([
+                ("wall_secs", before_secs.to_json()),
+                ("acked_items", before_acked.to_json()),
+                ("shed_requests", before_sheds.to_json()),
+            ]),
+        ),
+        (
+            "after",
+            Json::obj([
+                ("wall_secs", after_secs.to_json()),
+                ("acked_items", after_acked.to_json()),
+                ("shed_requests", after_sheds.to_json()),
+            ]),
+        ),
+        ("storm_drain_speedup", (before_secs / after_secs).to_json()),
+    ]);
+
     let scaling_before = SCALING_BEFORE
         .iter()
         .map(|&(shards, rate)| {
@@ -281,6 +380,7 @@ fn main() {
         ("snapshot_bytes", Json::Arr(codec)),
         ("telemetry_overhead", telemetry_json),
         ("durability", Json::Arr(durability)),
+        ("overload", overload_json),
     ]);
     // Write to the workspace-level results dir regardless of whether cargo
     // invoked us from the workspace root or the package dir.

@@ -26,14 +26,16 @@ use std::time::Duration;
 use ms_core::wire::FRAME_HEADER_LEN;
 use ms_core::{ServiceError, Summary, Wire};
 use ms_obs::{Counter, Gauge, Histogram, RegistrySnapshot, TraceHandle};
+use ms_service::deadline;
 use ms_service::telemetry::timed;
 use ms_service::tracectx::{self, FIELD_PARENT, FIELD_SPAN, FIELD_TRACE};
 use ms_service::{
-    check_phi, AccuracyAudit, Client, ClientOptions, ClusterInfo, EngineTelemetry, MetricsReport,
-    NodeInfo, RangeAnswer, RangeMeta, Request, Response, SegmentReport, Service, ShardSummary,
-    TraceContext,
+    check_phi, AccuracyAudit, Client, ClientOptions, ClusterInfo, CubeClock, EngineTelemetry,
+    MetricsReport, NodeInfo, OpClass, RangeAnswer, RangeMeta, Request, Response, SegmentReport,
+    Service, ShardSummary, SystemClock, TraceContext,
 };
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryBudget};
 use crate::membership::NodeHealth;
 use crate::ring::HashRing;
 
@@ -64,6 +66,16 @@ pub struct ClusterConfig {
     /// coordinator derives randomness from). Two coordinators with
     /// different seeds can never mint colliding trace ids.
     pub seed: u64,
+    /// Per-node circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Retry-budget capacity in whole tokens (bucket starts full).
+    pub retry_budget_capacity: u64,
+    /// Millitokens deposited per first attempt: 100 allows roughly one
+    /// retry per ten requests in steady state.
+    pub retry_budget_deposit_milli: u64,
+    /// Time source for breaker open windows (tests inject a
+    /// [`ms_service::ManualClock`]).
+    pub clock: Arc<dyn CubeClock>,
 }
 
 impl ClusterConfig {
@@ -80,6 +92,10 @@ impl ClusterConfig {
             ping_interval: Some(Duration::from_secs(1)),
             telemetry: true,
             seed: 0x0C00_D1E5,
+            breaker: BreakerConfig::default(),
+            retry_budget_capacity: 10,
+            retry_budget_deposit_milli: 100,
+            clock: Arc::new(SystemClock::new()),
         }
     }
 
@@ -113,6 +129,27 @@ impl ClusterConfig {
         self.dead_after = dead_after;
         self
     }
+
+    /// Override the circuit-breaker thresholds.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Override the retry budget (capacity in whole tokens, deposit per
+    /// request in millitokens).
+    pub fn retry_budget(mut self, capacity: u64, deposit_milli: u64) -> Self {
+        self.retry_budget_capacity = capacity;
+        self.retry_budget_deposit_milli = deposit_milli;
+        self
+    }
+
+    /// Install a time source for breaker windows (tests inject a
+    /// [`ms_service::ManualClock`]).
+    pub fn clock(mut self, clock: Arc<dyn CubeClock>) -> Self {
+        self.clock = clock;
+        self
+    }
 }
 
 /// One backend node as the coordinator sees it.
@@ -122,6 +159,10 @@ struct Node {
     /// poisoned connection is never reused.
     client: Mutex<Option<Client>>,
     health: NodeHealth,
+    /// Circuit breaker on the path to this node: failures and shed
+    /// responses trip it; while open, requests fail fast instead of
+    /// burning a timeout per scatter leg.
+    breaker: CircuitBreaker,
     requests: AtomicU64,
     failures: AtomicU64,
     /// Total weight of this node's summary at the last gather.
@@ -142,6 +183,13 @@ struct Instruments {
     /// Response bytes shipped back from backends.
     gather_bytes: Arc<Counter>,
     rebalances: Arc<Counter>,
+    /// Per-node breaker state (0 closed, 1 open, 2 half-open).
+    breaker_state: Vec<Arc<Gauge>>,
+    breaker_trips: Vec<Arc<Counter>>,
+    /// Coordinator-level retries granted / denied by the token budget.
+    retries_granted: Arc<Counter>,
+    retries_denied: Arc<Counter>,
+    retry_tokens: Arc<Gauge>,
 }
 
 /// What one scatter/gather produced.
@@ -157,6 +205,12 @@ pub struct GatherReport {
     pub fanout: usize,
     /// Response bytes gathered.
     pub bytes: u64,
+    /// Fraction of slots that contributed to the merge, in [0, 1]. A
+    /// partial gather (slow node tripped its breaker, a leg shed) is a
+    /// valid summary of the answering slots' updates — Definition 1 —
+    /// with its reduced reach made explicit here rather than failing
+    /// the whole gather.
+    pub coverage: f64,
 }
 
 /// A federation coordinator over N backend `ms-service` nodes.
@@ -172,6 +226,8 @@ pub struct Coordinator {
     /// per backend request issued under a live trace context.
     scatter_ring: TraceHandle,
     instruments: Instruments,
+    /// Token bucket bounding coordinator-initiated retries.
+    retry_budget: RetryBudget,
     rebalanced_batches: AtomicU64,
     stopped: AtomicBool,
     /// Pinger wake/stop signal: the bool is "stop requested".
@@ -217,7 +273,19 @@ impl Coordinator {
             scatter_bytes: registry.counter("scatter_bytes_total"),
             gather_bytes: registry.counter("gather_bytes_total"),
             rebalances: registry.counter("ring_rebalances_total"),
+            breaker_state: (0..cfg.nodes.len())
+                .map(|n| registry.gauge(&format!("breaker_state{{node=\"{n}\"}}")))
+                .collect(),
+            breaker_trips: (0..cfg.nodes.len())
+                .map(|n| registry.counter(&format!("breaker_trips_total{{node=\"{n}\"}}")))
+                .collect(),
+            retries_granted: registry.counter("coordinator_retries_granted_total"),
+            retries_denied: registry.counter("coordinator_retries_denied_total"),
+            retry_tokens: registry.gauge("retry_budget_tokens"),
         };
+        let retry_budget =
+            RetryBudget::new(cfg.retry_budget_capacity, cfg.retry_budget_deposit_milli);
+        instruments.retry_tokens.set(retry_budget.tokens() as i64);
         let nodes = cfg
             .nodes
             .iter()
@@ -225,6 +293,7 @@ impl Coordinator {
                 addr: Mutex::new(addr.clone()),
                 client: Mutex::new(None),
                 health: NodeHealth::new(cfg.suspect_after, cfg.dead_after),
+                breaker: CircuitBreaker::new(cfg.breaker.clone(), Arc::clone(&cfg.clock)),
                 requests: AtomicU64::new(0),
                 failures: AtomicU64::new(0),
                 last_weight: AtomicU64::new(0),
@@ -239,6 +308,7 @@ impl Coordinator {
             telemetry,
             scatter_ring,
             instruments,
+            retry_budget,
             rebalanced_batches: AtomicU64::new(0),
             stopped: AtomicBool::new(false),
             ping_stop: Arc::new((Mutex::new(false), Condvar::new())),
@@ -340,6 +410,14 @@ impl Coordinator {
     /// member's health and are otherwise swallowed here (the caller
     /// reroutes).
     fn send_bucket(&self, slot: usize, bucket: &[u64]) -> Result<bool, ServiceError> {
+        // A spent inbound deadline sheds the whole bucket here: the
+        // caller has given up, so no backend should see the frames.
+        let remaining = deadline::remaining_micros();
+        if remaining == Some(0) {
+            return Err(ServiceError::Overloaded {
+                retry_after_micros: 0,
+            });
+        }
         let frame_bytes = ingest_frame_bytes(bucket);
         let mut delivered = false;
         let mut last_err: Option<ServiceError> = None;
@@ -349,7 +427,8 @@ impl Coordinator {
             }
             self.instruments.scatter_bytes.add(frame_bytes);
             // Ingest legs join the live trace the same way query legs
-            // do, so one traced ingest stitches coordinator → node.
+            // do, so one traced ingest stitches coordinator → node; a
+            // remaining deadline rides the same envelope, decremented.
             let result = match tracectx::current() {
                 Some(ctx) => {
                     let leg = self.telemetry.next_span(ctx);
@@ -363,9 +442,19 @@ impl Coordinator {
                         trace_id: ctx.trace_id,
                         parent_span: leg,
                     };
-                    self.with_node(member, |c| c.ingest_slice_traced(child, bucket))
+                    match remaining {
+                        Some(rem) => {
+                            self.with_node(member, |c| c.ingest_slice_deadline(child, rem, bucket))
+                        }
+                        None => self.with_node(member, |c| c.ingest_slice_traced(child, bucket)),
+                    }
                 }
-                None => self.with_node(member, |c| c.ingest_slice(bucket)),
+                None => match remaining {
+                    Some(rem) => {
+                        self.with_node(member, |c| c.ingest_slice_deadline(NO_TRACE, rem, bucket))
+                    }
+                    None => self.with_node(member, |c| c.ingest_slice(bucket)),
+                },
             };
             match result {
                 Ok(()) => delivered = true,
@@ -374,6 +463,9 @@ impl Coordinator {
         }
         match (delivered, last_err) {
             (true, _) => Ok(true),
+            // A shed is not a death: rerouting the bucket would aim the
+            // same storm at the next node, so surface it typed instead.
+            (false, Some(e @ ServiceError::Overloaded { .. })) => Err(e),
             (false, Some(e)) if e.is_transient() => Ok(false), // reroute
             (false, Some(e)) => Err(e),                        // the backend answered and refused
             (false, None) => Ok(false),                        // every member already dead
@@ -460,6 +552,7 @@ impl Coordinator {
             dark_slots,
             fanout,
             bytes,
+            coverage: answered as f64 / self.slots.len() as f64,
         })
     }
 
@@ -554,8 +647,17 @@ impl Coordinator {
             *lock(&node.addr) = addr.to_string();
         }
         *lock(&node.client) = None;
-        match self.scatter_call(idx, &Request::Ping)? {
-            Response::Ok => Ok(()),
+        // The rejoin ping bypasses the breaker's fail-fast (`attempt`
+        // instead of `with_node`): rejoin *is* the recovery probe, and
+        // it is the operator asserting the node is back — so a
+        // successful ping also resets the breaker outright instead of
+        // waiting out the open window.
+        match self.attempt(idx, &|client| client.call(&Request::Ping))? {
+            Response::Ok => {
+                node.breaker.reset();
+                self.sync_breaker_instruments(idx);
+                Ok(())
+            }
             other => Err(ServiceError::Protocol(format!(
                 "unexpected ping response {other:?}"
             ))),
@@ -722,12 +824,27 @@ impl Coordinator {
         self.instruments
             .scatter_bytes
             .add((FRAME_HEADER_LEN + request.wire_len()) as u64);
+        // A spent inbound deadline fails the leg locally: the caller has
+        // already given up, so the backend should never see the work.
+        let remaining = deadline::remaining_micros();
+        if remaining == Some(0) {
+            return Err(ServiceError::Overloaded {
+                retry_after_micros: 0,
+            });
+        }
         // Under a live trace (the server put one up before calling
         // `handle`), every leg gets its own span and ships the context to
         // the backend, whose request span then parents under this leg.
-        // Pings and other context-free calls stay plain `REQUEST_TAG`.
+        // Pings and other context-free calls stay plain `REQUEST_TAG` —
+        // unless a deadline must ride along, which needs the envelope (a
+        // zero trace id in it still means "no trace").
         let Some(ctx) = tracectx::current() else {
-            return self.with_node(idx, |client| client.call(request));
+            return self.with_node(idx, |client| {
+                shed_to_error(match remaining {
+                    Some(rem) => client.call_with_deadline(NO_TRACE, rem, request)?,
+                    None => client.call(request)?,
+                })
+            });
         };
         let leg = self.telemetry.next_span(ctx);
         let mut span = self.scatter_ring.span("scatter");
@@ -740,19 +857,69 @@ impl Coordinator {
             trace_id: ctx.trace_id,
             parent_span: leg,
         };
-        self.with_node(idx, |client| client.call_traced(child, request))
+        self.with_node(idx, |client| {
+            shed_to_error(match remaining {
+                // The *decremented* budget rides the envelope: the time
+                // this coordinator already burned never reaches the node.
+                Some(rem) => client.call_with_deadline(child, rem, request)?,
+                None => client.call_traced(child, request)?,
+            })
+        })
     }
 
-    /// Run `f` against node `idx`'s client (connecting lazily), recording
-    /// latency and translating the outcome into health state. Transport
-    /// failures drop the connection and count toward death; a refused
-    /// connect kills the node immediately (the process is gone, no
-    /// three-strikes grace needed). Protocol-level errors mean the node
-    /// answered, which is a liveness *success*.
+    /// Run `f` against node `idx` with the overload plane in front: an
+    /// open breaker fails fast (typed [`ServiceError::Overloaded`], no
+    /// connection touched, health untouched — backing off says nothing
+    /// new about the node), every first attempt funds the retry budget,
+    /// and one budget-gated coordinator retry replays transient
+    /// *transport* failures. A shed is never retried here: the node
+    /// answered and asked for air — an immediate replay would feed the
+    /// storm it is shedding.
     fn with_node<T>(
         &self,
         idx: usize,
-        f: impl FnOnce(&mut Client) -> Result<T, ServiceError>,
+        f: impl Fn(&mut Client) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        let node = &self.nodes[idx];
+        if !node.breaker.allow() {
+            self.sync_breaker_instruments(idx);
+            return Err(ServiceError::Overloaded {
+                retry_after_micros: node.breaker.retry_after_micros(),
+            });
+        }
+        self.retry_budget.note_request();
+        let mut result = self.attempt(idx, &f);
+        if matches!(
+            &result,
+            Err(ServiceError::Io { .. } | ServiceError::Timeout { .. } | ServiceError::Wire(_))
+        ) && node.breaker.allow()
+        {
+            if self.retry_budget.try_withdraw() {
+                self.instruments.retries_granted.add(1);
+                result = self.attempt(idx, &f);
+            } else {
+                self.instruments.retries_denied.add(1);
+            }
+        }
+        self.instruments
+            .retry_tokens
+            .set(self.retry_budget.tokens() as i64);
+        result
+    }
+
+    /// One connect-and-call attempt against node `idx`'s client
+    /// (connecting lazily), recording latency and translating the outcome
+    /// into health and breaker state. Transport failures drop the
+    /// connection and count toward death; a refused connect kills the
+    /// node immediately (the process is gone, no three-strikes grace
+    /// needed). Protocol-level errors mean the node answered, which is a
+    /// liveness *success* — but a shed ([`ServiceError::Overloaded`])
+    /// still counts against the breaker: the path is alive yet not
+    /// delivering work.
+    fn attempt<T>(
+        &self,
+        idx: usize,
+        f: &impl Fn(&mut Client) -> Result<T, ServiceError>,
     ) -> Result<T, ServiceError> {
         let node = &self.nodes[idx];
         let mut guard = lock(&node.client);
@@ -767,7 +934,9 @@ impl Coordinator {
                     if node.health.mark_dead() {
                         self.telemetry.event("node-dead", &[("node", idx as u64)]);
                     }
+                    node.breaker.record(false);
                     self.sync_state_gauge(idx);
+                    self.sync_breaker_instruments(idx);
                     return Err(e);
                 }
             }
@@ -778,6 +947,7 @@ impl Coordinator {
             &result,
             Err(ServiceError::Io { .. } | ServiceError::Timeout { .. } | ServiceError::Wire(_))
         );
+        let shed = matches!(&result, Err(ServiceError::Overloaded { .. }));
         if transport_failure {
             *guard = None;
         }
@@ -795,26 +965,75 @@ impl Coordinator {
                 self.telemetry.event("node-rejoin", &[("node", idx as u64)]);
             }
         }
+        node.breaker.record(!(transport_failure || shed));
         self.sync_state_gauge(idx);
+        self.sync_breaker_instruments(idx);
         result
     }
 
     fn sync_state_gauge(&self, idx: usize) {
         self.instruments.node_state[idx].set(self.nodes[idx].health.state() as i64);
     }
+
+    fn sync_breaker_instruments(&self, idx: usize) {
+        let breaker = &self.nodes[idx].breaker;
+        self.instruments.breaker_state[idx].set(breaker.state() as i64);
+        let counter = &self.instruments.breaker_trips[idx];
+        counter.add(breaker.trips().saturating_sub(counter.get()));
+    }
+
+    /// Node `idx`'s breaker state (tests and tooling).
+    pub fn breaker_state(&self, idx: usize) -> BreakerState {
+        self.nodes[idx].breaker.state()
+    }
+
+    /// How many times node `idx`'s breaker has tripped open.
+    pub fn breaker_trips(&self, idx: usize) -> u64 {
+        self.nodes[idx].breaker.trips()
+    }
+
+    /// The coordinator's retry token budget.
+    pub fn retry_budget(&self) -> &RetryBudget {
+        &self.retry_budget
+    }
+
+    /// `Some(shed)` when every node's breaker is open: the cluster-wide
+    /// fail-fast, hinting the soonest instant any path lets a probe
+    /// through.
+    fn all_breakers_open(&self) -> Option<Response> {
+        let mut min_retry = u64::MAX;
+        for node in &self.nodes {
+            if node.breaker.state() != BreakerState::Open {
+                return None;
+            }
+            min_retry = min_retry.min(node.breaker.retry_after_micros());
+        }
+        Some(Response::Overloaded {
+            retry_after_micros: min_retry,
+        })
+    }
 }
 
 impl Service for Coordinator {
     fn handle(&self, request: Request) -> Response {
+        // When every path is failing fast there is no point scattering:
+        // answer the typed shed with the soonest half-open instant.
+        // Control opcodes still flow — observability must keep working
+        // in the middle of the storm it exists to explain.
+        if OpClass::of(request.opcode()) != OpClass::Control {
+            if let Some(shed) = self.all_breakers_open() {
+                return shed;
+            }
+        }
         match request {
             Request::Ping => Response::Ok,
             Request::Ingest(items) => match self.ingest(&items) {
                 Ok(()) => Response::Ok,
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             },
             Request::Flush => match self.flush() {
                 Ok(()) => Response::Ok,
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             },
             Request::Point(item) => self.query(|s| s.point(item).map(Response::Count), "point"),
             Request::HeavyHitters(phi) => match check_phi(phi) {
@@ -831,20 +1050,20 @@ impl Service for Coordinator {
             },
             Request::Metrics => match self.metrics() {
                 Ok(report) => Response::Metrics(report),
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             },
             Request::Summary => match self.gather() {
                 Ok(GatherReport {
                     summary: Some(s), ..
                 }) => Response::Summary(s.encode()),
                 Ok(_) => Response::Error("no live backend answered".to_string()),
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             },
             Request::Telemetry => Response::Telemetry(self.telemetry_merged()),
             Request::ClusterInfo => Response::Cluster(self.cluster_info()),
             Request::NodeSummary(idx) => match self.node_summary(idx) {
                 Ok(raw) => Response::Summary(raw),
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             },
             ref request @ Request::RangeQuantile { phi, .. } => match check_phi(phi) {
                 Err(e) => Response::Error(e),
@@ -855,7 +1074,7 @@ impl Service for Coordinator {
                         items: Vec::new(),
                         summary: merged.map(|s| s.encode()).unwrap_or_default(),
                     }),
-                    Err(e) => Response::Error(e.to_string()),
+                    Err(e) => error_response(e),
                 },
             },
             ref request @ Request::RangeHeavyHitters { phi, .. } => match check_phi(phi) {
@@ -870,12 +1089,12 @@ impl Service for Coordinator {
                             .unwrap_or_default(),
                         summary: merged.map(|s| s.encode()).unwrap_or_default(),
                     }),
-                    Err(e) => Response::Error(e.to_string()),
+                    Err(e) => error_response(e),
                 },
             },
             Request::SegmentInfo => match self.segment_report() {
                 Ok(report) => Response::Segments(report),
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             },
             // The coordinator answers with its *own* rings (request and
             // scatter spans); tooling pulls each backend's rings directly
@@ -883,7 +1102,7 @@ impl Service for Coordinator {
             Request::TraceDump => Response::Trace(self.telemetry.trace_report()),
             Request::AccuracyReport => match self.accuracy_merged() {
                 Ok(audit) => Response::Accuracy(audit),
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             },
         }
     }
@@ -920,7 +1139,7 @@ impl Coordinator {
                 )),
             },
             Ok(_) => Response::Error("no live backend answered".to_string()),
-            Err(e) => Response::Error(e.to_string()),
+            Err(e) => error_response(e),
         }
     }
 }
@@ -955,6 +1174,37 @@ fn ping_loop(
             // exactly how a silently-restarted node rejoins.
             let _ = coordinator.scatter_call(idx, &Request::Ping);
         }
+    }
+}
+
+/// A zero context for deadline envelopes sent outside any trace: the
+/// decoder reads trace id 0 as "no trace", so these bytes are exactly
+/// what a context-free envelope carries.
+const NO_TRACE: TraceContext = TraceContext {
+    trace_id: 0,
+    parent_span: 0,
+};
+
+/// Lift a typed shed response into the matching typed error, so the
+/// breaker and every caller see one shape for "this leg delivered
+/// nothing".
+fn shed_to_error(response: Response) -> Result<Response, ServiceError> {
+    match response {
+        Response::Overloaded { retry_after_micros } => {
+            Err(ServiceError::Overloaded { retry_after_micros })
+        }
+        other => Ok(other),
+    }
+}
+
+/// Map a coordinator-side error onto the wire: typed sheds stay typed,
+/// everything else degrades to a string error as before.
+fn error_response(e: ServiceError) -> Response {
+    match e {
+        ServiceError::Overloaded { retry_after_micros } => {
+            Response::Overloaded { retry_after_micros }
+        }
+        other => Response::Error(other.to_string()),
     }
 }
 

@@ -17,10 +17,12 @@
 //! --coordinator` is byte-compatible with every existing client —
 //! including another coordinator's.
 
+pub mod breaker;
 pub mod coordinator;
 pub mod membership;
 pub mod ring;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryBudget};
 pub use coordinator::{ClusterConfig, Coordinator, GatherReport};
 pub use membership::NodeHealth;
 pub use ring::HashRing;

@@ -118,6 +118,13 @@ pub enum ServiceError {
     },
     /// The peer answered with a protocol-level error message.
     Protocol(String),
+    /// The server (or an engine admission check) shed the request under
+    /// overload instead of queueing doomed work. Retry after the hinted
+    /// delay — sooner just feeds the storm.
+    Overloaded {
+        /// Suggested client wait before retrying, in microseconds.
+        retry_after_micros: u64,
+    },
 }
 
 impl ServiceError {
@@ -127,7 +134,10 @@ impl ServiceError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            ServiceError::Io { .. } | ServiceError::Timeout { .. } | ServiceError::Backpressure
+            ServiceError::Io { .. }
+                | ServiceError::Timeout { .. }
+                | ServiceError::Backpressure
+                | ServiceError::Overloaded { .. }
         )
     }
 }
@@ -143,6 +153,10 @@ impl fmt::Display for ServiceError {
             ServiceError::Wire(e) => write!(f, "wire failure: {e}"),
             ServiceError::Timeout { millis } => write!(f, "request timed out after {millis}ms"),
             ServiceError::Protocol(msg) => write!(f, "peer error: {msg}"),
+            ServiceError::Overloaded { retry_after_micros } => write!(
+                f,
+                "request shed under overload (retry after {retry_after_micros}us)"
+            ),
         }
     }
 }

@@ -72,7 +72,7 @@ fn cluster_config(addrs: impl IntoIterator<Item = String>) -> ClusterConfig {
             read_timeout: Duration::from_secs(5),
             retries: 1,
             backoff: Duration::from_millis(5),
-            retry_non_idempotent: false,
+            ..ClientOptions::default()
         })
         .ping_interval(None)
         .thresholds(1, 1)

@@ -54,8 +54,8 @@ use ms_core::{
 };
 use ms_service::{
     Client, ClientOptions, CubeClock, DurabilityConfig, Engine, EngineTelemetry, FsyncPolicy,
-    ManualClock, Request, SegmentConfig, Server, ServiceConfig, ShardSummary, SummaryKind,
-    REQUEST_TAG,
+    ManualClock, OverloadConfig, Request, SegmentConfig, Server, ServiceConfig, ShardSummary,
+    SummaryKind, REQUEST_TAG,
 };
 use ms_workloads::StreamKind;
 
@@ -65,7 +65,7 @@ use crate::transport::{partial_prefix, Corruption};
 /// Summary error parameter every schedule runs at.
 pub const EPS: f64 = 0.02;
 
-/// The fifteen injected failure modes: eleven in-process/wire classes and
+/// The sixteen injected failure modes: twelve in-process/wire classes and
 /// four whole-node cluster classes (see [`crate::cluster`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultClass {
@@ -111,11 +111,17 @@ pub enum FaultClass {
     /// rebuild full range coverage from the WAL; windows straddling the
     /// crash point must stay within ε·(covered weight).
     SegmentCrash,
+    /// A seeded ingest flood storms a deliberately small server (slow
+    /// workers, shallow queues, tight watermarks). The server must shed
+    /// with typed `Overloaded` answers, never wedge, and never lose a
+    /// byte of acked weight — the strict zero-slack bound applies to
+    /// the admitted stream.
+    OverloadStorm,
 }
 
 impl FaultClass {
     /// All classes, in a stable order.
-    pub fn all() -> [FaultClass; 15] {
+    pub fn all() -> [FaultClass; 16] {
         [
             FaultClass::ShardDeath,
             FaultClass::PoolStarve,
@@ -132,6 +138,7 @@ impl FaultClass {
             FaultClass::RejoinRebalance,
             FaultClass::ReplicaDivergence,
             FaultClass::SegmentCrash,
+            FaultClass::OverloadStorm,
         ]
     }
 
@@ -153,6 +160,7 @@ impl FaultClass {
             FaultClass::RejoinRebalance => "rejoin-rebalance",
             FaultClass::ReplicaDivergence => "replica-divergence",
             FaultClass::SegmentCrash => "segment-crash",
+            FaultClass::OverloadStorm => "overload-storm",
         }
     }
 
@@ -415,7 +423,7 @@ fn fast_client(addr: std::net::SocketAddr) -> Result<Client, ServiceError> {
             read_timeout: Duration::from_secs(5),
             retries: 2,
             backoff: Duration::from_millis(10),
-            retry_non_idempotent: false,
+            ..ClientOptions::default()
         },
     )
 }
@@ -443,6 +451,7 @@ pub fn run_schedule(
         FaultClass::RejoinRebalance => crate::cluster::rejoin_rebalance(kind, seed),
         FaultClass::ReplicaDivergence => crate::cluster::replica_divergence(kind, seed),
         FaultClass::SegmentCrash => segment_crash(kind, seed),
+        FaultClass::OverloadStorm => overload_storm(kind, seed),
     }
 }
 
@@ -1305,6 +1314,119 @@ fn segment_crash(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String>
         )));
     }
     let _ = std::fs::remove_dir_all(&dir);
+    h.finish(&snap.summary, metrics)
+}
+
+/// Class 16: a seeded ingest flood storms a deliberately small server —
+/// every batch stalls inside a single slow shard, queues are two deep,
+/// and the watermarks are tight — over real TCP from four concurrent
+/// clients carrying deadline envelopes. The server must answer every
+/// over-pressure request with a typed `Overloaded` shed (visible in the
+/// admission counters), keep serving after the storm (no wedge, no
+/// leaked in-flight slots), and hold every byte of *acked* weight under
+/// the strict zero-slack `ε·n` bound.
+fn overload_storm(kind: SummaryKind, seed: u64) -> Result<ScheduleReport, String> {
+    let mut h = Harness::new(FaultClass::OverloadStorm, kind, seed);
+    // The slow node: a quarter of all batches stall 1ms, so the shallow
+    // queue backs up and the pressure signal crosses the watermarks —
+    // but drains often enough that a real admitted stream accumulates.
+    let plan = Arc::new(SeededPlan::new(seed).stall(2_500, 1));
+    let overload = OverloadConfig::default()
+        .max_inflight(8)
+        .shed_watermark(0.5)
+        .ingest_watermark(0.5)
+        .retry_after_micros(5_000);
+    let cfg = base_config(kind, seed)
+        .shards(1)
+        .queue_depth(2)
+        .delta_updates(256)
+        .overload(overload)
+        .fault_plan(Arc::clone(&plan) as Arc<dyn ms_service::FaultPlan>);
+    let engine = Engine::start(cfg).map_err(|e| h.fail(e))?;
+    h.attach(&engine);
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0").map_err(|e| h.fail(e))?;
+    let addr = server.local_addr();
+
+    // Four concurrent flooders, each with a seed-sliced stream and a
+    // deadline on the wire so the envelope path runs under pressure. A
+    // shed answer is an answer: the batch was refused, not lost.
+    let items = stream(16_000, seed);
+    let workers: Vec<_> = items
+        .chunks(items.len() / 4)
+        .map(|slice| {
+            let slice = slice.to_vec();
+            std::thread::spawn(move || -> Result<(Vec<u64>, u64), ServiceError> {
+                let mut client = Client::connect_with(
+                    addr,
+                    ClientOptions {
+                        connect_timeout: Duration::from_secs(5),
+                        read_timeout: Duration::from_secs(5),
+                        retries: 2,
+                        backoff: Duration::from_millis(10),
+                        deadline: Some(Duration::from_secs(2)),
+                        ..ClientOptions::default()
+                    },
+                )?;
+                let mut acked = Vec::new();
+                let mut shed = 0u64;
+                for batch in slice.chunks(100) {
+                    match client.ingest(batch.to_vec()) {
+                        Ok(()) => acked.extend_from_slice(batch),
+                        Err(ServiceError::Overloaded { .. }) => shed += 1,
+                        Err(other) => return Err(other),
+                    }
+                }
+                Ok((acked, shed))
+            })
+        })
+        .collect();
+    let mut client_sheds = 0u64;
+    for worker in workers {
+        let (acked, shed) = worker
+            .join()
+            .map_err(|_| h.fail("flood client panicked"))?
+            .map_err(|e| h.fail(e))?;
+        h.accepted.extend_from_slice(&acked);
+        client_sheds += shed;
+    }
+
+    // Shed-not-wedged: after the storm a fresh client is served, the
+    // sheds the clients saw are all counted, and no in-flight slot
+    // leaked (a leak would hold the server at cap forever).
+    let mut after = fast_client(addr).map_err(|e| h.fail(e))?;
+    after.flush().map_err(|e| h.fail(e))?;
+    let admission = engine.admission();
+    if admission.sheds() == 0 || client_sheds == 0 {
+        return Err(h.fail(format!(
+            "the storm was never shed (server counted {}, clients saw {client_sheds})",
+            admission.sheds()
+        )));
+    }
+    if admission.sheds() < client_sheds {
+        return Err(h.fail(format!(
+            "clients saw {client_sheds} sheds but the server only counted {}",
+            admission.sheds()
+        )));
+    }
+    if admission.inflight() != 0 {
+        return Err(h.fail(format!(
+            "{} in-flight slots leaked past the storm",
+            admission.inflight()
+        )));
+    }
+    server.stop();
+    let snap = engine.snapshot();
+    let metrics = engine.metrics();
+    if h.accepted.is_empty() {
+        return Err(h.fail("the storm shed everything"));
+    }
+    if snap.summary.total_weight() != h.accepted.len() as u64 {
+        return Err(h.fail(format!(
+            "acked {} but snapshot holds {} — shedding must not lose acked data",
+            h.accepted.len(),
+            snap.summary.total_weight()
+        )));
+    }
     h.finish(&snap.summary, metrics)
 }
 

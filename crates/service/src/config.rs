@@ -8,6 +8,7 @@ use ms_core::{ServiceError, Wire, WireError, WireReader};
 use ms_store::FsyncPolicy;
 
 use crate::fault::{FaultPlan, NoFaults};
+use crate::overload::OverloadConfig;
 
 /// The summary family an engine maintains (one instance per shard plus the
 /// compacted global).
@@ -207,6 +208,15 @@ pub struct SegmentConfig {
     /// Sealed segments kept queryable (and on disk); the oldest are
     /// evicted past this.
     pub max_sealed: usize,
+    /// Pressure-driven coarsening: once more than this many sealed
+    /// segments are resident, the cube merges the two oldest adjacent
+    /// segments pairwise into a coarser tier until back under the
+    /// watermark (DESIGN.md §Overload model). Memory per segment is
+    /// bounded by the O(1/ε) summary sizes, so a segment-count watermark
+    /// is a resident-memory watermark. `0` disables coarsening (the cube
+    /// falls back to evicting past `max_sealed`, losing old history
+    /// instead of coarsening it).
+    pub coarsen_watermark: usize,
     /// Time source for segment boundaries and range selection.
     pub clock: Arc<dyn CubeClock>,
 }
@@ -220,6 +230,7 @@ impl SegmentConfig {
             seal_batches: 64,
             seal_micros: 60_000_000,
             max_sealed: 1024,
+            coarsen_watermark: 0,
             clock: Arc::new(SystemClock::new()),
         }
     }
@@ -239,6 +250,12 @@ impl SegmentConfig {
     /// Set the sealed-segment retention cap.
     pub fn max_sealed(mut self, segments: usize) -> SegmentConfig {
         self.max_sealed = segments;
+        self
+    }
+
+    /// Set the coarsening watermark (`0` disables coarsening).
+    pub fn coarsen_watermark(mut self, segments: usize) -> SegmentConfig {
+        self.coarsen_watermark = segments;
         self
     }
 
@@ -298,6 +315,9 @@ pub struct ServiceConfig {
     /// Segmented ingest (the segment cube) for time-windowed range
     /// queries. `None` (the default) answers only "everything so far".
     pub segments: Option<SegmentConfig>,
+    /// Admission control and load shedding (in-flight caps + queue
+    /// pressure watermarks). Fully permissive by default.
+    pub overload: OverloadConfig,
 }
 
 impl ServiceConfig {
@@ -317,6 +337,7 @@ impl ServiceConfig {
             audit: false,
             durability: None,
             segments: None,
+            overload: OverloadConfig::default(),
         }
     }
 
@@ -386,6 +407,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Install admission-control / load-shedding settings.
+    pub fn overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
+        self
+    }
+
     /// Validate the sizing parameters.
     pub fn check(&self) -> std::result::Result<(), ServiceError> {
         if self.shards == 0 {
@@ -423,6 +450,12 @@ impl ServiceConfig {
             if s.max_sealed == 0 {
                 return Err(ServiceError::Config("max_sealed must be at least 1"));
             }
+        }
+        if self.overload.shed_watermark < 0.0 || self.overload.shed_watermark > 1.0 {
+            return Err(ServiceError::Config("shed_watermark must be in [0, 1]"));
+        }
+        if self.overload.ingest_watermark < 0.0 || self.overload.ingest_watermark > 1.0 {
+            return Err(ServiceError::Config("ingest_watermark must be in [0, 1]"));
         }
         Ok(())
     }

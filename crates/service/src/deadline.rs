@@ -1,0 +1,88 @@
+//! Per-request deadline propagation (DESIGN.md §Overload model).
+//!
+//! Deadlines travel the wire as a *relative* remaining budget in
+//! microseconds (the sentinel-0 [`crate::protocol::TRACED_REQUEST_TAG`]
+//! layout) — no clock synchronization is assumed anywhere. Each process
+//! converts the budget into a local absolute [`Instant`] the moment the
+//! frame decodes, installs it in a thread-local for the duration of
+//! dispatch (mirroring [`crate::tracectx`]), and re-encodes whatever is
+//! *left* when it fans a request out to another hop. The budget can only
+//! shrink across hops, so a doomed request dies at the first hop that
+//! notices instead of queueing work nobody will wait for.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// The absolute deadline of the request this thread is dispatching.
+    static CURRENT: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Run `f` with `deadline` installed as the thread's current request
+/// deadline, restoring the previous one after (nesting-safe, like
+/// [`crate::tracectx::with_current`]). `None` clears the deadline for
+/// the scope.
+pub fn with_deadline<T>(deadline: Option<Instant>, f: impl FnOnce() -> T) -> T {
+    let prev = CURRENT.with(|c| c.replace(deadline));
+    let out = f();
+    CURRENT.with(|c| c.set(prev));
+    out
+}
+
+/// The current thread's request deadline, if one is installed.
+pub fn current() -> Option<Instant> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Remaining budget of the current deadline in microseconds: `None` when
+/// no deadline is installed, `Some(0)` when it has expired.
+pub fn remaining_micros() -> Option<u64> {
+    current().map(|d| d.saturating_duration_since(Instant::now()).as_micros() as u64)
+}
+
+/// True when a deadline is installed and already spent. No deadline
+/// means no expiry — plain clients keep today's behavior.
+pub fn expired() -> bool {
+    matches!(remaining_micros(), Some(0))
+}
+
+/// Convert a wire budget (remaining micros granted by the caller) into
+/// the local absolute deadline it denotes.
+pub fn absolute(budget_micros: u64) -> Instant {
+    Instant::now() + Duration::from_micros(budget_micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadline_by_default() {
+        assert_eq!(current(), None);
+        assert_eq!(remaining_micros(), None);
+        assert!(!expired());
+    }
+
+    #[test]
+    fn installed_deadline_is_scoped_and_restored() {
+        let d = absolute(60_000_000);
+        with_deadline(Some(d), || {
+            assert_eq!(current(), Some(d));
+            let left = remaining_micros().unwrap();
+            assert!(left > 0 && left <= 60_000_000);
+            assert!(!expired());
+            // Nested scopes shadow and restore.
+            with_deadline(None, || assert_eq!(current(), None));
+            assert_eq!(current(), Some(d));
+        });
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn spent_budget_reads_as_expired() {
+        with_deadline(Some(absolute(0)), || {
+            assert_eq!(remaining_micros(), Some(0));
+            assert!(expired());
+        });
+    }
+}

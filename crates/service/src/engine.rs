@@ -73,7 +73,9 @@ use ms_store::{GroupCommit, SegmentRecord, Store};
 
 use crate::config::{DurabilityConfig, ServiceConfig, SummaryKind};
 use crate::cube::SegmentCube;
+use crate::deadline;
 use crate::fault::FaultAction;
+use crate::overload::Admission;
 use crate::protocol::{AccuracyAudit, RangeMeta, SegmentReport, TraceDumpReport};
 use crate::summary::{MergeLineage, ShardSummary};
 use crate::telemetry::{timed, EngineTelemetry};
@@ -377,6 +379,9 @@ pub struct Engine {
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
     compactor_handle: Mutex<Option<JoinHandle<()>>>,
     telemetry: Arc<EngineTelemetry>,
+    /// Admission control / load shedding (permissive unless
+    /// [`ServiceConfig::overload`] sets caps or watermarks).
+    admission: Arc<Admission>,
     /// Accuracy self-audit ground truth (inert unless `cfg.audit`).
     audit: Arc<AuditPlane>,
     /// WAL + checkpoints; `None` for a purely in-memory engine.
@@ -406,6 +411,15 @@ impl Engine {
             .map(|scfg| Arc::new(SegmentCube::new(cfg.epsilon, cfg.seed, scfg)));
         let counters = Arc::new(Counters::default());
         let telemetry = Arc::new(EngineTelemetry::new(cfg.shards, cfg.telemetry, cfg.seed));
+        // Pressure reads the live per-shard queue-depth gauges; with
+        // telemetry disabled the gauge list is empty and only the
+        // in-flight caps shed.
+        let admission = Arc::new(Admission::new(
+            cfg.overload.clone(),
+            telemetry.registry(),
+            telemetry.queue_depth_gauges(),
+            (cfg.shards * cfg.queue_depth) as u64,
+        ));
         let audit = Arc::new(AuditPlane::new(&cfg));
         let (compact_tx, compact_rx) = mpsc::channel::<CompactMsg>();
         let batch_indices = Arc::new(
@@ -493,6 +507,7 @@ impl Engine {
             worker_handles: Mutex::new(worker_handles),
             compactor_handle: Mutex::new(None),
             telemetry,
+            admission,
             audit,
             durable,
             cube,
@@ -709,6 +724,15 @@ impl Engine {
         if batch.is_empty() {
             return Ok(());
         }
+        // A spent deadline budget means the caller has stopped waiting:
+        // appending + enqueueing now is doomed work that only deepens the
+        // queues. Shed typed instead.
+        if deadline::expired() {
+            self.admission.note_deadline_expired();
+            return Err(ServiceError::Overloaded {
+                retry_after_micros: self.admission.retry_after_micros(),
+            });
+        }
         let _pause = self.durable.as_ref().map(|d| read(&d.pause));
         self.record_and_append(&batch)?;
         self.enqueue(batch)
@@ -723,6 +747,10 @@ impl Engine {
         match &self.cube {
             Some(cube) => {
                 let out = cube.record_with(batch, || self.append_durable(batch))?;
+                if out.coarsened > 0 {
+                    self.telemetry
+                        .record_coarsen(out.coarsened, cube.health().max_tier);
+                }
                 self.persist_sealed(&out.sealed, &out.evicted)
             }
             None => self.append_durable(batch),
@@ -1116,6 +1144,13 @@ impl Engine {
         &self.telemetry
     }
 
+    /// The admission controller the server consults before dispatch
+    /// (permissive unless [`ServiceConfig::overload`] configures caps or
+    /// watermarks).
+    pub fn admission(&self) -> &Arc<Admission> {
+        &self.admission
+    }
+
     /// The telemetry registry snapshot with the engine's own counters and
     /// snapshot gauges folded in — the payload served for
     /// [`crate::Request::Telemetry`]. Mergeable like any other
@@ -1180,6 +1215,8 @@ impl Engine {
                 health.open_age_micros,
                 health.open_weight,
             );
+            // Keep the tier gauge fresh even if no coarsen ran recently.
+            self.telemetry.record_coarsen(0, health.max_tier);
         }
         self.telemetry.snapshot().merge(&engine)
     }

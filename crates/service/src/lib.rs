@@ -29,8 +29,10 @@
 
 pub mod config;
 pub mod cube;
+pub mod deadline;
 pub mod engine;
 pub mod fault;
+pub mod overload;
 pub mod protocol;
 pub mod server;
 pub mod summary;
@@ -44,10 +46,12 @@ pub use config::{
 pub use cube::{AdoptOutcome, CubeOutcome, SegmentCube};
 pub use engine::{Engine, MetricsReport, RecoveryReport, Snapshot};
 pub use fault::{plan_fn, FaultAction, FaultPlan, NoFaults};
+pub use overload::{Admission, AdmitGuard, OpClass, OverloadConfig, ShedReason};
 pub use protocol::{
-    decode_request, decode_traced_request, traced_frame, AccuracyAudit, ClusterInfo, NodeInfo,
-    NodeState, RangeAnswer, RangeMeta, Request, Response, SegmentMeta, SegmentReport, ThreadTrace,
-    TraceDumpReport, TraceEventRecord, REQUEST_TAG, RESPONSE_TAG, TRACED_REQUEST_TAG,
+    deadline_frame, decode_request, decode_traced_request, traced_frame, AccuracyAudit,
+    ClusterInfo, NodeInfo, NodeState, RangeAnswer, RangeMeta, Request, RequestEnvelope, Response,
+    SegmentMeta, SegmentReport, ThreadTrace, TraceDumpReport, TraceEventRecord, REQUEST_TAG,
+    RESPONSE_TAG, TRACED_REQUEST_TAG,
 };
 pub use server::{check_phi, dispatch, Client, ClientOptions, Server, Service};
 pub use summary::{MergeLineage, ShardSummary};

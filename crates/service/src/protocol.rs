@@ -22,6 +22,21 @@ pub const RESPONSE_TAG: u8 = 0x11;
 /// parent span id) immediately followed by the [`Request`] encoding.
 /// Servers accept both tags ([`decode_traced_request`]); old clients and
 /// every golden corpus frame keep their exact bytes.
+///
+/// A second, deadline-bearing layout rides the same tag. Trace ids are
+/// never 0 ([`TraceContext`]), so a leading varint `0` discriminates it:
+///
+/// ```text
+/// legacy:   varint trace_id (≠0) · varint parent_span · Request
+/// deadline: 0x00 · varint trace_id (0 = no context) · varint parent_span
+///           · varint deadline_micros · Request
+/// ```
+///
+/// `deadline_micros` is the *remaining budget* the client grants the
+/// request (relative, so nodes need no synchronized clocks); `0` means
+/// the budget is already spent and the server sheds immediately with
+/// [`Response::Overloaded`]. Every pre-deadline golden frame decodes
+/// byte-identically through the legacy arm.
 pub const TRACED_REQUEST_TAG: u8 = 0x12;
 
 /// One client request.
@@ -136,29 +151,91 @@ pub fn decode_request(frame: &WireFrame) -> Result<Request, WireError> {
     frame.value::<Request>()
 }
 
-/// Decode a request frame that may carry a trace context: a plain
-/// [`REQUEST_TAG`] frame yields `(request, None)`, a
-/// [`TRACED_REQUEST_TAG`] frame yields the context prepended to the
-/// request. Any other tag is rejected, and both forms enforce
-/// no-trailing-bytes like [`decode_request`].
-pub fn decode_traced_request(
-    frame: &WireFrame,
-) -> Result<(Request, Option<TraceContext>), WireError> {
+/// Out-of-band request metadata carried by a [`TRACED_REQUEST_TAG`]
+/// envelope: the trace context (if any) and the remaining deadline
+/// budget (if any). A plain [`REQUEST_TAG`] frame decodes to the empty
+/// envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestEnvelope {
+    /// Distributed-trace context, when the caller ships one.
+    pub ctx: Option<TraceContext>,
+    /// Remaining deadline budget in microseconds (relative — decremented
+    /// across coordinator→node hops, never compared between clocks).
+    /// `Some(0)` means the budget is already spent.
+    pub deadline_micros: Option<u64>,
+}
+
+/// Decode a request frame that may carry an envelope: a plain
+/// [`REQUEST_TAG`] frame yields the empty envelope, a
+/// [`TRACED_REQUEST_TAG`] frame yields the context and/or deadline
+/// prepended to the request (see the tag's layout docs). Any other tag
+/// is rejected, and all forms enforce no-trailing-bytes like
+/// [`decode_request`].
+pub fn decode_traced_request(frame: &WireFrame) -> Result<(Request, RequestEnvelope), WireError> {
     match frame.tag {
-        REQUEST_TAG => Ok((frame.value::<Request>()?, None)),
+        REQUEST_TAG => Ok((frame.value::<Request>()?, RequestEnvelope::default())),
         TRACED_REQUEST_TAG => {
-            let (ctx, req) = frame.value::<(TraceContext, Request)>()?;
-            Ok((req, Some(ctx)))
+            let mut r = WireReader::new(&frame.payload);
+            let first = u64::decode_from(&mut r)?;
+            let envelope = if first != 0 {
+                // Legacy layout: the first varint IS the trace id.
+                RequestEnvelope {
+                    ctx: Some(TraceContext {
+                        trace_id: first,
+                        parent_span: u64::decode_from(&mut r)?,
+                    }),
+                    deadline_micros: None,
+                }
+            } else {
+                // Deadline layout: sentinel 0, then trace id (0 = none),
+                // parent span, deadline budget.
+                let trace_id = u64::decode_from(&mut r)?;
+                let parent_span = u64::decode_from(&mut r)?;
+                let deadline_micros = u64::decode_from(&mut r)?;
+                RequestEnvelope {
+                    ctx: (trace_id != 0).then_some(TraceContext {
+                        trace_id,
+                        parent_span,
+                    }),
+                    deadline_micros: Some(deadline_micros),
+                }
+            };
+            let req = Request::decode_from(&mut r)?;
+            let left = frame.payload.len() - r.pos();
+            if left != 0 {
+                return Err(WireError::Trailing(left));
+            }
+            Ok((req, envelope))
         }
         other => Err(WireError::BadTag(other)),
     }
 }
 
 /// Build the wire frame for `req` carrying trace context `ctx`
-/// (tag [`TRACED_REQUEST_TAG`]).
+/// (tag [`TRACED_REQUEST_TAG`], legacy layout — no deadline).
 pub fn traced_frame(ctx: TraceContext, req: &Request) -> WireFrame {
     let mut payload = Vec::with_capacity(ctx.wire_len() + req.wire_len());
     ctx.encode_into(&mut payload);
+    req.encode_into(&mut payload);
+    WireFrame {
+        tag: TRACED_REQUEST_TAG,
+        payload,
+    }
+}
+
+/// Build the deadline-bearing wire frame for `req`: tag
+/// [`TRACED_REQUEST_TAG`], sentinel-0 layout, optional trace context,
+/// and `deadline_micros` of remaining budget.
+pub fn deadline_frame(ctx: Option<TraceContext>, deadline_micros: u64, req: &Request) -> WireFrame {
+    let mut payload = Vec::with_capacity(20 + req.wire_len());
+    payload.push(0);
+    let (trace_id, parent_span) = match ctx {
+        Some(c) => (c.trace_id, c.parent_span),
+        None => (0, 0),
+    };
+    trace_id.encode_into(&mut payload);
+    parent_span.encode_into(&mut payload);
+    deadline_micros.encode_into(&mut payload);
     req.encode_into(&mut payload);
     WireFrame {
         tag: TRACED_REQUEST_TAG,
@@ -263,6 +340,14 @@ pub enum Response {
     Trace(TraceDumpReport),
     /// The accuracy self-audit ([`Request::AccuracyReport`]).
     Accuracy(AccuracyAudit),
+    /// The request was shed under overload (admission control, an
+    /// expired deadline, or a coordinator whose backends are all
+    /// breaker-open). Distinct from [`Response::Error`] so clients can
+    /// back off politely instead of treating the shed as fatal.
+    Overloaded {
+        /// Suggested client wait before retrying, in microseconds.
+        retry_after_micros: u64,
+    },
 }
 
 /// One recorded flight-recorder event, wire-encodable (the in-memory
@@ -552,6 +637,11 @@ pub struct SegmentMeta {
     pub batches: u64,
     /// False only for the trailing open segment.
     pub sealed: bool,
+    /// Coarsening tier: 0 for an as-sealed segment, `max(a,b)+1` when
+    /// pressure merged two adjacent segments `a`,`b` into this one
+    /// (DESIGN.md §Overload model — lossless w.r.t. eps·n on admitted
+    /// weight, per Definition 1).
+    pub tier: u64,
 }
 
 impl Wire for SegmentMeta {
@@ -564,6 +654,7 @@ impl Wire for SegmentMeta {
         self.weight.encode_into(out);
         self.batches.encode_into(out);
         self.sealed.encode_into(out);
+        self.tier.encode_into(out);
     }
 
     fn decode_from(r: &mut WireReader<'_>) -> std::result::Result<Self, WireError> {
@@ -576,6 +667,7 @@ impl Wire for SegmentMeta {
             weight: u64::decode_from(r)?,
             batches: u64::decode_from(r)?,
             sealed: bool::decode_from(r)?,
+            tier: u64::decode_from(r)?,
         })
     }
 }
@@ -781,6 +873,10 @@ impl Wire for Response {
                 out.push(12);
                 audit.encode_into(out);
             }
+            Response::Overloaded { retry_after_micros } => {
+                out.push(13);
+                retry_after_micros.encode_into(out);
+            }
         }
     }
 
@@ -799,6 +895,9 @@ impl Wire for Response {
             10 => Response::Segments(SegmentReport::decode_from(r)?),
             11 => Response::Trace(TraceDumpReport::decode_from(r)?),
             12 => Response::Accuracy(AccuracyAudit::decode_from(r)?),
+            13 => Response::Overloaded {
+                retry_after_micros: u64::decode_from(r)?,
+            },
             _ => return Err(WireError::Malformed("unknown response opcode")),
         })
     }
@@ -948,6 +1047,7 @@ mod tests {
                         weight: 6_400,
                         batches: 64,
                         sealed: true,
+                        tier: 2,
                     },
                     SegmentMeta {
                         id: 1,
@@ -958,6 +1058,7 @@ mod tests {
                         weight: 600,
                         batches: 6,
                         sealed: false,
+                        tier: 0,
                     },
                 ],
             }),
@@ -1002,6 +1103,12 @@ mod tests {
                 within_bound: true,
                 nodes: 3,
             }),
+            Response::Overloaded {
+                retry_after_micros: 0,
+            },
+            Response::Overloaded {
+                retry_after_micros: u64::MAX,
+            },
         ];
         for resp in cases {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
@@ -1168,13 +1275,22 @@ mod tests {
         let req = Request::Quantile(0.5);
         let frame = traced_frame(ctx, &req);
         assert_eq!(frame.tag, TRACED_REQUEST_TAG);
-        assert_eq!(decode_traced_request(&frame).unwrap(), (req, Some(ctx)));
+        assert_eq!(
+            decode_traced_request(&frame).unwrap(),
+            (
+                req,
+                RequestEnvelope {
+                    ctx: Some(ctx),
+                    deadline_micros: None,
+                }
+            )
+        );
 
         // A plain frame decodes through the same entry point, context-free.
         let plain = WireFrame::from_value(REQUEST_TAG, &Request::Ping);
         assert_eq!(
             decode_traced_request(&plain).unwrap(),
-            (Request::Ping, None)
+            (Request::Ping, RequestEnvelope::default())
         );
 
         // But decode_request (old entry point) rejects the traced tag, so
@@ -1213,6 +1329,84 @@ mod tests {
         assert_eq!(
             decode_traced_request(&response_tag).unwrap_err(),
             WireError::BadTag(RESPONSE_TAG)
+        );
+    }
+
+    #[test]
+    fn deadline_frames_roundtrip_with_and_without_context() {
+        let ctx = TraceContext {
+            trace_id: 0xFEED_F00D,
+            parent_span: 42,
+        };
+        let req = Request::Ingest(vec![1, 2, 3]);
+
+        let with_ctx = deadline_frame(Some(ctx), 250_000, &req);
+        assert_eq!(with_ctx.tag, TRACED_REQUEST_TAG);
+        assert_eq!(with_ctx.payload[0], 0, "sentinel byte discriminates v2");
+        assert_eq!(
+            decode_traced_request(&with_ctx).unwrap(),
+            (
+                req.clone(),
+                RequestEnvelope {
+                    ctx: Some(ctx),
+                    deadline_micros: Some(250_000),
+                }
+            )
+        );
+
+        // Deadline without a trace context (trace id 0 on the wire).
+        let bare = deadline_frame(None, 0, &Request::Quantile(0.5));
+        assert_eq!(
+            decode_traced_request(&bare).unwrap(),
+            (
+                Request::Quantile(0.5),
+                RequestEnvelope {
+                    ctx: None,
+                    deadline_micros: Some(0),
+                }
+            )
+        );
+
+        // Legacy and v2 frames for the same (ctx, request) differ only by
+        // the envelope prefix; the legacy decode path is byte-stable.
+        let legacy = traced_frame(ctx, &req);
+        assert_ne!(legacy.payload, with_ctx.payload);
+        assert_eq!(
+            decode_traced_request(&legacy).unwrap().1,
+            RequestEnvelope {
+                ctx: Some(ctx),
+                deadline_micros: None,
+            }
+        );
+    }
+
+    #[test]
+    fn deadline_frame_rejects_truncation_and_trailing() {
+        let frame = deadline_frame(None, 9_000, &Request::Ping);
+
+        let mut trailing = frame.clone();
+        trailing.payload.push(0x00);
+        assert_eq!(
+            decode_traced_request(&trailing).unwrap_err(),
+            WireError::Trailing(1)
+        );
+
+        // Envelope present, request missing.
+        let mut cut = frame.clone();
+        cut.payload.truncate(frame.payload.len() - 1);
+        assert_eq!(
+            decode_traced_request(&cut).unwrap_err(),
+            WireError::Truncated
+        );
+
+        // Sentinel alone is a truncated envelope, not an empty one.
+        let bare_sentinel = WireFrame {
+            tag: TRACED_REQUEST_TAG,
+            payload: vec![0],
+        };
+        assert_eq!(
+            decode_traced_request(&bare_sentinel).unwrap_err(),
+            WireError::Truncated
         );
     }
 

@@ -13,20 +13,23 @@
 
 use std::io::{self, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ms_core::wire::{encode_frame_into, encode_u64_slice_into, FRAME_HEADER_LEN};
 use ms_core::{ServiceError, Wire, WireFrame};
 use ms_obs::RegistrySnapshot;
 
 use crate::config::SummaryKind;
+use crate::deadline;
 use crate::engine::{Engine, MetricsReport};
+use crate::overload::{Admission, AdmitGuard};
 use crate::protocol::{
-    decode_traced_request, traced_frame, AccuracyAudit, RangeAnswer, Request, Response,
-    SegmentReport, TraceDumpReport, REQUEST_TAG, RESPONSE_TAG, TRACED_REQUEST_TAG,
+    deadline_frame, decode_traced_request, traced_frame, AccuracyAudit, RangeAnswer, Request,
+    RequestEnvelope, Response, SegmentReport, TraceDumpReport, REQUEST_TAG, RESPONSE_TAG,
+    TRACED_REQUEST_TAG,
 };
 use crate::telemetry::{timed, EngineTelemetry};
 use crate::tracectx::{self, TraceContext, FIELD_PARENT, FIELD_SPAN, FIELD_TRACE};
@@ -51,11 +54,22 @@ pub trait Service: Send + Sync + 'static {
 
     /// Hard stop with no final drain (simulated `kill -9`).
     fn abort(&self);
+
+    /// The admission controller the connection loop consults before
+    /// dispatching, if this service does load shedding. The default (no
+    /// controller) admits everything.
+    fn admission(&self) -> Option<&Arc<Admission>> {
+        None
+    }
 }
 
 impl Service for Engine {
     fn handle(&self, request: Request) -> Response {
         dispatch(self, request)
+    }
+
+    fn admission(&self) -> Option<&Arc<Admission>> {
+        Some(Engine::admission(self))
     }
 
     fn telemetry(&self) -> &Arc<EngineTelemetry> {
@@ -202,6 +216,11 @@ fn serve_connection(mut stream: TcpStream, service: Arc<dyn Service>) {
     // per-request spans it records carry the trace context, so a
     // `TraceDump` from this process stitches into the cluster-wide tree.
     let trace_ring = telemetry.recorder().register("conn");
+    // In-flight requests opened by *this* connection — the admission
+    // controller's per-connection cap counts against it. Handling is
+    // serial per connection today, so it only exceeds 1 if that changes;
+    // the cap is enforced here so it cannot regress silently.
+    let conn_inflight = Arc::new(AtomicU64::new(0));
     loop {
         let frame = match WireFrame::read_from(&mut stream) {
             Ok(Some(frame)) => frame,
@@ -224,29 +243,43 @@ fn serve_connection(mut stream: TcpStream, service: Arc<dyn Service>) {
         // The frame itself was well-formed; a payload that fails to decode
         // is a protocol error worth answering, and the connection lives on.
         let response = match decode_traced_request(&frame) {
-            Ok((request, ctx)) => {
+            Ok((request, envelope)) => {
                 let opcode = request.opcode();
                 // Untraced (plain `REQUEST_TAG`) frames root a fresh
                 // trace here, so every request belongs to exactly one
                 // trace whether or not the caller propagates context.
-                let ctx = ctx.unwrap_or_else(|| telemetry.root_context());
-                let span_id = telemetry.next_span(ctx);
-                let mut span = trace_ring.span("request");
-                span.field(FIELD_TRACE, ctx.trace_id);
-                span.field(FIELD_SPAN, span_id);
-                span.field(FIELD_PARENT, ctx.parent_span);
-                span.field("op", opcode as u64);
-                // Whatever the handler does downstream (scatter to
-                // backend nodes, engine events) parents under this span.
-                let child = TraceContext {
-                    trace_id: ctx.trace_id,
-                    parent_span: span_id,
-                };
-                let (response, micros) =
-                    timed(|| tracectx::with_current(child, || service.handle(request)));
-                drop(span);
-                telemetry.record_request(opcode, micros);
-                response
+                let ctx = envelope.ctx.unwrap_or_else(|| telemetry.root_context());
+                // The envelope carries *remaining* budget; pin it to this
+                // node's clock once so downstream checks are cheap.
+                let abs_deadline = envelope
+                    .deadline_micros
+                    .map(|micros| Instant::now() + Duration::from_micros(micros));
+                match admit(&service, opcode, &envelope, &conn_inflight) {
+                    Err(shed) => shed,
+                    Ok(_guard) => {
+                        let span_id = telemetry.next_span(ctx);
+                        let mut span = trace_ring.span("request");
+                        span.field(FIELD_TRACE, ctx.trace_id);
+                        span.field(FIELD_SPAN, span_id);
+                        span.field(FIELD_PARENT, ctx.parent_span);
+                        span.field("op", opcode as u64);
+                        // Whatever the handler does downstream (scatter to
+                        // backend nodes, engine events) parents under this
+                        // span.
+                        let child = TraceContext {
+                            trace_id: ctx.trace_id,
+                            parent_span: span_id,
+                        };
+                        let (response, micros) = timed(|| {
+                            deadline::with_deadline(abs_deadline, || {
+                                tracectx::with_current(child, || service.handle(request))
+                            })
+                        });
+                        drop(span);
+                        telemetry.record_request(opcode, micros);
+                        response
+                    }
+                }
             }
             Err(e) => {
                 service.record_rejected_frame();
@@ -258,6 +291,38 @@ fn serve_connection(mut stream: TcpStream, service: Arc<dyn Service>) {
         if out.write_to(&mut stream).is_err() {
             return;
         }
+    }
+}
+
+/// Overload gate for one decoded request: a spent deadline budget or a
+/// shed decision from the service's [`Admission`] controller answers a
+/// typed [`Response::Overloaded`] instead of dispatching. Returns the
+/// in-flight guard to hold for the duration of dispatch (`None` when the
+/// service has no controller).
+fn admit(
+    service: &Arc<dyn Service>,
+    opcode: u8,
+    envelope: &RequestEnvelope,
+    conn_inflight: &Arc<AtomicU64>,
+) -> Result<Option<AdmitGuard>, Response> {
+    let admission = service.admission();
+    let retry_after_micros = admission
+        .map(|a| a.retry_after_micros())
+        .unwrap_or_else(|| crate::overload::OverloadConfig::default().retry_after_micros);
+    // A request that arrives with its budget already spent is doomed no
+    // matter how idle we are: the caller has stopped waiting.
+    if envelope.deadline_micros == Some(0) {
+        if let Some(a) = admission {
+            a.note_deadline_expired();
+        }
+        return Err(Response::Overloaded { retry_after_micros });
+    }
+    match admission {
+        None => Ok(None),
+        Some(a) => match a.try_admit(opcode, conn_inflight) {
+            Ok(guard) => Ok(Some(guard)),
+            Err(_reason) => Err(Response::Overloaded { retry_after_micros }),
+        },
     }
 }
 
@@ -287,12 +352,12 @@ pub fn dispatch(engine: &Engine, request: Request) -> Response {
             }
             match engine.ingest(items) {
                 Ok(()) => Response::Ok,
-                Err(e) => Response::Error(e.to_string()),
+                Err(e) => error_response(e),
             }
         }
         Request::Flush => match engine.flush() {
             Ok(()) => Response::Ok,
-            Err(e) => Response::Error(e.to_string()),
+            Err(e) => error_response(e),
         },
         Request::Point(item) => match engine.snapshot().summary.point(item) {
             Some(count) => Response::Count(count),
@@ -381,6 +446,17 @@ pub fn check_phi(phi: f64) -> Result<(), String> {
     }
 }
 
+/// Map a handler error to its wire response, preserving the typed
+/// `Overloaded` shed so clients see a retry hint, not an opaque string.
+fn error_response(e: ServiceError) -> Response {
+    match e {
+        ServiceError::Overloaded { retry_after_micros } => {
+            Response::Overloaded { retry_after_micros }
+        }
+        e => Response::Error(e.to_string()),
+    }
+}
+
 fn unsupported(engine: &Engine, query: &str) -> String {
     format!(
         "{query} queries are not supported by a {} engine",
@@ -406,6 +482,17 @@ pub struct ClientOptions {
     /// default: a retried ingest whose first attempt *was* applied
     /// double-counts its batch.
     pub retry_non_idempotent: bool,
+    /// End-to-end budget for one logical call. When set, every request
+    /// travels in a deadline-bearing envelope (the server sheds it once
+    /// the budget is spent) and the retry loop stops sleeping when the
+    /// budget runs out — a deadline caps retry wall-time, not just the
+    /// individual socket reads.
+    pub deadline: Option<Duration>,
+    /// Seed for the full-jitter backoff RNG: each retry sleeps a uniform
+    /// draw from `[0, backoff·2^attempt]` so a fleet of shedding clients
+    /// decorrelates instead of thundering back in lockstep. Same seed,
+    /// same sleep schedule — tests replay deterministically.
+    pub jitter_seed: u64,
 }
 
 impl Default for ClientOptions {
@@ -416,6 +503,8 @@ impl Default for ClientOptions {
             retries: 3,
             backoff: Duration::from_millis(25),
             retry_non_idempotent: false,
+            deadline: None,
+            jitter_seed: 0x5EED_BACC_0FF5,
         }
     }
 }
@@ -427,6 +516,8 @@ pub struct Client {
     opts: ClientOptions,
     stream: Option<TcpStream>,
     retries_performed: u64,
+    /// xorshift64 state behind the full-jitter draws (never zero).
+    rng: u64,
     /// Request-frame scratch reused across [`Client::ingest_slice`] calls
     /// so a streaming client serializes every batch into the same buffer.
     scratch: Vec<u8>,
@@ -455,6 +546,7 @@ impl Client {
         }
         let mut client = Client {
             addrs,
+            rng: opts.jitter_seed | 1, // xorshift must not start at 0
             opts,
             stream: None,
             retries_performed: 0,
@@ -528,7 +620,10 @@ impl Client {
     /// and re-established, so a late response to a timed-out request can
     /// never be mistaken for the answer to the next one.
     pub fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
-        let frame = WireFrame::from_value(REQUEST_TAG, request).to_bytes();
+        let frame = match self.opts.deadline {
+            Some(budget) => deadline_frame(None, budget.as_micros() as u64, request).to_bytes(),
+            None => WireFrame::from_value(REQUEST_TAG, request).to_bytes(),
+        };
         self.call_frame(&frame, request.is_idempotent())
     }
 
@@ -542,7 +637,25 @@ impl Client {
         ctx: TraceContext,
         request: &Request,
     ) -> Result<Response, ServiceError> {
-        let frame = traced_frame(ctx, request).to_bytes();
+        let frame = match self.opts.deadline {
+            Some(budget) => {
+                deadline_frame(Some(ctx), budget.as_micros() as u64, request).to_bytes()
+            }
+            None => traced_frame(ctx, request).to_bytes(),
+        };
+        self.call_frame(&frame, request.is_idempotent())
+    }
+
+    /// [`Client::call_traced`] with an explicit remaining-budget override:
+    /// the coordinator uses this to forward its *decremented* deadline to
+    /// each scatter leg rather than this client's static option.
+    pub fn call_with_deadline(
+        &mut self,
+        ctx: TraceContext,
+        deadline_micros: u64,
+        request: &Request,
+    ) -> Result<Response, ServiceError> {
+        let frame = deadline_frame(Some(ctx), deadline_micros, request).to_bytes();
         self.call_frame(&frame, request.is_idempotent())
     }
 
@@ -566,6 +679,7 @@ impl Client {
     /// The retry loop behind [`Client::call`], operating on a serialized
     /// frame so callers can bring their own (reused) encode buffer.
     fn call_frame(&mut self, frame: &[u8], idempotent: bool) -> Result<Response, ServiceError> {
+        let start = Instant::now();
         let mut attempt = 0u32;
         loop {
             let result = self.call_once(frame);
@@ -578,7 +692,19 @@ impl Client {
                     if !retryable || attempt >= self.opts.retries {
                         return Err(e);
                     }
-                    std::thread::sleep(self.opts.backoff.saturating_mul(1 << attempt.min(16)));
+                    // Full jitter: uniform in [0, backoff·2^attempt]. A
+                    // deadline caps the sleep — and once the budget is
+                    // spent, retrying is lying to the caller, so stop.
+                    let ceiling = self.opts.backoff.saturating_mul(1 << attempt.min(16));
+                    let mut pause = self.jitter(ceiling);
+                    if let Some(budget) = self.opts.deadline {
+                        let left = budget.saturating_sub(start.elapsed());
+                        if left.is_zero() {
+                            return Err(e);
+                        }
+                        pause = pause.min(left);
+                    }
+                    std::thread::sleep(pause);
                     attempt += 1;
                     self.retries_performed += 1;
                     if let Err(reconnect_err) = self.reconnect() {
@@ -589,6 +715,19 @@ impl Client {
                 }
             }
         }
+    }
+
+    /// One full-jitter draw: uniform in `[0, ceiling]`, from the seeded
+    /// xorshift64 stream (`ClientOptions::jitter_seed`).
+    fn jitter(&mut self, ceiling: Duration) -> Duration {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let span = ceiling.as_nanos() as u64;
+        if span == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.rng % (span + 1))
     }
 
     /// Ingest a batch, erroring on a server-side failure.
@@ -606,10 +745,22 @@ impl Client {
     pub fn ingest_slice(&mut self, items: &[u64]) -> Result<(), ServiceError> {
         let mut frame = std::mem::take(&mut self.scratch);
         frame.clear();
-        encode_frame_into(&mut frame, REQUEST_TAG, |out| {
-            out.push(Request::Ingest(Vec::new()).opcode());
-            encode_u64_slice_into(out, items);
-        });
+        match self.opts.deadline {
+            // Hand-encode the same sentinel-0 deadline envelope that
+            // `deadline_frame` builds (no trace context).
+            Some(budget) => encode_frame_into(&mut frame, TRACED_REQUEST_TAG, |out| {
+                out.push(0);
+                0u64.encode_into(out);
+                0u64.encode_into(out);
+                (budget.as_micros() as u64).encode_into(out);
+                out.push(Request::Ingest(Vec::new()).opcode());
+                encode_u64_slice_into(out, items);
+            }),
+            None => encode_frame_into(&mut frame, REQUEST_TAG, |out| {
+                out.push(Request::Ingest(Vec::new()).opcode());
+                encode_u64_slice_into(out, items);
+            }),
+        }
         let result = self.call_frame(&frame, false);
         self.scratch = frame;
         match result? {
@@ -629,7 +780,43 @@ impl Client {
         let mut frame = std::mem::take(&mut self.scratch);
         frame.clear();
         encode_frame_into(&mut frame, TRACED_REQUEST_TAG, |out| {
-            ctx.encode_into(out);
+            match self.opts.deadline {
+                Some(budget) => {
+                    out.push(0);
+                    ctx.trace_id.encode_into(out);
+                    ctx.parent_span.encode_into(out);
+                    (budget.as_micros() as u64).encode_into(out);
+                }
+                None => ctx.encode_into(out),
+            }
+            out.push(Request::Ingest(Vec::new()).opcode());
+            encode_u64_slice_into(out, items);
+        });
+        let result = self.call_frame(&frame, false);
+        self.scratch = frame;
+        match result? {
+            Response::Ok => Ok(()),
+            other => Err(protocol_error(other)),
+        }
+    }
+
+    /// [`Client::ingest_slice_traced`] with an explicit remaining-budget
+    /// override, mirroring [`Client::call_with_deadline`]: the
+    /// coordinator forwards its decremented deadline on ingest legs. A
+    /// zero `ctx` means "no trace" on the wire.
+    pub fn ingest_slice_deadline(
+        &mut self,
+        ctx: TraceContext,
+        deadline_micros: u64,
+        items: &[u64],
+    ) -> Result<(), ServiceError> {
+        let mut frame = std::mem::take(&mut self.scratch);
+        frame.clear();
+        encode_frame_into(&mut frame, TRACED_REQUEST_TAG, |out| {
+            out.push(0);
+            ctx.trace_id.encode_into(out);
+            ctx.parent_span.encode_into(out);
+            deadline_micros.encode_into(out);
             out.push(Request::Ingest(Vec::new()).opcode());
             encode_u64_slice_into(out, items);
         });
@@ -755,6 +942,11 @@ impl Client {
 fn protocol_error(response: Response) -> ServiceError {
     match response {
         Response::Error(m) => ServiceError::Protocol(m),
+        // A shed stays typed end to end: callers see the transient
+        // `Overloaded` error (with its retry hint) and can back off.
+        Response::Overloaded { retry_after_micros } => {
+            ServiceError::Overloaded { retry_after_micros }
+        }
         other => ServiceError::Protocol(format!("unexpected response {other:?}")),
     }
 }
@@ -777,7 +969,7 @@ mod tests {
             read_timeout: Duration::from_millis(500),
             retries: 2,
             backoff: Duration::from_millis(5),
-            retry_non_idempotent: false,
+            ..ClientOptions::default()
         }
     }
 

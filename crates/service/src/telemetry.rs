@@ -89,6 +89,10 @@ pub struct EngineTelemetry {
     cube_sealed: Arc<Gauge>,
     cube_open_age: Arc<Gauge>,
     cube_open_weight: Arc<Gauge>,
+    /// Pressure-driven coarsening: pairwise merges performed and the
+    /// deepest tier currently resident.
+    cube_coarsens: Arc<Counter>,
+    cube_max_tier: Arc<Gauge>,
     /// Shared handle for rare cross-thread events (shard deaths, dumps).
     engine_events: TraceHandle,
     /// First-failure latch: only the first fatal error dumps the recorder.
@@ -141,6 +145,8 @@ impl EngineTelemetry {
             cube_sealed: registry.gauge("cube_segments_sealed"),
             cube_open_age: registry.gauge("cube_open_age_micros"),
             cube_open_weight: registry.gauge("cube_open_weight"),
+            cube_coarsens: registry.counter("cube_coarsen_total"),
+            cube_max_tier: registry.gauge("cube_max_tier"),
             engine_events,
             registry,
             recorder,
@@ -163,6 +169,14 @@ impl EngineTelemetry {
     /// The flight recorder, for registering per-thread trace handles.
     pub fn recorder(&self) -> &Arc<FlightRecorder> {
         &self.recorder
+    }
+
+    /// The per-shard queue-depth gauges — the admission controller's
+    /// pressure signal ([`crate::overload::Admission`]). When telemetry
+    /// is disabled the gauges never move, so watermark shedding is inert
+    /// and only the in-flight caps act.
+    pub fn queue_depth_gauges(&self) -> Vec<Arc<Gauge>> {
+        self.queue_depth.clone()
     }
 
     /// The seed trace ids derive from.
@@ -352,6 +366,17 @@ impl EngineTelemetry {
             self.cube_sealed.set(sealed as i64);
             self.cube_open_age.set(open_age_micros as i64);
             self.cube_open_weight.set(open_weight as i64);
+        }
+    }
+
+    /// Record pressure-driven segment coarsening: `pairs` pairwise merges
+    /// just performed, and the deepest tier now resident in the cube.
+    pub fn record_coarsen(&self, pairs: u64, max_tier: u64) {
+        if self.enabled && pairs > 0 {
+            self.cube_coarsens.add(pairs);
+        }
+        if self.enabled {
+            self.cube_max_tier.set(max_tier as i64);
         }
     }
 

@@ -43,6 +43,10 @@ pub struct SegmentRecord {
     pub weight: u64,
     /// Number of batches folded in.
     pub batches: u64,
+    /// Coarsening tier: 0 as originally sealed; a pressure-driven merge
+    /// of two adjacent segments records `max(a,b)+1` (the service layer
+    /// drives this — the store just persists it).
+    pub tier: u64,
     /// One wire-encoded summary per family, in `SummaryKind::all()` order.
     pub summaries: Vec<Vec<u8>>,
 }
@@ -56,6 +60,7 @@ impl Wire for SegmentRecord {
         self.end_micros.encode_into(out);
         self.weight.encode_into(out);
         self.batches.encode_into(out);
+        self.tier.encode_into(out);
         self.summaries.encode_into(out);
     }
 
@@ -68,6 +73,7 @@ impl Wire for SegmentRecord {
             end_micros: u64::decode_from(r)?,
             weight: u64::decode_from(r)?,
             batches: u64::decode_from(r)?,
+            tier: u64::decode_from(r)?,
             summaries: Vec::decode_from(r)?,
         })
     }
@@ -189,11 +195,14 @@ impl SegmentStore {
         }
 
         // Contiguity: each kept record must continue exactly where the
-        // previous one ended. The first break truncates the prefix.
+        // previous one ended. The first break truncates the prefix. Ids
+        // need only strictly increase — coarsening merges adjacent
+        // segments under the older id and evicts the younger, leaving id
+        // gaps while seq coverage stays gapless.
         let mut keep = 0usize;
         for (i, record) in records.iter().enumerate() {
             let contiguous = match i.checked_sub(1).map(|p| &records[p]) {
-                Some(prev) => record.id == prev.id + 1 && record.start_seq == prev.end_seq + 1,
+                Some(prev) => record.id > prev.id && record.start_seq == prev.end_seq + 1,
                 None => record.start_seq >= 1,
             } && record.start_seq <= record.end_seq;
             if !contiguous {
@@ -267,6 +276,7 @@ mod tests {
             end_micros: id * 1_000 + 999,
             weight: (end_seq - start_seq + 1) * 100,
             batches: end_seq - start_seq + 1,
+            tier: 0,
             summaries: vec![vec![id as u8; 8]; 4],
         }
     }
@@ -322,6 +332,25 @@ mod tests {
             "{:?}",
             loaded.notes
         );
+        cleanup(&store);
+    }
+
+    #[test]
+    fn coarsened_id_gaps_load_when_seqs_stay_contiguous() {
+        // Coarsening merges ids 0 and 1 under id 0 and evicts id 1: the
+        // surviving files have an id gap but gapless seq coverage.
+        let store = temp_store("coarse-gap");
+        let mut merged = record(0, 1, 16);
+        merged.tier = 1;
+        for rec in [merged.clone(), record(2, 17, 20), record(5, 21, 30)] {
+            store.write(&rec).unwrap();
+        }
+        let loaded = store.load_all().unwrap();
+        assert_eq!(loaded.discarded, 0, "{:?}", loaded.notes);
+        assert_eq!(loaded.records.len(), 3);
+        assert_eq!(loaded.records[0], merged);
+        assert_eq!(loaded.records[0].tier, 1);
+        assert_eq!(loaded.records[2].id, 5);
         cleanup(&store);
     }
 

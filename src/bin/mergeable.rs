@@ -38,8 +38,8 @@ use mergeable_summaries::core::{
 };
 use mergeable_summaries::quantiles::RankSummary;
 use mergeable_summaries::service::{
-    DurabilityConfig, Engine, FsyncPolicy, Request, Response, SegmentConfig, Server, ServiceConfig,
-    SummaryKind,
+    DurabilityConfig, Engine, FsyncPolicy, OverloadConfig, Request, Response, SegmentConfig,
+    Server, ServiceConfig, SummaryKind,
 };
 use mergeable_summaries::workloads::StreamKind;
 use mergeable_summaries::{
@@ -252,6 +252,8 @@ USAGE:
   mergeable serve --kind KIND --epsilon E [--addr A] [--shards N] [--seed S] [--no-telemetry]
                   [--audit] [--data-dir DIR] [--fsync always|every:N|never]
                   [--checkpoint-batches N] [--segment-batches N] [--segment-secs N]
+                  [--coarsen-watermark N] [--max-inflight N] [--max-inflight-per-conn N]
+                  [--shed-watermark F] [--ingest-watermark F] [--retry-after-micros U]
   mergeable serve --coordinator --nodes H:P,H:P,... [--addr A] [--replicas]
                   [--ping-interval-ms N] [--seed S]
   mergeable bench-client --addr A [--items N] [--batch B] [--seed S] [--zipf S]
@@ -304,7 +306,20 @@ minimal covering segment set (open segment included), at the same eps*n
 bound on the queried range (Definition 1). `--window` accepts `90s`,
 `5m`, `2h` or plain seconds; `--segments` lists the cube's segments.
 With `--data-dir` sealed segments persist beside the checkpoints and
-survive restarts.
+survive restarts. `--coarsen-watermark N` adds pressure-driven
+coarsening: once more than N sealed segments are resident, adjacent
+pairs are merged into coarser tiers (lossless w.r.t. eps*n on admitted
+weight, Definition 1) so resident memory stays bounded under sustained
+ingest.
+
+`serve --max-inflight N` (and `--max-inflight-per-conn`,
+`--shed-watermark F`, `--ingest-watermark F`, `--retry-after-micros U`)
+turn on the **overload control plane**: requests beyond the in-flight
+caps, or arriving while queue pressure is above the watermark for their
+class (queries shed first, ingest last, control never), are refused
+with a typed `Overloaded{retry-after}` answer instead of queueing —
+and a request whose propagated deadline budget is already spent is shed
+before dispatch. Shed/admit counters appear in `mergeable metrics`.
 
 `trace --addr A` pulls the flight-recorder rings of a live server (and,
 with `--nodes`, of every listed backend), stitches the spans into one
@@ -707,10 +722,62 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if take_switch(&mut args, "--audit") {
         cfg = cfg.audit(true);
     }
+    let max_inflight = take_flag(&mut args, "--max-inflight");
+    let max_inflight_per_conn = take_flag(&mut args, "--max-inflight-per-conn");
+    let shed_watermark = take_flag(&mut args, "--shed-watermark");
+    let ingest_watermark = take_flag(&mut args, "--ingest-watermark");
+    let retry_after = take_flag(&mut args, "--retry-after-micros");
+    if max_inflight.is_some()
+        || max_inflight_per_conn.is_some()
+        || shed_watermark.is_some()
+        || ingest_watermark.is_some()
+        || retry_after.is_some()
+    {
+        let mut ocfg = OverloadConfig::default();
+        if let Some(v) = &max_inflight {
+            ocfg = ocfg.max_inflight(v.parse().map_err(|e| format!("bad --max-inflight: {e}"))?);
+        }
+        if let Some(v) = &max_inflight_per_conn {
+            ocfg = ocfg.max_inflight_per_conn(
+                v.parse()
+                    .map_err(|e| format!("bad --max-inflight-per-conn: {e}"))?,
+            );
+        }
+        if let Some(v) = &shed_watermark {
+            ocfg = ocfg.shed_watermark(
+                v.parse()
+                    .map_err(|e| format!("bad --shed-watermark: {e}"))?,
+            );
+        }
+        if let Some(v) = &ingest_watermark {
+            ocfg = ocfg.ingest_watermark(
+                v.parse()
+                    .map_err(|e| format!("bad --ingest-watermark: {e}"))?,
+            );
+        }
+        if let Some(v) = &retry_after {
+            ocfg = ocfg.retry_after_micros(
+                v.parse()
+                    .map_err(|e| format!("bad --retry-after-micros: {e}"))?,
+            );
+        }
+        cfg = cfg.overload(ocfg);
+    }
     let segment_batches = take_flag(&mut args, "--segment-batches");
     let segment_secs = take_flag(&mut args, "--segment-secs");
+    let coarsen_watermark = take_flag(&mut args, "--coarsen-watermark");
+    if coarsen_watermark.is_some() && segment_batches.is_none() && segment_secs.is_none() {
+        return Err("--coarsen-watermark requires --segment-batches or --segment-secs".into());
+    }
     if segment_batches.is_some() || segment_secs.is_some() {
         let mut scfg = SegmentConfig::new();
+        if let Some(segments) = &coarsen_watermark {
+            scfg = scfg.coarsen_watermark(
+                segments
+                    .parse()
+                    .map_err(|e| format!("bad --coarsen-watermark: {e}"))?,
+            );
+        }
         if let Some(batches) = &segment_batches {
             scfg = scfg.seal_batches(
                 batches

@@ -89,7 +89,7 @@ fn cluster_config(addrs: impl IntoIterator<Item = String>) -> ClusterConfig {
             read_timeout: std::time::Duration::from_secs(10),
             retries: 1,
             backoff: std::time::Duration::from_millis(5),
-            retry_non_idempotent: false,
+            ..ClientOptions::default()
         })
         .ping_interval(None)
         .thresholds(1, 1)

@@ -17,8 +17,8 @@
 use std::path::PathBuf;
 
 use mergeable_summaries::service::protocol::{
-    decode_request, decode_traced_request, traced_frame, Request, REQUEST_TAG, RESPONSE_TAG,
-    TRACED_REQUEST_TAG,
+    deadline_frame, decode_request, decode_traced_request, traced_frame, Request, RequestEnvelope,
+    Response, REQUEST_TAG, RESPONSE_TAG, TRACED_REQUEST_TAG,
 };
 use mergeable_summaries::service::TraceContext;
 use ms_core::wire::{FRAME_HEADER_LEN, MAX_FRAME_LEN, WIRE_VERSION};
@@ -34,13 +34,20 @@ enum Expect {
     /// on-wire encoding of an opcode, not just its failure modes.
     Decodes(Request),
     /// The frame parses, `decode_traced_request` yields exactly this
-    /// request + context — and, for a `TRACED_REQUEST_TAG` frame, the
+    /// request + envelope — and, for a `TRACED_REQUEST_TAG` frame, the
     /// trace-unaware `decode_request` must refuse it with `BadTag`, so
     /// old components fail loudly instead of misparsing the envelope.
-    Traced(Request, Option<TraceContext>),
+    Traced(Request, RequestEnvelope),
     /// The frame parses, but `decode_traced_request` fails with exactly
     /// this error.
     TracedErr(WireError),
+    /// The frame parses and its payload decodes to exactly this response
+    /// — pinning a server→client encoding the same way `Decodes` pins a
+    /// request's.
+    Answers(Response),
+    /// The frame parses, but decoding the payload as a [`Response`]
+    /// fails with exactly this error.
+    AnswersErr(WireError),
 }
 
 struct Case {
@@ -387,16 +394,19 @@ fn corpus() -> Vec<Case> {
             .to_bytes(),
             expect: Expect::Traced(
                 Request::Quantile(0.5),
-                Some(TraceContext {
-                    trace_id: 0x1122_3344_5566_7788,
-                    parent_span: 0x0000_9876_5432_10AB,
-                }),
+                RequestEnvelope {
+                    ctx: Some(TraceContext {
+                        trace_id: 0x1122_3344_5566_7788,
+                        parent_span: 0x0000_9876_5432_10AB,
+                    }),
+                    deadline_micros: None,
+                },
             ),
         },
         Case {
             name: "traced_plain_fallback.bin",
             bytes: WireFrame::from_value(REQUEST_TAG, &Request::Ping).to_bytes(),
-            expect: Expect::Traced(Request::Ping, None),
+            expect: Expect::Traced(Request::Ping, RequestEnvelope::default()),
         },
         Case {
             name: "traced_ctx_truncated.bin",
@@ -428,6 +438,146 @@ fn corpus() -> Vec<Case> {
                 frame.to_bytes()
             },
             expect: Expect::TracedErr(WireError::Trailing(1)),
+        },
+        // The sentinel-0 deadline envelope (tag 0x12, first varint 0:
+        // trace id, parent span, remaining budget in micros, then the
+        // plain request). Pin the exact overload-control bytes a
+        // deadline-carrying client puts on the wire — with a trace,
+        // without one, and with the budget already spent — plus the
+        // damaged forms.
+        Case {
+            name: "deadline_request.bin",
+            bytes: deadline_frame(
+                Some(TraceContext {
+                    trace_id: 0x1122_3344_5566_7788,
+                    parent_span: 0x0000_9876_5432_10AB,
+                }),
+                250_000,
+                &Request::Quantile(0.5),
+            )
+            .to_bytes(),
+            expect: Expect::Traced(
+                Request::Quantile(0.5),
+                RequestEnvelope {
+                    ctx: Some(TraceContext {
+                        trace_id: 0x1122_3344_5566_7788,
+                        parent_span: 0x0000_9876_5432_10AB,
+                    }),
+                    deadline_micros: Some(250_000),
+                },
+            ),
+        },
+        Case {
+            name: "deadline_no_trace_request.bin",
+            bytes: deadline_frame(None, 1_000, &Request::Ingest(vec![7, 8, 9])).to_bytes(),
+            expect: Expect::Traced(
+                Request::Ingest(vec![7, 8, 9]),
+                RequestEnvelope {
+                    ctx: None,
+                    deadline_micros: Some(1_000),
+                },
+            ),
+        },
+        Case {
+            name: "deadline_spent_request.bin",
+            bytes: deadline_frame(None, 0, &Request::Ping).to_bytes(),
+            expect: Expect::Traced(
+                Request::Ping,
+                RequestEnvelope {
+                    ctx: None,
+                    deadline_micros: Some(0),
+                },
+            ),
+        },
+        Case {
+            name: "deadline_truncated.bin",
+            bytes: {
+                let mut frame = deadline_frame(None, 250_000, &Request::Ping);
+                // Cut inside the budget varint, before the request.
+                frame.payload.truncate(4);
+                frame.to_bytes()
+            },
+            expect: Expect::TracedErr(WireError::Truncated),
+        },
+        Case {
+            name: "deadline_trailing.bin",
+            bytes: {
+                let mut frame = deadline_frame(None, 250_000, &Request::Ping);
+                frame.payload.push(0xFF);
+                frame.to_bytes()
+            },
+            expect: Expect::TracedErr(WireError::Trailing(1)),
+        },
+        Case {
+            name: "deadline_bad_magic.bin",
+            bytes: {
+                let mut b = deadline_frame(None, 250_000, &Request::Ping).to_bytes();
+                b[0] = b'D';
+                b[1] = b'L';
+                b
+            },
+            expect: Expect::Frame(WireError::BadMagic([b'D', b'L'])),
+        },
+        // The typed shed answer (Overloaded, with its retry-after hint):
+        // pin the exact response bytes plus the damaged forms, so the
+        // overload control plane's wire contract is as frozen as the
+        // request side's.
+        Case {
+            name: "overloaded_response.bin",
+            bytes: WireFrame::from_value(
+                RESPONSE_TAG,
+                &Response::Overloaded {
+                    retry_after_micros: 250_000,
+                },
+            )
+            .to_bytes(),
+            expect: Expect::Answers(Response::Overloaded {
+                retry_after_micros: 250_000,
+            }),
+        },
+        Case {
+            name: "overloaded_trailing.bin",
+            bytes: {
+                let mut frame = WireFrame::from_value(
+                    RESPONSE_TAG,
+                    &Response::Overloaded {
+                        retry_after_micros: 250_000,
+                    },
+                );
+                frame.payload.push(0xEE);
+                frame.to_bytes()
+            },
+            expect: Expect::AnswersErr(WireError::Trailing(1)),
+        },
+        Case {
+            name: "overloaded_truncated.bin",
+            bytes: {
+                let b = WireFrame::from_value(
+                    RESPONSE_TAG,
+                    &Response::Overloaded {
+                        retry_after_micros: 250_000,
+                    },
+                )
+                .to_bytes();
+                b[..b.len() - 2].to_vec()
+            },
+            expect: Expect::Frame(WireError::Truncated),
+        },
+        Case {
+            name: "overloaded_bad_magic.bin",
+            bytes: {
+                let mut b = WireFrame::from_value(
+                    RESPONSE_TAG,
+                    &Response::Overloaded {
+                        retry_after_micros: 250_000,
+                    },
+                )
+                .to_bytes();
+                b[0] = b'O';
+                b[1] = b'V';
+                b
+            },
+            expect: Expect::Frame(WireError::BadMagic([b'O', b'V'])),
         },
     ]
 }
@@ -491,19 +641,19 @@ fn every_corpus_entry_fails_with_its_golden_error() {
                     .unwrap_or_else(|e| panic!("{}: request should decode, got {e}", case.name));
                 assert_eq!(req, golden, "{}", case.name);
                 // A plain frame must decode identically through the
-                // trace-aware path, with no context attached.
-                let (req, ctx) = decode_traced_request(&frame)
+                // trace-aware path, with an empty envelope attached.
+                let (req, envelope) = decode_traced_request(&frame)
                     .unwrap_or_else(|e| panic!("{}: traced decode failed, got {e}", case.name));
                 assert_eq!(req, golden, "{}", case.name);
-                assert_eq!(ctx, None, "{}", case.name);
+                assert_eq!(envelope, RequestEnvelope::default(), "{}", case.name);
             }
-            Expect::Traced(golden_req, golden_ctx) => {
+            Expect::Traced(golden_req, golden_envelope) => {
                 let frame = WireFrame::from_bytes(&bytes)
                     .unwrap_or_else(|e| panic!("{}: frame should parse, got {e}", case.name));
-                let (req, ctx) = decode_traced_request(&frame)
+                let (req, envelope) = decode_traced_request(&frame)
                     .unwrap_or_else(|e| panic!("{}: traced decode failed, got {e}", case.name));
                 assert_eq!(req, golden_req, "{}", case.name);
-                assert_eq!(ctx, golden_ctx, "{}", case.name);
+                assert_eq!(envelope, golden_envelope, "{}", case.name);
                 if frame.tag == TRACED_REQUEST_TAG {
                     let err = decode_request(&frame).expect_err(&format!(
                         "{}: trace-unaware decode accepted a traced frame",
@@ -517,6 +667,23 @@ fn every_corpus_entry_fails_with_its_golden_error() {
                     .unwrap_or_else(|e| panic!("{}: frame should parse, got {e}", case.name));
                 let err = decode_traced_request(&frame)
                     .expect_err(&format!("{}: traced request decoded", case.name));
+                assert_eq!(err, golden, "{}", case.name);
+            }
+            Expect::Answers(golden) => {
+                let frame = WireFrame::from_bytes(&bytes)
+                    .unwrap_or_else(|e| panic!("{}: frame should parse, got {e}", case.name));
+                assert_eq!(frame.tag, RESPONSE_TAG, "{}", case.name);
+                let response = frame
+                    .value::<Response>()
+                    .unwrap_or_else(|e| panic!("{}: response should decode, got {e}", case.name));
+                assert_eq!(response, golden, "{}", case.name);
+            }
+            Expect::AnswersErr(golden) => {
+                let frame = WireFrame::from_bytes(&bytes)
+                    .unwrap_or_else(|e| panic!("{}: frame should parse, got {e}", case.name));
+                let err = frame
+                    .value::<Response>()
+                    .expect_err(&format!("{}: response decoded", case.name));
                 assert_eq!(err, golden, "{}", case.name);
             }
         }
