@@ -1,0 +1,213 @@
+//! Batched CPU hot-path kernels: Count-Min batch update and multiway
+//! merge, scalar reference vs runtime-dispatched (AVX2/NEON) variants.
+//! Persists `results/BENCH_kernels.json`.
+//!
+//! Deterministic and meaningful on a 1-CPU host: every row is a
+//! single-threaded kernel measured over seeded inputs, so the
+//! scalar-vs-dispatched ratio does not depend on core count.
+//!
+//! `MS_KERNEL_GATE=<ratio>` turns this into a CI gate: the process exits
+//! non-zero unless the dispatched Count-Min update and merge kernels are
+//! at least `ratio`× their scalar baselines. On hosts where no vector
+//! path exists (or under `MS_FORCE_SCALAR=1`) both numbers are still
+//! recorded and the gate self-skips with a logged reason.
+//!
+//! `MS_BENCH_MS` / `MS_BENCH_ITEMS` budget knobs as in the other benches.
+
+use ms_bench::{Measurement, Suite};
+use ms_core::simd::{self, Isa};
+use ms_core::{ItemSummary, Json, Rng64, Summary, ToJson};
+use ms_sketches::batch;
+use ms_sketches::hashing::PairwiseHash;
+use ms_sketches::CountMinSketch;
+use ms_workloads::StreamKind;
+
+/// ε = 0.01 Count-Min geometry (width 272 × depth 5) for the update rows.
+const UPDATE_EPS: f64 = 0.01;
+/// ε = 0.001 geometry (width 2719 × depth 5) for the merge rows: big
+/// enough that the table walk, not loop setup, dominates.
+const MERGE_TABLE_CELLS: usize = 2719 * 5;
+/// Sources fused per multiway merge — the compactor's backlog fan-in.
+const MERGE_SOURCES: usize = 8;
+
+fn rate(measurements: &[Measurement], label: &str) -> f64 {
+    measurements
+        .iter()
+        .find(|m| m.label == label)
+        .and_then(Measurement::throughput)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let n: usize = std::env::var("MS_BENCH_ITEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(65_536);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let isa = simd::active_isa();
+    println!(
+        "cpu kernels: dispatch={} host_cpus={host_cpus} forced_scalar={}",
+        isa.label(),
+        simd::force_scalar()
+    );
+
+    let items = StreamKind::Zipf {
+        s: 1.1,
+        universe: 1 << 20,
+    }
+    .generate(n, 0xF417_5EED);
+
+    // -- Count-Min batch update: per-item (pre-batching), scalar batch
+    // kernel (semantic source of truth), dispatched batch kernel.
+    let mut update = Suite::new("cm_update (eps=0.01, 272x5)");
+    update.bench_elems("per_item", n as u64, || {
+        let mut s = CountMinSketch::for_epsilon_delta(UPDATE_EPS, 0.01, 7);
+        for &item in &items {
+            s.update(std::hint::black_box(item));
+        }
+        std::hint::black_box(s.total_weight())
+    });
+    update.bench_elems("batch_scalar", n as u64, || {
+        let mut s = CountMinSketch::for_epsilon_delta(UPDATE_EPS, 0.01, 7);
+        s.update_batch_with(Isa::Scalar, std::hint::black_box(&items));
+        std::hint::black_box(s.total_weight())
+    });
+    update.bench_elems("batch_dispatched", n as u64, || {
+        let mut s = CountMinSketch::for_epsilon_delta(UPDATE_EPS, 0.01, 7);
+        s.update_batch_with(isa, std::hint::black_box(&items));
+        std::hint::black_box(s.total_weight())
+    });
+    let update_rows = update.finish();
+
+    // -- Row-bucket hash kernel in isolation: hash + Mersenne reduce +
+    // `% width`, the arithmetic the AVX2 path rewrites (magic-multiply
+    // division instead of one hardware `div` per item).
+    let mut hash = Suite::new("row_buckets (width=272)");
+    let hash_fn = PairwiseHash::new(0xB0B5_CAFE);
+    let mut rng = Rng64::new(0x2026_0806);
+    let fps: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+    let mut out = vec![0u32; n];
+    for tier in simd::supported_isas() {
+        hash.bench_elems(tier.label(), n as u64, || {
+            batch::row_buckets_with(tier, &hash_fn, 272, &fps, &mut out);
+            std::hint::black_box(out[n - 1])
+        });
+    }
+    let hash_rows = hash.finish();
+
+    // -- Count-Min merge: the compactor's backlog fold. The scalar
+    // baseline is what the engine shipped before this change — eight
+    // sequential pairwise table adds — and the dispatched kernel is the
+    // fused multiway add that walks the destination once.
+    let mut merge = Suite::new(&format!(
+        "cm_merge (eps=0.001, 2719x5, {MERGE_SOURCES} sources)"
+    ));
+    let mut rng = Rng64::new(0xF417_5EED);
+    let sources: Vec<Vec<u64>> = (0..MERGE_SOURCES)
+        .map(|_| {
+            (0..MERGE_TABLE_CELLS)
+                .map(|_| rng.next_u64() >> 8)
+                .collect()
+        })
+        .collect();
+    let source_refs: Vec<&[u64]> = sources.iter().map(Vec::as_slice).collect();
+    let mut dst = vec![0u64; MERGE_TABLE_CELLS];
+    let cells = (MERGE_TABLE_CELLS * MERGE_SOURCES) as u64;
+    merge.bench_elems("sequential_scalar", cells, || {
+        for src in &source_refs {
+            simd::add_slices_with(Isa::Scalar, &mut dst, std::hint::black_box(src));
+        }
+        std::hint::black_box(dst[0])
+    });
+    merge.bench_elems("fused_scalar", cells, || {
+        simd::add_slices_multi_with(Isa::Scalar, &mut dst, std::hint::black_box(&source_refs));
+        std::hint::black_box(dst[0])
+    });
+    merge.bench_elems("fused_dispatched", cells, || {
+        simd::add_slices_multi_with(isa, &mut dst, std::hint::black_box(&source_refs));
+        std::hint::black_box(dst[0])
+    });
+    let merge_rows = merge.finish();
+
+    let update_scalar = rate(&update_rows, "batch_scalar");
+    let update_dispatched = rate(&update_rows, "batch_dispatched");
+    let update_ratio = update_dispatched / update_scalar.max(1.0);
+    let merge_scalar = rate(&merge_rows, "sequential_scalar");
+    let merge_dispatched = rate(&merge_rows, "fused_dispatched");
+    let merge_ratio = merge_dispatched / merge_scalar.max(1.0);
+    println!(
+        "\ncm_update dispatched/scalar: {update_ratio:.2}x   \
+         cm_merge fused-dispatched/sequential-scalar: {merge_ratio:.2}x"
+    );
+
+    if let Ok(gate) = std::env::var("MS_KERNEL_GATE") {
+        let gate: f64 = gate.parse().expect("MS_KERNEL_GATE must be a number");
+        if !isa.is_vector() {
+            let reason = if simd::force_scalar() {
+                "MS_FORCE_SCALAR set"
+            } else {
+                "host ISA has no vector path"
+            };
+            println!(
+                "kernel gate SKIPPED ({reason}): both numbers recorded — \
+                 update {update_ratio:.2}x, merge {merge_ratio:.2}x, gate {gate:.2}x"
+            );
+        } else if update_ratio < gate || merge_ratio < gate {
+            eprintln!(
+                "kernel gate FAILED: update {update_ratio:.2}x, merge {merge_ratio:.2}x, \
+                 required {gate:.2}x on {}",
+                isa.label()
+            );
+            std::process::exit(1);
+        } else {
+            println!(
+                "kernel gate passed on {}: update {update_ratio:.2}x, \
+                 merge {merge_ratio:.2}x (gate {gate:.2}x)",
+                isa.label()
+            );
+        }
+    }
+
+    let suite_json = |rows: &[Measurement]| {
+        Json::Arr(
+            rows.iter()
+                .map(|m| {
+                    Json::obj([
+                        ("label", m.label.to_json()),
+                        ("ns_per_iter", m.ns_per_iter.to_json()),
+                        ("updates_per_sec", m.throughput().unwrap_or(0.0).to_json()),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let record = Json::obj([
+        ("id", "bench_kernels".to_json()),
+        ("items", n.to_json()),
+        ("host_cpus", host_cpus.to_json()),
+        ("dispatched_isa", isa.label().to_json()),
+        ("forced_scalar", simd::force_scalar().to_json()),
+        ("cm_update", suite_json(&update_rows)),
+        ("row_buckets", suite_json(&hash_rows)),
+        ("cm_merge", suite_json(&merge_rows)),
+        (
+            "ratios",
+            Json::obj([
+                ("cm_update_dispatched_vs_scalar", update_ratio.to_json()),
+                (
+                    "cm_merge_fused_dispatched_vs_sequential_scalar",
+                    merge_ratio.to_json(),
+                ),
+            ]),
+        ),
+    ]);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = dir.join("BENCH_kernels.json");
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&path, record.to_string_pretty()))
+    {
+        eprintln!("warning: could not persist BENCH_kernels.json: {e}");
+    } else {
+        println!("wrote {}", path.display());
+    }
+}

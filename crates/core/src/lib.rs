@@ -34,6 +34,7 @@ pub mod oracle;
 pub mod pool;
 pub mod ring;
 pub mod rng;
+pub mod simd;
 pub mod summary;
 pub mod swap;
 pub mod tree;

@@ -1,0 +1,557 @@
+//! Runtime ISA dispatch and batched slice kernels.
+//!
+//! The hot inner loops of the workspace — Count-Min cell adds, Misra-Gries
+//! counter decrements, rank scans — are all flat passes over `u64` slices.
+//! This module gives them one home: a scalar implementation that is the
+//! **single source of truth for semantics**, plus `std::arch` variants
+//! (x86_64 AVX2/AVX-512, aarch64 NEON) selected once at startup by
+//! [`active_isa`]. Every vector variant must produce bit-identical output
+//! to its scalar twin; the differential tests at the bottom of this file
+//! and the workspace-level `tests/kernel_equivalence.rs` suite pin that.
+//!
+//! Dispatch rules:
+//!
+//! - `MS_FORCE_SCALAR=1` in the environment forces the scalar path
+//!   everywhere, so CI can exercise both paths on any host.
+//! - On x86_64, AVX-512 (F+DQ) is preferred, then AVX2, per
+//!   `is_x86_feature_detected!`; on aarch64 NEON is baseline and always
+//!   available.
+//! - Anything else falls back to scalar.
+//!
+//! The slice kernels in this file deliberately serve [`Isa::Avx512`] with
+//! their 256-bit bodies: flat adds and compares are load/store-bound, so
+//! wider lanes buy nothing here. The tier exists for the ALU-bound hash
+//! kernels in `ms-sketches::batch`, where 8 × u64 lanes, native 64-bit
+//! multiplies and mask registers pay off.
+//!
+//! The kernels deliberately operate on raw slices rather than summary
+//! types: the summary crates stage their work into fixed-width lane
+//! buffers (hash-then-update split) and hand the flat arrays here.
+
+use std::sync::OnceLock;
+
+/// Instruction set selected for the batched kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable scalar Rust — the semantic reference.
+    Scalar,
+    /// x86_64 AVX2 (256-bit lanes, 4 × u64).
+    Avx2,
+    /// x86_64 AVX-512 F+DQ (512-bit lanes, 8 × u64, mask registers).
+    Avx512,
+    /// aarch64 NEON (128-bit lanes, 2 × u64).
+    Neon,
+}
+
+impl Isa {
+    /// Short lowercase label for logs and bench records.
+    pub fn label(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+            Isa::Neon => "neon",
+        }
+    }
+
+    /// True when this ISA has dedicated vector kernels (i.e. is not the
+    /// scalar reference).
+    pub fn is_vector(self) -> bool {
+        !matches!(self, Isa::Scalar)
+    }
+}
+
+/// True when `MS_FORCE_SCALAR=1` (or any non-empty, non-`0` value) is set.
+pub fn force_scalar() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("MS_FORCE_SCALAR")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+fn detect() -> Isa {
+    if force_scalar() {
+        return Isa::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq") {
+            return Isa::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") {
+            return Isa::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return Isa::Neon;
+    }
+    #[allow(unreachable_code)]
+    Isa::Scalar
+}
+
+/// The ISA the dispatched kernels will use on this host, detected once.
+pub fn active_isa() -> Isa {
+    static ACTIVE: OnceLock<Isa> = OnceLock::new();
+    *ACTIVE.get_or_init(detect)
+}
+
+/// Every ISA whose kernels can run on this host, scalar first.
+///
+/// Unlike [`active_isa`] this ignores `MS_FORCE_SCALAR` — explicit
+/// `*_with` calls are always legal — so differential tests can pin each
+/// vector tier against the scalar reference, not just the preferred one.
+pub fn supported_isas() -> Vec<Isa> {
+    #[allow(unused_mut)]
+    let mut isas = vec![Isa::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            isas.push(Isa::Avx2);
+        }
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq") {
+            isas.push(Isa::Avx512);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    isas.push(Isa::Neon);
+    isas
+}
+
+// ---------------------------------------------------------------------------
+// add_slices: dst[i] += src[i]
+// ---------------------------------------------------------------------------
+
+/// Scalar reference: element-wise wrapping add of `src` into `dst`.
+///
+/// Panics if the lengths differ — callers align shapes before batching.
+pub fn add_slices_scalar(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "add_slices length mismatch");
+    for (a, b) in dst.iter_mut().zip(src.iter()) {
+        *a = a.wrapping_add(*b);
+    }
+}
+
+/// Element-wise `dst[i] += src[i]` using the given ISA.
+pub fn add_slices_with(isa: Isa, dst: &mut [u64], src: &[u64]) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 => unsafe { x86::add_slices_avx2(dst, src) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => neon::add_slices_neon(dst, src),
+        _ => add_slices_scalar(dst, src),
+    }
+}
+
+/// Element-wise `dst[i] += src[i]` on the host-detected ISA.
+pub fn add_slices(dst: &mut [u64], src: &[u64]) {
+    add_slices_with(active_isa(), dst, src)
+}
+
+// ---------------------------------------------------------------------------
+// add_slices_multi: dst[i] += sum_k srcs[k][i]  (fused multiway merge)
+// ---------------------------------------------------------------------------
+
+/// Scalar reference: fused multiway add — one pass over `dst`, summing the
+/// matching cell of every source. Bit-identical to folding the sources in
+/// sequentially (u64 wrapping adds commute and associate), but touches
+/// `dst` once instead of `srcs.len()` times.
+pub fn add_slices_multi_scalar(dst: &mut [u64], srcs: &[&[u64]]) {
+    for s in srcs {
+        assert_eq!(dst.len(), s.len(), "add_slices_multi length mismatch");
+    }
+    for (i, a) in dst.iter_mut().enumerate() {
+        let mut acc = *a;
+        for s in srcs {
+            acc = acc.wrapping_add(s[i]);
+        }
+        *a = acc;
+    }
+}
+
+/// Fused multiway `dst[i] += sum_k srcs[k][i]` using the given ISA.
+pub fn add_slices_multi_with(isa: Isa, dst: &mut [u64], srcs: &[&[u64]]) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 => unsafe { x86::add_slices_multi_avx2(dst, srcs) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => neon::add_slices_multi_neon(dst, srcs),
+        _ => add_slices_multi_scalar(dst, srcs),
+    }
+}
+
+/// Fused multiway add on the host-detected ISA.
+pub fn add_slices_multi(dst: &mut [u64], srcs: &[&[u64]]) {
+    add_slices_multi_with(active_isa(), dst, srcs)
+}
+
+// ---------------------------------------------------------------------------
+// sub_clamp: v = if v > s { v - s } else { 0 }  (Misra-Gries decrement)
+// ---------------------------------------------------------------------------
+
+/// Scalar reference: subtract `s` from every value, clamping at zero.
+/// This is the Misra-Gries / SpaceSaving prune decrement applied to a
+/// staged lane array of counter values.
+pub fn sub_clamp_scalar(values: &mut [u64], s: u64) {
+    for v in values.iter_mut() {
+        *v = v.saturating_sub(s);
+    }
+}
+
+/// Branch-free clamped subtract using the given ISA.
+pub fn sub_clamp_with(isa: Isa, values: &mut [u64], s: u64) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 => unsafe { x86::sub_clamp_avx2(values, s) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => neon::sub_clamp_neon(values, s),
+        _ => sub_clamp_scalar(values, s),
+    }
+}
+
+/// Clamped subtract on the host-detected ISA.
+pub fn sub_clamp(values: &mut [u64], s: u64) {
+    sub_clamp_with(active_isa(), values, s)
+}
+
+// ---------------------------------------------------------------------------
+// count_gt: how many values exceed a threshold (prune survivor count)
+// ---------------------------------------------------------------------------
+
+/// Scalar reference: number of entries strictly greater than `s`.
+pub fn count_gt_scalar(values: &[u64], s: u64) -> usize {
+    values.iter().filter(|&&v| v > s).count()
+}
+
+/// Threshold count using the given ISA.
+///
+/// Values are compared as unsigned; the AVX2 variant biases both sides by
+/// `1 << 63` so the signed `cmpgt` instruction orders them correctly.
+pub fn count_gt_with(isa: Isa, values: &[u64], s: u64) -> usize {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 => unsafe { x86::count_gt_avx2(values, s) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => neon::count_gt_neon(values, s),
+        _ => count_gt_scalar(values, s),
+    }
+}
+
+/// Threshold count on the host-detected ISA.
+pub fn count_gt(values: &[u64], s: u64) -> usize {
+    count_gt_with(active_isa(), values, s)
+}
+
+// ---------------------------------------------------------------------------
+// x86_64 AVX2 variants
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_slices_avx2(dst: &mut [u64], src: &[u64]) {
+        assert_eq!(dst.len(), src.len(), "add_slices length mismatch");
+        let n = dst.len();
+        let lanes = n / 4 * 4;
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i < lanes {
+            let a = _mm256_loadu_si256(dp.add(i) as *const __m256i);
+            let b = _mm256_loadu_si256(sp.add(i) as *const __m256i);
+            _mm256_storeu_si256(dp.add(i) as *mut __m256i, _mm256_add_epi64(a, b));
+            i += 4;
+        }
+        for j in lanes..n {
+            dst[j] = dst[j].wrapping_add(src[j]);
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_slices_multi_avx2(dst: &mut [u64], srcs: &[&[u64]]) {
+        for s in srcs {
+            assert_eq!(dst.len(), s.len(), "add_slices_multi length mismatch");
+        }
+        let n = dst.len();
+        let lanes = n / 4 * 4;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < lanes {
+            let mut acc = _mm256_loadu_si256(dp.add(i) as *const __m256i);
+            for s in srcs {
+                let b = _mm256_loadu_si256(s.as_ptr().add(i) as *const __m256i);
+                acc = _mm256_add_epi64(acc, b);
+            }
+            _mm256_storeu_si256(dp.add(i) as *mut __m256i, acc);
+            i += 4;
+        }
+        for j in lanes..n {
+            let mut acc = dst[j];
+            for s in srcs {
+                acc = acc.wrapping_add(s[j]);
+            }
+            dst[j] = acc;
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_clamp_avx2(values: &mut [u64], s: u64) {
+        let n = values.len();
+        let lanes = n / 4 * 4;
+        let vp = values.as_mut_ptr();
+        let sv = _mm256_set1_epi64x(s as i64);
+        // Unsigned max(v, s) via sign-bias + signed compare, then v - s
+        // saturates exactly like `saturating_sub`.
+        let bias = _mm256_set1_epi64x(i64::MIN);
+        let sb = _mm256_xor_si256(sv, bias);
+        let mut i = 0;
+        while i < lanes {
+            let v = _mm256_loadu_si256(vp.add(i) as *const __m256i);
+            let vb = _mm256_xor_si256(v, bias);
+            // mask lane = all-ones where v > s (unsigned)
+            let gt = _mm256_cmpgt_epi64(vb, sb);
+            let diff = _mm256_sub_epi64(v, sv);
+            _mm256_storeu_si256(vp.add(i) as *mut __m256i, _mm256_and_si256(diff, gt));
+            i += 4;
+        }
+        for v in &mut values[lanes..] {
+            *v = v.saturating_sub(s);
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count_gt_avx2(values: &[u64], s: u64) -> usize {
+        let n = values.len();
+        let lanes = n / 4 * 4;
+        let vp = values.as_ptr();
+        let bias = _mm256_set1_epi64x(i64::MIN);
+        let sb = _mm256_xor_si256(_mm256_set1_epi64x(s as i64), bias);
+        // Each matching lane contributes an all-ones word, i.e. -1; sum the
+        // lanes and negate at the end.
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i < lanes {
+            let v = _mm256_loadu_si256(vp.add(i) as *const __m256i);
+            let gt = _mm256_cmpgt_epi64(_mm256_xor_si256(v, bias), sb);
+            acc = _mm256_add_epi64(acc, gt);
+            i += 4;
+        }
+        let mut lanes_out = [0u64; 4];
+        _mm256_storeu_si256(lanes_out.as_mut_ptr() as *mut __m256i, acc);
+        let mut count = lanes_out
+            .iter()
+            .fold(0u64, |a, &b| a.wrapping_add(b))
+            .wrapping_neg() as usize;
+        for &v in &values[lanes..] {
+            if v > s {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64 NEON variants
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    pub fn add_slices_neon(dst: &mut [u64], src: &[u64]) {
+        assert_eq!(dst.len(), src.len(), "add_slices length mismatch");
+        let n = dst.len();
+        let lanes = n / 2 * 2;
+        unsafe {
+            let dp = dst.as_mut_ptr();
+            let sp = src.as_ptr();
+            let mut i = 0;
+            while i < lanes {
+                let a = vld1q_u64(dp.add(i));
+                let b = vld1q_u64(sp.add(i));
+                vst1q_u64(dp.add(i), vaddq_u64(a, b));
+                i += 2;
+            }
+        }
+        for j in lanes..n {
+            dst[j] = dst[j].wrapping_add(src[j]);
+        }
+    }
+
+    pub fn add_slices_multi_neon(dst: &mut [u64], srcs: &[&[u64]]) {
+        for s in srcs {
+            assert_eq!(dst.len(), s.len(), "add_slices_multi length mismatch");
+        }
+        let n = dst.len();
+        let lanes = n / 2 * 2;
+        unsafe {
+            let dp = dst.as_mut_ptr();
+            let mut i = 0;
+            while i < lanes {
+                let mut acc = vld1q_u64(dp.add(i));
+                for s in srcs {
+                    acc = vaddq_u64(acc, vld1q_u64(s.as_ptr().add(i)));
+                }
+                vst1q_u64(dp.add(i), acc);
+                i += 2;
+            }
+        }
+        for j in lanes..n {
+            let mut acc = dst[j];
+            for s in srcs {
+                acc = acc.wrapping_add(s[j]);
+            }
+            dst[j] = acc;
+        }
+    }
+
+    pub fn sub_clamp_neon(values: &mut [u64], s: u64) {
+        let n = values.len();
+        let lanes = n / 2 * 2;
+        unsafe {
+            let vp = values.as_mut_ptr();
+            let sv = vdupq_n_u64(s);
+            let mut i = 0;
+            while i < lanes {
+                let v = vld1q_u64(vp.add(i));
+                let gt = vcgtq_u64(v, sv);
+                let diff = vsubq_u64(v, sv);
+                vst1q_u64(vp.add(i), vandq_u64(diff, gt));
+                i += 2;
+            }
+        }
+        for v in &mut values[lanes..] {
+            *v = v.saturating_sub(s);
+        }
+    }
+
+    pub fn count_gt_neon(values: &[u64], s: u64) -> usize {
+        let n = values.len();
+        let lanes = n / 2 * 2;
+        let mut count = unsafe {
+            let vp = values.as_ptr();
+            let sv = vdupq_n_u64(s);
+            let mut acc = vdupq_n_u64(0);
+            let mut i = 0;
+            while i < lanes {
+                let v = vld1q_u64(vp.add(i));
+                // matching lanes are all-ones (= -1); accumulate and negate
+                acc = vaddq_u64(acc, vcgtq_u64(v, sv));
+                i += 2;
+            }
+            let mut lanes_out = [0u64; 2];
+            vst1q_u64(lanes_out.as_mut_ptr(), acc);
+            lanes_out[0].wrapping_add(lanes_out[1]).wrapping_neg() as usize
+        };
+        for &v in &values[lanes..] {
+            if v > s {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    const SEEDS: [u64; 3] = [0xF417_5EED, 0xB0B5_CAFE, 0x2026_0806];
+
+    fn vectors(seed: u64, len: usize) -> Vec<u64> {
+        let mut rng = Rng64::new(seed);
+        (0..len).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn detection_is_stable_and_labelled() {
+        let isa = active_isa();
+        assert_eq!(isa, active_isa());
+        assert!(!isa.label().is_empty());
+        if force_scalar() {
+            assert_eq!(isa, Isa::Scalar);
+        }
+    }
+
+    #[test]
+    fn add_slices_vector_matches_scalar() {
+        for &seed in &SEEDS {
+            for len in [0, 1, 3, 4, 7, 64, 257] {
+                let src = vectors(seed, len);
+                let mut a = vectors(seed ^ 1, len);
+                add_slices_scalar(&mut a, &src);
+                for isa in supported_isas() {
+                    let mut b = vectors(seed ^ 1, len);
+                    add_slices_with(isa, &mut b, &src);
+                    assert_eq!(a, b, "seed {seed:#x} len {len} isa {isa:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_slices_multi_matches_sequential_folds() {
+        for &seed in &SEEDS {
+            let srcs: Vec<Vec<u64>> = (0..5).map(|k| vectors(seed ^ k, 131)).collect();
+            let refs: Vec<&[u64]> = srcs.iter().map(|s| s.as_slice()).collect();
+            let mut seq = vectors(seed ^ 99, 131);
+            for s in &refs {
+                add_slices_scalar(&mut seq, s);
+            }
+            for isa in supported_isas() {
+                let mut fused = vectors(seed ^ 99, 131);
+                add_slices_multi_with(isa, &mut fused, &refs);
+                assert_eq!(fused, seq, "seed {seed:#x} isa {isa:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_clamp_vector_matches_scalar() {
+        for &seed in &SEEDS {
+            let base = vectors(seed, 101);
+            for s in [0, 1, u64::MAX / 2, u64::MAX] {
+                let mut a = base.clone();
+                sub_clamp_scalar(&mut a, s);
+                for isa in supported_isas() {
+                    let mut b = base.clone();
+                    sub_clamp_with(isa, &mut b, s);
+                    assert_eq!(a, b, "seed {seed:#x} s {s} isa {isa:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_gt_vector_matches_scalar() {
+        for &seed in &SEEDS {
+            // Small values exercise both compare outcomes; raw u64s exercise
+            // the sign-bias trick near the top of the range.
+            let mut vals = vectors(seed, 97);
+            vals.extend(vectors(seed ^ 7, 97).iter().map(|v| v % 16));
+            for s in [0, 3, 15, u64::MAX - 1, u64::MAX] {
+                for isa in supported_isas() {
+                    assert_eq!(
+                        count_gt_scalar(&vals, s),
+                        count_gt_with(isa, &vals, s),
+                        "seed {seed:#x} s {s} isa {isa:?}"
+                    );
+                }
+            }
+        }
+    }
+}

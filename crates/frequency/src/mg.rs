@@ -232,7 +232,7 @@ impl<I: Eq + Hash + Clone> MgSummary<I> {
 
     /// Prune to at most `k` counters by subtracting the `(k+1)`-th largest
     /// value from every counter and discarding non-positive ones. No-op if
-    /// at most `k` counters are stored. Sorts in the reusable `scratch`
+    /// at most `k` counters are stored. Selects in the reusable `scratch`
     /// buffer, so repeated prunes allocate nothing.
     fn prune(&mut self) {
         if self.counters.len() <= self.k {
@@ -240,9 +240,10 @@ impl<I: Eq + Hash + Clone> MgSummary<I> {
         }
         let mut values = std::mem::take(&mut self.scratch);
         values.extend(self.counters.values().copied());
-        // (k+1)-th largest = index k of the descending order.
-        values.sort_unstable_by(|a, b| b.cmp(a));
-        let s = values[self.k];
+        // (k+1)-th largest = index k of the descending order. Only the
+        // selected value matters, so an O(n) quickselect replaces the old
+        // O(n log n) full sort — the subtrahend `s` is identical.
+        let (_, &mut s, _) = values.select_nth_unstable_by(self.k, |a, b| b.cmp(a));
         values.clear();
         self.scratch = values;
         self.counters.retain(|_, c| {

@@ -387,7 +387,7 @@ impl<I: Eq + Hash + Clone> SpaceSavingSummary<I> {
     }
 
     /// MG prune at capacity `k−1`: subtract the `k`-th largest counter
-    /// value from every counter and discard non-positive ones. Sorts in
+    /// value from every counter and discard non-positive ones. Selects in
     /// the reusable scratch buffer, so repeated prunes allocate nothing.
     fn prune_merged(&mut self) {
         let cap = self.k - 1;
@@ -396,8 +396,9 @@ impl<I: Eq + Hash + Clone> SpaceSavingSummary<I> {
         }
         let mut values = std::mem::take(&mut self.scratch);
         values.extend(self.counters.values().copied());
-        values.sort_unstable_by(|a, b| b.cmp(a));
-        let s = values[cap];
+        // O(n) quickselect for the k-th largest; the subtrahend `s` is the
+        // same value the old descending full sort produced at index `cap`.
+        let (_, &mut s, _) = values.select_nth_unstable_by(cap, |a, b| b.cmp(a));
         values.clear();
         self.scratch = values;
         self.counters.retain(|_, c| {

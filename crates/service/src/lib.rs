@@ -27,6 +27,7 @@
 //!
 //! [`Wire`]: ms_core::Wire
 
+pub mod affinity;
 pub mod config;
 pub mod cube;
 pub mod deadline;
@@ -39,6 +40,7 @@ pub mod summary;
 pub mod telemetry;
 pub mod tracectx;
 
+pub use affinity::{AffinityPlan, AffinityStatus};
 pub use config::{
     CubeClock, DurabilityConfig, ManualClock, SegmentConfig, ServiceConfig, SummaryKind,
     SystemClock,

@@ -114,6 +114,34 @@ impl ShardSummary {
         }
     }
 
+    /// Insert a batch of items — the worker ingest path.
+    ///
+    /// Count-Min routes through its hash-then-update batch kernel (see
+    /// `ms_sketches::batch`); the counter-map and quantile families keep
+    /// the per-item loop because their updates are data-dependent (map
+    /// probes, RNG-coupled compactions) and must apply in order to stay
+    /// bit-identical with the sequential path.
+    pub fn update_batch(&mut self, items: &[u64]) {
+        match self {
+            ShardSummary::CountMin(s) => s.update_batch(items),
+            ShardSummary::Mg(s) => {
+                for &item in items {
+                    s.update(item);
+                }
+            }
+            ShardSummary::SpaceSaving(s) => {
+                for &item in items {
+                    s.update(item);
+                }
+            }
+            ShardSummary::HybridQuantile(s) => {
+                for &item in items {
+                    s.insert(item);
+                }
+            }
+        }
+    }
+
     /// Estimated frequency of `item`. `None` for quantile summaries, which
     /// do not answer point queries.
     pub fn point(&self, item: u64) -> Option<u64> {
@@ -166,6 +194,43 @@ impl ShardSummary {
                 "cannot merge summaries of different kinds",
             )),
         }
+    }
+
+    /// Fold a backlog of deltas into `self` in one pass where the family
+    /// allows it. Count-Min is a linear sketch, so the fused multiway
+    /// cell-add (`CountMinSketch::merge_many`) is bit-identical to
+    /// folding the deltas in sequentially but traverses the destination
+    /// table once; every other family falls back to sequential
+    /// `merge_in_place` in the given order. Returns one result per delta,
+    /// in order — callers account each fold separately.
+    pub fn merge_in_place_many(&mut self, others: Vec<ShardSummary>) -> Vec<ms_core::Result<()>> {
+        if let ShardSummary::CountMin(dst) = self {
+            let mut sources = Vec::with_capacity(others.len());
+            let mut results = Vec::with_capacity(others.len());
+            for other in &others {
+                match other {
+                    ShardSummary::CountMin(cm) => {
+                        sources.push(cm);
+                        results.push(Ok(()));
+                    }
+                    _ => results.push(Err(MergeError::Incompatible(
+                        "cannot merge summaries of different kinds",
+                    ))),
+                }
+            }
+            match dst.merge_many(&sources) {
+                Ok(()) => return results,
+                Err(_) => {
+                    // A shape/seed mismatch in the batch: fall through to
+                    // the sequential path so only the offending deltas
+                    // fail, exactly as they would have one at a time.
+                }
+            }
+        }
+        others
+            .into_iter()
+            .map(|other| self.merge_in_place(other))
+            .collect()
     }
 }
 

@@ -14,6 +14,7 @@ use std::hash::Hash;
 use std::marker::PhantomData;
 
 use ms_core::error::ensure_same_capacity;
+use ms_core::simd;
 use ms_core::wire::{Wire, WireError, WireReader};
 use ms_core::{ItemSummary, Json, MergeError, Mergeable, Result, Summary, ToJson};
 
@@ -150,6 +151,13 @@ impl<I: Hash> CountMinSketch<I> {
     /// without moving the table. On error (shape or seed mismatch) `self`
     /// is left untouched.
     pub fn merge_from(&mut self, other: Self) -> Result<()> {
+        self.check_compatible(&other)?;
+        simd::add_slices(&mut self.table, &other.table);
+        self.n += other.n;
+        Ok(())
+    }
+
+    fn check_compatible(&self, other: &Self) -> Result<()> {
         ensure_same_capacity("width", self.width, other.width)?;
         ensure_same_capacity("depth", self.depth, other.depth)?;
         if self.seed != other.seed {
@@ -158,11 +166,81 @@ impl<I: Hash> CountMinSketch<I> {
                 right: other.seed,
             });
         }
-        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
-            *a += b;
-        }
-        self.n += other.n;
         Ok(())
+    }
+
+    /// Fused multiway merge: one pass over the table, summing the matching
+    /// cell of every source. Bit-identical to folding the sources in one
+    /// at a time (cell adds commute and associate) but touches the
+    /// destination once instead of `others.len()` times. All sources are
+    /// validated before any cell is written, so on error `self` is
+    /// untouched.
+    pub fn merge_many(&mut self, others: &[&Self]) -> Result<()> {
+        for other in others {
+            self.check_compatible(other)?;
+        }
+        let tables: Vec<&[u64]> = others.iter().map(|o| o.table.as_slice()).collect();
+        simd::add_slices_multi(&mut self.table, &tables);
+        for other in others {
+            self.n += other.n;
+        }
+        Ok(())
+    }
+
+    /// Batched update: the hash-then-update split. Fingerprints for a lane
+    /// of items are computed first, then each row's bucket offsets are
+    /// produced in one cache-friendly pass by the [`crate::batch`] kernel
+    /// before the cells are bumped. Equivalent to calling
+    /// [`ItemSummary::update_weighted`] with weight 1 per item — cell
+    /// increments commute, so the table and count come out identical.
+    pub fn update_batch(&mut self, items: &[I]) {
+        self.update_batch_with(simd::active_isa(), items)
+    }
+
+    /// [`Self::update_batch`] with an explicit ISA, for differential tests
+    /// and benchmarks.
+    pub fn update_batch_with(&mut self, isa: simd::Isa, items: &[I]) {
+        const LANE: usize = 256;
+        if self.width > crate::batch::MAX_KERNEL_WIDTH {
+            for item in items {
+                self.update_weighted_ref(item, 1);
+            }
+            return;
+        }
+        let mut fps = [0u64; LANE];
+        let mut buckets = [0u32; LANE];
+        for chunk in items.chunks(LANE) {
+            let k = chunk.len();
+            for (f, item) in fps[..k].iter_mut().zip(chunk.iter()) {
+                *f = fingerprint(item);
+            }
+            for r in 0..self.depth {
+                crate::batch::row_buckets_with(
+                    isa,
+                    &self.rows[r],
+                    self.width,
+                    &fps[..k],
+                    &mut buckets[..k],
+                );
+                let row = &mut self.table[r * self.width..(r + 1) * self.width];
+                for &b in &buckets[..k] {
+                    row[b as usize] += 1;
+                }
+            }
+            self.n += k as u64;
+        }
+    }
+
+    fn update_weighted_ref(&mut self, item: &I, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        let x = fingerprint(item);
+        for r in 0..self.depth {
+            let idx = r * self.width + self.rows[r].bucket(x, self.width);
+            self.table[idx] += weight;
+        }
+        self.n += weight;
     }
 }
 
@@ -179,15 +257,7 @@ impl<I: Hash> Summary for CountMinSketch<I> {
 
 impl<I: Hash> ItemSummary<I> for CountMinSketch<I> {
     fn update_weighted(&mut self, item: I, weight: u64) {
-        if weight == 0 {
-            return;
-        }
-        let x = fingerprint(&item);
-        for r in 0..self.depth {
-            let idx = r * self.width + self.rows[r].bucket(x, self.width);
-            self.table[idx] += weight;
-        }
-        self.n += weight;
+        self.update_weighted_ref(&item, weight);
     }
 }
 
@@ -257,6 +327,59 @@ mod tests {
         let merged = a.merge(b).unwrap();
         assert_eq!(merged.table, whole.table);
         assert_eq!(merged.total_weight(), whole.total_weight());
+    }
+
+    #[test]
+    fn update_batch_matches_per_item_updates_bit_for_bit() {
+        for seed in [0xF417_5EEDu64, 0xB0B5_CAFE, 0x2026_0806] {
+            let items = StreamKind::Zipf {
+                s: 1.2,
+                universe: 5_000,
+            }
+            .generate(9_000, seed);
+            let mut per_item = CountMinSketch::for_epsilon_delta(0.01, 0.01, seed);
+            per_item.extend_from(items.iter().copied());
+            for isa in [simd::Isa::Scalar, simd::active_isa()] {
+                let mut batched = CountMinSketch::for_epsilon_delta(0.01, 0.01, seed);
+                batched.update_batch_with(isa, &items);
+                assert_eq!(per_item.table, batched.table, "seed {seed:#x} {isa:?}");
+                assert_eq!(per_item.total_weight(), batched.total_weight());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_many_matches_sequential_folds_bit_for_bit() {
+        let items = StreamKind::Uniform { universe: 800 }.generate(20_000, 13);
+        let deltas: Vec<CountMinSketch<u64>> = items
+            .chunks(4_000)
+            .map(|chunk| {
+                let mut cm = CountMinSketch::new(272, 5, 21);
+                cm.extend_from(chunk.iter().copied());
+                cm
+            })
+            .collect();
+        let mut sequential = CountMinSketch::<u64>::new(272, 5, 21);
+        for d in deltas.clone() {
+            sequential.merge_from(d).unwrap();
+        }
+        let mut fused = CountMinSketch::<u64>::new(272, 5, 21);
+        let refs: Vec<&CountMinSketch<u64>> = deltas.iter().collect();
+        fused.merge_many(&refs).unwrap();
+        assert_eq!(sequential.table, fused.table);
+        assert_eq!(sequential.total_weight(), fused.total_weight());
+    }
+
+    #[test]
+    fn merge_many_rejects_any_incompatible_source_without_writing() {
+        let mut dst = CountMinSketch::<u64>::new(16, 2, 1);
+        let mut good = CountMinSketch::<u64>::new(16, 2, 1);
+        good.update(7);
+        let bad = CountMinSketch::<u64>::new(16, 2, 2);
+        let before = dst.table.clone();
+        assert!(dst.merge_many(&[&good, &bad]).is_err());
+        assert_eq!(dst.table, before);
+        assert_eq!(dst.total_weight(), 0);
     }
 
     #[test]

@@ -79,6 +79,21 @@ impl<const K: usize> PolyHash<K> {
         (self.eval(x) % buckets as u64) as usize
     }
 
+    /// Rebuild a member from explicit coefficients — the batched kernels'
+    /// scalar tails re-enter the reference path this way.
+    #[inline]
+    pub(crate) fn from_coefficients(coeffs: [u64; K]) -> Self {
+        PolyHash { coeffs }
+    }
+
+    /// The polynomial's coefficients, lowest degree first. Exposed so the
+    /// batched kernels in [`crate::batch`] can evaluate the same affine
+    /// form over whole lanes of inputs at once.
+    #[inline]
+    pub fn coefficients(&self) -> &[u64; K] {
+        &self.coeffs
+    }
+
     /// Hash to a sign `{−1, +1}` (parity of the low bit).
     #[inline]
     pub fn sign(&self, x: u64) -> i64 {

@@ -26,6 +26,7 @@
 //! hold — see [`hashing`].
 
 pub mod ams;
+pub mod batch;
 pub mod count_min;
 pub mod count_sketch;
 pub mod hashing;

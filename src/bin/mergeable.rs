@@ -250,7 +250,7 @@ USAGE:
   mergeable query --addr A (--window W (--quantile PHI | --heavy-hitters PHI) | --segments)
   mergeable info FILE
   mergeable serve --kind KIND --epsilon E [--addr A] [--shards N] [--seed S] [--no-telemetry]
-                  [--audit] [--data-dir DIR] [--fsync always|every:N|never]
+                  [--audit] [--pin-cores] [--data-dir DIR] [--fsync always|every:N|never]
                   [--checkpoint-batches N] [--segment-batches N] [--segment-secs N]
                   [--coarsen-watermark N] [--max-inflight N] [--max-inflight-per-conn N]
                   [--shed-watermark F] [--ingest-watermark F] [--retry-after-micros U]
@@ -272,8 +272,12 @@ KINDS:
 Summary files are binary wire frames (the same codec the TCP protocol
 uses). `serve` runs the sharded concurrent engine (mg, space-saving,
 count-min or hybrid-quantile) on A (default 127.0.0.1:7433) until stdin
-closes; `bench-client` streams a seeded Zipf workload at it and reports
-throughput and engine metrics. `metrics` scrapes a live server's
+closes; `serve --pin-cores` pins each shard worker (and the compactor)
+to its own CPU via sched_setaffinity — a logged no-op on non-Linux
+hosts or when the host has fewer CPUs than shards. `bench-client`
+streams a seeded Zipf workload at it and reports throughput, engine
+metrics, per-shard buffer-pool reuse and affinity status. `metrics`
+scrapes a live server's
 telemetry plane: per-opcode latency histograms (p50/p95/p99/max),
 per-shard queue-depth gauges and byte counters, as a table or (--prom)
 Prometheus text exposition.
@@ -722,6 +726,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if take_switch(&mut args, "--audit") {
         cfg = cfg.audit(true);
     }
+    if take_switch(&mut args, "--pin-cores") {
+        cfg = cfg.pin_cores(true);
+    }
     let max_inflight = take_flag(&mut args, "--max-inflight");
     let max_inflight_per_conn = take_flag(&mut args, "--max-inflight-per-conn");
     let shed_watermark = take_flag(&mut args, "--shed-watermark");
@@ -823,6 +830,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 
     let engine = Engine::start(cfg).map_err(|e| format!("cannot start engine: {e}"))?;
+    println!("{}", engine.affinity_status().describe());
     if let Some(r) = engine.recovery() {
         println!(
             "recovered: checkpoint seq {} ({} parts, weight {}), replayed {} WAL \
@@ -996,6 +1004,50 @@ fn cmd_bench_client(args: &[String]) -> Result<(), String> {
     println!("shards lost:      {}", m.shards_lost);
     println!("frames rejected:  {}", m.frames_rejected);
     println!("server retries:   {}", m.retries);
+
+    // Per-shard pool reuse and affinity come from the telemetry snapshot
+    // (the engine exports them as labeled gauges).
+    let telemetry = client
+        .telemetry()
+        .map_err(|e| format!("telemetry failed: {e}"))?;
+    let mut shard_pcts = Vec::new();
+    for (key, value) in &telemetry.gauges {
+        if let Some(rest) = key.strip_prefix("pool_reuse_pct{shard=\"") {
+            if let Some(shard) = rest
+                .strip_suffix("\"}")
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                shard_pcts.push((shard, *value));
+            }
+        }
+    }
+    shard_pcts.sort_unstable();
+    if !shard_pcts.is_empty() {
+        let line = shard_pcts
+            .iter()
+            .map(|(shard, pct)| format!("s{shard}:{pct}%"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("pool reuse:       {line}");
+    }
+    let gauge = |name: &str| {
+        telemetry
+            .gauges
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    };
+    if let Some(enabled) = gauge("affinity_enabled") {
+        let pinned = gauge("affinity_pinned_threads").unwrap_or(0);
+        println!(
+            "affinity:         {}",
+            if enabled != 0 {
+                format!("on ({pinned} threads pinned)")
+            } else {
+                "off".to_string()
+            }
+        );
+    }
     Ok(())
 }
 

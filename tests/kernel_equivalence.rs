@@ -1,0 +1,218 @@
+//! Differential pinning of the batched CPU kernels (tier-1).
+//!
+//! The scalar kernels are the semantic source of truth; every dispatched
+//! (AVX2/NEON) variant must be bit-identical to them. These tests prove
+//! it end-to-end over the three pinned seeds, all four summary families,
+//! and merge-order permutations, comparing wire encodings byte-for-byte.
+//!
+//! The suite runs in tier-1 regardless of host ISA: on a scalar-only host
+//! (or under `MS_FORCE_SCALAR=1`) the dispatched path *is* the scalar
+//! path and the comparisons pin the batch-vs-per-item split instead. CI
+//! runs it twice — once per dispatch mode — via the kernels-smoke job.
+
+use mergeable_summaries::core::simd::{self, Isa};
+use mergeable_summaries::core::{ItemSummary, Wire};
+use mergeable_summaries::service::{ServiceConfig, ShardSummary, SummaryKind};
+use mergeable_summaries::sketches::CountMinSketch;
+use mergeable_summaries::workloads::StreamKind;
+
+const SEEDS: [u64; 3] = [0xF417_5EED, 0xB0B5_CAFE, 0x2026_0806];
+
+fn stream(seed: u64, items: usize) -> Vec<u64> {
+    StreamKind::Zipf {
+        s: 1.2,
+        universe: 10_000,
+    }
+    .generate(items, seed)
+}
+
+fn families() -> [SummaryKind; 4] {
+    SummaryKind::all()
+}
+
+/// Build one delta per chunk with the engine's own batch path.
+fn deltas(kind: SummaryKind, seed: u64, chunks: usize) -> Vec<ShardSummary> {
+    let cfg = ServiceConfig::new(kind, 0.02).seed(seed);
+    let items = stream(seed, chunks * 3_000);
+    items
+        .chunks(3_000)
+        .enumerate()
+        .map(|(shard, chunk)| {
+            let mut s = ShardSummary::new(&cfg, shard % 4);
+            s.update_batch(chunk);
+            s
+        })
+        .collect()
+}
+
+fn encoded(s: &ShardSummary) -> Vec<u8> {
+    s.encode()
+}
+
+/// Every permutation of `n` indices (n! is small here: n = 4).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let mut out = Vec::new();
+    for perm in permutations(n - 1) {
+        for slot in 0..n {
+            let mut next = perm.clone();
+            next.insert(slot, n - 1);
+            out.push(next);
+        }
+    }
+    out
+}
+
+#[test]
+fn count_min_batch_updates_scalar_vs_dispatched_bit_identical() {
+    for &seed in &SEEDS {
+        let items = stream(seed, 12_345);
+        let mut scalar = CountMinSketch::<u64>::for_epsilon_delta(0.01, 0.01, seed);
+        let mut dispatched = scalar.clone();
+        scalar.update_batch_with(Isa::Scalar, &items);
+        dispatched.update_batch_with(simd::active_isa(), &items);
+        assert_eq!(
+            scalar.encode(),
+            dispatched.encode(),
+            "seed {seed:#x}: dispatched CM update diverged from scalar"
+        );
+    }
+}
+
+#[test]
+fn count_min_batch_updates_match_per_item_reference() {
+    for &seed in &SEEDS {
+        let items = stream(seed, 7_001);
+        let mut per_item = CountMinSketch::<u64>::for_epsilon_delta(0.01, 0.01, seed);
+        per_item.extend_from(items.iter().copied());
+        let mut batched = CountMinSketch::<u64>::for_epsilon_delta(0.01, 0.01, seed);
+        batched.update_batch(&items);
+        assert_eq!(per_item.encode(), batched.encode(), "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn all_families_batch_update_matches_sequential_updates() {
+    for &seed in &SEEDS {
+        for kind in families() {
+            let cfg = ServiceConfig::new(kind, 0.02).seed(seed);
+            let items = stream(seed, 5_000);
+            let mut sequential = ShardSummary::new(&cfg, 0);
+            for &item in &items {
+                sequential.update(item);
+            }
+            let mut batched = ShardSummary::new(&cfg, 0);
+            batched.update_batch(&items);
+            assert_eq!(
+                encoded(&sequential),
+                encoded(&batched),
+                "seed {seed:#x} kind {kind:?}: batch update diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_families_fused_merge_matches_sequential_folds_under_every_order() {
+    for &seed in &SEEDS {
+        for kind in families() {
+            let parts = deltas(kind, seed, 4);
+            for perm in permutations(parts.len()) {
+                let cfg = ServiceConfig::new(kind, 0.02).seed(seed);
+                let ordered: Vec<ShardSummary> = perm.iter().map(|&i| parts[i].clone()).collect();
+                let mut sequential = ShardSummary::new(&cfg, usize::MAX);
+                for d in ordered.clone() {
+                    sequential.merge_in_place(d).unwrap();
+                }
+                let mut fused = ShardSummary::new(&cfg, usize::MAX);
+                for r in fused.merge_in_place_many(ordered) {
+                    r.unwrap();
+                }
+                assert_eq!(
+                    encoded(&sequential),
+                    encoded(&fused),
+                    "seed {seed:#x} kind {kind:?} perm {perm:?}: fused merge diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn count_min_merges_are_order_independent_bit_for_bit() {
+    // Linearity (PODS'12 §5): a linear sketch's merge is cell-wise
+    // addition, so every merge order — and the fused multiway kernel —
+    // must land on the identical table.
+    for &seed in &SEEDS {
+        let parts = deltas(SummaryKind::CountMin, seed, 4);
+        let cfg = ServiceConfig::new(SummaryKind::CountMin, 0.02).seed(seed);
+        let mut reference: Option<Vec<u8>> = None;
+        for perm in permutations(parts.len()) {
+            let mut global = ShardSummary::new(&cfg, usize::MAX);
+            for &i in &perm {
+                global.merge_in_place(parts[i].clone()).unwrap();
+            }
+            let bytes = encoded(&global);
+            match &reference {
+                None => reference = Some(bytes),
+                Some(want) => assert_eq!(
+                    want, &bytes,
+                    "seed {seed:#x} perm {perm:?}: merge order changed a linear sketch"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn slice_kernels_scalar_vs_dispatched_bit_identical() {
+    use mergeable_summaries::core::Rng64;
+    for isa in simd::supported_isas()
+        .into_iter()
+        .chain([simd::active_isa()])
+    {
+        for &seed in &SEEDS {
+            let mut rng = Rng64::new(seed);
+            let vals: Vec<u64> = (0..515).map(|_| rng.next_u64()).collect();
+            let src: Vec<u64> = (0..515).map(|_| rng.next_u64() >> 1).collect();
+
+            let mut a = vals.clone();
+            let mut b = vals.clone();
+            simd::add_slices_scalar(&mut a, &src);
+            simd::add_slices_with(isa, &mut b, &src);
+            assert_eq!(a, b, "seed {seed:#x} add_slices {isa:?}");
+
+            let srcs = [&src[..], &vals[..]];
+            let mut a = vals.clone();
+            let mut b = vals.clone();
+            simd::add_slices_multi_scalar(&mut a, &srcs);
+            simd::add_slices_multi_with(isa, &mut b, &srcs);
+            assert_eq!(a, b, "seed {seed:#x} add_slices_multi {isa:?}");
+
+            for s in [0u64, 3, u64::MAX / 2, u64::MAX] {
+                let mut a = vals.clone();
+                let mut b = vals.clone();
+                simd::sub_clamp_scalar(&mut a, s);
+                simd::sub_clamp_with(isa, &mut b, s);
+                assert_eq!(a, b, "seed {seed:#x} sub_clamp s={s} {isa:?}");
+                assert_eq!(
+                    simd::count_gt_scalar(&vals, s),
+                    simd::count_gt_with(isa, &vals, s),
+                    "seed {seed:#x} count_gt s={s} {isa:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn force_scalar_knob_reports_scalar() {
+    // The knob is read once per process; this asserts the contract rather
+    // than the toggle (CI's kernels-smoke job runs the whole suite under
+    // MS_FORCE_SCALAR=1 to exercise the other mode).
+    if simd::force_scalar() {
+        assert_eq!(simd::active_isa(), Isa::Scalar);
+    }
+}
